@@ -1,0 +1,190 @@
+// Experiment E7 — continuous queries as the base for CEP (§2.2.c.i.3):
+// sliding-window aggregation throughput vs window/slide geometry
+// (including the incremental-vs-recompute ablation from DESIGN.md §5)
+// and NFA pattern-matching throughput vs pattern length and partition
+// count.
+
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "cq/join.h"
+#include "cq/pattern.h"
+#include "cq/window.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr TickSchema() {
+  return Schema::Make({
+      {"symbol", ValueType::kString, false},
+      {"price", ValueType::kDouble, false},
+      {"delta", ValueType::kDouble, false},
+  });
+}
+
+std::vector<Record> MakeTicks(size_t n, int symbols) {
+  Random rng(5);
+  SchemaPtr schema = TickSchema();
+  std::vector<Record> ticks;
+  ticks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double delta = rng.Normal(0, 0.5);
+    ticks.emplace_back(
+        schema,
+        std::vector<Value>{
+            Value::String("S" + std::to_string(rng.Uniform(symbols))),
+            Value::Double(100 + rng.Normal(0, 5)), Value::Double(delta)});
+  }
+  return ticks;
+}
+
+/// Window geometry: slide == size (tumbling) down to size/16 (heavily
+/// overlapped sliding), incremental accumulation.
+void BM_WindowAggregation(benchmark::State& state) {
+  const int64_t overlap = state.range(0);  // size / slide.
+  const bool recompute = state.range(1) != 0;
+  WindowAggregatorOptions options;
+  options.window_size_micros = 1000 * overlap;  // Keep ~1k events/window.
+  options.slide_micros = 1000;
+  options.key_column = "symbol";
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"},
+                        {Aggregate::Func::kAvg, "price", "avg"},
+                        {Aggregate::Func::kMin, "price", "lo"},
+                        {Aggregate::Func::kMax, "price", "hi"}};
+  options.recompute_at_close = recompute;
+  const std::vector<Record> ticks = MakeTicks(4096, 8);
+  uint64_t windows = 0;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult&) { ++windows; });
+  TimestampMicros ts = 0;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    ts += 10;
+    if (!agg.Push(ticks[cursor], ts).ok()) std::abort();
+    cursor = (cursor + 1) % ticks.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["windows_per_event"] = static_cast<double>(overlap);
+  state.counters["emitted"] = static_cast<double>(windows);
+  state.SetLabel(recompute ? "recompute" : "incremental");
+}
+BENCHMARK(BM_WindowAggregation)
+    ->Args({1, 0})->Args({4, 0})->Args({16, 0})
+    ->Args({1, 1})->Args({4, 1})->Args({16, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+PatternStep Step(const std::string& name, const std::string& condition,
+                 bool one_or_more = false) {
+  PatternStep step;
+  step.name = name;
+  step.condition = *Predicate::Compile(condition);
+  step.one_or_more = one_or_more;
+  return step;
+}
+
+/// Pattern length sweep: SEQ of k alternating conditions WITHIN 1s,
+/// partitioned by symbol.
+void BM_PatternMatchLength(benchmark::State& state) {
+  const int64_t length = state.range(0);
+  PatternSpec spec;
+  spec.name = "seq";
+  for (int64_t i = 0; i < length; ++i) {
+    spec.steps.push_back(Step(
+        "s" + std::to_string(i),
+        i % 2 == 0 ? "delta > 0.2" : "delta < -0.2"));
+  }
+  spec.within_micros = kMicrosPerSecond;
+  spec.partition_by = "symbol";
+  uint64_t matches = 0;
+  auto matcher = *PatternMatcher::Create(
+      spec, [&](const PatternMatch&) { ++matches; });
+  const std::vector<Record> ticks = MakeTicks(4096, 8);
+  TimestampMicros ts = 0;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    ts += 100;
+    if (!matcher->Push(ticks[cursor], ts).ok()) std::abort();
+    cursor = (cursor + 1) % ticks.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pattern_length"] = static_cast<double>(length);
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["active_runs"] =
+      static_cast<double>(matcher->active_runs());
+}
+BENCHMARK(BM_PatternMatchLength)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Partition sweep: same pattern over 1..1000 concurrent partitions.
+void BM_PatternMatchPartitions(benchmark::State& state) {
+  const int64_t partitions = state.range(0);
+  PatternSpec spec;
+  spec.name = "dip";
+  spec.steps = {Step("drops", "delta < 0", /*one_or_more=*/true),
+                Step("rebound", "delta > 0.8")};
+  spec.within_micros = kMicrosPerSecond;
+  spec.partition_by = "symbol";
+  spec.max_active_runs = 64;
+  uint64_t matches = 0;
+  auto matcher = *PatternMatcher::Create(
+      spec, [&](const PatternMatch&) { ++matches; });
+  const std::vector<Record> ticks =
+      MakeTicks(8192, static_cast<int>(partitions));
+  TimestampMicros ts = 0;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    ts += 100;
+    if (!matcher->Push(ticks[cursor], ts).ok()) std::abort();
+    cursor = (cursor + 1) % ticks.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["partitions"] = static_cast<double>(partitions);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_PatternMatchPartitions)->Arg(1)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// SlidingWindowStats micro-cost: the O(1) incremental primitive.
+void BM_SlidingStatsAdd(benchmark::State& state) {
+  SlidingWindowStats stats(10000);
+  Random rng(6);
+  TimestampMicros ts = 0;
+  for (auto _ : state) {
+    ts += 10;
+    stats.Add(ts, rng.Normal(50, 10));
+    benchmark::DoNotOptimize(stats.mean());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingStatsAdd)->Unit(benchmark::kNanosecond);
+
+/// Windowed stream-stream join throughput vs key cardinality (the
+/// buffer-per-key fanout determines pairing work).
+void BM_StreamStreamJoin(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  StreamStreamJoin join(
+      {.left_key = "symbol", .right_key = "symbol",
+       .window_micros = 10 * kMicrosPerMilli},
+      [](const Record&, const Record&, TimestampMicros) {});
+  const std::vector<Record> left = MakeTicks(4096, static_cast<int>(keys));
+  const std::vector<Record> right = MakeTicks(4096, static_cast<int>(keys));
+  TimestampMicros ts = 0;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    ts += 5;
+    if (!join.PushLeft(left[cursor], ts).ok()) std::abort();
+    if (!join.PushRight(right[cursor], ts + 1).ok()) std::abort();
+    cursor = (cursor + 1) % left.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["keys"] = static_cast<double>(keys);
+  state.counters["pairs"] = static_cast<double>(join.emitted());
+}
+BENCHMARK(BM_StreamStreamJoin)->Arg(4)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace edadb
+
+BENCHMARK_MAIN();

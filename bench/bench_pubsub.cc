@@ -1,0 +1,148 @@
+// Experiment E6 — publish/subscribe fanout (§2.2.c.i): publish
+// throughput against growing subscription populations, comparing
+// exact-topic subscriptions (hash-indexable) with content-based filters
+// and glob patterns. Expected shape: publish cost tracks the number of
+// MATCHING subscriptions, not the total population, because
+// subscriptions compile into the indexed rule matcher.
+
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "pubsub/broker.h"
+
+namespace edadb {
+namespace {
+
+struct BrokerFixture {
+  bench::BenchDir dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueueManager> queues;
+  std::unique_ptr<Broker> broker;
+  uint64_t delivered = 0;
+
+  BrokerFixture() {
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db = *Database::Open(std::move(options));
+    queues = *QueueManager::Attach(db.get());
+    broker = *Broker::Attach(db.get(), queues.get());
+  }
+
+  void AddHandlerSub(const std::string& topic_pattern,
+                     const std::string& filter) {
+    SubscriptionSpec spec;
+    spec.subscriber = "bench";
+    spec.topic_pattern = topic_pattern;
+    spec.content_filter = filter;
+    spec.handler = [this](const Publication&) { ++delivered; };
+    if (!broker->Subscribe(std::move(spec)).ok()) std::abort();
+  }
+};
+
+/// N exact-topic subscribers spread over 100 topics; each publish
+/// matches ~N/100.
+void BM_PublishExactTopics(benchmark::State& state) {
+  const int64_t subs = state.range(0);
+  BrokerFixture fx;
+  for (int64_t i = 0; i < subs; ++i) {
+    fx.AddHandlerSub("topic/" + std::to_string(i % 100), "");
+  }
+  Random rng(1);
+  Publication pub;
+  pub.payload = "x";
+  for (auto _ : state) {
+    pub.topic = "topic/" + std::to_string(rng.Uniform(100));
+    auto n = fx.broker->Publish(pub);
+    if (!n.ok()) std::abort();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["subscriptions"] = static_cast<double>(subs);
+  state.counters["deliveries_per_publish"] =
+      static_cast<double>(fx.delivered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PublishExactTopics)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Content-based subscriptions: equality + range filter per subscriber.
+void BM_PublishContentFiltered(benchmark::State& state) {
+  const int64_t subs = state.range(0);
+  BrokerFixture fx;
+  Random rng(2);
+  for (int64_t i = 0; i < subs; ++i) {
+    fx.AddHandlerSub(
+        "", StringPrintf("shard = %lld AND severity >= %lld",
+                         static_cast<long long>(i % 256),
+                         static_cast<long long>(rng.UniformInt(3, 9))));
+  }
+  Publication pub;
+  pub.payload = "x";
+  pub.topic = "t";
+  for (auto _ : state) {
+    pub.attributes = {
+        {"shard", Value::Int64(rng.UniformInt(0, 255))},
+        {"severity", Value::Int64(rng.UniformInt(0, 10))}};
+    auto n = fx.broker->Publish(pub);
+    if (!n.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["subscriptions"] = static_cast<double>(subs);
+  state.counters["deliveries_per_publish"] =
+      static_cast<double>(fx.delivered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PublishContentFiltered)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Glob subscriptions cannot be hash-indexed (LIKE residual → scan
+/// list): the anti-pattern the indexed matcher cannot save you from.
+void BM_PublishGlobSubscriptions(benchmark::State& state) {
+  const int64_t subs = state.range(0);
+  BrokerFixture fx;
+  for (int64_t i = 0; i < subs; ++i) {
+    fx.AddHandlerSub("sensors/" + std::to_string(i) + "/*", "");
+  }
+  Random rng(3);
+  Publication pub;
+  pub.payload = "x";
+  for (auto _ : state) {
+    pub.topic = "sensors/" + std::to_string(rng.Uniform(subs)) + "/temp";
+    if (!fx.broker->Publish(pub).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["subscriptions"] = static_cast<double>(subs);
+}
+BENCHMARK(BM_PublishGlobSubscriptions)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Durable fanout: every delivery is a persistent enqueue.
+void BM_PublishDurable(benchmark::State& state) {
+  const int64_t subs = state.range(0);
+  BrokerFixture fx;
+  for (int64_t i = 0; i < subs; ++i) {
+    SubscriptionSpec spec;
+    spec.subscriber = "worker" + std::to_string(i);
+    spec.topic_pattern = "jobs";
+    spec.durable = true;
+    if (!fx.broker->Subscribe(std::move(spec)).ok()) std::abort();
+  }
+  Publication pub;
+  pub.topic = "jobs";
+  pub.payload = "durable fanout";
+  for (auto _ : state) {
+    auto n = fx.broker->Publish(pub);
+    if (!n.ok() || *n != static_cast<size_t>(subs)) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * subs);
+  state.counters["subscriptions"] = static_cast<double>(subs);
+}
+BENCHMARK(BM_PublishDurable)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace edadb
+
+BENCHMARK_MAIN();

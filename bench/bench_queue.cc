@@ -1,0 +1,156 @@
+// Experiment E2 — message storage performance & scalability (§2.2.b.ii.2).
+//
+// Enqueue and dequeue+ack throughput through the database-backed staging
+// areas, across payload sizes, WAL sync policies and consumer-group
+// fanout. Expected shape: throughput falls with payload size and sync
+// strictness; fanout to G groups costs ~G delivery rows per message.
+
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "mq/queue_manager.h"
+
+namespace edadb {
+namespace {
+
+struct QueueFixture {
+  bench::BenchDir dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueueManager> queues;
+
+  explicit QueueFixture(WalSyncPolicy sync = WalSyncPolicy::kNever) {
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.wal_sync_policy = sync;
+    db = *Database::Open(std::move(options));
+    queues = *QueueManager::Attach(db.get());
+    if (!queues->CreateQueue("bench").ok()) std::abort();
+  }
+};
+
+void BM_Enqueue(benchmark::State& state) {
+  const size_t payload_size = static_cast<size_t>(state.range(0));
+  QueueFixture fx;
+  Random rng(1);
+  EnqueueRequest request;
+  request.payload = rng.NextString(payload_size);
+  request.attributes = {{"severity", Value::Int64(5)},
+                        {"region", Value::String("east")}};
+  for (auto _ : state) {
+    auto id = fx.queues->Enqueue("bench", request);
+    if (!id.ok()) std::abort();
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload_size));
+}
+BENCHMARK(BM_Enqueue)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EnqueueSyncPolicy(benchmark::State& state) {
+  const auto policy = static_cast<WalSyncPolicy>(state.range(0));
+  QueueFixture fx(policy);
+  EnqueueRequest request;
+  request.payload = "sync policy benchmark payload";
+  for (auto _ : state) {
+    if (!fx.queues->Enqueue("bench", request).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(policy == WalSyncPolicy::kNever
+                     ? "sync=never"
+                     : (policy == WalSyncPolicy::kOnCommit
+                            ? "sync=on_commit"
+                            : "sync=every_append"));
+}
+BENCHMARK(BM_EnqueueSyncPolicy)
+    ->Arg(static_cast<int>(WalSyncPolicy::kNever))
+    ->Arg(static_cast<int>(WalSyncPolicy::kOnCommit))
+    ->Arg(static_cast<int>(WalSyncPolicy::kEveryAppend))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EnqueueDequeueAck(benchmark::State& state) {
+  QueueFixture fx;
+  EnqueueRequest request;
+  request.payload = "round trip";
+  DequeueRequest dq;
+  for (auto _ : state) {
+    if (!fx.queues->Enqueue("bench", request).ok()) std::abort();
+    auto message = fx.queues->Dequeue("bench", dq);
+    if (!message.ok() || !message->has_value()) std::abort();
+    if (!fx.queues->Ack("bench", "", (*message)->id).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnqueueDequeueAck)->Unit(benchmark::kMicrosecond);
+
+void BM_DequeueWithSelector(benchmark::State& state) {
+  // Selector matches ~half the backlog; measures selector evaluation on
+  // the dequeue path.
+  QueueFixture fx;
+  Random rng(2);
+  DequeueRequest dq;
+  dq.selector = *Predicate::Compile("severity >= 5");
+  EnqueueRequest request;
+  request.payload = "x";
+  for (auto _ : state) {
+    state.PauseTiming();
+    request.attributes = {
+        {"severity", Value::Int64(rng.UniformInt(0, 9))}};
+    (void)fx.queues->Enqueue("bench", request);
+    request.attributes = {{"severity", Value::Int64(9)}};
+    (void)fx.queues->Enqueue("bench", request);
+    state.ResumeTiming();
+    auto message = fx.queues->Dequeue("bench", dq);
+    if (!message.ok() || !message->has_value()) std::abort();
+    if (!fx.queues->Ack("bench", "", (*message)->id).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequeueWithSelector)->Unit(benchmark::kMicrosecond);
+
+void BM_FanoutToGroups(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  QueueFixture fx;
+  for (int64_t g = 0; g < groups; ++g) {
+    if (!fx.queues->AddConsumerGroup("bench", "g" + std::to_string(g)).ok()) {
+      std::abort();
+    }
+  }
+  EnqueueRequest request;
+  request.payload = "fanout";
+  for (auto _ : state) {
+    if (!fx.queues->Enqueue("bench", request).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_FanoutToGroups)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TransactionalEnqueueBatch(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  QueueFixture fx;
+  EnqueueRequest request;
+  request.payload = "batched";
+  for (auto _ : state) {
+    auto txn = fx.db->BeginTransaction();
+    for (int64_t i = 0; i < batch; ++i) {
+      if (!fx.queues->EnqueueInTransaction(txn.get(), "bench", request)
+               .ok()) {
+        std::abort();
+      }
+    }
+    if (!txn->Commit().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_TransactionalEnqueueBatch)->Arg(1)->Arg(16)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace edadb
+
+BENCHMARK_MAIN();

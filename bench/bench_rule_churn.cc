@@ -1,0 +1,126 @@
+// Experiment E5 — FREQUENTLY CHANGING RULE SETS (§2.2.c.iv.2.b).
+//
+// Interleaves rule add/remove churn with event matching and measures
+// sustained operations per second at different churn ratios. Expected
+// shape: the naive matcher is insensitive to churn (add/remove is a map
+// insert) but slow to match; the indexed matcher pays index maintenance
+// per change yet keeps a large overall advantage because matching
+// dominates realistic mixes.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "rules/indexed_matcher.h"
+#include "rules/matcher.h"
+
+namespace edadb {
+namespace {
+
+constexpr int kNumAttrs = 8;
+constexpr int64_t kCardinality = 1000;
+constexpr int64_t kBaseRules = 10000;
+
+void RunChurnBenchmark(benchmark::State& state, bool indexed) {
+  // churn_permille = changes per 1000 operations; the rest are matches.
+  const int64_t churn_permille = state.range(0);
+  std::unique_ptr<RuleMatcher> matcher;
+  if (indexed) {
+    matcher = std::make_unique<IndexedMatcher>();
+  } else {
+    matcher = std::make_unique<NaiveMatcher>();
+  }
+  Random rng(4);
+  std::deque<std::string> live;
+  int64_t next_id = 0;
+  auto add_rule = [&]() {
+    Rule rule;
+    rule.id = "r" + std::to_string(next_id++);
+    rule.condition = *Predicate::Compile(
+        bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
+    live.push_back(rule.id);
+    if (!matcher->AddRule(std::move(rule)).ok()) std::abort();
+  };
+  for (int64_t i = 0; i < kBaseRules; ++i) add_rule();
+
+  std::vector<bench::BenchEvent> events;
+  for (int i = 0; i < 512; ++i) {
+    events.push_back(bench::RandomRuleEvent(&rng, kNumAttrs, kCardinality));
+  }
+
+  size_t cursor = 0;
+  int64_t op = 0;
+  uint64_t churn_ops = 0;
+  std::vector<const Rule*> out;
+  for (auto _ : state) {
+    // Deterministic interleave: every (1000/churn)th op is a change.
+    const bool churn =
+        churn_permille > 0 && (op % 1000) < churn_permille;
+    if (churn) {
+      // Replace the oldest rule (remove + add) to keep set size stable.
+      if (!matcher->RemoveRule(live.front()).ok()) std::abort();
+      live.pop_front();
+      add_rule();
+      ++churn_ops;
+    } else {
+      out.clear();
+      matcher->Match(events[cursor], &out);
+      cursor = (cursor + 1) % events.size();
+      benchmark::DoNotOptimize(out);
+    }
+    ++op;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["churn_permille"] = static_cast<double>(churn_permille);
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["rule_changes"] = static_cast<double>(churn_ops);
+}
+
+void BM_NaiveChurn(benchmark::State& state) {
+  RunChurnBenchmark(state, /*indexed=*/false);
+}
+void BM_IndexedChurn(benchmark::State& state) {
+  RunChurnBenchmark(state, /*indexed=*/true);
+}
+
+// 0 / 1% / 10% / 50% of operations are rule changes.
+BENCHMARK(BM_NaiveChurn)->Arg(0)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexedChurn)->Arg(0)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Pure mutation rates, for the maintenance-cost ablation.
+void BM_IndexedAddRemove(benchmark::State& state) {
+  IndexedMatcher matcher;
+  Random rng(4);
+  std::deque<std::string> live;
+  int64_t next_id = 0;
+  for (int64_t i = 0; i < kBaseRules; ++i) {
+    Rule rule;
+    rule.id = "r" + std::to_string(next_id++);
+    rule.condition = *Predicate::Compile(
+        bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
+    live.push_back(rule.id);
+    (void)matcher.AddRule(std::move(rule));
+  }
+  for (auto _ : state) {
+    (void)matcher.RemoveRule(live.front());
+    live.pop_front();
+    Rule rule;
+    rule.id = "r" + std::to_string(next_id++);
+    rule.condition = *Predicate::Compile(
+        bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
+    live.push_back(rule.id);
+    (void)matcher.AddRule(std::move(rule));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedAddRemove)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace edadb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment E4 — "the evaluation of internal data can significantly be
+// optimized" / scalability to LARGE RULE SETS (§2.2.c.iii, §2.2.c.iv.2.a).
+//
+// Measures events matched per second against rule sets of 100..100,000
+// conjunctive rules, for the naive matcher (evaluate every rule — the
+// unoptimized baseline) and the predicate-indexed counting matcher.
+// Expected shape: naive throughput decays ~1/rules; indexed throughput
+// stays roughly flat, so the gap grows to orders of magnitude.
+
+#include <memory>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "bench_util.h"
+#include "rules/indexed_matcher.h"
+#include "rules/matcher.h"
+
+namespace edadb {
+namespace {
+
+constexpr int kNumAttrs = 8;
+constexpr int64_t kCardinality = 1000;
+
+std::unique_ptr<RuleMatcher> BuildMatcher(bool indexed, int64_t num_rules) {
+  std::unique_ptr<RuleMatcher> matcher;
+  if (indexed) {
+    matcher = std::make_unique<IndexedMatcher>();
+  } else {
+    matcher = std::make_unique<NaiveMatcher>();
+  }
+  Random rng(4);
+  for (int64_t i = 0; i < num_rules; ++i) {
+    Rule rule;
+    rule.id = "r" + std::to_string(i);
+    rule.condition = *Predicate::Compile(
+        bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
+    rule.action = "noop";
+    if (!matcher->AddRule(std::move(rule)).ok()) std::abort();
+  }
+  return matcher;
+}
+
+void RunMatchBenchmark(benchmark::State& state, bool indexed) {
+  const int64_t num_rules = state.range(0);
+  auto matcher = BuildMatcher(indexed, num_rules);
+  Random rng(99);
+  // Pre-generate events so generation cost stays out of the loop.
+  std::vector<bench::BenchEvent> events;
+  for (int i = 0; i < 512; ++i) {
+    events.push_back(bench::RandomRuleEvent(&rng, kNumAttrs, kCardinality));
+  }
+  size_t cursor = 0;
+  uint64_t matches = 0;
+  std::vector<const Rule*> out;
+  for (auto _ : state) {
+    out.clear();
+    matcher->Match(events[cursor], &out);
+    matches += out.size();
+    cursor = (cursor + 1) % events.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] = static_cast<double>(num_rules);
+  state.counters["matches_per_event"] =
+      static_cast<double>(matches) /
+      static_cast<double>(state.iterations());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_NaiveMatch(benchmark::State& state) {
+  RunMatchBenchmark(state, /*indexed=*/false);
+}
+
+void BM_IndexedMatch(benchmark::State& state) {
+  RunMatchBenchmark(state, /*indexed=*/true);
+}
+
+// Naive is O(rules) per event; cap its largest size to keep the run
+// short — the trend is unambiguous by 30k.
+BENCHMARK(BM_NaiveMatch)->Arg(100)->Arg(1000)->Arg(10000)->Arg(30000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexedMatch)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(30000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Build cost: compiling + indexing rules (matters for startup /
+/// failover, part of the "large rule sets" operational story).
+void BM_IndexedBuild(benchmark::State& state) {
+  const int64_t num_rules = state.range(0);
+  for (auto _ : state) {
+    auto matcher = BuildMatcher(true, num_rules);
+    benchmark::DoNotOptimize(matcher);
+  }
+  state.SetItemsProcessed(state.iterations() * num_rules);
+}
+BENCHMARK(BM_IndexedBuild)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace edadb
+
+BENCHMARK_MAIN();

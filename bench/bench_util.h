@@ -1,0 +1,83 @@
+#ifndef EDADB_BENCH_BENCH_UTIL_H_
+#define EDADB_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "value/record.h"
+
+namespace edadb {
+namespace bench {
+
+/// Scratch directory removed on destruction.
+class BenchDir {
+ public:
+  BenchDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "edadb_bench_XXXXXX")
+                           .string();
+    char* made = mkdtemp(tmpl.data());
+    path_ = made != nullptr ? tmpl : "/tmp/edadb_bench_fallback";
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Simple attribute-map event for matcher benchmarks.
+class BenchEvent : public RowAccessor {
+ public:
+  std::map<std::string, Value> values;
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    auto it = values.find(std::string(name));
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// The standard event population for rule benchmarks: `num_attrs`
+/// integer attributes in [0, cardinality) plus a region string.
+inline BenchEvent RandomRuleEvent(Random* rng, int num_attrs,
+                                  int64_t cardinality) {
+  BenchEvent event;
+  for (int a = 0; a < num_attrs; ++a) {
+    event.values["attr" + std::to_string(a)] =
+        Value::Int64(rng->UniformInt(0, cardinality - 1));
+  }
+  static const char* const kRegions[] = {"north", "south", "east", "west"};
+  event.values["region"] = Value::String(kRegions[rng->Uniform(4)]);
+  return event;
+}
+
+/// A selective conjunctive rule condition over the population above:
+/// two equality conjuncts plus one range, so most rules don't match
+/// most events (the realistic pub/sub regime).
+inline std::string RandomRuleCondition(Random* rng, int num_attrs,
+                                       int64_t cardinality) {
+  const int a1 = static_cast<int>(rng->Uniform(num_attrs));
+  int a2 = static_cast<int>(rng->Uniform(num_attrs));
+  if (a2 == a1) a2 = (a2 + 1) % num_attrs;
+  static const char* const kRegions[] = {"north", "south", "east", "west"};
+  return StringPrintf(
+      "attr%d = %lld AND region = '%s' AND attr%d BETWEEN %lld AND %lld",
+      a1, static_cast<long long>(rng->UniformInt(0, cardinality - 1)),
+      kRegions[rng->Uniform(4)], a2,
+      static_cast<long long>(rng->UniformInt(0, cardinality / 2)),
+      static_cast<long long>(
+          rng->UniformInt(cardinality / 2, cardinality - 1)));
+}
+
+}  // namespace bench
+}  // namespace edadb
+
+#endif  // EDADB_BENCH_BENCH_UTIL_H_

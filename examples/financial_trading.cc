@@ -1,0 +1,172 @@
+// Financial services use case (§2.2.e.i): "event processing to execute
+// online transactions, to react to opportunities and threats and to
+// identify new opportunities and threats."
+//
+// A synthetic tick stream flows through three detectors:
+//   - a CEP pattern (three consecutive drops then a rebound, per symbol)
+//     flags a *dip-and-recover* buying opportunity;
+//   - a sliding-window aggregation computes 1-second OHLC-style stats;
+//   - an expectation model (EWMA) flags abnormal price jumps as threats.
+// Opportunities and threats are staged on queues a trading desk drains.
+//
+// Build & run:  ./build/examples/financial_trading
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "common/random.h"
+#include "core/monitor.h"
+#include "core/processor.h"
+#include "cq/pattern.h"
+#include "cq/window.h"
+
+using namespace edadb;
+
+namespace {
+
+SchemaPtr TickSchema() {
+  return Schema::Make({
+      {"symbol", ValueType::kString, false},
+      {"price", ValueType::kDouble, false},
+      {"delta", ValueType::kDouble, false},
+  });
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "/tmp/edadb_financial";
+  std::filesystem::remove_all(dir);
+  EventProcessorOptions options;
+  options.data_dir = dir;
+  auto processor = EventProcessor::Open(std::move(options));
+  if (!processor.ok()) {
+    std::fprintf(stderr, "%s\n", processor.status().ToString().c_str());
+    return 1;
+  }
+  QueueManager* queues = (*processor)->queues();
+  for (const char* queue : {"opportunities", "threats"}) {
+    if (auto s = queues->CreateQueue(queue); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // --- CEP: dip (3+ consecutive drops) then rebound, per symbol.
+  PatternSpec dip;
+  dip.name = "dip_and_recover";
+  PatternStep drop;
+  drop.name = "drops";
+  drop.condition = *Predicate::Compile("delta < 0");
+  drop.one_or_more = true;
+  PatternStep rebound;
+  rebound.name = "rebound";
+  rebound.condition = *Predicate::Compile("delta > 0.5");
+  dip.steps = {drop, rebound};
+  dip.within_micros = 10 * kMicrosPerSecond;
+  dip.partition_by = "symbol";
+  size_t opportunities = 0;
+  auto pattern = *PatternMatcher::Create(dip, [&](const PatternMatch& m) {
+    ++opportunities;
+    EnqueueRequest request;
+    request.payload = "dip-and-recover on " +
+                      m.partition_key.string_value();
+    request.attributes = {
+        {"symbol", m.partition_key},
+        {"drops", Value::Int64(static_cast<int64_t>(
+                      m.bindings[0].second.size()))}};
+    (void)queues->Enqueue("opportunities", request);
+  });
+
+  // --- Windowed stats: count/avg/min/max per symbol per second.
+  WindowAggregatorOptions window_options;
+  window_options.window_size_micros = kMicrosPerSecond;
+  window_options.key_column = "symbol";
+  window_options.aggregates = {
+      {Aggregate::Func::kCount, "", "ticks"},
+      {Aggregate::Func::kAvg, "price", "vwap_ish"},
+      {Aggregate::Func::kMin, "price", "low"},
+      {Aggregate::Func::kMax, "price", "high"}};
+  size_t windows = 0;
+  WindowedAggregator window(window_options, [&](const WindowResult& r) {
+    ++windows;
+    if (windows <= 4) {
+      std::printf("  window %s\n", r.ToString().c_str());
+    }
+  });
+
+  // --- Management by exception: abnormal jumps are threats.
+  DeviationDetector::Options detector_options;
+  detector_options.threshold_sigmas = 5.0;
+  detector_options.min_uncertainty = 0.05;
+  ExpectationMonitor monitor(
+      [] { return std::make_unique<EwmaForecaster>(0.1); },
+      detector_options,
+      [&](const std::string& symbol, TimestampMicros, double price,
+          const DetectionResult& result) {
+        EnqueueRequest request;
+        request.payload = "abnormal move on " + symbol;
+        request.attributes = {{"symbol", Value::String(symbol)},
+                              {"price", Value::Double(price)},
+                              {"sigmas", Value::Double(result.score)}};
+        request.priority = 9;
+        (void)queues->Enqueue("threats", request);
+      });
+
+  // --- Synthetic market: random walks + one engineered dip + one shock.
+  Random rng(2007);
+  const char* symbols[] = {"ACME", "GLOBEX", "INITECH"};
+  std::map<std::string, double> price = {
+      {"ACME", 100}, {"GLOBEX", 250}, {"INITECH", 40}};
+  TimestampMicros ts = 0;
+  SchemaPtr schema = TickSchema();
+  auto push_tick = [&](const std::string& symbol, double delta) {
+    price[symbol] += delta;
+    Record tick(schema, {Value::String(symbol),
+                         Value::Double(price[symbol]),
+                         Value::Double(delta)});
+    ts += 20 * kMicrosPerMilli;
+    (void)pattern->Push(tick, ts);
+    (void)window.Push(tick, ts);
+    (void)monitor.Process(symbol, ts, price[symbol]);
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    const std::string symbol = symbols[rng.Uniform(3)];
+    push_tick(symbol, rng.Normal(0, 0.05));
+    if (i == 800) {
+      // Engineered dip-and-recover on ACME.
+      for (int d = 0; d < 4; ++d) push_tick("ACME", -0.4);
+      push_tick("ACME", 1.2);
+    }
+    if (i == 1500) {
+      // Price shock on INITECH: a threat.
+      push_tick("INITECH", 15.0);
+    }
+  }
+  (void)window.Flush();
+
+  std::printf("\nprocessed 2000+ ticks, %zu windows emitted\n", windows);
+  std::printf("pattern matches (opportunities): %zu\n", opportunities);
+
+  auto drain = [&](const char* queue) {
+    std::printf("%s:\n", queue);
+    for (;;) {
+      DequeueRequest dq;
+      auto message = queues->Dequeue(queue, dq);
+      if (!message.ok() || !message->has_value()) break;
+      std::printf("  %s\n", (*message)->payload.c_str());
+      (void)queues->Ack(queue, "", (*message)->id);
+    }
+  };
+  drain("opportunities");
+  drain("threats");
+
+  if (opportunities == 0) {
+    std::fprintf(stderr, "expected at least one opportunity!\n");
+    return 1;
+  }
+  std::printf("financial_trading done.\n");
+  return 0;
+}

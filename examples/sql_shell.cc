@@ -1,0 +1,109 @@
+// A minimal SQL shell over edadb: the "database technology" surface a
+// downstream user scripts against. Reads statements from stdin (one per
+// line; lines starting with -- are comments); with no piped input it
+// runs a short self-demo.
+//
+//   ./build/examples/sql_shell [data_dir]
+//   echo "SELECT * FROM t" | ./build/examples/sql_shell /tmp/mydb
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "db/sql.h"
+
+using namespace edadb;
+
+namespace {
+
+void PrintResult(const SqlResult& result) {
+  switch (result.kind) {
+    case SqlResult::Kind::kSelect: {
+      // Header.
+      const SchemaPtr& schema = result.result.schema;
+      if (schema != nullptr) {
+        for (size_t i = 0; i < schema->num_fields(); ++i) {
+          std::printf("%s%s", i ? " | " : "", schema->field(i).name.c_str());
+        }
+        std::printf("\n");
+      }
+      for (const Record& row : result.result.rows) {
+        for (size_t i = 0; i < row.num_values(); ++i) {
+          std::printf("%s%s", i ? " | " : "",
+                      row.value(i).ToString().c_str());
+        }
+        std::printf("\n");
+      }
+      std::printf("(%zu rows)\n", result.result.rows.size());
+      break;
+    }
+    case SqlResult::Kind::kInsert:
+    case SqlResult::Kind::kUpdate:
+    case SqlResult::Kind::kDelete:
+      std::printf("OK, %zu rows affected\n", result.rows_affected);
+      break;
+    case SqlResult::Kind::kDdl:
+      std::printf("OK\n");
+      break;
+  }
+}
+
+int RunStatement(Database* db, const std::string& sql) {
+  auto result = ExecuteSql(db, sql);
+  if (!result.ok()) {
+    std::printf("ERROR: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*result);
+  return 0;
+}
+
+const char* const kDemo[] = {
+    "CREATE TABLE readings (sensor STRING NOT NULL, zone STRING, "
+    "temp DOUBLE)",
+    "CREATE INDEX ON readings (zone)",
+    "INSERT INTO readings VALUES ('s1', 'north', 20.5), "
+    "('s2', 'north', 22.0), ('s3', 'south', 31.0), ('s4', 'south', 29.5)",
+    "SELECT * FROM readings WHERE temp > 21 ORDER BY temp DESC",
+    "UPDATE readings SET temp = temp - 1.5 WHERE zone = 'south'",
+    "SELECT zone, COUNT(*), AVG(temp) AS avg_temp FROM readings "
+    "GROUP BY zone ORDER BY zone",
+    "DELETE FROM readings WHERE temp < 21",
+    "SELECT COUNT(*) FROM readings",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatabaseOptions options;
+  options.dir = argc > 1 ? argv[1] : "/tmp/edadb_sql_shell";
+  auto db = Database::Open(std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (isatty(STDIN_FILENO)) {
+    std::printf("edadb sql shell — no piped input, running the demo:\n\n");
+    for (const char* sql : kDemo) {
+      std::printf("sql> %s\n", sql);
+      RunStatement(db->get(), sql);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::string line;
+  int failures = 0;
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || StartsWith(trimmed, "--")) continue;
+    std::printf("sql> %s\n", std::string(trimmed).c_str());
+    failures += RunStatement(db->get(), std::string(trimmed));
+  }
+  return failures == 0 ? 0 : 1;
+}

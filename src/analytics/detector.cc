@@ -1,0 +1,121 @@
+#include "analytics/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+DeviationDetector::DeviationDetector(std::unique_ptr<Forecaster> model,
+                                     Options options)
+    : model_(std::move(model)), options_(options) {}
+
+DetectionResult DeviationDetector::Process(TimestampMicros ts,
+                                           double value) {
+  DetectionResult result;
+  const Forecaster::Prediction prediction = model_->Predict(ts);
+  result.ready = prediction.ready;
+  result.expected = prediction.expected;
+  if (prediction.ready) {
+    const double uncertainty =
+        std::max(prediction.uncertainty, options_.min_uncertainty);
+    result.score = std::fabs(value - prediction.expected) / uncertainty;
+    result.is_anomaly = result.score > options_.threshold_sigmas;
+  }
+  if (!(result.is_anomaly && options_.exclude_anomalies_from_model)) {
+    model_->Observe(ts, value);
+  }
+  return result;
+}
+
+void ConfusionMatrix::Add(bool predicted, bool actual) {
+  if (predicted && actual) ++true_positives;
+  else if (predicted && !actual) ++false_positives;
+  else if (!predicted && actual) ++false_negatives;
+  else ++true_negatives;
+}
+
+double ConfusionMatrix::precision() const {
+  const uint64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const uint64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::false_positive_rate() const {
+  const uint64_t denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return StringPrintf(
+      "tp=%llu fp=%llu tn=%llu fn=%llu precision=%.3f recall=%.3f "
+      "fpr=%.4f f1=%.3f",
+      static_cast<unsigned long long>(true_positives),
+      static_cast<unsigned long long>(false_positives),
+      static_cast<unsigned long long>(true_negatives),
+      static_cast<unsigned long long>(false_negatives), precision(),
+      recall(), false_positive_rate(), f1());
+}
+
+std::vector<RocPoint> ComputeRoc(
+    const std::vector<std::pair<double, bool>>& scored) {
+  std::vector<std::pair<double, bool>> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  uint64_t positives = 0;
+  uint64_t negatives = 0;
+  for (const auto& [score, actual] : sorted) {
+    if (actual) ++positives;
+    else ++negatives;
+  }
+  std::vector<RocPoint> points;
+  if (positives == 0 || negatives == 0) return points;
+
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  points.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].second) ++tp;
+    else ++fp;
+    // Emit an operating point after each distinct score value.
+    if (i + 1 == sorted.size() || sorted[i + 1].first != sorted[i].first) {
+      points.push_back(
+          {sorted[i].first,
+           static_cast<double>(fp) / static_cast<double>(negatives),
+           static_cast<double>(tp) / static_cast<double>(positives)});
+    }
+  }
+  return points;
+}
+
+double RocAuc(const std::vector<RocPoint>& points) {
+  double auc = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double dx =
+        points[i].false_positive_rate - points[i - 1].false_positive_rate;
+    auc += dx *
+           (points[i].true_positive_rate + points[i - 1].true_positive_rate) /
+           2.0;
+  }
+  return auc;
+}
+
+}  // namespace edadb

@@ -1,0 +1,92 @@
+#ifndef EDADB_ANALYTICS_DETECTOR_H_
+#define EDADB_ANALYTICS_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/forecaster.h"
+#include "common/clock.h"
+
+namespace edadb {
+
+/// Outcome of scoring one observation against the expectation model.
+struct DetectionResult {
+  bool ready = false;       // Model had enough history to judge.
+  double expected = 0;      // Model's prediction.
+  double score = 0;         // |value - expected| / uncertainty (sigmas).
+  bool is_anomaly = false;  // score > threshold.
+};
+
+/// Management by exception (tutorial Part 1.f): a model predicts, the
+/// detector scores how far reality deviates, and deviations beyond the
+/// threshold become alert events. The threshold trades false positives
+/// against false negatives — the keyword list's central statistics —
+/// and bench_models (E8) sweeps it into an ROC curve.
+class DeviationDetector {
+ public:
+  struct Options {
+    /// Alert when |deviation| exceeds this many uncertainty units.
+    double threshold_sigmas = 3.0;
+    /// Floor on the uncertainty so early/quiet periods don't divide by
+    /// ~zero and alert on noise.
+    double min_uncertainty = 1e-9;
+    /// Skip model update on anomalous observations, so a burst does not
+    /// teach the model that the burst is normal. (Robust mode.)
+    bool exclude_anomalies_from_model = false;
+  };
+
+  DeviationDetector(std::unique_ptr<Forecaster> model, Options options);
+
+  /// Scores `value`, then feeds it to the model (unless excluded).
+  DetectionResult Process(TimestampMicros ts, double value);
+
+  const Forecaster& model() const { return *model_; }
+  Forecaster* mutable_model() { return model_.get(); }
+  const Options& options() const { return options_; }
+
+ private:
+  std::unique_ptr<Forecaster> model_;
+  Options options_;
+};
+
+/// Binary-detector bookkeeping over labeled data.
+struct ConfusionMatrix {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  void Add(bool predicted, bool actual);
+
+  double precision() const;
+  double recall() const;            // = true positive rate.
+  double false_positive_rate() const;
+  double f1() const;
+  uint64_t total() const {
+    return true_positives + false_positives + true_negatives +
+           false_negatives;
+  }
+
+  std::string ToString() const;
+};
+
+/// One operating point of the threshold sweep.
+struct RocPoint {
+  double threshold = 0;
+  double false_positive_rate = 0;
+  double true_positive_rate = 0;
+};
+
+/// Exact ROC over (score, is_actually_anomalous) pairs: one operating
+/// point per distinct score, sorted by increasing FPR.
+std::vector<RocPoint> ComputeRoc(
+    const std::vector<std::pair<double, bool>>& scored);
+
+/// Trapezoidal area under the curve; 0.5 = chance, 1.0 = perfect.
+double RocAuc(const std::vector<RocPoint>& points);
+
+}  // namespace edadb
+
+#endif  // EDADB_ANALYTICS_DETECTOR_H_

@@ -1,0 +1,125 @@
+#include "analytics/forecaster.h"
+
+#include <cmath>
+
+namespace edadb {
+
+// ---------------------------------------------------------------------------
+// StaticForecaster
+
+StaticForecaster::StaticForecaster(double expected, double band)
+    : expected_(expected), band_(band) {}
+
+Forecaster::Prediction StaticForecaster::Predict(TimestampMicros) const {
+  Prediction p;
+  p.expected = expected_;
+  p.uncertainty = band_;
+  p.ready = true;
+  return p;
+}
+
+void StaticForecaster::Observe(TimestampMicros, double) {
+  // A static expectation never updates — that is its weakness on
+  // drifting signals, which bench_models demonstrates.
+}
+
+// ---------------------------------------------------------------------------
+// EwmaForecaster
+
+EwmaForecaster::EwmaForecaster(double alpha) : ewma_(alpha) {}
+
+Forecaster::Prediction EwmaForecaster::Predict(TimestampMicros) const {
+  Prediction p;
+  p.ready = observations_ >= 3;
+  p.expected = ewma_.value();
+  p.uncertainty = ewma_.stddev();
+  return p;
+}
+
+void EwmaForecaster::Observe(TimestampMicros, double value) {
+  ewma_.Add(value);
+  ++observations_;
+}
+
+// ---------------------------------------------------------------------------
+// SeasonalForecaster
+
+SeasonalForecaster::SeasonalForecaster(double alpha, double beta,
+                                       double gamma, size_t period)
+    : alpha_(alpha),
+      beta_(beta),
+      gamma_(gamma),
+      period_(period),
+      residual_var_(alpha) {}
+
+Forecaster::Prediction SeasonalForecaster::Predict(TimestampMicros) const {
+  Prediction p;
+  p.ready = initialized_;
+  if (!initialized_) return p;
+  p.expected = level_ + trend_ + seasonal_[position_];
+  p.uncertainty = residual_var_.stddev();
+  return p;
+}
+
+void SeasonalForecaster::Observe(TimestampMicros, double value) {
+  if (!initialized_) {
+    initial_window_.push_back(value);
+    if (initial_window_.size() < period_) return;
+    // Seasonal profile = deviation of each slot from the first-season
+    // mean; level starts at that mean, trend at zero.
+    double mean = 0;
+    for (const double v : initial_window_) mean += v;
+    mean /= static_cast<double>(period_);
+    seasonal_.resize(period_);
+    for (size_t i = 0; i < period_; ++i) {
+      seasonal_[i] = initial_window_[i] - mean;
+    }
+    level_ = mean;
+    trend_ = 0;
+    position_ = 0;  // Next observation re-enters slot 0 of the cycle.
+    initial_window_.clear();
+    initialized_ = true;
+    return;
+  }
+  const double forecast = level_ + trend_ + seasonal_[position_];
+  residual_var_.Add(value - forecast);
+  const double prev_level = level_;
+  level_ = alpha_ * (value - seasonal_[position_]) +
+           (1 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1 - beta_) * trend_;
+  seasonal_[position_] =
+      gamma_ * (value - level_) + (1 - gamma_) * seasonal_[position_];
+  position_ = (position_ + 1) % period_;
+}
+
+// ---------------------------------------------------------------------------
+// HoltForecaster
+
+HoltForecaster::HoltForecaster(double alpha, double beta)
+    : alpha_(alpha), beta_(beta), residual_var_(alpha) {}
+
+Forecaster::Prediction HoltForecaster::Predict(TimestampMicros) const {
+  Prediction p;
+  p.ready = observations_ >= 3;
+  p.expected = level_ + trend_;
+  p.uncertainty = residual_var_.stddev();
+  return p;
+}
+
+void HoltForecaster::Observe(TimestampMicros, double value) {
+  if (!initialized_) {
+    level_ = value;
+    trend_ = 0;
+    initialized_ = true;
+    ++observations_;
+    return;
+  }
+  const double forecast = level_ + trend_;
+  residual_var_.Add(value - forecast);
+  const double prev_level = level_;
+  level_ = alpha_ * value + (1 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1 - beta_) * trend_;
+  ++observations_;
+}
+
+}  // namespace edadb

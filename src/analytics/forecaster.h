@@ -1,0 +1,125 @@
+#ifndef EDADB_ANALYTICS_FORECASTER_H_
+#define EDADB_ANALYTICS_FORECASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/stats.h"
+#include "common/clock.h"
+
+namespace edadb {
+
+/// A model of expected behaviour: the tutorial's Part-1 framing is that
+/// "systems and individuals have models (expectations) of behaviors of
+/// their environments, and applications notify them when reality ...
+/// deviates from their expectations." A Forecaster predicts the next
+/// observation and an uncertainty band; observing updates the model
+/// ("updating models").
+class Forecaster {
+ public:
+  struct Prediction {
+    double expected = 0;
+    /// Scale of typical deviation; 0 before the model has enough data.
+    double uncertainty = 0;
+    bool ready = false;  // Enough history to predict.
+  };
+
+  virtual ~Forecaster() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Prediction for the observation about to arrive at `ts`.
+  virtual Prediction Predict(TimestampMicros ts) const = 0;
+
+  /// Feeds reality into the model.
+  virtual void Observe(TimestampMicros ts, double value) = 0;
+};
+
+/// Fixed expectation: mean ± band supplied up front. The baseline
+/// "static threshold" the adaptive models are benchmarked against (E8).
+class StaticForecaster : public Forecaster {
+ public:
+  StaticForecaster(double expected, double band);
+
+  const std::string& name() const override { return name_; }
+  Prediction Predict(TimestampMicros ts) const override;
+  void Observe(TimestampMicros ts, double value) override;
+
+ private:
+  std::string name_ = "static";
+  double expected_;
+  double band_;
+};
+
+/// EWMA level + EW residual variance.
+class EwmaForecaster : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha);
+
+  const std::string& name() const override { return name_; }
+  Prediction Predict(TimestampMicros ts) const override;
+  void Observe(TimestampMicros ts, double value) override;
+
+ private:
+  std::string name_ = "ewma";
+  Ewma ewma_;
+  uint64_t observations_ = 0;
+};
+
+/// Additive Holt-Winters (level + trend + seasonal components of a
+/// fixed period), for signals with a repeating daily/weekly shape —
+/// the utilities use case's "usage patterns". The first `period`
+/// observations initialize the seasonal profile; predictions are not
+/// `ready` until then. Residual spread tracked by EWMA of one-step
+/// errors.
+class SeasonalForecaster : public Forecaster {
+ public:
+  /// `period` = observations per season (e.g. 24 for hourly/daily).
+  SeasonalForecaster(double alpha, double beta, double gamma,
+                     size_t period);
+
+  const std::string& name() const override { return name_; }
+  Prediction Predict(TimestampMicros ts) const override;
+  void Observe(TimestampMicros ts, double value) override;
+
+ private:
+  std::string name_ = "holt_winters";
+  double alpha_;
+  double beta_;
+  double gamma_;
+  size_t period_;
+  std::vector<double> initial_window_;  // First period of observations.
+  std::vector<double> seasonal_;
+  bool initialized_ = false;
+  double level_ = 0;
+  double trend_ = 0;
+  size_t position_ = 0;  // Index into the seasonal cycle.
+  Ewma residual_var_;
+};
+
+/// Holt double-exponential smoothing (level + trend), so drifting
+/// signals don't read as anomalies. Residual spread tracked by EWMA of
+/// one-step-ahead errors.
+class HoltForecaster : public Forecaster {
+ public:
+  HoltForecaster(double alpha, double beta);
+
+  const std::string& name() const override { return name_; }
+  Prediction Predict(TimestampMicros ts) const override;
+  void Observe(TimestampMicros ts, double value) override;
+
+ private:
+  std::string name_ = "holt";
+  double alpha_;
+  double beta_;
+  bool initialized_ = false;
+  double level_ = 0;
+  double trend_ = 0;
+  Ewma residual_var_;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_ANALYTICS_FORECASTER_H_

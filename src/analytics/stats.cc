@@ -1,0 +1,188 @@
+#include "analytics/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+// ---------------------------------------------------------------------------
+// StreamingStats
+
+void StreamingStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+// ---------------------------------------------------------------------------
+// P2Quantile
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  // Find the cell; clamp the extremes.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers by parabolic (or linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1 && right_gap > 1) || (d <= -1 && left_gap < -1)) {
+      const double sign = d >= 1 ? 1.0 : -1.0;
+      // Parabolic prediction.
+      const double np = positions_[i] + sign;
+      const double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / right_gap +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / -left_gap);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const size_t idx = static_cast<size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const size_t bucket =
+      static_cast<size_t>((value - lo_) / width_);
+  if (bucket >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bucket];
+}
+
+double Histogram::Quantile(double q) const {
+  assert(count_ > 0);
+  const uint64_t target = static_cast<uint64_t>(
+      q * static_cast<double>(count_));
+  uint64_t cumulative = underflow_;
+  if (cumulative > target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (cumulative + counts_[i] > target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - cumulative) /
+                    static_cast<double>(counts_[i]);
+      return lo_ + width_ * (static_cast<double>(i) + within);
+    }
+    cumulative += counts_[i];
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out += StringPrintf("[%.3g, %.3g): %llu\n",
+                        lo_ + width_ * static_cast<double>(i),
+                        lo_ + width_ * static_cast<double>(i + 1),
+                        static_cast<unsigned long long>(counts_[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ewma
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::Add(double value) {
+  if (!initialized_) {
+    value_ = value;
+    variance_ = 0;
+    initialized_ = true;
+    return;
+  }
+  const double delta = value - value_;
+  value_ += alpha_ * delta;
+  variance_ = (1 - alpha_) * (variance_ + alpha_ * delta * delta);
+}
+
+double Ewma::stddev() const { return std::sqrt(variance_); }
+
+}  // namespace edadb

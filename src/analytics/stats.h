@@ -1,0 +1,109 @@
+#ifndef EDADB_ANALYTICS_STATS_H_
+#define EDADB_ANALYTICS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace edadb {
+
+/// Numerically stable streaming moments (Welford). O(1) memory.
+class StreamingStats {
+ public:
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 before two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// P² (Jain & Chlamtac) single-quantile estimator: O(1) memory, no
+/// sample buffer. Used by continuous analytics to track latency/usage
+/// quantiles online.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99.
+  explicit P2Quantile(double q);
+
+  void Add(double value);
+
+  /// Current estimate; exact while fewer than 5 observations.
+  double value() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+/// Fixed-width histogram over [lo, hi) with underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Quantile from the histogram (linear interpolation within the
+  /// bucket). Requires count() > 0.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+/// Exponentially weighted moving average with EW variance of residuals.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha);
+
+  void Add(double value);
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  /// EW estimate of squared deviation around the mean.
+  double variance() const { return variance_; }
+  double stddev() const;
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double value_ = 0;
+  double variance_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_ANALYTICS_STATS_H_

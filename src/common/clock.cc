@@ -1,0 +1,35 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+namespace edadb {
+
+TimestampMicros SystemClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+std::string FormatTimestamp(TimestampMicros ts) {
+  const time_t secs = static_cast<time_t>(ts / kMicrosPerSecond);
+  const int64_t micros = ts % kMicrosPerSecond;
+  struct tm tm_buf;
+  gmtime_r(&secs, &tm_buf);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf),
+                "%04d-%02d-%02d %02d:%02d:%02d.%06" PRId64,
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                micros < 0 ? -micros : micros);
+  return buf;
+}
+
+}  // namespace edadb

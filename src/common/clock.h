@@ -1,0 +1,68 @@
+#ifndef EDADB_COMMON_CLOCK_H_
+#define EDADB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace edadb {
+
+/// Microseconds since the Unix epoch (or since simulation start for
+/// simulated clocks). All event timestamps in the library use this unit.
+using TimestampMicros = int64_t;
+
+constexpr TimestampMicros kMicrosPerMilli = 1000;
+constexpr TimestampMicros kMicrosPerSecond = 1000 * 1000;
+constexpr TimestampMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr TimestampMicros kMicrosPerHour = 60 * kMicrosPerMinute;
+
+/// Abstract time source. Production code uses SystemClock; tests and
+/// benchmarks use SimulatedClock so windowing, expiration and visibility
+/// timeouts are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual TimestampMicros NowMicros() = 0;
+
+  /// Advances time by `micros`. No-op for real clocks.
+  virtual void AdvanceMicros(TimestampMicros micros) = 0;
+};
+
+/// Wall-clock time from std::chrono::system_clock.
+class SystemClock : public Clock {
+ public:
+  TimestampMicros NowMicros() override;
+  void AdvanceMicros(TimestampMicros /*micros*/) override {}
+
+  /// Process-wide shared instance.
+  static SystemClock* Default();
+};
+
+/// Deterministic, manually advanced clock.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(TimestampMicros start_micros = 0)
+      : now_(start_micros) {}
+
+  TimestampMicros NowMicros() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(TimestampMicros micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void SetMicros(TimestampMicros micros) {
+    now_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<TimestampMicros> now_;
+};
+
+/// Formats a timestamp as "YYYY-MM-DD HH:MM:SS.mmmmmm" (UTC).
+std::string FormatTimestamp(TimestampMicros ts);
+
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_CLOCK_H_

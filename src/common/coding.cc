@@ -1,0 +1,108 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace edadb {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);  // Little-endian hosts only (x86/ARM).
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  size_t n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>((value & 0x7f) | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  PutFixed64(dst, bits);
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  std::memcpy(value, input->data(), 4);
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  std::memcpy(value, input->data(), 8);
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+bool GetDouble(std::string_view* input, double* value) {
+  uint64_t bits;
+  if (!GetFixed64(input, &bits)) return false;
+  std::memcpy(value, &bits, 8);
+  return true;
+}
+
+void PutVarsint64(std::string* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode(value));
+}
+
+bool GetVarsint64(std::string_view* input, int64_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v)) return false;
+  *value = ZigZagDecode(v);
+  return true;
+}
+
+}  // namespace edadb

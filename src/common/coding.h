@@ -1,0 +1,46 @@
+#ifndef EDADB_COMMON_CODING_H_
+#define EDADB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace edadb {
+
+/// Little-endian fixed-width and varint byte codecs, RocksDB-style.
+/// Encoders append to a std::string; decoders consume from a
+/// std::string_view in place and return false on underflow/overflow
+/// instead of crashing, so record decoding can surface Corruption.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Varint-length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Encodes a double by bit-copying its IEEE-754 representation.
+void PutDouble(std::string* dst, double value);
+
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+bool GetDouble(std::string_view* input, double* value);
+
+/// ZigZag transform so small negative ints encode compactly as varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutVarsint64(std::string* dst, int64_t value);
+bool GetVarsint64(std::string_view* input, int64_t* value);
+
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_CODING_H_

@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace edadb {
+
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;  // Reflected Castagnoli.
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+}  // namespace edadb

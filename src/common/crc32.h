@@ -1,0 +1,29 @@
+#ifndef EDADB_COMMON_CRC32_H_
+#define EDADB_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace edadb {
+
+/// CRC-32C (Castagnoli), software table implementation. Used to checksum
+/// write-ahead-log records so torn or corrupted tails are detected on
+/// recovery.
+uint32_t Crc32c(std::string_view data);
+
+/// Extends a running CRC with more data.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// Masks a CRC so that checksums of data containing embedded CRCs stay
+/// well-distributed (same scheme as LevelDB/RocksDB).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_CRC32_H_

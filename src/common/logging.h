@@ -1,0 +1,43 @@
+#ifndef EDADB_COMMON_LOGGING_H_
+#define EDADB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace edadb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace edadb
+
+#define EDADB_LOG(level)                                           \
+  if (::edadb::LogLevel::k##level < ::edadb::GetLogLevel()) {      \
+  } else                                                           \
+    ::edadb::internal_logging::LogMessage(                         \
+        ::edadb::LogLevel::k##level, __FILE__, __LINE__)           \
+        .stream()
+
+#endif  // EDADB_COMMON_LOGGING_H_

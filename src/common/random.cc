@@ -1,0 +1,121 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace edadb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full int64 range.
+  if (span == 0) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Random::OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+double Random::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Random::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  // zeta(n) is O(n) to compute; cache per (n, theta) would be nicer but
+  // workload generators call this with a fixed n, so memoize the last.
+  static thread_local uint64_t cached_n = 0;
+  static thread_local double cached_theta = -1.0;
+  static thread_local double zetan = 0.0;
+  if (cached_n != n || cached_theta != theta) {
+    zetan = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(i, theta);
+    cached_n = n;
+    cached_theta = theta;
+  }
+  const double alpha = 1.0 / (1.0 - theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - std::pow(0.5, theta) * 2.0 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string Random::NextString(size_t len) {
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return out;
+}
+
+}  // namespace edadb

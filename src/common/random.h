@@ -1,0 +1,57 @@
+#ifndef EDADB_COMMON_RANDOM_H_
+#define EDADB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edadb {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Used by tests,
+/// property checks and workload generators so runs are reproducible from
+/// a seed. Not thread-safe; use one instance per thread.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability 1/n. Requires n > 0.
+  bool OneIn(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with skew `theta` in (0, 1).
+  /// theta near 1 is highly skewed. Uses the rejection-free approximation
+  /// of Gray et al. ("Quickly generating billion-record synthetic
+  /// databases").
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_RANDOM_H_

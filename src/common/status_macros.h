@@ -1,0 +1,30 @@
+#ifndef EDADB_COMMON_STATUS_MACROS_H_
+#define EDADB_COMMON_STATUS_MACROS_H_
+
+#include <utility>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define EDADB_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::edadb::Status _edadb_status = (expr);            \
+    if (!_edadb_status.ok()) return _edadb_status;     \
+  } while (false)
+
+#define EDADB_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define EDADB_STATUS_MACROS_CONCAT_(x, y) \
+  EDADB_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define EDADB_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  EDADB_ASSIGN_OR_RETURN_IMPL_(                                          \
+      EDADB_STATUS_MACROS_CONCAT_(_edadb_result_, __LINE__), lhs, rexpr)
+
+#define EDADB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#endif  // EDADB_COMMON_STATUS_MACROS_H_

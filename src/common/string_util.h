@@ -1,0 +1,46 @@
+#ifndef EDADB_COMMON_STRING_UTIL_H_
+#define EDADB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edadb {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// SQL LIKE matching: '%' matches any run, '_' matches one char.
+/// Matching is case-sensitive, per the SQL standard default.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Glob-style matching with '*' and '?'. Used for topic subscriptions.
+bool GlobMatch(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KB", "3.2 MB", ... for human-readable sizes.
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_STRING_UTIL_H_

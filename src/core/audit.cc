@@ -1,0 +1,75 @@
+#include "core/audit.h"
+
+namespace edadb {
+
+namespace {
+
+constexpr char kAuditTable[] = "__audit";
+
+SchemaPtr AuditSchema() {
+  return Schema::Make({
+      {"ts", ValueType::kTimestamp, /*nullable=*/false},
+      {"actor", ValueType::kString, false},
+      {"action", ValueType::kString, false},
+      {"object", ValueType::kString, true},
+      {"detail", ValueType::kString, true},
+  });
+}
+
+std::string GetString(const Record& row, std::string_view field) {
+  auto v = row.Get(field);
+  return v.ok() && v->type() == ValueType::kString ? v->string_value()
+                                                   : std::string();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AuditLog>> AuditLog::Attach(Database* db) {
+  if (!db->GetTable(kAuditTable).ok()) {
+    EDADB_RETURN_IF_ERROR(db->CreateTable(kAuditTable, AuditSchema()).status());
+    EDADB_RETURN_IF_ERROR(db->CreateIndex(kAuditTable, "action", false));
+  }
+  return std::unique_ptr<AuditLog>(new AuditLog(db));
+}
+
+Status AuditLog::Append(const std::string& actor, const std::string& action,
+                        const std::string& object,
+                        const std::string& detail) {
+  EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kAuditTable));
+  Record row = *RecordBuilder(table->schema())
+                    .SetTimestamp("ts", db_->clock()->NowMicros())
+                    .SetString("actor", actor)
+                    .SetString("action", action)
+                    .SetString("object", object)
+                    .SetString("detail", detail)
+                    .Build();
+  return db_->Insert(kAuditTable, std::move(row)).status();
+}
+
+Result<std::vector<AuditLog::Entry>> AuditLog::Query(
+    const std::string& filter_source, size_t limit) const {
+  QueryBuilder builder{std::string(kAuditTable)};
+  builder.OrderByDesc("ts").Limit(limit);
+  if (!filter_source.empty()) builder.Where(filter_source);
+  EDADB_ASSIGN_OR_RETURN(QueryResult result,
+                         db_->Execute(builder.Build()));
+  std::vector<Entry> entries;
+  entries.reserve(result.rows.size());
+  for (const Record& row : result.rows) {
+    Entry entry;
+    auto ts = row.Get("ts");
+    if (ts.ok() && !ts->is_null()) entry.timestamp = ts->timestamp_value();
+    entry.actor = GetString(row, "actor");
+    entry.action = GetString(row, "action");
+    entry.object = GetString(row, "object");
+    entry.detail = GetString(row, "detail");
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<size_t> AuditLog::count() const {
+  return db_->CountRows(kAuditTable);
+}
+
+}  // namespace edadb

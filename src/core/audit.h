@@ -1,0 +1,52 @@
+#ifndef EDADB_CORE_AUDIT_H_
+#define EDADB_CORE_AUDIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+
+namespace edadb {
+
+/// The tutorial's recurring "operational characteristics: security,
+/// auditing, tracking" (§2.2.b/c/d.iii.1): an append-only audit trail
+/// stored in the database itself, so audit entries share the data's
+/// durability, recovery and query capabilities — and are themselves
+/// minable from the journal.
+///
+/// Thread-safe (delegates to Database locking).
+class AuditLog {
+ public:
+  /// Creates/attaches the `__audit` table. `db` must outlive the log.
+  static Result<std::unique_ptr<AuditLog>> Attach(Database* db);
+
+  struct Entry {
+    TimestampMicros timestamp = 0;
+    std::string actor;   // "rules-engine", "operator:alice", ...
+    std::string action;  // "rule.add", "queue.dequeue", "dispatch", ...
+    std::string object;  // Rule id, queue name, event id, ...
+    std::string detail;  // Free-form context.
+  };
+
+  /// Appends one entry (timestamped from the database clock).
+  Status Append(const std::string& actor, const std::string& action,
+                const std::string& object, const std::string& detail = "");
+
+  /// Entries matching an optional filter over (actor, action, object,
+  /// detail, timestamp), newest first, up to `limit`.
+  Result<std::vector<Entry>> Query(const std::string& filter_source = "",
+                                   size_t limit = 100) const;
+
+  Result<size_t> count() const;
+
+ private:
+  explicit AuditLog(Database* db) : db_(db) {}
+
+  Database* db_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_AUDIT_H_

@@ -1,0 +1,42 @@
+#include "core/event.h"
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+std::optional<Value> Event::Get(std::string_view name) const {
+  for (const auto& [attr_name, value] : attributes) {
+    if (attr_name == name) return value;
+  }
+  return std::nullopt;
+}
+
+void Event::Set(std::string_view name, Value value) {
+  for (auto& [attr_name, existing] : attributes) {
+    if (attr_name == name) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  attributes.emplace_back(std::string(name), std::move(value));
+}
+
+std::string Event::ToString() const {
+  std::string out = StringPrintf("Event{#%llu %s from %s @%s",
+                                 static_cast<unsigned long long>(id),
+                                 type.c_str(), source.c_str(),
+                                 FormatTimestamp(timestamp).c_str());
+  for (const auto& [name, value] : attributes) {
+    out += " " + name + "=" + value.ToString();
+  }
+  if (!payload.empty()) out += " payload='" + payload + "'";
+  out += "}";
+  return out;
+}
+
+uint64_t NextEventId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace edadb

@@ -1,0 +1,59 @@
+#ifndef EDADB_CORE_EVENT_H_
+#define EDADB_CORE_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "value/record.h"
+#include "value/row_codec.h"
+
+namespace edadb {
+
+/// The unit of the event-driven architecture: a typed, timestamped,
+/// attributed observation from somewhere in the environment. Everything
+/// the capture layer produces (trigger firings, mined journal changes,
+/// query-diff changes, foreign pushes) normalizes to this.
+struct Event {
+  uint64_t id = 0;
+  /// Category, e.g. "meter_reading", "order", "hazmat_alert".
+  std::string type;
+  /// Producer identity, e.g. "sensor-17", "table:orders".
+  std::string source;
+  TimestampMicros timestamp = 0;
+  AttributeList attributes;
+  std::string payload;
+
+  /// Convenience accessors over `attributes`.
+  std::optional<Value> Get(std::string_view name) const;
+  void Set(std::string_view name, Value value);
+
+  std::string ToString() const;
+};
+
+/// Exposes an event to predicates/rules: reserved names `event_type`,
+/// `source`, `timestamp`, plus every attribute by name.
+class EventView : public RowAccessor {
+ public:
+  explicit EventView(const Event& event) : event_(event) {}
+
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    if (name == "event_type") return Value::String(event_.type);
+    if (name == "source") return Value::String(event_.source);
+    if (name == "timestamp") return Value::Timestamp(event_.timestamp);
+    return event_.Get(name);
+  }
+
+ private:
+  const Event& event_;
+};
+
+/// Process-wide event id allocation (capture adapters stamp ids so
+/// downstream audit trails can refer to events).
+uint64_t NextEventId();
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_EVENT_H_

@@ -1,0 +1,54 @@
+#include "core/event_bus.h"
+
+namespace edadb {
+
+Result<uint64_t> EventBus::Subscribe(
+    Handler handler, std::optional<std::string> filter_source) {
+  Sub sub;
+  sub.handler = std::move(handler);
+  if (filter_source.has_value()) {
+    EDADB_ASSIGN_OR_RETURN(Predicate filter,
+                           Predicate::Compile(*filter_source));
+    sub.filter = std::move(filter);
+  }
+  std::lock_guard lock(mu_);
+  const uint64_t handle = next_handle_++;
+  subs_.emplace(handle, std::move(sub));
+  return handle;
+}
+
+Status EventBus::Unsubscribe(uint64_t handle) {
+  std::lock_guard lock(mu_);
+  if (subs_.erase(handle) == 0) {
+    return Status::NotFound("no subscription " + std::to_string(handle));
+  }
+  return Status::OK();
+}
+
+size_t EventBus::Publish(const Event& event) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  // Snapshot handlers so subscribers may (un)subscribe from callbacks.
+  std::vector<Sub> targets;
+  {
+    std::lock_guard lock(mu_);
+    targets.reserve(subs_.size());
+    EventView view(event);
+    for (const auto& [handle, sub] : subs_) {
+      if (sub.filter.has_value() && !sub.filter->MatchesOrFalse(view)) {
+        continue;
+      }
+      targets.push_back(sub);
+    }
+  }
+  for (const Sub& sub : targets) {
+    sub.handler(event);
+  }
+  return targets.size();
+}
+
+size_t EventBus::num_subscribers() const {
+  std::lock_guard lock(mu_);
+  return subs_.size();
+}
+
+}  // namespace edadb

@@ -1,0 +1,54 @@
+#ifndef EDADB_CORE_EVENT_BUS_H_
+#define EDADB_CORE_EVENT_BUS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/event.h"
+#include "expr/predicate.h"
+
+namespace edadb {
+
+/// In-process fanout glue between capture adapters and evaluators.
+/// (Cross-process distribution goes through mq/pubsub; this bus is the
+/// cheap intra-application wire.) Thread-safe; handlers run on the
+/// publishing thread.
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Returns a subscription handle. `filter` (optional expression over
+  /// EventView attributes) drops non-matching events before the handler.
+  Result<uint64_t> Subscribe(Handler handler,
+                             std::optional<std::string> filter_source =
+                                 std::nullopt);
+
+  Status Unsubscribe(uint64_t handle);
+
+  /// Delivers to every matching subscriber; returns how many saw it.
+  size_t Publish(const Event& event);
+
+  size_t num_subscribers() const;
+
+  uint64_t published_count() const { return published_; }
+
+ private:
+  struct Sub {
+    Handler handler;
+    std::optional<Predicate> filter;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Sub> subs_;
+  uint64_t next_handle_ = 1;
+  std::atomic<uint64_t> published_{0};
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_EVENT_BUS_H_

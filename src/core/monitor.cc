@@ -1,0 +1,55 @@
+#include "core/monitor.h"
+
+namespace edadb {
+
+ExpectationMonitor::ExpectationMonitor(
+    ModelFactory factory, DeviationDetector::Options detector_options,
+    AlertCallback on_alert)
+    : factory_(std::move(factory)),
+      detector_options_(detector_options),
+      on_alert_(std::move(on_alert)) {}
+
+Result<DetectionResult> ExpectationMonitor::Process(
+    const std::string& entity, TimestampMicros ts, double value) {
+  DetectionResult result;
+  {
+    std::lock_guard lock(mu_);
+    auto it = detectors_.find(entity);
+    if (it == detectors_.end()) {
+      std::unique_ptr<Forecaster> model = factory_();
+      if (model == nullptr) {
+        return Status::Internal("model factory returned null");
+      }
+      it = detectors_
+               .emplace(entity, std::make_unique<DeviationDetector>(
+                                    std::move(model), detector_options_))
+               .first;
+    }
+    result = it->second->Process(ts, value);
+    if (result.is_anomaly) ++alerts_;
+  }
+  if (result.is_anomaly && on_alert_ != nullptr) {
+    on_alert_(entity, ts, value, result);
+  }
+  return result;
+}
+
+Status ExpectationMonitor::ResetEntity(const std::string& entity) {
+  std::lock_guard lock(mu_);
+  if (detectors_.erase(entity) == 0) {
+    return Status::NotFound("entity '" + entity + "'");
+  }
+  return Status::OK();
+}
+
+size_t ExpectationMonitor::num_entities() const {
+  std::lock_guard lock(mu_);
+  return detectors_.size();
+}
+
+uint64_t ExpectationMonitor::alerts_raised() const {
+  std::lock_guard lock(mu_);
+  return alerts_;
+}
+
+}  // namespace edadb

@@ -1,0 +1,54 @@
+#ifndef EDADB_CORE_MONITOR_H_
+#define EDADB_CORE_MONITOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analytics/detector.h"
+#include "common/result.h"
+
+namespace edadb {
+
+/// Management by exception over a population of entities (tutorial
+/// Part 1.f: "specifying expected behavior by models; identifying when
+/// reality deviates from expectation; updating models"). Each entity
+/// (meter, stock symbol, sensor) gets its own expectation model, lazily
+/// created from the factory; deviations invoke the alert callback.
+/// Thread-safe.
+class ExpectationMonitor {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<Forecaster>()>;
+  using AlertCallback = std::function<void(
+      const std::string& entity, TimestampMicros ts, double value,
+      const DetectionResult& result)>;
+
+  ExpectationMonitor(ModelFactory factory,
+                     DeviationDetector::Options detector_options,
+                     AlertCallback on_alert);
+
+  /// Scores one observation for `entity` (creating its model on first
+  /// sight) and fires the alert callback on anomalies.
+  Result<DetectionResult> Process(const std::string& entity,
+                                  TimestampMicros ts, double value);
+
+  /// Drops an entity's model (e.g. after reconfiguration) so it relearns.
+  Status ResetEntity(const std::string& entity);
+
+  size_t num_entities() const;
+  uint64_t alerts_raised() const;
+
+ private:
+  ModelFactory factory_;
+  DeviationDetector::Options detector_options_;
+  AlertCallback on_alert_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<DeviationDetector>> detectors_;
+  uint64_t alerts_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_MONITOR_H_

@@ -1,0 +1,221 @@
+#include "core/processor.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace edadb {
+
+EventProcessor::EventProcessor(EventProcessorOptions options)
+    : options_(std::move(options)) {}
+
+EventProcessor::~EventProcessor() = default;
+
+Result<std::unique_ptr<EventProcessor>> EventProcessor::Open(
+    EventProcessorOptions options) {
+  auto processor =
+      std::unique_ptr<EventProcessor>(new EventProcessor(std::move(options)));
+  DatabaseOptions db_options;
+  db_options.dir = processor->options_.data_dir;
+  db_options.wal_sync_policy = processor->options_.wal_sync_policy;
+  db_options.clock = processor->options_.clock;
+  EDADB_ASSIGN_OR_RETURN(processor->db_, Database::Open(db_options));
+  processor->clock_ = processor->db_->clock();
+  EDADB_ASSIGN_OR_RETURN(processor->queues_,
+                         QueueManager::Attach(processor->db_.get()));
+  EDADB_ASSIGN_OR_RETURN(
+      processor->rules_,
+      RulesEngine::Attach(processor->db_.get(),
+                          processor->options_.matcher_kind));
+  EDADB_ASSIGN_OR_RETURN(
+      processor->broker_,
+      Broker::Attach(processor->db_.get(), processor->queues_.get()));
+  processor->propagator_ =
+      std::make_unique<Propagator>(processor->queues_.get());
+  processor->virt_ = std::make_unique<VirtFilter>(processor->clock_);
+  processor->responders_ =
+      std::make_unique<ResponderRegistry>(processor->queues_.get());
+  EDADB_ASSIGN_OR_RETURN(processor->audit_,
+                         AuditLog::Attach(processor->db_.get()));
+  processor->dispatcher_ =
+      std::make_unique<QueueDispatcher>(processor->queues_.get());
+  EDADB_RETURN_IF_ERROR(processor->Wire());
+  return processor;
+}
+
+Status EventProcessor::Wire() {
+  // Rule actions with routing prefixes are handled by the processor;
+  // other actions fall through to handlers the application registers.
+  rules_->RegisterDefaultHandler(
+      [this](const Rule& rule, const RowAccessor& /*event_view*/) {
+        // Routing needs the full Event, which the bus subscription below
+        // carries; this default handler only counts unrouted matches.
+        (void)rule;
+      });
+  return Status::OK();
+}
+
+void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
+  const std::string& action = rule.action;
+  if (StartsWith(action, "queue:")) {
+    const std::string queue = action.substr(6);
+    EnqueueRequest request;
+    request.payload = event.payload;
+    request.attributes = event.attributes;
+    request.attributes.emplace_back("event_type", Value::String(event.type));
+    request.attributes.emplace_back("event_source",
+                                    Value::String(event.source));
+    request.attributes.emplace_back("matched_rule",
+                                    Value::String(rule.id));
+    request.correlation_id = std::to_string(event.id);
+    if (!queues_->HasQueue(queue)) {
+      const Status s = queues_->CreateQueue(queue);
+      if (!s.ok() && !s.IsAlreadyExists()) {
+        EDADB_LOG(Warn) << "route to queue '" << queue << "' failed: " << s;
+        return;
+      }
+    }
+    const auto enqueued = queues_->Enqueue(queue, request);
+    if (enqueued.ok()) {
+      routed_to_queues_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.audit_routing) {
+        (void)audit_->Append("processor", "route.queue", queue,
+                             "rule=" + rule.id + " event=" +
+                                 std::to_string(event.id));
+      }
+    } else {
+      EDADB_LOG(Warn) << "enqueue to '" << queue
+                      << "' failed: " << enqueued.status();
+    }
+    return;
+  }
+  if (StartsWith(action, "topic:")) {
+    Publication pub;
+    pub.topic = action.substr(6);
+    pub.attributes = event.attributes;
+    pub.attributes.emplace_back("event_type", Value::String(event.type));
+    pub.payload = event.payload;
+    const auto published = broker_->Publish(pub);
+    if (published.ok()) {
+      routed_to_topics_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.audit_routing) {
+        (void)audit_->Append("processor", "route.topic", pub.topic,
+                             "rule=" + rule.id + " event=" +
+                                 std::to_string(event.id));
+      }
+    } else {
+      EDADB_LOG(Warn) << "publish to '" << pub.topic
+                      << "' failed: " << published.status();
+    }
+    return;
+  }
+  if (StartsWith(action, "respond:")) {
+    const std::vector<std::string> parts = Split(action.substr(8), ':');
+    ResponseCriteria criteria;
+    if (!parts.empty()) criteria.required_role = parts[0];
+    if (parts.size() > 1) criteria.required_capability = parts[1];
+    if (auto region = event.Get("region");
+        region.has_value() && region->type() == ValueType::kString) {
+      criteria.region = region->string_value();
+    }
+    const auto dispatched = responders_->Dispatch(event, criteria);
+    if (dispatched.ok()) {
+      dispatched_to_responders_.fetch_add(dispatched->size(),
+                                          std::memory_order_relaxed);
+      if (options_.audit_routing) {
+        for (const std::string& responder : *dispatched) {
+          (void)audit_->Append("processor", "route.respond", responder,
+                               "rule=" + rule.id + " event=" +
+                                   std::to_string(event.id));
+        }
+      }
+    } else {
+      EDADB_LOG(Warn) << "responder dispatch for rule '" << rule.id
+                      << "' failed: " << dispatched.status();
+    }
+    return;
+  }
+  // Plain action tags are dispatched through the rules engine's handler
+  // registry during Evaluate(); nothing further to do here.
+}
+
+Status EventProcessor::Ingest(Event event) {
+  if (event.id == 0) event.id = NextEventId();
+  if (event.timestamp == 0) event.timestamp = clock_->NowMicros();
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+
+  // Let bus subscribers (windows, monitors, application code) see it.
+  bus_.Publish(event);
+
+  // Evaluate critical conditions (handlers registered on rules() fire
+  // inside Evaluate), then interpret routing action tags.
+  EventView view(event);
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::string> matched,
+                         rules_->Evaluate(view));
+  rules_matched_.fetch_add(matched.size(), std::memory_order_relaxed);
+  for (const std::string& rule_id : matched) {
+    std::optional<Rule> rule = rules_->FindRule(rule_id);
+    if (rule.has_value() && !rule->action.empty()) {
+      RouteAction(*rule, event);
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> EventProcessor::PumpOnce() {
+  size_t total = 0;
+  for (const auto& source : journal_sources_) {
+    EDADB_ASSIGN_OR_RETURN(size_t captured, source->Poll());
+    total += captured;
+  }
+  for (const auto& source : query_sources_) {
+    EDADB_ASSIGN_OR_RETURN(size_t captured, source->Poll());
+    total += captured;
+  }
+  EDADB_ASSIGN_OR_RETURN(size_t propagated, propagator_->RunOnce());
+  EDADB_ASSIGN_OR_RETURN(size_t dispatched, dispatcher_->PumpOnce());
+  return total + propagated + dispatched;
+}
+
+Status EventProcessor::AttachTriggerCapture(const std::string& table,
+                                            const std::string& event_type) {
+  EDADB_ASSIGN_OR_RETURN(
+      auto source,
+      TriggerEventSource::Create(
+          db_.get(), [this](const Event& event) { (void)Ingest(event); },
+          table, "__capture_" + table, event_type));
+  trigger_sources_.push_back(std::move(source));
+  return Status::OK();
+}
+
+Status EventProcessor::AttachJournalCapture(const std::string& table,
+                                            const std::string& event_type) {
+  EDADB_RETURN_IF_ERROR(db_->GetTable(table).status());
+  journal_sources_.push_back(std::make_unique<JournalEventSource>(
+      db_.get(), [this](const Event& event) { (void)Ingest(event); }, table,
+      event_type, db_->wal_end_lsn()));
+  return Status::OK();
+}
+
+Status EventProcessor::AttachQueryCapture(
+    Query query, std::vector<std::string> key_columns,
+    const std::string& event_type) {
+  EDADB_RETURN_IF_ERROR(db_->GetTable(query.table).status());
+  query_sources_.push_back(std::make_unique<QueryEventSource>(
+      db_.get(), [this](const Event& event) { (void)Ingest(event); },
+      std::move(query), std::move(key_columns), event_type));
+  // Prime the baseline so pre-existing rows are not reported as changes.
+  return query_sources_.back()->Poll().status();
+}
+
+EventProcessor::Stats EventProcessor::GetStats() const {
+  Stats stats;
+  stats.ingested = ingested_.load(std::memory_order_relaxed);
+  stats.rules_matched = rules_matched_.load(std::memory_order_relaxed);
+  stats.routed_to_queues = routed_to_queues_.load(std::memory_order_relaxed);
+  stats.routed_to_topics = routed_to_topics_.load(std::memory_order_relaxed);
+  stats.dispatched_to_responders =
+      dispatched_to_responders_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace edadb

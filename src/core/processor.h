@@ -1,0 +1,141 @@
+#ifndef EDADB_CORE_PROCESSOR_H_
+#define EDADB_CORE_PROCESSOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/audit.h"
+#include "core/event.h"
+#include "core/event_bus.h"
+#include "core/sources.h"
+#include "core/responder.h"
+#include "core/virt.h"
+#include "db/database.h"
+#include "mq/dispatcher.h"
+#include "mq/propagation.h"
+#include "mq/queue_manager.h"
+#include "pubsub/broker.h"
+#include "rules/rules_engine.h"
+
+namespace edadb {
+
+struct EventProcessorOptions {
+  std::string data_dir;
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kOnCommit;
+  RulesEngine::MatcherKind matcher_kind = RulesEngine::MatcherKind::kIndexed;
+  Clock* clock = nullptr;
+  /// Record routing decisions in the __audit table ("operational
+  /// characteristics: security, auditing, tracking"). One extra insert
+  /// per routed event; off by default.
+  bool audit_routing = false;
+};
+
+/// The assembled event-driven application stack: one database under a
+/// queue manager, rules engine, pub/sub broker, propagator, VIRT filter
+/// and responder registry — the tutorial's claim that "commercial
+/// databases with their complementary enterprise software stacks provide
+/// all, or almost all, the components required for event-driven
+/// applications", in one object.
+///
+/// Standard wiring: Ingest() publishes an event on the bus; the rules
+/// engine evaluates every bus event; matched rules route by action tag:
+///   "queue:<name>"  — stage the event on a queue
+///   "topic:<name>"  — publish on the broker under that topic
+///   "respond:<role>[:<capability>]" — dispatch via the responder
+///                     registry
+///   anything else   — dispatched to handlers registered on rules()
+/// Consumers then drain queues / subscriptions, optionally behind
+/// virt() gating.
+class EventProcessor {
+ public:
+  static Result<std::unique_ptr<EventProcessor>> Open(
+      EventProcessorOptions options);
+
+  ~EventProcessor();
+
+  EventProcessor(const EventProcessor&) = delete;
+  EventProcessor& operator=(const EventProcessor&) = delete;
+
+  /// Normalizes (id/timestamp) and runs the event through the pipeline.
+  Status Ingest(Event event);
+
+  /// One scheduler tick: polls attached journal/query capture sources,
+  /// pumps queue propagation and dispatcher bindings once. Returns
+  /// events captured + messages moved + handled. Call from the
+  /// application's periodic loop (or use dispatcher()->Start() for a
+  /// background thread).
+  Result<size_t> PumpOnce();
+
+  // -------------------------------------------------------------------
+  // Capture attachment (§2.2.a): adapters owned by the processor whose
+  // events feed Ingest().
+
+  /// Synchronous capture: committed changes of `table` become events of
+  /// `event_type` immediately.
+  Status AttachTriggerCapture(const std::string& table,
+                              const std::string& event_type);
+
+  /// Asynchronous capture via the journal; drained by PumpOnce().
+  Status AttachJournalCapture(const std::string& table,
+                              const std::string& event_type);
+
+  /// Result-set-diff capture; re-evaluated by PumpOnce().
+  Status AttachQueryCapture(Query query,
+                            std::vector<std::string> key_columns,
+                            const std::string& event_type);
+
+  Database* db() { return db_.get(); }
+  QueueManager* queues() { return queues_.get(); }
+  RulesEngine* rules() { return rules_.get(); }
+  Broker* broker() { return broker_.get(); }
+  Propagator* propagator() { return propagator_.get(); }
+  EventBus* bus() { return &bus_; }
+  VirtFilter* virt() { return virt_.get(); }
+  ResponderRegistry* responders() { return responders_.get(); }
+  AuditLog* audit() { return audit_.get(); }
+  QueueDispatcher* dispatcher() { return dispatcher_.get(); }
+  Clock* clock() { return clock_; }
+
+  struct Stats {
+    uint64_t ingested = 0;
+    uint64_t rules_matched = 0;
+    uint64_t routed_to_queues = 0;
+    uint64_t routed_to_topics = 0;
+    uint64_t dispatched_to_responders = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  explicit EventProcessor(EventProcessorOptions options);
+
+  Status Wire();
+  void RouteAction(const Rule& rule, const Event& event);
+
+  EventProcessorOptions options_;
+  Clock* clock_ = nullptr;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<RulesEngine> rules_;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<Propagator> propagator_;
+  std::unique_ptr<VirtFilter> virt_;
+  std::unique_ptr<ResponderRegistry> responders_;
+  std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<QueueDispatcher> dispatcher_;
+  EventBus bus_;
+  std::vector<std::unique_ptr<TriggerEventSource>> trigger_sources_;
+  std::vector<std::unique_ptr<JournalEventSource>> journal_sources_;
+  std::vector<std::unique_ptr<QueryEventSource>> query_sources_;
+
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> rules_matched_{0};
+  std::atomic<uint64_t> routed_to_queues_{0};
+  std::atomic<uint64_t> routed_to_topics_{0};
+  std::atomic<uint64_t> dispatched_to_responders_{0};
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_PROCESSOR_H_

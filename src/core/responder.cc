@@ -1,0 +1,111 @@
+#include "core/responder.h"
+
+#include <algorithm>
+
+namespace edadb {
+
+Status ResponderRegistry::RegisterResponder(Responder responder) {
+  if (responder.id.empty()) {
+    return Status::InvalidArgument("responder needs an id");
+  }
+  if (responder.queue.empty()) {
+    responder.queue = "__responder_" + responder.id;
+  }
+  if (!queues_->HasQueue(responder.queue)) {
+    EDADB_RETURN_IF_ERROR(queues_->CreateQueue(responder.queue));
+  }
+  std::lock_guard lock(mu_);
+  const std::string id = responder.id;
+  auto [it, inserted] = responders_.emplace(id, std::move(responder));
+  if (!inserted) {
+    return Status::AlreadyExists("responder '" + id + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status ResponderRegistry::UnregisterResponder(const std::string& id) {
+  std::lock_guard lock(mu_);
+  if (responders_.erase(id) == 0) {
+    return Status::NotFound("responder '" + id + "'");
+  }
+  return Status::OK();
+}
+
+Status ResponderRegistry::SetAvailable(const std::string& id,
+                                       bool available) {
+  std::lock_guard lock(mu_);
+  auto it = responders_.find(id);
+  if (it == responders_.end()) {
+    return Status::NotFound("responder '" + id + "'");
+  }
+  it->second.available = available;
+  return Status::OK();
+}
+
+size_t ResponderRegistry::num_responders() const {
+  std::lock_guard lock(mu_);
+  return responders_.size();
+}
+
+std::vector<Responder> ResponderRegistry::FindResponders(
+    const ResponseCriteria& criteria) const {
+  std::vector<Responder> matched;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, responder] : responders_) {
+      if (!responder.available) continue;
+      if (!criteria.required_role.empty() &&
+          responder.roles.count(criteria.required_role) == 0) {
+        continue;  // Not authorized.
+      }
+      if (!criteria.required_capability.empty() &&
+          responder.capabilities.count(criteria.required_capability) == 0) {
+        continue;  // Not able.
+      }
+      matched.push_back(responder);
+    }
+  }
+  // Most efficient first: same region, then stable by id.
+  std::stable_sort(matched.begin(), matched.end(),
+                   [&](const Responder& a, const Responder& b) {
+                     const bool a_near =
+                         !criteria.region.empty() && a.region == criteria.region;
+                     const bool b_near =
+                         !criteria.region.empty() && b.region == criteria.region;
+                     if (a_near != b_near) return a_near;
+                     return a.id < b.id;
+                   });
+  if (matched.size() > criteria.max_responders) {
+    matched.resize(criteria.max_responders);
+  }
+  return matched;
+}
+
+Result<std::vector<std::string>> ResponderRegistry::Dispatch(
+    const Event& event, const ResponseCriteria& criteria) {
+  const std::vector<Responder> selected = FindResponders(criteria);
+  if (selected.empty()) {
+    return Status::NotFound(
+        "no authorized, available and able responder for event " +
+        std::to_string(event.id));
+  }
+  std::vector<std::string> notified;
+  notified.reserve(selected.size());
+  for (const Responder& responder : selected) {
+    EnqueueRequest request;
+    request.payload = event.payload;
+    request.attributes = event.attributes;
+    request.attributes.emplace_back("event_type", Value::String(event.type));
+    request.attributes.emplace_back("event_source",
+                                    Value::String(event.source));
+    request.attributes.emplace_back(
+        "event_id", Value::Int64(static_cast<int64_t>(event.id)));
+    request.correlation_id = std::to_string(event.id);
+    EDADB_RETURN_IF_ERROR(
+        queues_->Enqueue(responder.queue, request).status());
+    notified.push_back(responder.id);
+  }
+  return notified;
+}
+
+}  // namespace edadb

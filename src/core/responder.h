@@ -1,0 +1,75 @@
+#ifndef EDADB_CORE_RESPONDER_H_
+#define EDADB_CORE_RESPONDER_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/event.h"
+#include "mq/queue_manager.h"
+
+namespace edadb {
+
+/// A party who can act on alerts. The ChemSecure and SensorNet use
+/// cases (§2.2.e.iii/iv) both reduce to: "any threat has to be known to
+/// the people who are AUTHORIZED and ABLE to respond most efficiently"
+/// — plus availability. This registry models exactly those three
+/// dimensions.
+struct Responder {
+  std::string id;
+  /// Authorization: clearance roles, e.g. {"hazmat", "supervisor"}.
+  std::set<std::string> roles;
+  /// Ability: skills/equipment, e.g. {"chemical", "fire"}.
+  std::set<std::string> capabilities;
+  /// Location tag for proximity routing, e.g. "zone-3".
+  std::string region;
+  bool available = true;
+  /// Staging queue the responder's device drains.
+  std::string queue;
+};
+
+/// What an incident needs.
+struct ResponseCriteria {
+  std::string required_role;        // Empty = no authorization gate.
+  std::string required_capability;  // Empty = no ability gate.
+  std::string region;               // Prefer same region; empty = any.
+  size_t max_responders = 1;        // Notify at most this many.
+};
+
+/// Routes events to the most appropriate responders' queues.
+/// Thread-safe.
+class ResponderRegistry {
+ public:
+  /// `queues` must outlive the registry. A responder's queue is created
+  /// on registration if missing.
+  explicit ResponderRegistry(QueueManager* queues) : queues_(queues) {}
+
+  Status RegisterResponder(Responder responder);
+  Status UnregisterResponder(const std::string& id);
+  Status SetAvailable(const std::string& id, bool available);
+  size_t num_responders() const;
+
+  /// Responders satisfying the criteria: authorized (role), able
+  /// (capability), available, sorted same-region first then by id.
+  /// Truncated to max_responders.
+  std::vector<Responder> FindResponders(
+      const ResponseCriteria& criteria) const;
+
+  /// Delivers `event` to each selected responder's queue; returns the
+  /// ids notified. NotFound when nobody qualifies — the caller decides
+  /// whether that escalates.
+  Result<std::vector<std::string>> Dispatch(const Event& event,
+                                            const ResponseCriteria& criteria);
+
+ private:
+  QueueManager* queues_;
+  mutable std::mutex mu_;
+  std::map<std::string, Responder> responders_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_RESPONDER_H_

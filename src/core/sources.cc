@@ -1,0 +1,134 @@
+#include "core/sources.h"
+
+namespace edadb {
+
+void RecordToAttributes(const Record& record, AttributeList* out) {
+  if (record.schema() == nullptr) return;
+  out->reserve(out->size() + record.num_values());
+  for (size_t i = 0; i < record.num_values(); ++i) {
+    out->emplace_back(record.schema()->field(i).name, record.value(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TriggerEventSource
+
+Result<std::unique_ptr<TriggerEventSource>> TriggerEventSource::Create(
+    Database* db, EventSink sink, const std::string& table,
+    const std::string& trigger_name, const std::string& event_type) {
+  auto source = std::unique_ptr<TriggerEventSource>(
+      new TriggerEventSource(db, trigger_name));
+  TriggerEventSource* raw = source.get();
+  TriggerDef def;
+  def.name = trigger_name;
+  def.table = table;
+  def.timing = TriggerTiming::kAfter;
+  def.ops = kDmlInsert | kDmlUpdate | kDmlDelete;
+  def.action = [raw, sink = std::move(sink),
+                event_type](const TriggerEvent& trigger_event) {
+    Event event;
+    event.id = NextEventId();
+    event.type = event_type;
+    event.source = "trigger:" + trigger_event.table_name;
+    event.timestamp = trigger_event.timestamp;
+    event.Set("op", Value::String(std::string(
+                        DmlOpToString(trigger_event.op))));
+    event.Set("row_id",
+              Value::Int64(static_cast<int64_t>(trigger_event.row_id)));
+    const Record* row = trigger_event.op == kDmlDelete
+                            ? trigger_event.old_row
+                            : trigger_event.new_row;
+    if (row != nullptr) RecordToAttributes(*row, &event.attributes);
+    ++raw->captured_;
+    sink(event);
+    return Status::OK();
+  };
+  EDADB_RETURN_IF_ERROR(db->CreateTrigger(std::move(def)));
+  return source;
+}
+
+TriggerEventSource::~TriggerEventSource() {
+  (void)db_->DropTrigger(trigger_name_);
+}
+
+// ---------------------------------------------------------------------------
+// JournalEventSource
+
+JournalEventSource::JournalEventSource(Database* db, EventSink sink,
+                                       const std::string& table,
+                                       const std::string& event_type,
+                                       Lsn start_lsn)
+    : clock_(db->clock()),
+      sink_(std::move(sink)),
+      event_type_(event_type),
+      miner_(db,
+             [&table] {
+               JournalMinerOptions options;
+               if (!table.empty()) options.tables.insert(table);
+               return options;
+             }(),
+             start_lsn) {}
+
+Result<size_t> JournalEventSource::Poll() {
+  return miner_.Poll([this](const ChangeEvent& change) {
+    Event event;
+    event.id = NextEventId();
+    event.type = event_type_;
+    event.source = "journal:" + change.table_name;
+    event.timestamp = clock_->NowMicros();
+    event.Set("op",
+              Value::String(std::string(LogRecordTypeToString(change.op))));
+    event.Set("row_id", Value::Int64(static_cast<int64_t>(change.row_id)));
+    event.Set("lsn", Value::Int64(static_cast<int64_t>(change.lsn)));
+    const std::optional<Record>& row =
+        change.op == LogRecordType::kDelete ? change.before : change.after;
+    if (row.has_value()) RecordToAttributes(*row, &event.attributes);
+    ++captured_;
+    sink_(event);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// QueryEventSource
+
+QueryEventSource::QueryEventSource(Database* db, EventSink sink, Query query,
+                                   std::vector<std::string> key_columns,
+                                   const std::string& event_type) {
+  Clock* clock = db->clock();
+  watcher_ = std::make_unique<ContinuousQueryWatcher>(
+      db, std::move(query), std::move(key_columns),
+      [this, sink = std::move(sink), event_type,
+       clock](const RowChange& change) {
+        Event event;
+        event.id = NextEventId();
+        event.type = event_type;
+        event.source = "query";
+        event.timestamp = clock->NowMicros();
+        event.Set("op", Value::String(std::string(
+                            RowChangeKindToString(change.kind))));
+        const std::optional<Record>& row =
+            change.kind == RowChangeKind::kRemoved ? change.before
+                                                   : change.after;
+        if (row.has_value()) RecordToAttributes(*row, &event.attributes);
+        ++captured_;
+        sink(event);
+      });
+}
+
+Result<size_t> QueryEventSource::Poll() { return watcher_->Poll(); }
+
+// ---------------------------------------------------------------------------
+// PushEventSource
+
+void PushEventSource::Push(Event event, Clock* clock) {
+  if (event.id == 0) event.id = NextEventId();
+  if (event.source.empty()) event.source = source_name_;
+  if (event.timestamp == 0) {
+    Clock* c = clock != nullptr ? clock : SystemClock::Default();
+    event.timestamp = c->NowMicros();
+  }
+  ++captured_;
+  sink_(event);
+}
+
+}  // namespace edadb

@@ -1,0 +1,161 @@
+#include "core/virt.h"
+
+#include <algorithm>
+
+namespace edadb {
+
+namespace {
+
+double DefaultScore(const Event& event) {
+  if (auto v = event.Get("value_score"); v.has_value()) {
+    auto d = v->AsDouble();
+    if (d.ok()) return std::clamp(*d, 0.0, 1.0);
+  }
+  if (auto v = event.Get("severity"); v.has_value()) {
+    auto d = v->AsDouble();
+    if (d.ok()) return std::clamp(*d / 10.0, 0.0, 1.0);
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+std::string_view VirtFilter::VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kDeliver: return "DELIVER";
+    case Verdict::kNotRelevant: return "NOT_RELEVANT";
+    case Verdict::kBelowValue: return "BELOW_VALUE";
+    case Verdict::kDuplicate: return "DUPLICATE";
+    case Verdict::kRateLimited: return "RATE_LIMITED";
+  }
+  return "?";
+}
+
+std::string VirtFilter::DedupKey(const Event& event) {
+  if (auto v = event.Get("dedup_key"); v.has_value()) {
+    if (v->type() == ValueType::kString) return v->string_value();
+    return v->ToString();
+  }
+  return event.type + "|" + event.source;
+}
+
+VirtFilter::VirtFilter(Clock* clock, Scorer scorer)
+    : clock_(clock != nullptr ? clock : SystemClock::Default()),
+      scorer_(scorer != nullptr ? std::move(scorer) : DefaultScore) {}
+
+Status VirtFilter::RegisterConsumer(const std::string& consumer_id,
+                                    ConsumerOptions options) {
+  std::lock_guard lock(mu_);
+  if (consumers_.count(consumer_id) > 0) {
+    return Status::AlreadyExists("consumer '" + consumer_id +
+                                 "' already registered");
+  }
+  ConsumerState state;
+  state.options = std::move(options);
+  state.tokens = state.options.rate_burst;
+  state.last_refill = clock_->NowMicros();
+  consumers_.emplace(consumer_id, std::move(state));
+  return Status::OK();
+}
+
+Status VirtFilter::UnregisterConsumer(const std::string& consumer_id) {
+  std::lock_guard lock(mu_);
+  if (consumers_.erase(consumer_id) == 0) {
+    return Status::NotFound("consumer '" + consumer_id + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VirtFilter::ListConsumers() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(consumers_.size());
+  for (const auto& [id, state] : consumers_) ids.push_back(id);
+  return ids;
+}
+
+Result<VirtFilter::Decision> VirtFilter::Evaluate(
+    const std::string& consumer_id, const Event& event) {
+  std::lock_guard lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) {
+    return Status::NotFound("consumer '" + consumer_id + "'");
+  }
+  ConsumerState& state = it->second;
+  Decision decision;
+  decision.value_score = scorer_(event);
+
+  // Gate 1: relevance.
+  if (state.options.interest.has_value()) {
+    EventView view(event);
+    if (!state.options.interest->MatchesOrFalse(view)) {
+      decision.verdict = Verdict::kNotRelevant;
+      ++state.stats.not_relevant;
+      return decision;
+    }
+  }
+  // Gate 2: value.
+  if (decision.value_score < state.options.min_value_score) {
+    decision.verdict = Verdict::kBelowValue;
+    ++state.stats.below_value;
+    return decision;
+  }
+  const TimestampMicros now = clock_->NowMicros();
+  // Gate 3: novelty. (The key is recorded only on actual delivery, so a
+  // rate-limited event does not start a suppression window.)
+  std::optional<std::string> dedup_key;
+  if (state.options.dedup_window_micros > 0) {
+    dedup_key = DedupKey(event);
+    auto recent_it = state.recent.find(*dedup_key);
+    if (recent_it != state.recent.end() &&
+        now - recent_it->second < state.options.dedup_window_micros) {
+      decision.verdict = Verdict::kDuplicate;
+      ++state.stats.duplicate;
+      return decision;
+    }
+  }
+  // Gate 4: rate.
+  if (state.options.rate_limit_per_second > 0) {
+    const double elapsed_seconds =
+        static_cast<double>(now - state.last_refill) /
+        static_cast<double>(kMicrosPerSecond);
+    state.tokens = std::min(
+        state.options.rate_burst,
+        state.tokens + elapsed_seconds * state.options.rate_limit_per_second);
+    state.last_refill = now;
+    if (state.tokens < 1.0) {
+      decision.verdict = Verdict::kRateLimited;
+      ++state.stats.rate_limited;
+      return decision;
+    }
+    state.tokens -= 1.0;
+  }
+  if (dedup_key.has_value()) {
+    // Opportunistic cleanup keeps the map bounded under many keys.
+    if (state.recent.size() > 4096) {
+      for (auto r = state.recent.begin(); r != state.recent.end();) {
+        if (now - r->second >= state.options.dedup_window_micros) {
+          r = state.recent.erase(r);
+        } else {
+          ++r;
+        }
+      }
+    }
+    state.recent[*dedup_key] = now;
+  }
+  decision.verdict = Verdict::kDeliver;
+  ++state.stats.delivered;
+  return decision;
+}
+
+Result<VirtFilter::ConsumerStats> VirtFilter::GetStats(
+    const std::string& consumer_id) const {
+  std::lock_guard lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) {
+    return Status::NotFound("consumer '" + consumer_id + "'");
+  }
+  return it->second.stats;
+}
+
+}  // namespace edadb

@@ -1,0 +1,113 @@
+#ifndef EDADB_CORE_VIRT_H_
+#define EDADB_CORE_VIRT_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/event.h"
+#include "expr/predicate.h"
+
+namespace edadb {
+
+/// VIRT — "Valuable Information at the Right Time" (Hayes-Roth, quoted
+/// in the tutorial's overview). The filter decides, per consumer,
+/// whether an event is worth interrupting them for; everything else is
+/// the information overload the paper says must be filtered out.
+///
+/// An event is delivered to a consumer iff it passes four gates:
+///   1. relevance  — the consumer's interest predicate matches;
+///   2. value      — the value score clears the consumer's threshold;
+///   3. novelty    — no duplicate (same dedup key) was delivered to this
+///                   consumer within the dedup window;
+///   4. rate       — the consumer's token bucket has capacity.
+/// bench_virt (E9) measures the suppression each gate contributes.
+class VirtFilter {
+ public:
+  struct ConsumerOptions {
+    /// Deliver only events whose value score is >= this (0..1 scale).
+    double min_value_score = 0.0;
+    /// Events with the same dedup key within this window are duplicates.
+    TimestampMicros dedup_window_micros = 0;  // 0 = no dedup.
+    /// Token bucket: sustained deliveries/sec (<= 0 = unlimited)...
+    double rate_limit_per_second = 0;
+    /// ...with this burst capacity.
+    double rate_burst = 10;
+    /// Relevance predicate over EventView; absent = everything relevant.
+    std::optional<Predicate> interest;
+  };
+
+  enum class Verdict {
+    kDeliver,
+    kNotRelevant,
+    kBelowValue,
+    kDuplicate,
+    kRateLimited,
+  };
+
+  struct Decision {
+    Verdict verdict = Verdict::kDeliver;
+    double value_score = 0;
+  };
+
+  struct ConsumerStats {
+    uint64_t delivered = 0;
+    uint64_t not_relevant = 0;
+    uint64_t below_value = 0;
+    uint64_t duplicate = 0;
+    uint64_t rate_limited = 0;
+
+    uint64_t suppressed() const {
+      return not_relevant + below_value + duplicate + rate_limited;
+    }
+  };
+
+  /// Value scoring: maps an event to [0, 1]. The default uses the
+  /// `value_score` attribute when present, else `severity` (assumed
+  /// 0-10) / 10, else 0.5.
+  using Scorer = std::function<double(const Event&)>;
+
+  explicit VirtFilter(Clock* clock, Scorer scorer = nullptr);
+
+  Status RegisterConsumer(const std::string& consumer_id,
+                          ConsumerOptions options);
+  Status UnregisterConsumer(const std::string& consumer_id);
+  std::vector<std::string> ListConsumers() const;
+
+  /// Decides (and records) whether `event` should reach `consumer_id`.
+  Result<Decision> Evaluate(const std::string& consumer_id,
+                            const Event& event);
+
+  Result<ConsumerStats> GetStats(const std::string& consumer_id) const;
+
+  static std::string_view VerdictToString(Verdict verdict);
+
+  /// The default dedup identity: the `dedup_key` attribute when present,
+  /// else type + source.
+  static std::string DedupKey(const Event& event);
+
+ private:
+  struct ConsumerState {
+    ConsumerOptions options;
+    ConsumerStats stats;
+    /// Token bucket.
+    double tokens = 0;
+    TimestampMicros last_refill = 0;
+    /// dedup key -> last delivery time.
+    std::map<std::string, TimestampMicros> recent;
+  };
+
+  Clock* clock_;
+  Scorer scorer_;
+  mutable std::mutex mu_;
+  std::map<std::string, ConsumerState> consumers_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_VIRT_H_

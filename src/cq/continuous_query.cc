@@ -1,0 +1,32 @@
+#include "cq/continuous_query.h"
+
+namespace edadb {
+
+ContinuousQueryWatcher::ContinuousQueryWatcher(
+    const Database* db, Query query, std::vector<std::string> key_columns,
+    ChangeCallback callback)
+    : db_(db),
+      query_(std::move(query)),
+      key_columns_(std::move(key_columns)),
+      callback_(std::move(callback)) {}
+
+Result<size_t> ContinuousQueryWatcher::Poll() {
+  ++polls_;
+  EDADB_ASSIGN_OR_RETURN(QueryResult next, db_->Execute(query_));
+  if (!primed_) {
+    // The first evaluation primes the baseline: existing rows are not
+    // events (the subscriber asked to be told about *changes*).
+    current_ = std::move(next);
+    primed_ = true;
+    return size_t{0};
+  }
+  EDADB_ASSIGN_OR_RETURN(std::vector<RowChange> changes,
+                         DiffResultSets(current_, next, key_columns_));
+  current_ = std::move(next);
+  for (const RowChange& change : changes) {
+    callback_(change);
+  }
+  return changes.size();
+}
+
+}  // namespace edadb

@@ -1,0 +1,55 @@
+#ifndef EDADB_CQ_CONTINUOUS_QUERY_H_
+#define EDADB_CQ_CONTINUOUS_QUERY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "db/resultset_diff.h"
+
+namespace edadb {
+
+/// §2.2.a.iii "capturing events using queries": re-evaluates a query
+/// against the live database and perceives result-set changes as events.
+/// With key columns, modifications are distinguished from add/remove —
+/// the "current and previous states" form of the tutorial's pattern
+/// events.
+///
+/// Driving model: the owner calls Poll() on its own schedule (the
+/// capture staleness that bench_capture measures is exactly this poll
+/// interval).
+class ContinuousQueryWatcher {
+ public:
+  using ChangeCallback = std::function<void(const RowChange&)>;
+
+  /// `db` must outlive the watcher. `key_columns` identify rows across
+  /// evaluations (empty = whole-row identity).
+  ContinuousQueryWatcher(const Database* db, Query query,
+                         std::vector<std::string> key_columns,
+                         ChangeCallback callback);
+
+  /// Re-runs the query, diffs against the previous result, invokes the
+  /// callback per change. Returns the number of changes.
+  Result<size_t> Poll();
+
+  /// The most recent materialization (empty before the first Poll).
+  const QueryResult& current() const { return current_; }
+
+  uint64_t polls() const { return polls_; }
+
+ private:
+  const Database* db_;
+  Query query_;
+  std::vector<std::string> key_columns_;
+  ChangeCallback callback_;
+  QueryResult current_;
+  bool primed_ = false;
+  uint64_t polls_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CQ_CONTINUOUS_QUERY_H_

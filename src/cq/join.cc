@@ -1,0 +1,161 @@
+#include "cq/join.h"
+
+namespace edadb {
+
+// ---------------------------------------------------------------------------
+// StreamTableJoin
+
+Result<std::unique_ptr<StreamTableJoin>> StreamTableJoin::Create(
+    Database* db, SchemaPtr stream_schema, Options options,
+    OutputCallback callback) {
+  if (stream_schema == nullptr ||
+      stream_schema->FieldIndex(options.stream_key) < 0) {
+    return Status::InvalidArgument("stream key '" + options.stream_key +
+                                   "' not in stream schema");
+  }
+  EDADB_ASSIGN_OR_RETURN(Table * table, db->GetTable(options.table));
+  if (table->schema()->FieldIndex(options.table_key) < 0) {
+    return Status::NotFound("no column '" + options.table_key +
+                            "' in table " + options.table);
+  }
+  auto join = std::unique_ptr<StreamTableJoin>(
+      new StreamTableJoin(db, std::move(stream_schema), std::move(options),
+                          std::move(callback)));
+  // Output schema: stream fields, then table fields (qualified on
+  // collision). Table columns are nullable in the output (outer join).
+  std::vector<Field> fields = join->stream_schema_->fields();
+  for (const Field& field : table->schema()->fields()) {
+    std::string name = field.name;
+    if (join->stream_schema_->HasField(name)) {
+      name = join->options_.table + "." + name;
+    }
+    fields.emplace_back(std::move(name), field.type, /*nullable=*/true);
+  }
+  join->output_schema_ = Schema::Make(std::move(fields));
+  return join;
+}
+
+Record StreamTableJoin::Merge(const Record& event,
+                              const Record* table_row) const {
+  std::vector<Value> values;
+  values.reserve(output_schema_->num_fields());
+  for (size_t i = 0; i < event.num_values(); ++i) {
+    values.push_back(event.value(i));
+  }
+  const size_t table_fields =
+      output_schema_->num_fields() - event.num_values();
+  for (size_t i = 0; i < table_fields; ++i) {
+    values.push_back(table_row != nullptr ? table_row->value(i)
+                                          : Value::Null());
+  }
+  return Record(output_schema_, std::move(values));
+}
+
+Status StreamTableJoin::Push(const Record& event) {
+  EDADB_ASSIGN_OR_RETURN(Value key, event.Get(options_.stream_key));
+  EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(options_.table));
+
+  std::vector<Record> matches;
+  if (!key.is_null()) {
+    if (const BTreeIndex* index = table->GetIndex(options_.table_key);
+        index != nullptr) {
+      for (const RowId row_id : index->Lookup(key)) {
+        auto row = table->GetRow(row_id);
+        if (row.ok()) matches.push_back(*std::move(row));
+      }
+    } else {
+      table->ScanRows([&](RowId, const Record& row) {
+        auto v = row.Get(options_.table_key);
+        if (v.ok()) {
+          auto cmp = Value::Compare(*v, key);
+          if (cmp.ok() && *cmp == 0) matches.push_back(row);
+        }
+        return true;
+      });
+    }
+  }
+
+  if (matches.empty()) {
+    if (options_.left_outer) {
+      ++emitted_;
+      callback_(Merge(event, nullptr));
+    }
+    return Status::OK();
+  }
+  for (const Record& row : matches) {
+    ++emitted_;
+    callback_(Merge(event, &row));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StreamStreamJoin
+
+StreamStreamJoin::StreamStreamJoin(Options options, OutputCallback callback)
+    : options_(std::move(options)), callback_(std::move(callback)) {}
+
+void StreamStreamJoin::Evict(Side* side) {
+  const TimestampMicros horizon = watermark_ - options_.window_micros;
+  while (!side->order.empty() && side->order.front().first < horizon) {
+    const std::string& key = side->order.front().second;
+    auto it = side->by_key.find(key);
+    if (it != side->by_key.end()) {
+      // Per-key deques are also in arrival order, so the global front
+      // matches this key's front.
+      it->second.pop_front();
+      --side->buffered;
+      if (it->second.empty()) side->by_key.erase(it);
+    }
+    side->order.pop_front();
+  }
+}
+
+Status StreamStreamJoin::Push(bool left, const Record& event,
+                              TimestampMicros ts) {
+  const std::string& key_column =
+      left ? options_.left_key : options_.right_key;
+  EDADB_ASSIGN_OR_RETURN(Value key, event.Get(key_column));
+  if (ts > watermark_) {
+    watermark_ = ts;
+    Evict(&left_);
+    Evict(&right_);
+  }
+  if (key.is_null()) return Status::OK();  // NULL keys never join.
+  std::string key_bytes;
+  key.EncodeTo(&key_bytes);
+
+  // Pair with the other side's live buffer.
+  Side& other = left ? right_ : left_;
+  auto it = other.by_key.find(key_bytes);
+  if (it != other.by_key.end()) {
+    for (const Buffered& candidate : it->second) {
+      if (ts - candidate.ts > options_.window_micros ||
+          candidate.ts - ts > options_.window_micros) {
+        continue;
+      }
+      ++emitted_;
+      if (left) {
+        callback_(event, candidate.event, std::max(ts, candidate.ts));
+      } else {
+        callback_(candidate.event, event, std::max(ts, candidate.ts));
+      }
+    }
+  }
+  // Buffer for future arrivals of the other side.
+  Side& mine = left ? left_ : right_;
+  mine.by_key[key_bytes].push_back({event, ts});
+  mine.order.emplace_back(ts, key_bytes);
+  ++mine.buffered;
+  return Status::OK();
+}
+
+Status StreamStreamJoin::PushLeft(const Record& event, TimestampMicros ts) {
+  return Push(true, event, ts);
+}
+
+Status StreamStreamJoin::PushRight(const Record& event, TimestampMicros ts) {
+  return Push(false, event, ts);
+}
+
+}  // namespace edadb

@@ -1,0 +1,129 @@
+#ifndef EDADB_CQ_JOIN_H_
+#define EDADB_CQ_JOIN_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// Stream-table join (enrichment): each stream event is joined with the
+/// current rows of a database table whose `table_key` equals the
+/// event's `stream_key` — the standard pattern for decorating events
+/// with reference data (sensor → location, account → tier). Uses the
+/// table's secondary index on `table_key` when one exists.
+///
+/// Emits one output per matching row; in left-outer mode an event with
+/// no match emits once with NULL table columns. Output schema =
+/// stream schema ++ table schema (table columns renamed
+/// "<table>.<col>" on name collisions).
+class StreamTableJoin {
+ public:
+  using OutputCallback = std::function<void(const Record&)>;
+
+  struct Options {
+    std::string stream_key;
+    std::string table;
+    std::string table_key;
+    bool left_outer = false;
+  };
+
+  /// Validates the table and builds the output schema. `db` must
+  /// outlive the join. The stream schema is fixed per join instance.
+  static Result<std::unique_ptr<StreamTableJoin>> Create(
+      Database* db, SchemaPtr stream_schema, Options options,
+      OutputCallback callback);
+
+  /// Joins one event against the table's current contents.
+  Status Push(const Record& event);
+
+  const SchemaPtr& output_schema() const { return output_schema_; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  StreamTableJoin(Database* db, SchemaPtr stream_schema, Options options,
+                  OutputCallback callback)
+      : db_(db),
+        stream_schema_(std::move(stream_schema)),
+        options_(std::move(options)),
+        callback_(std::move(callback)) {}
+
+  Record Merge(const Record& event, const Record* table_row) const;
+
+  Database* db_;
+  SchemaPtr stream_schema_;
+  Options options_;
+  OutputCallback callback_;
+  SchemaPtr output_schema_;
+  uint64_t emitted_ = 0;
+};
+
+/// Windowed stream-stream equi-join: events from the left and right
+/// streams pair up when their join keys are equal and their event times
+/// are within `window_micros` of each other (|tl - tr| <= window).
+/// Each side buffers its recent events per key; a global watermark
+/// (max event time seen on either side) evicts expired entries, so
+/// memory is bounded by rate × window.
+///
+/// The canonical CEP use: correlate an order event with its payment
+/// event within 5 minutes.
+class StreamStreamJoin {
+ public:
+  /// Receives (left event, right event, pairing time = max of the two).
+  using OutputCallback =
+      std::function<void(const Record&, const Record&, TimestampMicros)>;
+
+  struct Options {
+    std::string left_key;
+    std::string right_key;
+    TimestampMicros window_micros = kMicrosPerMinute;
+  };
+
+  StreamStreamJoin(Options options, OutputCallback callback);
+
+  /// Feeds one event to a side; event time must be non-decreasing per
+  /// side. Emits every pairing with buffered events of the other side.
+  Status PushLeft(const Record& event, TimestampMicros ts);
+  Status PushRight(const Record& event, TimestampMicros ts);
+
+  size_t buffered_left() const { return left_.buffered; }
+  size_t buffered_right() const { return right_.buffered; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Buffered {
+    Record event;
+    TimestampMicros ts;
+  };
+  struct Side {
+    /// Encoded key -> buffered events in arrival order.
+    std::map<std::string, std::deque<Buffered>> by_key;
+    /// Global arrival order (ts, key) — fronts are always the oldest,
+    /// so eviction is amortized O(1) instead of O(keys) per watermark
+    /// advance.
+    std::deque<std::pair<TimestampMicros, std::string>> order;
+    size_t buffered = 0;
+  };
+
+  Status Push(bool left, const Record& event, TimestampMicros ts);
+  void Evict(Side* side);
+
+  Options options_;
+  OutputCallback callback_;
+  Side left_;
+  Side right_;
+  TimestampMicros watermark_ = INT64_MIN;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CQ_JOIN_H_

@@ -1,0 +1,161 @@
+#include "cq/pattern.h"
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+std::string PatternMatch::ToString() const {
+  std::string out = "Match{" + pattern;
+  if (!partition_key.is_null()) out += " key=" + partition_key.ToString();
+  out += StringPrintf(" [%lld..%lld]", static_cast<long long>(start_ts),
+                      static_cast<long long>(end_ts));
+  for (const auto& [step, events] : bindings) {
+    out += " " + step + ":" + std::to_string(events.size());
+  }
+  out += "}";
+  return out;
+}
+
+PatternMatcher::PatternMatcher(PatternSpec spec, MatchCallback callback)
+    : spec_(std::move(spec)), callback_(std::move(callback)) {}
+
+Result<std::unique_ptr<PatternMatcher>> PatternMatcher::Create(
+    PatternSpec spec, MatchCallback callback) {
+  if (spec.steps.empty()) {
+    return Status::InvalidArgument("pattern needs at least one step");
+  }
+  if (spec.steps.front().negated || spec.steps.back().negated) {
+    return Status::InvalidArgument(
+        "negated steps must be between positive steps");
+  }
+  if (spec.within_micros <= 0) {
+    return Status::InvalidArgument("WITHIN must be positive");
+  }
+  for (const PatternStep& step : spec.steps) {
+    if (!step.condition.valid()) {
+      return Status::InvalidArgument("step '" + step.name +
+                                     "' has no compiled condition");
+    }
+    if (step.negated && step.one_or_more) {
+      return Status::InvalidArgument("a step cannot be both NOT and +");
+    }
+  }
+  auto matcher = std::unique_ptr<PatternMatcher>(
+      new PatternMatcher(std::move(spec), std::move(callback)));
+  // Compile positions: positive steps with the negations guarding the
+  // wait for them.
+  std::vector<size_t> pending_guards;
+  for (size_t i = 0; i < matcher->spec_.steps.size(); ++i) {
+    if (matcher->spec_.steps[i].negated) {
+      pending_guards.push_back(i);
+    } else {
+      matcher->positions_.push_back({i, pending_guards});
+      pending_guards.clear();
+    }
+  }
+  return matcher;
+}
+
+void PatternMatcher::EmitMatch(const Value& partition_key, const Run& run,
+                               TimestampMicros end_ts) {
+  PatternMatch match;
+  match.pattern = spec_.name;
+  match.partition_key = partition_key;
+  match.start_ts = run.start_ts;
+  match.end_ts = end_ts;
+  for (size_t p = 0; p < positions_.size(); ++p) {
+    match.bindings.emplace_back(spec_.steps[positions_[p].step_index].name,
+                                run.bound[p]);
+  }
+  ++matches_emitted_;
+  callback_(match);
+}
+
+Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
+  Value partition_key;
+  std::string partition_bytes;
+  if (!spec_.partition_by.empty()) {
+    auto key = event.GetAttribute(spec_.partition_by);
+    partition_key = key.has_value() ? *key : Value::Null();
+    partition_key.EncodeTo(&partition_bytes);
+  }
+  auto& [display_key, runs] = partitions_[partition_bytes];
+  display_key = partition_key;
+
+  const bool starts_run =
+      spec_.steps[positions_.front().step_index].condition.MatchesOrFalse(
+          event);
+
+  std::deque<Run> next_runs;
+  for (Run& run : runs) {
+    // Expire runs that cannot complete within the window.
+    if (ts - run.start_ts > spec_.within_micros) continue;
+
+    if (run.position >= positions_.size()) continue;  // Shouldn't happen.
+    const Position& pos = positions_[run.position];
+
+    // Guards: a negated condition observed while waiting kills the run.
+    bool killed = false;
+    for (const size_t guard : pos.guard_steps) {
+      if (spec_.steps[guard].condition.MatchesOrFalse(event)) {
+        killed = true;
+        break;
+      }
+    }
+    if (killed) continue;
+
+    // Reluctant Kleene: advancing to the next position wins over
+    // extending the open Kleene step, so runs can never wedge on events
+    // that satisfy both conditions.
+    if (spec_.steps[pos.step_index].condition.MatchesOrFalse(event)) {
+      run.bound[run.position].push_back(event);
+      run.kleene_open = spec_.steps[pos.step_index].one_or_more;
+      run.position += 1;
+      if (run.position == positions_.size()) {
+        // Pattern complete (a trailing Kleene step emits on its first
+        // event rather than flooding a match per extension).
+        EmitMatch(display_key, run, ts);
+        continue;  // Run consumed.
+      }
+      next_runs.push_back(std::move(run));
+      continue;
+    }
+    if (run.kleene_open) {
+      const size_t prev_step = positions_[run.position - 1].step_index;
+      if (spec_.steps[prev_step].condition.MatchesOrFalse(event)) {
+        run.bound[run.position - 1].push_back(event);
+        next_runs.push_back(std::move(run));
+        continue;
+      }
+    }
+    // Skip-till-next-match: irrelevant events are ignored.
+    next_runs.push_back(std::move(run));
+  }
+
+  if (starts_run && next_runs.size() < spec_.max_active_runs) {
+    Run run;
+    run.start_ts = ts;
+    run.bound.resize(positions_.size());
+    run.bound[0].push_back(event);
+    run.kleene_open = spec_.steps[positions_.front().step_index].one_or_more;
+    run.position = 1;
+    if (run.position == positions_.size()) {
+      EmitMatch(display_key, run, ts);
+    } else {
+      next_runs.push_back(std::move(run));
+    }
+  }
+
+  runs = std::move(next_runs);
+  return Status::OK();
+}
+
+size_t PatternMatcher::active_runs() const {
+  size_t total = 0;
+  for (const auto& [key, partition] : partitions_) {
+    total += partition.second.size();
+  }
+  return total;
+}
+
+}  // namespace edadb

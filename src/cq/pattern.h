@@ -1,0 +1,111 @@
+#ifndef EDADB_CQ_PATTERN_H_
+#define EDADB_CQ_PATTERN_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// One step of a sequence pattern.
+struct PatternStep {
+  std::string name;
+  /// Condition an event must satisfy to take this step. For negated
+  /// steps, the condition that must NOT occur.
+  Predicate condition;
+  /// NOT step: the pattern fails (the partial match dies) if a matching
+  /// event arrives before the next positive step matches. A negated step
+  /// cannot be first or last.
+  bool negated = false;
+  /// Kleene-plus: one or more consecutive matching events fold into this
+  /// step (greedy: every matching event extends it).
+  bool one_or_more = false;
+};
+
+/// SEQ(a, b, ...) WITHIN t [PARTITION BY key] — the CEP primitive
+/// "occurrence of a specified pattern is an event" (§2.2.a.iii.2),
+/// implemented as an NFA over partial-match runs with
+/// skip-till-next-match semantics: each run waits at its next step and
+/// ignores non-matching events; every event matching step 0 may open a
+/// new run (bounded by max_active_runs).
+struct PatternSpec {
+  std::string name;
+  std::vector<PatternStep> steps;
+  /// The whole sequence must complete within this span of event time.
+  TimestampMicros within_micros = kMicrosPerHour;
+  /// Partition attribute: runs are tracked per distinct value (e.g. per
+  /// stock symbol, per sensor). Empty = one global partition.
+  std::string partition_by;
+  /// Cap on concurrent partial matches per partition.
+  size_t max_active_runs = 1024;
+};
+
+/// A completed match: the events bound to each (positive) step.
+struct PatternMatch {
+  std::string pattern;
+  Value partition_key;
+  TimestampMicros start_ts = 0;
+  TimestampMicros end_ts = 0;
+  /// step name -> events folded into that step (singular unless
+  /// one_or_more).
+  std::vector<std::pair<std::string, std::vector<Record>>> bindings;
+
+  std::string ToString() const;
+};
+
+class PatternMatcher {
+ public:
+  using MatchCallback = std::function<void(const PatternMatch&)>;
+
+  /// Validates the spec (at least one positive step; negations not at
+  /// the edges).
+  static Result<std::unique_ptr<PatternMatcher>> Create(
+      PatternSpec spec, MatchCallback callback);
+
+  /// Feeds one event (event time must be non-decreasing per partition).
+  Status Push(const Record& event, TimestampMicros ts);
+
+  /// Partial matches currently alive (all partitions).
+  size_t active_runs() const;
+
+  uint64_t matches_emitted() const { return matches_emitted_; }
+
+ private:
+  PatternMatcher(PatternSpec spec, MatchCallback callback);
+
+  /// Positive step positions with their guarding negations.
+  struct Position {
+    size_t step_index;                 // Into spec_.steps.
+    std::vector<size_t> guard_steps;   // Negated steps before this one.
+  };
+
+  struct Run {
+    size_t position = 0;  // Next Position to satisfy.
+    TimestampMicros start_ts = 0;
+    /// Events bound per positive position.
+    std::vector<std::vector<Record>> bound;
+    bool kleene_open = false;  // Last matched position accepts more.
+  };
+
+  void EmitMatch(const Value& partition_key, const Run& run,
+                 TimestampMicros end_ts);
+
+  PatternSpec spec_;
+  MatchCallback callback_;
+  std::vector<Position> positions_;
+  /// Encoded partition key -> (display key, active runs).
+  std::map<std::string, std::pair<Value, std::deque<Run>>> partitions_;
+  uint64_t matches_emitted_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CQ_PATTERN_H_

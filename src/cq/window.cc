@@ -1,0 +1,309 @@
+#include "cq/window.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+// ---------------------------------------------------------------------------
+// SlidingWindowStats
+
+void SlidingWindowStats::Add(TimestampMicros ts, double value) {
+  assert(values_.empty() || ts >= values_.back().first);
+  values_.emplace_back(ts, value);
+  sum_ += value;
+  sum_squares_ += value * value;
+  while (!min_deque_.empty() && min_deque_.back().second >= value) {
+    min_deque_.pop_back();
+  }
+  min_deque_.emplace_back(ts, value);
+  while (!max_deque_.empty() && max_deque_.back().second <= value) {
+    max_deque_.pop_back();
+  }
+  max_deque_.emplace_back(ts, value);
+  EvictBefore(ts - width_);
+}
+
+void SlidingWindowStats::EvictBefore(TimestampMicros ts) {
+  while (!values_.empty() && values_.front().first <= ts) {
+    sum_ -= values_.front().second;
+    sum_squares_ -= values_.front().second * values_.front().second;
+    values_.pop_front();
+  }
+  while (!min_deque_.empty() && min_deque_.front().first <= ts) {
+    min_deque_.pop_front();
+  }
+  while (!max_deque_.empty() && max_deque_.front().first <= ts) {
+    max_deque_.pop_front();
+  }
+}
+
+double SlidingWindowStats::mean() const {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+double SlidingWindowStats::variance() const {
+  if (values_.empty()) return 0.0;
+  const double n = static_cast<double>(values_.size());
+  const double m = sum_ / n;
+  // Guard against catastrophic cancellation producing tiny negatives.
+  const double var = sum_squares_ / n - m * m;
+  return var > 0.0 ? var : 0.0;
+}
+
+double SlidingWindowStats::stddev() const { return std::sqrt(variance()); }
+
+double SlidingWindowStats::min() const {
+  assert(!min_deque_.empty());
+  return min_deque_.front().second;
+}
+
+double SlidingWindowStats::max() const {
+  assert(!max_deque_.empty());
+  return max_deque_.front().second;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedAggregator
+
+std::string WindowResult::ToString() const {
+  std::string out = StringPrintf(
+      "Window[%lld, %lld) key=%s rows=%lld",
+      static_cast<long long>(window_start),
+      static_cast<long long>(window_end), key.ToString().c_str(),
+      static_cast<long long>(rows));
+  for (const auto& [alias, value] : aggregates) {
+    out += " " + alias + "=" + value.ToString();
+  }
+  return out;
+}
+
+void AggAccumulator::Add(const Value& v) {
+  if (v.is_null()) return;
+  ++count;
+  if (v.type() == ValueType::kInt64) {
+    int_sum += v.int64_value();
+    double_sum += static_cast<double>(v.int64_value());
+  } else {
+    auto d = v.AsDouble();
+    if (d.ok()) double_sum += *d;
+    all_int = false;
+  }
+  if (!has_extreme) {
+    min_value = v;
+    max_value = v;
+    has_extreme = true;
+  } else {
+    if (Value::CompareTotalOrder(v, min_value) < 0) min_value = v;
+    if (Value::CompareTotalOrder(v, max_value) > 0) max_value = v;
+  }
+}
+
+Value AggAccumulator::Finish(const Aggregate& agg, int64_t rows) const {
+  switch (agg.func) {
+    case Aggregate::Func::kCount:
+      return Value::Int64(agg.column.empty() ? rows : count);
+    case Aggregate::Func::kSum:
+      if (count == 0) return Value::Null();
+      return all_int ? Value::Int64(int_sum) : Value::Double(double_sum);
+    case Aggregate::Func::kAvg:
+      if (count == 0) return Value::Null();
+      return Value::Double(double_sum / static_cast<double>(count));
+    case Aggregate::Func::kMin:
+      return has_extreme ? min_value : Value::Null();
+    case Aggregate::Func::kMax:
+      return has_extreme ? max_value : Value::Null();
+  }
+  return Value::Null();
+}
+
+WindowedAggregator::WindowedAggregator(WindowAggregatorOptions options,
+                                       ResultCallback callback)
+    : options_(std::move(options)), callback_(std::move(callback)) {
+  if (options_.slide_micros <= 0) {
+    options_.slide_micros = options_.window_size_micros;
+  }
+}
+
+Status WindowedAggregator::AddToWindow(TimestampMicros window_start,
+                                       const Record& row,
+                                       TimestampMicros /*ts*/) {
+  std::string key_bytes;
+  Value key;
+  if (!options_.key_column.empty()) {
+    EDADB_ASSIGN_OR_RETURN(key, row.Get(options_.key_column));
+    key.EncodeTo(&key_bytes);
+  }
+  Group& group = windows_[window_start][key_bytes];
+  if (group.rows == 0) {
+    group.key = key;
+    group.accs.resize(options_.aggregates.size());
+  }
+  ++group.rows;
+  if (options_.recompute_at_close) {
+    group.buffered.push_back(row);
+    return Status::OK();
+  }
+  for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+    const Aggregate& agg = options_.aggregates[i];
+    if (agg.func == Aggregate::Func::kCount && agg.column.empty()) continue;
+    EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
+    group.accs[i].Add(v);
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregator::Push(const Record& row, TimestampMicros ts) {
+  // An event at ts >= watermark only touches windows that end strictly
+  // after the watermark, i.e. windows not yet emitted — so `<` is the
+  // exact lateness test.
+  if (ts < watermark_) {
+    ++late_dropped_;
+    return Status::OK();
+  }
+  // Assign to every window [start, start + size) containing ts, with
+  // starts aligned to multiples of slide.
+  const TimestampMicros slide = options_.slide_micros;
+  const TimestampMicros size = options_.window_size_micros;
+  // Highest-aligned start <= ts (floor division toward -inf).
+  TimestampMicros start = (ts >= 0 ? ts / slide : -((-ts + slide - 1) / slide)) * slide;
+  for (; start > ts - size; start -= slide) {
+    EDADB_RETURN_IF_ERROR(AddToWindow(start, row, ts));
+  }
+  const TimestampMicros new_watermark =
+      ts - options_.allowed_lateness_micros;
+  if (new_watermark > watermark_) {
+    watermark_ = new_watermark;
+    EDADB_RETURN_IF_ERROR(EmitDueWindows());
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregator::EmitDueWindows() {
+  while (!windows_.empty()) {
+    const TimestampMicros start = windows_.begin()->first;
+    if (start + options_.window_size_micros > watermark_) break;
+    EDADB_RETURN_IF_ERROR(EmitWindow(start));
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregator::EmitWindow(TimestampMicros window_start) {
+  auto it = windows_.find(window_start);
+  if (it == windows_.end()) return Status::OK();
+  for (auto& [key_bytes, group] : it->second) {
+    if (options_.recompute_at_close) {
+      // Ablation path: one full pass over the buffered rows.
+      group.accs.assign(options_.aggregates.size(), AggAccumulator());
+      for (const Record& row : group.buffered) {
+        for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+          const Aggregate& agg = options_.aggregates[i];
+          if (agg.func == Aggregate::Func::kCount && agg.column.empty()) {
+            continue;
+          }
+          EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
+          group.accs[i].Add(v);
+        }
+      }
+    }
+    WindowResult result;
+    result.window_start = window_start;
+    result.window_end = window_start + options_.window_size_micros;
+    result.key = group.key;
+    result.rows = group.rows;
+    result.aggregates.reserve(options_.aggregates.size());
+    for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+      const Aggregate& agg = options_.aggregates[i];
+      result.aggregates.emplace_back(
+          agg.alias.empty() ? std::string(Aggregate::FuncName(agg.func))
+                            : agg.alias,
+          group.accs[i].Finish(agg, group.rows));
+    }
+    callback_(result);
+  }
+  windows_.erase(it);
+  return Status::OK();
+}
+
+Status WindowedAggregator::Flush() {
+  while (!windows_.empty()) {
+    EDADB_RETURN_IF_ERROR(EmitWindow(windows_.begin()->first));
+  }
+  return Status::OK();
+}
+
+size_t WindowedAggregator::open_windows() const { return windows_.size(); }
+
+// ---------------------------------------------------------------------------
+// SessionAggregator
+
+SessionAggregator::SessionAggregator(SessionAggregatorOptions options,
+                                     ResultCallback callback)
+    : options_(std::move(options)), callback_(std::move(callback)) {}
+
+void SessionAggregator::Emit(const Session& session) {
+  WindowResult result;
+  result.window_start = session.start_ts;
+  result.window_end = session.last_ts + options_.gap_micros;
+  result.key = session.key;
+  result.rows = session.rows;
+  result.aggregates.reserve(options_.aggregates.size());
+  for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+    const Aggregate& agg = options_.aggregates[i];
+    result.aggregates.emplace_back(
+        agg.alias.empty() ? std::string(Aggregate::FuncName(agg.func))
+                          : agg.alias,
+        session.accs[i].Finish(agg, session.rows));
+  }
+  callback_(result);
+}
+
+void SessionAggregator::CloseIdleSessions(TimestampMicros watermark) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.last_ts + options_.gap_micros <= watermark) {
+      Emit(it->second);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status SessionAggregator::Push(const Record& row, TimestampMicros ts) {
+  CloseIdleSessions(ts);
+
+  std::string key_bytes;
+  Value key;
+  if (!options_.key_column.empty()) {
+    EDADB_ASSIGN_OR_RETURN(key, row.Get(options_.key_column));
+    key.EncodeTo(&key_bytes);
+  }
+  auto [it, fresh] = sessions_.try_emplace(key_bytes);
+  Session& session = it->second;
+  if (fresh) {
+    session.key = key;
+    session.start_ts = ts;
+    session.accs.resize(options_.aggregates.size());
+  }
+  session.last_ts = ts;
+  ++session.rows;
+  for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+    const Aggregate& agg = options_.aggregates[i];
+    if (agg.func == Aggregate::Func::kCount && agg.column.empty()) continue;
+    EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
+    session.accs[i].Add(v);
+  }
+  return Status::OK();
+}
+
+Status SessionAggregator::Flush() {
+  for (auto& [key_bytes, session] : sessions_) {
+    Emit(session);
+  }
+  sessions_.clear();
+  return Status::OK();
+}
+
+}  // namespace edadb

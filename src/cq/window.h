@@ -1,0 +1,183 @@
+#ifndef EDADB_CQ_WINDOW_H_
+#define EDADB_CQ_WINDOW_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/query.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// Incremental statistics over a time-width sliding window: O(1)
+/// amortized Add/evict including min/max (monotonic deques). Timestamps
+/// must be non-decreasing. This is the workhorse under continuous
+/// aggregation queries and the expectation models in core/.
+class SlidingWindowStats {
+ public:
+  explicit SlidingWindowStats(TimestampMicros width_micros)
+      : width_(width_micros) {}
+
+  /// Adds an observation and evicts everything older than
+  /// ts - width. `ts` must be >= the last Add's ts.
+  void Add(TimestampMicros ts, double value);
+
+  /// Drops observations with timestamp <= `ts`.
+  void EvictBefore(TimestampMicros ts);
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Population variance over the window.
+  double variance() const;
+  double stddev() const;
+  double min() const;  // Requires !empty().
+  double max() const;  // Requires !empty().
+
+ private:
+  TimestampMicros width_;
+  std::deque<std::pair<TimestampMicros, double>> values_;
+  std::deque<std::pair<TimestampMicros, double>> min_deque_;  // Increasing.
+  std::deque<std::pair<TimestampMicros, double>> max_deque_;  // Decreasing.
+  double sum_ = 0;
+  double sum_squares_ = 0;
+};
+
+/// Streaming accumulator for one Aggregate spec (shared by the
+/// time-window and session-window aggregators).
+struct AggAccumulator {
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool all_int = true;
+  Value min_value;
+  Value max_value;
+  bool has_extreme = false;
+
+  void Add(const Value& v);
+  Value Finish(const Aggregate& agg, int64_t rows) const;
+};
+
+/// One emitted window.
+struct WindowResult {
+  TimestampMicros window_start = 0;
+  TimestampMicros window_end = 0;
+  Value key;        // Null when un-keyed.
+  int64_t rows = 0; // Input rows in the window (for this key).
+  /// (alias, value) per requested aggregate, in request order.
+  std::vector<std::pair<std::string, Value>> aggregates;
+
+  std::string ToString() const;
+};
+
+/// Event-time window aggregation — the "continuous query" core
+/// (§2.2.c.i.3). Tumbling (slide == size) and sliding (slide < size)
+/// windows, optionally partitioned by a key column. Windows close when
+/// the watermark (max event time seen minus allowed lateness) passes
+/// their end; late events beyond that are counted in `late_dropped`.
+struct WindowAggregatorOptions {
+  TimestampMicros window_size_micros = kMicrosPerSecond;
+  /// Must divide evenly into practical use; slide == 0 means tumbling
+  /// (slide = size).
+  TimestampMicros slide_micros = 0;
+  std::string key_column;  // Empty = single global group.
+  std::vector<Aggregate> aggregates;
+  TimestampMicros allowed_lateness_micros = 0;
+  /// Ablation (bench_cq): true buffers raw events per window and
+  /// recomputes aggregates at close, instead of incremental
+  /// accumulation.
+  bool recompute_at_close = false;
+};
+
+class WindowedAggregator {
+ public:
+  using ResultCallback = std::function<void(const WindowResult&)>;
+
+  WindowedAggregator(WindowAggregatorOptions options,
+                     ResultCallback callback);
+
+  /// Feeds one event. Emits every window whose end passed the watermark.
+  Status Push(const Record& row, TimestampMicros ts);
+
+  /// Closes and emits all open windows (end of stream).
+  Status Flush();
+
+  uint64_t late_dropped() const { return late_dropped_; }
+  size_t open_windows() const;
+
+ private:
+  struct Group {
+    Value key;
+    int64_t rows = 0;
+    std::vector<AggAccumulator> accs;
+    std::vector<Record> buffered;  // recompute_at_close only.
+  };
+
+  /// Open windows: window_start -> (encoded key -> group).
+  using WindowMap = std::map<TimestampMicros, std::map<std::string, Group>>;
+
+  Status AddToWindow(TimestampMicros window_start, const Record& row,
+                     TimestampMicros ts);
+  Status EmitWindow(TimestampMicros window_start);
+  Status EmitDueWindows();
+
+  WindowAggregatorOptions options_;
+  ResultCallback callback_;
+  WindowMap windows_;
+  TimestampMicros watermark_ = INT64_MIN;
+  uint64_t late_dropped_ = 0;
+};
+
+/// Session windows: a key's events belong to one session while the gap
+/// between consecutive events stays within `gap_micros`; a longer quiet
+/// period closes the session. Sessions also close when the global
+/// watermark (max event time seen) passes last_event + gap, and on
+/// Flush(). The emitted WindowResult spans [first_event, last_event +
+/// gap).
+struct SessionAggregatorOptions {
+  TimestampMicros gap_micros = kMicrosPerMinute;
+  std::string key_column;  // Empty = one global session track.
+  std::vector<Aggregate> aggregates;
+};
+
+class SessionAggregator {
+ public:
+  using ResultCallback = std::function<void(const WindowResult&)>;
+
+  SessionAggregator(SessionAggregatorOptions options,
+                    ResultCallback callback);
+
+  /// Feeds one event; event time must be globally non-decreasing.
+  Status Push(const Record& row, TimestampMicros ts);
+
+  /// Closes and emits every open session.
+  Status Flush();
+
+  size_t open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    Value key;
+    TimestampMicros start_ts = 0;
+    TimestampMicros last_ts = 0;
+    int64_t rows = 0;
+    std::vector<AggAccumulator> accs;
+  };
+
+  void Emit(const Session& session);
+  void CloseIdleSessions(TimestampMicros watermark);
+
+  SessionAggregatorOptions options_;
+  ResultCallback callback_;
+  std::map<std::string, Session> sessions_;  // Encoded key -> session.
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CQ_WINDOW_H_

@@ -1,0 +1,840 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "db/snapshot.h"
+#include "storage/file.h"
+#include "value/row_codec.h"
+
+namespace edadb {
+
+namespace {
+
+constexpr char kCheckpointFileName[] = "CHECKPOINT";
+
+DmlOp LogTypeToDmlOp(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kInsert: return kDmlInsert;
+    case LogRecordType::kUpdate: return kDmlUpdate;
+    default: return kDmlDelete;
+  }
+}
+
+}  // namespace
+
+std::string_view DmlOpToString(DmlOp op) {
+  switch (op) {
+    case kDmlInsert: return "INSERT";
+    case kDmlUpdate: return "UPDATE";
+    case kDmlDelete: return "DELETE";
+  }
+  return "?";
+}
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Default()) {}
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  EDADB_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  auto db = std::unique_ptr<Database>(new Database(std::move(options)));
+
+  WalOptions wal_options;
+  wal_options.dir = db->options_.dir + "/wal";
+  wal_options.segment_size_bytes = db->options_.wal_segment_size_bytes;
+  wal_options.sync_policy = db->options_.wal_sync_policy;
+  EDADB_ASSIGN_OR_RETURN(db->wal_, WalWriter::Open(std::move(wal_options)));
+
+  EDADB_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Status Database::Recover() {
+  recovering_ = true;
+  Lsn replay_from = 0;
+  const std::string meta_path = options_.dir + "/" + kCheckpointFileName;
+  if (FileExists(meta_path)) {
+    EDADB_ASSIGN_OR_RETURN(std::string data, ReadFileToString(meta_path));
+    EDADB_ASSIGN_OR_RETURN(CheckpointMeta meta, DecodeCheckpointMeta(data));
+    EDADB_RETURN_IF_ERROR(LoadSnapshot(options_.dir + "/" +
+                                       meta.snapshot_file));
+    replay_from = meta.replay_from_lsn;
+  }
+  const Status s = ReplayWal(replay_from);
+  recovering_ = false;
+  return s;
+}
+
+Status Database::LoadSnapshot(const std::string& path) {
+  EDADB_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  EDADB_ASSIGN_OR_RETURN(Snapshot snap, DecodeSnapshot(data));
+  next_table_id_ = snap.next_table_id;
+  next_txn_id_ = snap.next_txn_id;
+  for (TableSnapshot& ts : snap.tables) {
+    auto table = std::make_unique<Table>(ts.id, ts.name,
+                                         Schema::Make(std::move(ts.fields)));
+    for (auto& [row_id, bytes] : ts.rows) {
+      EDADB_RETURN_IF_ERROR(
+          table->mutable_heap()->InsertWithId(row_id, std::move(bytes)));
+    }
+    table->mutable_heap()->set_next_row_id(ts.next_row_id);
+    for (const IndexDef& def : ts.indexes) {
+      EDADB_RETURN_IF_ERROR(table->CreateIndex(def));
+    }
+    tables_by_id_.emplace(ts.id, table.get());
+    tables_.emplace(ts.name, std::move(table));
+  }
+  return Status::OK();
+}
+
+Status Database::ReplayWal(Lsn from_lsn) {
+  WalCursor cursor(options_.dir + "/wal", from_lsn);
+  std::map<TxnId, std::vector<LogRecord>> pending;
+  WalEntry entry;
+  for (;;) {
+    EDADB_ASSIGN_OR_RETURN(bool more, cursor.Next(&entry));
+    if (!more) break;
+    EDADB_ASSIGN_OR_RETURN(LogRecord rec,
+                           LogRecord::Decode(entry.type, entry.payload));
+    if (rec.txn_id >= next_txn_id_) next_txn_id_ = rec.txn_id + 1;
+    switch (rec.type) {
+      case LogRecordType::kBeginTxn:
+        pending[rec.txn_id];
+        break;
+      case LogRecordType::kCommitTxn: {
+        auto it = pending.find(rec.txn_id);
+        if (it != pending.end()) {
+          for (const LogRecord& op : it->second) {
+            EDADB_RETURN_IF_ERROR(ApplyLogRecord(op));
+          }
+          pending.erase(it);
+        }
+        break;
+      }
+      case LogRecordType::kAbortTxn:
+        pending.erase(rec.txn_id);
+        break;
+      case LogRecordType::kInsert:
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        pending[rec.txn_id].push_back(std::move(rec));
+        break;
+      case LogRecordType::kCreateTable:
+      case LogRecordType::kDropTable:
+      case LogRecordType::kCreateIndex:
+        EDADB_RETURN_IF_ERROR(ApplyLogRecord(rec));
+        break;
+      case LogRecordType::kCheckpoint:
+        break;  // Informational; recovery starts from the meta file.
+    }
+  }
+  // Transactions without a commit record are discarded (crash mid-txn).
+  return Status::OK();
+}
+
+Status Database::ApplyLogRecord(const LogRecord& rec) {
+  switch (rec.type) {
+    case LogRecordType::kCreateTable: {
+      if (tables_.count(rec.table_name) > 0) {
+        return Status::Corruption("replay: table '" + rec.table_name +
+                                  "' already exists");
+      }
+      auto table = std::make_unique<Table>(rec.table_id, rec.table_name,
+                                           Schema::Make(rec.schema_fields));
+      tables_by_id_.emplace(rec.table_id, table.get());
+      tables_.emplace(rec.table_name, std::move(table));
+      if (rec.table_id >= next_table_id_) next_table_id_ = rec.table_id + 1;
+      return Status::OK();
+    }
+    case LogRecordType::kDropTable: {
+      auto it = tables_.find(rec.table_name);
+      if (it == tables_.end()) return Status::OK();  // Already gone.
+      tables_by_id_.erase(it->second->id());
+      tables_.erase(it);
+      return Status::OK();
+    }
+    case LogRecordType::kCreateIndex: {
+      auto it = tables_by_id_.find(rec.table_id);
+      if (it == tables_by_id_.end()) {
+        return Status::Corruption("replay: create index on unknown table");
+      }
+      if (it->second->HasIndex(rec.index_column)) return Status::OK();
+      return it->second->CreateIndex({rec.index_column, rec.index_unique});
+    }
+    case LogRecordType::kInsert: {
+      auto it = tables_by_id_.find(rec.table_id);
+      if (it == tables_by_id_.end()) return Status::OK();  // Table dropped.
+      EDADB_ASSIGN_OR_RETURN(
+          Record record, DecodeRow(it->second->schema(), rec.new_row));
+      return it->second->ApplyInsert(rec.row_id, record).status();
+    }
+    case LogRecordType::kUpdate: {
+      auto it = tables_by_id_.find(rec.table_id);
+      if (it == tables_by_id_.end()) return Status::OK();
+      EDADB_ASSIGN_OR_RETURN(
+          Record record, DecodeRow(it->second->schema(), rec.new_row));
+      return it->second->ApplyUpdate(rec.row_id, record);
+    }
+    case LogRecordType::kDelete: {
+      auto it = tables_by_id_.find(rec.table_id);
+      if (it == tables_by_id_.end()) return Status::OK();
+      return it->second->ApplyDelete(rec.row_id);
+    }
+    default:
+      return Status::Internal("unexpected log record in apply");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     SchemaPtr schema) {
+  std::unique_lock lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (schema == nullptr || schema->num_fields() == 0) {
+    return Status::InvalidArgument("table '" + name + "' needs fields");
+  }
+  const TableId id = next_table_id_++;
+  LogRecord rec;
+  rec.type = LogRecordType::kCreateTable;
+  rec.table_id = id;
+  rec.table_name = name;
+  rec.schema_fields = schema->fields();
+  EDADB_RETURN_IF_ERROR(
+      wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
+          .status());
+  EDADB_RETURN_IF_ERROR(wal_->Sync());
+  auto table = std::make_unique<Table>(id, name, std::move(schema));
+  Table* raw = table.get();
+  tables_by_id_.emplace(id, raw);
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kDropTable;
+  rec.table_id = it->second->id();
+  rec.table_name = name;
+  EDADB_RETURN_IF_ERROR(
+      wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
+          .status());
+  EDADB_RETURN_IF_ERROR(wal_->Sync());
+  tables_by_id_.erase(it->second->id());
+  tables_.erase(it);
+  // Drop triggers bound to the table.
+  for (auto t = triggers_.begin(); t != triggers_.end();) {
+    if (t->second.table == name) {
+      t = triggers_.erase(t);
+    } else {
+      ++t;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  std::shared_lock lock(mu_);
+  return GetTableLocked(name);
+}
+
+Result<Table*> Database::GetTableLocked(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+const Table* Database::GetTableById(TableId id) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_by_id_.find(id);
+  return it == tables_by_id_.end() ? nullptr : it->second;
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column, bool unique) {
+  std::unique_lock lock(mu_);
+  EDADB_ASSIGN_OR_RETURN(Table * t, GetTableLocked(table));
+  LogRecord rec;
+  rec.type = LogRecordType::kCreateIndex;
+  rec.table_id = t->id();
+  rec.index_column = column;
+  rec.index_unique = unique;
+  EDADB_RETURN_IF_ERROR(t->CreateIndex({column, unique}));
+  EDADB_RETURN_IF_ERROR(
+      wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
+          .status());
+  return wal_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Trigger firing
+
+Status Database::FireTriggers(TriggerTiming timing, TriggerEvent* event) {
+  // Snapshot matching triggers under the lock, fire without it so
+  // actions may call back into this Database.
+  std::vector<const TriggerDef*> to_fire;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [name, def] : triggers_) {
+      if (!def.enabled || def.timing != timing ||
+          def.table != event->table_name || (def.ops & event->op) == 0) {
+        continue;
+      }
+      to_fire.push_back(&def);
+    }
+  }
+  for (const TriggerDef* def : to_fire) {
+    if (def->when.has_value()) {
+      TriggerRowView view(*event);
+      auto matches = def->when->Matches(view);
+      if (!matches.ok()) {
+        EDADB_LOG(Warn) << "trigger '" << def->name
+                        << "' WHEN error: " << matches.status();
+        continue;
+      }
+      if (!*matches) continue;
+    }
+    const Status s = def->action != nullptr ? def->action(*event)
+                                            : Status::OK();
+    if (!s.ok()) {
+      if (timing == TriggerTiming::kBefore) {
+        return Status::Aborted("trigger '" + def->name +
+                               "' vetoed: " + s.ToString());
+      }
+      EDADB_LOG(Warn) << "AFTER trigger '" << def->name
+                      << "' failed: " << s;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Op preparation
+
+Result<Database::PendingOp> Database::PrepareInsert(const std::string& table,
+                                                    Record record) {
+  TableId table_id;
+  RowId row_id;
+  {
+    std::unique_lock lock(mu_);
+    EDADB_ASSIGN_OR_RETURN(Table * t, GetTableLocked(table));
+    EDADB_RETURN_IF_ERROR(t->CheckRecord(record));
+    table_id = t->id();
+    row_id = t->mutable_heap()->AllocateRowId();
+  }
+  TriggerEvent event;
+  event.op = kDmlInsert;
+  event.table_name = table;
+  event.table_id = table_id;
+  event.row_id = row_id;
+  event.timestamp = clock_->NowMicros();
+  event.new_row = &record;
+  EDADB_RETURN_IF_ERROR(FireTriggers(TriggerTiming::kBefore, &event));
+  PendingOp op;
+  op.type = LogRecordType::kInsert;
+  op.table_id = table_id;
+  op.table_name = table;
+  op.row_id = row_id;
+  op.new_record = std::move(record);
+  return op;
+}
+
+Result<Database::PendingOp> Database::PrepareUpdate(const std::string& table,
+                                                    RowId row_id,
+                                                    Record record) {
+  TableId table_id;
+  Record old_record;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+    EDADB_RETURN_IF_ERROR(it->second->CheckRecord(record));
+    EDADB_ASSIGN_OR_RETURN(old_record, it->second->GetRow(row_id));
+    table_id = it->second->id();
+  }
+  TriggerEvent event;
+  event.op = kDmlUpdate;
+  event.table_name = table;
+  event.table_id = table_id;
+  event.row_id = row_id;
+  event.timestamp = clock_->NowMicros();
+  event.old_row = &old_record;
+  event.new_row = &record;
+  EDADB_RETURN_IF_ERROR(FireTriggers(TriggerTiming::kBefore, &event));
+  PendingOp op;
+  op.type = LogRecordType::kUpdate;
+  op.table_id = table_id;
+  op.table_name = table;
+  op.row_id = row_id;
+  op.new_record = std::move(record);
+  return op;
+}
+
+Result<Database::PendingOp> Database::PrepareDelete(const std::string& table,
+                                                    RowId row_id) {
+  TableId table_id;
+  Record old_record;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+    EDADB_ASSIGN_OR_RETURN(old_record, it->second->GetRow(row_id));
+    table_id = it->second->id();
+  }
+  TriggerEvent event;
+  event.op = kDmlDelete;
+  event.table_name = table;
+  event.table_id = table_id;
+  event.row_id = row_id;
+  event.timestamp = clock_->NowMicros();
+  event.old_row = &old_record;
+  EDADB_RETURN_IF_ERROR(FireTriggers(TriggerTiming::kBefore, &event));
+  PendingOp op;
+  op.type = LogRecordType::kDelete;
+  op.table_id = table_id;
+  op.table_name = table;
+  op.row_id = row_id;
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Commit path
+
+Status Database::ValidateOps(const std::vector<PendingOp>& ops) {
+  // Per unique index, keys already claimed by earlier ops in this txn.
+  std::map<std::pair<TableId, std::string>, std::set<std::string>> claimed;
+  for (const PendingOp& op : ops) {
+    auto it = tables_by_id_.find(op.table_id);
+    if (it == tables_by_id_.end()) {
+      return Status::NotFound("table id " + std::to_string(op.table_id) +
+                              " (dropped mid-transaction?)");
+    }
+    Table* t = it->second;
+    if (op.type == LogRecordType::kUpdate ||
+        op.type == LogRecordType::kDelete) {
+      if (t->heap().Get(op.row_id) == nullptr) {
+        return Status::NotFound("row " + std::to_string(op.row_id) +
+                                " vanished before commit");
+      }
+    }
+    if (op.type == LogRecordType::kInsert ||
+        op.type == LogRecordType::kUpdate) {
+      EDADB_RETURN_IF_ERROR(t->CheckRecord(op.new_record));
+      for (const IndexDef& def : t->index_defs()) {
+        if (!def.unique) continue;
+        auto v = op.new_record.Get(def.column);
+        if (!v.ok() || v->is_null()) continue;
+        const BTreeIndex* index = t->GetIndex(def.column);
+        for (const RowId other : index->Lookup(*v)) {
+          if (other != op.row_id) {
+            return Status::AlreadyExists("unique index violation on '" +
+                                         def.column + "'");
+          }
+        }
+        std::string key;
+        v->EncodeTo(&key);
+        auto [slot, inserted] =
+            claimed[{op.table_id, def.column}].insert(key);
+        if (!inserted) {
+          return Status::AlreadyExists(
+              "unique index violation on '" + def.column +
+              "' within one transaction");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CommitOps(std::vector<PendingOp> ops) {
+  if (ops.empty()) return Status::OK();
+
+  struct AfterEvent {
+    DmlOp op;
+    std::string table_name;
+    TableId table_id;
+    RowId row_id;
+    Record old_record;
+    bool has_old = false;
+    Record new_record;
+    bool has_new = false;
+    TxnId txn_id;
+  };
+  std::vector<AfterEvent> after_events;
+  after_events.reserve(ops.size());
+
+  {
+    std::unique_lock lock(mu_);
+    EDADB_RETURN_IF_ERROR(ValidateOps(ops));
+    const TxnId txn = next_txn_id_++;
+
+    LogRecord begin;
+    begin.type = LogRecordType::kBeginTxn;
+    begin.txn_id = txn;
+    EDADB_RETURN_IF_ERROR(
+        wal_->Append(static_cast<uint8_t>(begin.type), begin.EncodePayload())
+            .status());
+
+    for (PendingOp& op : ops) {
+      Table* t = tables_by_id_.at(op.table_id);
+      LogRecord rec;
+      rec.type = op.type;
+      rec.txn_id = txn;
+      rec.table_id = op.table_id;
+      rec.row_id = op.row_id;
+      if (op.type == LogRecordType::kInsert ||
+          op.type == LogRecordType::kUpdate) {
+        EncodeRow(op.new_record, &rec.new_row);
+      }
+      if (op.type == LogRecordType::kUpdate ||
+          op.type == LogRecordType::kDelete) {
+        rec.old_row = *t->heap().Get(op.row_id);
+      }
+      EDADB_RETURN_IF_ERROR(
+          wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
+              .status());
+    }
+
+    LogRecord commit;
+    commit.type = LogRecordType::kCommitTxn;
+    commit.txn_id = txn;
+    EDADB_RETURN_IF_ERROR(
+        wal_->Append(static_cast<uint8_t>(commit.type),
+                     commit.EncodePayload())
+            .status());
+    EDADB_RETURN_IF_ERROR(wal_->Sync());
+
+    // Apply. ValidateOps vetted everything; failures here indicate a
+    // programming error and poison the database state.
+    for (PendingOp& op : ops) {
+      Table* t = tables_by_id_.at(op.table_id);
+      AfterEvent ev;
+      ev.op = LogTypeToDmlOp(op.type);
+      ev.table_name = op.table_name;
+      ev.table_id = op.table_id;
+      ev.row_id = op.row_id;
+      ev.txn_id = txn;
+      if (op.type != LogRecordType::kInsert) {
+        auto old_rec = t->GetRow(op.row_id);
+        if (old_rec.ok()) {
+          ev.old_record = *std::move(old_rec);
+          ev.has_old = true;
+        }
+      }
+      Status s;
+      switch (op.type) {
+        case LogRecordType::kInsert:
+          s = t->ApplyInsert(op.row_id, op.new_record).status();
+          break;
+        case LogRecordType::kUpdate:
+          s = t->ApplyUpdate(op.row_id, op.new_record);
+          break;
+        case LogRecordType::kDelete:
+          s = t->ApplyDelete(op.row_id);
+          break;
+        default:
+          s = Status::Internal("unexpected op type");
+      }
+      if (!s.ok()) {
+        return Status::Internal("commit apply failed after WAL write: " +
+                                s.ToString());
+      }
+      if (op.type != LogRecordType::kDelete) {
+        ev.new_record = std::move(op.new_record);
+        ev.has_new = true;
+      }
+      after_events.push_back(std::move(ev));
+    }
+  }
+
+  // AFTER triggers observe committed state; errors are logged, not
+  // propagated (the change is already durable).
+  for (AfterEvent& ev : after_events) {
+    TriggerEvent event;
+    event.op = ev.op;
+    event.table_name = ev.table_name;
+    event.table_id = ev.table_id;
+    event.row_id = ev.row_id;
+    event.txn_id = ev.txn_id;
+    event.timestamp = clock_->NowMicros();
+    event.old_row = ev.has_old ? &ev.old_record : nullptr;
+    event.new_row = ev.has_new ? &ev.new_record : nullptr;
+    (void)FireTriggers(TriggerTiming::kAfter, &event);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Auto-commit DML
+
+Result<RowId> Database::Insert(const std::string& table, Record record) {
+  EDADB_ASSIGN_OR_RETURN(PendingOp op, PrepareInsert(table, std::move(record)));
+  const RowId row_id = op.row_id;
+  std::vector<PendingOp> ops;
+  ops.push_back(std::move(op));
+  EDADB_RETURN_IF_ERROR(CommitOps(std::move(ops)));
+  return row_id;
+}
+
+Status Database::UpdateRow(const std::string& table, RowId row_id,
+                           Record record) {
+  EDADB_ASSIGN_OR_RETURN(PendingOp op,
+                         PrepareUpdate(table, row_id, std::move(record)));
+  std::vector<PendingOp> ops;
+  ops.push_back(std::move(op));
+  return CommitOps(std::move(ops));
+}
+
+Status Database::DeleteRow(const std::string& table, RowId row_id) {
+  EDADB_ASSIGN_OR_RETURN(PendingOp op, PrepareDelete(table, row_id));
+  std::vector<PendingOp> ops;
+  ops.push_back(std::move(op));
+  return CommitOps(std::move(ops));
+}
+
+Result<size_t> Database::UpdateWhere(
+    const std::string& table, const Predicate& where,
+    const std::function<Status(Record*)>& mutator) {
+  // Collect matches under a shared lock, then update row by row.
+  std::vector<std::pair<RowId, Record>> matches;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+    it->second->ScanRows([&](RowId row_id, const Record& record) {
+      if (where.MatchesOrFalse(record)) matches.emplace_back(row_id, record);
+      return true;
+    });
+  }
+  size_t updated = 0;
+  for (auto& [row_id, record] : matches) {
+    EDADB_RETURN_IF_ERROR(mutator(&record));
+    const Status s = UpdateRow(table, row_id, std::move(record));
+    if (s.IsNotFound()) continue;  // Row deleted concurrently.
+    EDADB_RETURN_IF_ERROR(s);
+    ++updated;
+  }
+  return updated;
+}
+
+Result<size_t> Database::DeleteWhere(const std::string& table,
+                                     const Predicate& where) {
+  std::vector<RowId> matches;
+  {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+    it->second->ScanRows([&](RowId row_id, const Record& record) {
+      if (where.MatchesOrFalse(record)) matches.push_back(row_id);
+      return true;
+    });
+  }
+  size_t deleted = 0;
+  for (const RowId row_id : matches) {
+    const Status s = DeleteRow(table, row_id);
+    if (s.IsNotFound()) continue;
+    EDADB_RETURN_IF_ERROR(s);
+    ++deleted;
+  }
+  return deleted;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+std::unique_ptr<Transaction> Database::BeginTransaction() {
+  return std::unique_ptr<Transaction>(new Transaction(this));
+}
+
+Transaction::~Transaction() {
+  if (!finished_) (void)Rollback();
+}
+
+Result<RowId> Transaction::Insert(const std::string& table, Record record) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  EDADB_ASSIGN_OR_RETURN(Database::PendingOp op,
+                         db_->PrepareInsert(table, std::move(record)));
+  const RowId row_id = op.row_id;
+  ops_.push_back(std::move(op));
+  return row_id;
+}
+
+Status Transaction::UpdateRow(const std::string& table, RowId row_id,
+                              Record record) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  EDADB_ASSIGN_OR_RETURN(Database::PendingOp op,
+                         db_->PrepareUpdate(table, row_id, std::move(record)));
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::DeleteRow(const std::string& table, RowId row_id) {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  EDADB_ASSIGN_OR_RETURN(Database::PendingOp op,
+                         db_->PrepareDelete(table, row_id));
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  finished_ = true;
+  return db_->CommitOps(std::move(ops_));
+}
+
+Status Transaction::Rollback() {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  finished_ = true;
+  ops_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+Result<Record> Database::GetRow(const std::string& table,
+                                RowId row_id) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+  return it->second->GetRow(row_id);
+}
+
+Result<size_t> Database::CountRows(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table '" + table + "'");
+  return it->second->num_rows();
+}
+
+// ---------------------------------------------------------------------------
+// Trigger admin
+
+Status Database::CreateTrigger(TriggerDef def) {
+  std::unique_lock lock(mu_);
+  if (def.name.empty()) {
+    return Status::InvalidArgument("trigger needs a name");
+  }
+  if (triggers_.count(def.name) > 0) {
+    return Status::AlreadyExists("trigger '" + def.name + "' already exists");
+  }
+  if (tables_.count(def.table) == 0) {
+    return Status::NotFound("table '" + def.table + "'");
+  }
+  if ((def.ops & (kDmlInsert | kDmlUpdate | kDmlDelete)) == 0) {
+    return Status::InvalidArgument("trigger subscribes to no operations");
+  }
+  triggers_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status Database::DropTrigger(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (triggers_.erase(name) == 0) {
+    return Status::NotFound("trigger '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Status Database::SetTriggerEnabled(const std::string& name, bool enabled) {
+  std::unique_lock lock(mu_);
+  auto it = triggers_.find(name);
+  if (it == triggers_.end()) {
+    return Status::NotFound("trigger '" + name + "'");
+  }
+  it->second.enabled = enabled;
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListTriggers() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(triggers_.size());
+  for (const auto& [name, def] : triggers_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+
+Status Database::Checkpoint(Lsn retain_lsn) {
+  std::unique_lock lock(mu_);
+  Snapshot snap;
+  snap.next_table_id = next_table_id_;
+  snap.next_txn_id = next_txn_id_;
+  for (const auto& [name, table] : tables_) {
+    TableSnapshot ts;
+    ts.id = table->id();
+    ts.name = name;
+    ts.fields = table->schema()->fields();
+    ts.next_row_id = table->heap().next_row_id();
+    ts.indexes = table->index_defs();
+    table->heap().Scan([&](RowId row_id, const std::string& bytes) {
+      ts.rows.emplace_back(row_id, bytes);
+      return true;
+    });
+    snap.tables.push_back(std::move(ts));
+  }
+  const Lsn checkpoint_lsn = wal_->next_lsn();
+  const std::string snapshot_file =
+      StringPrintf("snapshot-%06" PRIu64 ".ckpt", ++checkpoint_seq_);
+  EDADB_RETURN_IF_ERROR(WriteStringToFile(
+      options_.dir + "/" + snapshot_file, EncodeSnapshot(snap),
+      /*sync=*/true));
+
+  CheckpointMeta meta;
+  meta.snapshot_file = snapshot_file;
+  meta.replay_from_lsn = checkpoint_lsn;
+  EDADB_RETURN_IF_ERROR(WriteStringToFile(
+      options_.dir + "/" + kCheckpointFileName, EncodeCheckpointMeta(meta),
+      /*sync=*/true));
+
+  // Note the checkpoint in the journal, then prune old segments up to
+  // the reader-safe point.
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  rec.checkpoint_lsn = checkpoint_lsn;
+  rec.snapshot_file = snapshot_file;
+  EDADB_RETURN_IF_ERROR(
+      wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
+          .status());
+  EDADB_RETURN_IF_ERROR(wal_->Sync());
+  return wal_->TruncateBefore(std::min(retain_lsn, checkpoint_lsn));
+}
+
+Lsn Database::wal_end_lsn() const {
+  std::shared_lock lock(mu_);
+  return wal_->next_lsn();
+}
+
+std::string Database::wal_dir() const { return options_.dir + "/wal"; }
+
+}  // namespace edadb

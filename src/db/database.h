@@ -1,0 +1,233 @@
+#ifndef EDADB_DB_DATABASE_H_
+#define EDADB_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/query.h"
+#include "db/table.h"
+#include "db/trigger.h"
+#include "expr/predicate.h"
+#include "storage/log_record.h"
+#include "storage/wal.h"
+
+namespace edadb {
+
+class Transaction;
+
+struct DatabaseOptions {
+  std::string dir;
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kOnCommit;
+  uint64_t wal_segment_size_bytes = 16 * 1024 * 1024;
+  /// Time source for trigger timestamps and NOW(); defaults to the
+  /// system clock.
+  Clock* clock = nullptr;
+};
+
+/// The embedded database: catalog + tables + WAL + triggers + query
+/// execution. This is the substrate the tutorial assumes — the
+/// "commercial database with its complementary software stack" — on
+/// which event capture (triggers/journal/queries), message staging and
+/// rules evaluation are built.
+///
+/// Concurrency model: a single writer lock serializes DML and DDL;
+/// queries take a shared lock. Transactions buffer their operations and
+/// atomically log + apply at Commit() (redo-only logging). Readers never
+/// see uncommitted data; a transaction does not read its own writes.
+///
+/// Durability: every commit appends Begin/op.../Commit records to the
+/// WAL before touching memory, with fdatasync per
+/// DatabaseOptions::wal_sync_policy. Open() recovers by loading the
+/// newest checkpoint snapshot and replaying committed transactions from
+/// the WAL.
+class Database {
+ public:
+  /// Opens (and recovers) a database rooted at options.dir.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -------------------------------------------------------------------
+  // DDL
+
+  Result<Table*> CreateTable(const std::string& name, SchemaPtr schema);
+  Status DropTable(const std::string& name);
+  Result<Table*> GetTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+  Status CreateIndex(const std::string& table, const std::string& column,
+                     bool unique);
+
+  // -------------------------------------------------------------------
+  // Auto-commit DML (each call is its own transaction)
+
+  /// Inserts a record; fires BEFORE/AFTER INSERT triggers.
+  Result<RowId> Insert(const std::string& table, Record record);
+
+  /// Replaces the row at `row_id`.
+  Status UpdateRow(const std::string& table, RowId row_id, Record record);
+
+  /// Deletes the row at `row_id`.
+  Status DeleteRow(const std::string& table, RowId row_id);
+
+  /// Updates all rows matching `where` by calling `mutator` on each;
+  /// returns the number updated.
+  Result<size_t> UpdateWhere(const std::string& table,
+                             const Predicate& where,
+                             const std::function<Status(Record*)>& mutator);
+
+  /// Deletes all rows matching `where`; returns the number deleted.
+  Result<size_t> DeleteWhere(const std::string& table,
+                             const Predicate& where);
+
+  // -------------------------------------------------------------------
+  // Transactions
+
+  /// Starts a buffered transaction. The returned object must outlive its
+  /// Commit()/Rollback() call and must not outlive this Database.
+  std::unique_ptr<Transaction> BeginTransaction();
+
+  // -------------------------------------------------------------------
+  // Queries
+
+  Result<QueryResult> Execute(const Query& query) const;
+
+  /// One-line description of the access path Execute would use, e.g.
+  /// "index scan on orders.amount [3, 7)" or "full scan of orders
+  /// (1200 rows)" — the observability hook behind the planner.
+  Result<std::string> Explain(const Query& query) const;
+
+  /// Point read.
+  Result<Record> GetRow(const std::string& table, RowId row_id) const;
+
+  /// Number of rows in `table`.
+  Result<size_t> CountRows(const std::string& table) const;
+
+  // -------------------------------------------------------------------
+  // Triggers (§2.2.a.i: database as message source)
+
+  Status CreateTrigger(TriggerDef def);
+  Status DropTrigger(const std::string& name);
+  Status SetTriggerEnabled(const std::string& name, bool enabled);
+  std::vector<std::string> ListTriggers() const;
+
+  // -------------------------------------------------------------------
+  // Checkpoint / journal
+
+  /// Writes a snapshot of all tables and records a checkpoint; recovery
+  /// replays the WAL only from the checkpoint LSN. Old WAL segments at
+  /// or before `retain_lsn` (often a journal miner's watermark) are
+  /// deleted.
+  Status Checkpoint(Lsn retain_lsn);
+
+  /// Current end of the WAL.
+  Lsn wal_end_lsn() const;
+
+  /// Directory containing WAL segments (for journal miners).
+  std::string wal_dir() const;
+
+  const DatabaseOptions& options() const { return options_; }
+  Clock* clock() const { return clock_; }
+
+  /// Looks up a table by id (journal miners map change records back to
+  /// schemas). Returns nullptr when unknown.
+  const Table* GetTableById(TableId id) const;
+
+ private:
+  friend class Transaction;
+
+  explicit Database(DatabaseOptions options);
+
+  /// One buffered operation inside a transaction.
+  struct PendingOp {
+    LogRecordType type;
+    TableId table_id = 0;
+    std::string table_name;
+    RowId row_id = 0;
+    Record new_record;  // kInsert/kUpdate
+  };
+
+  /// Op preparation shared by auto-commit DML and Transaction: validates
+  /// against the schema, fires BEFORE triggers (which may rewrite the
+  /// record or veto), and allocates the row id for inserts.
+  Result<PendingOp> PrepareInsert(const std::string& table, Record record);
+  Result<PendingOp> PrepareUpdate(const std::string& table, RowId row_id,
+                                  Record record);
+  Result<PendingOp> PrepareDelete(const std::string& table, RowId row_id);
+
+  Status Recover();
+  Status LoadSnapshot(const std::string& path);
+  Status ReplayWal(Lsn from_lsn);
+  Status ApplyLogRecord(const LogRecord& rec);
+
+  /// Fires matching triggers for `event`; BEFORE trigger errors abort
+  /// the operation.
+  Status FireTriggers(TriggerTiming timing, TriggerEvent* event);
+
+  /// Commit path shared by Transaction and auto-commit DML. Caller does
+  /// NOT hold mu_.
+  Status CommitOps(std::vector<PendingOp> ops);
+
+  /// Validates ops under mu_ before logging (row existence, uniques).
+  Status ValidateOps(const std::vector<PendingOp>& ops);
+
+  Result<Table*> GetTableLocked(const std::string& name);
+
+  DatabaseOptions options_;
+  Clock* clock_;
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<WalWriter> wal_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<TableId, Table*> tables_by_id_;
+  TableId next_table_id_ = 1;
+  TxnId next_txn_id_ = 1;
+  std::map<std::string, TriggerDef> triggers_;
+  uint64_t checkpoint_seq_ = 0;
+  bool recovering_ = false;
+};
+
+/// A buffered transaction. Operations are validated eagerly (BEFORE
+/// triggers fire at call time and may rewrite the row) but logged and
+/// applied atomically at Commit(); AFTER triggers fire post-commit.
+/// Not thread-safe; use from one thread.
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Result<RowId> Insert(const std::string& table, Record record);
+  Status UpdateRow(const std::string& table, RowId row_id, Record record);
+  Status DeleteRow(const std::string& table, RowId row_id);
+
+  /// Logs and applies all buffered operations. After Commit the object
+  /// is finished; further operations fail.
+  Status Commit();
+
+  /// Discards buffered operations.
+  Status Rollback();
+
+  size_t num_pending() const { return ops_.size(); }
+
+ private:
+  friend class Database;
+  explicit Transaction(Database* db) : db_(db) {}
+
+  Database* db_;
+  std::vector<Database::PendingOp> ops_;
+  bool finished_ = false;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_DB_DATABASE_H_

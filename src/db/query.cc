@@ -1,0 +1,76 @@
+#include "db/query.h"
+
+#include "expr/parser.h"
+
+namespace edadb {
+
+std::string_view Aggregate::FuncName(Func f) {
+  switch (f) {
+    case Func::kCount: return "count";
+    case Func::kSum: return "sum";
+    case Func::kAvg: return "avg";
+    case Func::kMin: return "min";
+    case Func::kMax: return "max";
+  }
+  return "?";
+}
+
+Status Query::SetWhere(std::string_view expr_source) {
+  EDADB_ASSIGN_OR_RETURN(where, ParseExpression(expr_source));
+  return Status::OK();
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (const Record& row : rows) {
+    out += row.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+QueryBuilder& QueryBuilder::Where(std::string_view source) {
+  auto expr = ParseExpression(source);
+  if (expr.ok()) {
+    query_.where = *std::move(expr);
+  } else {
+    query_.build_error = expr.status();
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Count(std::string alias) {
+  query_.aggregates.push_back(
+      {Aggregate::Func::kCount, "", std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Sum(std::string column, std::string alias) {
+  if (alias.empty()) alias = "sum_" + column;
+  query_.aggregates.push_back(
+      {Aggregate::Func::kSum, std::move(column), std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Avg(std::string column, std::string alias) {
+  if (alias.empty()) alias = "avg_" + column;
+  query_.aggregates.push_back(
+      {Aggregate::Func::kAvg, std::move(column), std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Min(std::string column, std::string alias) {
+  if (alias.empty()) alias = "min_" + column;
+  query_.aggregates.push_back(
+      {Aggregate::Func::kMin, std::move(column), std::move(alias)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Max(std::string column, std::string alias) {
+  if (alias.empty()) alias = "max_" + column;
+  query_.aggregates.push_back(
+      {Aggregate::Func::kMax, std::move(column), std::move(alias)});
+  return *this;
+}
+
+}  // namespace edadb

@@ -1,0 +1,108 @@
+#ifndef EDADB_DB_QUERY_H_
+#define EDADB_DB_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/ast.h"
+#include "expr/predicate.h"
+#include "value/record.h"
+#include "value/schema.h"
+
+namespace edadb {
+
+/// ORDER BY term.
+struct OrderBy {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Aggregate spec; column is ignored for kCount ("COUNT(*)").
+struct Aggregate {
+  enum class Func { kCount, kSum, kAvg, kMin, kMax };
+  Func func = Func::kCount;
+  std::string column;
+  std::string alias;
+
+  static std::string_view FuncName(Func f);
+};
+
+/// A programmatic SELECT over one table:
+///   SELECT <select | aggregates> FROM <table>
+///   [WHERE <where>] [GROUP BY <group_by>] [ORDER BY ...] [LIMIT n]
+///
+/// The Database's planner uses a secondary index when `where` contains
+/// an indexable conjunct (col = literal, col <op> literal, or
+/// col BETWEEN a AND b on an indexed column); otherwise it scans.
+struct Query {
+  std::string table;
+  std::vector<std::string> select;  // Empty = all columns.
+  ExprPtr where;                    // Null = no filter.
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  std::vector<OrderBy> order_by;
+  uint64_t limit = UINT64_MAX;
+
+  /// Set by QueryBuilder::Where(text) on a parse failure; Execute
+  /// surfaces it instead of running.
+  Status build_error;
+
+  /// Convenience: sets `where` from expression text.
+  Status SetWhere(std::string_view expr_source);
+};
+
+/// Materialized query output.
+struct QueryResult {
+  SchemaPtr schema;
+  std::vector<Record> rows;
+
+  std::string ToString() const;
+};
+
+/// Fluent builder for Query.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string table) { query_.table = std::move(table); }
+
+  QueryBuilder& Select(std::vector<std::string> columns) {
+    query_.select = std::move(columns);
+    return *this;
+  }
+  QueryBuilder& Where(ExprPtr expr) {
+    query_.where = std::move(expr);
+    return *this;
+  }
+  /// Parses `source`; invalid expressions surface when the query runs.
+  QueryBuilder& Where(std::string_view source);
+  QueryBuilder& GroupBy(std::vector<std::string> columns) {
+    query_.group_by = std::move(columns);
+    return *this;
+  }
+  QueryBuilder& Count(std::string alias = "count");
+  QueryBuilder& Sum(std::string column, std::string alias = "");
+  QueryBuilder& Avg(std::string column, std::string alias = "");
+  QueryBuilder& Min(std::string column, std::string alias = "");
+  QueryBuilder& Max(std::string column, std::string alias = "");
+  QueryBuilder& OrderByAsc(std::string column) {
+    query_.order_by.push_back({std::move(column), true});
+    return *this;
+  }
+  QueryBuilder& OrderByDesc(std::string column) {
+    query_.order_by.push_back({std::move(column), false});
+    return *this;
+  }
+  QueryBuilder& Limit(uint64_t n) {
+    query_.limit = n;
+    return *this;
+  }
+
+  Query Build() { return std::move(query_); }
+
+ private:
+  Query query_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_DB_QUERY_H_

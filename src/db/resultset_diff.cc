@@ -1,0 +1,96 @@
+#include "db/resultset_diff.h"
+
+#include <map>
+
+namespace edadb {
+
+std::string_view RowChangeKindToString(RowChangeKind kind) {
+  switch (kind) {
+    case RowChangeKind::kAdded: return "ADDED";
+    case RowChangeKind::kRemoved: return "REMOVED";
+    case RowChangeKind::kModified: return "MODIFIED";
+  }
+  return "?";
+}
+
+std::string RowChange::ToString() const {
+  std::string out(RowChangeKindToString(kind));
+  if (before.has_value()) out += " before=" + before->ToString();
+  if (after.has_value()) out += " after=" + after->ToString();
+  return out;
+}
+
+namespace {
+
+Result<std::string> MakeKey(const Record& record,
+                            const std::vector<std::string>& key_columns) {
+  std::string key;
+  if (key_columns.empty()) {
+    for (size_t i = 0; i < record.num_values(); ++i) {
+      record.value(i).EncodeTo(&key);
+    }
+    return key;
+  }
+  for (const std::string& col : key_columns) {
+    EDADB_ASSIGN_OR_RETURN(Value v, record.Get(col));
+    v.EncodeTo(&key);
+  }
+  return key;
+}
+
+Result<std::map<std::string, const Record*>> IndexRows(
+    const QueryResult& result, const std::vector<std::string>& key_columns,
+    bool allow_duplicates) {
+  std::map<std::string, const Record*> index;
+  for (const Record& row : result.rows) {
+    EDADB_ASSIGN_OR_RETURN(std::string key, MakeKey(row, key_columns));
+    auto [it, inserted] = index.emplace(std::move(key), &row);
+    if (!inserted && !allow_duplicates) {
+      return Status::InvalidArgument(
+          "duplicate key in result set: " + row.ToString());
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<std::vector<RowChange>> DiffResultSets(
+    const QueryResult& previous, const QueryResult& current,
+    const std::vector<std::string>& key_columns) {
+  // Whole-row identity tolerates duplicates (a multiset diff would be
+  // overkill; the first instance wins).
+  const bool whole_row = key_columns.empty();
+  EDADB_ASSIGN_OR_RETURN(auto prev_index,
+                         IndexRows(previous, key_columns, whole_row));
+  EDADB_ASSIGN_OR_RETURN(auto cur_index,
+                         IndexRows(current, key_columns, whole_row));
+
+  std::vector<RowChange> changes;
+  for (const auto& [key, prev_row] : prev_index) {
+    auto it = cur_index.find(key);
+    if (it == cur_index.end()) {
+      RowChange change;
+      change.kind = RowChangeKind::kRemoved;
+      change.before = *prev_row;
+      changes.push_back(std::move(change));
+    } else if (!whole_row && !(*prev_row == *it->second)) {
+      RowChange change;
+      change.kind = RowChangeKind::kModified;
+      change.before = *prev_row;
+      change.after = *it->second;
+      changes.push_back(std::move(change));
+    }
+  }
+  for (const auto& [key, cur_row] : cur_index) {
+    if (prev_index.find(key) == prev_index.end()) {
+      RowChange change;
+      change.kind = RowChangeKind::kAdded;
+      change.after = *cur_row;
+      changes.push_back(std::move(change));
+    }
+  }
+  return changes;
+}
+
+}  // namespace edadb

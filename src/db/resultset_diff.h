@@ -1,0 +1,38 @@
+#ifndef EDADB_DB_RESULTSET_DIFF_H_
+#define EDADB_DB_RESULTSET_DIFF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/query.h"
+
+namespace edadb {
+
+/// §2.2.a.iii: "if queries reference the current state the change of the
+/// result set is perceived as an event". DiffResultSets compares two
+/// materializations of the same query and emits one change per row.
+enum class RowChangeKind { kAdded, kRemoved, kModified };
+
+std::string_view RowChangeKindToString(RowChangeKind kind);
+
+struct RowChange {
+  RowChangeKind kind = RowChangeKind::kAdded;
+  std::optional<Record> before;  // kRemoved / kModified.
+  std::optional<Record> after;   // kAdded / kModified.
+
+  std::string ToString() const;
+};
+
+/// Diffs `previous` → `current`. Rows are matched by `key_columns`
+/// (which must exist in both result schemas); with an empty key list the
+/// whole row is the identity, so only kAdded/kRemoved are produced.
+/// Duplicate keys within one result set are InvalidArgument.
+Result<std::vector<RowChange>> DiffResultSets(
+    const QueryResult& previous, const QueryResult& current,
+    const std::vector<std::string>& key_columns);
+
+}  // namespace edadb
+
+#endif  // EDADB_DB_RESULTSET_DIFF_H_

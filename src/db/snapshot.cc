@@ -1,0 +1,137 @@
+#include "db/snapshot.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "storage/log_record.h"
+
+namespace edadb {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0xEDADB001;
+constexpr uint32_t kCheckpointMagic = 0xEDADB002;
+}  // namespace
+
+std::string EncodeSnapshot(const Snapshot& snapshot) {
+  std::string out;
+  PutFixed32(&out, kSnapshotMagic);
+  PutVarint32(&out, snapshot.next_table_id);
+  PutVarint64(&out, snapshot.next_txn_id);
+  PutVarint64(&out, snapshot.tables.size());
+  for (const TableSnapshot& t : snapshot.tables) {
+    PutVarint32(&out, t.id);
+    PutLengthPrefixed(&out, t.name);
+    EncodeSchemaFields(t.fields, &out);
+    PutVarint64(&out, t.next_row_id);
+    PutVarint64(&out, t.indexes.size());
+    for (const IndexDef& idx : t.indexes) {
+      PutLengthPrefixed(&out, idx.column);
+      out.push_back(idx.unique ? 1 : 0);
+    }
+    PutVarint64(&out, t.rows.size());
+    for (const auto& [row_id, bytes] : t.rows) {
+      PutVarint64(&out, row_id);
+      PutLengthPrefixed(&out, bytes);
+    }
+  }
+  PutFixed32(&out, MaskCrc(Crc32c(out)));
+  return out;
+}
+
+Result<Snapshot> DecodeSnapshot(std::string_view data) {
+  if (data.size() < 8) return Status::Corruption("snapshot: too short");
+  // Verify the trailing CRC over everything before it.
+  std::string_view crc_piece = data.substr(data.size() - 4);
+  uint32_t stored_crc;
+  GetFixed32(&crc_piece, &stored_crc);
+  std::string_view body = data.substr(0, data.size() - 4);
+  if (MaskCrc(Crc32c(body)) != stored_crc) {
+    return Status::Corruption("snapshot: bad checksum");
+  }
+  uint32_t magic;
+  if (!GetFixed32(&body, &magic) || magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  Snapshot snap;
+  uint64_t num_tables;
+  if (!GetVarint32(&body, &snap.next_table_id) ||
+      !GetVarint64(&body, &snap.next_txn_id) ||
+      !GetVarint64(&body, &num_tables)) {
+    return Status::Corruption("snapshot: truncated header");
+  }
+  snap.tables.reserve(num_tables);
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    TableSnapshot t;
+    std::string_view name;
+    if (!GetVarint32(&body, &t.id) || !GetLengthPrefixed(&body, &name)) {
+      return Status::Corruption("snapshot: truncated table header");
+    }
+    t.name = std::string(name);
+    EDADB_ASSIGN_OR_RETURN(t.fields, DecodeSchemaFields(&body));
+    uint64_t num_indexes;
+    if (!GetVarint64(&body, &t.next_row_id) ||
+        !GetVarint64(&body, &num_indexes)) {
+      return Status::Corruption("snapshot: truncated table meta");
+    }
+    for (uint64_t j = 0; j < num_indexes; ++j) {
+      std::string_view column;
+      if (!GetLengthPrefixed(&body, &column) || body.empty()) {
+        return Status::Corruption("snapshot: truncated index def");
+      }
+      IndexDef def;
+      def.column = std::string(column);
+      def.unique = body[0] != 0;
+      body.remove_prefix(1);
+      t.indexes.push_back(std::move(def));
+    }
+    uint64_t num_rows;
+    if (!GetVarint64(&body, &num_rows)) {
+      return Status::Corruption("snapshot: truncated row count");
+    }
+    t.rows.reserve(num_rows);
+    for (uint64_t j = 0; j < num_rows; ++j) {
+      uint64_t row_id;
+      std::string_view bytes;
+      if (!GetVarint64(&body, &row_id) || !GetLengthPrefixed(&body, &bytes)) {
+        return Status::Corruption("snapshot: truncated row");
+      }
+      t.rows.emplace_back(row_id, std::string(bytes));
+    }
+    snap.tables.push_back(std::move(t));
+  }
+  if (!body.empty()) return Status::Corruption("snapshot: trailing bytes");
+  return snap;
+}
+
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta) {
+  std::string out;
+  PutFixed32(&out, kCheckpointMagic);
+  PutLengthPrefixed(&out, meta.snapshot_file);
+  PutFixed64(&out, meta.replay_from_lsn);
+  PutFixed32(&out, MaskCrc(Crc32c(out)));
+  return out;
+}
+
+Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view data) {
+  if (data.size() < 8) return Status::Corruption("checkpoint meta: too short");
+  std::string_view crc_piece = data.substr(data.size() - 4);
+  uint32_t stored_crc;
+  GetFixed32(&crc_piece, &stored_crc);
+  std::string_view body = data.substr(0, data.size() - 4);
+  if (MaskCrc(Crc32c(body)) != stored_crc) {
+    return Status::Corruption("checkpoint meta: bad checksum");
+  }
+  uint32_t magic;
+  std::string_view file;
+  uint64_t lsn;
+  if (!GetFixed32(&body, &magic) || magic != kCheckpointMagic ||
+      !GetLengthPrefixed(&body, &file) || !GetFixed64(&body, &lsn) ||
+      !body.empty()) {
+    return Status::Corruption("checkpoint meta: malformed");
+  }
+  CheckpointMeta meta;
+  meta.snapshot_file = std::string(file);
+  meta.replay_from_lsn = lsn;
+  return meta;
+}
+
+}  // namespace edadb

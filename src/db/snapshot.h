@@ -1,0 +1,48 @@
+#ifndef EDADB_DB_SNAPSHOT_H_
+#define EDADB_DB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/table.h"
+#include "storage/wal.h"
+#include "value/schema.h"
+
+namespace edadb {
+
+/// Serializable image of one table for checkpointing.
+struct TableSnapshot {
+  TableId id = 0;
+  std::string name;
+  std::vector<Field> fields;
+  RowId next_row_id = 1;
+  std::vector<IndexDef> indexes;
+  std::vector<std::pair<RowId, std::string>> rows;  // (id, encoded bytes)
+};
+
+/// Full-database image: what Checkpoint() writes and recovery loads.
+struct Snapshot {
+  TableId next_table_id = 1;
+  TxnId next_txn_id = 1;
+  std::vector<TableSnapshot> tables;
+};
+
+/// CRC-guarded binary codec for snapshots.
+std::string EncodeSnapshot(const Snapshot& snapshot);
+Result<Snapshot> DecodeSnapshot(std::string_view data);
+
+/// Checkpoint metadata: which snapshot file is current and where WAL
+/// replay must resume. Stored in `<dir>/CHECKPOINT` via atomic rename.
+struct CheckpointMeta {
+  std::string snapshot_file;  // Relative to the database dir.
+  Lsn replay_from_lsn = 0;
+};
+
+std::string EncodeCheckpointMeta(const CheckpointMeta& meta);
+Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view data);
+
+}  // namespace edadb
+
+#endif  // EDADB_DB_SNAPSHOT_H_

@@ -1,0 +1,47 @@
+#ifndef EDADB_DB_SQL_H_
+#define EDADB_DB_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "db/database.h"
+
+namespace edadb {
+
+/// Outcome of one SQL statement.
+struct SqlResult {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kDdl };
+  Kind kind = Kind::kDdl;
+  /// Populated for SELECT.
+  QueryResult result;
+  /// Rows inserted/updated/deleted for DML.
+  size_t rows_affected = 0;
+};
+
+/// Executes one statement of a small SQL dialect against `db`. Keywords
+/// are case-insensitive; identifiers are case-sensitive; strings use
+/// single quotes with '' escaping. Supported statements:
+///
+///   CREATE TABLE t (col TYPE [NOT NULL], ...)
+///       TYPE ∈ BOOL | INT64/INTEGER/INT | DOUBLE/REAL | STRING/TEXT |
+///              TIMESTAMP
+///   DROP TABLE t
+///   CREATE [UNIQUE] INDEX ON t (col)
+///   INSERT INTO t [(a, b, ...)] VALUES (expr, ...)[, (expr, ...)...]
+///   SELECT * | items FROM t [WHERE expr] [GROUP BY cols]
+///       [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+///       items: column | COUNT(*) | COUNT/SUM/AVG/MIN/MAX(col)
+///              [AS alias]
+///   UPDATE t SET col = expr, ... [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///
+/// Expressions are the full expr/ grammar (arithmetic, AND/OR/NOT, IN,
+/// BETWEEN, LIKE, functions). INSERT values are constant expressions;
+/// UPDATE SET expressions may reference the row's current columns.
+/// INSERT coerces integer literals into DOUBLE and TIMESTAMP columns.
+Result<SqlResult> ExecuteSql(Database* db, std::string_view sql);
+
+}  // namespace edadb
+
+#endif  // EDADB_DB_SQL_H_

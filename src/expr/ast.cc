@@ -1,0 +1,387 @@
+#include "expr/ast.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+Result<bool> Expr::Matches(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, Evaluate(ctx));
+  if (v.is_null()) return false;
+  return v.AsBool();
+}
+
+// ---------------------------------------------------------------------------
+// LiteralExpr
+
+Result<Value> LiteralExpr::Evaluate(const EvalContext&) const {
+  return value_;
+}
+
+std::string LiteralExpr::ToString() const { return value_.ToString(); }
+
+void LiteralExpr::CollectColumns(std::set<std::string>*) const {}
+
+// ---------------------------------------------------------------------------
+// ColumnExpr
+
+Result<Value> ColumnExpr::Evaluate(const EvalContext& ctx) const {
+  if (ctx.row == nullptr) {
+    return Status::FailedPrecondition("no row bound for column '" + name_ +
+                                      "'");
+  }
+  std::optional<Value> v = ctx.row->GetAttribute(name_);
+  if (!v.has_value()) {
+    if (ctx.missing_attribute_is_null) return Value::Null();
+    return Status::NotFound("no attribute named '" + name_ + "'");
+  }
+  return *std::move(v);
+}
+
+std::string ColumnExpr::ToString() const { return name_; }
+
+void ColumnExpr::CollectColumns(std::set<std::string>* out) const {
+  out->insert(name_);
+}
+
+// ---------------------------------------------------------------------------
+// UnaryExpr
+
+Result<Value> UnaryExpr::Evaluate(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(ctx));
+  if (v.is_null()) return Value::Null();
+  switch (op_) {
+    case UnaryOp::kNot: {
+      EDADB_ASSIGN_OR_RETURN(bool b, v.AsBool());
+      return Value::Bool(!b);
+    }
+    case UnaryOp::kNegate: {
+      if (v.type() == ValueType::kInt64) return Value::Int64(-v.int64_value());
+      if (v.type() == ValueType::kDouble)
+        return Value::Double(-v.double_value());
+      return Status::InvalidArgument("cannot negate " +
+                                     std::string(ValueTypeToString(v.type())));
+    }
+  }
+  return Status::Internal("unreachable unary op");
+}
+
+std::string UnaryExpr::ToString() const {
+  if (op_ == UnaryOp::kNot) return "NOT (" + operand_->ToString() + ")";
+  return "-(" + operand_->ToString() + ")";
+}
+
+void UnaryExpr::CollectColumns(std::set<std::string>* out) const {
+  operand_->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// BinaryExpr
+
+namespace {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Value> EvaluateArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // String concatenation via '+'.
+  if (op == BinaryOp::kAdd && l.type() == ValueType::kString &&
+      r.type() == ValueType::kString) {
+    return Value::String(l.string_value() + r.string_value());
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::InvalidArgument(
+        "arithmetic requires numeric operands, got " +
+        std::string(ValueTypeToString(l.type())) + " and " +
+        std::string(ValueTypeToString(r.type())));
+  }
+  const bool both_int =
+      l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+  if (both_int) {
+    const int64_t a = l.int64_value();
+    const int64_t b = r.int64_value();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int64(a + b);
+      case BinaryOp::kSub: return Value::Int64(a - b);
+      case BinaryOp::kMul: return Value::Int64(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int64(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::InvalidArgument("modulo by zero");
+        return Value::Int64(a % b);
+      default:
+        break;
+    }
+  }
+  EDADB_ASSIGN_OR_RETURN(double a, l.AsDouble());
+  EDADB_ASSIGN_OR_RETURN(double b, r.AsDouble());
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Double(a + b);
+    case BinaryOp::kSub: return Value::Double(a - b);
+    case BinaryOp::kMul: return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    case BinaryOp::kMod:
+      if (b == 0.0) return Status::InvalidArgument("modulo by zero");
+      return Value::Double(std::fmod(a, b));
+    default:
+      break;
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+Result<Value> EvaluateComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(int c, Value::Compare(l, r));
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(c == 0);
+    case BinaryOp::kNe: return Value::Bool(c != 0);
+    case BinaryOp::kLt: return Value::Bool(c < 0);
+    case BinaryOp::kLe: return Value::Bool(c <= 0);
+    case BinaryOp::kGt: return Value::Bool(c > 0);
+    case BinaryOp::kGe: return Value::Bool(c >= 0);
+    default:
+      break;
+  }
+  return Status::Internal("unreachable comparison op");
+}
+
+/// Kleene three-valued truth for one operand: TRUE / FALSE / NULL.
+enum class Truth { kTrue, kFalse, kNull };
+
+Result<Truth> TruthOf(const Value& v) {
+  if (v.is_null()) return Truth::kNull;
+  EDADB_ASSIGN_OR_RETURN(bool b, v.AsBool());
+  return b ? Truth::kTrue : Truth::kFalse;
+}
+
+/// Renders a sub-expression in an "additive" grammar position (a binary
+/// operator's side, the operand of IN/BETWEEN/LIKE/IS NULL, BETWEEN's
+/// bounds). Predicate forms and NOT/negate are not additive, so they
+/// need parentheses to parse back to the same tree.
+std::string WrapOperand(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumn:
+    case ExprKind::kFunction:
+    case ExprKind::kBinary:  // Always self-parenthesizing.
+      return expr->ToString();
+    default:
+      return "(" + expr->ToString() + ")";
+  }
+}
+
+}  // namespace
+
+Result<Value> BinaryExpr::Evaluate(const EvalContext& ctx) const {
+  // AND/OR short-circuit under Kleene logic.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    EDADB_ASSIGN_OR_RETURN(Value lv, left_->Evaluate(ctx));
+    EDADB_ASSIGN_OR_RETURN(Truth lt, TruthOf(lv));
+    if (op_ == BinaryOp::kAnd && lt == Truth::kFalse)
+      return Value::Bool(false);
+    if (op_ == BinaryOp::kOr && lt == Truth::kTrue) return Value::Bool(true);
+    EDADB_ASSIGN_OR_RETURN(Value rv, right_->Evaluate(ctx));
+    EDADB_ASSIGN_OR_RETURN(Truth rt, TruthOf(rv));
+    if (op_ == BinaryOp::kAnd) {
+      if (rt == Truth::kFalse) return Value::Bool(false);
+      if (lt == Truth::kNull || rt == Truth::kNull) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (rt == Truth::kTrue) return Value::Bool(true);
+    if (lt == Truth::kNull || rt == Truth::kNull) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  EDADB_ASSIGN_OR_RETURN(Value l, left_->Evaluate(ctx));
+  EDADB_ASSIGN_OR_RETURN(Value r, right_->Evaluate(ctx));
+  if (IsArithmetic(op_)) return EvaluateArithmetic(op_, l, r);
+  if (IsComparison(op_)) return EvaluateComparison(op_, l, r);
+  return Status::Internal("unreachable binary op");
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + WrapOperand(left_) + " " + std::string(BinaryOpToString(op_)) +
+         " " + WrapOperand(right_) + ")";
+}
+
+void BinaryExpr::CollectColumns(std::set<std::string>* out) const {
+  left_->CollectColumns(out);
+  right_->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// InExpr
+
+Result<Value> InExpr::Evaluate(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(ctx));
+  if (v.is_null()) return Value::Null();
+  bool saw_null = false;
+  for (const ExprPtr& item : list_) {
+    EDADB_ASSIGN_OR_RETURN(Value candidate, item->Evaluate(ctx));
+    if (candidate.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    auto cmp = Value::Compare(v, candidate);
+    // Type-incompatible list members simply don't match (x IN (1, 'a')).
+    if (cmp.ok() && *cmp == 0) {
+      return Value::Bool(!negated_);
+    }
+  }
+  if (saw_null) return Value::Null();
+  return Value::Bool(negated_);
+}
+
+std::string InExpr::ToString() const {
+  std::string out = WrapOperand(operand_);
+  if (negated_) out += " NOT";
+  out += " IN (";
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += list_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void InExpr::CollectColumns(std::set<std::string>* out) const {
+  operand_->CollectColumns(out);
+  for (const ExprPtr& e : list_) e->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// BetweenExpr
+
+Result<Value> BetweenExpr::Evaluate(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(ctx));
+  EDADB_ASSIGN_OR_RETURN(Value lo, low_->Evaluate(ctx));
+  EDADB_ASSIGN_OR_RETURN(Value hi, high_->Evaluate(ctx));
+  if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(int clo, Value::Compare(v, lo));
+  EDADB_ASSIGN_OR_RETURN(int chi, Value::Compare(v, hi));
+  const bool inside = clo >= 0 && chi <= 0;
+  return Value::Bool(negated_ ? !inside : inside);
+}
+
+std::string BetweenExpr::ToString() const {
+  std::string out = WrapOperand(operand_);
+  if (negated_) out += " NOT";
+  out += " BETWEEN " + WrapOperand(low_) + " AND " + WrapOperand(high_);
+  return out;
+}
+
+void BetweenExpr::CollectColumns(std::set<std::string>* out) const {
+  operand_->CollectColumns(out);
+  low_->CollectColumns(out);
+  high_->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// LikeExpr
+
+Result<Value> LikeExpr::Evaluate(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(ctx));
+  EDADB_ASSIGN_OR_RETURN(Value p, pattern_->Evaluate(ctx));
+  if (v.is_null() || p.is_null()) return Value::Null();
+  if (v.type() != ValueType::kString || p.type() != ValueType::kString) {
+    return Status::InvalidArgument("LIKE requires string operands");
+  }
+  const bool matched = LikeMatch(v.string_value(), p.string_value());
+  return Value::Bool(negated_ ? !matched : matched);
+}
+
+std::string LikeExpr::ToString() const {
+  std::string out = WrapOperand(operand_);
+  if (negated_) out += " NOT";
+  out += " LIKE " + WrapOperand(pattern_);
+  return out;
+}
+
+void LikeExpr::CollectColumns(std::set<std::string>* out) const {
+  operand_->CollectColumns(out);
+  pattern_->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// IsNullExpr
+
+Result<Value> IsNullExpr::Evaluate(const EvalContext& ctx) const {
+  EDADB_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(ctx));
+  const bool is_null = v.is_null();
+  return Value::Bool(negated_ ? !is_null : is_null);
+}
+
+std::string IsNullExpr::ToString() const {
+  return WrapOperand(operand_) + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+void IsNullExpr::CollectColumns(std::set<std::string>* out) const {
+  operand_->CollectColumns(out);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionExpr: see functions.cc for Evaluate and the registry.
+
+std::string FunctionExpr::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void FunctionExpr::CollectColumns(std::set<std::string>* out) const {
+  for (const ExprPtr& e : args_) e->CollectColumns(out);
+}
+
+}  // namespace edadb

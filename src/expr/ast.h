@@ -1,0 +1,280 @@
+#ifndef EDADB_EXPR_AST_H_
+#define EDADB_EXPR_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "value/record.h"
+#include "value/value.h"
+
+namespace edadb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Context for expression evaluation: the row being tested plus
+/// environment (clock for NOW()).
+struct EvalContext {
+  const RowAccessor* row = nullptr;
+  Clock* clock = nullptr;
+
+  /// When true (default), referencing an attribute the row does not have
+  /// yields NULL — the right semantics for rules matched against
+  /// heterogeneous event populations. When false it is an error, the
+  /// right semantics for queries against fixed schemas.
+  bool missing_attribute_is_null = true;
+
+  explicit EvalContext(const RowAccessor* row_in = nullptr)
+      : row(row_in) {}
+};
+
+enum class ExprKind {
+  kLiteral,
+  kColumn,
+  kUnary,
+  kBinary,
+  kIn,
+  kBetween,
+  kLike,
+  kIsNull,
+  kFunction,
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+std::string_view BinaryOpToString(BinaryOp op);
+
+/// Immutable expression tree node. Nodes are shared (ExprPtr) so parsed
+/// rules can be stored, indexed and evaluated concurrently.
+///
+/// Evaluation follows SQL three-valued logic: comparisons and arithmetic
+/// involving NULL yield NULL; AND/OR use Kleene logic; a predicate
+/// "matches" a row only when it evaluates to TRUE.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Evaluates against `ctx`. Type errors (e.g. 'a' < 1) are Status
+  /// errors, not NULLs.
+  virtual Result<Value> Evaluate(const EvalContext& ctx) const = 0;
+
+  /// Renders source text that parses back to an equivalent tree.
+  virtual std::string ToString() const = 0;
+
+  /// Adds every referenced attribute name to `out`.
+  virtual void CollectColumns(std::set<std::string>* out) const = 0;
+
+  /// Convenience: evaluates as a predicate; NULL and FALSE both mean
+  /// "no match". Errors propagate.
+  Result<bool> Matches(const EvalContext& ctx) const;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  Value value_;
+};
+
+/// An attribute/column reference.
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name)
+      : Expr(ExprKind::kColumn), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// `operand [NOT] IN (e1, e2, ...)`.
+class InExpr final : public Expr {
+ public:
+  InExpr(ExprPtr operand, std::vector<ExprPtr> list, bool negated)
+      : Expr(ExprKind::kIn),
+        operand_(std::move(operand)),
+        list_(std::move(list)),
+        negated_(negated) {}
+
+  const ExprPtr& operand() const { return operand_; }
+  const std::vector<ExprPtr>& list() const { return list_; }
+  bool negated() const { return negated_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  ExprPtr operand_;
+  std::vector<ExprPtr> list_;
+  bool negated_;
+};
+
+/// `operand [NOT] BETWEEN low AND high`.
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr low, ExprPtr high, bool negated)
+      : Expr(ExprKind::kBetween),
+        operand_(std::move(operand)),
+        low_(std::move(low)),
+        high_(std::move(high)),
+        negated_(negated) {}
+
+  const ExprPtr& operand() const { return operand_; }
+  const ExprPtr& low() const { return low_; }
+  const ExprPtr& high() const { return high_; }
+  bool negated() const { return negated_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  ExprPtr operand_;
+  ExprPtr low_;
+  ExprPtr high_;
+  bool negated_;
+};
+
+/// `operand [NOT] LIKE pattern` ('%' any run, '_' one char).
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr operand, ExprPtr pattern, bool negated)
+      : Expr(ExprKind::kLike),
+        operand_(std::move(operand)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  const ExprPtr& operand() const { return operand_; }
+  const ExprPtr& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  ExprPtr operand_;
+  ExprPtr pattern_;
+  bool negated_;
+};
+
+/// `operand IS [NOT] NULL`.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(ExprKind::kIsNull),
+        operand_(std::move(operand)),
+        negated_(negated) {}
+
+  const ExprPtr& operand() const { return operand_; }
+  bool negated() const { return negated_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+/// A scalar function call; see expr/functions.cc for the registry
+/// (ABS, ROUND, FLOOR, CEIL, LENGTH, LOWER, UPPER, SUBSTR, COALESCE,
+/// NOW, ...).
+class FunctionExpr final : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kFunction),
+        name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::set<std::string>* out) const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+/// True when `name` is a registered scalar function.
+bool IsKnownFunction(std::string_view name);
+
+}  // namespace edadb
+
+#endif  // EDADB_EXPR_AST_H_

@@ -1,0 +1,189 @@
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "expr/ast.h"
+
+namespace edadb {
+
+namespace {
+
+struct FunctionDef {
+  int min_args;
+  int max_args;  // -1 means unbounded (COALESCE).
+  std::function<Result<Value>(const std::vector<Value>&, const EvalContext&)>
+      fn;
+};
+
+Result<Value> FnAbs(const std::vector<Value>& args, const EvalContext&) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() == ValueType::kInt64) {
+    return Value::Int64(std::abs(v.int64_value()));
+  }
+  EDADB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+  return Value::Double(std::fabs(d));
+}
+
+Result<Value> FnRound(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+  if (args.size() == 2) {
+    if (args[1].is_null()) return Value::Null();
+    EDADB_ASSIGN_OR_RETURN(int64_t digits, args[1].AsInt64());
+    const double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(d * scale) / scale);
+  }
+  return Value::Double(std::round(d));
+}
+
+Result<Value> FnFloor(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+  return Value::Double(std::floor(d));
+}
+
+Result<Value> FnCeil(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+  return Value::Double(std::ceil(d));
+}
+
+Result<Value> FnSqrt(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].is_null()) return Value::Null();
+  EDADB_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+  if (d < 0) return Status::InvalidArgument("SQRT of negative value");
+  return Value::Double(std::sqrt(d));
+}
+
+Result<Value> FnLength(const std::vector<Value>& args, const EvalContext&) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() != ValueType::kString) {
+    return Status::InvalidArgument("LENGTH requires a string");
+  }
+  return Value::Int64(static_cast<int64_t>(v.string_value().size()));
+}
+
+Result<Value> FnLower(const std::vector<Value>& args, const EvalContext&) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() != ValueType::kString) {
+    return Status::InvalidArgument("LOWER requires a string");
+  }
+  return Value::String(ToLower(v.string_value()));
+}
+
+Result<Value> FnUpper(const std::vector<Value>& args, const EvalContext&) {
+  const Value& v = args[0];
+  if (v.is_null()) return Value::Null();
+  if (v.type() != ValueType::kString) {
+    return Status::InvalidArgument("UPPER requires a string");
+  }
+  return Value::String(ToUpper(v.string_value()));
+}
+
+/// SUBSTR(s, start[, len]) with 1-based start, as in SQL.
+Result<Value> FnSubstr(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].is_null() || args[1].is_null()) return Value::Null();
+  if (args[0].type() != ValueType::kString) {
+    return Status::InvalidArgument("SUBSTR requires a string");
+  }
+  const std::string& s = args[0].string_value();
+  EDADB_ASSIGN_OR_RETURN(int64_t start, args[1].AsInt64());
+  int64_t len = static_cast<int64_t>(s.size());
+  if (args.size() == 3) {
+    if (args[2].is_null()) return Value::Null();
+    EDADB_ASSIGN_OR_RETURN(len, args[2].AsInt64());
+    if (len < 0) return Status::InvalidArgument("SUBSTR length < 0");
+  }
+  int64_t begin = start >= 1 ? start - 1 : 0;
+  if (begin >= static_cast<int64_t>(s.size())) return Value::String("");
+  const int64_t avail = static_cast<int64_t>(s.size()) - begin;
+  return Value::String(s.substr(static_cast<size_t>(begin),
+                                static_cast<size_t>(std::min(len, avail))));
+}
+
+Result<Value> FnCoalesce(const std::vector<Value>& args, const EvalContext&) {
+  for (const Value& v : args) {
+    if (!v.is_null()) return v;
+  }
+  return Value::Null();
+}
+
+Result<Value> FnNow(const std::vector<Value>&, const EvalContext& ctx) {
+  Clock* clock = ctx.clock != nullptr ? ctx.clock : SystemClock::Default();
+  return Value::Timestamp(clock->NowMicros());
+}
+
+Result<Value> FnGreatest(const std::vector<Value>& args, const EvalContext&) {
+  Value best = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i].is_null() || best.is_null()) return Value::Null();
+    EDADB_ASSIGN_OR_RETURN(int c, Value::Compare(args[i], best));
+    if (c > 0) best = args[i];
+  }
+  return best;
+}
+
+Result<Value> FnLeast(const std::vector<Value>& args, const EvalContext&) {
+  Value best = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i].is_null() || best.is_null()) return Value::Null();
+    EDADB_ASSIGN_OR_RETURN(int c, Value::Compare(args[i], best));
+    if (c < 0) best = args[i];
+  }
+  return best;
+}
+
+const std::map<std::string, FunctionDef>& Registry() {
+  static const auto* registry = new std::map<std::string, FunctionDef>{
+      {"ABS", {1, 1, FnAbs}},
+      {"ROUND", {1, 2, FnRound}},
+      {"FLOOR", {1, 1, FnFloor}},
+      {"CEIL", {1, 1, FnCeil}},
+      {"SQRT", {1, 1, FnSqrt}},
+      {"LENGTH", {1, 1, FnLength}},
+      {"LOWER", {1, 1, FnLower}},
+      {"UPPER", {1, 1, FnUpper}},
+      {"SUBSTR", {2, 3, FnSubstr}},
+      {"COALESCE", {1, -1, FnCoalesce}},
+      {"GREATEST", {1, -1, FnGreatest}},
+      {"LEAST", {1, -1, FnLeast}},
+      {"NOW", {0, 0, FnNow}},
+  };
+  return *registry;
+}
+
+}  // namespace
+
+bool IsKnownFunction(std::string_view name) {
+  return Registry().count(ToUpper(name)) > 0;
+}
+
+Result<Value> FunctionExpr::Evaluate(const EvalContext& ctx) const {
+  const auto& registry = Registry();
+  auto it = registry.find(ToUpper(name_));
+  if (it == registry.end()) {
+    return Status::NotFound("unknown function '" + name_ + "'");
+  }
+  const FunctionDef& def = it->second;
+  const int argc = static_cast<int>(args_.size());
+  if (argc < def.min_args ||
+      (def.max_args >= 0 && argc > def.max_args)) {
+    return Status::InvalidArgument("wrong argument count for '" + name_ +
+                                   "'");
+  }
+  std::vector<Value> values;
+  values.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    EDADB_ASSIGN_OR_RETURN(Value v, arg->Evaluate(ctx));
+    values.push_back(std::move(v));
+  }
+  return def.fn(values, ctx);
+}
+
+}  // namespace edadb

@@ -1,0 +1,225 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace edadb {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+/// Keyword table; matched case-insensitively.
+TokenKind KeywordKind(std::string_view upper) {
+  if (upper == "AND") return TokenKind::kAnd;
+  if (upper == "OR") return TokenKind::kOr;
+  if (upper == "NOT") return TokenKind::kNot;
+  if (upper == "IN") return TokenKind::kIn;
+  if (upper == "BETWEEN") return TokenKind::kBetween;
+  if (upper == "LIKE") return TokenKind::kLike;
+  if (upper == "IS") return TokenKind::kIs;
+  if (upper == "NULL") return TokenKind::kNull;
+  if (upper == "TRUE") return TokenKind::kTrue;
+  if (upper == "FALSE") return TokenKind::kFalse;
+  return TokenKind::kIdentifier;
+}
+
+}  // namespace
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer";
+    case TokenKind::kDoubleLiteral: return "double";
+    case TokenKind::kStringLiteral: return "string";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kIn: return "IN";
+    case TokenKind::kBetween: return "BETWEEN";
+    case TokenKind::kLike: return "LIKE";
+    case TokenKind::kIs: return "IS";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at position " + std::to_string(i));
+  };
+  auto push = [&](TokenKind kind, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      ++i;
+      while (i < n && IsIdentCont(source[i])) ++i;
+      const std::string_view word = source.substr(start, i - start);
+      const TokenKind kind = KeywordKind(ToUpper(word));
+      Token t;
+      t.kind = kind;
+      t.position = start;
+      if (kind == TokenKind::kIdentifier) t.text = std::string(word);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      bool is_double = c == '.';  // ".5" style literal.
+      ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < n && source[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+          ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (source[exp] == '+' || source[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(source[exp]))) {
+          is_double = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+            ++i;
+        }
+      }
+      const std::string text(source.substr(start, i - start));
+      Token t;
+      t.position = start;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(text.c_str(), &end, 10);
+        if (errno != 0) {
+          // Integer literal overflow: fall back to double, as SQL does.
+          t.kind = TokenKind::kDoubleLiteral;
+          t.double_value = std::strtod(text.c_str(), nullptr);
+        } else {
+          t.kind = TokenKind::kIntLiteral;
+          t.int_value = v;
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += source[i++];
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(text);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '=': push(TokenKind::kEq, start); ++i; break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace edadb

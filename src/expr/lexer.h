@@ -1,0 +1,20 @@
+#ifndef EDADB_EXPR_LEXER_H_
+#define EDADB_EXPR_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/token.h"
+
+namespace edadb {
+
+/// Tokenizes an expression source string. Keywords are case-insensitive;
+/// identifiers keep their original case. String literals use single
+/// quotes with '' as the escape for a quote.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace edadb
+
+#endif  // EDADB_EXPR_LEXER_H_

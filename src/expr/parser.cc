@@ -1,0 +1,302 @@
+#include "expr/parser.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "expr/lexer.h"
+
+namespace edadb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return UnexpectedToken("end of expression");
+    }
+    return expr;
+  }
+
+  /// Prefix parse: stops where the grammar stops instead of demanding
+  /// end-of-input; reports how many tokens were consumed.
+  Result<ExprPtr> ParsePrefix(size_t* consumed) {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    *consumed = pos_;
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Status::InvalidArgument(
+        "expected " + std::string(TokenKindToString(kind)) + " but found " +
+        std::string(TokenKindToString(Peek().kind)) + " at position " +
+        std::to_string(Peek().position));
+  }
+
+  Status UnexpectedToken(const std::string& wanted) {
+    return Status::InvalidArgument(
+        "expected " + wanted + " but found " +
+        std::string(TokenKindToString(Peek().kind)) + " at position " +
+        std::to_string(Peek().position));
+  }
+
+  Result<ExprPtr> ParseOr() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Match(TokenKind::kOr)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = std::make_shared<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                          std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Match(TokenKind::kAnd)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = std::make_shared<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                          std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return std::static_pointer_cast<const Expr>(
+          std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    const TokenKind k = Peek().kind;
+    BinaryOp cmp;
+    bool is_cmp = true;
+    switch (k) {
+      case TokenKind::kEq: cmp = BinaryOp::kEq; break;
+      case TokenKind::kNe: cmp = BinaryOp::kNe; break;
+      case TokenKind::kLt: cmp = BinaryOp::kLt; break;
+      case TokenKind::kLe: cmp = BinaryOp::kLe; break;
+      case TokenKind::kGt: cmp = BinaryOp::kGt; break;
+      case TokenKind::kGe: cmp = BinaryOp::kGe; break;
+      default: is_cmp = false; break;
+    }
+    if (is_cmp) {
+      Advance();
+      EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return std::static_pointer_cast<const Expr>(std::make_shared<BinaryExpr>(
+          cmp, std::move(left), std::move(right)));
+    }
+    if (Match(TokenKind::kIs)) {
+      const bool negated = Match(TokenKind::kNot);
+      EDADB_RETURN_IF_ERROR(Expect(TokenKind::kNull));
+      return std::static_pointer_cast<const Expr>(
+          std::make_shared<IsNullExpr>(std::move(left), negated));
+    }
+    bool negated = false;
+    if (Peek().kind == TokenKind::kNot &&
+        (tokens_[pos_ + 1].kind == TokenKind::kIn ||
+         tokens_[pos_ + 1].kind == TokenKind::kBetween ||
+         tokens_[pos_ + 1].kind == TokenKind::kLike)) {
+      Advance();
+      negated = true;
+    }
+    if (Match(TokenKind::kIn)) {
+      EDADB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<ExprPtr> list;
+      if (Peek().kind != TokenKind::kRParen) {
+        for (;;) {
+          EDADB_ASSIGN_OR_RETURN(ExprPtr item, ParseOr());
+          list.push_back(std::move(item));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      EDADB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      if (list.empty()) {
+        return Status::InvalidArgument("IN list must not be empty");
+      }
+      return std::static_pointer_cast<const Expr>(std::make_shared<InExpr>(
+          std::move(left), std::move(list), negated));
+    }
+    if (Match(TokenKind::kBetween)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+      EDADB_RETURN_IF_ERROR(Expect(TokenKind::kAnd));
+      EDADB_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+      return std::static_pointer_cast<const Expr>(
+          std::make_shared<BetweenExpr>(std::move(left), std::move(low),
+                                        std::move(high), negated));
+    }
+    if (Match(TokenKind::kLike)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      return std::static_pointer_cast<const Expr>(std::make_shared<LikeExpr>(
+          std::move(left), std::move(pattern), negated));
+    }
+    if (negated) return UnexpectedToken("IN, BETWEEN or LIKE after NOT");
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Match(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = std::make_shared<BinaryExpr>(op, std::move(left),
+                                          std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Match(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = std::make_shared<BinaryExpr>(op, std::move(left),
+                                          std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      EDADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      // Fold -literal immediately so "-5" is a literal, which matters for
+      // the rules indexer's atomic-predicate recognition.
+      if (operand->kind() == ExprKind::kLiteral) {
+        const Value& v =
+            static_cast<const LiteralExpr&>(*operand).value();
+        if (v.type() == ValueType::kInt64) {
+          return std::static_pointer_cast<const Expr>(
+              std::make_shared<LiteralExpr>(Value::Int64(-v.int64_value())));
+        }
+        if (v.type() == ValueType::kDouble) {
+          return std::static_pointer_cast<const Expr>(
+              std::make_shared<LiteralExpr>(Value::Double(-v.double_value())));
+        }
+      }
+      return std::static_pointer_cast<const Expr>(
+          std::make_shared<UnaryExpr>(UnaryOp::kNegate, std::move(operand)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::Int64(t.int_value)));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::Double(t.double_value)));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::String(t.text)));
+      case TokenKind::kTrue:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::Bool(true)));
+      case TokenKind::kFalse:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::Bool(false)));
+      case TokenKind::kNull:
+        Advance();
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<LiteralExpr>(Value::Null()));
+      case TokenKind::kLParen: {
+        Advance();
+        EDADB_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        EDADB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        const std::string name = t.text;
+        Advance();
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokenKind::kRParen) {
+            for (;;) {
+              EDADB_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(std::move(arg));
+              if (!Match(TokenKind::kComma)) break;
+            }
+          }
+          EDADB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          if (!IsKnownFunction(name)) {
+            return Status::NotFound("unknown function '" + name + "'");
+          }
+          return std::static_pointer_cast<const Expr>(
+              std::make_shared<FunctionExpr>(name, std::move(args)));
+        }
+        return std::static_pointer_cast<const Expr>(
+            std::make_shared<ColumnExpr>(name));
+      }
+      default:
+        return UnexpectedToken("a literal, column or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(std::string_view source) {
+  EDADB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<ExprPtr> ParseExpressionPrefix(const std::vector<Token>& tokens,
+                                      size_t* pos) {
+  // Hand the parser the remaining tokens (the terminating kEnd of the
+  // statement token stream keeps lookahead safe).
+  std::vector<Token> tail(tokens.begin() + static_cast<long>(*pos),
+                          tokens.end());
+  Parser parser(std::move(tail));
+  size_t consumed = 0;
+  EDADB_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParsePrefix(&consumed));
+  *pos += consumed;
+  return expr;
+}
+
+}  // namespace edadb

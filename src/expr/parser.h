@@ -1,0 +1,40 @@
+#ifndef EDADB_EXPR_PARSER_H_
+#define EDADB_EXPR_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/ast.h"
+#include "expr/token.h"
+
+namespace edadb {
+
+/// Parses an expression such as
+///   "severity >= 3 AND region IN ('east', 'west') AND NOT resolved"
+/// into an AST. Grammar (loosely SQL WHERE-clause expressions):
+///
+///   expr        := or
+///   or          := and (OR and)*
+///   and         := not (AND not)*
+///   not         := NOT not | predicate
+///   predicate   := additive [ cmp additive | IS [NOT] NULL
+///                           | [NOT] IN '(' expr, ... ')'
+///                           | [NOT] BETWEEN additive AND additive
+///                           | [NOT] LIKE additive ]
+///   additive    := multiplicative (('+'|'-') multiplicative)*
+///   multiplicative := unary (('*'|'/'|'%') unary)*
+///   unary       := '-' unary | primary
+///   primary     := literal | column | function '(' args ')' | '(' expr ')'
+Result<ExprPtr> ParseExpression(std::string_view source);
+
+/// Parses one expression starting at tokens[*pos], advancing *pos past
+/// the consumed tokens and stopping at the first token that cannot
+/// extend the expression. Used by the SQL statement parser, whose
+/// clauses (WHERE ... ORDER BY ...) embed expressions mid-stream.
+Result<ExprPtr> ParseExpressionPrefix(const std::vector<Token>& tokens,
+                                      size_t* pos);
+
+}  // namespace edadb
+
+#endif  // EDADB_EXPR_PARSER_H_

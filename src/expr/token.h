@@ -1,0 +1,38 @@
+#ifndef EDADB_EXPR_TOKEN_H_
+#define EDADB_EXPR_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace edadb {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // column / function names
+  kIntLiteral,   // 42
+  kDoubleLiteral,// 3.14, 1e-3
+  kStringLiteral,// 'text' with '' escaping
+  // Keywords (case-insensitive in source).
+  kAnd, kOr, kNot, kIn, kBetween, kLike, kIs, kNull, kTrue, kFalse,
+  // Punctuation / operators.
+  kLParen, kRParen, kComma,
+  kEq,      // =
+  kNe,      // != or <>
+  kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier name or decoded string literal
+  int64_t int_value = 0;  // for kIntLiteral
+  double double_value = 0;// for kDoubleLiteral
+  size_t position = 0;    // byte offset in source, for error messages
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_EXPR_TOKEN_H_

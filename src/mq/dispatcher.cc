@@ -1,0 +1,117 @@
+#include "mq/dispatcher.h"
+
+#include "common/logging.h"
+
+namespace edadb {
+
+QueueDispatcher::~QueueDispatcher() { Stop(); }
+
+Status QueueDispatcher::Bind(Binding binding) {
+  if (binding.handler == nullptr) {
+    return Status::InvalidArgument("binding needs a handler");
+  }
+  if (!queues_->HasQueue(binding.queue)) {
+    return Status::NotFound("queue '" + binding.queue + "'");
+  }
+  std::lock_guard lock(mu_);
+  const std::string key = Key(binding.queue, binding.group);
+  auto [it, inserted] = bindings_.emplace(key, BoundState{});
+  if (!inserted) {
+    return Status::AlreadyExists("binding for queue '" + binding.queue +
+                                 "' group '" + binding.group +
+                                 "' already exists");
+  }
+  it->second.binding = std::move(binding);
+  return Status::OK();
+}
+
+Status QueueDispatcher::Unbind(const std::string& queue,
+                               const std::string& group) {
+  std::lock_guard lock(mu_);
+  if (bindings_.erase(Key(queue, group)) == 0) {
+    return Status::NotFound("no binding for queue '" + queue + "' group '" +
+                            group + "'");
+  }
+  return Status::OK();
+}
+
+Result<size_t> QueueDispatcher::PumpOnce() {
+  // Snapshot bindings so handlers can (un)bind reentrantly.
+  std::vector<Binding> bindings;
+  {
+    std::lock_guard lock(mu_);
+    bindings.reserve(bindings_.size());
+    for (const auto& [key, state] : bindings_) {
+      bindings.push_back(state.binding);
+    }
+  }
+  size_t handled_total = 0;
+  for (const Binding& binding : bindings) {
+    DequeueRequest request;
+    request.group = binding.group;
+    request.selector = binding.selector;
+    for (;;) {
+      EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
+                             queues_->Dequeue(binding.queue, request));
+      if (!message.has_value()) break;
+      const Status status = binding.handler(*message);
+      std::lock_guard lock(mu_);
+      auto it = bindings_.find(Key(binding.queue, binding.group));
+      if (status.ok()) {
+        EDADB_RETURN_IF_ERROR(
+            queues_->Ack(binding.queue, binding.group, message->id));
+        if (it != bindings_.end()) ++it->second.stats.handled;
+        ++handled_total;
+      } else {
+        EDADB_LOG(Warn) << "handler for queue '" << binding.queue
+                        << "' failed: " << status;
+        EDADB_RETURN_IF_ERROR(
+            queues_->Nack(binding.queue, binding.group, message->id));
+        if (it != bindings_.end()) ++it->second.stats.failed;
+        // Leave the message for redelivery policy; stop this binding's
+        // drain to avoid hot-looping on a poisoned head.
+        break;
+      }
+    }
+  }
+  return handled_total;
+}
+
+Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("dispatcher already running");
+  }
+  worker_ = std::thread([this, idle_wait_micros] {
+    while (running_.load(std::memory_order_relaxed)) {
+      auto pumped = PumpOnce();
+      if (!pumped.ok()) {
+        EDADB_LOG(Warn) << "dispatcher pump failed: " << pumped.status();
+      }
+      if (!pumped.ok() || *pumped == 0) {
+        // Idle: sleep briefly. (DequeueWait-per-binding would hold one
+        // binding hostage to another's silence.)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(idle_wait_micros));
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void QueueDispatcher::Stop() {
+  running_.store(false);
+  if (worker_.joinable()) worker_.join();
+}
+
+Result<QueueDispatcher::BindingStats> QueueDispatcher::GetStats(
+    const std::string& queue, const std::string& group) const {
+  std::lock_guard lock(mu_);
+  auto it = bindings_.find(Key(queue, group));
+  if (it == bindings_.end()) {
+    return Status::NotFound("no binding for queue '" + queue + "'");
+  }
+  return it->second.stats;
+}
+
+}  // namespace edadb

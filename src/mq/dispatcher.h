@@ -1,0 +1,90 @@
+#ifndef EDADB_MQ_DISPATCHER_H_
+#define EDADB_MQ_DISPATCHER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "mq/queue_manager.h"
+
+namespace edadb {
+
+/// §2.2.d.i: "messages may be consumed locally to the message store. To
+/// do this the message store may have to activate applications as
+/// needed." The dispatcher binds handler functions to queues; when
+/// messages arrive the handler is activated with the message. A handler
+/// returning OK acks; an error nacks, so the queue's redelivery and
+/// dead-letter policy governs retries.
+///
+/// Two driving modes:
+///   - PumpOnce(): cooperative, for schedulers/tests (deterministic);
+///   - Start()/Stop(): a background activation thread that blocks on
+///     queue arrivals.
+/// Thread-safe.
+class QueueDispatcher {
+ public:
+  using Handler = std::function<Status(const Message&)>;
+
+  /// `queues` must outlive the dispatcher.
+  explicit QueueDispatcher(QueueManager* queues) : queues_(queues) {}
+
+  ~QueueDispatcher();
+
+  QueueDispatcher(const QueueDispatcher&) = delete;
+  QueueDispatcher& operator=(const QueueDispatcher&) = delete;
+
+  struct Binding {
+    std::string queue;
+    std::string group;                  // "" = default group.
+    std::optional<Predicate> selector;  // Optional dequeue selector.
+    Handler handler;
+  };
+
+  /// Binds a handler; one binding per (queue, group).
+  Status Bind(Binding binding);
+  Status Unbind(const std::string& queue, const std::string& group);
+
+  /// Drains every binding once; returns messages handled (acked).
+  Result<size_t> PumpOnce();
+
+  /// Starts the background activation thread (poll + block on queue
+  /// signal). FailedPrecondition if already running.
+  Status Start(TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli);
+
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  struct BindingStats {
+    uint64_t handled = 0;  // Handler OK -> acked.
+    uint64_t failed = 0;   // Handler error -> nacked.
+  };
+  Result<BindingStats> GetStats(const std::string& queue,
+                                const std::string& group) const;
+
+ private:
+  struct BoundState {
+    Binding binding;
+    BindingStats stats;
+  };
+
+  static std::string Key(const std::string& queue,
+                         const std::string& group) {
+    return queue + "\x01" + group;
+  }
+
+  QueueManager* queues_;
+  mutable std::mutex mu_;
+  std::map<std::string, BoundState> bindings_;
+  std::atomic<bool> running_{false};
+  std::thread worker_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_MQ_DISPATCHER_H_

@@ -1,0 +1,66 @@
+#ifndef EDADB_MQ_MESSAGE_H_
+#define EDADB_MQ_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "storage/log_record.h"
+#include "value/record.h"
+#include "value/row_codec.h"
+
+namespace edadb {
+
+using MessageId = RowId;
+
+/// A staged message (§2.2.b). `attributes` are typed headers visible to
+/// dequeue selectors and routing rules; `payload` is an opaque body.
+struct Message {
+  MessageId id = 0;
+  std::string queue;
+  TimestampMicros enqueue_time = 0;
+  TimestampMicros visible_at = 0;   // Delayed delivery.
+  TimestampMicros expires_at = 0;   // 0 = never expires.
+  int64_t priority = 0;             // Higher dequeues first.
+  int64_t delivery_count = 0;       // Deliveries to this consumer group.
+  std::string correlation_id;
+  AttributeList attributes;
+  std::string payload;
+
+  std::string ToString() const;
+};
+
+/// Exposes a message to selector predicates: built-in attributes by
+/// reserved names plus every user attribute by its own name.
+///   priority, delivery_count (INT64); enqueue_time (TIMESTAMP);
+///   correlation_id, queue (STRING).
+class MessageView : public RowAccessor {
+ public:
+  explicit MessageView(const Message& message) : message_(message) {}
+
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    if (name == "priority") return Value::Int64(message_.priority);
+    if (name == "delivery_count") {
+      return Value::Int64(message_.delivery_count);
+    }
+    if (name == "enqueue_time") {
+      return Value::Timestamp(message_.enqueue_time);
+    }
+    if (name == "correlation_id") {
+      return Value::String(message_.correlation_id);
+    }
+    if (name == "queue") return Value::String(message_.queue);
+    for (const auto& [attr_name, value] : message_.attributes) {
+      if (attr_name == name) return value;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const Message& message_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_MQ_MESSAGE_H_

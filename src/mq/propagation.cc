@@ -1,0 +1,169 @@
+#include "mq/propagation.h"
+
+namespace edadb {
+
+SimulatedExternalService::SimulatedExternalService(std::string name,
+                                                   Options options,
+                                                   Clock* clock,
+                                                   uint64_t seed)
+    : name_(std::move(name)),
+      options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      rng_(seed) {}
+
+Status SimulatedExternalService::Deliver(const Message& message) {
+  std::lock_guard lock(mu_);
+  if (options_.latency_micros > 0) {
+    clock_->AdvanceMicros(options_.latency_micros);
+  }
+  if (options_.failure_probability > 0.0 &&
+      rng_.NextDouble() < options_.failure_probability) {
+    ++failed_count_;
+    return Status::TimedOut("simulated delivery failure to " + name_);
+  }
+  ++delivered_count_;
+  recent_.push_back(message);
+  if (recent_.size() > options_.keep_last) {
+    recent_.erase(recent_.begin(),
+                  recent_.begin() + (recent_.size() - options_.keep_last));
+  }
+  return Status::OK();
+}
+
+uint64_t SimulatedExternalService::delivered_count() const {
+  std::lock_guard lock(mu_);
+  return delivered_count_;
+}
+
+uint64_t SimulatedExternalService::failed_count() const {
+  std::lock_guard lock(mu_);
+  return failed_count_;
+}
+
+std::vector<Message> SimulatedExternalService::delivered() const {
+  std::lock_guard lock(mu_);
+  return recent_;
+}
+
+Status Propagator::AddRule(PropagationRule rule) {
+  if (rule.name.empty()) {
+    return Status::InvalidArgument("propagation rule needs a name");
+  }
+  if (rule.destination_queue.empty() == (rule.external == nullptr)) {
+    return Status::InvalidArgument(
+        "rule '" + rule.name +
+        "' needs exactly one destination (queue or external service)");
+  }
+  if (!queues_->HasQueue(rule.source_queue)) {
+    return Status::NotFound("source queue '" + rule.source_queue + "'");
+  }
+  if (!rule.destination_queue.empty() &&
+      !queues_->HasQueue(rule.destination_queue)) {
+    return Status::NotFound("destination queue '" + rule.destination_queue +
+                            "'");
+  }
+  if (!rule.source_group.empty()) {
+    const Status s =
+        queues_->AddConsumerGroup(rule.source_queue, rule.source_group);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  std::lock_guard lock(mu_);
+  const std::string name = rule.name;
+  auto [it, inserted] = rules_.emplace(name, std::move(rule));
+  if (!inserted) {
+    return Status::AlreadyExists("rule '" + name + "' already exists");
+  }
+  stats_[name];
+  return Status::OK();
+}
+
+Status Propagator::RemoveRule(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (rules_.erase(name) == 0) {
+    return Status::NotFound("rule '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Propagator::ListRules() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(rules_.size());
+  for (const auto& [name, rule] : rules_) names.push_back(name);
+  return names;
+}
+
+Result<Propagator::RuleStats> Propagator::GetStats(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) return Status::NotFound("rule '" + name + "'");
+  return it->second;
+}
+
+Result<size_t> Propagator::RunOnce() {
+  // Copy the rule set so rule admin does not block pumping.
+  std::vector<PropagationRule> rules;
+  {
+    std::lock_guard lock(mu_);
+    rules.reserve(rules_.size());
+    for (const auto& [name, rule] : rules_) rules.push_back(rule);
+  }
+  size_t forwarded_total = 0;
+  for (const PropagationRule& rule : rules) {
+    RuleStats delta;
+    DequeueRequest request;
+    request.group = rule.source_group;
+    for (;;) {
+      EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
+                             queues_->Dequeue(rule.source_queue, request));
+      if (!message.has_value()) break;
+      // Filter: non-matching messages are consumed and dropped.
+      if (rule.filter.has_value()) {
+        MessageView view(*message);
+        if (!rule.filter->MatchesOrFalse(view)) {
+          EDADB_RETURN_IF_ERROR(queues_->Ack(rule.source_queue,
+                                             rule.source_group,
+                                             message->id));
+          ++delta.dropped;
+          continue;
+        }
+      }
+      EnqueueRequest out;
+      if (rule.transform != nullptr) {
+        out = rule.transform(*message);
+      } else {
+        out.payload = message->payload;
+        out.attributes = message->attributes;
+        out.priority = message->priority;
+        out.correlation_id = message->correlation_id;
+      }
+      Status delivery;
+      if (rule.external != nullptr) {
+        delivery = rule.external->Deliver(*message);
+      } else {
+        delivery = queues_->Enqueue(rule.destination_queue, out).status();
+      }
+      if (delivery.ok()) {
+        EDADB_RETURN_IF_ERROR(
+            queues_->Ack(rule.source_queue, rule.source_group, message->id));
+        ++delta.forwarded;
+        ++forwarded_total;
+      } else {
+        EDADB_RETURN_IF_ERROR(queues_->Nack(rule.source_queue,
+                                            rule.source_group, message->id));
+        ++delta.failed;
+        // Stop pumping this rule for now; the message is redeliverable.
+        break;
+      }
+    }
+    std::lock_guard lock(mu_);
+    RuleStats& stats = stats_[rule.name];
+    stats.forwarded += delta.forwarded;
+    stats.dropped += delta.dropped;
+    stats.failed += delta.failed;
+  }
+  return forwarded_total;
+}
+
+}  // namespace edadb

@@ -1,0 +1,120 @@
+#ifndef EDADB_MQ_PROPAGATION_H_
+#define EDADB_MQ_PROPAGATION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "mq/message.h"
+#include "mq/queue_manager.h"
+
+namespace edadb {
+
+/// A downstream delivery target outside the database (§2.2.d.ii.2
+/// "forwarding messages to external services").
+class ExternalService {
+ public:
+  virtual ~ExternalService() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Delivers one message; non-OK means the propagator will retry
+  /// (Nack) per queue policy.
+  virtual Status Deliver(const Message& message) = 0;
+};
+
+/// Test/bench stand-in for a real endpoint: injects latency and
+/// failures, and records what it received. The paper's external
+/// consumers (alerting gateways, first-responder devices) are simulated
+/// with this. Thread-safe.
+class SimulatedExternalService : public ExternalService {
+ public:
+  struct Options {
+    /// Probability in [0,1] that a delivery fails (transient).
+    double failure_probability = 0.0;
+    /// Simulated processing latency added per delivery (advances the
+    /// injected clock if one is supplied; never sleeps).
+    TimestampMicros latency_micros = 0;
+    /// Keep at most this many delivered messages for inspection.
+    size_t keep_last = 1024;
+  };
+
+  SimulatedExternalService(std::string name, Options options, Clock* clock,
+                           uint64_t seed = 42);
+
+  const std::string& name() const override { return name_; }
+  Status Deliver(const Message& message) override;
+
+  uint64_t delivered_count() const;
+  uint64_t failed_count() const;
+  std::vector<Message> delivered() const;
+
+ private:
+  std::string name_;
+  Options options_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  Random rng_;
+  uint64_t delivered_count_ = 0;
+  uint64_t failed_count_ = 0;
+  std::vector<Message> recent_;
+};
+
+/// One forwarding route from a staging area to another staging area or
+/// an external service (§2.2.d.ii "distribution of messages").
+struct PropagationRule {
+  std::string name;
+  std::string source_queue;
+  /// Consumer group the propagator consumes as (registered on demand as
+  /// an explicit group when non-empty).
+  std::string source_group;
+  /// Messages failing the filter are consumed and dropped — propagation
+  /// is where "non-critical data is filtered out".
+  std::optional<Predicate> filter;
+  /// Exactly one destination: a queue name, or an external service.
+  std::string destination_queue;
+  ExternalService* external = nullptr;
+  /// Optional rewrite applied before forwarding; identity by default.
+  std::function<EnqueueRequest(const Message&)> transform;
+};
+
+/// Pumps messages along its rules. Single-threaded driving model: call
+/// RunOnce() from a scheduler loop; each call drains every rule's source
+/// queue. Failures Nack the message so queue redelivery policy (and the
+/// dead-letter queue) applies.
+class Propagator {
+ public:
+  explicit Propagator(QueueManager* queues) : queues_(queues) {}
+
+  Status AddRule(PropagationRule rule);
+  Status RemoveRule(const std::string& name);
+  std::vector<std::string> ListRules() const;
+
+  struct RuleStats {
+    uint64_t forwarded = 0;
+    uint64_t dropped = 0;   // Failed the filter.
+    uint64_t failed = 0;    // Destination rejected; nacked.
+  };
+
+  /// Drains every rule once; returns total messages forwarded.
+  Result<size_t> RunOnce();
+
+  Result<RuleStats> GetStats(const std::string& name) const;
+
+ private:
+  QueueManager* queues_;
+  mutable std::mutex mu_;
+  std::map<std::string, PropagationRule> rules_;
+  std::map<std::string, RuleStats> stats_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_MQ_PROPAGATION_H_

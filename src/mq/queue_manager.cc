@@ -1,0 +1,766 @@
+#include "mq/queue_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace edadb {
+
+namespace {
+
+constexpr char kQueuesTable[] = "__queues";
+constexpr char kGroupsTable[] = "__queue_groups";
+
+SchemaPtr QueuesMetaSchema() {
+  return Schema::Make({
+      {"name", ValueType::kString, /*nullable=*/false},
+      {"max_deliveries", ValueType::kInt64, false},
+      {"visibility_timeout", ValueType::kInt64, false},
+      {"dead_letter", ValueType::kString, true},
+  });
+}
+
+SchemaPtr GroupsMetaSchema() {
+  return Schema::Make({
+      {"queue", ValueType::kString, false},
+      {"grp", ValueType::kString, false},
+  });
+}
+
+SchemaPtr MsgSchema() {
+  return Schema::Make({
+      {"enqueue_time", ValueType::kTimestamp, false},
+      {"visible_at", ValueType::kTimestamp, false},
+      {"expires_at", ValueType::kTimestamp, false},
+      {"priority", ValueType::kInt64, false},
+      {"correlation", ValueType::kString, true},
+      {"attrs", ValueType::kString, true},
+      {"payload", ValueType::kString, true},
+  });
+}
+
+SchemaPtr DelivSchema() {
+  return Schema::Make({
+      {"grp", ValueType::kString, false},
+      {"msg_id", ValueType::kInt64, false},
+      {"visible_at", ValueType::kTimestamp, false},
+      {"locked_until", ValueType::kTimestamp, false},
+      {"delivery_count", ValueType::kInt64, false},
+  });
+}
+
+int64_t GetInt64(const Record& record, std::string_view field) {
+  auto v = record.Get(field);
+  if (!v.ok() || v->is_null()) return 0;
+  auto i = v->AsInt64();
+  return i.ok() ? *i : 0;
+}
+
+std::string GetString(const Record& record, std::string_view field) {
+  auto v = record.Get(field);
+  if (!v.ok() || v->is_null() || v->type() != ValueType::kString) return "";
+  return v->string_value();
+}
+
+}  // namespace
+
+std::string QueueManager::MsgTableName(const std::string& queue) {
+  return "__q_" + queue + "_msgs";
+}
+
+std::string QueueManager::DelivTableName(const std::string& queue) {
+  return "__q_" + queue + "_dlv";
+}
+
+QueueManager::QueueManager(Database* db)
+    : db_(db), clock_(db->clock()) {}
+
+Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db) {
+  auto manager = std::unique_ptr<QueueManager>(new QueueManager(db));
+  EDADB_RETURN_IF_ERROR(manager->EnsureMetaTables());
+  EDADB_RETURN_IF_ERROR(manager->ReloadFromMeta());
+  return manager;
+}
+
+Status QueueManager::EnsureMetaTables() {
+  if (!db_->GetTable(kQueuesTable).ok()) {
+    EDADB_RETURN_IF_ERROR(
+        db_->CreateTable(kQueuesTable, QueuesMetaSchema()).status());
+    EDADB_RETURN_IF_ERROR(db_->CreateIndex(kQueuesTable, "name", true));
+  }
+  if (!db_->GetTable(kGroupsTable).ok()) {
+    EDADB_RETURN_IF_ERROR(
+        db_->CreateTable(kGroupsTable, GroupsMetaSchema()).status());
+  }
+  return Status::OK();
+}
+
+Status QueueManager::ReloadFromMeta() {
+  std::unique_lock lock(mu_);
+  EDADB_ASSIGN_OR_RETURN(Table * queues_table, db_->GetTable(kQueuesTable));
+  Status status;
+  queues_table->ScanRows([&](RowId, const Record& row) {
+    const std::string name = GetString(row, "name");
+    QueueState state;
+    state.options.max_deliveries = GetInt64(row, "max_deliveries");
+    state.options.visibility_timeout_micros =
+        GetInt64(row, "visibility_timeout");
+    state.options.dead_letter_queue = GetString(row, "dead_letter");
+    queues_.emplace(name, std::move(state));
+    return true;
+  });
+  EDADB_ASSIGN_OR_RETURN(Table * groups_table, db_->GetTable(kGroupsTable));
+  groups_table->ScanRows([&](RowId, const Record& row) {
+    auto it = queues_.find(GetString(row, "queue"));
+    if (it != queues_.end()) {
+      it->second.explicit_groups.insert(GetString(row, "grp"));
+    }
+    return true;
+  });
+  for (auto& [name, state] : queues_) {
+    EDADB_RETURN_IF_ERROR(RegisterQueueTriggers(name));
+    EDADB_RETURN_IF_ERROR(RebuildRuntime(name, &state));
+  }
+  return status;
+}
+
+Status QueueManager::CreateQueueStorage(const std::string& name) {
+  EDADB_RETURN_IF_ERROR(
+      db_->CreateTable(MsgTableName(name), MsgSchema()).status());
+  EDADB_RETURN_IF_ERROR(
+      db_->CreateTable(DelivTableName(name), DelivSchema()).status());
+  return RegisterQueueTriggers(name);
+}
+
+Status QueueManager::RegisterQueueTriggers(const std::string& name) {
+  TriggerDef msg_trigger;
+  msg_trigger.name = "__qt_" + name + "_msgs";
+  msg_trigger.table = MsgTableName(name);
+  msg_trigger.timing = TriggerTiming::kAfter;
+  msg_trigger.ops = kDmlInsert;
+  msg_trigger.action = [this, name](const TriggerEvent& event) {
+    OnMessageInserted(name, event.row_id, *event.new_row);
+    return Status::OK();
+  };
+  EDADB_RETURN_IF_ERROR(db_->CreateTrigger(std::move(msg_trigger)));
+
+  TriggerDef dlv_trigger;
+  dlv_trigger.name = "__qt_" + name + "_dlv";
+  dlv_trigger.table = DelivTableName(name);
+  dlv_trigger.timing = TriggerTiming::kAfter;
+  dlv_trigger.ops = kDmlInsert;
+  dlv_trigger.action = [this, name](const TriggerEvent& event) {
+    OnDeliveryInserted(name, event.row_id, *event.new_row);
+    return Status::OK();
+  };
+  return db_->CreateTrigger(std::move(dlv_trigger));
+}
+
+Status QueueManager::RebuildRuntime(const std::string& name,
+                                    QueueState* state) {
+  EDADB_ASSIGN_OR_RETURN(Table * msgs, db_->GetTable(MsgTableName(name)));
+  msgs->ScanRows([&](RowId row_id, const Record& row) {
+    state->messages[row_id] = {GetInt64(row, "priority"),
+                               GetInt64(row, "expires_at")};
+    return true;
+  });
+  EDADB_ASSIGN_OR_RETURN(Table * dlv, db_->GetTable(DelivTableName(name)));
+  const TimestampMicros now = clock_->NowMicros();
+  dlv->ScanRows([&](RowId row_id, const Record& row) {
+    const std::string group = GetString(row, "grp");
+    const MessageId msg_id = static_cast<MessageId>(GetInt64(row, "msg_id"));
+    GroupRuntime& rt = state->runtime[group];
+    rt.deliveries[msg_id] = {row_id, GetInt64(row, "delivery_count")};
+    const TimestampMicros locked_until = GetInt64(row, "locked_until");
+    const TimestampMicros visible_at = GetInt64(row, "visible_at");
+    auto meta = state->messages.find(msg_id);
+    const int64_t priority =
+        meta != state->messages.end() ? meta->second.priority : 0;
+    if (locked_until > now) {
+      rt.locked[msg_id] = locked_until;
+    } else if (visible_at > now) {
+      rt.delayed.emplace(visible_at, msg_id);
+    } else {
+      rt.ready.emplace(-priority, msg_id);
+    }
+    return true;
+  });
+  return Status::OK();
+}
+
+Status QueueManager::CreateQueue(const std::string& name,
+                                 QueueCreateOptions options) {
+  std::unique_lock lock(mu_);
+  if (name.empty()) return Status::InvalidArgument("queue needs a name");
+  if (queues_.count(name) > 0) {
+    return Status::AlreadyExists("queue '" + name + "' already exists");
+  }
+  EDADB_ASSIGN_OR_RETURN(Table * meta, db_->GetTable(kQueuesTable));
+  Record row = *RecordBuilder(meta->schema())
+                    .SetString("name", name)
+                    .SetInt64("max_deliveries", options.max_deliveries)
+                    .SetInt64("visibility_timeout",
+                              options.visibility_timeout_micros)
+                    .SetString("dead_letter", options.dead_letter_queue)
+                    .Build();
+  EDADB_RETURN_IF_ERROR(db_->Insert(kQueuesTable, std::move(row)).status());
+  EDADB_RETURN_IF_ERROR(CreateQueueStorage(name));
+  QueueState state;
+  state.options = std::move(options);
+  queues_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status QueueManager::DropQueue(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(name);
+  if (it == queues_.end()) {
+    return Status::NotFound("queue '" + name + "'");
+  }
+  (void)db_->DropTrigger("__qt_" + name + "_msgs");
+  (void)db_->DropTrigger("__qt_" + name + "_dlv");
+  EDADB_RETURN_IF_ERROR(db_->DropTable(MsgTableName(name)));
+  EDADB_RETURN_IF_ERROR(db_->DropTable(DelivTableName(name)));
+  EDADB_ASSIGN_OR_RETURN(Predicate by_name,
+                         Predicate::Compile("name = '" + name + "'"));
+  EDADB_RETURN_IF_ERROR(db_->DeleteWhere(kQueuesTable, by_name).status());
+  EDADB_ASSIGN_OR_RETURN(Predicate by_queue,
+                         Predicate::Compile("queue = '" + name + "'"));
+  EDADB_RETURN_IF_ERROR(db_->DeleteWhere(kGroupsTable, by_queue).status());
+  queues_.erase(it);
+  return Status::OK();
+}
+
+bool QueueManager::HasQueue(const std::string& name) const {
+  std::unique_lock lock(mu_);
+  return queues_.count(name) > 0;
+}
+
+std::vector<std::string> QueueManager::ListQueues() const {
+  std::unique_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, state] : queues_) names.push_back(name);
+  return names;
+}
+
+Status QueueManager::AddConsumerGroup(const std::string& queue,
+                                      const std::string& group) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  if (group.empty()) {
+    return Status::InvalidArgument("consumer group needs a name");
+  }
+  if (it->second.explicit_groups.count(group) > 0) {
+    return Status::AlreadyExists("group '" + group + "' already registered");
+  }
+  EDADB_ASSIGN_OR_RETURN(Table * meta, db_->GetTable(kGroupsTable));
+  Record row = *RecordBuilder(meta->schema())
+                    .SetString("queue", queue)
+                    .SetString("grp", group)
+                    .Build();
+  EDADB_RETURN_IF_ERROR(db_->Insert(kGroupsTable, std::move(row)).status());
+  it->second.explicit_groups.insert(group);
+  return Status::OK();
+}
+
+Status QueueManager::RemoveConsumerGroup(const std::string& queue,
+                                         const std::string& group) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  if (it->second.explicit_groups.erase(group) == 0) {
+    return Status::NotFound("group '" + group + "'");
+  }
+  EDADB_ASSIGN_OR_RETURN(
+      Predicate match,
+      Predicate::Compile("queue = '" + queue + "' AND grp = '" + group +
+                         "'"));
+  EDADB_RETURN_IF_ERROR(db_->DeleteWhere(kGroupsTable, match).status());
+  // Finish any outstanding deliveries so messages can be garbage
+  // collected.
+  auto rt_it = it->second.runtime.find(group);
+  if (rt_it != it->second.runtime.end()) {
+    std::vector<MessageId> ids;
+    for (const auto& [id, deliv] : rt_it->second.deliveries) {
+      ids.push_back(id);
+    }
+    for (const MessageId id : ids) {
+      EDADB_RETURN_IF_ERROR(FinishDelivery(queue, &it->second, group, id));
+    }
+    it->second.runtime.erase(group);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> QueueManager::ListConsumerGroups(
+    const std::string& queue) const {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  return std::vector<std::string>(it->second.explicit_groups.begin(),
+                                  it->second.explicit_groups.end());
+}
+
+std::vector<std::string> QueueManager::EffectiveGroups(
+    const QueueState& state) {
+  if (state.explicit_groups.empty()) return {""};
+  return {state.explicit_groups.begin(), state.explicit_groups.end()};
+}
+
+Result<Record> QueueManager::BuildMessageRecord(
+    const std::string& queue, const EnqueueRequest& request,
+    TimestampMicros now) const {
+  EDADB_ASSIGN_OR_RETURN(Table * msgs, db_->GetTable(MsgTableName(queue)));
+  std::string attrs;
+  EncodeAttributes(request.attributes, &attrs);
+  return RecordBuilder(msgs->schema())
+      .SetTimestamp("enqueue_time", now)
+      .SetTimestamp("visible_at", now + request.delay_micros)
+      .SetTimestamp("expires_at",
+                    request.ttl_micros > 0 ? now + request.ttl_micros : 0)
+      .SetInt64("priority", request.priority)
+      .SetString("correlation", request.correlation_id)
+      .SetString("attrs", std::move(attrs))
+      .SetString("payload", request.payload)
+      .Build();
+}
+
+Result<MessageId> QueueManager::Enqueue(const std::string& queue,
+                                        const EnqueueRequest& request) {
+  auto txn = db_->BeginTransaction();
+  EDADB_ASSIGN_OR_RETURN(MessageId id,
+                         EnqueueInTransaction(txn.get(), queue, request));
+  EDADB_RETURN_IF_ERROR(txn->Commit());
+  return id;
+}
+
+Result<MessageId> QueueManager::EnqueueInTransaction(
+    Transaction* txn, const std::string& queue,
+    const EnqueueRequest& request) {
+  std::vector<std::string> groups;
+  {
+    std::unique_lock lock(mu_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+    groups = EffectiveGroups(it->second);
+  }
+  const TimestampMicros now = clock_->NowMicros();
+  EDADB_ASSIGN_OR_RETURN(Record msg_row,
+                         BuildMessageRecord(queue, request, now));
+  EDADB_ASSIGN_OR_RETURN(MessageId id,
+                         txn->Insert(MsgTableName(queue), std::move(msg_row)));
+  EDADB_ASSIGN_OR_RETURN(Table * dlv, db_->GetTable(DelivTableName(queue)));
+  for (const std::string& group : groups) {
+    Record dlv_row = *RecordBuilder(dlv->schema())
+                          .SetString("grp", group)
+                          .SetInt64("msg_id", static_cast<int64_t>(id))
+                          .SetTimestamp("visible_at",
+                                        now + request.delay_micros)
+                          .SetTimestamp("locked_until", 0)
+                          .SetInt64("delivery_count", 0)
+                          .Build();
+    EDADB_RETURN_IF_ERROR(
+        txn->Insert(DelivTableName(queue), std::move(dlv_row)).status());
+  }
+  return id;
+}
+
+void QueueManager::OnMessageInserted(const std::string& queue, MessageId id,
+                                     const Record& row) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return;
+  it->second.messages[id] = {GetInt64(row, "priority"),
+                             GetInt64(row, "expires_at")};
+}
+
+void QueueManager::OnDeliveryInserted(const std::string& queue,
+                                      RowId deliv_row, const Record& row) {
+  {
+    std::unique_lock lock(mu_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end()) return;
+    QueueState& state = it->second;
+    const std::string group = GetString(row, "grp");
+    const MessageId msg_id = static_cast<MessageId>(GetInt64(row, "msg_id"));
+    GroupRuntime& rt = state.runtime[group];
+    rt.deliveries[msg_id] = {deliv_row, GetInt64(row, "delivery_count")};
+    const TimestampMicros visible_at = GetInt64(row, "visible_at");
+    auto meta = state.messages.find(msg_id);
+    const int64_t priority =
+        meta != state.messages.end() ? meta->second.priority : 0;
+    if (visible_at > clock_->NowMicros()) {
+      rt.delayed.emplace(visible_at, msg_id);
+    } else {
+      rt.ready.emplace(-priority, msg_id);
+    }
+  }
+  enqueue_cv_.notify_all();
+}
+
+Result<Message> QueueManager::LoadMessage(const std::string& queue,
+                                          MessageId id) const {
+  EDADB_ASSIGN_OR_RETURN(Record row, db_->GetRow(MsgTableName(queue), id));
+  Message message;
+  message.id = id;
+  message.queue = queue;
+  message.enqueue_time = GetInt64(row, "enqueue_time");
+  message.visible_at = GetInt64(row, "visible_at");
+  message.expires_at = GetInt64(row, "expires_at");
+  message.priority = GetInt64(row, "priority");
+  message.correlation_id = GetString(row, "correlation");
+  message.payload = GetString(row, "payload");
+  const std::string attrs = GetString(row, "attrs");
+  if (!attrs.empty()) {
+    EDADB_ASSIGN_OR_RETURN(message.attributes, DecodeAttributes(attrs));
+  }
+  return message;
+}
+
+void QueueManager::Promote(QueueState* state, GroupRuntime* rt,
+                           TimestampMicros now) {
+  while (!rt->delayed.empty() && rt->delayed.begin()->first <= now) {
+    const MessageId id = rt->delayed.begin()->second;
+    rt->delayed.erase(rt->delayed.begin());
+    auto meta = state->messages.find(id);
+    const int64_t priority =
+        meta != state->messages.end() ? meta->second.priority : 0;
+    rt->ready.emplace(-priority, id);
+  }
+  for (auto it = rt->locked.begin(); it != rt->locked.end();) {
+    if (it->second <= now) {
+      auto meta = state->messages.find(it->first);
+      const int64_t priority =
+          meta != state->messages.end() ? meta->second.priority : 0;
+      rt->ready.emplace(-priority, it->first);
+      it = rt->locked.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status QueueManager::FinishDelivery(const std::string& queue,
+                                    QueueState* state,
+                                    const std::string& group, MessageId id) {
+  auto rt_it = state->runtime.find(group);
+  if (rt_it == state->runtime.end()) {
+    return Status::NotFound("no runtime for group '" + group + "'");
+  }
+  GroupRuntime& rt = rt_it->second;
+  auto deliv_it = rt.deliveries.find(id);
+  if (deliv_it == rt.deliveries.end()) {
+    return Status::NotFound("no delivery of message " + std::to_string(id) +
+                            " for group '" + group + "'");
+  }
+  const RowId deliv_row = deliv_it->second.deliv_row;
+  rt.deliveries.erase(deliv_it);
+  rt.locked.erase(id);
+  auto meta = state->messages.find(id);
+  const int64_t priority =
+      meta != state->messages.end() ? meta->second.priority : 0;
+  rt.ready.erase({-priority, id});
+  for (auto it = rt.delayed.begin(); it != rt.delayed.end(); ++it) {
+    if (it->second == id) {
+      rt.delayed.erase(it);
+      break;
+    }
+  }
+  EDADB_RETURN_IF_ERROR(db_->DeleteRow(DelivTableName(queue), deliv_row));
+
+  // GC the message when no group still holds a delivery.
+  bool live = false;
+  for (const auto& [name, other_rt] : state->runtime) {
+    if (other_rt.deliveries.count(id) > 0) {
+      live = true;
+      break;
+    }
+  }
+  if (!live) {
+    state->messages.erase(id);
+    (void)db_->DeleteRow(MsgTableName(queue), id);
+  }
+  return Status::OK();
+}
+
+Status QueueManager::DeadLetter(const std::string& queue, QueueState* state,
+                                const std::string& group, MessageId id,
+                                const std::string& reason) {
+  if (!state->options.dead_letter_queue.empty() &&
+      queues_.count(state->options.dead_letter_queue) > 0) {
+    auto message = LoadMessage(queue, id);
+    if (message.ok()) {
+      EnqueueRequest request;
+      request.payload = message->payload;
+      request.attributes = message->attributes;
+      request.attributes.emplace_back("dlq_reason", Value::String(reason));
+      request.attributes.emplace_back("dlq_source_queue",
+                                      Value::String(queue));
+      request.attributes.emplace_back(
+          "dlq_source_id", Value::Int64(static_cast<int64_t>(id)));
+      request.priority = message->priority;
+      request.correlation_id = message->correlation_id;
+      const auto dlq_result =
+          Enqueue(state->options.dead_letter_queue, request);
+      if (!dlq_result.ok()) {
+        EDADB_LOG(Warn) << "dead-letter enqueue failed: "
+                        << dlq_result.status();
+      }
+    }
+  }
+  return FinishDelivery(queue, state, group, id);
+}
+
+Result<std::optional<Message>> QueueManager::Dequeue(
+    const std::string& queue, const DequeueRequest& request) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  QueueState& state = it->second;
+  const std::vector<std::string> groups = EffectiveGroups(state);
+  if (std::find(groups.begin(), groups.end(), request.group) ==
+      groups.end()) {
+    return Status::NotFound("consumer group '" + request.group +
+                            "' not registered on queue '" + queue + "'");
+  }
+  GroupRuntime& rt = state.runtime[request.group];
+  const TimestampMicros now = clock_->NowMicros();
+  Promote(&state, &rt, now);
+
+  // Snapshot the ready order; dead-lettering below mutates the set.
+  std::vector<std::pair<int64_t, MessageId>> candidates(rt.ready.begin(),
+                                                        rt.ready.end());
+  for (const auto& [neg_priority, id] : candidates) {
+    auto meta_it = state.messages.find(id);
+    if (meta_it == state.messages.end()) {
+      rt.ready.erase({neg_priority, id});
+      continue;
+    }
+    const MsgMeta meta = meta_it->second;
+    if (meta.expires_at != 0 && meta.expires_at <= now) {
+      EDADB_RETURN_IF_ERROR(
+          DeadLetter(queue, &state, request.group, id, "expired"));
+      continue;
+    }
+    auto deliv_it = rt.deliveries.find(id);
+    if (deliv_it == rt.deliveries.end()) {
+      rt.ready.erase({neg_priority, id});
+      continue;
+    }
+    if (deliv_it->second.delivery_count >= state.options.max_deliveries) {
+      EDADB_RETURN_IF_ERROR(
+          DeadLetter(queue, &state, request.group, id, "max_deliveries"));
+      continue;
+    }
+    EDADB_ASSIGN_OR_RETURN(Message message, LoadMessage(queue, id));
+    if (request.selector.has_value()) {
+      MessageView view(message);
+      if (!request.selector->MatchesOrFalse(view)) continue;
+    }
+    // Lock it for this group.
+    DelivState& deliv = deliv_it->second;
+    deliv.delivery_count += 1;
+    const TimestampMicros locked_until =
+        now + state.options.visibility_timeout_micros;
+    EDADB_ASSIGN_OR_RETURN(Record dlv_row,
+                           db_->GetRow(DelivTableName(queue),
+                                       deliv.deliv_row));
+    (void)dlv_row.Set("locked_until", Value::Timestamp(locked_until));
+    (void)dlv_row.Set("delivery_count",
+                      Value::Int64(deliv.delivery_count));
+    EDADB_RETURN_IF_ERROR(db_->UpdateRow(DelivTableName(queue),
+                                         deliv.deliv_row,
+                                         std::move(dlv_row)));
+    rt.ready.erase({neg_priority, id});
+    rt.locked[id] = locked_until;
+    message.delivery_count = deliv.delivery_count;
+    return std::optional<Message>(std::move(message));
+  }
+  return std::optional<Message>();
+}
+
+Result<std::optional<Message>> QueueManager::DequeueWait(
+    const std::string& queue, const DequeueRequest& request,
+    TimestampMicros timeout_micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  for (;;) {
+    EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
+                           Dequeue(queue, request));
+    if (message.has_value()) return message;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::optional<Message>();
+    // Capped slices keep simulated-clock promotions responsive.
+    const auto slice =
+        std::min<std::chrono::steady_clock::duration>(
+            deadline - now, std::chrono::milliseconds(5));
+    std::unique_lock lock(mu_);
+    enqueue_cv_.wait_for(lock, slice);
+  }
+}
+
+Status QueueManager::Ack(const std::string& queue, const std::string& group,
+                         MessageId id) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  return FinishDelivery(queue, &it->second, group, id);
+}
+
+Status QueueManager::Nack(const std::string& queue, const std::string& group,
+                          MessageId id,
+                          TimestampMicros redeliver_delay_micros) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  QueueState& state = it->second;
+  auto rt_it = state.runtime.find(group);
+  if (rt_it == state.runtime.end()) {
+    return Status::NotFound("no runtime for group '" + group + "'");
+  }
+  GroupRuntime& rt = rt_it->second;
+  auto deliv_it = rt.deliveries.find(id);
+  if (deliv_it == rt.deliveries.end()) {
+    return Status::NotFound("no delivery of message " + std::to_string(id));
+  }
+  if (deliv_it->second.delivery_count >= state.options.max_deliveries) {
+    return DeadLetter(queue, &state, group, id, "max_deliveries");
+  }
+  const TimestampMicros now = clock_->NowMicros();
+  const TimestampMicros visible_at = now + redeliver_delay_micros;
+  EDADB_ASSIGN_OR_RETURN(
+      Record dlv_row,
+      db_->GetRow(DelivTableName(queue), deliv_it->second.deliv_row));
+  (void)dlv_row.Set("locked_until", Value::Timestamp(0));
+  (void)dlv_row.Set("visible_at", Value::Timestamp(visible_at));
+  EDADB_RETURN_IF_ERROR(db_->UpdateRow(
+      DelivTableName(queue), deliv_it->second.deliv_row, std::move(dlv_row)));
+  rt.locked.erase(id);
+  auto meta = state.messages.find(id);
+  const int64_t priority =
+      meta != state.messages.end() ? meta->second.priority : 0;
+  if (visible_at > now) {
+    rt.delayed.emplace(visible_at, id);
+  } else {
+    rt.ready.emplace(-priority, id);
+  }
+  enqueue_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<size_t> QueueManager::Depth(const std::string& queue,
+                                   const std::string& group) const {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  auto rt_it = it->second.runtime.find(group);
+  if (rt_it == it->second.runtime.end()) return size_t{0};
+  // Count ready plus delayed-now-due without mutating (Depth is const).
+  const TimestampMicros now = clock_->NowMicros();
+  size_t depth = rt_it->second.ready.size();
+  for (const auto& [visible_at, id] : rt_it->second.delayed) {
+    if (visible_at <= now) ++depth;
+  }
+  for (const auto& [id, locked_until] : rt_it->second.locked) {
+    if (locked_until <= now) ++depth;
+  }
+  return depth;
+}
+
+Result<size_t> QueueManager::PurgeExpired(const std::string& queue) {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  QueueState& state = it->second;
+  const TimestampMicros now = clock_->NowMicros();
+  std::vector<MessageId> expired;
+  for (const auto& [id, meta] : state.messages) {
+    if (meta.expires_at != 0 && meta.expires_at <= now) {
+      expired.push_back(id);
+    }
+  }
+  size_t purged = 0;
+  for (const MessageId id : expired) {
+    // Dead-letter once, then drop every group's delivery.
+    bool first = true;
+    std::vector<std::string> holding;
+    for (const auto& [group, rt] : state.runtime) {
+      if (rt.deliveries.count(id) > 0) holding.push_back(group);
+    }
+    for (const std::string& group : holding) {
+      if (first) {
+        EDADB_RETURN_IF_ERROR(
+            DeadLetter(queue, &state, group, id, "expired"));
+        first = false;
+      } else {
+        EDADB_RETURN_IF_ERROR(FinishDelivery(queue, &state, group, id));
+      }
+    }
+    if (!holding.empty()) ++purged;
+  }
+  return purged;
+}
+
+Status QueueManager::Browse(
+    const std::string& queue, const std::string& group,
+    const std::function<bool(const Message&)>& fn) const {
+  std::unique_lock lock(mu_);
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  auto rt_it = it->second.runtime.find(group);
+  if (rt_it == it->second.runtime.end()) return Status::OK();
+  const TimestampMicros now = clock_->NowMicros();
+  // Snapshot: ready entries plus matured delayed/expired-lock entries,
+  // in (priority, id) order — the order Dequeue would serve them.
+  std::set<std::pair<int64_t, MessageId>> visible = rt_it->second.ready;
+  for (const auto& [visible_at, id] : rt_it->second.delayed) {
+    if (visible_at <= now) {
+      auto meta = it->second.messages.find(id);
+      visible.emplace(
+          meta != it->second.messages.end() ? -meta->second.priority : 0,
+          id);
+    }
+  }
+  for (const auto& [id, locked_until] : rt_it->second.locked) {
+    if (locked_until <= now) {
+      auto meta = it->second.messages.find(id);
+      visible.emplace(
+          meta != it->second.messages.end() ? -meta->second.priority : 0,
+          id);
+    }
+  }
+  for (const auto& [neg_priority, id] : visible) {
+    auto message = LoadMessage(queue, id);
+    if (!message.ok()) continue;
+    if (!fn(*message)) break;
+  }
+  return Status::OK();
+}
+
+Result<Message> QueueManager::Peek(const std::string& queue,
+                                   MessageId id) const {
+  std::unique_lock lock(mu_);
+  if (queues_.count(queue) == 0) {
+    return Status::NotFound("queue '" + queue + "'");
+  }
+  return LoadMessage(queue, id);
+}
+
+std::string Message::ToString() const {
+  std::string out = StringPrintf(
+      "Message{id=%llu queue=%s priority=%lld deliveries=%lld",
+      static_cast<unsigned long long>(id), queue.c_str(),
+      static_cast<long long>(priority),
+      static_cast<long long>(delivery_count));
+  for (const auto& [name, value] : attributes) {
+    out += " " + name + "=" + value.ToString();
+  }
+  out += " payload='" + payload + "'}";
+  return out;
+}
+
+}  // namespace edadb

@@ -1,0 +1,226 @@
+#ifndef EDADB_MQ_QUEUE_MANAGER_H_
+#define EDADB_MQ_QUEUE_MANAGER_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "expr/predicate.h"
+#include "mq/message.h"
+
+namespace edadb {
+
+/// Per-queue policy (§2.2.b operational characteristics).
+struct QueueCreateOptions {
+  /// Deliveries to one group before the message is dead-lettered.
+  int64_t max_deliveries = 5;
+  /// How long a dequeued-but-unacked message stays invisible before it
+  /// is redelivered (crash/timeout recovery for consumers).
+  TimestampMicros visibility_timeout_micros = 30 * kMicrosPerSecond;
+  /// Where poisoned/expired messages go; empty = drop them.
+  std::string dead_letter_queue;
+};
+
+struct EnqueueRequest {
+  std::string payload;
+  AttributeList attributes;
+  int64_t priority = 0;
+  TimestampMicros delay_micros = 0;  // Visible after now + delay.
+  TimestampMicros ttl_micros = 0;    // 0 = never expires.
+  std::string correlation_id;
+};
+
+struct DequeueRequest {
+  /// Consumer group; "" is the implicit default group.
+  std::string group;
+  /// Optional selector over MessageView attributes, e.g.
+  /// "severity >= 3 AND region = 'east'".
+  std::optional<Predicate> selector;
+};
+
+/// Message staging areas persisted in database tables (§2.2.b "support
+/// of message storage"). Every queue is two tables — message bodies and
+/// per-consumer-group delivery state — so messages inherit the
+/// database's operational characteristics: WAL recoverability,
+/// transactional enqueue, auditing via the journal.
+///
+/// Delivery semantics per consumer group: at-least-once with visibility
+/// timeouts; redelivery increments delivery_count; after
+/// max_deliveries the message moves to the dead-letter queue.
+///
+/// Thread-safe. Dequeue/Ack/Nack serialize on an internal mutex;
+/// enqueues only take the database's own locks and wake blocked
+/// DequeueWait() callers.
+class QueueManager {
+ public:
+  /// `db` must outlive the manager. Existing queues (from a previous
+  /// run of the same database directory) are reattached.
+  static Result<std::unique_ptr<QueueManager>> Attach(Database* db);
+
+  Status CreateQueue(const std::string& name,
+                     QueueCreateOptions options = {});
+  Status DropQueue(const std::string& name);
+  bool HasQueue(const std::string& name) const;
+  std::vector<std::string> ListQueues() const;
+
+  /// Consumer groups ("subscribers" in AQ terms). A queue always has the
+  /// implicit "" group until the first explicit group is added; after
+  /// that, enqueued messages fan out to every registered group.
+  Status AddConsumerGroup(const std::string& queue, const std::string& group);
+  Status RemoveConsumerGroup(const std::string& queue,
+                             const std::string& group);
+  Result<std::vector<std::string>> ListConsumerGroups(
+      const std::string& queue) const;
+
+  /// Stages a message (the tutorial's "extended INSERT interface").
+  Result<MessageId> Enqueue(const std::string& queue,
+                            const EnqueueRequest& request);
+
+  /// Transactional enqueue: the message becomes visible only when `txn`
+  /// commits (§2.2.b.ii.3 "transactional support").
+  Result<MessageId> EnqueueInTransaction(Transaction* txn,
+                                         const std::string& queue,
+                                         const EnqueueRequest& request);
+
+  /// Takes the highest-priority visible message matching the selector,
+  /// locking it for the group's visibility timeout. nullopt = queue
+  /// empty (for this group/selector).
+  Result<std::optional<Message>> Dequeue(const std::string& queue,
+                                         const DequeueRequest& request);
+
+  /// Blocking dequeue; waits up to `timeout_micros` for a message.
+  Result<std::optional<Message>> DequeueWait(const std::string& queue,
+                                             const DequeueRequest& request,
+                                             TimestampMicros timeout_micros);
+
+  /// Completes consumption. When every group has acked, the message row
+  /// is removed.
+  Status Ack(const std::string& queue, const std::string& group,
+             MessageId id);
+
+  /// Returns the message to the queue after `redeliver_delay_micros`
+  /// (dead-letters it if max_deliveries is exhausted).
+  Status Nack(const std::string& queue, const std::string& group,
+              MessageId id, TimestampMicros redeliver_delay_micros = 0);
+
+  /// Ready (visible, unlocked) messages for `group`.
+  Result<size_t> Depth(const std::string& queue,
+                       const std::string& group) const;
+
+  /// Removes expired messages; returns how many were purged (moved to
+  /// the dead-letter queue when configured).
+  Result<size_t> PurgeExpired(const std::string& queue);
+
+  /// Reads a staged message without consuming it.
+  Result<Message> Peek(const std::string& queue, MessageId id) const;
+
+  /// Non-destructive browse (AQ's browse mode): visits every message
+  /// currently deliverable to `group` in dequeue order without locking
+  /// or consuming anything. Return false from `fn` to stop early.
+  Status Browse(const std::string& queue, const std::string& group,
+                const std::function<bool(const Message&)>& fn) const;
+
+  Database* db() const { return db_; }
+
+ private:
+  explicit QueueManager(Database* db);
+
+  /// Cached metadata for a live message.
+  struct MsgMeta {
+    int64_t priority = 0;
+    TimestampMicros expires_at = 0;
+  };
+
+  /// One group's live delivery of a message.
+  struct DelivState {
+    RowId deliv_row = 0;
+    int64_t delivery_count = 0;
+  };
+
+  /// In-memory dequeue index per consumer group. The database tables are
+  /// authoritative (and rebuild this on Attach); the runtime makes
+  /// Dequeue O(log n) instead of a table scan.
+  struct GroupRuntime {
+    /// Deliverable now, ordered by (-priority, message id).
+    std::set<std::pair<int64_t, MessageId>> ready;
+    /// Dequeued and invisible until the mapped deadline.
+    std::map<MessageId, TimestampMicros> locked;
+    /// Delayed delivery: visible_at -> message id.
+    std::multimap<TimestampMicros, MessageId> delayed;
+    /// All live deliveries for this group.
+    std::map<MessageId, DelivState> deliveries;
+  };
+
+  struct QueueState {
+    QueueCreateOptions options;
+    std::set<std::string> explicit_groups;
+    std::map<std::string, GroupRuntime> runtime;  // Keyed by group.
+    std::map<MessageId, MsgMeta> messages;
+  };
+
+  static std::string MsgTableName(const std::string& queue);
+  static std::string DelivTableName(const std::string& queue);
+
+  Status EnsureMetaTables();
+  Status ReloadFromMeta();
+
+  /// Creates the per-queue tables and registers the AFTER INSERT
+  /// triggers that feed the runtime (so transactional enqueues become
+  /// visible exactly at commit).
+  Status CreateQueueStorage(const std::string& name);
+  Status RegisterQueueTriggers(const std::string& name);
+
+  /// Rebuilds one queue's runtime from its tables (Attach path).
+  Status RebuildRuntime(const std::string& name, QueueState* state);
+
+  /// Trigger callbacks (take mu_; recursive because dead-lettering
+  /// enqueues while holding it).
+  void OnMessageInserted(const std::string& queue, MessageId id,
+                         const Record& row);
+  void OnDeliveryInserted(const std::string& queue, RowId deliv_row,
+                          const Record& row);
+
+  Result<Record> BuildMessageRecord(const std::string& queue,
+                                    const EnqueueRequest& request,
+                                    TimestampMicros now) const;
+
+  /// Effective groups for fanout (the implicit "" group when none
+  /// registered).
+  static std::vector<std::string> EffectiveGroups(const QueueState& state);
+
+  Result<Message> LoadMessage(const std::string& queue, MessageId id) const;
+
+  /// Moves due delayed messages and expired locks back to ready.
+  /// Caller holds mu_.
+  void Promote(QueueState* state, GroupRuntime* rt, TimestampMicros now);
+
+  /// Copies the message to the dead-letter queue (when configured) and
+  /// finishes this group's delivery. Caller holds mu_.
+  Status DeadLetter(const std::string& queue, QueueState* state,
+                    const std::string& group, MessageId id,
+                    const std::string& reason);
+
+  /// Deletes one group's delivery row; when no group still holds a
+  /// delivery, the message row is removed too. Caller holds mu_.
+  Status FinishDelivery(const std::string& queue, QueueState* state,
+                        const std::string& group, MessageId id);
+
+  Database* db_;
+  Clock* clock_;
+
+  mutable std::recursive_mutex mu_;
+  std::condition_variable_any enqueue_cv_;
+  std::map<std::string, QueueState> queues_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_MQ_QUEUE_MANAGER_H_

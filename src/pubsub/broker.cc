@@ -1,0 +1,358 @@
+#include "pubsub/broker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace edadb {
+
+namespace {
+
+constexpr char kSubsTable[] = "__subscriptions";
+constexpr char kRetainedTable[] = "__retained";
+constexpr char kTopicAttr[] = "__topic";
+
+SchemaPtr SubsSchema() {
+  return Schema::Make({
+      {"sub_id", ValueType::kString, /*nullable=*/false},
+      {"subscriber", ValueType::kString, true},
+      {"topic_pattern", ValueType::kString, true},
+      {"filter", ValueType::kString, true},
+      {"durable", ValueType::kBool, false},
+  });
+}
+
+SchemaPtr RetainedSchema() {
+  return Schema::Make({
+      {"topic", ValueType::kString, false},
+      {"attrs", ValueType::kString, true},
+      {"payload", ValueType::kString, true},
+  });
+}
+
+std::string EscapeSqlString(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  return out;
+}
+
+std::string GetStringField(const Record& row, std::string_view field) {
+  auto v = row.Get(field);
+  return v.ok() && v->type() == ValueType::kString ? v->string_value()
+                                                   : std::string();
+}
+
+}  // namespace
+
+std::string Publication::ToString() const {
+  std::string out = "Publication{topic=" + topic;
+  for (const auto& [name, value] : attributes) {
+    out += " " + name + "=" + value.ToString();
+  }
+  out += " payload='" + payload + "'}";
+  return out;
+}
+
+void PublicationToEnqueueRequest(const Publication& pub,
+                                 EnqueueRequest* request) {
+  request->payload = pub.payload;
+  request->attributes = pub.attributes;
+  request->attributes.emplace_back(kTopicAttr, Value::String(pub.topic));
+}
+
+Publication MessageToPublication(const Message& message) {
+  Publication pub;
+  pub.payload = message.payload;
+  for (const auto& [name, value] : message.attributes) {
+    if (name == kTopicAttr) {
+      if (value.type() == ValueType::kString) pub.topic = value.string_value();
+    } else {
+      pub.attributes.emplace_back(name, value);
+    }
+  }
+  return pub;
+}
+
+Broker::Broker(Database* db, QueueManager* queues)
+    : db_(db), queues_(queues) {}
+
+Result<std::unique_ptr<Broker>> Broker::Attach(Database* db,
+                                               QueueManager* queues) {
+  auto broker = std::unique_ptr<Broker>(new Broker(db, queues));
+  if (!db->GetTable(kSubsTable).ok()) {
+    EDADB_RETURN_IF_ERROR(db->CreateTable(kSubsTable, SubsSchema()).status());
+    EDADB_RETURN_IF_ERROR(db->CreateIndex(kSubsTable, "sub_id", true));
+  }
+  if (!db->GetTable(kRetainedTable).ok()) {
+    EDADB_RETURN_IF_ERROR(
+        db->CreateTable(kRetainedTable, RetainedSchema()).status());
+    EDADB_RETURN_IF_ERROR(db->CreateIndex(kRetainedTable, "topic", true));
+  }
+  EDADB_RETURN_IF_ERROR(broker->LoadPersisted());
+  return broker;
+}
+
+std::string Broker::SubQueueName(const std::string& id) {
+  return "__sub_" + id;
+}
+
+Result<Predicate> Broker::BuildCondition(const SubscriptionSpec& spec) {
+  std::vector<std::string> clauses;
+  if (!spec.topic_pattern.empty()) {
+    const bool has_wildcard =
+        spec.topic_pattern.find('*') != std::string::npos ||
+        spec.topic_pattern.find('?') != std::string::npos;
+    if (has_wildcard) {
+      std::string like = spec.topic_pattern;
+      std::replace(like.begin(), like.end(), '*', '%');
+      std::replace(like.begin(), like.end(), '?', '_');
+      clauses.push_back("topic LIKE '" + EscapeSqlString(like) + "'");
+    } else {
+      // Exact topics index as hash-equality conjuncts in the matcher.
+      clauses.push_back("topic = '" + EscapeSqlString(spec.topic_pattern) +
+                        "'");
+    }
+  }
+  if (!spec.content_filter.empty()) {
+    clauses.push_back("(" + spec.content_filter + ")");
+  }
+  if (clauses.empty()) return Predicate::Compile("TRUE");
+  return Predicate::Compile(Join(clauses, " AND "));
+}
+
+Status Broker::CompileIntoMatcher(const std::string& id,
+                                  const SubscriptionSpec& spec) {
+  EDADB_ASSIGN_OR_RETURN(Predicate condition, BuildCondition(spec));
+  Rule rule;
+  rule.id = id;
+  rule.condition = std::move(condition);
+  return matcher_.AddRule(std::move(rule));
+}
+
+Status Broker::LoadPersisted() {
+  std::lock_guard lock(mu_);
+  EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kSubsTable));
+  Status status;
+  table->ScanRows([&](RowId, const Record& row) {
+    const std::string id = GetStringField(row, "sub_id");
+    SubscriptionState state;
+    state.spec.subscriber = GetStringField(row, "subscriber");
+    state.spec.topic_pattern = GetStringField(row, "topic_pattern");
+    state.spec.content_filter = GetStringField(row, "filter");
+    auto durable = row.Get("durable");
+    state.spec.durable = durable.ok() && !durable->is_null() &&
+                         durable->bool_value();
+    state.queue = SubQueueName(id);
+    status = CompileIntoMatcher(id, state.spec);
+    if (!status.ok()) return false;
+    subscriptions_.emplace(id, std::move(state));
+    // Track the numeric suffix so new ids keep increasing.
+    if (StartsWith(id, "sub-")) {
+      const uint64_t seq = std::strtoull(id.c_str() + 4, nullptr, 10);
+      if (seq >= next_sub_seq_) next_sub_seq_ = seq + 1;
+    }
+    return true;
+  });
+  return status;
+}
+
+Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
+  if (!spec.durable && spec.handler == nullptr) {
+    return Status::InvalidArgument(
+        "non-durable subscription needs a handler");
+  }
+  std::string id;
+  {
+    std::lock_guard lock(mu_);
+    id = "sub-" + std::to_string(next_sub_seq_++);
+    EDADB_RETURN_IF_ERROR(CompileIntoMatcher(id, spec));
+  }
+  if (spec.durable) {
+    // Durable: persist the subscription and its buffer queue.
+    const Status queue_status = queues_->CreateQueue(SubQueueName(id));
+    if (!queue_status.ok() && !queue_status.IsAlreadyExists()) {
+      std::lock_guard lock(mu_);
+      (void)matcher_.RemoveRule(id);
+      return queue_status;
+    }
+    EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kSubsTable));
+    Record row = *RecordBuilder(table->schema())
+                      .SetString("sub_id", id)
+                      .SetString("subscriber", spec.subscriber)
+                      .SetString("topic_pattern", spec.topic_pattern)
+                      .SetString("filter", spec.content_filter)
+                      .SetBool("durable", true)
+                      .Build();
+    const auto inserted = db_->Insert(kSubsTable, std::move(row));
+    if (!inserted.ok()) {
+      std::lock_guard lock(mu_);
+      (void)matcher_.RemoveRule(id);
+      return inserted.status();
+    }
+  }
+
+  SubscriptionState state;
+  state.spec = std::move(spec);
+  state.queue = SubQueueName(id);
+
+  // Subscribe-to-publish: serve matching retained publications to the
+  // newcomer immediately.
+  std::vector<Publication> retained_matches;
+  {
+    EDADB_ASSIGN_OR_RETURN(Predicate condition, BuildCondition(state.spec));
+    EDADB_ASSIGN_OR_RETURN(Table * retained, db_->GetTable(kRetainedTable));
+    retained->ScanRows([&](RowId, const Record& row) {
+      Publication pub;
+      pub.topic = GetStringField(row, "topic");
+      pub.payload = GetStringField(row, "payload");
+      const std::string attrs = GetStringField(row, "attrs");
+      if (!attrs.empty()) {
+        auto decoded = DecodeAttributes(attrs);
+        if (decoded.ok()) pub.attributes = *std::move(decoded);
+      }
+      PublicationView view(pub);
+      if (condition.MatchesOrFalse(view)) {
+        retained_matches.push_back(std::move(pub));
+      }
+      return true;
+    });
+  }
+  for (const Publication& pub : retained_matches) {
+    EDADB_RETURN_IF_ERROR(DeliverTo(state, pub));
+  }
+
+  std::lock_guard lock(mu_);
+  subscriptions_.emplace(id, std::move(state));
+  return id;
+}
+
+Status Broker::Unsubscribe(const std::string& subscription_id) {
+  bool durable = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = subscriptions_.find(subscription_id);
+    if (it == subscriptions_.end()) {
+      return Status::NotFound("subscription '" + subscription_id + "'");
+    }
+    durable = it->second.spec.durable;
+    (void)matcher_.RemoveRule(subscription_id);
+    subscriptions_.erase(it);
+  }
+  if (durable) {
+    EDADB_ASSIGN_OR_RETURN(
+        Predicate match,
+        Predicate::Compile("sub_id = '" + subscription_id + "'"));
+    EDADB_RETURN_IF_ERROR(db_->DeleteWhere(kSubsTable, match).status());
+    const Status drop = queues_->DropQueue(SubQueueName(subscription_id));
+    if (!drop.ok() && !drop.IsNotFound()) return drop;
+  }
+  return Status::OK();
+}
+
+Status Broker::DeliverTo(const SubscriptionState& sub,
+                         const Publication& pub) {
+  if (sub.spec.durable) {
+    EnqueueRequest request;
+    PublicationToEnqueueRequest(pub, &request);
+    return queues_->Enqueue(sub.queue, request).status();
+  }
+  if (sub.spec.handler != nullptr) sub.spec.handler(pub);
+  return Status::OK();
+}
+
+Result<size_t> Broker::Publish(const Publication& pub) {
+  if (pub.retain) {
+    EDADB_ASSIGN_OR_RETURN(
+        Predicate match,
+        Predicate::Compile("topic = '" + EscapeSqlString(pub.topic) + "'"));
+    EDADB_RETURN_IF_ERROR(db_->DeleteWhere(kRetainedTable, match).status());
+    EDADB_ASSIGN_OR_RETURN(Table * retained, db_->GetTable(kRetainedTable));
+    std::string attrs;
+    EncodeAttributes(pub.attributes, &attrs);
+    Record row = *RecordBuilder(retained->schema())
+                      .SetString("topic", pub.topic)
+                      .SetString("attrs", std::move(attrs))
+                      .SetString("payload", pub.payload)
+                      .Build();
+    EDADB_RETURN_IF_ERROR(db_->Insert(kRetainedTable, std::move(row)).status());
+  }
+
+  // Match under the lock; deliver handler callbacks outside it.
+  std::vector<SubscriptionState> targets;
+  {
+    std::lock_guard lock(mu_);
+    PublicationView view(pub);
+    std::vector<const Rule*> matched;
+    matcher_.Match(view, &matched);
+    targets.reserve(matched.size());
+    for (const Rule* rule : matched) {
+      auto it = subscriptions_.find(rule->id);
+      if (it != subscriptions_.end()) targets.push_back(it->second);
+    }
+  }
+  size_t delivered = 0;
+  for (const SubscriptionState& sub : targets) {
+    const Status s = DeliverTo(sub, pub);
+    if (s.ok()) {
+      ++delivered;
+    } else {
+      EDADB_LOG(Warn) << "delivery to subscriber '" << sub.spec.subscriber
+                      << "' failed: " << s;
+    }
+  }
+  return delivered;
+}
+
+Result<std::optional<Publication>> Broker::Fetch(
+    const std::string& subscription_id) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = subscriptions_.find(subscription_id);
+    if (it == subscriptions_.end()) {
+      return Status::NotFound("subscription '" + subscription_id + "'");
+    }
+    if (!it->second.spec.durable) {
+      return Status::FailedPrecondition(
+          "subscription '" + subscription_id +
+          "' is not durable; messages are delivered to its handler");
+    }
+  }
+  DequeueRequest request;
+  EDADB_ASSIGN_OR_RETURN(
+      std::optional<Message> message,
+      queues_->Dequeue(SubQueueName(subscription_id), request));
+  if (!message.has_value()) return std::optional<Publication>();
+  EDADB_RETURN_IF_ERROR(
+      queues_->Ack(SubQueueName(subscription_id), "", message->id));
+  return std::optional<Publication>(MessageToPublication(*message));
+}
+
+Result<size_t> Broker::PendingCount(
+    const std::string& subscription_id) const {
+  {
+    std::lock_guard lock(mu_);
+    if (subscriptions_.count(subscription_id) == 0) {
+      return Status::NotFound("subscription '" + subscription_id + "'");
+    }
+  }
+  return queues_->Depth(SubQueueName(subscription_id), "");
+}
+
+std::vector<std::string> Broker::ListSubscriptions() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(subscriptions_.size());
+  for (const auto& [id, state] : subscriptions_) ids.push_back(id);
+  return ids;
+}
+
+size_t Broker::num_subscriptions() const {
+  std::lock_guard lock(mu_);
+  return subscriptions_.size();
+}
+
+}  // namespace edadb

@@ -1,0 +1,142 @@
+#ifndef EDADB_PUBSUB_BROKER_H_
+#define EDADB_PUBSUB_BROKER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "expr/predicate.h"
+#include "mq/queue_manager.h"
+#include "rules/indexed_matcher.h"
+#include "value/record.h"
+#include "value/row_codec.h"
+
+namespace edadb {
+
+/// What publishers send.
+struct Publication {
+  std::string topic;
+  AttributeList attributes;
+  std::string payload;
+  bool retain = false;  // Keep as the topic's last value (see Subscribe).
+
+  std::string ToString() const;
+};
+
+/// Exposes a publication to content filters: `topic` by reserved name,
+/// every attribute by its own name.
+class PublicationView : public RowAccessor {
+ public:
+  explicit PublicationView(const Publication& pub) : pub_(pub) {}
+
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    if (name == "topic") return Value::String(pub_.topic);
+    for (const auto& [attr_name, value] : pub_.attributes) {
+      if (attr_name == name) return value;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const Publication& pub_;
+};
+
+/// How a subscriber wants to receive matches.
+struct SubscriptionSpec {
+  std::string subscriber;  // Identity, e.g. "dispatch-east".
+  /// Glob over topics ('*' any run, '?' one char); empty matches all.
+  std::string topic_pattern;
+  /// Content filter source ("severity >= 3 AND region = 'east'");
+  /// empty = no filter. This is the expression-as-data the tutorial
+  /// highlights: it is stored in the __subscriptions table.
+  std::string content_filter;
+  /// Durable subscriptions buffer matches in a per-subscription queue
+  /// that survives restart; fetch with Fetch(). Non-durable
+  /// subscriptions invoke `handler` inline and lose messages published
+  /// while the process is down.
+  bool durable = false;
+  std::function<void(const Publication&)> handler;  // Non-durable only.
+};
+
+/// Publish/subscribe over database technology (§2.2.c.i):
+///   - subscriptions are rows in `__subscriptions` (expressions as
+///     data), compiled into an IndexedMatcher so content-based fanout
+///     scales like the rules engine rather than O(subscriptions);
+///   - durable subscriptions are staging-area queues, inheriting
+///     recoverability and transactional delivery;
+///   - "subscribe-to-publish": topics can retain their last publication
+///     (`Publication::retain`), and a new subscription is immediately
+///     served every retained publication it matches — subscribing
+///     triggers publication toward the new consumer.
+///
+/// Thread-safe.
+class Broker {
+ public:
+  /// `db` and `queues` must outlive the broker. Durable subscriptions
+  /// persisted by earlier runs are re-attached (their queues already
+  /// exist); non-durable ones are gone by design.
+  static Result<std::unique_ptr<Broker>> Attach(Database* db,
+                                                QueueManager* queues);
+
+  /// Returns the subscription id.
+  Result<std::string> Subscribe(SubscriptionSpec spec);
+
+  Status Unsubscribe(const std::string& subscription_id);
+
+  /// Delivers `pub` to every matching subscription; returns how many
+  /// subscriptions received it.
+  Result<size_t> Publish(const Publication& pub);
+
+  /// Pops the next buffered publication of a durable subscription
+  /// (nullopt when drained). Delivery is at-least-once; the message is
+  /// acked on successful decode.
+  Result<std::optional<Publication>> Fetch(
+      const std::string& subscription_id);
+
+  /// Buffered publications awaiting Fetch (durable subscriptions).
+  Result<size_t> PendingCount(const std::string& subscription_id) const;
+
+  std::vector<std::string> ListSubscriptions() const;
+  size_t num_subscriptions() const;
+
+ private:
+  Broker(Database* db, QueueManager* queues);
+
+  struct SubscriptionState {
+    SubscriptionSpec spec;
+    std::string queue;  // Durable only.
+  };
+
+  Status LoadPersisted();
+  Status CompileIntoMatcher(const std::string& id,
+                            const SubscriptionSpec& spec);
+  static std::string SubQueueName(const std::string& id);
+
+  /// Builds the matcher condition: topic pattern + content filter.
+  static Result<Predicate> BuildCondition(const SubscriptionSpec& spec);
+
+  Status DeliverTo(const SubscriptionState& sub, const Publication& pub);
+
+  Database* db_;
+  QueueManager* queues_;
+
+  mutable std::mutex mu_;
+  IndexedMatcher matcher_;
+  std::map<std::string, SubscriptionState> subscriptions_;
+  uint64_t next_sub_seq_ = 1;
+};
+
+/// Serializes a publication into a queue message and back.
+void PublicationToEnqueueRequest(const Publication& pub,
+                                 EnqueueRequest* request);
+Publication MessageToPublication(const Message& message);
+
+}  // namespace edadb
+
+#endif  // EDADB_PUBSUB_BROKER_H_

@@ -1,0 +1,349 @@
+#include "rules/indexed_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace edadb {
+
+namespace {
+
+/// Flattens a top-level AND tree.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op() == BinaryOp::kAnd) {
+      CollectConjuncts(bin.left(), out);
+      CollectConjuncts(bin.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+/// Numeric value of a literal usable as a range endpoint.
+bool LiteralAsDouble(const Expr& expr, double* out) {
+  if (expr.kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(expr).value();
+  if (!v.is_numeric() && v.type() != ValueType::kTimestamp) return false;
+  auto d = v.AsDouble();
+  if (!d.ok()) return false;
+  *out = *d;
+  return true;
+}
+
+}  // namespace
+
+IndexedMatcher::~IndexedMatcher() = default;
+
+std::optional<IndexedMatcher::Candidate> IndexedMatcher::Classify(
+    const ExprPtr& conjunct) {
+  // attr IN (literal, ...): one conjunct, several hash entries. The
+  // event carries a single value for the attribute, so at most one
+  // entry fires per conjunct. List values are deduped so IN (0, 0)
+  // cannot double-bump.
+  if (conjunct->kind() == ExprKind::kIn) {
+    const auto& in = static_cast<const InExpr&>(*conjunct);
+    if (in.negated() || in.operand()->kind() != ExprKind::kColumn) {
+      return std::nullopt;
+    }
+    Candidate candidate;
+    candidate.kind = Candidate::Kind::kEq;
+    candidate.column = static_cast<const ColumnExpr&>(*in.operand()).name();
+    for (const ExprPtr& item : in.list()) {
+      if (item->kind() != ExprKind::kLiteral) return std::nullopt;
+      const Value& value = static_cast<const LiteralExpr&>(*item).value();
+      if (value.is_null()) return std::nullopt;  // Changes 3VL result.
+      bool duplicate = false;
+      for (const Value& prior : candidate.values) {
+        if (prior == value) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) candidate.values.push_back(value);
+    }
+    return candidate;
+  }
+
+  if (conjunct->kind() == ExprKind::kBetween) {
+    const auto& between = static_cast<const BetweenExpr&>(*conjunct);
+    if (between.negated() ||
+        between.operand()->kind() != ExprKind::kColumn) {
+      return std::nullopt;
+    }
+    double lo, hi;
+    if (!LiteralAsDouble(*between.low(), &lo) ||
+        !LiteralAsDouble(*between.high(), &hi)) {
+      return std::nullopt;
+    }
+    if (lo > hi) return std::nullopt;  // Never matches; keep residual.
+    Candidate candidate;
+    candidate.kind = Candidate::Kind::kRange;
+    candidate.column =
+        static_cast<const ColumnExpr&>(*between.operand()).name();
+    candidate.entry = {lo, true, hi, true, nullptr};
+    return candidate;
+  }
+
+  if (conjunct->kind() != ExprKind::kBinary) return std::nullopt;
+  const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+  BinaryOp op = bin.op();
+  const Expr* col = bin.left().get();
+  const Expr* lit = bin.right().get();
+  if (col->kind() == ExprKind::kLiteral && lit->kind() == ExprKind::kColumn) {
+    std::swap(col, lit);
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      default: break;
+    }
+  }
+  if (col->kind() != ExprKind::kColumn || lit->kind() != ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  const Value& value = static_cast<const LiteralExpr&>(*lit).value();
+  if (value.is_null()) return std::nullopt;
+
+  Candidate candidate;
+  candidate.column = static_cast<const ColumnExpr&>(*col).name();
+  if (op == BinaryOp::kEq) {
+    candidate.kind = Candidate::Kind::kEq;
+    candidate.values.push_back(value);
+    return candidate;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double bound;
+  if (!LiteralAsDouble(*lit, &bound)) return std::nullopt;
+  candidate.kind = Candidate::Kind::kRange;
+  candidate.entry = {-kInf, true, kInf, true, nullptr};
+  switch (op) {
+    case BinaryOp::kLt:
+      candidate.entry.hi = bound;
+      candidate.entry.hi_inclusive = false;
+      break;
+    case BinaryOp::kLe:
+      candidate.entry.hi = bound;
+      break;
+    case BinaryOp::kGt:
+      candidate.entry.lo = bound;
+      candidate.entry.lo_inclusive = false;
+      break;
+    case BinaryOp::kGe:
+      candidate.entry.lo = bound;
+      break;
+    default:
+      return std::nullopt;  // != is a poor access predicate.
+  }
+  return candidate;
+}
+
+double IndexedMatcher::SelectivityScore(const Candidate& candidate) const {
+  // Lower is better: the expected number of rules this access predicate
+  // bumps per matching event, estimated from current index occupancy.
+  if (candidate.kind == Candidate::Kind::kEq) {
+    double score = 0;
+    auto col_it = eq_index_.find(candidate.column);
+    for (const Value& value : candidate.values) {
+      if (col_it == eq_index_.end()) continue;
+      auto val_it = col_it->second.find(value);
+      if (val_it != col_it->second.end()) {
+        score += static_cast<double>(val_it->second.size());
+      }
+    }
+    return score;
+  }
+  // Ranges stab a fraction of the column's intervals; assume a quarter,
+  // and add a constant handicap so equality wins ties.
+  auto col_it = range_index_.find(candidate.column);
+  const double tree =
+      col_it == range_index_.end()
+          ? 0.0
+          : static_cast<double>(col_it->second.size());
+  return tree / 4.0 + 4.0;
+}
+
+void IndexedMatcher::RegisterEq(const std::string& column, const Value& value,
+                                CompiledRule* rule) {
+  eq_index_[column][value].push_back(rule);
+  rule->eq_registrations.emplace_back(column, value);
+}
+
+void IndexedMatcher::RegisterRange(const std::string& column,
+                                   const IntervalIndex::Entry& entry,
+                                   CompiledRule* rule) {
+  range_index_[column].Insert(entry);
+  rule->range_registrations.push_back({column, entry.lo, entry.hi});
+}
+
+Status IndexedMatcher::AddRule(Rule rule) {
+  if (rule.id.empty()) return Status::InvalidArgument("rule needs an id");
+  if (!rule.condition.valid()) {
+    return Status::InvalidArgument("rule '" + rule.id +
+                                   "' has no compiled condition");
+  }
+  if (rules_.count(rule.id) > 0) {
+    return Status::AlreadyExists("rule '" + rule.id + "' already exists");
+  }
+  auto compiled = std::make_unique<CompiledRule>();
+  compiled->rule = std::move(rule);
+
+  // Single-access-predicate design: exactly one indexable conjunct is
+  // registered — chosen as the one expected to bump the fewest rules —
+  // and every other conjunct is a residual check. Counting over all
+  // conjuncts would make one low-selectivity conjunct (e.g. a 4-valued
+  // region tag) cost O(rules / 4) bumps per event for the whole set.
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(compiled->rule.condition.expr(), &conjuncts);
+  int best = -1;
+  std::optional<Candidate> best_candidate;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    std::optional<Candidate> candidate = Classify(conjuncts[i]);
+    if (!candidate.has_value()) continue;
+    if (!best_candidate.has_value() ||
+        SelectivityScore(*candidate) < SelectivityScore(*best_candidate)) {
+      best = static_cast<int>(i);
+      best_candidate = std::move(candidate);
+    }
+  }
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (static_cast<int>(i) != best) {
+      compiled->residuals.push_back(conjuncts[i]);
+    }
+  }
+  if (best_candidate.has_value()) {
+    compiled->indexed_conjuncts = 1;
+    if (best_candidate->kind == Candidate::Kind::kEq) {
+      for (const Value& value : best_candidate->values) {
+        RegisterEq(best_candidate->column, value, compiled.get());
+      }
+    } else {
+      best_candidate->entry.tag = compiled.get();
+      RegisterRange(best_candidate->column, best_candidate->entry,
+                    compiled.get());
+    }
+  } else {
+    compiled->in_scan_list = true;
+    scan_rules_.push_back(compiled.get());
+  }
+  const std::string id = compiled->rule.id;
+  rules_.emplace(id, std::move(compiled));
+  return Status::OK();
+}
+
+Status IndexedMatcher::RemoveRule(const std::string& id) {
+  auto it = rules_.find(id);
+  if (it == rules_.end()) return Status::NotFound("rule '" + id + "'");
+  CompiledRule* rule = it->second.get();
+
+  for (const auto& [column, value] : rule->eq_registrations) {
+    auto col_it = eq_index_.find(column);
+    if (col_it == eq_index_.end()) continue;
+    auto val_it = col_it->second.find(value);
+    if (val_it == col_it->second.end()) continue;
+    auto& vec = val_it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), rule), vec.end());
+    if (vec.empty()) col_it->second.erase(val_it);
+    if (col_it->second.empty()) eq_index_.erase(col_it);
+  }
+  for (const auto& registration : rule->range_registrations) {
+    auto col_it = range_index_.find(registration.column);
+    if (col_it == range_index_.end()) continue;
+    col_it->second.Remove(registration.lo, registration.hi, rule);
+    if (col_it->second.empty()) range_index_.erase(col_it);
+  }
+  if (rule->in_scan_list) {
+    scan_rules_.erase(
+        std::remove(scan_rules_.begin(), scan_rules_.end(), rule),
+        scan_rules_.end());
+  }
+  rules_.erase(it);
+  return Status::OK();
+}
+
+void IndexedMatcher::Bump(CompiledRule* rule,
+                          std::vector<CompiledRule*>* candidates) {
+  if (rule->seen_epoch != epoch_) {
+    rule->seen_epoch = epoch_;
+    rule->count = 0;
+  }
+  rule->count += 1;
+  if (rule->count == rule->indexed_conjuncts) {
+    candidates->push_back(rule);
+  }
+}
+
+void IndexedMatcher::Match(const RowAccessor& event,
+                           std::vector<const Rule*>* out) {
+  ++epoch_;
+  std::vector<CompiledRule*> candidates;
+
+  // Probe the hash index per attribute the index knows about.
+  for (const auto& [column, by_value] : eq_index_) {
+    std::optional<Value> v = event.GetAttribute(column);
+    if (!v.has_value() || v->is_null()) continue;
+    auto it = by_value.find(*v);
+    if (it == by_value.end()) continue;
+    for (CompiledRule* rule : it->second) {
+      Bump(rule, &candidates);
+    }
+  }
+
+  // Stab the interval trees.
+  for (const auto& [column, intervals] : range_index_) {
+    std::optional<Value> v = event.GetAttribute(column);
+    if (!v.has_value() || v->is_null()) continue;
+    auto d = v->AsDouble();
+    if (!d.ok()) continue;
+    intervals.Stab(*d, [&](void* tag) {
+      Bump(static_cast<CompiledRule*>(tag), &candidates);
+    });
+  }
+
+  // Candidates satisfied every indexed conjunct; check residuals.
+  EvalContext ctx(&event);
+  for (CompiledRule* rule : candidates) {
+    if (!rule->rule.enabled) continue;
+    bool matched = true;
+    for (const ExprPtr& residual : rule->residuals) {
+      auto ok = residual->Matches(ctx);
+      if (!ok.ok() || !*ok) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) out->push_back(&rule->rule);
+  }
+
+  // Un-indexable rules degrade to direct evaluation.
+  for (CompiledRule* rule : scan_rules_) {
+    if (!rule->rule.enabled) continue;
+    if (rule->rule.condition.MatchesOrFalse(event)) {
+      out->push_back(&rule->rule);
+    }
+  }
+}
+
+const Rule* IndexedMatcher::GetRule(const std::string& id) const {
+  auto it = rules_.find(id);
+  return it == rules_.end() ? nullptr : &it->second->rule;
+}
+
+IndexedMatcher::Stats IndexedMatcher::GetStats() const {
+  Stats stats;
+  for (const auto& [column, by_value] : eq_index_) {
+    for (const auto& [value, rules] : by_value) {
+      stats.eq_entries += rules.size();
+    }
+  }
+  for (const auto& [column, intervals] : range_index_) {
+    stats.range_entries += intervals.size();
+  }
+  stats.scan_rules = scan_rules_.size();
+  stats.total_rules = rules_.size();
+  return stats;
+}
+
+}  // namespace edadb

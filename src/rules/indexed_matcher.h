@@ -1,0 +1,134 @@
+#ifndef EDADB_RULES_INDEXED_MATCHER_H_
+#define EDADB_RULES_INDEXED_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rules/interval_index.h"
+#include "rules/matcher.h"
+#include "value/value.h"
+
+namespace edadb {
+
+/// Predicate-indexed matcher: the tutorial's claim that "the evaluation
+/// of internal data can significantly be optimized" (§2.2.c.iii), built
+/// the way large publish/subscribe systems index subscriptions
+/// (Le Subscribe / Gryphon style counting algorithm):
+///
+///  1. Each rule's condition is split into top-level AND conjuncts.
+///  2. Exactly ONE indexable conjunct — the rule's *access predicate*,
+///     picked as the one expected to hit the fewest rules, estimated
+///     from current index occupancy — is registered:
+///       - `attr = literal` and `attr IN (literals)` in a hash index
+///         keyed by (attribute, value);
+///       - `attr <cmp> numeric-literal` and `attr BETWEEN a AND b` in a
+///         per-attribute centered interval tree (O(log n + hits) point
+///         stabs; see rules/interval_index.h).
+///     Every other conjunct (including unchosen indexable ones, plus
+///     LIKE/OR/functions/...) becomes a residual check for the rule.
+///  3. Matching an event probes the hash and interval indexes with the
+///     event's own attribute values; each hit nominates a candidate
+///     rule whose residuals are then evaluated. Rules with no indexable
+///     conjunct at all sit in a scan list (naive evaluation).
+///
+/// Cost per event is O(event attributes + index hits + residuals of
+/// candidate rules) instead of O(total rules): the gap bench_rules (E4)
+/// measures. Indexing only the most selective conjunct keeps a
+/// low-cardinality conjunct shared by many rules (a region tag, say)
+/// from turning every event into O(rules) counter bumps.
+/// AddRule/RemoveRule are incremental, which bench_rule_churn (E5)
+/// exercises.
+class IndexedMatcher : public RuleMatcher {
+ public:
+  IndexedMatcher() = default;
+  ~IndexedMatcher() override;
+
+  IndexedMatcher(const IndexedMatcher&) = delete;
+  IndexedMatcher& operator=(const IndexedMatcher&) = delete;
+
+  Status AddRule(Rule rule) override;
+  Status RemoveRule(const std::string& id) override;
+  void Match(const RowAccessor& event,
+             std::vector<const Rule*>* out) override;
+  size_t size() const override { return rules_.size(); }
+  const Rule* GetRule(const std::string& id) const override;
+
+  /// Introspection for tests/benches.
+  struct Stats {
+    size_t eq_entries = 0;
+    size_t range_entries = 0;
+    size_t scan_rules = 0;   // No indexable conjunct.
+    size_t total_rules = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct CompiledRule;
+
+  /// An indexable conjunct found during classification.
+  struct Candidate {
+    enum class Kind { kEq, kRange };
+    Kind kind = Kind::kEq;
+    std::string column;
+    std::vector<Value> values;      // kEq (IN lists deduped).
+    IntervalIndex::Entry entry{};   // kRange.
+  };
+
+  struct CompiledRule {
+    Rule rule;
+    int indexed_conjuncts = 0;
+    std::vector<ExprPtr> residuals;
+    /// Where this rule registered, for removal.
+    std::vector<std::pair<std::string, Value>> eq_registrations;
+    struct RangeRegistration {
+      std::string column;
+      double lo;
+      double hi;
+    };
+    std::vector<RangeRegistration> range_registrations;
+    bool in_scan_list = false;
+    /// Counting state (epoch-tagged so Match never resets globally).
+    uint64_t seen_epoch = 0;
+    int count = 0;
+  };
+
+  /// Recognizes an indexable conjunct; nullopt when it must be residual.
+  static std::optional<Candidate> Classify(const ExprPtr& conjunct);
+
+  /// Expected rules bumped per event by this access predicate (lower is
+  /// more selective), from current index occupancy.
+  double SelectivityScore(const Candidate& candidate) const;
+
+  void RegisterEq(const std::string& column, const Value& value,
+                  CompiledRule* rule);
+  void RegisterRange(const std::string& column,
+                     const IntervalIndex::Entry& entry, CompiledRule* rule);
+
+  /// Bumps the rule's counter for the current epoch; appends to
+  /// `candidates` when all indexed conjuncts are satisfied.
+  void Bump(CompiledRule* rule, std::vector<CompiledRule*>* candidates);
+
+  std::map<std::string, std::unique_ptr<CompiledRule>> rules_;
+
+  /// attribute -> value -> rules with `attr = value` conjuncts.
+  std::unordered_map<std::string,
+                     std::unordered_map<Value, std::vector<CompiledRule*>,
+                                        ValueHash>>
+      eq_index_;
+
+  /// attribute -> interval tree of range conjuncts.
+  std::unordered_map<std::string, IntervalIndex> range_index_;
+
+  /// Attributes referenced by any index, iterated per event.
+  /// (The event is probed per indexed attribute, not per rule.)
+  std::vector<CompiledRule*> scan_rules_;
+
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_INDEXED_MATCHER_H_

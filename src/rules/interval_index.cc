@@ -1,0 +1,140 @@
+#include "rules/interval_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edadb {
+
+struct IntervalIndex::Node {
+  double center;
+  /// Intervals containing `center`, kept in two orders for one-sided
+  /// walks during stabbing.
+  std::vector<Entry> by_lo;  // Ascending lo.
+  std::vector<Entry> by_hi;  // Descending hi.
+  std::unique_ptr<Node> left;   // Entirely left of center.
+  std::unique_ptr<Node> right;  // Entirely right of center.
+
+  explicit Node(double c) : center(c) {}
+};
+
+namespace {
+
+/// Picks a finite, stable center for an interval (infinite endpoints
+/// collapse to the finite one; fully infinite intervals center at 0).
+double CenterOf(const IntervalIndex::Entry& entry) {
+  const bool lo_finite = std::isfinite(entry.lo);
+  const bool hi_finite = std::isfinite(entry.hi);
+  if (lo_finite && hi_finite) return (entry.lo + entry.hi) / 2;
+  if (lo_finite) return entry.lo;
+  if (hi_finite) return entry.hi;
+  return 0;
+}
+
+}  // namespace
+
+IntervalIndex::IntervalIndex() = default;
+IntervalIndex::~IntervalIndex() = default;
+
+void IntervalIndex::Insert(const Entry& entry) {
+  ++size_;
+  std::unique_ptr<Node>* slot = &root_;
+  for (;;) {
+    if (*slot == nullptr) {
+      *slot = std::make_unique<Node>(CenterOf(entry));
+    }
+    Node* node = slot->get();
+    if (entry.hi < node->center) {
+      slot = &node->left;
+      continue;
+    }
+    if (entry.lo > node->center) {
+      slot = &node->right;
+      continue;
+    }
+    // Interval contains the node's center: store here.
+    auto lo_pos = std::upper_bound(
+        node->by_lo.begin(), node->by_lo.end(), entry.lo,
+        [](double v, const Entry& e) { return v < e.lo; });
+    node->by_lo.insert(lo_pos, entry);
+    auto hi_pos = std::upper_bound(
+        node->by_hi.begin(), node->by_hi.end(), entry.hi,
+        [](double v, const Entry& e) { return v > e.hi; });
+    node->by_hi.insert(hi_pos, entry);
+    return;
+  }
+}
+
+bool IntervalIndex::Remove(double lo, double hi, void* tag) {
+  Node* node = root_.get();
+  while (node != nullptr) {
+    if (hi < node->center) {
+      node = node->left.get();
+      continue;
+    }
+    if (lo > node->center) {
+      node = node->right.get();
+      continue;
+    }
+    auto matches = [&](const Entry& e) {
+      return e.lo == lo && e.hi == hi && e.tag == tag;
+    };
+    auto lo_it = std::find_if(node->by_lo.begin(), node->by_lo.end(),
+                              matches);
+    if (lo_it == node->by_lo.end()) return false;
+    node->by_lo.erase(lo_it);
+    auto hi_it = std::find_if(node->by_hi.begin(), node->by_hi.end(),
+                              matches);
+    if (hi_it != node->by_hi.end()) node->by_hi.erase(hi_it);
+    --size_;
+    // Empty nodes are left in place as routing skeletons; with churn the
+    // same bounds distribution refills them.
+    return true;
+  }
+  return false;
+}
+
+void IntervalIndex::Stab(double v,
+                         const std::function<void(void*)>& fn) const {
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    if (v < node->center) {
+      // Only intervals whose lo reaches down to v can contain it; by_lo
+      // is ascending, so stop at the first lo > v.
+      for (const Entry& entry : node->by_lo) {
+        if (entry.lo > v) break;
+        if (entry.Contains(v)) fn(entry.tag);
+      }
+      node = node->left.get();
+    } else if (v > node->center) {
+      for (const Entry& entry : node->by_hi) {
+        if (entry.hi < v) break;
+        if (entry.Contains(v)) fn(entry.tag);
+      }
+      node = node->right.get();
+    } else {
+      // v == center: every interval stored here contains the center;
+      // bound inclusivity still filters v == lo/hi edges.
+      for (const Entry& entry : node->by_lo) {
+        if (entry.Contains(v)) fn(entry.tag);
+      }
+      return;
+    }
+  }
+}
+
+int IntervalIndex::depth() const {
+  // Iterative DFS to avoid recursion on degenerate trees.
+  int max_depth = 0;
+  std::vector<std::pair<const Node*, int>> stack;
+  if (root_ != nullptr) stack.push_back({root_.get(), 1});
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (node->left != nullptr) stack.push_back({node->left.get(), d + 1});
+    if (node->right != nullptr) stack.push_back({node->right.get(), d + 1});
+  }
+  return max_depth;
+}
+
+}  // namespace edadb

@@ -1,0 +1,67 @@
+#ifndef EDADB_RULES_INTERVAL_INDEX_H_
+#define EDADB_RULES_INTERVAL_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace edadb {
+
+/// Dynamic interval stabbing index (centered interval tree): stores
+/// [lo, hi] intervals with open/closed bounds and an opaque tag, and
+/// reports every interval containing a query point in
+/// O(log n + matches) for non-adversarial inputs.
+///
+/// Node centers are fixed at insertion time (no rebalancing): with the
+/// randomized bounds rule populations produce, depth stays ~log n;
+/// adversarially sorted insertions can degrade toward O(n) depth, an
+/// accepted trade-off for cheap incremental add/remove (experiment E5).
+class IntervalIndex {
+ public:
+  struct Entry {
+    double lo;
+    bool lo_inclusive;
+    double hi;
+    bool hi_inclusive;
+    void* tag;
+
+    bool Contains(double v) const {
+      if (v < lo || (v == lo && !lo_inclusive)) return false;
+      if (v > hi || (v == hi && !hi_inclusive)) return false;
+      return true;
+    }
+  };
+
+  IntervalIndex();
+  ~IntervalIndex();
+
+  IntervalIndex(const IntervalIndex&) = delete;
+  IntervalIndex& operator=(const IntervalIndex&) = delete;
+
+  /// Requires lo <= hi (callers normalize; +/-infinity endpoints are
+  /// fine).
+  void Insert(const Entry& entry);
+
+  /// Removes one entry matching (lo, hi, tag); returns false when no
+  /// such entry exists.
+  bool Remove(double lo, double hi, void* tag);
+
+  /// Invokes `fn(tag)` for every stored interval containing `v`.
+  void Stab(double v, const std::function<void(void*)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree depth, exposed for tests.
+  int depth() const;
+
+ private:
+  struct Node;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_INTERVAL_INDEX_H_

@@ -1,0 +1,37 @@
+#include "rules/matcher.h"
+
+namespace edadb {
+
+Status NaiveMatcher::AddRule(Rule rule) {
+  if (rule.id.empty()) return Status::InvalidArgument("rule needs an id");
+  if (!rule.condition.valid()) {
+    return Status::InvalidArgument("rule '" + rule.id +
+                                   "' has no compiled condition");
+  }
+  const std::string id = rule.id;
+  auto [it, inserted] = rules_.emplace(id, std::move(rule));
+  if (!inserted) {
+    return Status::AlreadyExists("rule '" + id + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status NaiveMatcher::RemoveRule(const std::string& id) {
+  if (rules_.erase(id) == 0) return Status::NotFound("rule '" + id + "'");
+  return Status::OK();
+}
+
+void NaiveMatcher::Match(const RowAccessor& event,
+                         std::vector<const Rule*>* out) {
+  for (const auto& [id, rule] : rules_) {
+    if (!rule.enabled) continue;
+    if (rule.condition.MatchesOrFalse(event)) out->push_back(&rule);
+  }
+}
+
+const Rule* NaiveMatcher::GetRule(const std::string& id) const {
+  auto it = rules_.find(id);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+}  // namespace edadb

@@ -1,0 +1,56 @@
+#ifndef EDADB_RULES_MATCHER_H_
+#define EDADB_RULES_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/rule.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// Matches one event against a (possibly very large, possibly churning)
+/// rule set, returning every rule whose condition evaluates to TRUE.
+/// Implementations: NaiveMatcher (baseline: evaluate everything) and
+/// IndexedMatcher (predicate indexing + counting). The two must agree —
+/// tests/rules/matcher_equivalence_test.cc enforces it on random rules.
+///
+/// Matchers are thread-compatible: concurrent Match calls require
+/// external synchronization because matching updates internal counters.
+class RuleMatcher {
+ public:
+  virtual ~RuleMatcher() = default;
+
+  virtual Status AddRule(Rule rule) = 0;
+  virtual Status RemoveRule(const std::string& id) = 0;
+
+  /// Appends matching rules to `out` (unspecified order; callers sort by
+  /// priority if they care). Disabled rules never match.
+  virtual void Match(const RowAccessor& event,
+                     std::vector<const Rule*>* out) = 0;
+
+  virtual size_t size() const = 0;
+  virtual const Rule* GetRule(const std::string& id) const = 0;
+};
+
+/// Baseline: O(total rules) per event. This is what the tutorial means
+/// by unoptimized evaluation — bench_rules (E4) measures the gap.
+class NaiveMatcher : public RuleMatcher {
+ public:
+  Status AddRule(Rule rule) override;
+  Status RemoveRule(const std::string& id) override;
+  void Match(const RowAccessor& event,
+             std::vector<const Rule*>* out) override;
+  size_t size() const override { return rules_.size(); }
+  const Rule* GetRule(const std::string& id) const override;
+
+ private:
+  std::map<std::string, Rule> rules_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_MATCHER_H_

@@ -1,0 +1,27 @@
+#ifndef EDADB_RULES_RULE_H_
+#define EDADB_RULES_RULE_H_
+
+#include <string>
+
+#include "expr/predicate.h"
+
+namespace edadb {
+
+/// A rule is data (§2.2.c.i.2 "supporting expressions as data"): a
+/// boolean condition over event attributes plus a symbolic action the
+/// application interprets (route to a queue, notify a consumer, run a
+/// handler). Rules live in database tables and are compiled into a
+/// matcher at load time.
+struct Rule {
+  std::string id;
+  Predicate condition;
+  /// Opaque action tag dispatched by the application (e.g. a handler
+  /// name or destination queue).
+  std::string action;
+  int64_t priority = 0;
+  bool enabled = true;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_RULE_H_

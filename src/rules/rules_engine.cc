@@ -1,0 +1,207 @@
+#include "rules/rules_engine.h"
+
+#include <algorithm>
+
+namespace edadb {
+
+namespace {
+
+constexpr char kRulesTable[] = "__rules";
+
+SchemaPtr RulesSchema() {
+  return Schema::Make({
+      {"rule_id", ValueType::kString, /*nullable=*/false},
+      {"condition", ValueType::kString, false},
+      {"action", ValueType::kString, true},
+      {"priority", ValueType::kInt64, false},
+      {"enabled", ValueType::kBool, false},
+  });
+}
+
+}  // namespace
+
+RulesEngine::RulesEngine(Database* db, MatcherKind kind) : db_(db) {
+  if (kind == MatcherKind::kNaive) {
+    matcher_ = std::make_unique<NaiveMatcher>();
+  } else {
+    matcher_ = std::make_unique<IndexedMatcher>();
+  }
+}
+
+Result<std::unique_ptr<RulesEngine>> RulesEngine::Attach(Database* db,
+                                                         MatcherKind kind) {
+  auto engine = std::unique_ptr<RulesEngine>(new RulesEngine(db, kind));
+  if (!db->GetTable(kRulesTable).ok()) {
+    EDADB_RETURN_IF_ERROR(db->CreateTable(kRulesTable, RulesSchema()).status());
+    EDADB_RETURN_IF_ERROR(db->CreateIndex(kRulesTable, "rule_id", true));
+  }
+  EDADB_RETURN_IF_ERROR(engine->LoadPersistedRules());
+  return engine;
+}
+
+Result<Rule> RulesEngine::CompileRule(const std::string& id,
+                                      std::string_view condition_source,
+                                      std::string action, int64_t priority,
+                                      bool enabled) const {
+  EDADB_ASSIGN_OR_RETURN(Predicate condition,
+                         Predicate::Compile(condition_source));
+  Rule rule;
+  rule.id = id;
+  rule.condition = std::move(condition);
+  rule.action = std::move(action);
+  rule.priority = priority;
+  rule.enabled = enabled;
+  return rule;
+}
+
+Status RulesEngine::LoadPersistedRules() {
+  EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kRulesTable));
+  Status status;
+  std::lock_guard lock(mu_);
+  table->ScanRows([&](RowId, const Record& row) {
+    auto get_string = [&](std::string_view field) {
+      auto v = row.Get(field);
+      return v.ok() && v->type() == ValueType::kString ? v->string_value()
+                                                       : std::string();
+    };
+    const std::string id = get_string("rule_id");
+    auto priority = row.Get("priority");
+    auto enabled = row.Get("enabled");
+    auto rule = CompileRule(
+        id, get_string("condition"), get_string("action"),
+        priority.ok() && !priority->is_null() ? priority->int64_value() : 0,
+        enabled.ok() && !enabled->is_null() ? enabled->bool_value() : true);
+    if (!rule.ok()) {
+      status = rule.status();
+      return false;
+    }
+    status = matcher_->AddRule(*std::move(rule));
+    return status.ok();
+  });
+  return status;
+}
+
+Status RulesEngine::AddRule(const std::string& id,
+                            std::string_view condition_source,
+                            std::string action, int64_t priority) {
+  EDADB_ASSIGN_OR_RETURN(
+      Rule rule, CompileRule(id, condition_source, action, priority, true));
+  EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kRulesTable));
+  Record row = *RecordBuilder(table->schema())
+                    .SetString("rule_id", id)
+                    .SetString("condition", std::string(condition_source))
+                    .SetString("action", rule.action)
+                    .SetInt64("priority", priority)
+                    .SetBool("enabled", true)
+                    .Build();
+  {
+    std::lock_guard lock(mu_);
+    EDADB_RETURN_IF_ERROR(matcher_->AddRule(std::move(rule)));
+  }
+  const auto inserted = db_->Insert(kRulesTable, std::move(row));
+  if (!inserted.ok()) {
+    std::lock_guard lock(mu_);
+    (void)matcher_->RemoveRule(id);
+    return inserted.status();
+  }
+  return Status::OK();
+}
+
+Status RulesEngine::RemoveRule(const std::string& id) {
+  {
+    std::lock_guard lock(mu_);
+    EDADB_RETURN_IF_ERROR(matcher_->RemoveRule(id));
+  }
+  EDADB_ASSIGN_OR_RETURN(Predicate match,
+                         Predicate::Compile("rule_id = '" + id + "'"));
+  return db_->DeleteWhere(kRulesTable, match).status();
+}
+
+Status RulesEngine::SetRuleEnabled(const std::string& id, bool enabled) {
+  std::lock_guard lock(mu_);
+  const Rule* existing = matcher_->GetRule(id);
+  if (existing == nullptr) return Status::NotFound("rule '" + id + "'");
+  if (existing->enabled == enabled) return Status::OK();
+  Rule copy = *existing;
+  copy.enabled = enabled;
+  EDADB_RETURN_IF_ERROR(matcher_->RemoveRule(id));
+  EDADB_RETURN_IF_ERROR(matcher_->AddRule(std::move(copy)));
+  EDADB_ASSIGN_OR_RETURN(Predicate match,
+                         Predicate::Compile("rule_id = '" + id + "'"));
+  return db_
+      ->UpdateWhere(kRulesTable, match,
+                    [enabled](Record* row) {
+                      return row->Set("enabled", Value::Bool(enabled));
+                    })
+      .status();
+}
+
+size_t RulesEngine::num_rules() const {
+  std::lock_guard lock(mu_);
+  return matcher_->size();
+}
+
+std::vector<std::string> RulesEngine::ListRules() const {
+  std::vector<std::string> ids;
+  auto table = db_->GetTable(kRulesTable);
+  if (!table.ok()) return ids;
+  (*table)->ScanRows([&](RowId, const Record& row) {
+    auto v = row.Get("rule_id");
+    if (v.ok() && v->type() == ValueType::kString) {
+      ids.push_back(v->string_value());
+    }
+    return true;
+  });
+  return ids;
+}
+
+std::optional<Rule> RulesEngine::FindRule(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  const Rule* rule = matcher_->GetRule(id);
+  if (rule == nullptr) return std::nullopt;
+  return *rule;
+}
+
+void RulesEngine::RegisterActionHandler(const std::string& action,
+                                        ActionHandler handler) {
+  std::lock_guard lock(mu_);
+  handlers_[action] = std::move(handler);
+}
+
+void RulesEngine::RegisterDefaultHandler(ActionHandler handler) {
+  std::lock_guard lock(mu_);
+  default_handler_ = std::move(handler);
+}
+
+Result<std::vector<std::string>> RulesEngine::Evaluate(
+    const RowAccessor& event) {
+  std::vector<const Rule*> matched;
+  std::vector<std::pair<Rule, ActionHandler>> dispatch;
+  {
+    std::lock_guard lock(mu_);
+    matcher_->Match(event, &matched);
+    std::sort(matched.begin(), matched.end(),
+              [](const Rule* a, const Rule* b) {
+                if (a->priority != b->priority) {
+                  return a->priority > b->priority;
+                }
+                return a->id < b->id;
+              });
+    dispatch.reserve(matched.size());
+    for (const Rule* rule : matched) {
+      auto it = handlers_.find(rule->action);
+      ActionHandler handler =
+          it != handlers_.end() ? it->second : default_handler_;
+      dispatch.emplace_back(*rule, std::move(handler));
+    }
+  }
+  std::vector<std::string> ids;
+  ids.reserve(dispatch.size());
+  for (auto& [rule, handler] : dispatch) {
+    ids.push_back(rule.id);
+    if (handler != nullptr) handler(rule, event);
+  }
+  return ids;
+}
+
+}  // namespace edadb

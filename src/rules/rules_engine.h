@@ -1,0 +1,84 @@
+#ifndef EDADB_RULES_RULES_ENGINE_H_
+#define EDADB_RULES_RULES_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "rules/indexed_matcher.h"
+#include "rules/matcher.h"
+
+namespace edadb {
+
+/// The rules service (§2.2.c): rules are stored as data in the `__rules`
+/// database table (so they survive restart, are auditable, and can be
+/// changed online), compiled into a matcher, and dispatched to named
+/// action handlers when events arrive.
+///
+/// "Rules technologies can be used to evaluate external data; e.g., data
+/// can be presented to a rules service and the rules service will
+/// identify interested consumers" — Evaluate() is exactly that call.
+///
+/// Thread-safe.
+class RulesEngine {
+ public:
+  enum class MatcherKind { kNaive, kIndexed };
+
+  /// Loads persisted rules from `db` (creating the `__rules` table on
+  /// first use). `db` must outlive the engine.
+  static Result<std::unique_ptr<RulesEngine>> Attach(
+      Database* db, MatcherKind kind = MatcherKind::kIndexed);
+
+  /// Adds a rule (persisted + compiled). `condition_source` is an
+  /// expression over event attributes; `action` is the handler tag.
+  Status AddRule(const std::string& id, std::string_view condition_source,
+                 std::string action, int64_t priority = 0);
+
+  Status RemoveRule(const std::string& id);
+  Status SetRuleEnabled(const std::string& id, bool enabled);
+  size_t num_rules() const;
+  std::vector<std::string> ListRules() const;
+
+  /// Copy of a compiled rule, or nullopt when unknown.
+  std::optional<Rule> FindRule(const std::string& id) const;
+
+  /// Called for each matched rule, highest priority first.
+  using ActionHandler =
+      std::function<void(const Rule& rule, const RowAccessor& event)>;
+
+  /// Registers the handler for rules whose action equals `action`.
+  void RegisterActionHandler(const std::string& action,
+                             ActionHandler handler);
+
+  /// Handler for matched rules whose action has no registered handler.
+  void RegisterDefaultHandler(ActionHandler handler);
+
+  /// Matches `event` against every rule and dispatches handlers.
+  /// Returns the ids of matched rules in dispatch order.
+  Result<std::vector<std::string>> Evaluate(const RowAccessor& event);
+
+ private:
+  RulesEngine(Database* db, MatcherKind kind);
+
+  Status LoadPersistedRules();
+  Result<Rule> CompileRule(const std::string& id,
+                           std::string_view condition_source,
+                           std::string action, int64_t priority,
+                           bool enabled) const;
+
+  Database* db_;
+  mutable std::mutex mu_;
+  std::unique_ptr<RuleMatcher> matcher_;
+  std::map<std::string, ActionHandler> handlers_;
+  ActionHandler default_handler_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_RULES_ENGINE_H_

@@ -1,0 +1,235 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edadb {
+
+namespace {
+/// Maximum keys per node before a split. 64 keeps nodes cache-friendly
+/// without deep trees.
+constexpr size_t kMaxKeys = 64;
+}  // namespace
+
+struct BTreeIndex::Node {
+  bool leaf;
+  std::vector<Value> keys;
+  // Internal nodes: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf nodes: postings[i] are the rows under keys[i].
+  std::vector<std::vector<RowId>> postings;
+  Node* next = nullptr;  // Leaf chain for range scans.
+
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  /// Index of the first key >= `key` (lower bound).
+  size_t LowerBound(const Value& key) const {
+    size_t lo = 0;
+    size_t hi = keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (Value::CompareTotalOrder(keys[mid], key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Child to descend into for `key` (internal nodes). Keys equal to a
+  /// separator go right, matching how splits copy the first right key up.
+  size_t ChildIndex(const Value& key) const {
+    size_t lo = 0;
+    size_t hi = keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (Value::CompareTotalOrder(key, keys[mid]) < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+};
+
+struct BTreeIndex::SplitResult {
+  bool split = false;
+  Value separator;
+  std::unique_ptr<Node> right;
+};
+
+BTreeIndex::BTreeIndex(bool unique)
+    : root_(std::make_unique<Node>(/*is_leaf=*/true)), unique_(unique) {}
+
+BTreeIndex::~BTreeIndex() = default;
+
+BTreeIndex::SplitResult BTreeIndex::InsertRecursive(Node* node,
+                                                    const Value& key,
+                                                    RowId row,
+                                                    Status* status) {
+  SplitResult result;
+  if (node->leaf) {
+    const size_t pos = node->LowerBound(key);
+    const bool key_exists =
+        pos < node->keys.size() &&
+        Value::CompareTotalOrder(node->keys[pos], key) == 0;
+    if (key_exists) {
+      auto& posting = node->postings[pos];
+      if (std::find(posting.begin(), posting.end(), row) != posting.end()) {
+        return result;  // Idempotent re-insert.
+      }
+      if (unique_) {
+        *status = Status::AlreadyExists("unique index violation for key " +
+                                        key.ToString());
+        return result;
+      }
+      posting.push_back(row);
+      ++size_;
+      return result;
+    }
+    node->keys.insert(node->keys.begin() + pos, key);
+    node->postings.insert(node->postings.begin() + pos, {row});
+    ++size_;
+  } else {
+    const size_t child_idx = node->ChildIndex(key);
+    SplitResult child_split =
+        InsertRecursive(node->children[child_idx].get(), key, row, status);
+    if (child_split.split) {
+      node->keys.insert(node->keys.begin() + child_idx,
+                        std::move(child_split.separator));
+      node->children.insert(node->children.begin() + child_idx + 1,
+                            std::move(child_split.right));
+    }
+  }
+
+  if (node->keys.size() <= kMaxKeys) return result;
+
+  // Split this node.
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(node->leaf);
+  if (node->leaf) {
+    // Copy-up: the first right key becomes the separator and stays in
+    // the right leaf.
+    result.separator = node->keys[mid];
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->postings.assign(
+        std::make_move_iterator(node->postings.begin() + mid),
+        std::make_move_iterator(node->postings.end()));
+    node->keys.resize(mid);
+    node->postings.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+  } else {
+    // Push-up: the middle key moves to the parent.
+    result.separator = std::move(node->keys[mid]);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                       std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() + mid + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+  }
+  result.split = true;
+  result.right = std::move(right);
+  return result;
+}
+
+Status BTreeIndex::Insert(const Value& key, RowId row) {
+  Status status;
+  SplitResult split = InsertRecursive(root_.get(), key, row, &status);
+  if (!status.ok()) return status;
+  if (split.split) {
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(std::move(split.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+  return Status::OK();
+}
+
+bool BTreeIndex::Erase(const Value& key, RowId row) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[node->ChildIndex(key)].get();
+  }
+  const size_t pos = node->LowerBound(key);
+  if (pos >= node->keys.size() ||
+      Value::CompareTotalOrder(node->keys[pos], key) != 0) {
+    return false;
+  }
+  auto& posting = node->postings[pos];
+  auto it = std::find(posting.begin(), posting.end(), row);
+  if (it == posting.end()) return false;
+  posting.erase(it);
+  --size_;
+  if (posting.empty()) {
+    node->keys.erase(node->keys.begin() + pos);
+    node->postings.erase(node->postings.begin() + pos);
+  }
+  return true;
+}
+
+std::vector<RowId> BTreeIndex::Lookup(const Value& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[node->ChildIndex(key)].get();
+  }
+  const size_t pos = node->LowerBound(key);
+  if (pos >= node->keys.size() ||
+      Value::CompareTotalOrder(node->keys[pos], key) != 0) {
+    return {};
+  }
+  return node->postings[pos];
+}
+
+void BTreeIndex::Scan(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive,
+    const std::function<bool(const Value& key, RowId row)>& fn) const {
+  const Node* node = root_.get();
+  if (lo.has_value()) {
+    while (!node->leaf) {
+      node = node->children[node->ChildIndex(*lo)].get();
+    }
+  } else {
+    while (!node->leaf) {
+      node = node->children.front().get();
+    }
+  }
+  size_t pos = lo.has_value() ? node->LowerBound(*lo) : 0;
+  while (node != nullptr) {
+    for (; pos < node->keys.size(); ++pos) {
+      const Value& key = node->keys[pos];
+      if (lo.has_value()) {
+        const int c = Value::CompareTotalOrder(key, *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        const int c = Value::CompareTotalOrder(key, *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      for (const RowId row : node->postings[pos]) {
+        if (!fn(key, row)) return;
+      }
+    }
+    node = node->next;
+    pos = 0;
+  }
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace edadb

@@ -1,0 +1,72 @@
+#ifndef EDADB_STORAGE_BTREE_H_
+#define EDADB_STORAGE_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/log_record.h"
+#include "value/value.h"
+
+namespace edadb {
+
+/// In-memory B+tree from Value keys to row-id postings, ordered by
+/// Value::CompareTotalOrder. Backs table secondary indexes (point and
+/// range lookups for queries, triggers and queue selectors).
+///
+/// Deletions remove entries but do not rebalance; pages may run sparse
+/// under heavy delete workloads, which is an accepted trade-off for an
+/// in-memory index rebuilt on recovery.
+///
+/// Thread-compatible: external synchronization (the owning Database's
+/// lock) is required for writes concurrent with reads.
+class BTreeIndex {
+ public:
+  /// `unique` enforces at most one row per key.
+  explicit BTreeIndex(bool unique);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Adds (key, row). AlreadyExists when a unique index already holds a
+  /// different row under `key`; inserting the same (key, row) twice is
+  /// idempotent.
+  Status Insert(const Value& key, RowId row);
+
+  /// Removes (key, row); returns true when it was present.
+  bool Erase(const Value& key, RowId row);
+
+  /// All rows filed under `key`.
+  std::vector<RowId> Lookup(const Value& key) const;
+
+  /// Visits entries with lo <= key <= hi in key order (open bound when
+  /// nullopt, exclusivity per the flags). Return false from `fn` to stop.
+  void Scan(const std::optional<Value>& lo, bool lo_inclusive,
+            const std::optional<Value>& hi, bool hi_inclusive,
+            const std::function<bool(const Value& key, RowId row)>& fn) const;
+
+  /// Number of (key, row) entries.
+  size_t size() const { return size_; }
+  bool unique() const { return unique_; }
+
+  /// Tree height (1 = a single leaf); exposed for tests.
+  int height() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertRecursive(Node* node, const Value& key, RowId row,
+                              Status* status);
+
+  std::unique_ptr<Node> root_;
+  bool unique_;
+  size_t size_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_STORAGE_BTREE_H_

@@ -1,0 +1,49 @@
+#include "storage/heap.h"
+
+namespace edadb {
+
+RowId TableHeap::Insert(std::string row_bytes) {
+  const RowId id = next_row_id_++;
+  rows_.emplace(id, std::move(row_bytes));
+  return id;
+}
+
+Status TableHeap::InsertWithId(RowId id, std::string row_bytes) {
+  auto [it, inserted] = rows_.emplace(id, std::move(row_bytes));
+  if (!inserted) {
+    return Status::AlreadyExists("row id " + std::to_string(id) +
+                                 " already present");
+  }
+  if (id >= next_row_id_) next_row_id_ = id + 1;
+  return Status::OK();
+}
+
+const std::string* TableHeap::Get(RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status TableHeap::Update(RowId id, std::string row_bytes) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row id " + std::to_string(id));
+  }
+  it->second = std::move(row_bytes);
+  return Status::OK();
+}
+
+Status TableHeap::Delete(RowId id) {
+  if (rows_.erase(id) == 0) {
+    return Status::NotFound("row id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+void TableHeap::Scan(
+    const std::function<bool(RowId, const std::string&)>& fn) const {
+  for (const auto& [id, bytes] : rows_) {
+    if (!fn(id, bytes)) return;
+  }
+}
+
+}  // namespace edadb

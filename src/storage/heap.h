@@ -1,0 +1,55 @@
+#ifndef EDADB_STORAGE_HEAP_H_
+#define EDADB_STORAGE_HEAP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/log_record.h"
+
+namespace edadb {
+
+/// In-memory table heap: row-id → encoded row bytes. Row ids are
+/// monotonically assigned and never reused, so journal records and queue
+/// message ids stay unambiguous. Durability comes from the WAL +
+/// checkpoints, not from the heap itself.
+class TableHeap {
+ public:
+  TableHeap() = default;
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+
+  /// Inserts a row under a fresh id.
+  RowId Insert(std::string row_bytes);
+
+  /// Reserves and returns a fresh row id without inserting (transactions
+  /// assign ids at operation time but apply at commit).
+  RowId AllocateRowId() { return next_row_id_++; }
+
+  /// Inserts under a caller-chosen id (recovery replay). Advances the
+  /// id allocator past `id`.
+  Status InsertWithId(RowId id, std::string row_bytes);
+
+  /// Borrowed pointer to the row bytes, or nullptr when absent.
+  const std::string* Get(RowId id) const;
+
+  Status Update(RowId id, std::string row_bytes);
+  Status Delete(RowId id);
+
+  /// Visits live rows in id order; return false to stop.
+  void Scan(const std::function<bool(RowId, const std::string&)>& fn) const;
+
+  size_t size() const { return rows_.size(); }
+  RowId next_row_id() const { return next_row_id_; }
+  void set_next_row_id(RowId id) { next_row_id_ = id; }
+
+ private:
+  std::map<RowId, std::string> rows_;
+  RowId next_row_id_ = 1;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_STORAGE_HEAP_H_

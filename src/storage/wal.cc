@@ -1,0 +1,263 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace edadb {
+
+namespace {
+
+/// Builds the on-disk framing for one record.
+std::string FrameRecord(uint8_t type, std::string_view payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  const uint32_t crc = MaskCrc(Crc32c(body));
+  std::string frame;
+  frame.reserve(kWalHeaderSize + payload.size());
+  PutFixed32(&frame, crc);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(body);
+  return frame;
+}
+
+enum class ParseResult { kOk, kIncomplete, kCorrupt };
+
+/// Parses one framed record from `data` at `offset`.
+ParseResult ParseRecord(std::string_view data, size_t offset, uint8_t* type,
+                        std::string* payload, size_t* record_size) {
+  if (offset + kWalHeaderSize > data.size()) return ParseResult::kIncomplete;
+  std::string_view header = data.substr(offset, kWalHeaderSize);
+  uint32_t stored_crc, len;
+  GetFixed32(&header, &stored_crc);
+  GetFixed32(&header, &len);
+  if (offset + kWalHeaderSize + len > data.size()) {
+    return ParseResult::kIncomplete;
+  }
+  const std::string_view body = data.substr(offset + 8, 1 + len);
+  if (MaskCrc(Crc32c(body)) != stored_crc) return ParseResult::kCorrupt;
+  *type = static_cast<uint8_t>(body[0]);
+  payload->assign(body.substr(1));
+  *record_size = kWalHeaderSize + len;
+  return ParseResult::kOk;
+}
+
+}  // namespace
+
+Lsn ParseWalSegmentName(std::string_view name) {
+  if (!StartsWith(name, "wal-") || !EndsWith(name, ".log")) {
+    return kInvalidLsn;
+  }
+  const std::string digits(name.substr(4, name.size() - 8));
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return kInvalidLsn;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+std::string WalSegmentName(Lsn start_lsn) {
+  return StringPrintf("wal-%020" PRIu64 ".log", start_lsn);
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options) {
+  EDADB_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(std::move(options)));
+
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                         ListDir(writer->options_.dir));
+  Lsn last_start = kInvalidLsn;
+  for (const std::string& name : names) {
+    const Lsn start = ParseWalSegmentName(name);
+    if (start == kInvalidLsn) continue;
+    if (last_start == kInvalidLsn || start > last_start) last_start = start;
+  }
+
+  if (last_start == kInvalidLsn) {
+    EDADB_RETURN_IF_ERROR(writer->OpenNewSegment(0));
+    return writer;
+  }
+
+  // Validate the newest segment and truncate any torn tail.
+  const std::string path =
+      writer->options_.dir + "/" + WalSegmentName(last_start);
+  EDADB_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  size_t valid = 0;
+  while (valid < data.size()) {
+    uint8_t type;
+    std::string payload;
+    size_t record_size;
+    const ParseResult pr =
+        ParseRecord(data, valid, &type, &payload, &record_size);
+    if (pr != ParseResult::kOk) break;
+    valid += record_size;
+  }
+  EDADB_ASSIGN_OR_RETURN(writer->current_, WritableFile::Open(path));
+  if (valid < data.size()) {
+    EDADB_RETURN_IF_ERROR(writer->current_->Truncate(valid));
+  }
+  writer->current_segment_start_ = last_start;
+  writer->next_lsn_ = last_start + valid;
+  return writer;
+}
+
+Status WalWriter::OpenNewSegment(Lsn start_lsn) {
+  if (current_ != nullptr) {
+    EDADB_RETURN_IF_ERROR(current_->Sync());
+    EDADB_RETURN_IF_ERROR(current_->Close());
+  }
+  const std::string path = options_.dir + "/" + WalSegmentName(start_lsn);
+  EDADB_ASSIGN_OR_RETURN(current_, WritableFile::Open(path));
+  current_segment_start_ = start_lsn;
+  next_lsn_ = start_lsn;
+  return Status::OK();
+}
+
+Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
+  if (current_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer is closed");
+  }
+  if (next_lsn_ - current_segment_start_ >= options_.segment_size_bytes) {
+    EDADB_RETURN_IF_ERROR(OpenNewSegment(next_lsn_));
+  }
+  const Lsn lsn = next_lsn_;
+  const std::string frame = FrameRecord(type, payload);
+  EDADB_RETURN_IF_ERROR(current_->Append(frame));
+  next_lsn_ += frame.size();
+  dirty_ = true;
+  if (options_.sync_policy == WalSyncPolicy::kEveryAppend) {
+    EDADB_RETURN_IF_ERROR(Sync());
+  }
+  return lsn;
+}
+
+Status WalWriter::Sync() {
+  if (options_.sync_policy == WalSyncPolicy::kNever || !dirty_) {
+    dirty_ = false;
+    return Status::OK();
+  }
+  dirty_ = false;
+  return current_->Sync();
+}
+
+Status WalWriter::TruncateBefore(Lsn lsn) {
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(options_.dir));
+  std::vector<Lsn> starts;
+  for (const std::string& name : names) {
+    const Lsn start = ParseWalSegmentName(name);
+    if (start != kInvalidLsn) starts.push_back(start);
+  }
+  std::sort(starts.begin(), starts.end());
+  // A segment [start_i, start_{i+1}) may be deleted when its end <= lsn.
+  for (size_t i = 0; i + 1 < starts.size(); ++i) {
+    if (starts[i + 1] <= lsn && starts[i] != current_segment_start_) {
+      EDADB_RETURN_IF_ERROR(
+          RemoveFile(options_.dir + "/" + WalSegmentName(starts[i])));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// WalCursor
+
+WalCursor::WalCursor(std::string dir, Lsn start_lsn)
+    : dir_(std::move(dir)), lsn_(start_lsn) {}
+
+Status WalCursor::RefreshSegments() {
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  segments_.clear();
+  for (const std::string& name : names) {
+    const Lsn start = ParseWalSegmentName(name);
+    if (start != kInvalidLsn) segments_.emplace(start, dir_ + "/" + name);
+  }
+  return Status::OK();
+}
+
+Result<bool> WalCursor::PositionFile() {
+  if (file_ != nullptr && file_start_ != kInvalidLsn) {
+    // Still inside the current segment?
+    auto next = segments_.upper_bound(file_start_);
+    const bool in_current =
+        lsn_ >= file_start_ &&
+        (next == segments_.end() || lsn_ < next->first);
+    if (in_current) return true;
+  }
+  EDADB_RETURN_IF_ERROR(RefreshSegments());
+  // Find the segment with the greatest start <= lsn_.
+  auto it = segments_.upper_bound(lsn_);
+  if (it == segments_.begin()) return false;
+  --it;
+  // Verify lsn_ falls before the next segment start (if any).
+  auto next = std::next(it);
+  if (next != segments_.end() && lsn_ >= next->first) {
+    return Status::Corruption(
+        StringPrintf("WAL cursor lsn %" PRIu64 " falls in a segment gap",
+                     lsn_));
+  }
+  if (file_ == nullptr || file_start_ != it->first) {
+    EDADB_ASSIGN_OR_RETURN(file_, RandomAccessFile::Open(it->second));
+    file_start_ = it->first;
+  }
+  return true;
+}
+
+Result<bool> WalCursor::Next(WalEntry* out) {
+  for (;;) {
+    EDADB_ASSIGN_OR_RETURN(bool positioned, PositionFile());
+    if (!positioned) return false;
+
+    const uint64_t offset = lsn_ - file_start_;
+    std::string header;
+    EDADB_RETURN_IF_ERROR(file_->Read(offset, kWalHeaderSize, &header));
+    if (header.size() < kWalHeaderSize) {
+      // At (or past) the end of this segment. If a following segment
+      // starts exactly at the segment's end and we've consumed this one
+      // fully, roll forward; otherwise we are caught up.
+      EDADB_RETURN_IF_ERROR(RefreshSegments());
+      auto next = segments_.upper_bound(file_start_);
+      if (next != segments_.end() && header.empty() && lsn_ == next->first) {
+        file_.reset();
+        file_start_ = kInvalidLsn;
+        continue;
+      }
+      return false;
+    }
+    std::string_view hv = header;
+    uint32_t stored_crc, len;
+    GetFixed32(&hv, &stored_crc);
+    GetFixed32(&hv, &len);
+    std::string body;
+    EDADB_RETURN_IF_ERROR(file_->Read(offset + 8, 1 + len, &body));
+    if (body.size() < 1 + len) {
+      // Record still being appended by the writer.
+      return false;
+    }
+    if (MaskCrc(Crc32c(body)) != stored_crc) {
+      // Torn tail of the live segment is retried later; anything else is
+      // real corruption.
+      EDADB_RETURN_IF_ERROR(RefreshSegments());
+      const bool is_last_segment =
+          !segments_.empty() && file_start_ == segments_.rbegin()->first;
+      if (is_last_segment) return false;
+      return Status::Corruption(
+          StringPrintf("bad WAL record crc at lsn %" PRIu64, lsn_));
+    }
+    out->lsn = lsn_;
+    out->type = static_cast<uint8_t>(body[0]);
+    out->payload = body.substr(1);
+    lsn_ += kWalHeaderSize + len;
+    return true;
+  }
+}
+
+}  // namespace edadb

@@ -1,0 +1,124 @@
+#ifndef EDADB_STORAGE_WAL_H_
+#define EDADB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/file.h"
+
+namespace edadb {
+
+/// Log sequence number: the global byte offset of a record across all
+/// WAL segments. LSN space is contiguous — each segment file is named
+/// wal-<start_lsn>.log and the next segment starts where the previous
+/// ended — so any LSN identifies both a segment and an offset within it.
+using Lsn = uint64_t;
+
+constexpr Lsn kInvalidLsn = UINT64_MAX;
+
+/// When the log forces data to stable media. The tutorial's "operational
+/// characteristics: recoverability, availability, transactional support"
+/// trade against throughput here; bench_storage (E3) measures it.
+enum class WalSyncPolicy {
+  kNever,        // OS page cache only; fastest, loses tail on crash.
+  kOnCommit,     // fdatasync on every commit barrier (Sync() call).
+  kEveryAppend,  // fdatasync on every record; slowest, strongest.
+};
+
+struct WalOptions {
+  std::string dir;
+  uint64_t segment_size_bytes = 16 * 1024 * 1024;
+  WalSyncPolicy sync_policy = WalSyncPolicy::kOnCommit;
+};
+
+/// One decoded WAL record.
+struct WalEntry {
+  Lsn lsn = kInvalidLsn;
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Appender. On open it scans the newest segment, drops any torn tail
+/// (CRC or length mismatch) and resumes appending after the last valid
+/// record. Thread-compatible: callers (the Database write path)
+/// serialize externally.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(WalOptions options);
+
+  /// Appends one record, returns its LSN. Rolls to a new segment first
+  /// when the current one is full, so records never span segments.
+  Result<Lsn> Append(uint8_t type, std::string_view payload);
+
+  /// Durability barrier per the sync policy (no-op under kNever).
+  Status Sync();
+
+  /// LSN the next Append will return.
+  Lsn next_lsn() const { return next_lsn_; }
+
+  /// Deletes whole segments that end at or before `lsn`. Used after
+  /// checkpoints, bounded by journal-miner retention.
+  Status TruncateBefore(Lsn lsn);
+
+  const WalOptions& options() const { return options_; }
+
+ private:
+  explicit WalWriter(WalOptions options) : options_(std::move(options)) {}
+
+  Status OpenNewSegment(Lsn start_lsn);
+
+  WalOptions options_;
+  std::unique_ptr<WritableFile> current_;
+  Lsn current_segment_start_ = 0;
+  Lsn next_lsn_ = 0;
+  bool dirty_ = false;  // Appends since last Sync.
+};
+
+/// Forward cursor over the log, usable while a writer appends (the
+/// journal miner tails the live WAL with one of these). Next() returns
+/// false when it has caught up with the durable end of the log; call it
+/// again later to see newer records.
+class WalCursor {
+ public:
+  /// `start_lsn` = where to begin (0 for the whole log, or a saved
+  /// watermark).
+  WalCursor(std::string dir, Lsn start_lsn);
+
+  /// Reads the next record into `out`. Returns true on success, false
+  /// when caught up. Corruption mid-log is an error; an incomplete
+  /// record at the very tail is treated as "caught up" (it is still
+  /// being written).
+  Result<bool> Next(WalEntry* out);
+
+  Lsn position() const { return lsn_; }
+
+ private:
+  /// Re-scans the directory for segment files.
+  Status RefreshSegments();
+
+  /// Ensures file_ is the segment containing lsn_; returns false if no
+  /// such segment exists yet.
+  Result<bool> PositionFile();
+
+  std::string dir_;
+  Lsn lsn_;
+  std::map<Lsn, std::string> segments_;  // start_lsn -> path
+  std::unique_ptr<RandomAccessFile> file_;
+  Lsn file_start_ = kInvalidLsn;
+};
+
+/// Parses "wal-<start>.log"; returns kInvalidLsn for other names.
+Lsn ParseWalSegmentName(std::string_view name);
+std::string WalSegmentName(Lsn start_lsn);
+
+/// On-disk record framing: crc(4) | payload_len(4) | type(1) | payload.
+constexpr size_t kWalHeaderSize = 9;
+
+}  // namespace edadb
+
+#endif  // EDADB_STORAGE_WAL_H_

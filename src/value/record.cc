@@ -1,0 +1,111 @@
+#include "value/record.h"
+
+#include <cassert>
+
+namespace edadb {
+
+Record::Record(SchemaPtr schema, std::vector<Value> values)
+    : schema_(std::move(schema)), values_(std::move(values)) {
+  assert(schema_ != nullptr);
+  assert(values_.size() == schema_->num_fields());
+}
+
+Result<Value> Record::Get(std::string_view name) const {
+  if (schema_ == nullptr) return Status::FailedPrecondition("empty record");
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+  return values_[static_cast<size_t>(idx)];
+}
+
+Status Record::Set(std::string_view name, Value v) {
+  if (schema_ == nullptr) return Status::FailedPrecondition("empty record");
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+  values_[static_cast<size_t>(idx)] = std::move(v);
+  return Status::OK();
+}
+
+std::optional<Value> Record::GetAttribute(std::string_view name) const {
+  if (schema_ == nullptr) return std::nullopt;
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) return std::nullopt;
+  return values_[static_cast<size_t>(idx)];
+}
+
+Status Record::Validate() const {
+  if (schema_ == nullptr) return Status::FailedPrecondition("empty record");
+  if (values_.size() != schema_->num_fields()) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Field& f = schema_->field(i);
+    const Value& v = values_[i];
+    if (v.is_null()) {
+      if (!f.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL field '" + f.name +
+                                       "'");
+      }
+      continue;
+    }
+    if (v.type() != f.type) {
+      return Status::InvalidArgument(
+          "type mismatch in field '" + f.name + "': expected " +
+          std::string(ValueTypeToString(f.type)) + ", got " +
+          std::string(ValueTypeToString(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Record::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_ ? schema_->field(i).name : std::to_string(i);
+    out += ": ";
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool operator==(const Record& a, const Record& b) {
+  if (a.values_.size() != b.values_.size()) return false;
+  for (size_t i = 0; i < a.values_.size(); ++i) {
+    if (!(a.values_[i] == b.values_[i])) return false;
+  }
+  if (a.schema_ && b.schema_) return *a.schema_ == *b.schema_;
+  return (a.schema_ == nullptr) == (b.schema_ == nullptr);
+}
+
+RecordBuilder::RecordBuilder(SchemaPtr schema)
+    : schema_(std::move(schema)) {
+  assert(schema_ != nullptr);
+  values_.resize(schema_->num_fields());
+}
+
+RecordBuilder& RecordBuilder::Set(std::string_view name, Value v) {
+  const int idx = schema_->FieldIndex(name);
+  if (idx < 0) {
+    if (first_unknown_field_.empty()) first_unknown_field_ = std::string(name);
+    return *this;
+  }
+  values_[static_cast<size_t>(idx)] = std::move(v);
+  return *this;
+}
+
+Result<Record> RecordBuilder::Build() {
+  if (!first_unknown_field_.empty()) {
+    return Status::NotFound("no field named '" + first_unknown_field_ + "'");
+  }
+  Record record(schema_, std::move(values_));
+  Status s = record.Validate();
+  if (!s.ok()) return s;
+  return record;
+}
+
+}  // namespace edadb

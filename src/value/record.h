@@ -1,0 +1,98 @@
+#ifndef EDADB_VALUE_RECORD_H_
+#define EDADB_VALUE_RECORD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "value/schema.h"
+#include "value/value.h"
+
+namespace edadb {
+
+/// Read-only attribute lookup by name. Implemented by Record (schema'd
+/// rows) and by core::Event (schemaless attribute maps) so the expression
+/// evaluator and rules engine work over both.
+class RowAccessor {
+ public:
+  virtual ~RowAccessor() = default;
+
+  /// The value of attribute `name`, or nullopt when the row has no such
+  /// attribute. (A present-but-NULL attribute returns Value::Null().)
+  virtual std::optional<Value> GetAttribute(std::string_view name) const = 0;
+};
+
+/// A row: a shared schema plus one Value per field.
+class Record : public RowAccessor {
+ public:
+  Record() = default;
+
+  /// Values must match the schema arity; type conformance is checked by
+  /// Validate().
+  Record(SchemaPtr schema, std::vector<Value> values);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_values() const { return values_.size(); }
+
+  const Value& value(size_t i) const { return values_[i]; }
+  void set_value(size_t i, Value v) { values_[i] = std::move(v); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Field access by name; NotFound for unknown fields.
+  Result<Value> Get(std::string_view name) const;
+  Status Set(std::string_view name, Value v);
+
+  std::optional<Value> GetAttribute(std::string_view name) const override;
+
+  /// Checks arity, types (null ↔ nullable, otherwise exact type match).
+  Status Validate() const;
+
+  /// "{a: 1, b: 'x'}".
+  std::string ToString() const;
+
+  friend bool operator==(const Record& a, const Record& b);
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+/// Incremental Record construction by field name.
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(SchemaPtr schema);
+
+  /// Sets field `name`; unknown names are remembered and reported by
+  /// Build(). Returns *this for chaining.
+  RecordBuilder& Set(std::string_view name, Value v);
+
+  RecordBuilder& SetBool(std::string_view name, bool v) {
+    return Set(name, Value::Bool(v));
+  }
+  RecordBuilder& SetInt64(std::string_view name, int64_t v) {
+    return Set(name, Value::Int64(v));
+  }
+  RecordBuilder& SetDouble(std::string_view name, double v) {
+    return Set(name, Value::Double(v));
+  }
+  RecordBuilder& SetString(std::string_view name, std::string v) {
+    return Set(name, Value::String(std::move(v)));
+  }
+  RecordBuilder& SetTimestamp(std::string_view name, TimestampMicros v) {
+    return Set(name, Value::Timestamp(v));
+  }
+
+  /// Validates and returns the record. Unset fields are NULL.
+  Result<Record> Build();
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+  std::string first_unknown_field_;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_VALUE_RECORD_H_

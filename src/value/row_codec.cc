@@ -1,0 +1,69 @@
+#include "value/row_codec.h"
+
+#include "common/coding.h"
+
+namespace edadb {
+
+void EncodeRow(const Record& record, std::string* dst) {
+  PutVarint64(dst, record.num_values());
+  for (size_t i = 0; i < record.num_values(); ++i) {
+    record.value(i).EncodeTo(dst);
+  }
+}
+
+Result<Record> DecodeRow(SchemaPtr schema, std::string_view input) {
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("row: truncated value count");
+  }
+  if (count != schema->num_fields()) {
+    return Status::Corruption("row: arity mismatch with schema");
+  }
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Value v;
+    if (!Value::DecodeFrom(&input, &v)) {
+      return Status::Corruption("row: truncated value");
+    }
+    values.push_back(std::move(v));
+  }
+  if (!input.empty()) {
+    return Status::Corruption("row: trailing bytes");
+  }
+  return Record(std::move(schema), std::move(values));
+}
+
+void EncodeAttributes(const AttributeList& attributes, std::string* dst) {
+  PutVarint64(dst, attributes.size());
+  for (const auto& [name, value] : attributes) {
+    PutLengthPrefixed(dst, name);
+    value.EncodeTo(dst);
+  }
+}
+
+Result<AttributeList> DecodeAttributes(std::string_view input) {
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("attributes: truncated count");
+  }
+  AttributeList out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(&input, &name)) {
+      return Status::Corruption("attributes: truncated name");
+    }
+    Value v;
+    if (!Value::DecodeFrom(&input, &v)) {
+      return Status::Corruption("attributes: truncated value");
+    }
+    out.emplace_back(std::string(name), std::move(v));
+  }
+  if (!input.empty()) {
+    return Status::Corruption("attributes: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace edadb

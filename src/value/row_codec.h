@@ -1,0 +1,37 @@
+#ifndef EDADB_VALUE_ROW_CODEC_H_
+#define EDADB_VALUE_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// Binary codecs for rows and attribute maps. These are what the storage
+/// engine writes into the table heap and the write-ahead log, and what
+/// queue messages carry as payloads, so encode→decode must round-trip
+/// exactly and decode must reject truncated/garbled input with
+/// Corruption.
+
+/// Encodes the record's values (not its schema) as
+/// varint(count) ++ value*.
+void EncodeRow(const Record& record, std::string* dst);
+
+/// Decodes a row previously written by EncodeRow against `schema`.
+Result<Record> DecodeRow(SchemaPtr schema, std::string_view input);
+
+/// A schemaless ordered attribute map, as carried by events and queue
+/// message headers.
+using AttributeList = std::vector<std::pair<std::string, Value>>;
+
+/// varint(count) ++ (length-prefixed name ++ value)*.
+void EncodeAttributes(const AttributeList& attributes, std::string* dst);
+Result<AttributeList> DecodeAttributes(std::string_view input);
+
+}  // namespace edadb
+
+#endif  // EDADB_VALUE_ROW_CODEC_H_

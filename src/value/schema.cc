@@ -1,0 +1,37 @@
+#include "value/schema.h"
+
+namespace edadb {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<ValueType> Schema::FieldType(std::string_view name) const {
+  const int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+  return fields_[static_cast<size_t>(idx)].type;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += ValueTypeToString(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace edadb

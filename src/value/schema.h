@@ -1,0 +1,69 @@
+#ifndef EDADB_VALUE_SCHEMA_H_
+#define EDADB_VALUE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "value/value.h"
+
+namespace edadb {
+
+/// A named, typed column in a table or stream schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+
+  Field() = default;
+  Field(std::string name_in, ValueType type_in, bool nullable_in = true)
+      : name(std::move(name_in)), type(type_in), nullable(nullable_in) {}
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type && a.nullable == b.nullable;
+  }
+};
+
+/// An ordered list of fields with O(1) name lookup. Schemas are immutable
+/// after construction and shared between Records via shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Builds a shared schema. The common way to create one.
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 when absent.
+  int FieldIndex(std::string_view name) const;
+  bool HasField(std::string_view name) const {
+    return FieldIndex(name) >= 0;
+  }
+  Result<ValueType> FieldType(std::string_view name) const;
+
+  /// "(a INT64, b STRING NOT NULL)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace edadb
+
+#endif  // EDADB_VALUE_SCHEMA_H_

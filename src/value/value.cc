@@ -1,0 +1,361 @@
+#include "value/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace edadb {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = ValueType::kBool;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Int64(int64_t v) {
+  Value out;
+  out.type_ = ValueType::kInt64;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.type_ = ValueType::kDouble;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.type_ = ValueType::kString;
+  out.data_ = std::move(v);
+  return out;
+}
+
+Value Value::Timestamp(TimestampMicros micros) {
+  Value out;
+  out.type_ = ValueType::kTimestamp;
+  out.data_ = static_cast<int64_t>(micros);
+  return out;
+}
+
+bool Value::bool_value() const {
+  assert(type_ == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::int64_value() const {
+  assert(type_ == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::double_value() const {
+  assert(type_ == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::string_value() const {
+  assert(type_ == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+TimestampMicros Value::timestamp_value() const {
+  assert(type_ == ValueType::kTimestamp);
+  return std::get<int64_t>(data_);
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    default:
+      return Status::InvalidArgument("cannot convert " +
+                                     std::string(ValueTypeToString(type_)) +
+                                     " to DOUBLE");
+  }
+}
+
+Result<int64_t> Value::AsInt64() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::get<int64_t>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? int64_t{1} : int64_t{0};
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      if (std::trunc(d) != d) {
+        return Status::InvalidArgument("non-integral DOUBLE to INT64");
+      }
+      return static_cast<int64_t>(d);
+    }
+    default:
+      return Status::InvalidArgument("cannot convert " +
+                                     std::string(ValueTypeToString(type_)) +
+                                     " to INT64");
+  }
+}
+
+Result<bool> Value::AsBool() const {
+  switch (type_) {
+    case ValueType::kBool:
+      return std::get<bool>(data_);
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::get<int64_t>(data_) != 0;
+    case ValueType::kDouble:
+      return std::get<double>(data_) != 0.0;
+    default:
+      return Status::InvalidArgument("cannot convert " +
+                                     std::string(ValueTypeToString(type_)) +
+                                     " to BOOL");
+  }
+}
+
+namespace {
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+int CompareInt64(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+/// Numeric cross-type comparison; both values must be numeric or
+/// timestamp.
+int CompareNumeric(const Value& a, const Value& b) {
+  if (a.type() != ValueType::kDouble && b.type() != ValueType::kDouble) {
+    const int64_t av = a.type() == ValueType::kInt64 ? a.int64_value()
+                                                     : a.timestamp_value();
+    const int64_t bv = b.type() == ValueType::kInt64 ? b.int64_value()
+                                                     : b.timestamp_value();
+    return CompareInt64(av, bv);
+  }
+  const double av = *a.AsDouble();
+  const double bv = *b.AsDouble();
+  return Sign(av - bv);
+}
+
+bool IsNumericish(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble ||
+         t == ValueType::kTimestamp;
+}
+
+/// Rank for total ordering: null < bool < numeric < string.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kTimestamp:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return Status::InvalidArgument("comparison with NULL");
+  }
+  if (IsNumericish(a.type_) && IsNumericish(b.type_)) {
+    return CompareNumeric(a, b);
+  }
+  if (a.type_ != b.type_) {
+    return Status::InvalidArgument(
+        "cannot compare " + std::string(ValueTypeToString(a.type_)) +
+        " with " + std::string(ValueTypeToString(b.type_)));
+  }
+  switch (a.type_) {
+    case ValueType::kBool:
+      return CompareInt64(a.bool_value() ? 1 : 0, b.bool_value() ? 1 : 0);
+    case ValueType::kString:
+      return a.string_value().compare(b.string_value()) < 0
+                 ? -1
+                 : (a.string_value() == b.string_value() ? 0 : 1);
+    default:
+      return Status::Internal("unreachable compare");
+  }
+}
+
+int Value::CompareTotalOrder(const Value& a, const Value& b) {
+  const int ra = TypeRank(a.type_);
+  const int rb = TypeRank(b.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // Both null.
+    case 1:
+      return CompareInt64(a.bool_value() ? 1 : 0, b.bool_value() ? 1 : 0);
+    case 2:
+      return CompareNumeric(a, b);
+    case 3: {
+      const int c = a.string_value().compare(b.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() == ValueType::kNull || b.type() == ValueType::kNull) {
+    return a.type() == b.type();
+  }
+  auto cmp = Value::Compare(a, b);
+  return cmp.ok() && *cmp == 0;
+}
+
+size_t Value::Hash() const {
+  // Numeric values that compare equal must hash equal: hash the double
+  // representation for all numeric-ish types when integral values fit.
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kBool:
+      return std::hash<bool>()(std::get<bool>(data_)) ^ 0x1;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::hash<double>()(static_cast<double>(std::get<int64_t>(data_)));
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(data_));
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "TRUE" : "FALSE";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      std::string s = StringPrintf("%.17g", std::get<double>(data_));
+      // Keep doubles round-trippable but readable: trim "%.17g" noise only
+      // when a shorter form parses back exactly.
+      std::string shorter = StringPrintf("%g", std::get<double>(data_));
+      if (std::stod(shorter) == std::get<double>(data_)) s = shorter;
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : std::get<std::string>(data_)) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kTimestamp:
+      return "TIMESTAMP '" + FormatTimestamp(std::get<int64_t>(data_)) + "'";
+  }
+  return "?";
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      dst->push_back(std::get<bool>(data_) ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      PutVarsint64(dst, std::get<int64_t>(data_));
+      break;
+    case ValueType::kDouble:
+      PutDouble(dst, std::get<double>(data_));
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(dst, std::get<std::string>(data_));
+      break;
+  }
+}
+
+bool Value::DecodeFrom(std::string_view* input, Value* out) {
+  if (input->empty()) return false;
+  const uint8_t tag = static_cast<uint8_t>(input->front());
+  input->remove_prefix(1);
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kBool: {
+      if (input->empty()) return false;
+      const char b = input->front();
+      input->remove_prefix(1);
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case ValueType::kInt64: {
+      int64_t v;
+      if (!GetVarsint64(input, &v)) return false;
+      *out = Value::Int64(v);
+      return true;
+    }
+    case ValueType::kTimestamp: {
+      int64_t v;
+      if (!GetVarsint64(input, &v)) return false;
+      *out = Value::Timestamp(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      if (!GetDouble(input, &d)) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(input, &s)) return false;
+      *out = Value::String(std::string(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace edadb

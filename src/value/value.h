@@ -1,0 +1,101 @@
+#ifndef EDADB_VALUE_VALUE_H_
+#define EDADB_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace edadb {
+
+/// Runtime type tags for dynamic values. kTimestamp is stored as
+/// microseconds-since-epoch but kept distinct from kInt64 so event times
+/// print and compare as times.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kTimestamp = 5,
+};
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// A dynamically typed scalar: the unit of data in rows, events, queue
+/// message attributes and expression evaluation. Values are ordered,
+/// hashable and binary-serializable.
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int64(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Timestamp(TimestampMicros micros);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble;
+  }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (asserts in debug builds); use the As* coercions for flexible reads.
+  bool bool_value() const;
+  int64_t int64_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  TimestampMicros timestamp_value() const;
+
+  /// Numeric coercion: kInt64/kDouble/kBool/kTimestamp → double.
+  Result<double> AsDouble() const;
+  /// kInt64/kBool/kTimestamp, and kDouble when integral → int64.
+  Result<int64_t> AsInt64() const;
+  /// kBool directly; numerics are truthy when non-zero.
+  Result<bool> AsBool() const;
+
+  /// Three-way comparison with numeric coercion between kInt64, kDouble
+  /// and kTimestamp. Comparing incompatible types (e.g. string vs int)
+  /// returns InvalidArgument. Null compares only against null (equal).
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// Total order over all values for use as index keys: first by type
+  /// rank (null < bool < numeric < string), then by value; kInt64,
+  /// kDouble and kTimestamp share the numeric rank and interleave by
+  /// numeric value. Never fails.
+  static int CompareTotalOrder(const Value& a, const Value& b);
+
+  /// Equality under Compare semantics; incompatible types are unequal.
+  friend bool operator==(const Value& a, const Value& b);
+
+  size_t Hash() const;
+
+  /// SQL-ish literal rendering: NULL, TRUE, 42, 3.14, 'text',
+  /// TIMESTAMP '...'.
+  std::string ToString() const;
+
+  /// Binary codec (type byte + payload), appended to `dst`.
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(std::string_view* input, Value* out);
+
+ private:
+  ValueType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_VALUE_VALUE_H_

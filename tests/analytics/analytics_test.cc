@@ -1,0 +1,223 @@
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/detector.h"
+#include "analytics/forecaster.h"
+#include "analytics/stats.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(StreamingStatsTest, MatchesClosedForm) {
+  StreamingStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(i);
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 50.5);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 100.0);
+  // Population variance of 1..100 = (n^2 - 1) / 12.
+  EXPECT_NEAR(stats.variance(), (100.0 * 100.0 - 1) / 12.0, 1e-9);
+}
+
+TEST(StreamingStatsTest, NumericallyStableAtLargeOffsets) {
+  StreamingStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.Add(1e9 + (i % 2));  // Variance 0.25 around 1e9 + 0.5.
+  }
+  EXPECT_NEAR(stats.variance(), 0.25, 1e-6);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.Add(3);
+  q.Add(1);
+  q.Add(2);
+  EXPECT_EQ(q.value(), 2.0);
+}
+
+TEST(P2QuantileTest, ApproximatesTrueQuantiles) {
+  Random rng(17);
+  for (const double target : {0.5, 0.9, 0.99}) {
+    P2Quantile sketch(target);
+    std::vector<double> exact;
+    for (int i = 0; i < 20000; ++i) {
+      const double v = rng.Normal(100, 15);
+      sketch.Add(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    const double truth =
+        exact[static_cast<size_t>(target * (exact.size() - 1))];
+    // Within a modest absolute band of the true quantile.
+    EXPECT_NEAR(sketch.value(), truth, 1.5)
+        << "quantile " << target;
+  }
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0, 10, 10);
+  h.Add(-1);   // Underflow.
+  h.Add(0);    // Bucket 0.
+  h.Add(9.99); // Bucket 9.
+  h.Add(10);   // Overflow.
+  h.Add(5.5);  // Bucket 5.
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.5);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  Ewma ewma(0.2);
+  EXPECT_FALSE(ewma.initialized());
+  for (int i = 0; i < 100; ++i) ewma.Add(42.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 42.0);
+  EXPECT_DOUBLE_EQ(ewma.variance(), 0.0);
+}
+
+TEST(EwmaTest, TracksShift) {
+  Ewma ewma(0.3);
+  for (int i = 0; i < 50; ++i) ewma.Add(10.0);
+  for (int i = 0; i < 50; ++i) ewma.Add(20.0);
+  EXPECT_NEAR(ewma.value(), 20.0, 0.01);
+}
+
+TEST(ForecasterTest, StaticNeverAdapts) {
+  StaticForecaster model(100.0, 5.0);
+  auto before = model.Predict(0);
+  for (int i = 0; i < 100; ++i) model.Observe(i, 500.0);
+  auto after = model.Predict(100);
+  EXPECT_EQ(before.expected, after.expected);
+  EXPECT_TRUE(after.ready);
+}
+
+TEST(ForecasterTest, EwmaTracksLevel) {
+  EwmaForecaster model(0.3);
+  EXPECT_FALSE(model.Predict(0).ready);
+  for (int i = 0; i < 100; ++i) model.Observe(i, 50.0);
+  auto p = model.Predict(100);
+  EXPECT_TRUE(p.ready);
+  EXPECT_NEAR(p.expected, 50.0, 0.01);
+}
+
+TEST(ForecasterTest, HoltTracksTrend) {
+  HoltForecaster model(0.5, 0.3);
+  // Linear ramp: level i, so next is ~i+1.
+  for (int i = 0; i < 200; ++i) {
+    model.Observe(i, static_cast<double>(i));
+  }
+  auto p = model.Predict(200);
+  EXPECT_TRUE(p.ready);
+  EXPECT_NEAR(p.expected, 200.0, 1.0);
+
+  // EWMA on the same ramp lags badly.
+  EwmaForecaster lagging(0.1);
+  for (int i = 0; i < 200; ++i) {
+    lagging.Observe(i, static_cast<double>(i));
+  }
+  EXPECT_LT(lagging.Predict(200).expected, 195.0);
+}
+
+TEST(DetectorTest, FlagsSpikesNotNoise) {
+  Random rng(7);
+  DeviationDetector::Options options;
+  options.threshold_sigmas = 4.0;
+  DeviationDetector detector(std::make_unique<EwmaForecaster>(0.2), options);
+  int false_alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto result = detector.Process(i, rng.Normal(100, 2));
+    if (result.is_anomaly) ++false_alarms;
+  }
+  EXPECT_LT(false_alarms, 10);
+  // A giant spike is flagged.
+  auto spike = detector.Process(500, 200.0);
+  EXPECT_TRUE(spike.is_anomaly);
+  EXPECT_GT(spike.score, 4.0);
+}
+
+TEST(DetectorTest, RobustModeDoesNotLearnAnomalies) {
+  DeviationDetector::Options options;
+  options.threshold_sigmas = 3.0;
+  options.exclude_anomalies_from_model = true;
+  DeviationDetector detector(std::make_unique<EwmaForecaster>(0.3), options);
+  Random rng(8);
+  for (int i = 0; i < 200; ++i) {
+    detector.Process(i, rng.Normal(10, 1));
+  }
+  const double before = detector.model().Predict(200).expected;
+  // A burst of anomalies must not drag the model.
+  for (int i = 200; i < 210; ++i) {
+    EXPECT_TRUE(detector.Process(i, 1000.0).is_anomaly);
+  }
+  const double after = detector.model().Predict(210).expected;
+  EXPECT_NEAR(after, before, 0.5);
+}
+
+TEST(ConfusionMatrixTest, RatesComputed) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 8; ++i) cm.Add(true, true);    // TP.
+  for (int i = 0; i < 2; ++i) cm.Add(false, true);   // FN.
+  for (int i = 0; i < 5; ++i) cm.Add(true, false);   // FP.
+  for (int i = 0; i < 85; ++i) cm.Add(false, false); // TN.
+  EXPECT_EQ(cm.total(), 100u);
+  EXPECT_NEAR(cm.precision(), 8.0 / 13.0, 1e-12);
+  EXPECT_NEAR(cm.recall(), 0.8, 1e-12);
+  EXPECT_NEAR(cm.false_positive_rate(), 5.0 / 90.0, 1e-12);
+  EXPECT_GT(cm.f1(), 0.6);
+}
+
+TEST(RocTest, PerfectDetectorHasAucOne) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 50; ++i) scored.push_back({1.0 + i * 0.01, true});
+  for (int i = 0; i < 50; ++i) scored.push_back({0.0 + i * 0.01, false});
+  const auto roc = ComputeRoc(scored);
+  EXPECT_NEAR(RocAuc(roc), 1.0, 1e-9);
+}
+
+TEST(RocTest, RandomScoresNearHalf) {
+  Random rng(11);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 5000; ++i) {
+    scored.push_back({rng.NextDouble(), rng.OneIn(2)});
+  }
+  const auto roc = ComputeRoc(scored);
+  EXPECT_NEAR(RocAuc(roc), 0.5, 0.05);
+}
+
+TEST(RocTest, MonotonicOperatingPoints) {
+  Random rng(12);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 1000; ++i) {
+    const bool anomaly = rng.OneIn(10);
+    scored.push_back(
+        {rng.Normal(anomaly ? 5 : 0, 2), anomaly});
+  }
+  const auto roc = ComputeRoc(scored);
+  ASSERT_GT(roc.size(), 2u);
+  for (size_t i = 1; i < roc.size(); ++i) {
+    EXPECT_GE(roc[i].false_positive_rate, roc[i - 1].false_positive_rate);
+    EXPECT_GE(roc[i].true_positive_rate, roc[i - 1].true_positive_rate);
+  }
+  EXPECT_GT(RocAuc(roc), 0.8);  // Separated distributions.
+}
+
+TEST(RocTest, DegenerateInputsGiveEmptyCurve) {
+  EXPECT_TRUE(ComputeRoc({}).empty());
+  EXPECT_TRUE(ComputeRoc({{1.0, true}}).empty());   // No negatives.
+  EXPECT_TRUE(ComputeRoc({{1.0, false}}).empty());  // No positives.
+}
+
+}  // namespace
+}  // namespace edadb

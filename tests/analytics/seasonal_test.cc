@@ -1,0 +1,100 @@
+#include <cmath>
+
+#include "analytics/detector.h"
+#include "analytics/forecaster.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+/// Daily shape: base + evening peak, period 24.
+double DiurnalSignal(int hour_of_day) {
+  return 10.0 + (hour_of_day >= 18 && hour_of_day <= 22 ? 8.0 : 0.0) +
+         2.0 * std::sin(hour_of_day / 24.0 * 2 * M_PI);
+}
+
+TEST(SeasonalForecasterTest, NotReadyUntilOneFullPeriod) {
+  SeasonalForecaster model(0.3, 0.1, 0.3, 24);
+  for (int i = 0; i < 23; ++i) {
+    EXPECT_FALSE(model.Predict(i).ready) << i;
+    model.Observe(i, DiurnalSignal(i));
+  }
+  model.Observe(23, DiurnalSignal(23));
+  EXPECT_TRUE(model.Predict(24).ready);
+}
+
+TEST(SeasonalForecasterTest, LearnsTheDailyShape) {
+  SeasonalForecaster model(0.3, 0.05, 0.3, 24);
+  // Train on four clean days.
+  for (int t = 0; t < 96; ++t) {
+    model.Observe(t, DiurnalSignal(t % 24));
+  }
+  // Fifth day: one-step-ahead predictions track the shape closely,
+  // including the evening step the non-seasonal models smear.
+  double worst = 0;
+  for (int t = 96; t < 120; ++t) {
+    const double expected = DiurnalSignal(t % 24);
+    const double predicted = model.Predict(t).expected;
+    worst = std::max(worst, std::fabs(predicted - expected));
+    model.Observe(t, expected);
+  }
+  EXPECT_LT(worst, 1.0);
+}
+
+TEST(SeasonalForecasterTest, OutperformsEwmaOnSeasonalSignal) {
+  SeasonalForecaster seasonal(0.3, 0.05, 0.3, 24);
+  EwmaForecaster ewma(0.3);
+  Random rng(5);
+  double seasonal_err = 0;
+  double ewma_err = 0;
+  int scored = 0;
+  for (int t = 0; t < 24 * 10; ++t) {
+    const double value = DiurnalSignal(t % 24) + rng.Normal(0, 0.2);
+    if (t >= 48) {  // Skip both models' warm-up.
+      seasonal_err += std::fabs(seasonal.Predict(t).expected - value);
+      ewma_err += std::fabs(ewma.Predict(t).expected - value);
+      ++scored;
+    }
+    seasonal.Observe(t, value);
+    ewma.Observe(t, value);
+  }
+  ASSERT_GT(scored, 0);
+  // The evening step makes EWMA's one-step error several times larger.
+  EXPECT_LT(seasonal_err * 2, ewma_err);
+}
+
+TEST(SeasonalForecasterTest, DetectsAnomalyAgainstSeasonalExpectation) {
+  DeviationDetector::Options options;
+  options.threshold_sigmas = 6.0;
+  options.min_uncertainty = 0.3;
+  DeviationDetector detector(
+      std::make_unique<SeasonalForecaster>(0.3, 0.05, 0.3, 24), options);
+  Random rng(6);
+  int false_alarms = 0;
+  for (int t = 0; t < 24 * 8; ++t) {
+    const auto result =
+        detector.Process(t, DiurnalSignal(t % 24) + rng.Normal(0, 0.2));
+    if (result.is_anomaly) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 3);  // The peak itself must NOT alert.
+  // An 18:00-sized load at 03:00 is the anomaly a static band misses.
+  const auto spike = detector.Process(24 * 8 + 3, DiurnalSignal(19));
+  EXPECT_TRUE(spike.is_anomaly);
+}
+
+TEST(SeasonalForecasterTest, AdaptsWhenTheShapeChanges) {
+  SeasonalForecaster model(0.3, 0.05, 0.5, 4);
+  // Old pattern: [0, 10, 0, 10].
+  for (int t = 0; t < 40; ++t) {
+    model.Observe(t, t % 2 == 0 ? 0.0 : 10.0);
+  }
+  // New pattern: flat 5s. Gamma folds the seasonal profile toward 0.
+  for (int t = 40; t < 200; ++t) {
+    model.Observe(t, 5.0);
+  }
+  EXPECT_NEAR(model.Predict(200).expected, 5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace edadb

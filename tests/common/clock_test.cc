@@ -1,0 +1,39 @@
+#include "common/clock.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(ClockTest, SystemClockAdvances) {
+  SystemClock* clock = SystemClock::Default();
+  const TimestampMicros a = clock->NowMicros();
+  const TimestampMicros b = clock->NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 1577836800LL * kMicrosPerSecond);  // After 2020.
+}
+
+TEST(ClockTest, SimulatedClockIsManual) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+}
+
+TEST(ClockTest, FormatTimestampEpoch) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00.000000");
+  EXPECT_EQ(FormatTimestamp(1), "1970-01-01 00:00:00.000001");
+  EXPECT_EQ(FormatTimestamp(61 * kMicrosPerSecond + 250000),
+            "1970-01-01 00:01:01.250000");
+}
+
+TEST(ClockTest, UnitConstants) {
+  EXPECT_EQ(kMicrosPerSecond, 1000000);
+  EXPECT_EQ(kMicrosPerMinute, 60 * kMicrosPerSecond);
+  EXPECT_EQ(kMicrosPerHour, 3600LL * kMicrosPerSecond);
+}
+
+}  // namespace
+}  // namespace edadb

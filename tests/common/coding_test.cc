@@ -1,0 +1,184 @@
+#include "common/coding.h"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, UINT32_MAX);
+  std::string_view in = buf;
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xdeadbeef);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, UINT64_MAX);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  std::string_view in = buf;
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const std::vector<uint64_t> cases = {
+      0, 1, 127, 128, 16383, 16384, (1ULL << 32) - 1, 1ULL << 32,
+      UINT64_MAX};
+  for (const uint64_t value : cases) {
+    std::string buf;
+    PutVarint64(&buf, value);
+    std::string_view in = buf;
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&in, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, VarintSizes) {
+  std::string one_byte;
+  PutVarint64(&one_byte, 127);
+  EXPECT_EQ(one_byte.size(), 1u);
+  std::string two_bytes;
+  PutVarint64(&two_bytes, 128);
+  EXPECT_EQ(two_bytes.size(), 2u);
+  std::string ten_bytes;
+  PutVarint64(&ten_bytes, UINT64_MAX);
+  EXPECT_EQ(ten_bytes.size(), 10u);
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  std::string_view in = buf;
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  std::string binary("\x00\x01\xff", 3);
+  PutLengthPrefixed(&buf, binary);
+  std::string_view in = buf;
+  std::string_view piece;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &piece));
+  EXPECT_EQ(piece, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &piece));
+  EXPECT_EQ(piece, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &piece));
+  EXPECT_EQ(piece, binary);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedBodyFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  std::string_view in(buf.data(), buf.size() - 3);
+  std::string_view piece;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &piece));
+}
+
+TEST(CodingTest, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (const int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                          std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  for (const int64_t value :
+       {int64_t{0}, int64_t{-1}, int64_t{63}, int64_t{-64}, int64_t{1000000},
+        int64_t{-1000000}, std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max()}) {
+    std::string buf;
+    PutVarsint64(&buf, value);
+    std::string_view in = buf;
+    int64_t decoded;
+    ASSERT_TRUE(GetVarsint64(&in, &decoded));
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(CodingTest, DoubleRoundTripIncludingSpecials) {
+  for (const double value :
+       {0.0, -0.0, 1.5, -3.25, 1e300, -1e-300,
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min()}) {
+    std::string buf;
+    PutDouble(&buf, value);
+    std::string_view in = buf;
+    double decoded;
+    ASSERT_TRUE(GetDouble(&in, &decoded));
+    EXPECT_EQ(std::memcmp(&decoded, &value, sizeof(double)), 0);
+  }
+}
+
+TEST(CodingTest, RandomizedMixedRoundTrip) {
+  Random rng(20260707);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf;
+    std::vector<uint64_t> varints;
+    std::vector<std::string> strings;
+    const int n = static_cast<int>(rng.Uniform(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t v = rng.Next() >> rng.Uniform(64);
+      varints.push_back(v);
+      PutVarint64(&buf, v);
+      std::string s = rng.NextString(rng.Uniform(50));
+      PutLengthPrefixed(&buf, s);
+      strings.push_back(std::move(s));
+    }
+    std::string_view in = buf;
+    for (int i = 0; i < n; ++i) {
+      uint64_t v;
+      std::string_view s;
+      ASSERT_TRUE(GetVarint64(&in, &v));
+      ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+      EXPECT_EQ(v, varints[static_cast<size_t>(i)]);
+      EXPECT_EQ(s, strings[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+}  // namespace
+}  // namespace edadb

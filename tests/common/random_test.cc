@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Random c(124);
+  bool any_diff = false;
+  Random a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, NormalMomentsRoughlyStandard) {
+  Random rng(10);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, NormalWithParameters) {
+  Random rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(100.0, 5.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.3);
+}
+
+TEST(RandomTest, ZipfIsSkewedTowardLowRanks) {
+  Random rng(12);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t rank = rng.Zipf(1000, 0.9);
+    ASSERT_LT(rank, 1000u);
+    counts[rank]++;
+  }
+  // Rank 0 should dominate any mid-pack rank by a wide margin.
+  EXPECT_GT(counts[0], 20 * (counts[500] + 1));
+}
+
+TEST(RandomTest, OneInProbability) {
+  Random rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.OneIn(10)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(RandomTest, NextStringLengthAndAlphabet) {
+  Random rng(14);
+  const std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace edadb

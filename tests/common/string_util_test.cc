@@ -1,0 +1,89 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("wal-0001.log", "wal-"));
+  EXPECT_FALSE(StartsWith("wa", "wal-"));
+  EXPECT_TRUE(EndsWith("wal-0001.log", ".log"));
+  EXPECT_FALSE(EndsWith("wal-0001.lo", ".log"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("  \t "), "");
+  EXPECT_EQ(Trim("no-space"), "no-space");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtilTest, LikeMatchBasics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hellO"));  // Case-sensitive.
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llx"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+}
+
+TEST(StringUtilTest, LikeMatchBacktracking) {
+  // Requires backtracking over the first '%'.
+  EXPECT_TRUE(LikeMatch("aXbXc", "%X_"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%pp%"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%ss%xx%"));
+}
+
+TEST(StringUtilTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("sensors/temp/3", "sensors/*"));
+  EXPECT_TRUE(GlobMatch("sensors/temp/3", "sensors/*/?"));
+  EXPECT_FALSE(GlobMatch("sensors/temp/31", "sensors/temp/?"));
+  EXPECT_TRUE(GlobMatch("anything", "*"));
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  EXPECT_EQ(StringPrintf("%05.1f", 3.25), "003.2");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KB");
+  EXPECT_EQ(FormatBytes(3u * 1024 * 1024), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,100 @@
+#include "core/audit.h"
+
+#include "core/processor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class AuditTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock_;
+    clock_.SetMicros(1000);
+    db_ = *Database::Open(std::move(options));
+    audit_ = *AuditLog::Attach(db_.get());
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<AuditLog> audit_;
+};
+
+TEST_F(AuditTest, AppendAndQueryNewestFirst) {
+  ASSERT_OK(audit_->Append("alice", "rule.add", "r1", "condition=x>1"));
+  clock_.AdvanceMicros(10);
+  ASSERT_OK(audit_->Append("bob", "queue.drop", "q1"));
+  clock_.AdvanceMicros(10);
+  ASSERT_OK(audit_->Append("alice", "rule.remove", "r1"));
+  EXPECT_EQ(*audit_->count(), 3u);
+
+  auto entries = *audit_->Query();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].action, "rule.remove");  // Newest first.
+  EXPECT_EQ(entries[2].action, "rule.add");
+  EXPECT_EQ(entries[2].detail, "condition=x>1");
+  EXPECT_EQ(entries[2].timestamp, 1000);
+}
+
+TEST_F(AuditTest, FilteredQuery) {
+  ASSERT_OK(audit_->Append("alice", "rule.add", "r1"));
+  ASSERT_OK(audit_->Append("bob", "rule.add", "r2"));
+  ASSERT_OK(audit_->Append("alice", "queue.create", "q1"));
+  auto by_actor = *audit_->Query("actor = 'alice'");
+  EXPECT_EQ(by_actor.size(), 2u);
+  auto by_action = *audit_->Query("action LIKE 'rule.%'");
+  EXPECT_EQ(by_action.size(), 2u);
+  auto none = *audit_->Query("actor = 'mallory'");
+  EXPECT_TRUE(none.empty());
+  EXPECT_FALSE(audit_->Query("bad >>> filter").ok());
+}
+
+TEST_F(AuditTest, LimitApplies) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(audit_->Append("a", "tick", std::to_string(i)));
+    clock_.AdvanceMicros(1);
+  }
+  auto entries = *audit_->Query("", 5);
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].object, "19");
+}
+
+TEST_F(AuditTest, SurvivesReopen) {
+  ASSERT_OK(audit_->Append("alice", "rule.add", "r1"));
+  audit_.reset();
+  db_.reset();
+  DatabaseOptions options;
+  options.dir = dir_.path();
+  options.wal_sync_policy = WalSyncPolicy::kNever;
+  db_ = *Database::Open(std::move(options));
+  audit_ = *AuditLog::Attach(db_.get());
+  EXPECT_EQ(*audit_->count(), 1u);
+}
+
+TEST(AuditRoutingTest, ProcessorRecordsRoutingDecisions) {
+  TempDir dir;
+  EventProcessorOptions options;
+  options.data_dir = dir.path();
+  options.wal_sync_policy = WalSyncPolicy::kNever;
+  options.audit_routing = true;
+  auto processor = *EventProcessor::Open(std::move(options));
+  ASSERT_OK(processor->rules()->AddRule("crit", "severity >= 7",
+                                        "queue:alerts"));
+  Event event;
+  event.type = "x";
+  event.Set("severity", Value::Int64(9));
+  ASSERT_OK(processor->Ingest(std::move(event)));
+  auto entries = *processor->audit()->Query("action = 'route.queue'");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].actor, "processor");
+  EXPECT_EQ(entries[0].object, "alerts");
+  EXPECT_NE(entries[0].detail.find("rule=crit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edadb

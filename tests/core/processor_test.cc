@@ -1,0 +1,301 @@
+#include "core/processor.h"
+
+#include "core/sources.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+Event MakeEvent(const std::string& type, int64_t severity,
+                const std::string& region = "east") {
+  Event event;
+  event.type = type;
+  event.Set("severity", Value::Int64(severity));
+  event.Set("region", Value::String(region));
+  return event;
+}
+
+class ProcessorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    EventProcessorOptions options;
+    options.data_dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    processor_ = *EventProcessor::Open(std::move(options));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<EventProcessor> processor_;
+};
+
+TEST_F(ProcessorTest, OpensAllSubsystems) {
+  EXPECT_NE(processor_->db(), nullptr);
+  EXPECT_NE(processor_->queues(), nullptr);
+  EXPECT_NE(processor_->rules(), nullptr);
+  EXPECT_NE(processor_->broker(), nullptr);
+  EXPECT_NE(processor_->propagator(), nullptr);
+  EXPECT_NE(processor_->virt(), nullptr);
+  EXPECT_NE(processor_->responders(), nullptr);
+}
+
+TEST_F(ProcessorTest, QueueActionRoutesMatchingEvents) {
+  ASSERT_OK(processor_->rules()->AddRule(
+      "critical", "severity >= 7", "queue:alerts"));
+  ASSERT_OK(processor_->Ingest(MakeEvent("reading", 3)));
+  ASSERT_OK(processor_->Ingest(MakeEvent("reading", 9)));
+  DequeueRequest dq;
+  auto msg = *processor_->queues()->Dequeue("alerts", dq);
+  ASSERT_TRUE(msg.has_value());
+  bool has_rule_tag = false;
+  for (const auto& [name, value] : msg->attributes) {
+    if (name == "matched_rule") {
+      has_rule_tag = true;
+      EXPECT_EQ(value.string_value(), "critical");
+    }
+  }
+  EXPECT_TRUE(has_rule_tag);
+  EXPECT_FALSE(processor_->queues()->Dequeue("alerts", dq)->has_value());
+  const auto stats = processor_->GetStats();
+  EXPECT_EQ(stats.ingested, 2u);
+  EXPECT_EQ(stats.rules_matched, 1u);
+  EXPECT_EQ(stats.routed_to_queues, 1u);
+}
+
+TEST_F(ProcessorTest, TopicActionPublishes) {
+  int received = 0;
+  SubscriptionSpec spec;
+  spec.subscriber = "dash";
+  spec.topic_pattern = "dashboard";
+  spec.handler = [&](const Publication&) { ++received; };
+  ASSERT_OK(processor_->broker()->Subscribe(std::move(spec)).status());
+  ASSERT_OK(processor_->rules()->AddRule("to_dash", "severity >= 5",
+                                         "topic:dashboard"));
+  ASSERT_OK(processor_->Ingest(MakeEvent("r", 6)));
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(processor_->GetStats().routed_to_topics, 1u);
+}
+
+TEST_F(ProcessorTest, RespondActionDispatchesByRoleAndRegion) {
+  Responder responder;
+  responder.id = "east-crew";
+  responder.roles = {"hazmat"};
+  responder.region = "east";
+  ASSERT_OK(processor_->responders()->RegisterResponder(responder));
+  ASSERT_OK(processor_->rules()->AddRule("dispatch", "severity >= 8",
+                                         "respond:hazmat"));
+  ASSERT_OK(processor_->Ingest(MakeEvent("spill", 9, "east")));
+  EXPECT_EQ(processor_->GetStats().dispatched_to_responders, 1u);
+  DequeueRequest dq;
+  EXPECT_TRUE(
+      processor_->queues()->Dequeue("__responder_east-crew", dq)
+          ->has_value());
+}
+
+TEST_F(ProcessorTest, PlainActionsGoToRegisteredHandlers) {
+  int called = 0;
+  processor_->rules()->RegisterActionHandler(
+      "custom", [&](const Rule&, const RowAccessor&) { ++called; });
+  ASSERT_OK(processor_->rules()->AddRule("r", "severity > 0", "custom"));
+  ASSERT_OK(processor_->Ingest(MakeEvent("x", 5)));
+  EXPECT_EQ(called, 1);
+}
+
+TEST_F(ProcessorTest, PumpOnceDrivesPropagationAndDispatch) {
+  // alerts --propagate--> downstream --dispatch--> handler.
+  ASSERT_OK(processor_->queues()->CreateQueue("alerts"));
+  ASSERT_OK(processor_->queues()->CreateQueue("downstream"));
+  ASSERT_OK(processor_->rules()->AddRule("crit", "severity >= 7",
+                                         "queue:alerts"));
+  PropagationRule hop;
+  hop.name = "hop";
+  hop.source_queue = "alerts";
+  hop.destination_queue = "downstream";
+  ASSERT_OK(processor_->propagator()->AddRule(std::move(hop)));
+  int handled = 0;
+  QueueDispatcher::Binding binding;
+  binding.queue = "downstream";
+  binding.handler = [&](const Message&) {
+    ++handled;
+    return Status::OK();
+  };
+  ASSERT_OK(processor_->dispatcher()->Bind(std::move(binding)));
+
+  ASSERT_OK(processor_->Ingest(MakeEvent("spill", 9)));
+  // Tick 1 propagates; tick 2 dispatches (single-pass pump ordering:
+  // propagation runs before dispatch each tick, so one tick suffices
+  // when the message is already staged).
+  EXPECT_EQ(*processor_->PumpOnce(), 2u);  // 1 propagated + 1 handled.
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(*processor_->PumpOnce(), 0u);  // Drained.
+}
+
+TEST_F(ProcessorTest, BusSubscribersSeeIngestedEvents) {
+  int seen = 0;
+  ASSERT_OK(processor_->bus()->Subscribe([&](const Event&) { ++seen; }));
+  ASSERT_OK(processor_->Ingest(MakeEvent("x", 1)));
+  ASSERT_OK(processor_->Ingest(MakeEvent("y", 2)));
+  EXPECT_EQ(seen, 2);
+}
+
+TEST_F(ProcessorTest, AttachedCapturesFeedThePipeline) {
+  Database* db = processor_->db();
+  auto schema = Schema::Make({{"sensor", ValueType::kString, false},
+                              {"severity", ValueType::kInt64, false}});
+  ASSERT_TRUE(db->CreateTable("readings", schema).ok());
+  ASSERT_OK(processor_->rules()->AddRule(
+      "crit", "event_type = 'reading' AND severity >= 7", "queue:alerts"));
+  ASSERT_OK(processor_->queues()->CreateQueue("alerts"));
+
+  // Trigger capture: synchronous.
+  ASSERT_OK(processor_->AttachTriggerCapture("readings", "reading"));
+  ASSERT_TRUE(db->Insert("readings", Record(schema, {Value::String("s1"),
+                                                     Value::Int64(9)}))
+                  .ok());
+  EXPECT_EQ(*processor_->queues()->Depth("alerts", ""), 1u);
+
+  // Journal capture on a second table: drained by PumpOnce.
+  ASSERT_TRUE(db->CreateTable("readings2", schema).ok());
+  ASSERT_OK(processor_->rules()->AddRule(
+      "crit2", "event_type = 'reading2' AND severity >= 7",
+      "queue:alerts"));
+  ASSERT_OK(processor_->AttachJournalCapture("readings2", "reading2"));
+  ASSERT_TRUE(db->Insert("readings2", Record(schema, {Value::String("s2"),
+                                                      Value::Int64(8)}))
+                  .ok());
+  EXPECT_EQ(*processor_->queues()->Depth("alerts", ""), 1u);  // Not yet.
+  ASSERT_OK(processor_->PumpOnce().status());
+  EXPECT_EQ(*processor_->queues()->Depth("alerts", ""), 2u);
+
+  // Query capture: result-set change events on the next pump.
+  Query query = QueryBuilder("readings").Where("severity >= 7").Build();
+  ASSERT_OK(processor_->AttachQueryCapture(std::move(query), {"sensor"},
+                                           "hot_sensor"));
+  ASSERT_OK(processor_->rules()->AddRule(
+      "hot", "event_type = 'hot_sensor'", "queue:alerts"));
+  ASSERT_TRUE(db->Insert("readings", Record(schema, {Value::String("s3"),
+                                                     Value::Int64(9)}))
+                  .ok());
+  ASSERT_OK(processor_->PumpOnce().status());
+  // s3's insert fired the trigger capture (reading) AND the query
+  // capture (hot_sensor): alerts gained 2.
+  EXPECT_EQ(*processor_->queues()->Depth("alerts", ""), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Capture sources (§2.2.a)
+
+SchemaPtr MeterSchema() {
+  return Schema::Make({
+      {"meter", ValueType::kString, false},
+      {"kwh", ValueType::kDouble, false},
+  });
+}
+
+Record MeterRow(const std::string& meter, double kwh) {
+  return Record(MeterSchema(), {Value::String(meter), Value::Double(kwh)});
+}
+
+class SourcesTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    ASSERT_TRUE(db_->CreateTable("meters", MeterSchema()).ok());
+    sink_ = [this](const Event& event) { captured_.push_back(event); };
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  EventSink sink_;
+  std::vector<Event> captured_;
+};
+
+TEST_F(SourcesTest, TriggerSourceCapturesSynchronously) {
+  auto source = *TriggerEventSource::Create(db_.get(), sink_, "meters",
+                                            "cap_meters", "meter_change");
+  const RowId id = *db_->Insert("meters", MeterRow("m1", 5.5));
+  ASSERT_EQ(captured_.size(), 1u);  // No polling needed.
+  EXPECT_EQ(captured_[0].type, "meter_change");
+  EXPECT_EQ(captured_[0].source, "trigger:meters");
+  EXPECT_EQ(captured_[0].Get("op")->string_value(), "INSERT");
+  EXPECT_EQ(captured_[0].Get("meter")->string_value(), "m1");
+  EXPECT_EQ(captured_[0].Get("kwh")->double_value(), 5.5);
+  ASSERT_OK(db_->DeleteRow("meters", id));
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[1].Get("op")->string_value(), "DELETE");
+  EXPECT_EQ(captured_[1].Get("meter")->string_value(), "m1");
+  EXPECT_EQ(source->captured(), 2u);
+}
+
+TEST_F(SourcesTest, TriggerSourceUnregistersOnDestruction) {
+  {
+    auto source = *TriggerEventSource::Create(db_.get(), sink_, "meters",
+                                              "cap_meters", "meter_change");
+  }
+  ASSERT_OK(db_->Insert("meters", MeterRow("m1", 1)).status());
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(SourcesTest, JournalSourceCapturesOnPoll) {
+  JournalEventSource source(db_.get(), sink_, "meters", "meter_change");
+  ASSERT_OK(db_->Insert("meters", MeterRow("m1", 5.5)).status());
+  EXPECT_TRUE(captured_.empty());  // Asynchronous: nothing until Poll.
+  EXPECT_EQ(*source.Poll(), 1u);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].source, "journal:meters");
+  EXPECT_EQ(captured_[0].Get("meter")->string_value(), "m1");
+  EXPECT_TRUE(captured_[0].Get("lsn").has_value());
+  EXPECT_EQ(*source.Poll(), 0u);  // Incremental.
+}
+
+TEST_F(SourcesTest, QuerySourceCapturesResultSetChanges) {
+  Query query = QueryBuilder("meters").Where("kwh > 10").Build();
+  QueryEventSource source(db_.get(), sink_, std::move(query), {"meter"},
+                          "overload");
+  ASSERT_OK(source.Poll().status());  // Prime.
+  ASSERT_OK(db_->Insert("meters", MeterRow("m1", 5)).status());
+  EXPECT_EQ(*source.Poll(), 0u);  // Below threshold: not in result set.
+  ASSERT_OK(db_->Insert("meters", MeterRow("m2", 15)).status());
+  EXPECT_EQ(*source.Poll(), 1u);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].type, "overload");
+  EXPECT_EQ(captured_[0].Get("op")->string_value(), "ADDED");
+}
+
+TEST_F(SourcesTest, PushSourceStampsDefaults) {
+  PushEventSource source(sink_, "scada-gateway");
+  Event event;
+  event.type = "external";
+  source.Push(event);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].source, "scada-gateway");
+  EXPECT_NE(captured_[0].id, 0u);
+  EXPECT_NE(captured_[0].timestamp, 0);
+  EXPECT_EQ(source.captured(), 1u);
+}
+
+TEST_F(SourcesTest, AllThreeCapturePathsSeeTheSameChange) {
+  auto trigger_source = *TriggerEventSource::Create(
+      db_.get(), sink_, "meters", "trig", "via_trigger");
+  JournalEventSource journal_source(db_.get(), sink_, "meters",
+                                    "via_journal");
+  QueryEventSource query_source(db_.get(), sink_,
+                                QueryBuilder("meters").Build(), {"meter"},
+                                "via_query");
+  ASSERT_OK(query_source.Poll().status());
+
+  ASSERT_OK(db_->Insert("meters", MeterRow("m9", 1.0)).status());
+  ASSERT_OK(journal_source.Poll().status());
+  ASSERT_OK(query_source.Poll().status());
+
+  std::set<std::string> types;
+  for (const Event& event : captured_) types.insert(event.type);
+  EXPECT_EQ(types, (std::set<std::string>{"via_trigger", "via_journal",
+                                          "via_query"}));
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,230 @@
+#include "cq/join.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr TickSchema() {
+  return Schema::Make({
+      {"symbol", ValueType::kString, false},
+      {"price", ValueType::kDouble, false},
+  });
+}
+
+Record Tick(const std::string& symbol, double price) {
+  return Record(TickSchema(),
+                {Value::String(symbol), Value::Double(price)});
+}
+
+class StreamTableJoinTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    ref_schema_ = Schema::Make({
+        {"symbol", ValueType::kString, false},
+        {"exchange", ValueType::kString, true},
+    });
+    ASSERT_TRUE(db_->CreateTable("listings", ref_schema_).ok());
+    ASSERT_TRUE(db_->CreateIndex("listings", "symbol", false).ok());
+    ASSERT_TRUE(
+        db_->Insert("listings",
+                    Record(ref_schema_, {Value::String("ACME"),
+                                         Value::String("NYSE")}))
+            .ok());
+    ASSERT_TRUE(
+        db_->Insert("listings",
+                    Record(ref_schema_, {Value::String("GLOBEX"),
+                                         Value::String("CME")}))
+            .ok());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  SchemaPtr ref_schema_;
+};
+
+TEST_F(StreamTableJoinTest, EnrichesEventsViaIndex) {
+  std::vector<Record> out;
+  auto join = *StreamTableJoin::Create(
+      db_.get(), TickSchema(),
+      {.stream_key = "symbol", .table = "listings", .table_key = "symbol"},
+      [&](const Record& joined) { out.push_back(joined); });
+  // Output schema qualifies the colliding "symbol" column.
+  EXPECT_TRUE(join->output_schema()->HasField("listings.symbol"));
+  EXPECT_TRUE(join->output_schema()->HasField("exchange"));
+
+  ASSERT_TRUE(join->Push(Tick("ACME", 101.5)).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("price")->double_value(), 101.5);
+  EXPECT_EQ(out[0].Get("exchange")->string_value(), "NYSE");
+
+  // Inner join: unknown symbol emits nothing.
+  ASSERT_TRUE(join->Push(Tick("UNLISTED", 1.0)).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(StreamTableJoinTest, LeftOuterEmitsNulls) {
+  std::vector<Record> out;
+  auto join = *StreamTableJoin::Create(
+      db_.get(), TickSchema(),
+      {.stream_key = "symbol", .table = "listings",
+       .table_key = "symbol", .left_outer = true},
+      [&](const Record& joined) { out.push_back(joined); });
+  ASSERT_TRUE(join->Push(Tick("UNLISTED", 1.0)).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].Get("exchange")->is_null());
+}
+
+TEST_F(StreamTableJoinTest, SeesLiveTableUpdates) {
+  std::vector<Record> out;
+  auto join = *StreamTableJoin::Create(
+      db_.get(), TickSchema(),
+      {.stream_key = "symbol", .table = "listings", .table_key = "symbol"},
+      [&](const Record& joined) { out.push_back(joined); });
+  ASSERT_TRUE(join->Push(Tick("INITECH", 1)).ok());
+  EXPECT_TRUE(out.empty());
+  // Reference data arrives later; the next event joins.
+  ASSERT_TRUE(db_->Insert("listings",
+                          Record(ref_schema_, {Value::String("INITECH"),
+                                               Value::String("NASDAQ")}))
+                  .ok());
+  ASSERT_TRUE(join->Push(Tick("INITECH", 2)).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("exchange")->string_value(), "NASDAQ");
+}
+
+TEST_F(StreamTableJoinTest, WorksWithoutIndexViaScan) {
+  ASSERT_TRUE(db_->CreateTable("unindexed", ref_schema_).ok());
+  ASSERT_TRUE(db_->Insert("unindexed",
+                          Record(ref_schema_, {Value::String("ACME"),
+                                               Value::String("LSE")}))
+                  .ok());
+  std::vector<Record> out;
+  auto join = *StreamTableJoin::Create(
+      db_.get(), TickSchema(),
+      {.stream_key = "symbol", .table = "unindexed",
+       .table_key = "symbol"},
+      [&](const Record& joined) { out.push_back(joined); });
+  ASSERT_TRUE(join->Push(Tick("ACME", 5)).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Get("exchange")->string_value(), "LSE");
+}
+
+TEST_F(StreamTableJoinTest, CreateValidation) {
+  EXPECT_FALSE(StreamTableJoin::Create(
+                   db_.get(), TickSchema(),
+                   {.stream_key = "nope", .table = "listings",
+                    .table_key = "symbol"},
+                   [](const Record&) {})
+                   .ok());
+  EXPECT_TRUE(StreamTableJoin::Create(
+                  db_.get(), TickSchema(),
+                  {.stream_key = "symbol", .table = "ghost",
+                   .table_key = "symbol"},
+                  [](const Record&) {})
+                  .status()
+                  .IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// StreamStreamJoin
+
+SchemaPtr OrderSchema() {
+  return Schema::Make({
+      {"order_id", ValueType::kInt64, false},
+      {"amount", ValueType::kDouble, true},
+  });
+}
+
+Record Order(int64_t id, double amount) {
+  return Record(OrderSchema(), {Value::Int64(id), Value::Double(amount)});
+}
+
+TEST(StreamStreamJoinTest, PairsWithinWindow) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  StreamStreamJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [&](const Record& l, const Record& r, TimestampMicros) {
+        pairs.emplace_back(l.Get("order_id")->int64_value(),
+                           r.Get("order_id")->int64_value());
+      });
+  ASSERT_TRUE(join.PushLeft(Order(1, 10), 0).ok());
+  ASSERT_TRUE(join.PushRight(Order(1, 10), 50).ok());   // Within.
+  ASSERT_TRUE(join.PushRight(Order(1, 10), 90).ok());   // Also within.
+  ASSERT_TRUE(join.PushRight(Order(2, 5), 95).ok());    // Key mismatch.
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<int64_t, int64_t>{1, 1}));
+}
+
+TEST(StreamStreamJoinTest, WindowExpiryPreventsPairing) {
+  int pairs = 0;
+  StreamStreamJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
+  ASSERT_TRUE(join.PushLeft(Order(1, 10), 0).ok());
+  ASSERT_TRUE(join.PushRight(Order(1, 10), 201).ok());  // Too late.
+  EXPECT_EQ(pairs, 0);
+  EXPECT_EQ(join.buffered_left(), 0u);  // Evicted by watermark.
+}
+
+TEST(StreamStreamJoinTest, RightBeforeLeftAlsoPairs) {
+  int pairs = 0;
+  StreamStreamJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [&](const Record&, const Record&, TimestampMicros ts) {
+        ++pairs;
+        EXPECT_EQ(ts, 80);
+      });
+  ASSERT_TRUE(join.PushRight(Order(7, 1), 30).ok());
+  ASSERT_TRUE(join.PushLeft(Order(7, 1), 80).ok());
+  EXPECT_EQ(pairs, 1);
+}
+
+TEST(StreamStreamJoinTest, ManyToManyWithinKey) {
+  int pairs = 0;
+  StreamStreamJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 1000},
+      [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
+  ASSERT_TRUE(join.PushLeft(Order(1, 1), 0).ok());
+  ASSERT_TRUE(join.PushLeft(Order(1, 2), 10).ok());
+  ASSERT_TRUE(join.PushRight(Order(1, 3), 20).ok());  // Pairs with both.
+  ASSERT_TRUE(join.PushRight(Order(1, 4), 30).ok());  // Pairs with both.
+  EXPECT_EQ(pairs, 4);
+  EXPECT_EQ(join.emitted(), 4u);
+}
+
+TEST(StreamStreamJoinTest, NullKeysNeverJoin) {
+  int pairs = 0;
+  StreamStreamJoin join(
+      {.left_key = "amount", .right_key = "amount",
+       .window_micros = 1000},
+      [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
+  Record null_amount(OrderSchema(), {Value::Int64(1), Value::Null()});
+  ASSERT_TRUE(join.PushLeft(null_amount, 0).ok());
+  ASSERT_TRUE(join.PushRight(null_amount, 1).ok());
+  EXPECT_EQ(pairs, 0);
+}
+
+TEST(StreamStreamJoinTest, MemoryBoundedByWindow) {
+  StreamStreamJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [](const Record&, const Record&, TimestampMicros) {});
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(join.PushLeft(Order(i, 1), i * 10).ok());
+  }
+  // Only events within the last window (10 ticks of 10) stay buffered.
+  EXPECT_LE(join.buffered_left(), 12u);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,222 @@
+#include "cq/pattern.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({
+      {"kind", ValueType::kString, false},
+      {"symbol", ValueType::kString, true},
+      {"value", ValueType::kDouble, true},
+  });
+}
+
+Record Ev(const std::string& kind, double value = 0,
+          const std::string& symbol = "S") {
+  return Record(EventSchema(), {Value::String(kind), Value::String(symbol),
+                                Value::Double(value)});
+}
+
+PatternStep Step(const std::string& name, const std::string& condition,
+                 bool negated = false, bool one_or_more = false) {
+  PatternStep step;
+  step.name = name;
+  step.condition = *Predicate::Compile(condition);
+  step.negated = negated;
+  step.one_or_more = one_or_more;
+  return step;
+}
+
+class PatternTest : public testing::Test {
+ protected:
+  std::unique_ptr<PatternMatcher> Make(PatternSpec spec) {
+    auto matcher = PatternMatcher::Create(
+        std::move(spec),
+        [this](const PatternMatch& match) { matches_.push_back(match); });
+    EXPECT_TRUE(matcher.ok()) << matcher.status();
+    return std::move(matcher).value();
+  }
+
+  std::vector<PatternMatch> matches_;
+};
+
+TEST_F(PatternTest, SimpleSequence) {
+  PatternSpec spec;
+  spec.name = "ab";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  EXPECT_EQ(matcher->matches_emitted(), 0u);
+  ASSERT_TRUE(matcher->Push(Ev("B"), 2).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].pattern, "ab");
+  EXPECT_EQ(matches_[0].start_ts, 1);
+  EXPECT_EQ(matches_[0].end_ts, 2);
+  ASSERT_EQ(matches_[0].bindings.size(), 2u);
+  EXPECT_EQ(matches_[0].bindings[0].first, "a");
+  EXPECT_EQ(matches_[0].bindings[0].second.size(), 1u);
+}
+
+TEST_F(PatternTest, SkipTillNextMatchIgnoresIrrelevantEvents) {
+  PatternSpec spec;
+  spec.name = "ab";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("X"), 2).ok());
+  ASSERT_TRUE(matcher->Push(Ev("Y"), 3).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B"), 4).ok());
+  EXPECT_EQ(matches_.size(), 1u);
+}
+
+TEST_F(PatternTest, WithinWindowExpiresRuns) {
+  PatternSpec spec;
+  spec.name = "ab";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+  spec.within_micros = 10;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B"), 20).ok());  // Too late.
+  EXPECT_TRUE(matches_.empty());
+  EXPECT_EQ(matcher->active_runs(), 0u);
+}
+
+TEST_F(PatternTest, OverlappingMatches) {
+  PatternSpec spec;
+  spec.name = "ab";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("A"), 2).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B"), 3).ok());
+  // Both open runs complete on the same B.
+  EXPECT_EQ(matches_.size(), 2u);
+}
+
+TEST_F(PatternTest, NegationKillsRun) {
+  // A (no C between) B.
+  PatternSpec spec;
+  spec.name = "a_notc_b";
+  spec.steps = {Step("a", "kind = 'A'"),
+                Step("no_c", "kind = 'C'", /*negated=*/true),
+                Step("b", "kind = 'B'")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("C"), 2).ok());  // Kills the run.
+  ASSERT_TRUE(matcher->Push(Ev("B"), 3).ok());
+  EXPECT_TRUE(matches_.empty());
+  // Without the C it matches.
+  ASSERT_TRUE(matcher->Push(Ev("A"), 4).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B"), 5).ok());
+  EXPECT_EQ(matches_.size(), 1u);
+}
+
+TEST_F(PatternTest, KleenePlusFoldsConsecutiveEvents) {
+  // A B+ C: all Bs bind to the middle step.
+  PatternSpec spec;
+  spec.name = "abc";
+  spec.steps = {Step("a", "kind = 'A'"),
+                Step("bs", "kind = 'B'", false, /*one_or_more=*/true),
+                Step("c", "kind = 'C'")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B", 1), 2).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B", 2), 3).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B", 3), 4).ok());
+  ASSERT_TRUE(matcher->Push(Ev("C"), 5).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].bindings[1].second.size(), 3u);
+}
+
+TEST_F(PatternTest, PartitionsTrackIndependently) {
+  PatternSpec spec;
+  spec.name = "rise";
+  spec.steps = {Step("low", "value < 10"), Step("high", "value > 20")};
+  spec.within_micros = 1000;
+  spec.partition_by = "symbol";
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("t", 5, "AAPL"), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("t", 5, "MSFT"), 2).ok());
+  // Cross-partition events must not complete each other's runs.
+  ASSERT_TRUE(matcher->Push(Ev("t", 25, "MSFT"), 3).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].partition_key.string_value(), "MSFT");
+  ASSERT_TRUE(matcher->Push(Ev("t", 30, "AAPL"), 4).ok());
+  ASSERT_EQ(matches_.size(), 2u);
+  EXPECT_EQ(matches_[1].partition_key.string_value(), "AAPL");
+}
+
+TEST_F(PatternTest, MaxActiveRunsBounds) {
+  PatternSpec spec;
+  spec.name = "ab";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+  spec.within_micros = 100000;
+  spec.max_active_runs = 5;
+  auto matcher = Make(std::move(spec));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(matcher->Push(Ev("A"), i + 1).ok());
+  }
+  EXPECT_EQ(matcher->active_runs(), 5u);
+}
+
+TEST_F(PatternTest, SingleStepPatternMatchesImmediately) {
+  PatternSpec spec;
+  spec.name = "spike";
+  spec.steps = {Step("s", "value > 100")};
+  spec.within_micros = 1;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("t", 50), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("t", 150), 2).ok());
+  EXPECT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matcher->active_runs(), 0u);
+}
+
+TEST_F(PatternTest, SpecValidation) {
+  auto no_steps = PatternMatcher::Create({}, [](const PatternMatch&) {});
+  EXPECT_TRUE(no_steps.status().IsInvalidArgument());
+
+  PatternSpec leading_not;
+  leading_not.steps = {Step("n", "TRUE", true), Step("a", "TRUE")};
+  EXPECT_TRUE(PatternMatcher::Create(leading_not, [](const PatternMatch&) {})
+                  .status()
+                  .IsInvalidArgument());
+
+  PatternSpec bad_within;
+  bad_within.steps = {Step("a", "TRUE")};
+  bad_within.within_micros = 0;
+  EXPECT_TRUE(PatternMatcher::Create(bad_within, [](const PatternMatch&) {})
+                  .status()
+                  .IsInvalidArgument());
+
+  PatternSpec negated_kleene;
+  negated_kleene.steps = {Step("a", "TRUE"),
+                          Step("x", "TRUE", true, true),
+                          Step("b", "TRUE")};
+  EXPECT_TRUE(
+      PatternMatcher::Create(negated_kleene, [](const PatternMatch&) {})
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(PatternTest, ReluctantKleeneAdvancesOnAmbiguousEvent) {
+  // B+ then "value > 20": an event matching both should advance.
+  PatternSpec spec;
+  spec.name = "accel";
+  spec.steps = {Step("start", "value > 0", false, true),
+                Step("peak", "value > 20")};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("t", 5), 1).ok());
+  ASSERT_TRUE(matcher->Push(Ev("t", 25), 2).ok());  // Matches both steps.
+  EXPECT_EQ(matches_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace edadb

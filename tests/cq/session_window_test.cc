@@ -1,0 +1,110 @@
+#include <vector>
+
+#include "cq/window.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make({
+      {"user", ValueType::kString, false},
+      {"bytes", ValueType::kInt64, false},
+  });
+}
+
+Record Hit(const std::string& user, int64_t bytes) {
+  return Record(S(), {Value::String(user), Value::Int64(bytes)});
+}
+
+SessionAggregatorOptions Opts(TimestampMicros gap, bool keyed = true) {
+  SessionAggregatorOptions options;
+  options.gap_micros = gap;
+  if (keyed) options.key_column = "user";
+  options.aggregates = {{Aggregate::Func::kCount, "", "hits"},
+                        {Aggregate::Func::kSum, "bytes", "bytes"}};
+  return options;
+}
+
+TEST(SessionAggregatorTest, GapSplitsSessions) {
+  std::vector<WindowResult> sessions;
+  SessionAggregator agg(Opts(100),
+                        [&](const WindowResult& r) { sessions.push_back(r); });
+  ASSERT_TRUE(agg.Push(Hit("u1", 10), 0).ok());
+  ASSERT_TRUE(agg.Push(Hit("u1", 20), 50).ok());   // Same session.
+  ASSERT_TRUE(agg.Push(Hit("u1", 30), 149).ok());  // Gap 99 <= 100: same.
+  ASSERT_TRUE(agg.Push(Hit("u1", 40), 260).ok());  // Gap 111: new session.
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].window_start, 0);
+  EXPECT_EQ(sessions[0].window_end, 249);  // last(149) + gap(100).
+  EXPECT_EQ(sessions[0].rows, 3);
+  EXPECT_EQ(sessions[0].aggregates[1].second, Value::Int64(60));
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[1].rows, 1);
+  EXPECT_EQ(sessions[1].window_start, 260);
+}
+
+TEST(SessionAggregatorTest, KeysTrackIndependentSessions) {
+  std::vector<WindowResult> sessions;
+  SessionAggregator agg(Opts(100),
+                        [&](const WindowResult& r) { sessions.push_back(r); });
+  ASSERT_TRUE(agg.Push(Hit("a", 1), 0).ok());
+  ASSERT_TRUE(agg.Push(Hit("b", 2), 10).ok());
+  // a stays active via regular hits; b goes idle and closes.
+  ASSERT_TRUE(agg.Push(Hit("a", 1), 90).ok());
+  ASSERT_TRUE(agg.Push(Hit("a", 1), 180).ok());  // b's last=10+100 <= 180.
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].key.string_value(), "b");
+  EXPECT_EQ(agg.open_sessions(), 1u);
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[1].key.string_value(), "a");
+  EXPECT_EQ(sessions[1].rows, 3);
+}
+
+TEST(SessionAggregatorTest, GlobalSessionWhenUnkeyed) {
+  std::vector<WindowResult> sessions;
+  SessionAggregator agg(Opts(100, /*keyed=*/false),
+                        [&](const WindowResult& r) { sessions.push_back(r); });
+  ASSERT_TRUE(agg.Push(Hit("a", 1), 0).ok());
+  ASSERT_TRUE(agg.Push(Hit("b", 2), 50).ok());  // Same global session.
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].rows, 2);
+  EXPECT_TRUE(sessions[0].key.is_null());
+}
+
+TEST(SessionAggregatorTest, BackToBackSessionsBoundaryExactGap) {
+  std::vector<WindowResult> sessions;
+  SessionAggregator agg(Opts(100),
+                        [&](const WindowResult& r) { sessions.push_back(r); });
+  ASSERT_TRUE(agg.Push(Hit("u", 1), 0).ok());
+  // Exactly at last + gap: the session is considered closed (watermark
+  // test is <=), so this starts a new one.
+  ASSERT_TRUE(agg.Push(Hit("u", 1), 100).ok());
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionAggregatorTest, FlushIsIdempotent) {
+  std::vector<WindowResult> sessions;
+  SessionAggregator agg(Opts(100),
+                        [&](const WindowResult& r) { sessions.push_back(r); });
+  ASSERT_TRUE(agg.Push(Hit("u", 1), 0).ok());
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_TRUE(agg.Flush().ok());
+  EXPECT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(agg.open_sessions(), 0u);
+}
+
+TEST(SessionAggregatorTest, MissingAggregateColumnErrors) {
+  SessionAggregatorOptions options;
+  options.gap_micros = 10;
+  options.aggregates = {{Aggregate::Func::kSum, "nope", "s"}};
+  SessionAggregator agg(options, [](const WindowResult&) {});
+  EXPECT_FALSE(agg.Push(Hit("u", 1), 0).ok());
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,124 @@
+// Parameterized window-geometry sweep: for every (size, slide, keyed,
+// recompute) combination, the emitted windows must agree with a brute
+// force reference computed from the raw event log.
+
+#include <map>
+#include <tuple>
+
+#include "common/random.h"
+#include "cq/window.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({
+      {"key", ValueType::kString, false},
+      {"v", ValueType::kDouble, false},
+  });
+}
+
+// (window size, slide, keyed, recompute_at_close)
+using WindowCase = std::tuple<int64_t, int64_t, bool, bool>;
+
+std::string CaseName(const testing::TestParamInfo<WindowCase>& info) {
+  const auto& [size, slide, keyed, recompute] = info.param;
+  return "Size" + std::to_string(size) + "_Slide" + std::to_string(slide) +
+         (keyed ? "_Keyed" : "_Global") +
+         (recompute ? "_Recompute" : "_Incremental");
+}
+
+class WindowParamTest : public testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowParamTest, AgreesWithBruteForce) {
+  const auto& [size, slide, keyed, recompute] = GetParam();
+
+  WindowAggregatorOptions options;
+  options.window_size_micros = size;
+  options.slide_micros = slide;
+  if (keyed) options.key_column = "key";
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"},
+                        {Aggregate::Func::kSum, "v", "total"},
+                        {Aggregate::Func::kMin, "v", "lo"},
+                        {Aggregate::Func::kMax, "v", "hi"}};
+  options.recompute_at_close = recompute;
+
+  struct Emitted {
+    int64_t n;
+    double total;
+    double lo;
+    double hi;
+  };
+  // (window_start, key) -> result.
+  std::map<std::pair<TimestampMicros, std::string>, Emitted> emitted;
+  WindowedAggregator agg(options, [&](const WindowResult& r) {
+    Emitted e;
+    e.n = r.aggregates[0].second.int64_value();
+    e.total = r.aggregates[1].second.is_null()
+                  ? 0
+                  : r.aggregates[1].second.double_value();
+    e.lo = r.aggregates[2].second.double_value();
+    e.hi = r.aggregates[3].second.double_value();
+    const std::string key =
+        r.key.is_null() ? "" : r.key.string_value();
+    ASSERT_TRUE(emitted.emplace(std::make_pair(r.window_start, key), e)
+                    .second)
+        << "duplicate window emission";
+  });
+
+  // Random event stream with strictly increasing timestamps.
+  Random rng(static_cast<uint64_t>(size * 131 + slide * 17 + keyed * 3 +
+                                   recompute));
+  SchemaPtr schema = EventSchema();
+  std::vector<std::tuple<TimestampMicros, std::string, double>> log;
+  TimestampMicros ts = 0;
+  for (int i = 0; i < 1500; ++i) {
+    ts += 1 + static_cast<TimestampMicros>(rng.Uniform(9));
+    const std::string key = keyed ? std::string(1, 'a' + rng.Uniform(3))
+                                  : std::string("");
+    const double v = rng.Normal(10, 4);
+    log.emplace_back(ts, key, v);
+    Record row(schema, {Value::String(key), Value::Double(v)});
+    ASSERT_TRUE(agg.Push(row, ts).ok());
+  }
+  ASSERT_TRUE(agg.Flush().ok());
+
+  // Brute force: every (window_start, key) bucket present in the log.
+  std::map<std::pair<TimestampMicros, std::string>, Emitted> expected;
+  for (const auto& [event_ts, key, v] : log) {
+    TimestampMicros start = (event_ts / slide) * slide;
+    for (; start > event_ts - size; start -= slide) {
+      const std::string bucket_key = keyed ? key : "";
+      auto [it, fresh] = expected.try_emplace(
+          {start, bucket_key}, Emitted{0, 0, v, v});
+      it->second.n += 1;
+      it->second.total += v;
+      it->second.lo = std::min(it->second.lo, v);
+      it->second.hi = std::max(it->second.hi, v);
+    }
+  }
+
+  ASSERT_EQ(emitted.size(), expected.size());
+  for (const auto& [bucket, want] : expected) {
+    auto it = emitted.find(bucket);
+    ASSERT_NE(it, emitted.end())
+        << "missing window start=" << bucket.first << " key="
+        << bucket.second;
+    EXPECT_EQ(it->second.n, want.n);
+    EXPECT_NEAR(it->second.total, want.total, 1e-6);
+    EXPECT_EQ(it->second.lo, want.lo);
+    EXPECT_EQ(it->second.hi, want.hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WindowParamTest,
+    testing::Combine(testing::Values<int64_t>(100, 400),
+                     testing::Values<int64_t>(100, 50, 25),
+                     testing::Bool(),   // Keyed.
+                     testing::Bool()),  // Recompute ablation.
+    CaseName);
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,240 @@
+#include "cq/window.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(SlidingWindowStatsTest, BasicAccumulation) {
+  SlidingWindowStats stats(100);
+  stats.Add(10, 1.0);
+  stats.Add(20, 2.0);
+  stats.Add(30, 3.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_EQ(stats.sum(), 6.0);
+  EXPECT_EQ(stats.mean(), 2.0);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 3.0);
+  EXPECT_NEAR(stats.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SlidingWindowStatsTest, EvictsOldValues) {
+  SlidingWindowStats stats(100);
+  stats.Add(0, 100.0);
+  stats.Add(50, 2.0);
+  stats.Add(101, 4.0);  // ts 0 now outside (101 - 100 = 1 > 0).
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.sum(), 6.0);
+  EXPECT_EQ(stats.max(), 4.0);
+  stats.Add(200, 8.0);  // Evicts ts 50 (and 101? 200-100=100 >= 101? no).
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.min(), 4.0);
+}
+
+TEST(SlidingWindowStatsTest, MinMaxMonotonicDequeCorrectness) {
+  // Decreasing then increasing sequence exercises both deques.
+  SlidingWindowStats stats(1000);
+  const double values[] = {5, 3, 8, 1, 9, 2, 7};
+  for (int i = 0; i < 7; ++i) {
+    stats.Add(i + 1, values[i]);
+  }
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(SlidingWindowStatsTest, AgreesWithBruteForceOnRandomStream) {
+  Random rng(99);
+  const TimestampMicros width = 50;
+  SlidingWindowStats stats(width);
+  std::vector<std::pair<TimestampMicros, double>> all;
+  TimestampMicros ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += static_cast<TimestampMicros>(rng.Uniform(5));
+    const double v = rng.Normal(10, 4);
+    stats.Add(ts, v);
+    all.emplace_back(ts, v);
+
+    // Brute force over the retained window (t > ts - width).
+    double sum = 0, mn = 1e300, mx = -1e300;
+    size_t count = 0;
+    for (const auto& [t, value] : all) {
+      if (t > ts - width) {
+        sum += value;
+        mn = std::min(mn, value);
+        mx = std::max(mx, value);
+        ++count;
+      }
+    }
+    ASSERT_EQ(stats.count(), count) << i;
+    ASSERT_NEAR(stats.sum(), sum, 1e-6);
+    ASSERT_EQ(stats.min(), mn);
+    ASSERT_EQ(stats.max(), mx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowedAggregator
+
+SchemaPtr TickSchema() {
+  return Schema::Make({
+      {"symbol", ValueType::kString, false},
+      {"price", ValueType::kDouble, false},
+  });
+}
+
+Record Tick(const std::string& symbol, double price) {
+  return Record(TickSchema(),
+                {Value::String(symbol), Value::Double(price)});
+}
+
+WindowAggregatorOptions TumblingOpts(TimestampMicros size) {
+  WindowAggregatorOptions options;
+  options.window_size_micros = size;
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"},
+                        {Aggregate::Func::kAvg, "price", "avg_price"},
+                        {Aggregate::Func::kMax, "price", "max_price"}};
+  return options;
+}
+
+TEST(WindowedAggregatorTest, TumblingWindowsEmitOnWatermark) {
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(TumblingOpts(100),
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 10), 10).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 20), 50).ok());
+  EXPECT_TRUE(results.empty());  // Window [0,100) still open.
+  ASSERT_TRUE(agg.Push(Tick("A", 70), 110).ok());  // Closes [0,100).
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].window_start, 0);
+  EXPECT_EQ(results[0].window_end, 100);
+  EXPECT_EQ(results[0].rows, 2);
+  EXPECT_EQ(results[0].aggregates[0].second, Value::Int64(2));
+  EXPECT_EQ(results[0].aggregates[1].second, Value::Double(15.0));
+  EXPECT_EQ(results[0].aggregates[2].second, Value::Double(20.0));
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 2u);  // [100,200) flushed.
+  EXPECT_EQ(results[1].rows, 1);
+}
+
+TEST(WindowedAggregatorTest, EmptyWindowsAreNotEmitted) {
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(TumblingOpts(100),
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 10).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 510).ok());  // Gap of 4 windows.
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].window_start, 0);
+  EXPECT_EQ(results[1].window_start, 500);
+}
+
+TEST(WindowedAggregatorTest, SlidingWindowsOverlap) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  options.slide_micros = 50;
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  // Event at ts=60 belongs to windows [0,100) and [50,150).
+  ASSERT_TRUE(agg.Push(Tick("A", 5), 60).ok());
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].window_start, 0);
+  EXPECT_EQ(results[1].window_start, 50);
+  EXPECT_EQ(results[0].rows, 1);
+  EXPECT_EQ(results[1].rows, 1);
+}
+
+TEST(WindowedAggregatorTest, KeyedWindowsGroupSeparately) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  options.key_column = "symbol";
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 10), 10).ok());
+  ASSERT_TRUE(agg.Push(Tick("B", 99), 20).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 20), 30).ok());
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 2u);
+  // Keys in encoded order; find each.
+  const WindowResult* a = nullptr;
+  const WindowResult* b = nullptr;
+  for (const auto& r : results) {
+    if (r.key.string_value() == "A") a = &r;
+    if (r.key.string_value() == "B") b = &r;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->rows, 2);
+  EXPECT_EQ(b->rows, 1);
+  EXPECT_EQ(b->aggregates[2].second, Value::Double(99.0));
+}
+
+TEST(WindowedAggregatorTest, LateEventsDroppedAndCounted) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 150).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 50).ok());  // ts < watermark 150.
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rows, 1);
+}
+
+TEST(WindowedAggregatorTest, AllowedLatenessAdmitsStragglers) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  options.allowed_lateness_micros = 100;
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 150).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 60).ok());  // Within lateness.
+  EXPECT_EQ(agg.late_dropped(), 0u);
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].rows, 1);  // [0,100) holds ts=60.
+}
+
+TEST(WindowedAggregatorTest, RecomputeModeMatchesIncremental) {
+  Random rng(5);
+  for (const bool recompute : {false, true}) {
+    WindowAggregatorOptions options = TumblingOpts(100);
+    options.slide_micros = 50;
+    options.key_column = "symbol";
+    options.recompute_at_close = recompute;
+    std::vector<std::string> rendered;
+    WindowedAggregator agg(options, [&](const WindowResult& r) {
+      rendered.push_back(r.ToString());
+    });
+    Random stream_rng(2026);
+    TimestampMicros ts = 0;
+    for (int i = 0; i < 500; ++i) {
+      ts += static_cast<TimestampMicros>(stream_rng.Uniform(10));
+      const char* symbol = stream_rng.OneIn(2) ? "A" : "B";
+      ASSERT_TRUE(
+          agg.Push(Tick(symbol, stream_rng.Normal(100, 10)), ts).ok());
+    }
+    ASSERT_TRUE(agg.Flush().ok());
+    static std::vector<std::string> baseline;
+    if (!recompute) {
+      baseline = rendered;
+    } else {
+      EXPECT_EQ(rendered, baseline);
+    }
+  }
+}
+
+TEST(WindowedAggregatorTest, MissingAggregateColumnErrors) {
+  WindowAggregatorOptions options;
+  options.window_size_micros = 100;
+  options.aggregates = {{Aggregate::Func::kSum, "nope", "s"}};
+  WindowedAggregator agg(options, [](const WindowResult&) {});
+  EXPECT_FALSE(agg.Push(Tick("A", 1), 10).ok());
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,74 @@
+#include "db/database.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class ExplainTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    ASSERT_TRUE(db_->CreateTable(
+                       "t", Schema::Make({{"a", ValueType::kInt64, false},
+                                          {"b", ValueType::kString, true}}))
+                    .ok());
+    ASSERT_TRUE(db_->CreateIndex("t", "a", false).ok());
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(db_->Insert("t", Record(db_->GetTable("t").value()->schema(),
+                                          {Value::Int64(i),
+                                           Value::String("x")}))
+                      .ok());
+    }
+  }
+
+  std::string Explain(const std::string& where) {
+    QueryBuilder builder("t");
+    if (!where.empty()) builder.Where(where);
+    auto result = db_->Explain(builder.Build());
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : "";
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplainTest, FullScanWithoutWhere) {
+  EXPECT_EQ(Explain(""), "full scan of t (7 rows)");
+}
+
+TEST_F(ExplainTest, FullScanWithUnindexablePredicate) {
+  EXPECT_EQ(Explain("b LIKE 'x%'"), "full scan of t (7 rows) + filter");
+}
+
+TEST_F(ExplainTest, EqualityUsesIndex) {
+  EXPECT_EQ(Explain("a = 3"), "index scan on t.a [3, 3]");
+}
+
+TEST_F(ExplainTest, RangeBoundsRendered) {
+  EXPECT_EQ(Explain("a > 2"), "index scan on t.a (2, +inf)");
+  EXPECT_EQ(Explain("a <= 5"), "index scan on t.a (-inf, 5]");
+  EXPECT_EQ(Explain("a BETWEEN 1 AND 4"), "index scan on t.a [1, 4]");
+}
+
+TEST_F(ExplainTest, ResidualNoted) {
+  EXPECT_EQ(Explain("a = 3 AND b = 'x'"),
+            "index scan on t.a [3, 3] + residual filter");
+}
+
+TEST_F(ExplainTest, UnindexedColumnFallsBackToScan) {
+  EXPECT_EQ(Explain("b = 'x'"), "full scan of t (7 rows) + filter");
+}
+
+TEST_F(ExplainTest, ErrorsPropagate) {
+  Query ghost = QueryBuilder("ghost").Build();
+  EXPECT_TRUE(db_->Explain(ghost).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace edadb

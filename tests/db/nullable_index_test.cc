@@ -1,0 +1,110 @@
+// Correctness of indexes over nullable columns: NULLs are not indexed
+// (they can never satisfy an indexable comparison), and the planner
+// must still answer IS NULL / OR-shaped predicates correctly via scan.
+
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class NullableIndexTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    schema_ = Schema::Make({
+        {"id", ValueType::kInt64, false},
+        {"score", ValueType::kInt64, true},  // Nullable + indexed.
+    });
+    ASSERT_TRUE(db_->CreateTable("t", schema_).ok());
+    ASSERT_TRUE(db_->CreateIndex("t", "score", false).ok());
+    Insert(1, Value::Int64(10));
+    Insert(2, Value::Null());
+    Insert(3, Value::Int64(20));
+    Insert(4, Value::Null());
+    Insert(5, Value::Int64(10));
+  }
+
+  void Insert(int64_t id, Value score) {
+    ASSERT_TRUE(db_->Insert("t", Record(schema_, {Value::Int64(id),
+                                                  std::move(score)}))
+                    .ok());
+  }
+
+  size_t Count(const std::string& where) {
+    auto result = db_->Execute(QueryBuilder("t").Where(where).Build());
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result->rows.size() : 0;
+  }
+
+  TempDir dir_;
+  SchemaPtr schema_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(NullableIndexTest, NullsExcludedFromIndexEntries) {
+  const BTreeIndex* index = (*db_->GetTable("t"))->GetIndex("score");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 3u);  // Only the non-NULL scores.
+}
+
+TEST_F(NullableIndexTest, IndexScanNeverReturnsNullRows) {
+  EXPECT_EQ(Count("score = 10"), 2u);
+  EXPECT_EQ(Count("score > 5"), 3u);
+  EXPECT_EQ(Count("score < 100"), 3u);  // NULLs never compare.
+}
+
+TEST_F(NullableIndexTest, IsNullAnsweredByScan) {
+  EXPECT_EQ(Count("score IS NULL"), 2u);
+  EXPECT_EQ(Count("score IS NOT NULL"), 3u);
+  // The planner must not have used the index for IS NULL.
+  auto plan = *db_->Explain(
+      QueryBuilder("t").Where("score IS NULL").Build());
+  EXPECT_NE(plan.find("full scan"), std::string::npos);
+}
+
+TEST_F(NullableIndexTest, OrWithNullBranchUsesScan) {
+  EXPECT_EQ(Count("score = 10 OR score IS NULL"), 4u);
+}
+
+TEST_F(NullableIndexTest, UpdatesBetweenNullAndValueMaintainIndex) {
+  // id=2: NULL -> 30.
+  ASSERT_TRUE(db_->UpdateWhere("t", *Predicate::Compile("id = 2"),
+                               [](Record* row) {
+                                 return row->Set("score", Value::Int64(30));
+                               })
+                  .ok());
+  // id=1: 10 -> NULL.
+  ASSERT_TRUE(db_->UpdateWhere("t", *Predicate::Compile("id = 1"),
+                               [](Record* row) {
+                                 return row->Set("score", Value::Null());
+                               })
+                  .ok());
+  const BTreeIndex* index = (*db_->GetTable("t"))->GetIndex("score");
+  EXPECT_EQ(index->size(), 3u);
+  EXPECT_EQ(Count("score = 30"), 1u);
+  EXPECT_EQ(Count("score = 10"), 1u);
+  EXPECT_EQ(Count("score IS NULL"), 2u);
+}
+
+TEST_F(NullableIndexTest, UniqueIndexAllowsManyNulls) {
+  ASSERT_TRUE(db_->CreateTable(
+                     "u", Schema::Make({{"k", ValueType::kInt64, true}}))
+                  .ok());
+  ASSERT_TRUE(db_->CreateIndex("u", "k", /*unique=*/true).ok());
+  SchemaPtr u_schema = (*db_->GetTable("u"))->schema();
+  // SQL-standard-ish: NULL does not participate in uniqueness.
+  EXPECT_TRUE(db_->Insert("u", Record(u_schema, {Value::Null()})).ok());
+  EXPECT_TRUE(db_->Insert("u", Record(u_schema, {Value::Null()})).ok());
+  EXPECT_TRUE(db_->Insert("u", Record(u_schema, {Value::Int64(1)})).ok());
+  EXPECT_TRUE(db_->Insert("u", Record(u_schema, {Value::Int64(1)}))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace edadb

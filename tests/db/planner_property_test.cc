@@ -1,0 +1,143 @@
+// Property: query results must be identical with and without secondary
+// indexes — the planner's index-scan path and the full-scan path are
+// interchangeable for correctness.
+
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr DataSchema() {
+  return Schema::Make({
+      {"a", ValueType::kInt64, false},
+      {"b", ValueType::kDouble, false},
+      {"s", ValueType::kString, false},
+  });
+}
+
+std::string RandomPredicate(Random* rng) {
+  switch (rng->Uniform(6)) {
+    case 0:
+      return StringPrintf("a = %lld",
+                          static_cast<long long>(rng->UniformInt(0, 50)));
+    case 1:
+      return StringPrintf("a > %lld",
+                          static_cast<long long>(rng->UniformInt(0, 50)));
+    case 2:
+      return StringPrintf("a BETWEEN %lld AND %lld",
+                          static_cast<long long>(rng->UniformInt(0, 25)),
+                          static_cast<long long>(rng->UniformInt(25, 50)));
+    case 3:
+      return StringPrintf("b <= %lld.5",
+                          static_cast<long long>(rng->UniformInt(0, 20)));
+    case 4:
+      return StringPrintf("s = 's%lld'",
+                          static_cast<long long>(rng->UniformInt(0, 9)));
+    default:
+      return StringPrintf(
+          "a >= %lld AND b < %lld.0 AND s != 's3'",
+          static_cast<long long>(rng->UniformInt(0, 40)),
+          static_cast<long long>(rng->UniformInt(5, 20)));
+  }
+}
+
+std::multiset<std::string> Render(const QueryResult& result) {
+  std::multiset<std::string> rows;
+  for (const Record& row : result.rows) rows.insert(row.ToString());
+  return rows;
+}
+
+TEST(PlannerProperty, IndexScanEqualsFullScan) {
+  TempDir indexed_dir;
+  TempDir plain_dir;
+  DatabaseOptions options1;
+  options1.dir = indexed_dir.path();
+  options1.wal_sync_policy = WalSyncPolicy::kNever;
+  auto indexed = *Database::Open(std::move(options1));
+  DatabaseOptions options2;
+  options2.dir = plain_dir.path();
+  options2.wal_sync_policy = WalSyncPolicy::kNever;
+  auto plain = *Database::Open(std::move(options2));
+
+  ASSERT_TRUE(indexed->CreateTable("t", DataSchema()).ok());
+  ASSERT_TRUE(plain->CreateTable("t", DataSchema()).ok());
+  ASSERT_TRUE(indexed->CreateIndex("t", "a", false).ok());
+  ASSERT_TRUE(indexed->CreateIndex("t", "b", false).ok());
+  ASSERT_TRUE(indexed->CreateIndex("t", "s", false).ok());
+
+  Random rng(20070613);
+  for (int i = 0; i < 800; ++i) {
+    Record row(DataSchema(),
+               {Value::Int64(rng.UniformInt(0, 50)),
+                Value::Double(static_cast<double>(rng.UniformInt(0, 40)) / 2),
+                Value::String("s" + std::to_string(rng.Uniform(10)))});
+    ASSERT_TRUE(indexed->Insert("t", row).ok());
+    ASSERT_TRUE(plain->Insert("t", row).ok());
+  }
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string predicate = RandomPredicate(&rng);
+    Query query = QueryBuilder("t").Where(predicate).Build();
+    auto with_index = indexed->Execute(query);
+    auto without_index = plain->Execute(query);
+    ASSERT_TRUE(with_index.ok()) << predicate;
+    ASSERT_TRUE(without_index.ok()) << predicate;
+    ASSERT_EQ(Render(*with_index), Render(*without_index))
+        << "predicate: " << predicate;
+  }
+}
+
+TEST(PlannerProperty, IndexSurvivesUpdatesAndDeletes) {
+  TempDir dir;
+  DatabaseOptions options;
+  options.dir = dir.path();
+  options.wal_sync_policy = WalSyncPolicy::kNever;
+  auto db = *Database::Open(std::move(options));
+  ASSERT_TRUE(db->CreateTable("t", DataSchema()).ok());
+  ASSERT_TRUE(db->CreateIndex("t", "a", false).ok());
+
+  Random rng(99);
+  std::vector<RowId> live;
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 5 || live.empty()) {
+      Record row(DataSchema(),
+                 {Value::Int64(rng.UniformInt(0, 30)),
+                  Value::Double(1.0), Value::String("x")});
+      live.push_back(*db->Insert("t", std::move(row)));
+    } else if (action < 8) {
+      const size_t victim = rng.Uniform(live.size());
+      Record row(DataSchema(),
+                 {Value::Int64(rng.UniformInt(0, 30)),
+                  Value::Double(2.0), Value::String("y")});
+      ASSERT_TRUE(db->UpdateRow("t", live[victim], std::move(row)).ok());
+    } else {
+      const size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(db->DeleteRow("t", live[victim]).ok());
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+  }
+  // Every indexed lookup must agree with a scan-side count.
+  for (int64_t key = 0; key <= 30; ++key) {
+    Query query = QueryBuilder("t")
+                      .Where(StringPrintf("a = %lld",
+                                          static_cast<long long>(key)))
+                      .Build();
+    const size_t via_planner = db->Execute(query)->rows.size();
+    size_t via_scan = 0;
+    (*db->GetTable("t"))->ScanRows([&](RowId, const Record& row) {
+      if (row.Get("a")->int64_value() == key) ++via_scan;
+      return true;
+    });
+    ASSERT_EQ(via_planner, via_scan) << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace edadb

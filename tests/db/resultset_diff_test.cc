@@ -1,0 +1,110 @@
+#include "db/resultset_diff.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr S() {
+  return Schema::Make({
+      {"id", ValueType::kInt64, false},
+      {"status", ValueType::kString, true},
+  });
+}
+
+Record Row(int64_t id, const std::string& status) {
+  return Record(S(), {Value::Int64(id), Value::String(status)});
+}
+
+QueryResult Make(std::vector<Record> rows) {
+  QueryResult result;
+  result.schema = S();
+  result.rows = std::move(rows);
+  return result;
+}
+
+TEST(ResultSetDiffTest, EmptyToEmpty) {
+  auto changes = *DiffResultSets(Make({}), Make({}), {"id"});
+  EXPECT_TRUE(changes.empty());
+}
+
+TEST(ResultSetDiffTest, AddsAndRemoves) {
+  auto prev = Make({Row(1, "open"), Row(2, "open")});
+  auto cur = Make({Row(2, "open"), Row(3, "open")});
+  auto changes = *DiffResultSets(prev, cur, {"id"});
+  ASSERT_EQ(changes.size(), 2u);
+  // Order: removals (by key) then adds.
+  EXPECT_EQ(changes[0].kind, RowChangeKind::kRemoved);
+  EXPECT_EQ(changes[0].before->Get("id")->int64_value(), 1);
+  EXPECT_FALSE(changes[0].after.has_value());
+  EXPECT_EQ(changes[1].kind, RowChangeKind::kAdded);
+  EXPECT_EQ(changes[1].after->Get("id")->int64_value(), 3);
+}
+
+TEST(ResultSetDiffTest, ModificationsNeedKeyColumns) {
+  auto prev = Make({Row(1, "open")});
+  auto cur = Make({Row(1, "closed")});
+  auto keyed = *DiffResultSets(prev, cur, {"id"});
+  ASSERT_EQ(keyed.size(), 1u);
+  EXPECT_EQ(keyed[0].kind, RowChangeKind::kModified);
+  EXPECT_EQ(keyed[0].before->Get("status")->string_value(), "open");
+  EXPECT_EQ(keyed[0].after->Get("status")->string_value(), "closed");
+
+  // Whole-row identity sees remove + add instead.
+  auto unkeyed = *DiffResultSets(prev, cur, {});
+  ASSERT_EQ(unkeyed.size(), 2u);
+}
+
+TEST(ResultSetDiffTest, UnchangedRowsProduceNothing) {
+  auto prev = Make({Row(1, "open"), Row(2, "x")});
+  auto cur = Make({Row(2, "x"), Row(1, "open")});  // Reordered only.
+  EXPECT_TRUE(DiffResultSets(prev, cur, {"id"})->empty());
+  EXPECT_TRUE(DiffResultSets(prev, cur, {})->empty());
+}
+
+TEST(ResultSetDiffTest, DuplicateKeysRejected) {
+  auto dup = Make({Row(1, "a"), Row(1, "b")});
+  auto ok = Make({Row(1, "a")});
+  EXPECT_TRUE(
+      DiffResultSets(dup, ok, {"id"}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DiffResultSets(ok, dup, {"id"}).status().IsInvalidArgument());
+}
+
+TEST(ResultSetDiffTest, MissingKeyColumnErrors) {
+  auto prev = Make({Row(1, "a")});
+  EXPECT_TRUE(
+      DiffResultSets(prev, prev, {"nope"}).status().IsNotFound());
+}
+
+TEST(ResultSetDiffTest, CompositeKeys) {
+  SchemaPtr schema = Schema::Make({
+      {"a", ValueType::kInt64, false},
+      {"b", ValueType::kInt64, false},
+      {"v", ValueType::kString, true},
+  });
+  auto make = [&](int64_t a, int64_t b, const std::string& v) {
+    return Record(schema,
+                  {Value::Int64(a), Value::Int64(b), Value::String(v)});
+  };
+  QueryResult prev;
+  prev.schema = schema;
+  prev.rows = {make(1, 1, "x"), make(1, 2, "y")};
+  QueryResult cur;
+  cur.schema = schema;
+  cur.rows = {make(1, 1, "x"), make(1, 2, "z")};
+  auto changes = *DiffResultSets(prev, cur, {"a", "b"});
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, RowChangeKind::kModified);
+  EXPECT_EQ(changes[0].after->Get("v")->string_value(), "z");
+}
+
+TEST(ResultSetDiffTest, ToStringSmoke) {
+  RowChange change;
+  change.kind = RowChangeKind::kAdded;
+  change.after = Row(1, "new");
+  EXPECT_NE(change.ToString().find("ADDED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,267 @@
+#include <map>
+
+#include "expr/parser.h"
+#include "expr/predicate.h"
+#include "gtest/gtest.h"
+#include "value/record.h"
+
+namespace edadb {
+namespace {
+
+/// Simple map-backed row for evaluator tests.
+class MapRow : public RowAccessor {
+ public:
+  MapRow& Set(const std::string& name, Value v) {
+    values_[name] = std::move(v);
+    return *this;
+  }
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    auto it = values_.find(std::string(name));
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+Value Eval(const std::string& source, const RowAccessor* row = nullptr) {
+  auto expr = ParseExpression(source);
+  EXPECT_TRUE(expr.ok()) << source << ": " << expr.status();
+  EvalContext ctx(row);
+  auto result = (*expr)->Evaluate(ctx);
+  EXPECT_TRUE(result.ok()) << source << ": " << result.status();
+  return result.ok() ? *result : Value::Null();
+}
+
+Status EvalError(const std::string& source,
+                 const RowAccessor* row = nullptr) {
+  auto expr = ParseExpression(source);
+  EXPECT_TRUE(expr.ok()) << source;
+  EvalContext ctx(row);
+  auto result = (*expr)->Evaluate(ctx);
+  EXPECT_FALSE(result.ok()) << source << " unexpectedly gave "
+                            << (result.ok() ? result->ToString() : "");
+  return result.ok() ? Status::OK() : result.status();
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2"), Value::Int64(3));
+  EXPECT_EQ(Eval("7 - 10"), Value::Int64(-3));
+  EXPECT_EQ(Eval("6 * 7"), Value::Int64(42));
+  EXPECT_EQ(Eval("7 / 2"), Value::Int64(3));  // Integer division.
+  EXPECT_EQ(Eval("7.0 / 2"), Value::Double(3.5));
+  EXPECT_EQ(Eval("7 % 3"), Value::Int64(1));
+  EXPECT_EQ(Eval("2 + 3 * 4"), Value::Int64(14));
+}
+
+TEST(EvalTest, StringConcatViaPlus) {
+  EXPECT_EQ(Eval("'foo' + 'bar'"), Value::String("foobar"));
+}
+
+TEST(EvalTest, DivisionByZeroIsError) {
+  EvalError("1 / 0");
+  EvalError("1.5 / 0.0");
+  EvalError("1 % 0");
+}
+
+TEST(EvalTest, ArithmeticTypeErrors) {
+  EvalError("'a' - 1");
+  EvalError("TRUE * 2");
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(Eval("1 < 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("2 <= 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("3 > 4"), Value::Bool(false));
+  EXPECT_EQ(Eval("1 = 1.0"), Value::Bool(true));
+  EXPECT_EQ(Eval("1 != 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("'abc' < 'abd'"), Value::Bool(true));
+}
+
+TEST(EvalTest, ComparisonTypeMismatchIsError) {
+  EvalError("'1' = 1");
+  EvalError("TRUE > 0");
+}
+
+TEST(EvalTest, NullPropagationThroughArithmeticAndComparison) {
+  EXPECT_TRUE(Eval("NULL + 1").is_null());
+  EXPECT_TRUE(Eval("NULL = NULL").is_null());
+  EXPECT_TRUE(Eval("1 < NULL").is_null());
+  EXPECT_TRUE(Eval("-(NULL)").is_null());
+}
+
+TEST(EvalTest, KleeneAnd) {
+  EXPECT_EQ(Eval("TRUE AND TRUE"), Value::Bool(true));
+  EXPECT_EQ(Eval("TRUE AND FALSE"), Value::Bool(false));
+  EXPECT_EQ(Eval("FALSE AND NULL"), Value::Bool(false));  // F dominates.
+  EXPECT_EQ(Eval("NULL AND FALSE"), Value::Bool(false));
+  EXPECT_TRUE(Eval("TRUE AND NULL").is_null());
+  EXPECT_TRUE(Eval("NULL AND NULL").is_null());
+}
+
+TEST(EvalTest, KleeneOr) {
+  EXPECT_EQ(Eval("FALSE OR FALSE"), Value::Bool(false));
+  EXPECT_EQ(Eval("TRUE OR NULL"), Value::Bool(true));  // T dominates.
+  EXPECT_EQ(Eval("NULL OR TRUE"), Value::Bool(true));
+  EXPECT_TRUE(Eval("FALSE OR NULL").is_null());
+}
+
+TEST(EvalTest, AndShortCircuitSkipsErrors) {
+  // The right side would error, but FALSE AND short-circuits.
+  EXPECT_EQ(Eval("FALSE AND (1 / 0 > 0)"), Value::Bool(false));
+  EXPECT_EQ(Eval("TRUE OR (1 / 0 > 0)"), Value::Bool(true));
+}
+
+TEST(EvalTest, NotSemantics) {
+  EXPECT_EQ(Eval("NOT TRUE"), Value::Bool(false));
+  EXPECT_EQ(Eval("NOT FALSE"), Value::Bool(true));
+  EXPECT_TRUE(Eval("NOT NULL").is_null());
+}
+
+TEST(EvalTest, InSemantics) {
+  EXPECT_EQ(Eval("2 IN (1, 2, 3)"), Value::Bool(true));
+  EXPECT_EQ(Eval("4 IN (1, 2, 3)"), Value::Bool(false));
+  EXPECT_EQ(Eval("4 NOT IN (1, 2, 3)"), Value::Bool(true));
+  // SQL: no match but NULL in the list -> NULL.
+  EXPECT_TRUE(Eval("4 IN (1, NULL)").is_null());
+  EXPECT_EQ(Eval("1 IN (1, NULL)"), Value::Bool(true));
+  EXPECT_TRUE(Eval("NULL IN (1)").is_null());
+  // Mixed types: incompatible members simply don't match.
+  EXPECT_EQ(Eval("'a' IN (1, 'a')"), Value::Bool(true));
+  EXPECT_EQ(Eval("2 IN ('a', 'b')"), Value::Bool(false));
+}
+
+TEST(EvalTest, BetweenSemantics) {
+  EXPECT_EQ(Eval("5 BETWEEN 1 AND 10"), Value::Bool(true));
+  EXPECT_EQ(Eval("1 BETWEEN 1 AND 10"), Value::Bool(true));  // Inclusive.
+  EXPECT_EQ(Eval("10 BETWEEN 1 AND 10"), Value::Bool(true));
+  EXPECT_EQ(Eval("0 BETWEEN 1 AND 10"), Value::Bool(false));
+  EXPECT_EQ(Eval("0 NOT BETWEEN 1 AND 10"), Value::Bool(true));
+  EXPECT_TRUE(Eval("5 BETWEEN NULL AND 10").is_null());
+}
+
+TEST(EvalTest, LikeSemantics) {
+  EXPECT_EQ(Eval("'hello' LIKE 'h%'"), Value::Bool(true));
+  EXPECT_EQ(Eval("'hello' LIKE 'h_llo'"), Value::Bool(true));
+  EXPECT_EQ(Eval("'hello' NOT LIKE 'x%'"), Value::Bool(true));
+  EXPECT_TRUE(Eval("NULL LIKE 'x'").is_null());
+  EvalError("5 LIKE '5'");
+}
+
+TEST(EvalTest, IsNullSemantics) {
+  EXPECT_EQ(Eval("NULL IS NULL"), Value::Bool(true));
+  EXPECT_EQ(Eval("1 IS NULL"), Value::Bool(false));
+  EXPECT_EQ(Eval("1 IS NOT NULL"), Value::Bool(true));
+}
+
+TEST(EvalTest, ColumnResolution) {
+  MapRow row;
+  row.Set("price", Value::Double(99.5)).Set("symbol", Value::String("ACME"));
+  EXPECT_EQ(Eval("price > 50", &row), Value::Bool(true));
+  EXPECT_EQ(Eval("symbol = 'ACME'", &row), Value::Bool(true));
+}
+
+TEST(EvalTest, MissingAttributeIsNullByDefault) {
+  MapRow row;
+  EXPECT_TRUE(Eval("nonexistent", &row).is_null());
+  EXPECT_TRUE(Eval("nonexistent > 5", &row).is_null());
+}
+
+TEST(EvalTest, MissingAttributeStrictModeErrors) {
+  MapRow row;
+  auto expr = *ParseExpression("nonexistent > 5");
+  EvalContext ctx(&row);
+  ctx.missing_attribute_is_null = false;
+  EXPECT_TRUE(expr->Evaluate(ctx).status().IsNotFound());
+}
+
+TEST(EvalTest, NoRowBoundIsError) {
+  auto expr = *ParseExpression("x + 1");
+  EvalContext ctx;
+  EXPECT_TRUE(expr->Evaluate(ctx).status().IsFailedPrecondition());
+}
+
+TEST(EvalTest, Functions) {
+  EXPECT_EQ(Eval("ABS(-4)"), Value::Int64(4));
+  EXPECT_EQ(Eval("ABS(-4.5)"), Value::Double(4.5));
+  EXPECT_EQ(Eval("ROUND(2.6)"), Value::Double(3.0));
+  EXPECT_EQ(Eval("ROUND(2.345, 2)"), Value::Double(2.35));
+  EXPECT_EQ(Eval("FLOOR(2.9)"), Value::Double(2.0));
+  EXPECT_EQ(Eval("CEIL(2.1)"), Value::Double(3.0));
+  EXPECT_EQ(Eval("SQRT(9)"), Value::Double(3.0));
+  EXPECT_EQ(Eval("LENGTH('abc')"), Value::Int64(3));
+  EXPECT_EQ(Eval("LOWER('AbC')"), Value::String("abc"));
+  EXPECT_EQ(Eval("UPPER('AbC')"), Value::String("ABC"));
+  EXPECT_EQ(Eval("SUBSTR('hello', 2)"), Value::String("ello"));
+  EXPECT_EQ(Eval("SUBSTR('hello', 2, 3)"), Value::String("ell"));
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 7)"), Value::Int64(7));
+  EXPECT_TRUE(Eval("COALESCE(NULL)").is_null());
+  EXPECT_EQ(Eval("GREATEST(3, 9, 1)"), Value::Int64(9));
+  EXPECT_EQ(Eval("LEAST(3, 9, 1)"), Value::Int64(1));
+}
+
+TEST(EvalTest, FunctionNullPropagation) {
+  EXPECT_TRUE(Eval("ABS(NULL)").is_null());
+  EXPECT_TRUE(Eval("LENGTH(NULL)").is_null());
+  EXPECT_TRUE(Eval("GREATEST(1, NULL)").is_null());
+}
+
+TEST(EvalTest, FunctionErrors) {
+  EvalError("SQRT(-1)");
+  EvalError("LENGTH(5)");
+  auto bad_arity = ParseExpression("ABS(1, 2)");
+  ASSERT_TRUE(bad_arity.ok());  // Parses; arity checked at eval.
+  EvalContext ctx;
+  EXPECT_TRUE((*bad_arity)->Evaluate(ctx).status().IsInvalidArgument());
+}
+
+TEST(EvalTest, NowUsesInjectedClock) {
+  SimulatedClock clock(5 * kMicrosPerSecond);
+  auto expr = *ParseExpression("NOW()");
+  EvalContext ctx;
+  ctx.clock = &clock;
+  auto result = *expr->Evaluate(ctx);
+  EXPECT_EQ(result.timestamp_value(), 5 * kMicrosPerSecond);
+}
+
+TEST(PredicateTest, CompileAndMatch) {
+  auto pred = *Predicate::Compile("severity >= 3 AND region = 'east'");
+  MapRow hit;
+  hit.Set("severity", Value::Int64(5)).Set("region", Value::String("east"));
+  MapRow miss;
+  miss.Set("severity", Value::Int64(1)).Set("region", Value::String("east"));
+  EXPECT_TRUE(*pred.Matches(hit));
+  EXPECT_FALSE(*pred.Matches(miss));
+  EXPECT_EQ(pred.source(), "severity >= 3 AND region = 'east'");
+}
+
+TEST(PredicateTest, NullMeansNoMatch) {
+  auto pred = *Predicate::Compile("x > 5");
+  MapRow row;  // x missing -> NULL -> no match.
+  EXPECT_FALSE(*pred.Matches(row));
+}
+
+TEST(PredicateTest, MatchesOrFalseSwallowsTypeErrors) {
+  auto pred = *Predicate::Compile("x > 5");
+  MapRow row;
+  row.Set("x", Value::String("not a number"));
+  EXPECT_FALSE(pred.Matches(row).ok());
+  EXPECT_FALSE(pred.MatchesOrFalse(row));
+}
+
+TEST(PredicateTest, InvalidPredicateReports) {
+  EXPECT_FALSE(Predicate::Compile("x >").ok());
+  Predicate empty;
+  MapRow row;
+  EXPECT_TRUE(empty.Matches(row).status().IsFailedPrecondition());
+}
+
+TEST(PredicateTest, ReferencedColumns) {
+  auto pred = *Predicate::Compile("a = 1 AND b IN (2, c)");
+  EXPECT_EQ(pred.ReferencedColumns(),
+            (std::set<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace edadb

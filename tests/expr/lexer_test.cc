@@ -1,0 +1,108 @@
+#include "expr/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& source) {
+  auto tokens = Tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("   \t\n"), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  EXPECT_EQ(Kinds("and AND AnD"),
+            (std::vector<TokenKind>{TokenKind::kAnd, TokenKind::kAnd,
+                                    TokenKind::kAnd, TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("not in between like is null true false or"),
+            (std::vector<TokenKind>{
+                TokenKind::kNot, TokenKind::kIn, TokenKind::kBetween,
+                TokenKind::kLike, TokenKind::kIs, TokenKind::kNull,
+                TokenKind::kTrue, TokenKind::kFalse, TokenKind::kOr,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersKeepCaseAndAllowDots) {
+  auto tokens = *Tokenize("Price old.temp _x a1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "Price");
+  EXPECT_EQ(tokens[1].text, "old.temp");
+  EXPECT_EQ(tokens[2].text, "_x");
+  EXPECT_EQ(tokens[3].text, "a1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = *Tokenize("0 42 9999999999");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 9999999999LL);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = *Tokenize("3.14 .5 1e3 2.5e-2 7E+2");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].kind,
+              TokenKind::kDoubleLiteral)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 700.0);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = *Tokenize("'hello' '' 'it''s'");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "");
+  EXPECT_EQ(tokens[2].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+  EXPECT_FALSE(Tokenize("'trailing quote''").ok());
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Kinds("= != <> < <= > >= + - * / % ( ) ,"),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                TokenKind::kGe, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NoSpacesNeeded) {
+  EXPECT_EQ(Kinds("a>=3"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kGe,
+                                    TokenKind::kIntLiteral,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());  // Bare '!' without '='.
+  EXPECT_FALSE(Tokenize("#").ok());
+}
+
+TEST(LexerTest, PositionsPointIntoSource) {
+  auto tokens = *Tokenize("ab >= 12");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+  EXPECT_EQ(tokens[2].position, 6u);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,120 @@
+#include "expr/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+std::string Reprint(const std::string& source) {
+  auto expr = ParseExpression(source);
+  EXPECT_TRUE(expr.ok()) << source << " -> " << expr.status();
+  return expr.ok() ? (*expr)->ToString() : "<error>";
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(Reprint("42"), "42");
+  EXPECT_EQ(Reprint("3.5"), "3.5");
+  EXPECT_EQ(Reprint("'text'"), "'text'");
+  EXPECT_EQ(Reprint("TRUE"), "TRUE");
+  EXPECT_EQ(Reprint("false"), "FALSE");
+  EXPECT_EQ(Reprint("NULL"), "NULL");
+}
+
+TEST(ParserTest, NegativeLiteralsFold) {
+  EXPECT_EQ(Reprint("-5"), "-5");
+  EXPECT_EQ(Reprint("-2.5"), "-2.5");
+  // Double negation folds twice.
+  EXPECT_EQ(Reprint("--5"), "5");
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(Reprint("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Reprint("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(Reprint("1 - 2 - 3"), "((1 - 2) - 3)");  // Left assoc.
+}
+
+TEST(ParserTest, PrecedenceComparisonOverAnd) {
+  EXPECT_EQ(Reprint("a > 1 AND b < 2"), "((a > 1) AND (b < 2))");
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  EXPECT_EQ(Reprint("a OR b AND c"), "(a OR (b AND c))");
+  EXPECT_EQ(Reprint("(a OR b) AND c"), "((a OR b) AND c)");
+}
+
+TEST(ParserTest, NotBindsTighterThanAnd) {
+  EXPECT_EQ(Reprint("NOT a AND b"), "((NOT (a)) AND b)");
+}
+
+TEST(ParserTest, InList) {
+  EXPECT_EQ(Reprint("x IN (1, 2, 3)"), "x IN (1, 2, 3)");
+  EXPECT_EQ(Reprint("x NOT IN ('a')"), "x NOT IN ('a')");
+}
+
+TEST(ParserTest, EmptyInListRejected) {
+  EXPECT_FALSE(ParseExpression("x IN ()").ok());
+}
+
+TEST(ParserTest, Between) {
+  EXPECT_EQ(Reprint("x BETWEEN 1 AND 10"), "x BETWEEN 1 AND 10");
+  EXPECT_EQ(Reprint("x NOT BETWEEN 1 AND 10"), "x NOT BETWEEN 1 AND 10");
+  // The AND inside BETWEEN must not be parsed as logical AND.
+  EXPECT_EQ(Reprint("x BETWEEN 1 AND 10 AND y = 2"),
+            "((x BETWEEN 1 AND 10) AND (y = 2))");
+}
+
+TEST(ParserTest, Like) {
+  EXPECT_EQ(Reprint("name LIKE 'a%'"), "name LIKE 'a%'");
+  EXPECT_EQ(Reprint("name NOT LIKE '_b'"), "name NOT LIKE '_b'");
+}
+
+TEST(ParserTest, IsNull) {
+  EXPECT_EQ(Reprint("x IS NULL"), "x IS NULL");
+  EXPECT_EQ(Reprint("x IS NOT NULL"), "x IS NOT NULL");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  EXPECT_EQ(Reprint("ABS(x)"), "ABS(x)");
+  EXPECT_EQ(Reprint("COALESCE(a, b, 0)"), "COALESCE(a, b, 0)");
+  EXPECT_EQ(Reprint("NOW()"), "NOW()");
+}
+
+TEST(ParserTest, UnknownFunctionRejected) {
+  auto result = ParseExpression("FROBNICATE(x)");
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ParserTest, ComplexNesting) {
+  EXPECT_EQ(
+      Reprint("(severity >= 3 OR kind = 'leak') AND region IN ('e','w') "
+              "AND NOT resolved"),
+      "((((severity >= 3) OR (kind = 'leak')) AND (region IN ('e', 'w'))) "
+      "AND (NOT (resolved)))");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("a +").ok());
+  EXPECT_FALSE(ParseExpression("(a").ok());
+  EXPECT_FALSE(ParseExpression("a b").ok());
+  EXPECT_FALSE(ParseExpression("a = = b").ok());
+  EXPECT_FALSE(ParseExpression("x NOT 5").ok());
+  EXPECT_FALSE(ParseExpression("x IS 5").ok());
+  EXPECT_FALSE(ParseExpression("BETWEEN 1 AND 2").ok());
+}
+
+TEST(ParserTest, ErrorsMentionPosition) {
+  auto result = ParseExpression("a +");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, CollectColumns) {
+  auto expr = *ParseExpression("a > 1 AND b IN (c, 2) AND ABS(d) < e + a");
+  std::set<std::string> columns;
+  expr->CollectColumns(&columns);
+  EXPECT_EQ(columns, (std::set<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,130 @@
+// Cross-feature seams: the SQL layer, triggers, queues and the journal
+// are all views of one engine, so they must observe each other.
+
+#include "core/audit.h"
+#include "db/sql.h"
+#include "gtest/gtest.h"
+#include "journal/journal_miner.h"
+#include "mq/queue_manager.h"
+#include "rules/rules_engine.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class CrossFeatureTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CrossFeatureTest, SqlDmlFiresTriggers) {
+  ASSERT_TRUE(ExecuteSql(db_.get(), "CREATE TABLE t (n INT64)").ok());
+  std::vector<std::string> fired;
+  TriggerDef def;
+  def.name = "watch";
+  def.table = "t";
+  def.ops = kDmlInsert | kDmlUpdate | kDmlDelete;
+  def.action = [&](const TriggerEvent& event) {
+    fired.push_back(std::string(DmlOpToString(event.op)));
+    return Status::OK();
+  };
+  ASSERT_OK(db_->CreateTrigger(std::move(def)));
+  ASSERT_TRUE(ExecuteSql(db_.get(), "INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(ExecuteSql(db_.get(), "UPDATE t SET n = n + 1").ok());
+  ASSERT_TRUE(ExecuteSql(db_.get(), "DELETE FROM t WHERE n = 2").ok());
+  EXPECT_EQ(fired, (std::vector<std::string>{"INSERT", "INSERT", "UPDATE",
+                                             "UPDATE", "DELETE"}));
+}
+
+TEST_F(CrossFeatureTest, SqlBeforeTriggerVetoAbortsStatement) {
+  ASSERT_TRUE(ExecuteSql(db_.get(), "CREATE TABLE t (n INT64)").ok());
+  TriggerDef veto;
+  veto.name = "no_negatives";
+  veto.table = "t";
+  veto.timing = TriggerTiming::kBefore;
+  veto.ops = kDmlInsert;
+  veto.when = *Predicate::Compile("n < 0");
+  veto.action = [](const TriggerEvent&) {
+    return Status::InvalidArgument("negative");
+  };
+  ASSERT_OK(db_->CreateTrigger(std::move(veto)));
+  EXPECT_FALSE(ExecuteSql(db_.get(), "INSERT INTO t VALUES (1), (-2)").ok());
+  // Whole statement (one transaction) rolled back.
+  EXPECT_EQ(*db_->CountRows("t"), 0u);
+}
+
+TEST_F(CrossFeatureTest, JournalMinesQueueTablesForAuditing) {
+  // §2.2.b operational characteristics "auditing, tracking": because
+  // queues are tables, the journal sees every enqueue as ordinary
+  // committed inserts.
+  auto queues = *QueueManager::Attach(db_.get());
+  ASSERT_OK(queues->CreateQueue("orders"));
+  JournalMinerOptions options;
+  options.tables.insert("__q_orders_msgs");
+  JournalMiner miner(db_.get(), options);
+  EnqueueRequest request;
+  request.payload = "order #1";
+  ASSERT_OK(queues->Enqueue("orders", request).status());
+  std::vector<ChangeEvent> changes;
+  ASSERT_OK(miner.Poll([&](const ChangeEvent& change) {
+    changes.push_back(change);
+  }).status());
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].op, LogRecordType::kInsert);
+  EXPECT_EQ(changes[0].after->Get("payload")->string_value(), "order #1");
+}
+
+TEST_F(CrossFeatureTest, SqlCanQueryRulesAndAuditTables) {
+  // The "everything is a table" dividend: system state is queryable
+  // with the same SQL surface.
+  auto engine = *RulesEngine::Attach(db_.get());
+  ASSERT_OK(engine->AddRule("r1", "x > 1", "alert", 5));
+  ASSERT_OK(engine->AddRule("r2", "y > 2", "log", 1));
+  auto rules = ExecuteSql(
+      db_.get(),
+      "SELECT rule_id, priority FROM __rules ORDER BY priority DESC");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules->result.rows.size(), 2u);
+  EXPECT_EQ(rules->result.rows[0].Get("rule_id")->string_value(), "r1");
+
+  auto audit = *AuditLog::Attach(db_.get());
+  ASSERT_OK(audit->Append("op", "rule.add", "r1"));
+  auto entries = ExecuteSql(
+      db_.get(), "SELECT COUNT(*) AS n FROM __audit WHERE actor = 'op'");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->result.rows[0].Get("n")->int64_value(), 1);
+}
+
+TEST_F(CrossFeatureTest, BrowseShowsDequeueOrderWithoutConsuming) {
+  auto queues = *QueueManager::Attach(db_.get());
+  ASSERT_OK(queues->CreateQueue("q"));
+  EnqueueRequest low;
+  low.payload = "low";
+  low.priority = 1;
+  EnqueueRequest high;
+  high.payload = "high";
+  high.priority = 9;
+  ASSERT_OK(queues->Enqueue("q", low).status());
+  ASSERT_OK(queues->Enqueue("q", high).status());
+  std::vector<std::string> seen;
+  ASSERT_OK(queues->Browse("q", "", [&](const Message& message) {
+    seen.push_back(message.payload);
+    return true;
+  }));
+  EXPECT_EQ(seen, (std::vector<std::string>{"high", "low"}));
+  // Nothing was consumed or locked.
+  EXPECT_EQ(*queues->Depth("q", ""), 2u);
+  DequeueRequest dq;
+  EXPECT_EQ((*queues->Dequeue("q", dq))->payload, "high");
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,161 @@
+#include "mq/dispatcher.h"
+
+#include <atomic>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class DispatcherTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+    dispatcher_ = std::make_unique<QueueDispatcher>(queues_.get());
+    ASSERT_TRUE(queues_->CreateQueue("work").ok());
+  }
+
+  Status Enqueue(const std::string& payload, int64_t severity = 5) {
+    EnqueueRequest request;
+    request.payload = payload;
+    request.attributes = {{"severity", Value::Int64(severity)}};
+    return queues_->Enqueue("work", request).status();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<QueueDispatcher> dispatcher_;
+};
+
+TEST_F(DispatcherTest, ActivatesHandlerAndAcks) {
+  std::vector<std::string> handled;
+  QueueDispatcher::Binding binding;
+  binding.queue = "work";
+  binding.handler = [&](const Message& message) {
+    handled.push_back(message.payload);
+    return Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(binding)));
+  ASSERT_OK(Enqueue("m1"));
+  ASSERT_OK(Enqueue("m2"));
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 2u);
+  EXPECT_EQ(handled, (std::vector<std::string>{"m1", "m2"}));
+  // Consumed: nothing remains.
+  EXPECT_EQ(*queues_->Depth("work", ""), 0u);
+  EXPECT_EQ((*dispatcher_->GetStats("work", "")).handled, 2u);
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 0u);
+}
+
+TEST_F(DispatcherTest, HandlerFailureNacksForRedelivery) {
+  int attempts = 0;
+  QueueDispatcher::Binding binding;
+  binding.queue = "work";
+  binding.handler = [&](const Message&) {
+    ++attempts;
+    return attempts < 3 ? Status::TimedOut("downstream down")
+                        : Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(binding)));
+  ASSERT_OK(Enqueue("retry me"));
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 0u);  // Fail 1 -> nack.
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 0u);  // Fail 2 -> nack.
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 1u);  // Third attempt succeeds.
+  EXPECT_EQ(attempts, 3);
+  const auto stats = *dispatcher_->GetStats("work", "");
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.handled, 1u);
+}
+
+TEST_F(DispatcherTest, SelectorRoutesSubsets) {
+  std::vector<std::string> critical;
+  QueueDispatcher::Binding binding;
+  binding.queue = "work";
+  binding.selector = *Predicate::Compile("severity >= 7");
+  binding.handler = [&](const Message& message) {
+    critical.push_back(message.payload);
+    return Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(binding)));
+  ASSERT_OK(Enqueue("low", 2));
+  ASSERT_OK(Enqueue("high", 9));
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 1u);
+  EXPECT_EQ(critical, (std::vector<std::string>{"high"}));
+  // The low-severity message is untouched for other consumers.
+  EXPECT_EQ(*queues_->Depth("work", ""), 1u);
+}
+
+TEST_F(DispatcherTest, BindValidation) {
+  QueueDispatcher::Binding no_handler;
+  no_handler.queue = "work";
+  EXPECT_TRUE(dispatcher_->Bind(no_handler).IsInvalidArgument());
+  QueueDispatcher::Binding ghost;
+  ghost.queue = "ghost";
+  ghost.handler = [](const Message&) { return Status::OK(); };
+  EXPECT_TRUE(dispatcher_->Bind(ghost).IsNotFound());
+  QueueDispatcher::Binding ok;
+  ok.queue = "work";
+  ok.handler = [](const Message&) { return Status::OK(); };
+  ASSERT_OK(dispatcher_->Bind(ok));
+  EXPECT_TRUE(dispatcher_->Bind(ok).IsAlreadyExists());
+  ASSERT_OK(dispatcher_->Unbind("work", ""));
+  EXPECT_TRUE(dispatcher_->Unbind("work", "").IsNotFound());
+}
+
+TEST_F(DispatcherTest, PerGroupBindings) {
+  ASSERT_OK(queues_->AddConsumerGroup("work", "billing"));
+  ASSERT_OK(queues_->AddConsumerGroup("work", "audit"));
+  std::atomic<int> billing{0};
+  std::atomic<int> auditing{0};
+  QueueDispatcher::Binding b1;
+  b1.queue = "work";
+  b1.group = "billing";
+  b1.handler = [&](const Message&) {
+    ++billing;
+    return Status::OK();
+  };
+  QueueDispatcher::Binding b2;
+  b2.queue = "work";
+  b2.group = "audit";
+  b2.handler = [&](const Message&) {
+    ++auditing;
+    return Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(b1)));
+  ASSERT_OK(dispatcher_->Bind(std::move(b2)));
+  ASSERT_OK(Enqueue("shared"));
+  EXPECT_EQ(*dispatcher_->PumpOnce(), 2u);  // One activation per group.
+  EXPECT_EQ(billing.load(), 1);
+  EXPECT_EQ(auditing.load(), 1);
+}
+
+TEST_F(DispatcherTest, BackgroundActivation) {
+  std::atomic<int> handled{0};
+  QueueDispatcher::Binding binding;
+  binding.queue = "work";
+  binding.handler = [&](const Message&) {
+    handled.fetch_add(1);
+    return Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(binding)));
+  ASSERT_OK(dispatcher_->Start(kMicrosPerMilli));
+  EXPECT_TRUE(dispatcher_->Start().IsFailedPrecondition());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(Enqueue("bg" + std::to_string(i)));
+  }
+  // The background thread drains within a generous deadline.
+  for (int spin = 0; spin < 2000 && handled.load() < 10; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dispatcher_->Stop();
+  dispatcher_->Stop();  // Idempotent.
+  EXPECT_EQ(handled.load(), 10);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,114 @@
+// Parameterized delivery-invariant sweep: for every combination of
+// consumer-group count, priority usage and delay usage, a drained queue
+// must deliver every message exactly once per group, in priority order
+// within availability, and end fully garbage-collected.
+
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "mq/queue_manager.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+// (num_groups [0 = implicit default], use_priorities, use_delays)
+using QueueCase = std::tuple<int, bool, bool>;
+
+std::string CaseName(const testing::TestParamInfo<QueueCase>& info) {
+  const auto& [groups, priorities, delays] = info.param;
+  return "Groups" + std::to_string(groups) +
+         (priorities ? "_Prio" : "_NoPrio") +
+         (delays ? "_Delays" : "_NoDelays");
+}
+
+class QueueParamTest : public testing::TestWithParam<QueueCase> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock_;
+    clock_.SetMicros(kMicrosPerHour);
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+};
+
+TEST_P(QueueParamTest, ExactlyOncePerGroupAndFullyDrained) {
+  const auto& [num_groups, use_priorities, use_delays] = GetParam();
+  ASSERT_OK(queues_->CreateQueue("q"));
+  std::vector<std::string> groups;
+  if (num_groups == 0) {
+    groups.push_back("");
+  } else {
+    for (int g = 0; g < num_groups; ++g) {
+      groups.push_back("g" + std::to_string(g));
+      ASSERT_OK(queues_->AddConsumerGroup("q", groups.back()));
+    }
+  }
+
+  constexpr int kMessages = 60;
+  Random rng(7);
+  std::set<std::string> payloads;
+  for (int i = 0; i < kMessages; ++i) {
+    EnqueueRequest request;
+    request.payload = "m" + std::to_string(i);
+    payloads.insert(request.payload);
+    if (use_priorities) request.priority = rng.UniformInt(0, 4);
+    if (use_delays && rng.OneIn(3)) {
+      request.delay_micros =
+          static_cast<TimestampMicros>(rng.Uniform(5)) * kMicrosPerSecond;
+    }
+    ASSERT_OK(queues_->Enqueue("q", request).status());
+  }
+  // Let every delay mature.
+  clock_.AdvanceMicros(10 * kMicrosPerSecond);
+
+  for (const std::string& group : groups) {
+    std::set<std::string> received;
+    int64_t last_priority = INT64_MAX;
+    DequeueRequest dq;
+    dq.group = group;
+    for (;;) {
+      auto message = queues_->Dequeue("q", dq);
+      ASSERT_TRUE(message.ok()) << message.status();
+      if (!message->has_value()) break;
+      // Exactly-once per group.
+      ASSERT_TRUE(received.insert((*message)->payload).second)
+          << "duplicate " << (*message)->payload << " for group '"
+          << group << "'";
+      // Priority order holds once everything is visible.
+      ASSERT_LE((*message)->priority, last_priority);
+      last_priority = (*message)->priority;
+      ASSERT_OK(queues_->Ack("q", group, (*message)->id));
+    }
+    EXPECT_EQ(received, payloads) << "group '" << group << "'";
+  }
+
+  // Every group acked everything: full garbage collection.
+  const Table* msgs = *db_->GetTable("__q_q_msgs");
+  const Table* dlv = *db_->GetTable("__q_q_dlv");
+  EXPECT_EQ(msgs->num_rows(), 0u);
+  EXPECT_EQ(dlv->num_rows(), 0u);
+  for (const std::string& group : groups) {
+    EXPECT_EQ(*queues_->Depth("q", group), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeliveryMatrix, QueueParamTest,
+    testing::Combine(testing::Values(0, 1, 3, 8),
+                     testing::Bool(),   // Priorities.
+                     testing::Bool()),  // Delays.
+    CaseName);
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,323 @@
+#include "mq/queue_manager.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class QueueTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock_;
+    clock_.SetMicros(kMicrosPerHour);  // Away from zero.
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+  }
+
+  EnqueueRequest Req(const std::string& payload, int64_t priority = 0) {
+    EnqueueRequest request;
+    request.payload = payload;
+    request.priority = priority;
+    return request;
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+};
+
+TEST_F(QueueTest, CreateListDrop) {
+  ASSERT_OK(queues_->CreateQueue("orders"));
+  EXPECT_TRUE(queues_->HasQueue("orders"));
+  EXPECT_TRUE(queues_->CreateQueue("orders").IsAlreadyExists());
+  EXPECT_EQ(queues_->ListQueues(), (std::vector<std::string>{"orders"}));
+  ASSERT_OK(queues_->DropQueue("orders"));
+  EXPECT_FALSE(queues_->HasQueue("orders"));
+  EXPECT_TRUE(queues_->DropQueue("orders").IsNotFound());
+  EXPECT_TRUE(queues_->CreateQueue("").IsInvalidArgument());
+}
+
+TEST_F(QueueTest, FifoWithinSamePriority) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->Enqueue("q", Req("first")).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("second")).status());
+  DequeueRequest dq;
+  auto m1 = *queues_->Dequeue("q", dq);
+  auto m2 = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(m1.has_value() && m2.has_value());
+  EXPECT_EQ(m1->payload, "first");
+  EXPECT_EQ(m2->payload, "second");
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+}
+
+TEST_F(QueueTest, PriorityOrdering) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->Enqueue("q", Req("low", 1)).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("high", 9)).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("mid", 5)).status());
+  DequeueRequest dq;
+  EXPECT_EQ((*queues_->Dequeue("q", dq))->payload, "high");
+  EXPECT_EQ((*queues_->Dequeue("q", dq))->payload, "mid");
+  EXPECT_EQ((*queues_->Dequeue("q", dq))->payload, "low");
+}
+
+TEST_F(QueueTest, AckRemovesMessage) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  const MessageId id = *queues_->Enqueue("q", Req("x"));
+  DequeueRequest dq;
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_OK(queues_->Ack("q", "", id));
+  // Message row is gone.
+  EXPECT_TRUE(queues_->Peek("q", id).status().IsNotFound());
+  EXPECT_TRUE(queues_->Ack("q", "", id).IsNotFound());
+}
+
+TEST_F(QueueTest, VisibilityTimeoutRedelivers) {
+  QueueCreateOptions options;
+  options.visibility_timeout_micros = 10 * kMicrosPerSecond;
+  ASSERT_OK(queues_->CreateQueue("q", options));
+  ASSERT_OK(queues_->Enqueue("q", Req("x")).status());
+  DequeueRequest dq;
+  auto first = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->delivery_count, 1);
+  // Locked: no redelivery yet.
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  // After the visibility timeout it returns.
+  clock_.AdvanceMicros(11 * kMicrosPerSecond);
+  auto second = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, "x");
+  EXPECT_EQ(second->delivery_count, 2);
+}
+
+TEST_F(QueueTest, NackMakesAvailableAgain) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  const MessageId id = *queues_->Enqueue("q", Req("retry me"));
+  DequeueRequest dq;
+  ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
+  ASSERT_OK(queues_->Nack("q", "", id));
+  auto again = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->delivery_count, 2);
+}
+
+TEST_F(QueueTest, NackWithDelayDefersRedelivery) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  const MessageId id = *queues_->Enqueue("q", Req("later"));
+  DequeueRequest dq;
+  ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
+  ASSERT_OK(queues_->Nack("q", "", id, 5 * kMicrosPerSecond));
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  clock_.AdvanceMicros(6 * kMicrosPerSecond);
+  EXPECT_TRUE(queues_->Dequeue("q", dq)->has_value());
+}
+
+TEST_F(QueueTest, DelayedEnqueueInvisibleUntilDue) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest request = Req("scheduled");
+  request.delay_micros = 30 * kMicrosPerSecond;
+  ASSERT_OK(queues_->Enqueue("q", request).status());
+  DequeueRequest dq;
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  EXPECT_EQ(*queues_->Depth("q", ""), 0u);
+  clock_.AdvanceMicros(31 * kMicrosPerSecond);
+  EXPECT_EQ(*queues_->Depth("q", ""), 1u);
+  EXPECT_TRUE(queues_->Dequeue("q", dq)->has_value());
+}
+
+TEST_F(QueueTest, SelectorFiltersByAttributes) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest east = Req("east order");
+  east.attributes = {{"region", Value::String("east")},
+                     {"severity", Value::Int64(2)}};
+  EnqueueRequest west = Req("west order");
+  west.attributes = {{"region", Value::String("west")},
+                     {"severity", Value::Int64(8)}};
+  ASSERT_OK(queues_->Enqueue("q", east).status());
+  ASSERT_OK(queues_->Enqueue("q", west).status());
+  DequeueRequest dq;
+  dq.selector = *Predicate::Compile("region = 'west' AND severity > 5");
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "west order");
+  // Nothing else matches; the east message stays queued for others.
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  DequeueRequest all;
+  EXPECT_TRUE(queues_->Dequeue("q", all)->has_value());
+}
+
+TEST_F(QueueTest, SelectorSeesBuiltinAttributes) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest request = Req("prio", 7);
+  request.correlation_id = "corr-1";
+  ASSERT_OK(queues_->Enqueue("q", request).status());
+  DequeueRequest dq;
+  dq.selector =
+      *Predicate::Compile("priority = 7 AND correlation_id = 'corr-1'");
+  EXPECT_TRUE(queues_->Dequeue("q", dq)->has_value());
+}
+
+TEST_F(QueueTest, ConsumerGroupsEachGetACopy) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->AddConsumerGroup("q", "billing"));
+  ASSERT_OK(queues_->AddConsumerGroup("q", "audit"));
+  const MessageId id = *queues_->Enqueue("q", Req("shared"));
+  DequeueRequest billing{.group = "billing"};
+  DequeueRequest audit{.group = "audit"};
+  auto m1 = *queues_->Dequeue("q", billing);
+  auto m2 = *queues_->Dequeue("q", audit);
+  ASSERT_TRUE(m1.has_value() && m2.has_value());
+  ASSERT_OK(queues_->Ack("q", "billing", id));
+  // Still present until every group acks.
+  EXPECT_TRUE(queues_->Peek("q", id).ok());
+  ASSERT_OK(queues_->Ack("q", "audit", id));
+  EXPECT_TRUE(queues_->Peek("q", id).status().IsNotFound());
+}
+
+TEST_F(QueueTest, UnknownGroupRejected) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->AddConsumerGroup("q", "g1"));
+  // Once explicit groups exist, the implicit "" group is gone.
+  DequeueRequest dq;
+  EXPECT_TRUE(queues_->Dequeue("q", dq).status().IsNotFound());
+  DequeueRequest other{.group = "ghost"};
+  EXPECT_TRUE(queues_->Dequeue("q", other).status().IsNotFound());
+}
+
+TEST_F(QueueTest, MaxDeliveriesDeadLetters) {
+  ASSERT_OK(queues_->CreateQueue("dlq"));
+  QueueCreateOptions options;
+  options.max_deliveries = 2;
+  options.visibility_timeout_micros = kMicrosPerSecond;
+  options.dead_letter_queue = "dlq";
+  ASSERT_OK(queues_->CreateQueue("q", options));
+  ASSERT_OK(queues_->Enqueue("q", Req("poison")).status());
+  DequeueRequest dq;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto msg = *queues_->Dequeue("q", dq);
+    ASSERT_TRUE(msg.has_value()) << attempt;
+    clock_.AdvanceMicros(2 * kMicrosPerSecond);  // Let the lock lapse.
+  }
+  // Third attempt dead-letters instead of delivering.
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  auto dead = *queues_->Dequeue("dlq", dq);
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->payload, "poison");
+  bool has_reason = false;
+  for (const auto& [name, value] : dead->attributes) {
+    if (name == "dlq_reason") {
+      has_reason = true;
+      EXPECT_EQ(value.string_value(), "max_deliveries");
+    }
+  }
+  EXPECT_TRUE(has_reason);
+}
+
+TEST_F(QueueTest, TtlExpiryPurges) {
+  ASSERT_OK(queues_->CreateQueue("dlq"));
+  QueueCreateOptions options;
+  options.dead_letter_queue = "dlq";
+  ASSERT_OK(queues_->CreateQueue("q", options));
+  EnqueueRequest request = Req("short lived");
+  request.ttl_micros = 5 * kMicrosPerSecond;
+  ASSERT_OK(queues_->Enqueue("q", request).status());
+  clock_.AdvanceMicros(10 * kMicrosPerSecond);
+  EXPECT_EQ(*queues_->PurgeExpired("q"), 1u);
+  DequeueRequest dq;
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  EXPECT_TRUE(queues_->Dequeue("dlq", dq)->has_value());
+}
+
+TEST_F(QueueTest, ExpiredMessageSkippedAtDequeue) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest dying = Req("dying");
+  dying.ttl_micros = kMicrosPerSecond;
+  ASSERT_OK(queues_->Enqueue("q", dying).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("alive")).status());
+  clock_.AdvanceMicros(2 * kMicrosPerSecond);
+  DequeueRequest dq;
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "alive");
+}
+
+TEST_F(QueueTest, TransactionalEnqueueVisibleAtCommit) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  auto txn = db_->BeginTransaction();
+  ASSERT_OK(queues_->EnqueueInTransaction(txn.get(), "q", Req("tx")).status());
+  DequeueRequest dq;
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  ASSERT_OK(txn->Commit());
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "tx");
+}
+
+TEST_F(QueueTest, TransactionalEnqueueRollbackDiscards) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  {
+    auto txn = db_->BeginTransaction();
+    ASSERT_OK(
+        queues_->EnqueueInTransaction(txn.get(), "q", Req("never")).status());
+    ASSERT_OK(txn->Rollback());
+  }
+  DequeueRequest dq;
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+  EXPECT_EQ(*queues_->Depth("q", ""), 0u);
+}
+
+TEST_F(QueueTest, MessagesSurviveReattach) {
+  ASSERT_OK(queues_->CreateQueue("persist"));
+  ASSERT_OK(queues_->Enqueue("persist", Req("durable", 3)).status());
+  queues_.reset();
+  db_.reset();
+
+  DatabaseOptions options;
+  options.dir = dir_.path();
+  options.wal_sync_policy = WalSyncPolicy::kNever;
+  options.clock = &clock_;
+  db_ = *Database::Open(std::move(options));
+  queues_ = *QueueManager::Attach(db_.get());
+  EXPECT_TRUE(queues_->HasQueue("persist"));
+  DequeueRequest dq;
+  auto msg = *queues_->Dequeue("persist", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "durable");
+  EXPECT_EQ(msg->priority, 3);
+}
+
+TEST_F(QueueTest, DepthCountsReadyOnly) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->Enqueue("q", Req("a")).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("b")).status());
+  EXPECT_EQ(*queues_->Depth("q", ""), 2u);
+  DequeueRequest dq;
+  ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
+  EXPECT_EQ(*queues_->Depth("q", ""), 1u);  // One locked, one ready.
+}
+
+TEST_F(QueueTest, DequeueWaitTimesOutEmpty) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  DequeueRequest dq;
+  auto msg = *queues_->DequeueWait("q", dq, 20 * kMicrosPerMilli);
+  EXPECT_FALSE(msg.has_value());
+}
+
+TEST_F(QueueTest, DequeueWaitReturnsImmediatelyWhenAvailable) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  ASSERT_OK(queues_->Enqueue("q", Req("ready")).status());
+  DequeueRequest dq;
+  auto msg = *queues_->DequeueWait("q", dq, 10 * kMicrosPerSecond);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "ready");
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,122 @@
+// Parameterized subscription matrix: delivery mode × topic pattern kind
+// × content filtering must all agree on WHICH publications match; only
+// the delivery mechanics differ.
+
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "pubsub/broker.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+enum class TopicKind { kAll, kExact, kGlob };
+
+// (durable, topic kind, content-filtered)
+using BrokerCase = std::tuple<bool, TopicKind, bool>;
+
+std::string CaseName(const testing::TestParamInfo<BrokerCase>& info) {
+  const auto& [durable, topic, filtered] = info.param;
+  std::string name = durable ? "Durable" : "Handler";
+  switch (topic) {
+    case TopicKind::kAll: name += "_AllTopics"; break;
+    case TopicKind::kExact: name += "_ExactTopic"; break;
+    case TopicKind::kGlob: name += "_GlobTopic"; break;
+  }
+  name += filtered ? "_Filtered" : "_Unfiltered";
+  return name;
+}
+
+class BrokerParamTest : public testing::TestWithParam<BrokerCase> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+    broker_ = *Broker::Attach(db_.get(), queues_.get());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<Broker> broker_;
+};
+
+TEST_P(BrokerParamTest, MatchingSemanticsIndependentOfDeliveryMode) {
+  const auto& [durable, topic_kind, filtered] = GetParam();
+
+  std::vector<std::string> received;
+  SubscriptionSpec spec;
+  spec.subscriber = "matrix";
+  switch (topic_kind) {
+    case TopicKind::kAll: spec.topic_pattern = ""; break;
+    case TopicKind::kExact: spec.topic_pattern = "alpha/one"; break;
+    case TopicKind::kGlob: spec.topic_pattern = "alpha/*"; break;
+  }
+  if (filtered) spec.content_filter = "severity >= 5";
+  spec.durable = durable;
+  if (!durable) {
+    spec.handler = [&](const Publication& pub) {
+      received.push_back(pub.payload);
+    };
+  }
+  const std::string id = *broker_->Subscribe(std::move(spec));
+
+  struct Case {
+    const char* topic;
+    int64_t severity;
+    const char* payload;
+  };
+  const Case cases[] = {
+      {"alpha/one", 9, "a1-high"},
+      {"alpha/one", 2, "a1-low"},
+      {"alpha/two", 9, "a2-high"},
+      {"beta/one", 9, "b1-high"},
+  };
+  for (const Case& c : cases) {
+    Publication pub;
+    pub.topic = c.topic;
+    pub.payload = c.payload;
+    pub.attributes = {{"severity", Value::Int64(c.severity)}};
+    ASSERT_OK(broker_->Publish(pub).status());
+  }
+  if (durable) {
+    for (;;) {
+      auto pub = *broker_->Fetch(id);
+      if (!pub.has_value()) break;
+      received.push_back(pub->payload);
+    }
+  }
+
+  std::vector<std::string> expected;
+  for (const Case& c : cases) {
+    bool topic_ok = false;
+    switch (topic_kind) {
+      case TopicKind::kAll: topic_ok = true; break;
+      case TopicKind::kExact:
+        topic_ok = std::string(c.topic) == "alpha/one";
+        break;
+      case TopicKind::kGlob:
+        topic_ok = std::string(c.topic).rfind("alpha/", 0) == 0;
+        break;
+    }
+    if (topic_ok && (!filtered || c.severity >= 5)) {
+      expected.push_back(c.payload);
+    }
+  }
+  EXPECT_EQ(received, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BrokerParamTest,
+    testing::Combine(testing::Bool(),
+                     testing::Values(TopicKind::kAll, TopicKind::kExact,
+                                     TopicKind::kGlob),
+                     testing::Bool()),
+    CaseName);
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,236 @@
+#include "pubsub/broker.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class BrokerTest : public testing::Test {
+ protected:
+  void SetUp() override { Reopen(); }
+
+  void Reopen() {
+    broker_.reset();
+    queues_.reset();
+    db_.reset();
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+    broker_ = *Broker::Attach(db_.get(), queues_.get());
+  }
+
+  Publication Pub(const std::string& topic, const std::string& payload,
+                  int64_t severity = 5) {
+    Publication pub;
+    pub.topic = topic;
+    pub.payload = payload;
+    pub.attributes = {{"severity", Value::Int64(severity)}};
+    return pub;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<Broker> broker_;
+};
+
+TEST_F(BrokerTest, TopicSubscriptionDeliversToHandler) {
+  std::vector<std::string> received;
+  SubscriptionSpec spec;
+  spec.subscriber = "app";
+  spec.topic_pattern = "alerts";
+  spec.handler = [&](const Publication& pub) {
+    received.push_back(pub.payload);
+  };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  EXPECT_EQ(*broker_->Publish(Pub("alerts", "a1")), 1u);
+  EXPECT_EQ(*broker_->Publish(Pub("other", "skip")), 0u);
+  EXPECT_EQ(received, (std::vector<std::string>{"a1"}));
+}
+
+TEST_F(BrokerTest, GlobTopicPatterns) {
+  int hits = 0;
+  SubscriptionSpec spec;
+  spec.subscriber = "app";
+  spec.topic_pattern = "sensors/*/temp";
+  spec.handler = [&](const Publication&) { ++hits; };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  ASSERT_OK(broker_->Publish(Pub("sensors/3/temp", "x")).status());
+  ASSERT_OK(broker_->Publish(Pub("sensors/wing-b/temp", "x")).status());
+  ASSERT_OK(broker_->Publish(Pub("sensors/3/humidity", "x")).status());
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(BrokerTest, ContentFilterSelectsByAttributes) {
+  int hits = 0;
+  SubscriptionSpec spec;
+  spec.subscriber = "oncall";
+  spec.content_filter = "severity >= 7";
+  spec.handler = [&](const Publication&) { ++hits; };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  ASSERT_OK(broker_->Publish(Pub("any", "low", 2)).status());
+  ASSERT_OK(broker_->Publish(Pub("any", "high", 9)).status());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(BrokerTest, TopicAndContentCombined) {
+  int hits = 0;
+  SubscriptionSpec spec;
+  spec.subscriber = "east-ops";
+  spec.topic_pattern = "alarms";
+  spec.content_filter = "severity >= 5";
+  spec.handler = [&](const Publication&) { ++hits; };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  ASSERT_OK(broker_->Publish(Pub("alarms", "yes", 6)).status());
+  ASSERT_OK(broker_->Publish(Pub("alarms", "no", 2)).status());
+  ASSERT_OK(broker_->Publish(Pub("news", "no", 9)).status());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(BrokerTest, NonDurableRequiresHandler) {
+  SubscriptionSpec spec;
+  spec.subscriber = "x";
+  EXPECT_TRUE(broker_->Subscribe(std::move(spec)).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BrokerTest, FanoutCountsDeliveries) {
+  for (int i = 0; i < 5; ++i) {
+    SubscriptionSpec spec;
+    spec.subscriber = "s" + std::to_string(i);
+    spec.handler = [](const Publication&) {};
+    ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  }
+  EXPECT_EQ(broker_->num_subscriptions(), 5u);
+  EXPECT_EQ(*broker_->Publish(Pub("t", "x")), 5u);
+}
+
+TEST_F(BrokerTest, DurableSubscriptionBuffersAndFetches) {
+  SubscriptionSpec spec;
+  spec.subscriber = "worker";
+  spec.topic_pattern = "jobs";
+  spec.durable = true;
+  const std::string id = *broker_->Subscribe(std::move(spec));
+  ASSERT_OK(broker_->Publish(Pub("jobs", "j1")).status());
+  ASSERT_OK(broker_->Publish(Pub("jobs", "j2")).status());
+  EXPECT_EQ(*broker_->PendingCount(id), 2u);
+  auto p1 = *broker_->Fetch(id);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->payload, "j1");
+  EXPECT_EQ(p1->topic, "jobs");
+  auto p2 = *broker_->Fetch(id);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->payload, "j2");
+  EXPECT_FALSE((*broker_->Fetch(id)).has_value());
+}
+
+TEST_F(BrokerTest, DurableSubscriptionSurvivesRestart) {
+  std::string id;
+  {
+    SubscriptionSpec spec;
+    spec.subscriber = "worker";
+    spec.topic_pattern = "jobs";
+    spec.durable = true;
+    id = *broker_->Subscribe(std::move(spec));
+    ASSERT_OK(broker_->Publish(Pub("jobs", "pending job")).status());
+  }
+  Reopen();
+  EXPECT_EQ(broker_->num_subscriptions(), 1u);
+  // Buffered message survived.
+  auto pub = *broker_->Fetch(id);
+  ASSERT_TRUE(pub.has_value());
+  EXPECT_EQ(pub->payload, "pending job");
+  // New publications keep flowing to the reloaded subscription.
+  ASSERT_OK(broker_->Publish(Pub("jobs", "fresh job")).status());
+  EXPECT_EQ((*broker_->Fetch(id))->payload, "fresh job");
+}
+
+TEST_F(BrokerTest, UnsubscribeStopsDeliveryAndCleansUp) {
+  SubscriptionSpec spec;
+  spec.subscriber = "worker";
+  spec.durable = true;
+  const std::string id = *broker_->Subscribe(std::move(spec));
+  ASSERT_OK(broker_->Unsubscribe(id));
+  EXPECT_TRUE(broker_->Unsubscribe(id).IsNotFound());
+  EXPECT_EQ(*broker_->Publish(Pub("t", "x")), 0u);
+  EXPECT_TRUE(broker_->Fetch(id).status().IsNotFound());
+  Reopen();
+  EXPECT_EQ(broker_->num_subscriptions(), 0u);
+}
+
+TEST_F(BrokerTest, FetchOnNonDurableFails) {
+  SubscriptionSpec spec;
+  spec.subscriber = "cb";
+  spec.handler = [](const Publication&) {};
+  const std::string id = *broker_->Subscribe(std::move(spec));
+  EXPECT_TRUE(broker_->Fetch(id).status().IsFailedPrecondition());
+}
+
+TEST_F(BrokerTest, RetainedPublicationServedToNewSubscriber) {
+  Publication last_value = Pub("config/threshold", "42");
+  last_value.retain = true;
+  ASSERT_OK(broker_->Publish(last_value).status());
+
+  // Subscribe-to-publish: the newcomer immediately receives the retained
+  // message.
+  std::vector<std::string> received;
+  SubscriptionSpec spec;
+  spec.subscriber = "late-joiner";
+  spec.topic_pattern = "config/*";
+  spec.handler = [&](const Publication& pub) {
+    received.push_back(pub.payload);
+  };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  EXPECT_EQ(received, (std::vector<std::string>{"42"}));
+}
+
+TEST_F(BrokerTest, RetainedValueIsReplaced) {
+  Publication v1 = Pub("state", "old");
+  v1.retain = true;
+  Publication v2 = Pub("state", "new");
+  v2.retain = true;
+  ASSERT_OK(broker_->Publish(v1).status());
+  ASSERT_OK(broker_->Publish(v2).status());
+  std::vector<std::string> received;
+  SubscriptionSpec spec;
+  spec.subscriber = "joiner";
+  spec.topic_pattern = "state";
+  spec.handler = [&](const Publication& pub) {
+    received.push_back(pub.payload);
+  };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  EXPECT_EQ(received, (std::vector<std::string>{"new"}));
+}
+
+TEST_F(BrokerTest, RetainedFilteredByContent) {
+  Publication noisy = Pub("alerts", "minor", 1);
+  noisy.retain = true;
+  ASSERT_OK(broker_->Publish(noisy).status());
+  int hits = 0;
+  SubscriptionSpec spec;
+  spec.subscriber = "picky";
+  spec.content_filter = "severity >= 5";
+  spec.handler = [&](const Publication&) { ++hits; };
+  ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
+  EXPECT_EQ(hits, 0);
+}
+
+TEST_F(BrokerTest, PublicationMessageRoundTrip) {
+  Publication pub = Pub("t/x", "payload", 7);
+  EnqueueRequest request;
+  PublicationToEnqueueRequest(pub, &request);
+  Message message;
+  message.payload = request.payload;
+  message.attributes = request.attributes;
+  Publication back = MessageToPublication(message);
+  EXPECT_EQ(back.topic, "t/x");
+  EXPECT_EQ(back.payload, "payload");
+  ASSERT_EQ(back.attributes.size(), 1u);
+  EXPECT_EQ(back.attributes[0].first, "severity");
+}
+
+}  // namespace
+}  // namespace edadb

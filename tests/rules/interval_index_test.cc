@@ -1,0 +1,138 @@
+#include "rules/interval_index.h"
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::set<intptr_t> StabSet(const IntervalIndex& index, double v) {
+  std::set<intptr_t> tags;
+  index.Stab(v, [&](void* tag) {
+    tags.insert(reinterpret_cast<intptr_t>(tag));
+  });
+  return tags;
+}
+
+void* Tag(intptr_t id) { return reinterpret_cast<void*>(id); }
+
+TEST(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(StabSet(index, 0).empty());
+  EXPECT_FALSE(index.Remove(0, 1, Tag(1)));
+}
+
+TEST(IntervalIndexTest, SingleIntervalBounds) {
+  IntervalIndex index;
+  index.Insert({10, true, 20, true, Tag(1)});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(StabSet(index, 9.99).empty());
+  EXPECT_EQ(StabSet(index, 10), std::set<intptr_t>{1});
+  EXPECT_EQ(StabSet(index, 15), std::set<intptr_t>{1});
+  EXPECT_EQ(StabSet(index, 20), std::set<intptr_t>{1});
+  EXPECT_TRUE(StabSet(index, 20.01).empty());
+}
+
+TEST(IntervalIndexTest, ExclusiveBounds) {
+  IntervalIndex index;
+  index.Insert({10, false, 20, false, Tag(1)});
+  EXPECT_TRUE(StabSet(index, 10).empty());
+  EXPECT_EQ(StabSet(index, 10.01), std::set<intptr_t>{1});
+  EXPECT_TRUE(StabSet(index, 20).empty());
+}
+
+TEST(IntervalIndexTest, HalfOpenToInfinity) {
+  IntervalIndex index;
+  index.Insert({5, true, kInf, true, Tag(1)});   // x >= 5.
+  index.Insert({-kInf, true, 5, false, Tag(2)}); // x < 5.
+  EXPECT_EQ(StabSet(index, 4.9), std::set<intptr_t>{2});
+  EXPECT_EQ(StabSet(index, 5), std::set<intptr_t>{1});
+  EXPECT_EQ(StabSet(index, 1e12), std::set<intptr_t>{1});
+  EXPECT_EQ(StabSet(index, -1e12), std::set<intptr_t>{2});
+}
+
+TEST(IntervalIndexTest, OverlappingIntervals) {
+  IntervalIndex index;
+  index.Insert({0, true, 10, true, Tag(1)});
+  index.Insert({5, true, 15, true, Tag(2)});
+  index.Insert({8, true, 9, true, Tag(3)});
+  EXPECT_EQ(StabSet(index, 3), (std::set<intptr_t>{1}));
+  EXPECT_EQ(StabSet(index, 7), (std::set<intptr_t>{1, 2}));
+  EXPECT_EQ(StabSet(index, 8.5), (std::set<intptr_t>{1, 2, 3}));
+  EXPECT_EQ(StabSet(index, 12), (std::set<intptr_t>{2}));
+}
+
+TEST(IntervalIndexTest, RemoveSpecificEntry) {
+  IntervalIndex index;
+  index.Insert({0, true, 10, true, Tag(1)});
+  index.Insert({0, true, 10, true, Tag(2)});  // Same bounds, other tag.
+  EXPECT_TRUE(index.Remove(0, 10, Tag(1)));
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(StabSet(index, 5), std::set<intptr_t>{2});
+  EXPECT_FALSE(index.Remove(0, 10, Tag(1)));  // Already gone.
+  EXPECT_TRUE(index.Remove(0, 10, Tag(2)));
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(IntervalIndexTest, DepthStaysLogarithmicOnRandomInput) {
+  IntervalIndex index;
+  Random rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double lo = rng.UniformDouble(0, 1000);
+    index.Insert({lo, true, lo + rng.UniformDouble(0, 50), true, Tag(i)});
+  }
+  EXPECT_EQ(index.size(), 10000u);
+  // Random centers: depth should be far below linear.
+  EXPECT_LT(index.depth(), 60);
+}
+
+/// Property: the tree agrees with brute force under random
+/// insert/remove/stab workloads.
+TEST(IntervalIndexProperty, AgreesWithBruteForce) {
+  Random rng(20070614);
+  IntervalIndex index;
+  struct Ref {
+    IntervalIndex::Entry entry;
+    intptr_t id;
+  };
+  std::vector<Ref> reference;
+  intptr_t next_id = 1;
+
+  for (int step = 0; step < 5000; ++step) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 4 || reference.empty()) {
+      IntervalIndex::Entry entry;
+      entry.lo = rng.UniformDouble(-100, 100);
+      entry.hi = entry.lo + rng.UniformDouble(0, 40);
+      entry.lo_inclusive = rng.OneIn(2);
+      entry.hi_inclusive = rng.OneIn(2);
+      entry.tag = Tag(next_id);
+      index.Insert(entry);
+      reference.push_back({entry, next_id});
+      ++next_id;
+    } else if (action < 6) {
+      const size_t victim = rng.Uniform(reference.size());
+      const Ref ref = reference[victim];
+      EXPECT_TRUE(index.Remove(ref.entry.lo, ref.entry.hi, Tag(ref.id)));
+      reference.erase(reference.begin() + static_cast<long>(victim));
+    } else {
+      const double v = rng.UniformDouble(-120, 120);
+      std::set<intptr_t> expected;
+      for (const Ref& ref : reference) {
+        if (ref.entry.Contains(v)) expected.insert(ref.id);
+      }
+      ASSERT_EQ(StabSet(index, v), expected) << "step " << step;
+    }
+    ASSERT_EQ(index.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace edadb

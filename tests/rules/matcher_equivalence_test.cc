@@ -1,0 +1,171 @@
+// Property test: the IndexedMatcher and the NaiveMatcher must agree on
+// every event for every rule set — including under churn (interleaved
+// adds/removes). This is the correctness contract behind the E4/E5
+// performance claims.
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+#include "rules/indexed_matcher.h"
+#include "rules/matcher.h"
+
+namespace edadb {
+namespace {
+
+class MapRow : public RowAccessor {
+ public:
+  std::map<std::string, Value> values;
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    auto it = values.find(std::string(name));
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+const char* const kAttrs[] = {"a", "b", "c", "d", "s"};
+const char* const kStrings[] = {"x", "y", "z"};
+
+/// Random conjunct over one attribute. Mixes indexable and residual
+/// shapes.
+std::string RandomConjunct(Random* rng) {
+  const std::string attr = kAttrs[rng->Uniform(4)];  // Numeric attrs.
+  switch (rng->Uniform(8)) {
+    case 0:
+      return attr + " = " + std::to_string(rng->UniformInt(0, 9));
+    case 1:
+      return attr + " > " + std::to_string(rng->UniformInt(0, 9));
+    case 2:
+      return attr + " <= " + std::to_string(rng->UniformInt(0, 9));
+    case 3:
+      return attr + " BETWEEN " + std::to_string(rng->UniformInt(0, 5)) +
+             " AND " + std::to_string(rng->UniformInt(5, 10));
+    case 4:
+      return attr + " IN (" + std::to_string(rng->UniformInt(0, 9)) + ", " +
+             std::to_string(rng->UniformInt(0, 9)) + ")";
+    case 5:
+      return std::string("s = '") + kStrings[rng->Uniform(3)] + "'";
+    case 6:  // Residual: OR inside.
+      return "(" + attr + " = " + std::to_string(rng->UniformInt(0, 9)) +
+             " OR s = '" + kStrings[rng->Uniform(3)] + "')";
+    default:  // Residual: inequality.
+      return attr + " != " + std::to_string(rng->UniformInt(0, 9));
+  }
+}
+
+std::string RandomCondition(Random* rng) {
+  const size_t conjuncts = rng->Uniform(3) + 1;
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < conjuncts; ++i) parts.push_back(RandomConjunct(rng));
+  return Join(parts, " AND ");
+}
+
+MapRow RandomEvent(Random* rng) {
+  MapRow event;
+  for (int i = 0; i < 4; ++i) {
+    if (rng->OneIn(5)) continue;  // Attribute sometimes absent.
+    if (rng->OneIn(4)) {
+      event.values[kAttrs[i]] =
+          Value::Double(static_cast<double>(rng->UniformInt(0, 20)) / 2);
+    } else {
+      event.values[kAttrs[i]] = Value::Int64(rng->UniformInt(0, 10));
+    }
+  }
+  if (!rng->OneIn(4)) {
+    event.values["s"] = Value::String(kStrings[rng->Uniform(3)]);
+  }
+  return event;
+}
+
+std::set<std::string> MatchSet(RuleMatcher* matcher,
+                               const RowAccessor& event) {
+  std::vector<const Rule*> matched;
+  matcher->Match(event, &matched);
+  std::set<std::string> ids;
+  for (const Rule* rule : matched) ids.insert(rule->id);
+  return ids;
+}
+
+TEST(MatcherEquivalenceProperty, StaticRuleSets) {
+  Random rng(1169);  // Paper's first page number.
+  for (int trial = 0; trial < 20; ++trial) {
+    NaiveMatcher naive;
+    IndexedMatcher indexed;
+    const int num_rules = 50;
+    for (int i = 0; i < num_rules; ++i) {
+      const std::string condition = RandomCondition(&rng);
+      Rule rule;
+      rule.id = "r" + std::to_string(i);
+      rule.condition = *Predicate::Compile(condition);
+      ASSERT_TRUE(naive.AddRule(rule).ok());
+      ASSERT_TRUE(indexed.AddRule(rule).ok());
+    }
+    for (int e = 0; e < 100; ++e) {
+      MapRow event = RandomEvent(&rng);
+      const auto expected = MatchSet(&naive, event);
+      const auto actual = MatchSet(&indexed, event);
+      if (actual != expected) {
+        std::string detail = "event:";
+        for (const auto& [k, v] : event.values) {
+          detail += " " + k + "=" + v.ToString();
+        }
+        detail += "\ndiffering rules:";
+        for (const auto& id : actual) {
+          if (expected.count(id) == 0) {
+            detail += "\n  indexed-only " + id + ": " +
+                      naive.GetRule(id)->condition.source();
+          }
+        }
+        for (const auto& id : expected) {
+          if (actual.count(id) == 0) {
+            detail += "\n  naive-only " + id + ": " +
+                      naive.GetRule(id)->condition.source();
+          }
+        }
+        FAIL() << "trial " << trial << " event " << e << "\n" << detail;
+      }
+    }
+  }
+}
+
+TEST(MatcherEquivalenceProperty, UnderChurn) {
+  Random rng(1170);  // Paper's second page number.
+  NaiveMatcher naive;
+  IndexedMatcher indexed;
+  std::set<std::string> live_ids;
+  int next_id = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 3 || live_ids.empty()) {
+      // Add.
+      const std::string id = "r" + std::to_string(next_id++);
+      Rule rule;
+      rule.id = id;
+      rule.condition = *Predicate::Compile(RandomCondition(&rng));
+      ASSERT_TRUE(naive.AddRule(rule).ok());
+      ASSERT_TRUE(indexed.AddRule(rule).ok());
+      live_ids.insert(id);
+    } else if (action < 5) {
+      // Remove a random live rule.
+      auto it = live_ids.begin();
+      std::advance(it, rng.Uniform(live_ids.size()));
+      ASSERT_TRUE(naive.RemoveRule(*it).ok());
+      ASSERT_TRUE(indexed.RemoveRule(*it).ok());
+      live_ids.erase(it);
+    } else {
+      // Match.
+      MapRow event = RandomEvent(&rng);
+      const auto expected = MatchSet(&naive, event);
+      const auto actual = MatchSet(&indexed, event);
+      ASSERT_EQ(actual, expected)
+          << "step " << step << " with " << live_ids.size() << " rules";
+    }
+    ASSERT_EQ(naive.size(), indexed.size());
+  }
+}
+
+}  // namespace
+}  // namespace edadb

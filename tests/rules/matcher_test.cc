@@ -1,0 +1,220 @@
+#include <map>
+
+#include "gtest/gtest.h"
+#include "rules/indexed_matcher.h"
+#include "rules/matcher.h"
+
+namespace edadb {
+namespace {
+
+class MapRow : public RowAccessor {
+ public:
+  std::map<std::string, Value> values;
+  std::optional<Value> GetAttribute(std::string_view name) const override {
+    auto it = values.find(std::string(name));
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Rule MakeRule(const std::string& id, const std::string& condition,
+              int64_t priority = 0) {
+  Rule rule;
+  rule.id = id;
+  rule.condition = *Predicate::Compile(condition);
+  rule.priority = priority;
+  return rule;
+}
+
+std::vector<std::string> MatchIds(RuleMatcher* matcher,
+                                  const RowAccessor& event) {
+  std::vector<const Rule*> matched;
+  matcher->Match(event, &matched);
+  std::vector<std::string> ids;
+  for (const Rule* rule : matched) ids.push_back(rule->id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+template <typename T>
+class MatcherTest : public testing::Test {
+ protected:
+  T matcher_;
+};
+
+using MatcherTypes = testing::Types<NaiveMatcher, IndexedMatcher>;
+TYPED_TEST_SUITE(MatcherTest, MatcherTypes);
+
+TYPED_TEST(MatcherTest, AddRemoveLifecycle) {
+  EXPECT_EQ(this->matcher_.size(), 0u);
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("r1", "x = 1")).ok());
+  EXPECT_TRUE(
+      this->matcher_.AddRule(MakeRule("r1", "x = 2")).IsAlreadyExists());
+  EXPECT_EQ(this->matcher_.size(), 1u);
+  EXPECT_NE(this->matcher_.GetRule("r1"), nullptr);
+  EXPECT_EQ(this->matcher_.GetRule("ghost"), nullptr);
+  ASSERT_TRUE(this->matcher_.RemoveRule("r1").ok());
+  EXPECT_TRUE(this->matcher_.RemoveRule("r1").IsNotFound());
+  EXPECT_EQ(this->matcher_.size(), 0u);
+}
+
+TYPED_TEST(MatcherTest, RejectsInvalidRules) {
+  Rule nameless;
+  nameless.condition = *Predicate::Compile("TRUE");
+  EXPECT_TRUE(this->matcher_.AddRule(nameless).IsInvalidArgument());
+  Rule no_condition;
+  no_condition.id = "x";
+  EXPECT_TRUE(this->matcher_.AddRule(no_condition).IsInvalidArgument());
+}
+
+TYPED_TEST(MatcherTest, EqualityMatching) {
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("east", "region = 'east'")).ok());
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("west", "region = 'west'")).ok());
+  MapRow event;
+  event.values["region"] = Value::String("east");
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"east"}));
+}
+
+TYPED_TEST(MatcherTest, ConjunctionRequiresAllParts) {
+  ASSERT_TRUE(this->matcher_
+                  .AddRule(MakeRule(
+                      "both", "region = 'east' AND severity >= 5"))
+                  .ok());
+  MapRow event;
+  event.values["region"] = Value::String("east");
+  event.values["severity"] = Value::Int64(3);
+  EXPECT_TRUE(MatchIds(&this->matcher_, event).empty());
+  event.values["severity"] = Value::Int64(7);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"both"}));
+}
+
+TYPED_TEST(MatcherTest, RangeMatching) {
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("hot", "temp > 30")).ok());
+  ASSERT_TRUE(
+      this->matcher_.AddRule(MakeRule("mild", "temp BETWEEN 15 AND 30")).ok());
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("cold", "temp < 15")).ok());
+  MapRow event;
+  event.values["temp"] = Value::Double(22.0);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"mild"}));
+  event.values["temp"] = Value::Double(30.0);  // Boundary: BETWEEN incl.
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"mild"}));
+  event.values["temp"] = Value::Double(30.5);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"hot"}));
+}
+
+TYPED_TEST(MatcherTest, InListMatching) {
+  ASSERT_TRUE(this->matcher_
+                  .AddRule(MakeRule("coast", "state IN ('CA', 'OR', 'WA')"))
+                  .ok());
+  MapRow event;
+  event.values["state"] = Value::String("OR");
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"coast"}));
+  event.values["state"] = Value::String("TX");
+  EXPECT_TRUE(MatchIds(&this->matcher_, event).empty());
+}
+
+TYPED_TEST(MatcherTest, ResidualPredicates) {
+  ASSERT_TRUE(this->matcher_
+                  .AddRule(MakeRule("complex",
+                                    "kind = 'alert' AND (msg LIKE '%leak%' "
+                                    "OR severity > 8)"))
+                  .ok());
+  MapRow event;
+  event.values["kind"] = Value::String("alert");
+  event.values["msg"] = Value::String("gas leak detected");
+  event.values["severity"] = Value::Int64(3);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"complex"}));
+  event.values["msg"] = Value::String("all clear");
+  EXPECT_TRUE(MatchIds(&this->matcher_, event).empty());
+  event.values["severity"] = Value::Int64(9);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"complex"}));
+}
+
+TYPED_TEST(MatcherTest, MissingAttributeMeansNoMatch) {
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("r", "x = 1")).ok());
+  MapRow empty;
+  EXPECT_TRUE(MatchIds(&this->matcher_, empty).empty());
+}
+
+TYPED_TEST(MatcherTest, DisabledRulesNeverMatch) {
+  Rule rule = MakeRule("off", "TRUE");
+  rule.enabled = false;
+  ASSERT_TRUE(this->matcher_.AddRule(std::move(rule)).ok());
+  MapRow event;
+  EXPECT_TRUE(MatchIds(&this->matcher_, event).empty());
+}
+
+TYPED_TEST(MatcherTest, PureScanRules) {
+  // No indexable conjunct at all: OR at the top.
+  ASSERT_TRUE(this->matcher_
+                  .AddRule(MakeRule("either", "a = 1 OR b = 2"))
+                  .ok());
+  MapRow event;
+  event.values["b"] = Value::Int64(2);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"either"}));
+}
+
+TYPED_TEST(MatcherTest, RemovalStopsMatching) {
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("r1", "x = 1")).ok());
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("r2", "x > 0")).ok());
+  ASSERT_TRUE(this->matcher_.AddRule(MakeRule("r3", "x = 1 OR y = 1")).ok());
+  MapRow event;
+  event.values["x"] = Value::Int64(1);
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"r1", "r2", "r3"}));
+  ASSERT_TRUE(this->matcher_.RemoveRule("r1").ok());
+  ASSERT_TRUE(this->matcher_.RemoveRule("r3").ok());
+  EXPECT_EQ(MatchIds(&this->matcher_, event),
+            (std::vector<std::string>{"r2"}));
+}
+
+TEST(IndexedMatcherTest, StatsReflectDecomposition) {
+  IndexedMatcher matcher;
+  ASSERT_TRUE(matcher.AddRule(MakeRule("eq", "a = 1 AND b = 2")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("range", "c > 5")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("in", "d IN (1, 2, 3)")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("scan", "a = 1 OR b = 2")).ok());
+  const IndexedMatcher::Stats stats = matcher.GetStats();
+  EXPECT_EQ(stats.total_rules, 4u);
+  // Single-access-predicate: "eq" registers ONE of its two equality
+  // conjuncts; "in" registers its 3 members (one conjunct).
+  EXPECT_EQ(stats.eq_entries, 4u);
+  EXPECT_EQ(stats.range_entries, 1u);
+  EXPECT_EQ(stats.scan_rules, 1u);
+  ASSERT_TRUE(matcher.RemoveRule("in").ok());
+  EXPECT_EQ(matcher.GetStats().eq_entries, 1u);
+}
+
+TEST(IndexedMatcherTest, NumericCrossTypeEquality) {
+  IndexedMatcher matcher;
+  ASSERT_TRUE(matcher.AddRule(MakeRule("r", "price = 10")).ok());
+  MapRow event;
+  event.values["price"] = Value::Double(10.0);  // Double vs int literal.
+  std::vector<const Rule*> matched;
+  matcher.Match(event, &matched);
+  EXPECT_EQ(matched.size(), 1u);
+}
+
+TEST(IndexedMatcherTest, ExclusiveRangeBoundaries) {
+  IndexedMatcher matcher;
+  ASSERT_TRUE(matcher.AddRule(MakeRule("gt", "x > 10")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("ge", "x >= 10")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("lt", "x < 10")).ok());
+  ASSERT_TRUE(matcher.AddRule(MakeRule("le", "x <= 10")).ok());
+  MapRow event;
+  event.values["x"] = Value::Int64(10);
+  EXPECT_EQ(MatchIds(&matcher, event),
+            (std::vector<std::string>{"ge", "le"}));
+}
+
+}  // namespace
+}  // namespace edadb

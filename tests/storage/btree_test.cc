@@ -1,0 +1,217 @@
+#include "storage/btree.h"
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeIndex index(/*unique=*/false);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.height(), 1);
+  EXPECT_TRUE(index.Lookup(Value::Int64(1)).empty());
+}
+
+TEST(BTreeTest, InsertLookup) {
+  BTreeIndex index(false);
+  ASSERT_TRUE(index.Insert(Value::Int64(5), 100).ok());
+  ASSERT_TRUE(index.Insert(Value::Int64(5), 101).ok());
+  ASSERT_TRUE(index.Insert(Value::Int64(7), 102).ok());
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.Lookup(Value::Int64(5)),
+            (std::vector<RowId>{100, 101}));
+  EXPECT_EQ(index.Lookup(Value::Int64(7)), (std::vector<RowId>{102}));
+  EXPECT_TRUE(index.Lookup(Value::Int64(6)).empty());
+}
+
+TEST(BTreeTest, ReinsertSameEntryIsIdempotent) {
+  BTreeIndex index(false);
+  ASSERT_TRUE(index.Insert(Value::Int64(5), 100).ok());
+  ASSERT_TRUE(index.Insert(Value::Int64(5), 100).ok());
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(BTreeTest, UniqueIndexRejectsSecondRow) {
+  BTreeIndex index(/*unique=*/true);
+  ASSERT_TRUE(index.Insert(Value::String("key"), 1).ok());
+  EXPECT_TRUE(index.Insert(Value::String("key"), 2).IsAlreadyExists());
+  // Same row again is fine.
+  EXPECT_TRUE(index.Insert(Value::String("key"), 1).ok());
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(BTreeTest, Erase) {
+  BTreeIndex index(false);
+  ASSERT_TRUE(index.Insert(Value::Int64(1), 10).ok());
+  ASSERT_TRUE(index.Insert(Value::Int64(1), 11).ok());
+  EXPECT_TRUE(index.Erase(Value::Int64(1), 10));
+  EXPECT_EQ(index.Lookup(Value::Int64(1)), (std::vector<RowId>{11}));
+  EXPECT_FALSE(index.Erase(Value::Int64(1), 10));  // Already gone.
+  EXPECT_FALSE(index.Erase(Value::Int64(99), 1));  // Never existed.
+  EXPECT_TRUE(index.Erase(Value::Int64(1), 11));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Lookup(Value::Int64(1)).empty());
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex index(false);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(index.Insert(Value::Int64(i), static_cast<RowId>(i)).ok());
+  }
+  EXPECT_EQ(index.size(), 10000u);
+  EXPECT_GE(index.height(), 3);
+  for (int i = 0; i < 10000; i += 997) {
+    EXPECT_EQ(index.Lookup(Value::Int64(i)),
+              (std::vector<RowId>{static_cast<RowId>(i)}));
+  }
+}
+
+TEST(BTreeTest, ScanFullRangeInOrder) {
+  BTreeIndex index(false);
+  // Insert in reverse to prove ordering comes from the tree.
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_TRUE(index.Insert(Value::Int64(i), static_cast<RowId>(i)).ok());
+  }
+  std::vector<int64_t> keys;
+  index.Scan(std::nullopt, true, std::nullopt, true,
+             [&](const Value& key, RowId) {
+               keys.push_back(key.int64_value());
+               return true;
+             });
+  ASSERT_EQ(keys.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(keys[static_cast<size_t>(i)], i);
+}
+
+TEST(BTreeTest, ScanBoundsAndInclusivity) {
+  BTreeIndex index(false);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(index.Insert(Value::Int64(i), static_cast<RowId>(i)).ok());
+  }
+  auto collect = [&](std::optional<Value> lo, bool lo_inc,
+                     std::optional<Value> hi, bool hi_inc) {
+    std::vector<int64_t> keys;
+    index.Scan(lo, lo_inc, hi, hi_inc, [&](const Value& key, RowId) {
+      keys.push_back(key.int64_value());
+      return true;
+    });
+    return keys;
+  };
+  EXPECT_EQ(collect(Value::Int64(5), true, Value::Int64(8), true),
+            (std::vector<int64_t>{5, 6, 7, 8}));
+  EXPECT_EQ(collect(Value::Int64(5), false, Value::Int64(8), false),
+            (std::vector<int64_t>{6, 7}));
+  EXPECT_EQ(collect(std::nullopt, true, Value::Int64(2), true),
+            (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(collect(Value::Int64(17), true, std::nullopt, true),
+            (std::vector<int64_t>{17, 18, 19}));
+  EXPECT_TRUE(collect(Value::Int64(50), true, std::nullopt, true).empty());
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTreeIndex index(false);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index.Insert(Value::Int64(i), static_cast<RowId>(i)).ok());
+  }
+  int visited = 0;
+  index.Scan(std::nullopt, true, std::nullopt, true,
+             [&](const Value&, RowId) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(BTreeTest, MixedTypeKeysFollowTotalOrder) {
+  BTreeIndex index(false);
+  ASSERT_TRUE(index.Insert(Value::String("zz"), 1).ok());
+  ASSERT_TRUE(index.Insert(Value::Int64(5), 2).ok());
+  ASSERT_TRUE(index.Insert(Value::Bool(true), 3).ok());
+  ASSERT_TRUE(index.Insert(Value::Double(2.5), 4).ok());
+  std::vector<RowId> rows;
+  index.Scan(std::nullopt, true, std::nullopt, true,
+             [&](const Value&, RowId row) {
+               rows.push_back(row);
+               return true;
+             });
+  // bool < numeric(2.5 < 5) < string.
+  EXPECT_EQ(rows, (std::vector<RowId>{3, 4, 2, 1}));
+}
+
+/// Property: after a random workload, the B+tree agrees with a
+/// std::multimap reference model on lookups, full scans and ranges.
+TEST(BTreeProperty, AgreesWithReferenceModel) {
+  Random rng(31337);
+  BTreeIndex index(false);
+  std::multimap<int64_t, RowId> model;
+  std::set<std::pair<int64_t, RowId>> present;
+
+  for (int op = 0; op < 20000; ++op) {
+    const int64_t key = rng.UniformInt(0, 500);
+    const RowId row = rng.Uniform(50);
+    if (rng.OneIn(3) && !present.empty()) {
+      // Erase: sometimes an existing entry, sometimes random.
+      std::pair<int64_t, RowId> victim = {key, row};
+      if (rng.OneIn(2)) {
+        auto it = present.lower_bound({key, 0});
+        if (it == present.end()) it = present.begin();
+        victim = *it;
+      }
+      const bool expected = present.erase(victim) > 0;
+      if (expected) {
+        for (auto it = model.lower_bound(victim.first);
+             it != model.end() && it->first == victim.first; ++it) {
+          if (it->second == victim.second) {
+            model.erase(it);
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(index.Erase(Value::Int64(victim.first), victim.second),
+                expected);
+    } else {
+      const bool fresh = present.insert({key, row}).second;
+      if (fresh) model.emplace(key, row);
+      ASSERT_TRUE(index.Insert(Value::Int64(key), row).ok());
+    }
+  }
+
+  ASSERT_EQ(index.size(), model.size());
+
+  // Point lookups.
+  for (int64_t key = 0; key <= 500; ++key) {
+    std::set<RowId> expected;
+    for (auto it = model.lower_bound(key);
+         it != model.end() && it->first == key; ++it) {
+      expected.insert(it->second);
+    }
+    const std::vector<RowId> got = index.Lookup(Value::Int64(key));
+    EXPECT_EQ(std::set<RowId>(got.begin(), got.end()), expected)
+        << "key=" << key;
+  }
+
+  // Random range scans.
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t lo = rng.UniformInt(0, 500);
+    int64_t hi = rng.UniformInt(0, 500);
+    if (lo > hi) std::swap(lo, hi);
+    size_t expected = 0;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      ++expected;
+    }
+    size_t got = 0;
+    int64_t last_key = lo - 1;
+    index.Scan(Value::Int64(lo), true, Value::Int64(hi), true,
+               [&](const Value& key, RowId) {
+                 EXPECT_GE(key.int64_value(), last_key);  // Ordered.
+                 last_key = key.int64_value();
+                 ++got;
+                 return true;
+               });
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+}  // namespace
+}  // namespace edadb

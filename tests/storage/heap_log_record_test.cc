@@ -1,0 +1,187 @@
+#include "storage/heap.h"
+#include "storage/log_record.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(TableHeapTest, InsertAssignsMonotonicIds) {
+  TableHeap heap;
+  EXPECT_EQ(heap.Insert("a"), 1u);
+  EXPECT_EQ(heap.Insert("b"), 2u);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(*heap.Get(1), "a");
+  EXPECT_EQ(*heap.Get(2), "b");
+  EXPECT_EQ(heap.Get(3), nullptr);
+}
+
+TEST(TableHeapTest, AllocateReservesWithoutInserting) {
+  TableHeap heap;
+  const RowId id = heap.AllocateRowId();
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(heap.Get(id), nullptr);
+  EXPECT_EQ(heap.Insert("x"), 2u);  // Never reuses the reserved id.
+}
+
+TEST(TableHeapTest, InsertWithIdAdvancesAllocator) {
+  TableHeap heap;
+  ASSERT_TRUE(heap.InsertWithId(10, "ten").ok());
+  EXPECT_TRUE(heap.InsertWithId(10, "dup").IsAlreadyExists());
+  EXPECT_EQ(heap.Insert("next"), 11u);
+}
+
+TEST(TableHeapTest, UpdateAndDelete) {
+  TableHeap heap;
+  const RowId id = heap.Insert("v1");
+  ASSERT_TRUE(heap.Update(id, "v2").ok());
+  EXPECT_EQ(*heap.Get(id), "v2");
+  EXPECT_TRUE(heap.Update(99, "x").IsNotFound());
+  ASSERT_TRUE(heap.Delete(id).ok());
+  EXPECT_EQ(heap.Get(id), nullptr);
+  EXPECT_TRUE(heap.Delete(id).IsNotFound());
+}
+
+TEST(TableHeapTest, ScanInIdOrderWithEarlyStop) {
+  TableHeap heap;
+  heap.Insert("a");
+  heap.Insert("b");
+  heap.Insert("c");
+  ASSERT_TRUE(heap.Delete(2).ok());
+  std::vector<RowId> seen;
+  heap.Scan([&](RowId id, const std::string&) {
+    seen.push_back(id);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<RowId>{1, 3}));
+  seen.clear();
+  heap.Scan([&](RowId id, const std::string&) {
+    seen.push_back(id);
+    return false;
+  });
+  EXPECT_EQ(seen, (std::vector<RowId>{1}));
+}
+
+LogRecord RoundTrip(const LogRecord& rec) {
+  const std::string payload = rec.EncodePayload();
+  auto decoded =
+      LogRecord::Decode(static_cast<uint8_t>(rec.type), payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  return decoded.ok() ? *decoded : LogRecord{};
+}
+
+TEST(LogRecordTest, TxnControlRecords) {
+  for (const LogRecordType type :
+       {LogRecordType::kBeginTxn, LogRecordType::kCommitTxn,
+        LogRecordType::kAbortTxn}) {
+    LogRecord rec;
+    rec.type = type;
+    rec.txn_id = 987654321;
+    const LogRecord decoded = RoundTrip(rec);
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_EQ(decoded.txn_id, 987654321u);
+  }
+}
+
+TEST(LogRecordTest, InsertRecord) {
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.txn_id = 5;
+  rec.table_id = 3;
+  rec.row_id = 42;
+  rec.new_row = std::string("\x01\x02\x00\x03", 4);
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.table_id, 3u);
+  EXPECT_EQ(decoded.row_id, 42u);
+  EXPECT_EQ(decoded.new_row, rec.new_row);
+}
+
+TEST(LogRecordTest, UpdateRecordCarriesBothImages) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = 5;
+  rec.table_id = 3;
+  rec.row_id = 42;
+  rec.old_row = "old-bytes";
+  rec.new_row = "new-bytes";
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.old_row, "old-bytes");
+  EXPECT_EQ(decoded.new_row, "new-bytes");
+}
+
+TEST(LogRecordTest, DeleteRecord) {
+  LogRecord rec;
+  rec.type = LogRecordType::kDelete;
+  rec.txn_id = 1;
+  rec.table_id = 2;
+  rec.row_id = 3;
+  rec.old_row = "goodbye";
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.old_row, "goodbye");
+}
+
+TEST(LogRecordTest, CreateTableCarriesSchema) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCreateTable;
+  rec.table_id = 9;
+  rec.table_name = "orders";
+  rec.schema_fields = {{"id", ValueType::kInt64, false},
+                       {"note", ValueType::kString, true}};
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.table_name, "orders");
+  ASSERT_EQ(decoded.schema_fields.size(), 2u);
+  EXPECT_EQ(decoded.schema_fields[0].name, "id");
+  EXPECT_EQ(decoded.schema_fields[0].type, ValueType::kInt64);
+  EXPECT_FALSE(decoded.schema_fields[0].nullable);
+  EXPECT_TRUE(decoded.schema_fields[1].nullable);
+}
+
+TEST(LogRecordTest, CreateIndexRecord) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCreateIndex;
+  rec.table_id = 4;
+  rec.index_column = "price";
+  rec.index_unique = true;
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.index_column, "price");
+  EXPECT_TRUE(decoded.index_unique);
+}
+
+TEST(LogRecordTest, CheckpointRecord) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  rec.checkpoint_lsn = 0xabcdef;
+  rec.snapshot_file = "snapshot-000001.ckpt";
+  const LogRecord decoded = RoundTrip(rec);
+  EXPECT_EQ(decoded.checkpoint_lsn, 0xabcdefu);
+  EXPECT_EQ(decoded.snapshot_file, "snapshot-000001.ckpt");
+}
+
+TEST(LogRecordTest, DecodeRejectsGarbage) {
+  EXPECT_TRUE(LogRecord::Decode(200, "junk").status().IsCorruption());
+  // Truncated insert payload.
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.txn_id = 1;
+  rec.table_id = 1;
+  rec.row_id = 1;
+  rec.new_row = "some payload bytes";
+  const std::string payload = rec.EncodePayload();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_TRUE(
+        LogRecord::Decode(static_cast<uint8_t>(LogRecordType::kInsert),
+                          payload.substr(0, cut))
+            .status()
+            .IsCorruption())
+        << cut;
+  }
+  // Trailing junk.
+  EXPECT_TRUE(
+      LogRecord::Decode(static_cast<uint8_t>(LogRecordType::kInsert),
+                        payload + "x")
+          .status()
+          .IsCorruption());
+}
+
+}  // namespace
+}  // namespace edadb

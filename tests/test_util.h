@@ -1,0 +1,66 @@
+#ifndef EDADB_TESTS_TEST_UTIL_H_
+#define EDADB_TESTS_TEST_UTIL_H_
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace edadb {
+
+/// Creates a unique temp directory for one test and removes it on
+/// destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "edadb_test_XXXXXX")
+                           .string();
+    char* made = mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = tmpl;
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace edadb
+
+/// Gtest glue: assert an edadb::Status / Result is OK with a useful
+/// message on failure.
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    const auto& _s = (expr);                                \
+    ASSERT_TRUE(_s.ok()) << "status: " << StatusOf(_s);     \
+  } while (false)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    const auto& _s = (expr);                                \
+    EXPECT_TRUE(_s.ok()) << "status: " << StatusOf(_s);     \
+  } while (false)
+
+namespace edadb {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace edadb
+
+#endif  // EDADB_TESTS_TEST_UTIL_H_

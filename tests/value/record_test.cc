@@ -1,0 +1,134 @@
+#include "value/record.h"
+
+#include "gtest/gtest.h"
+#include "value/schema.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      {"id", ValueType::kInt64, /*nullable=*/false},
+      {"name", ValueType::kString, true},
+      {"score", ValueType::kDouble, true},
+  });
+}
+
+TEST(SchemaTest, FieldLookup) {
+  SchemaPtr schema = TestSchema();
+  EXPECT_EQ(schema->num_fields(), 3u);
+  EXPECT_EQ(schema->FieldIndex("id"), 0);
+  EXPECT_EQ(schema->FieldIndex("score"), 2);
+  EXPECT_EQ(schema->FieldIndex("missing"), -1);
+  EXPECT_TRUE(schema->HasField("name"));
+  EXPECT_FALSE(schema->HasField("NAME"));  // Case-sensitive.
+  EXPECT_EQ(*schema->FieldType("score"), ValueType::kDouble);
+  EXPECT_TRUE(schema->FieldType("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, ToStringShowsNotNull) {
+  EXPECT_EQ(TestSchema()->ToString(),
+            "(id INT64 NOT NULL, name STRING, score DOUBLE)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(*TestSchema() == *TestSchema());
+  SchemaPtr other = Schema::Make({{"id", ValueType::kInt64, false}});
+  EXPECT_FALSE(*TestSchema() == *other);
+}
+
+TEST(RecordTest, GetSetByName) {
+  Record record(TestSchema(), {Value::Int64(1), Value::String("a"),
+                               Value::Double(0.5)});
+  EXPECT_EQ(record.Get("id")->int64_value(), 1);
+  EXPECT_EQ(record.Get("name")->string_value(), "a");
+  ASSERT_TRUE(record.Set("name", Value::String("b")).ok());
+  EXPECT_EQ(record.Get("name")->string_value(), "b");
+  EXPECT_TRUE(record.Get("missing").status().IsNotFound());
+  EXPECT_TRUE(record.Set("missing", Value::Null()).IsNotFound());
+}
+
+TEST(RecordTest, RowAccessorView) {
+  Record record(TestSchema(), {Value::Int64(1), Value::Null(),
+                               Value::Double(0.5)});
+  const RowAccessor& row = record;
+  ASSERT_TRUE(row.GetAttribute("id").has_value());
+  EXPECT_EQ(row.GetAttribute("id")->int64_value(), 1);
+  // Present-but-NULL differs from absent.
+  ASSERT_TRUE(row.GetAttribute("name").has_value());
+  EXPECT_TRUE(row.GetAttribute("name")->is_null());
+  EXPECT_FALSE(row.GetAttribute("missing").has_value());
+}
+
+TEST(RecordTest, ValidateChecksNullability) {
+  Record bad(TestSchema(), {Value::Null(), Value::Null(), Value::Null()});
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+  Record good(TestSchema(), {Value::Int64(1), Value::Null(), Value::Null()});
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(RecordTest, ValidateChecksTypes) {
+  Record bad(TestSchema(),
+             {Value::Int64(1), Value::Int64(2), Value::Null()});
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(RecordTest, ToStringIsReadable) {
+  Record record(TestSchema(), {Value::Int64(1), Value::String("a"),
+                               Value::Null()});
+  EXPECT_EQ(record.ToString(), "{id: 1, name: 'a', score: NULL}");
+}
+
+TEST(RecordTest, Equality) {
+  Record a(TestSchema(), {Value::Int64(1), Value::Null(), Value::Null()});
+  Record b(TestSchema(), {Value::Int64(1), Value::Null(), Value::Null()});
+  Record c(TestSchema(), {Value::Int64(2), Value::Null(), Value::Null()});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RecordBuilderTest, BuildsWithDefaults) {
+  auto record = RecordBuilder(TestSchema())
+                    .SetInt64("id", 9)
+                    .SetString("name", "x")
+                    .Build();
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->Get("id")->int64_value(), 9);
+  EXPECT_TRUE(record->Get("score")->is_null());  // Unset -> NULL.
+}
+
+TEST(RecordBuilderTest, UnknownFieldFailsBuild) {
+  auto record = RecordBuilder(TestSchema())
+                    .SetInt64("id", 1)
+                    .SetInt64("typo_field", 2)
+                    .Build();
+  EXPECT_TRUE(record.status().IsNotFound());
+}
+
+TEST(RecordBuilderTest, ValidationFailurePropagates) {
+  // Missing NOT NULL id.
+  auto record = RecordBuilder(TestSchema()).SetString("name", "x").Build();
+  EXPECT_TRUE(record.status().IsInvalidArgument());
+}
+
+TEST(RecordBuilderTest, TypedSetters) {
+  SchemaPtr schema = Schema::Make({
+      {"b", ValueType::kBool},
+      {"i", ValueType::kInt64},
+      {"d", ValueType::kDouble},
+      {"s", ValueType::kString},
+      {"t", ValueType::kTimestamp},
+  });
+  auto record = RecordBuilder(schema)
+                    .SetBool("b", true)
+                    .SetInt64("i", 4)
+                    .SetDouble("d", 0.25)
+                    .SetString("s", "str")
+                    .SetTimestamp("t", 777)
+                    .Build();
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->Get("t")->timestamp_value(), 777);
+}
+
+}  // namespace
+}  // namespace edadb

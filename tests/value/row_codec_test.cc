@@ -1,0 +1,136 @@
+#include "value/row_codec.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      {"id", ValueType::kInt64, false},
+      {"name", ValueType::kString, true},
+      {"score", ValueType::kDouble, true},
+      {"active", ValueType::kBool, true},
+      {"seen", ValueType::kTimestamp, true},
+  });
+}
+
+TEST(RowCodecTest, RoundTrip) {
+  SchemaPtr schema = TestSchema();
+  Record original(schema, {Value::Int64(42), Value::String("alice"),
+                           Value::Double(0.75), Value::Bool(true),
+                           Value::Timestamp(1234567890)});
+  std::string buf;
+  EncodeRow(original, &buf);
+  auto decoded = DecodeRow(schema, buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(*decoded == original);
+}
+
+TEST(RowCodecTest, NullsRoundTrip) {
+  SchemaPtr schema = TestSchema();
+  Record original(schema, {Value::Int64(1), Value::Null(), Value::Null(),
+                           Value::Null(), Value::Null()});
+  std::string buf;
+  EncodeRow(original, &buf);
+  auto decoded = DecodeRow(schema, buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Get("name")->is_null());
+}
+
+TEST(RowCodecTest, ArityMismatchIsCorruption) {
+  SchemaPtr narrow = Schema::Make({{"only", ValueType::kInt64}});
+  Record original(narrow, {Value::Int64(1)});
+  std::string buf;
+  EncodeRow(original, &buf);
+  auto decoded = DecodeRow(TestSchema(), buf);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(RowCodecTest, TruncationIsCorruption) {
+  SchemaPtr schema = TestSchema();
+  Record original(schema, {Value::Int64(42), Value::String("alice"),
+                           Value::Double(0.75), Value::Bool(true),
+                           Value::Timestamp(1)});
+  std::string buf;
+  EncodeRow(original, &buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    auto decoded = DecodeRow(schema, std::string_view(buf.data(), cut));
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(RowCodecTest, TrailingBytesAreCorruption) {
+  SchemaPtr schema = Schema::Make({{"x", ValueType::kInt64}});
+  Record original(schema, {Value::Int64(1)});
+  std::string buf;
+  EncodeRow(original, &buf);
+  buf += "junk";
+  EXPECT_TRUE(DecodeRow(schema, buf).status().IsCorruption());
+}
+
+TEST(AttributeCodecTest, RoundTripMixedAttributes) {
+  AttributeList attrs = {
+      {"severity", Value::Int64(7)},
+      {"region", Value::String("east")},
+      {"ratio", Value::Double(0.5)},
+      {"ok", Value::Bool(false)},
+      {"", Value::Null()},  // Empty names allowed at this layer.
+  };
+  std::string buf;
+  EncodeAttributes(attrs, &buf);
+  auto decoded = DecodeAttributes(buf);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].first, attrs[i].first);
+    EXPECT_EQ(Value::CompareTotalOrder((*decoded)[i].second,
+                                       attrs[i].second),
+              0);
+  }
+}
+
+TEST(AttributeCodecTest, EmptyList) {
+  std::string buf;
+  EncodeAttributes({}, &buf);
+  auto decoded = DecodeAttributes(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(AttributeCodecTest, TruncationIsCorruption) {
+  AttributeList attrs = {{"key", Value::String("value")}};
+  std::string buf;
+  EncodeAttributes(attrs, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_TRUE(DecodeAttributes(std::string_view(buf.data(), cut))
+                    .status()
+                    .IsCorruption());
+  }
+}
+
+TEST(RowCodecTest, RandomizedRoundTrip) {
+  Random rng(4242);
+  SchemaPtr schema = TestSchema();
+  for (int i = 0; i < 300; ++i) {
+    Record original(
+        schema,
+        {Value::Int64(static_cast<int64_t>(rng.Next())),
+         rng.OneIn(4) ? Value::Null()
+                      : Value::String(rng.NextString(rng.Uniform(32))),
+         rng.OneIn(4) ? Value::Null() : Value::Double(rng.Normal()),
+         rng.OneIn(4) ? Value::Null() : Value::Bool(rng.OneIn(2)),
+         rng.OneIn(4) ? Value::Null()
+                      : Value::Timestamp(static_cast<int64_t>(
+                            rng.Uniform(1ULL << 50)))});
+    std::string buf;
+    EncodeRow(original, &buf);
+    auto decoded = DecodeRow(schema, buf);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(*decoded == original);
+  }
+}
+
+}  // namespace
+}  // namespace edadb

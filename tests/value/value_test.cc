@@ -1,0 +1,168 @@
+#include "value/value.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int64(-7).int64_value(), -7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Timestamp(123456).timestamp_value(), 123456);
+  EXPECT_TRUE(Value::Int64(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, AsDoubleCoercions) {
+  EXPECT_EQ(*Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_EQ(*Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(*Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_EQ(*Value::Timestamp(1000).AsDouble(), 1000.0);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, AsInt64Coercions) {
+  EXPECT_EQ(*Value::Int64(3).AsInt64(), 3);
+  EXPECT_EQ(*Value::Double(4.0).AsInt64(), 4);
+  EXPECT_FALSE(Value::Double(4.5).AsInt64().ok());
+  EXPECT_EQ(*Value::Bool(true).AsInt64(), 1);
+  EXPECT_FALSE(Value::String("4").AsInt64().ok());
+}
+
+TEST(ValueTest, AsBoolCoercions) {
+  EXPECT_TRUE(*Value::Bool(true).AsBool());
+  EXPECT_TRUE(*Value::Int64(5).AsBool());
+  EXPECT_FALSE(*Value::Int64(0).AsBool());
+  EXPECT_TRUE(*Value::Double(0.1).AsBool());
+  EXPECT_FALSE(Value::String("true").AsBool().ok());
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(*Value::Compare(Value::Int64(2), Value::Double(2.0)), 0);
+  EXPECT_LT(*Value::Compare(Value::Int64(2), Value::Double(2.5)), 0);
+  EXPECT_GT(*Value::Compare(Value::Double(3.5), Value::Int64(3)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Timestamp(5), Value::Int64(5)), 0);
+}
+
+TEST(ValueTest, CompareLargeInt64PreservesPrecision) {
+  // Values beyond double's 53-bit mantissa must still compare exactly
+  // when both sides are integer-ish.
+  const int64_t big = (int64_t{1} << 60) + 1;
+  EXPECT_GT(*Value::Compare(Value::Int64(big), Value::Int64(big - 1)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Timestamp(big), Value::Int64(big)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(*Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_EQ(*Value::Compare(Value::String("x"), Value::String("x")), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_FALSE(Value::Compare(Value::String("1"), Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Compare(Value::Bool(true), Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Compare(Value::Null(), Value::Int64(1)).ok());
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value::CompareTotalOrder(Value::Null(), Value::Bool(false)), 0);
+  EXPECT_LT(Value::CompareTotalOrder(Value::Bool(true), Value::Int64(-5)), 0);
+  EXPECT_LT(Value::CompareTotalOrder(Value::Int64(5), Value::String("")), 0);
+  EXPECT_EQ(Value::CompareTotalOrder(Value::Int64(2), Value::Double(2.0)), 0);
+  EXPECT_EQ(Value::CompareTotalOrder(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualityAndHashConsistent) {
+  // Values that compare equal must hash equal (index/eq-matcher rely on
+  // this).
+  const Value a = Value::Int64(7);
+  const Value b = Value::Double(7.0);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int64(0));
+  EXPECT_FALSE(Value::String("1") == Value::Int64(1));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("it's").ToString(), "'it''s'");
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  const Value cases[] = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Bool(false),
+      Value::Int64(0),
+      Value::Int64(-1234567),
+      Value::Int64(INT64_MAX),
+      Value::Int64(INT64_MIN),
+      Value::Double(3.14159),
+      Value::Double(-0.0),
+      Value::String(""),
+      Value::String("with \0 byte inside"),
+      Value::Timestamp(1700000000000000),
+  };
+  for (const Value& original : cases) {
+    std::string buf;
+    original.EncodeTo(&buf);
+    std::string_view in = buf;
+    Value decoded;
+    ASSERT_TRUE(Value::DecodeFrom(&in, &decoded)) << original.ToString();
+    EXPECT_TRUE(in.empty());
+    EXPECT_EQ(decoded.type(), original.type());
+    EXPECT_EQ(Value::CompareTotalOrder(decoded, original), 0);
+  }
+}
+
+TEST(ValueTest, DecodeRejectsTruncation) {
+  std::string buf;
+  Value::String("hello world").EncodeTo(&buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    Value v;
+    EXPECT_FALSE(Value::DecodeFrom(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(ValueTest, DecodeRejectsUnknownTag) {
+  std::string buf = "\x7f";
+  std::string_view in = buf;
+  Value v;
+  EXPECT_FALSE(Value::DecodeFrom(&in, &v));
+}
+
+TEST(ValueTest, RandomizedEncodeDecode) {
+  Random rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Value v;
+    switch (rng.Uniform(5)) {
+      case 0: v = Value::Null(); break;
+      case 1: v = Value::Bool(rng.OneIn(2)); break;
+      case 2: v = Value::Int64(static_cast<int64_t>(rng.Next())); break;
+      case 3: v = Value::Double(rng.Normal(0, 1e6)); break;
+      case 4: v = Value::String(rng.NextString(rng.Uniform(64))); break;
+    }
+    std::string buf;
+    v.EncodeTo(&buf);
+    std::string_view in = buf;
+    Value decoded;
+    ASSERT_TRUE(Value::DecodeFrom(&in, &decoded));
+    EXPECT_EQ(Value::CompareTotalOrder(decoded, v), 0);
+  }
+}
+
+}  // namespace
+}  // namespace edadb
