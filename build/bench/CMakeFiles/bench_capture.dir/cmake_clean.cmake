@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capture.dir/bench_capture.cc.o"
+  "CMakeFiles/bench_capture.dir/bench_capture.cc.o.d"
+  "bench_capture"
+  "bench_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

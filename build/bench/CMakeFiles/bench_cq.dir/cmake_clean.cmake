@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cq.dir/bench_cq.cc.o"
+  "CMakeFiles/bench_cq.dir/bench_cq.cc.o.d"
+  "bench_cq"
+  "bench_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e.dir/bench_e2e.cc.o"
+  "CMakeFiles/bench_e2e.dir/bench_e2e.cc.o.d"
+  "bench_e2e"
+  "bench_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

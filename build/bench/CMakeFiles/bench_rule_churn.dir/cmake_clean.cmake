@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_churn.dir/bench_rule_churn.cc.o"
+  "CMakeFiles/bench_rule_churn.dir/bench_rule_churn.cc.o.d"
+  "bench_rule_churn"
+  "bench_rule_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

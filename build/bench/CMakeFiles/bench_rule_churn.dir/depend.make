@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rule_churn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_virt.cc" "bench/CMakeFiles/bench_virt.dir/bench_virt.cc.o" "gcc" "bench/CMakeFiles/bench_virt.dir/bench_virt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edadb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/edadb_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/edadb_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/edadb_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/edadb_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/edadb_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/edadb_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/edadb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/edadb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/edadb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

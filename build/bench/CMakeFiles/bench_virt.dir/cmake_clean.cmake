@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virt.dir/bench_virt.cc.o"
+  "CMakeFiles/bench_virt.dir/bench_virt.cc.o.d"
+  "bench_virt"
+  "bench_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

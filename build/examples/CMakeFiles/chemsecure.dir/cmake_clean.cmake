@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemsecure.dir/chemsecure.cc.o"
+  "CMakeFiles/chemsecure.dir/chemsecure.cc.o.d"
+  "chemsecure"
+  "chemsecure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemsecure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

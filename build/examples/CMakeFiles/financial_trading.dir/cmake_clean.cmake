@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_trading.dir/financial_trading.cc.o"
+  "CMakeFiles/financial_trading.dir/financial_trading.cc.o.d"
+  "financial_trading"
+  "financial_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

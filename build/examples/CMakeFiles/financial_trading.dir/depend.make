@@ -1,0 +1,2 @@
+# Empty dependencies file for financial_trading.
+# This may be replaced when dependencies are built.

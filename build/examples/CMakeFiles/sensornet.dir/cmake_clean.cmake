@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensornet.dir/sensornet.cc.o"
+  "CMakeFiles/sensornet.dir/sensornet.cc.o.d"
+  "sensornet"
+  "sensornet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensornet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("value")
+subdirs("expr")
+subdirs("storage")
+subdirs("db")
+subdirs("journal")
+subdirs("mq")
+subdirs("rules")
+subdirs("pubsub")
+subdirs("cq")
+subdirs("analytics")
+subdirs("core")

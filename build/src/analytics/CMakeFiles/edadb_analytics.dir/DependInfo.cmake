@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/detector.cc" "src/analytics/CMakeFiles/edadb_analytics.dir/detector.cc.o" "gcc" "src/analytics/CMakeFiles/edadb_analytics.dir/detector.cc.o.d"
+  "/root/repo/src/analytics/forecaster.cc" "src/analytics/CMakeFiles/edadb_analytics.dir/forecaster.cc.o" "gcc" "src/analytics/CMakeFiles/edadb_analytics.dir/forecaster.cc.o.d"
+  "/root/repo/src/analytics/stats.cc" "src/analytics/CMakeFiles/edadb_analytics.dir/stats.cc.o" "gcc" "src/analytics/CMakeFiles/edadb_analytics.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

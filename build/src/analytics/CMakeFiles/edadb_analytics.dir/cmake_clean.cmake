@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_analytics.dir/detector.cc.o"
+  "CMakeFiles/edadb_analytics.dir/detector.cc.o.d"
+  "CMakeFiles/edadb_analytics.dir/forecaster.cc.o"
+  "CMakeFiles/edadb_analytics.dir/forecaster.cc.o.d"
+  "CMakeFiles/edadb_analytics.dir/stats.cc.o"
+  "CMakeFiles/edadb_analytics.dir/stats.cc.o.d"
+  "libedadb_analytics.a"
+  "libedadb_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

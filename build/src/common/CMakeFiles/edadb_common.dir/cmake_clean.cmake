@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_common.dir/clock.cc.o"
+  "CMakeFiles/edadb_common.dir/clock.cc.o.d"
+  "CMakeFiles/edadb_common.dir/coding.cc.o"
+  "CMakeFiles/edadb_common.dir/coding.cc.o.d"
+  "CMakeFiles/edadb_common.dir/crc32.cc.o"
+  "CMakeFiles/edadb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/edadb_common.dir/logging.cc.o"
+  "CMakeFiles/edadb_common.dir/logging.cc.o.d"
+  "CMakeFiles/edadb_common.dir/random.cc.o"
+  "CMakeFiles/edadb_common.dir/random.cc.o.d"
+  "CMakeFiles/edadb_common.dir/status.cc.o"
+  "CMakeFiles/edadb_common.dir/status.cc.o.d"
+  "CMakeFiles/edadb_common.dir/string_util.cc.o"
+  "CMakeFiles/edadb_common.dir/string_util.cc.o.d"
+  "libedadb_common.a"
+  "libedadb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

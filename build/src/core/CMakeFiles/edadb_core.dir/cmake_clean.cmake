@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_core.dir/audit.cc.o"
+  "CMakeFiles/edadb_core.dir/audit.cc.o.d"
+  "CMakeFiles/edadb_core.dir/event.cc.o"
+  "CMakeFiles/edadb_core.dir/event.cc.o.d"
+  "CMakeFiles/edadb_core.dir/event_bus.cc.o"
+  "CMakeFiles/edadb_core.dir/event_bus.cc.o.d"
+  "CMakeFiles/edadb_core.dir/monitor.cc.o"
+  "CMakeFiles/edadb_core.dir/monitor.cc.o.d"
+  "CMakeFiles/edadb_core.dir/processor.cc.o"
+  "CMakeFiles/edadb_core.dir/processor.cc.o.d"
+  "CMakeFiles/edadb_core.dir/responder.cc.o"
+  "CMakeFiles/edadb_core.dir/responder.cc.o.d"
+  "CMakeFiles/edadb_core.dir/sources.cc.o"
+  "CMakeFiles/edadb_core.dir/sources.cc.o.d"
+  "CMakeFiles/edadb_core.dir/virt.cc.o"
+  "CMakeFiles/edadb_core.dir/virt.cc.o.d"
+  "libedadb_core.a"
+  "libedadb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/continuous_query.cc" "src/cq/CMakeFiles/edadb_cq.dir/continuous_query.cc.o" "gcc" "src/cq/CMakeFiles/edadb_cq.dir/continuous_query.cc.o.d"
+  "/root/repo/src/cq/join.cc" "src/cq/CMakeFiles/edadb_cq.dir/join.cc.o" "gcc" "src/cq/CMakeFiles/edadb_cq.dir/join.cc.o.d"
+  "/root/repo/src/cq/pattern.cc" "src/cq/CMakeFiles/edadb_cq.dir/pattern.cc.o" "gcc" "src/cq/CMakeFiles/edadb_cq.dir/pattern.cc.o.d"
+  "/root/repo/src/cq/window.cc" "src/cq/CMakeFiles/edadb_cq.dir/window.cc.o" "gcc" "src/cq/CMakeFiles/edadb_cq.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/edadb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/edadb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/edadb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_cq.dir/continuous_query.cc.o"
+  "CMakeFiles/edadb_cq.dir/continuous_query.cc.o.d"
+  "CMakeFiles/edadb_cq.dir/join.cc.o"
+  "CMakeFiles/edadb_cq.dir/join.cc.o.d"
+  "CMakeFiles/edadb_cq.dir/pattern.cc.o"
+  "CMakeFiles/edadb_cq.dir/pattern.cc.o.d"
+  "CMakeFiles/edadb_cq.dir/window.cc.o"
+  "CMakeFiles/edadb_cq.dir/window.cc.o.d"
+  "libedadb_cq.a"
+  "libedadb_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

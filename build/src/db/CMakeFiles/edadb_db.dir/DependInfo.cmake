@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/edadb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/db/CMakeFiles/edadb_db.dir/executor.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/executor.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/db/CMakeFiles/edadb_db.dir/query.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/query.cc.o.d"
+  "/root/repo/src/db/resultset_diff.cc" "src/db/CMakeFiles/edadb_db.dir/resultset_diff.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/resultset_diff.cc.o.d"
+  "/root/repo/src/db/snapshot.cc" "src/db/CMakeFiles/edadb_db.dir/snapshot.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/snapshot.cc.o.d"
+  "/root/repo/src/db/sql.cc" "src/db/CMakeFiles/edadb_db.dir/sql.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/sql.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/edadb_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/edadb_db.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/edadb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/edadb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_db.dir/database.cc.o"
+  "CMakeFiles/edadb_db.dir/database.cc.o.d"
+  "CMakeFiles/edadb_db.dir/executor.cc.o"
+  "CMakeFiles/edadb_db.dir/executor.cc.o.d"
+  "CMakeFiles/edadb_db.dir/query.cc.o"
+  "CMakeFiles/edadb_db.dir/query.cc.o.d"
+  "CMakeFiles/edadb_db.dir/resultset_diff.cc.o"
+  "CMakeFiles/edadb_db.dir/resultset_diff.cc.o.d"
+  "CMakeFiles/edadb_db.dir/snapshot.cc.o"
+  "CMakeFiles/edadb_db.dir/snapshot.cc.o.d"
+  "CMakeFiles/edadb_db.dir/sql.cc.o"
+  "CMakeFiles/edadb_db.dir/sql.cc.o.d"
+  "CMakeFiles/edadb_db.dir/table.cc.o"
+  "CMakeFiles/edadb_db.dir/table.cc.o.d"
+  "libedadb_db.a"
+  "libedadb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

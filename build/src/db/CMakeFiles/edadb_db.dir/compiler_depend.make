@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edadb_db.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/ast.cc" "src/expr/CMakeFiles/edadb_expr.dir/ast.cc.o" "gcc" "src/expr/CMakeFiles/edadb_expr.dir/ast.cc.o.d"
+  "/root/repo/src/expr/functions.cc" "src/expr/CMakeFiles/edadb_expr.dir/functions.cc.o" "gcc" "src/expr/CMakeFiles/edadb_expr.dir/functions.cc.o.d"
+  "/root/repo/src/expr/lexer.cc" "src/expr/CMakeFiles/edadb_expr.dir/lexer.cc.o" "gcc" "src/expr/CMakeFiles/edadb_expr.dir/lexer.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/expr/CMakeFiles/edadb_expr.dir/parser.cc.o" "gcc" "src/expr/CMakeFiles/edadb_expr.dir/parser.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/expr/CMakeFiles/edadb_expr.dir/predicate.cc.o" "gcc" "src/expr/CMakeFiles/edadb_expr.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

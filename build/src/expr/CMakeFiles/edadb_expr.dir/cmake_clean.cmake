@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_expr.dir/ast.cc.o"
+  "CMakeFiles/edadb_expr.dir/ast.cc.o.d"
+  "CMakeFiles/edadb_expr.dir/functions.cc.o"
+  "CMakeFiles/edadb_expr.dir/functions.cc.o.d"
+  "CMakeFiles/edadb_expr.dir/lexer.cc.o"
+  "CMakeFiles/edadb_expr.dir/lexer.cc.o.d"
+  "CMakeFiles/edadb_expr.dir/parser.cc.o"
+  "CMakeFiles/edadb_expr.dir/parser.cc.o.d"
+  "CMakeFiles/edadb_expr.dir/predicate.cc.o"
+  "CMakeFiles/edadb_expr.dir/predicate.cc.o.d"
+  "libedadb_expr.a"
+  "libedadb_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

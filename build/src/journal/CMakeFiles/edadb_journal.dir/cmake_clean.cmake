@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_journal.dir/journal_miner.cc.o"
+  "CMakeFiles/edadb_journal.dir/journal_miner.cc.o.d"
+  "libedadb_journal.a"
+  "libedadb_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_mq.dir/dispatcher.cc.o"
+  "CMakeFiles/edadb_mq.dir/dispatcher.cc.o.d"
+  "CMakeFiles/edadb_mq.dir/propagation.cc.o"
+  "CMakeFiles/edadb_mq.dir/propagation.cc.o.d"
+  "CMakeFiles/edadb_mq.dir/queue_manager.cc.o"
+  "CMakeFiles/edadb_mq.dir/queue_manager.cc.o.d"
+  "libedadb_mq.a"
+  "libedadb_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

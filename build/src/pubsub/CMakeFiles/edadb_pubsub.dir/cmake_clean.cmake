@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_pubsub.dir/broker.cc.o"
+  "CMakeFiles/edadb_pubsub.dir/broker.cc.o.d"
+  "libedadb_pubsub.a"
+  "libedadb_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

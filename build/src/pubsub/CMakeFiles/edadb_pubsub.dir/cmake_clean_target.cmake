@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedadb_pubsub.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_rules.dir/indexed_matcher.cc.o"
+  "CMakeFiles/edadb_rules.dir/indexed_matcher.cc.o.d"
+  "CMakeFiles/edadb_rules.dir/interval_index.cc.o"
+  "CMakeFiles/edadb_rules.dir/interval_index.cc.o.d"
+  "CMakeFiles/edadb_rules.dir/matcher.cc.o"
+  "CMakeFiles/edadb_rules.dir/matcher.cc.o.d"
+  "CMakeFiles/edadb_rules.dir/rules_engine.cc.o"
+  "CMakeFiles/edadb_rules.dir/rules_engine.cc.o.d"
+  "libedadb_rules.a"
+  "libedadb_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/edadb_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/edadb_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/storage/CMakeFiles/edadb_storage.dir/file.cc.o" "gcc" "src/storage/CMakeFiles/edadb_storage.dir/file.cc.o.d"
+  "/root/repo/src/storage/heap.cc" "src/storage/CMakeFiles/edadb_storage.dir/heap.cc.o" "gcc" "src/storage/CMakeFiles/edadb_storage.dir/heap.cc.o.d"
+  "/root/repo/src/storage/log_record.cc" "src/storage/CMakeFiles/edadb_storage.dir/log_record.cc.o" "gcc" "src/storage/CMakeFiles/edadb_storage.dir/log_record.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/edadb_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/edadb_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

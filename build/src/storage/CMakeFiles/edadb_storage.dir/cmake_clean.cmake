@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_storage.dir/btree.cc.o"
+  "CMakeFiles/edadb_storage.dir/btree.cc.o.d"
+  "CMakeFiles/edadb_storage.dir/file.cc.o"
+  "CMakeFiles/edadb_storage.dir/file.cc.o.d"
+  "CMakeFiles/edadb_storage.dir/heap.cc.o"
+  "CMakeFiles/edadb_storage.dir/heap.cc.o.d"
+  "CMakeFiles/edadb_storage.dir/log_record.cc.o"
+  "CMakeFiles/edadb_storage.dir/log_record.cc.o.d"
+  "CMakeFiles/edadb_storage.dir/wal.cc.o"
+  "CMakeFiles/edadb_storage.dir/wal.cc.o.d"
+  "libedadb_storage.a"
+  "libedadb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

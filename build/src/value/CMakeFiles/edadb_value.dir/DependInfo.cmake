@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/value/record.cc" "src/value/CMakeFiles/edadb_value.dir/record.cc.o" "gcc" "src/value/CMakeFiles/edadb_value.dir/record.cc.o.d"
+  "/root/repo/src/value/row_codec.cc" "src/value/CMakeFiles/edadb_value.dir/row_codec.cc.o" "gcc" "src/value/CMakeFiles/edadb_value.dir/row_codec.cc.o.d"
+  "/root/repo/src/value/schema.cc" "src/value/CMakeFiles/edadb_value.dir/schema.cc.o" "gcc" "src/value/CMakeFiles/edadb_value.dir/schema.cc.o.d"
+  "/root/repo/src/value/value.cc" "src/value/CMakeFiles/edadb_value.dir/value.cc.o" "gcc" "src/value/CMakeFiles/edadb_value.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

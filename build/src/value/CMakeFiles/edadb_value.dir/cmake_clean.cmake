@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edadb_value.dir/record.cc.o"
+  "CMakeFiles/edadb_value.dir/record.cc.o.d"
+  "CMakeFiles/edadb_value.dir/row_codec.cc.o"
+  "CMakeFiles/edadb_value.dir/row_codec.cc.o.d"
+  "CMakeFiles/edadb_value.dir/schema.cc.o"
+  "CMakeFiles/edadb_value.dir/schema.cc.o.d"
+  "CMakeFiles/edadb_value.dir/value.cc.o"
+  "CMakeFiles/edadb_value.dir/value.cc.o.d"
+  "libedadb_value.a"
+  "libedadb_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edadb_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

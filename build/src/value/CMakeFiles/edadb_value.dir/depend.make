@@ -1,0 +1,2 @@
+# Empty dependencies file for edadb_value.
+# This may be replaced when dependencies are built.

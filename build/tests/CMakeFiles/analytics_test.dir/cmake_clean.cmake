@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_test.dir/analytics/analytics_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/analytics_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/seasonal_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/seasonal_test.cc.o.d"
+  "analytics_test"
+  "analytics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

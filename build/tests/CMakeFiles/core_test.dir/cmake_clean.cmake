@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/audit_test.cc.o"
+  "CMakeFiles/core_test.dir/core/audit_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/core_test.cc.o"
+  "CMakeFiles/core_test.dir/core/core_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/processor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/processor_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_test.dir/cq/continuous_query_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/continuous_query_test.cc.o.d"
+  "CMakeFiles/cq_test.dir/cq/join_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/join_test.cc.o.d"
+  "CMakeFiles/cq_test.dir/cq/pattern_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/pattern_test.cc.o.d"
+  "CMakeFiles/cq_test.dir/cq/session_window_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/session_window_test.cc.o.d"
+  "CMakeFiles/cq_test.dir/cq/window_param_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/window_param_test.cc.o.d"
+  "CMakeFiles/cq_test.dir/cq/window_test.cc.o"
+  "CMakeFiles/cq_test.dir/cq/window_test.cc.o.d"
+  "cq_test"
+  "cq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/database_test.cc" "tests/CMakeFiles/db_test.dir/db/database_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/database_test.cc.o.d"
+  "/root/repo/tests/db/durability_param_test.cc" "tests/CMakeFiles/db_test.dir/db/durability_param_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/durability_param_test.cc.o.d"
+  "/root/repo/tests/db/explain_test.cc" "tests/CMakeFiles/db_test.dir/db/explain_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/explain_test.cc.o.d"
+  "/root/repo/tests/db/nullable_index_test.cc" "tests/CMakeFiles/db_test.dir/db/nullable_index_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/nullable_index_test.cc.o.d"
+  "/root/repo/tests/db/planner_property_test.cc" "tests/CMakeFiles/db_test.dir/db/planner_property_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/planner_property_test.cc.o.d"
+  "/root/repo/tests/db/resultset_diff_test.cc" "tests/CMakeFiles/db_test.dir/db/resultset_diff_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/resultset_diff_test.cc.o.d"
+  "/root/repo/tests/db/sql_test.cc" "tests/CMakeFiles/db_test.dir/db/sql_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/sql_test.cc.o.d"
+  "/root/repo/tests/db/transaction_recovery_test.cc" "tests/CMakeFiles/db_test.dir/db/transaction_recovery_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/transaction_recovery_test.cc.o.d"
+  "/root/repo/tests/db/trigger_test.cc" "tests/CMakeFiles/db_test.dir/db/trigger_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/trigger_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edadb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/edadb_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/edadb_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/edadb_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/edadb_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/edadb_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/edadb_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/edadb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/edadb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/edadb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/edadb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edadb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/database_test.cc.o"
+  "CMakeFiles/db_test.dir/db/database_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/durability_param_test.cc.o"
+  "CMakeFiles/db_test.dir/db/durability_param_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/explain_test.cc.o"
+  "CMakeFiles/db_test.dir/db/explain_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/nullable_index_test.cc.o"
+  "CMakeFiles/db_test.dir/db/nullable_index_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/planner_property_test.cc.o"
+  "CMakeFiles/db_test.dir/db/planner_property_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/resultset_diff_test.cc.o"
+  "CMakeFiles/db_test.dir/db/resultset_diff_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/sql_test.cc.o"
+  "CMakeFiles/db_test.dir/db/sql_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/transaction_recovery_test.cc.o"
+  "CMakeFiles/db_test.dir/db/transaction_recovery_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/trigger_test.cc.o"
+  "CMakeFiles/db_test.dir/db/trigger_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

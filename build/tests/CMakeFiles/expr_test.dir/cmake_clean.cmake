@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_test.dir/expr/eval_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/eval_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/fuzz_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/fuzz_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/lexer_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/lexer_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/parser_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/parser_test.cc.o.d"
+  "CMakeFiles/expr_test.dir/expr/roundtrip_property_test.cc.o"
+  "CMakeFiles/expr_test.dir/expr/roundtrip_property_test.cc.o.d"
+  "expr_test"
+  "expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_test.dir/journal/journal_miner_test.cc.o"
+  "CMakeFiles/journal_test.dir/journal/journal_miner_test.cc.o.d"
+  "journal_test"
+  "journal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_test.dir/mq/dispatcher_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq/dispatcher_test.cc.o.d"
+  "CMakeFiles/mq_test.dir/mq/propagation_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq/propagation_test.cc.o.d"
+  "CMakeFiles/mq_test.dir/mq/queue_param_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq/queue_param_test.cc.o.d"
+  "CMakeFiles/mq_test.dir/mq/queue_reattach_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq/queue_reattach_test.cc.o.d"
+  "CMakeFiles/mq_test.dir/mq/queue_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq/queue_test.cc.o.d"
+  "mq_test"
+  "mq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_test.dir/pubsub/broker_param_test.cc.o"
+  "CMakeFiles/pubsub_test.dir/pubsub/broker_param_test.cc.o.d"
+  "CMakeFiles/pubsub_test.dir/pubsub/broker_test.cc.o"
+  "CMakeFiles/pubsub_test.dir/pubsub/broker_test.cc.o.d"
+  "pubsub_test"
+  "pubsub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

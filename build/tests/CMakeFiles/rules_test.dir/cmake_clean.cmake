@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_test.dir/rules/interval_index_test.cc.o"
+  "CMakeFiles/rules_test.dir/rules/interval_index_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/rules/matcher_equivalence_test.cc.o"
+  "CMakeFiles/rules_test.dir/rules/matcher_equivalence_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/rules/matcher_test.cc.o"
+  "CMakeFiles/rules_test.dir/rules/matcher_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/rules/rules_engine_test.cc.o"
+  "CMakeFiles/rules_test.dir/rules/rules_engine_test.cc.o.d"
+  "rules_test"
+  "rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/btree_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/btree_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/heap_log_record_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/heap_log_record_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/wal_property_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/wal_property_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/wal_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/wal_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_test.dir/value/record_test.cc.o"
+  "CMakeFiles/value_test.dir/value/record_test.cc.o.d"
+  "CMakeFiles/value_test.dir/value/row_codec_test.cc.o"
+  "CMakeFiles/value_test.dir/value/row_codec_test.cc.o.d"
+  "CMakeFiles/value_test.dir/value/value_test.cc.o"
+  "CMakeFiles/value_test.dir/value/value_test.cc.o.d"
+  "value_test"
+  "value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

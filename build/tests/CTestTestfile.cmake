@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(value_test "/root/repo/build/tests/value_test")
+set_tests_properties(value_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(expr_test "/root/repo/build/tests/expr_test")
+set_tests_properties(expr_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;23;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;30;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(db_test "/root/repo/build/tests/db_test")
+set_tests_properties(db_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;36;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(journal_test "/root/repo/build/tests/journal_test")
+set_tests_properties(journal_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;47;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mq_test "/root/repo/build/tests/mq_test")
+set_tests_properties(mq_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;50;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rules_test "/root/repo/build/tests/rules_test")
+set_tests_properties(rules_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;57;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pubsub_test "/root/repo/build/tests/pubsub_test")
+set_tests_properties(pubsub_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;63;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cq_test "/root/repo/build/tests/cq_test")
+set_tests_properties(cq_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;67;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analytics_test "/root/repo/build/tests/analytics_test")
+set_tests_properties(analytics_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;75;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;79;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;84;edadb_test;/root/repo/tests/CMakeLists.txt;0;")
