@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI-style gate for the concurrent event path:
+#   1. configure + build with -Werror (plus -Wthread-safety under Clang,
+#      where the common/mutex.h annotations are machine-checked);
+#   2. run the full ctest suite;
+#   3. rebuild with EDADB_SANITIZE=address;undefined and re-run the
+#      suite so memory errors and UB fail the gate too;
+#   4. (optional, CHECK_TSAN=1) rebuild with EDADB_SANITIZE=thread and
+#      run the *_concurrency_test suites under TSan.
+#   5. clang-tidy over src/ (skipped when not installed).
+#
+# Usage: scripts/check.sh            # steps 1-3 + 5
+#        CHECK_TSAN=1 scripts/check.sh  # also step 4
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  echo "== configure $dir ($*)"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "== build $dir"
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "== test $dir"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+echo "=== 1+2: -Werror build + full test suite"
+run_suite build-check -DEDADB_WERROR=ON
+
+echo "=== 3: ASan+UBSan build + full test suite"
+run_suite build-asan -DEDADB_WERROR=ON "-DEDADB_SANITIZE=address;undefined"
+
+if [ "${CHECK_TSAN:-0}" = "1" ]; then
+  echo "=== 4: TSan build + concurrency stress tests"
+  cmake -B build-tsan -S . -DEDADB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" >/dev/null
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+      -R 'concurrency|integration')
+fi
+
+echo "=== 5: clang-tidy"
+scripts/run_clang_tidy.sh build-check
+
+echo "check.sh: all gates green."

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over the library sources.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [source-glob...]
+#   build-dir     compile-commands dir (default: build; configured on
+#                 demand with CMAKE_EXPORT_COMPILE_COMMANDS=ON)
+#   source-glob   restrict to matching paths (default: all of src/)
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI images
+# without LLVM still pass the rest of scripts/check.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found; skipping static analysis." >&2
+  echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY to enable." >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ "$#" -gt 0 ]; then
+  mapfile -t FILES < <(printf '%s\n' "$@" | xargs -I{} find {} -name '*.cc')
+else
+  mapfile -t FILES < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_clang_tidy: checking ${#FILES[@]} files with $($TIDY --version | head -1)"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+echo "run_clang_tidy: clean."

@@ -23,7 +23,7 @@ std::string FormatTimestamp(TimestampMicros ts) {
   const int64_t micros = ts % kMicrosPerSecond;
   struct tm tm_buf;
   gmtime_r(&secs, &tm_buf);
-  char buf[40];
+  char buf[80];  // Worst case 79 bytes for INT_MAX-ish tm_year values.
   std::snprintf(buf, sizeof(buf),
                 "%04d-%02d-%02d %02d:%02d:%02d.%06" PRId64,
                 tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,

@@ -31,7 +31,10 @@ class Result {
   Result& operator=(Result&&) noexcept = default;
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  const Status& status() const& { return status_; }
+  /// By value from rvalues: `return MakeThing().status();` must not
+  /// hand out a reference into the dying temporary.
+  Status status() && { return std::move(status_); }
 
   const T& value() const& {
     assert(ok());

@@ -11,14 +11,14 @@ Result<uint64_t> EventBus::Subscribe(
                            Predicate::Compile(*filter_source));
     sub.filter = std::move(filter);
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t handle = next_handle_++;
   subs_.emplace(handle, std::move(sub));
   return handle;
 }
 
 Status EventBus::Unsubscribe(uint64_t handle) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (subs_.erase(handle) == 0) {
     return Status::NotFound("no subscription " + std::to_string(handle));
   }
@@ -30,7 +30,7 @@ size_t EventBus::Publish(const Event& event) {
   // Snapshot handlers so subscribers may (un)subscribe from callbacks.
   std::vector<Sub> targets;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     targets.reserve(subs_.size());
     EventView view(event);
     for (const auto& [handle, sub] : subs_) {
@@ -47,7 +47,7 @@ size_t EventBus::Publish(const Event& event) {
 }
 
 size_t EventBus::num_subscribers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return subs_.size();
 }
 

@@ -1,13 +1,14 @@
 #ifndef EDADB_CORE_EVENT_BUS_H_
 #define EDADB_CORE_EVENT_BUS_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
 #include "expr/predicate.h"
@@ -43,9 +44,9 @@ class EventBus {
     std::optional<Predicate> filter;
   };
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Sub> subs_;
-  uint64_t next_handle_ = 1;
+  mutable Mutex mu_{"EventBus::mu_"};
+  std::map<uint64_t, Sub> subs_ EDADB_GUARDED_BY(mu_);
+  uint64_t next_handle_ EDADB_GUARDED_BY(mu_) = 1;
   std::atomic<uint64_t> published_{0};
 };
 

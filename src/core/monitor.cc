@@ -13,7 +13,7 @@ Result<DetectionResult> ExpectationMonitor::Process(
     const std::string& entity, TimestampMicros ts, double value) {
   DetectionResult result;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     auto it = detectors_.find(entity);
     if (it == detectors_.end()) {
       std::unique_ptr<Forecaster> model = factory_();
@@ -35,7 +35,7 @@ Result<DetectionResult> ExpectationMonitor::Process(
 }
 
 Status ExpectationMonitor::ResetEntity(const std::string& entity) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (detectors_.erase(entity) == 0) {
     return Status::NotFound("entity '" + entity + "'");
   }
@@ -43,12 +43,12 @@ Status ExpectationMonitor::ResetEntity(const std::string& entity) {
 }
 
 size_t ExpectationMonitor::num_entities() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return detectors_.size();
 }
 
 uint64_t ExpectationMonitor::alerts_raised() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return alerts_;
 }
 

@@ -4,10 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "analytics/detector.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace edadb {
@@ -44,9 +44,10 @@ class ExpectationMonitor {
   ModelFactory factory_;
   DeviationDetector::Options detector_options_;
   AlertCallback on_alert_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<DeviationDetector>> detectors_;
-  uint64_t alerts_ = 0;
+  mutable Mutex mu_{"ExpectationMonitor::mu_"};
+  std::map<std::string, std::unique_ptr<DeviationDetector>> detectors_
+      EDADB_GUARDED_BY(mu_);
+  uint64_t alerts_ EDADB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace edadb

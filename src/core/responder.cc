@@ -14,7 +14,7 @@ Status ResponderRegistry::RegisterResponder(Responder responder) {
   if (!queues_->HasQueue(responder.queue)) {
     EDADB_RETURN_IF_ERROR(queues_->CreateQueue(responder.queue));
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const std::string id = responder.id;
   auto [it, inserted] = responders_.emplace(id, std::move(responder));
   if (!inserted) {
@@ -24,7 +24,7 @@ Status ResponderRegistry::RegisterResponder(Responder responder) {
 }
 
 Status ResponderRegistry::UnregisterResponder(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (responders_.erase(id) == 0) {
     return Status::NotFound("responder '" + id + "'");
   }
@@ -33,7 +33,7 @@ Status ResponderRegistry::UnregisterResponder(const std::string& id) {
 
 Status ResponderRegistry::SetAvailable(const std::string& id,
                                        bool available) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = responders_.find(id);
   if (it == responders_.end()) {
     return Status::NotFound("responder '" + id + "'");
@@ -43,7 +43,7 @@ Status ResponderRegistry::SetAvailable(const std::string& id,
 }
 
 size_t ResponderRegistry::num_responders() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return responders_.size();
 }
 
@@ -51,7 +51,7 @@ std::vector<Responder> ResponderRegistry::FindResponders(
     const ResponseCriteria& criteria) const {
   std::vector<Responder> matched;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [id, responder] : responders_) {
       if (!responder.available) continue;
       if (!criteria.required_role.empty() &&

@@ -2,11 +2,11 @@
 #define EDADB_CORE_RESPONDER_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
 #include "mq/queue_manager.h"
@@ -66,8 +66,8 @@ class ResponderRegistry {
 
  private:
   QueueManager* queues_;
-  mutable std::mutex mu_;
-  std::map<std::string, Responder> responders_;
+  mutable Mutex mu_{"ResponderRegistry::mu_"};
+  std::map<std::string, Responder> responders_ EDADB_GUARDED_BY(mu_);
 };
 
 }  // namespace edadb

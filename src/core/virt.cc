@@ -45,7 +45,7 @@ VirtFilter::VirtFilter(Clock* clock, Scorer scorer)
 
 Status VirtFilter::RegisterConsumer(const std::string& consumer_id,
                                     ConsumerOptions options) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (consumers_.count(consumer_id) > 0) {
     return Status::AlreadyExists("consumer '" + consumer_id +
                                  "' already registered");
@@ -59,7 +59,7 @@ Status VirtFilter::RegisterConsumer(const std::string& consumer_id,
 }
 
 Status VirtFilter::UnregisterConsumer(const std::string& consumer_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (consumers_.erase(consumer_id) == 0) {
     return Status::NotFound("consumer '" + consumer_id + "'");
   }
@@ -67,7 +67,7 @@ Status VirtFilter::UnregisterConsumer(const std::string& consumer_id) {
 }
 
 std::vector<std::string> VirtFilter::ListConsumers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> ids;
   ids.reserve(consumers_.size());
   for (const auto& [id, state] : consumers_) ids.push_back(id);
@@ -76,7 +76,7 @@ std::vector<std::string> VirtFilter::ListConsumers() const {
 
 Result<VirtFilter::Decision> VirtFilter::Evaluate(
     const std::string& consumer_id, const Event& event) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) {
     return Status::NotFound("consumer '" + consumer_id + "'");
@@ -150,7 +150,7 @@ Result<VirtFilter::Decision> VirtFilter::Evaluate(
 
 Result<VirtFilter::ConsumerStats> VirtFilter::GetStats(
     const std::string& consumer_id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) {
     return Status::NotFound("consumer '" + consumer_id + "'");

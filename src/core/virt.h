@@ -3,12 +3,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
 #include "expr/predicate.h"
@@ -104,8 +104,8 @@ class VirtFilter {
 
   Clock* clock_;
   Scorer scorer_;
-  mutable std::mutex mu_;
-  std::map<std::string, ConsumerState> consumers_;
+  mutable Mutex mu_{"VirtFilter::mu_"};
+  std::map<std::string, ConsumerState> consumers_ EDADB_GUARDED_BY(mu_);
 };
 
 }  // namespace edadb

@@ -31,6 +31,25 @@ class Parser {
   }
 
  private:
+  /// Recursion cap for the descent. Deeply nested input (e.g. thousands
+  /// of parens) must fail with InvalidArgument, not overflow the stack —
+  /// expressions arrive from untrusted subscription/rule sources.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser* parser) : parser(parser) { ++parser->depth_; }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) {
+      return Status::InvalidArgument("expression nested too deeply (max " +
+                                     std::to_string(kMaxDepth) + " levels)");
+    }
+    return Status::OK();
+  }
+
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
 
@@ -58,6 +77,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseOr() {
+    EDADB_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard guard(this);
     EDADB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
     while (Match(TokenKind::kOr)) {
       EDADB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
@@ -79,6 +100,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (Match(TokenKind::kNot)) {
+      EDADB_RETURN_IF_ERROR(CheckDepth());
+      DepthGuard guard(this);
       EDADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       return std::static_pointer_cast<const Expr>(
           std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
@@ -192,6 +215,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (Match(TokenKind::kMinus)) {
+      EDADB_RETURN_IF_ERROR(CheckDepth());
+      DepthGuard guard(this);
       EDADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       // Fold -literal immediately so "-5" is a literal, which matters for
       // the rules indexer's atomic-predicate recognition.
@@ -276,6 +301,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -13,7 +13,7 @@ Status QueueDispatcher::Bind(Binding binding) {
   if (!queues_->HasQueue(binding.queue)) {
     return Status::NotFound("queue '" + binding.queue + "'");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const std::string key = Key(binding.queue, binding.group);
   auto [it, inserted] = bindings_.emplace(key, BoundState{});
   if (!inserted) {
@@ -27,7 +27,7 @@ Status QueueDispatcher::Bind(Binding binding) {
 
 Status QueueDispatcher::Unbind(const std::string& queue,
                                const std::string& group) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (bindings_.erase(Key(queue, group)) == 0) {
     return Status::NotFound("no binding for queue '" + queue + "' group '" +
                             group + "'");
@@ -39,7 +39,7 @@ Result<size_t> QueueDispatcher::PumpOnce() {
   // Snapshot bindings so handlers can (un)bind reentrantly.
   std::vector<Binding> bindings;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     bindings.reserve(bindings_.size());
     for (const auto& [key, state] : bindings_) {
       bindings.push_back(state.binding);
@@ -55,7 +55,7 @@ Result<size_t> QueueDispatcher::PumpOnce() {
                              queues_->Dequeue(binding.queue, request));
       if (!message.has_value()) break;
       const Status status = binding.handler(*message);
-      std::lock_guard lock(mu_);
+      MutexLock lock(&mu_);
       auto it = bindings_.find(Key(binding.queue, binding.group));
       if (status.ok()) {
         EDADB_RETURN_IF_ERROR(
@@ -106,7 +106,7 @@ void QueueDispatcher::Stop() {
 
 Result<QueueDispatcher::BindingStats> QueueDispatcher::GetStats(
     const std::string& queue, const std::string& group) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = bindings_.find(Key(queue, group));
   if (it == bindings_.end()) {
     return Status::NotFound("no binding for queue '" + queue + "'");

@@ -5,11 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "mq/queue_manager.h"
 
@@ -79,10 +79,11 @@ class QueueDispatcher {
   }
 
   QueueManager* queues_;
-  mutable std::mutex mu_;
-  std::map<std::string, BoundState> bindings_;
+  /// Lock order: this before QueueManager::mu_ (PumpOnce acks under it).
+  mutable Mutex mu_{"QueueDispatcher::mu_"};
+  std::map<std::string, BoundState> bindings_ EDADB_GUARDED_BY(mu_);
   std::atomic<bool> running_{false};
-  std::thread worker_;
+  std::thread worker_;  // Start/Stop only; serialized by running_ CAS.
 };
 
 }  // namespace edadb

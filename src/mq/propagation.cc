@@ -12,7 +12,7 @@ SimulatedExternalService::SimulatedExternalService(std::string name,
       rng_(seed) {}
 
 Status SimulatedExternalService::Deliver(const Message& message) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (options_.latency_micros > 0) {
     clock_->AdvanceMicros(options_.latency_micros);
   }
@@ -31,17 +31,17 @@ Status SimulatedExternalService::Deliver(const Message& message) {
 }
 
 uint64_t SimulatedExternalService::delivered_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return delivered_count_;
 }
 
 uint64_t SimulatedExternalService::failed_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return failed_count_;
 }
 
 std::vector<Message> SimulatedExternalService::delivered() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return recent_;
 }
 
@@ -67,7 +67,7 @@ Status Propagator::AddRule(PropagationRule rule) {
         queues_->AddConsumerGroup(rule.source_queue, rule.source_group);
     if (!s.ok() && !s.IsAlreadyExists()) return s;
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const std::string name = rule.name;
   auto [it, inserted] = rules_.emplace(name, std::move(rule));
   if (!inserted) {
@@ -78,7 +78,7 @@ Status Propagator::AddRule(PropagationRule rule) {
 }
 
 Status Propagator::RemoveRule(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   if (rules_.erase(name) == 0) {
     return Status::NotFound("rule '" + name + "'");
   }
@@ -86,7 +86,7 @@ Status Propagator::RemoveRule(const std::string& name) {
 }
 
 std::vector<std::string> Propagator::ListRules() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(rules_.size());
   for (const auto& [name, rule] : rules_) names.push_back(name);
@@ -95,7 +95,7 @@ std::vector<std::string> Propagator::ListRules() const {
 
 Result<Propagator::RuleStats> Propagator::GetStats(
     const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   auto it = stats_.find(name);
   if (it == stats_.end()) return Status::NotFound("rule '" + name + "'");
   return it->second;
@@ -105,7 +105,7 @@ Result<size_t> Propagator::RunOnce() {
   // Copy the rule set so rule admin does not block pumping.
   std::vector<PropagationRule> rules;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     rules.reserve(rules_.size());
     for (const auto& [name, rule] : rules_) rules.push_back(rule);
   }
@@ -157,7 +157,7 @@ Result<size_t> Propagator::RunOnce() {
         break;
       }
     }
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     RuleStats& stats = stats_[rule.name];
     stats.forwarded += delta.forwarded;
     stats.dropped += delta.dropped;

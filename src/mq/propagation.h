@@ -4,11 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "expr/predicate.h"
@@ -58,13 +58,13 @@ class SimulatedExternalService : public ExternalService {
 
  private:
   std::string name_;
-  Options options_;
+  Options options_;  // Immutable after construction.
   Clock* clock_;
-  mutable std::mutex mu_;
-  Random rng_;
-  uint64_t delivered_count_ = 0;
-  uint64_t failed_count_ = 0;
-  std::vector<Message> recent_;
+  mutable Mutex mu_{"SimulatedExternalService::mu_"};
+  Random rng_ EDADB_GUARDED_BY(mu_);
+  uint64_t delivered_count_ EDADB_GUARDED_BY(mu_) = 0;
+  uint64_t failed_count_ EDADB_GUARDED_BY(mu_) = 0;
+  std::vector<Message> recent_ EDADB_GUARDED_BY(mu_);
 };
 
 /// One forwarding route from a staging area to another staging area or
@@ -110,9 +110,9 @@ class Propagator {
 
  private:
   QueueManager* queues_;
-  mutable std::mutex mu_;
-  std::map<std::string, PropagationRule> rules_;
-  std::map<std::string, RuleStats> stats_;
+  mutable Mutex mu_{"Propagator::mu_"};
+  std::map<std::string, PropagationRule> rules_ EDADB_GUARDED_BY(mu_);
+  std::map<std::string, RuleStats> stats_ EDADB_GUARDED_BY(mu_);
 };
 
 }  // namespace edadb

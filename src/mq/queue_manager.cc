@@ -98,9 +98,10 @@ Status QueueManager::EnsureMetaTables() {
 }
 
 Status QueueManager::ReloadFromMeta() {
-  std::unique_lock lock(mu_);
+  // Scan into locals; guarded members are only touched under the lock
+  // below (the analysis cannot see an enclosing lock inside a lambda).
   EDADB_ASSIGN_OR_RETURN(Table * queues_table, db_->GetTable(kQueuesTable));
-  Status status;
+  std::map<std::string, QueueState> loaded;
   queues_table->ScanRows([&](RowId, const Record& row) {
     const std::string name = GetString(row, "name");
     QueueState state;
@@ -108,22 +109,24 @@ Status QueueManager::ReloadFromMeta() {
     state.options.visibility_timeout_micros =
         GetInt64(row, "visibility_timeout");
     state.options.dead_letter_queue = GetString(row, "dead_letter");
-    queues_.emplace(name, std::move(state));
+    loaded.emplace(name, std::move(state));
     return true;
   });
   EDADB_ASSIGN_OR_RETURN(Table * groups_table, db_->GetTable(kGroupsTable));
   groups_table->ScanRows([&](RowId, const Record& row) {
-    auto it = queues_.find(GetString(row, "queue"));
-    if (it != queues_.end()) {
+    auto it = loaded.find(GetString(row, "queue"));
+    if (it != loaded.end()) {
       it->second.explicit_groups.insert(GetString(row, "grp"));
     }
     return true;
   });
+  RecursiveMutexLock lock(&mu_);
+  queues_ = std::move(loaded);
   for (auto& [name, state] : queues_) {
     EDADB_RETURN_IF_ERROR(RegisterQueueTriggers(name));
-    EDADB_RETURN_IF_ERROR(RebuildRuntime(name, &state));
+    EDADB_RETURN_IF_ERROR(RebuildRuntimeLocked(name, &state));
   }
-  return status;
+  return Status::OK();
 }
 
 Status QueueManager::CreateQueueStorage(const std::string& name) {
@@ -158,8 +161,8 @@ Status QueueManager::RegisterQueueTriggers(const std::string& name) {
   return db_->CreateTrigger(std::move(dlv_trigger));
 }
 
-Status QueueManager::RebuildRuntime(const std::string& name,
-                                    QueueState* state) {
+Status QueueManager::RebuildRuntimeLocked(const std::string& name,
+                                          QueueState* state) {
   EDADB_ASSIGN_OR_RETURN(Table * msgs, db_->GetTable(MsgTableName(name)));
   msgs->ScanRows([&](RowId row_id, const Record& row) {
     state->messages[row_id] = {GetInt64(row, "priority"),
@@ -192,7 +195,7 @@ Status QueueManager::RebuildRuntime(const std::string& name,
 
 Status QueueManager::CreateQueue(const std::string& name,
                                  QueueCreateOptions options) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (name.empty()) return Status::InvalidArgument("queue needs a name");
   if (queues_.count(name) > 0) {
     return Status::AlreadyExists("queue '" + name + "' already exists");
@@ -214,7 +217,7 @@ Status QueueManager::CreateQueue(const std::string& name,
 }
 
 Status QueueManager::DropQueue(const std::string& name) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(name);
   if (it == queues_.end()) {
     return Status::NotFound("queue '" + name + "'");
@@ -234,12 +237,12 @@ Status QueueManager::DropQueue(const std::string& name) {
 }
 
 bool QueueManager::HasQueue(const std::string& name) const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return queues_.count(name) > 0;
 }
 
 std::vector<std::string> QueueManager::ListQueues() const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(queues_.size());
   for (const auto& [name, state] : queues_) names.push_back(name);
@@ -248,7 +251,7 @@ std::vector<std::string> QueueManager::ListQueues() const {
 
 Status QueueManager::AddConsumerGroup(const std::string& queue,
                                       const std::string& group) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   if (group.empty()) {
@@ -269,7 +272,7 @@ Status QueueManager::AddConsumerGroup(const std::string& queue,
 
 Status QueueManager::RemoveConsumerGroup(const std::string& queue,
                                          const std::string& group) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   if (it->second.explicit_groups.erase(group) == 0) {
@@ -298,7 +301,7 @@ Status QueueManager::RemoveConsumerGroup(const std::string& queue,
 
 Result<std::vector<std::string>> QueueManager::ListConsumerGroups(
     const std::string& queue) const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   return std::vector<std::string>(it->second.explicit_groups.begin(),
@@ -343,7 +346,7 @@ Result<MessageId> QueueManager::EnqueueInTransaction(
     const EnqueueRequest& request) {
   std::vector<std::string> groups;
   {
-    std::unique_lock lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     auto it = queues_.find(queue);
     if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
     groups = EffectiveGroups(it->second);
@@ -371,7 +374,7 @@ Result<MessageId> QueueManager::EnqueueInTransaction(
 
 void QueueManager::OnMessageInserted(const std::string& queue, MessageId id,
                                      const Record& row) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return;
   it->second.messages[id] = {GetInt64(row, "priority"),
@@ -381,7 +384,7 @@ void QueueManager::OnMessageInserted(const std::string& queue, MessageId id,
 void QueueManager::OnDeliveryInserted(const std::string& queue,
                                       RowId deliv_row, const Record& row) {
   {
-    std::unique_lock lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     auto it = queues_.find(queue);
     if (it == queues_.end()) return;
     QueueState& state = it->second;
@@ -399,7 +402,7 @@ void QueueManager::OnDeliveryInserted(const std::string& queue,
       rt.ready.emplace(-priority, msg_id);
     }
   }
-  enqueue_cv_.notify_all();
+  enqueue_cv_.SignalAll();
 }
 
 Result<Message> QueueManager::LoadMessage(const std::string& queue,
@@ -517,7 +520,7 @@ Status QueueManager::DeadLetter(const std::string& queue, QueueState* state,
 
 Result<std::optional<Message>> QueueManager::Dequeue(
     const std::string& queue, const DequeueRequest& request) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   QueueState& state = it->second;
@@ -598,14 +601,16 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
     const auto slice =
         std::min<std::chrono::steady_clock::duration>(
             deadline - now, std::chrono::milliseconds(5));
-    std::unique_lock lock(mu_);
-    enqueue_cv_.wait_for(lock, slice);
+    RecursiveMutexLock lock(&mu_);
+    (void)enqueue_cv_.WaitForMicros(
+        &mu_,
+        std::chrono::duration_cast<std::chrono::microseconds>(slice).count());
   }
 }
 
 Status QueueManager::Ack(const std::string& queue, const std::string& group,
                          MessageId id) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   return FinishDelivery(queue, &it->second, group, id);
@@ -614,7 +619,7 @@ Status QueueManager::Ack(const std::string& queue, const std::string& group,
 Status QueueManager::Nack(const std::string& queue, const std::string& group,
                           MessageId id,
                           TimestampMicros redeliver_delay_micros) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   QueueState& state = it->second;
@@ -648,13 +653,13 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
   } else {
     rt.ready.emplace(-priority, id);
   }
-  enqueue_cv_.notify_all();
+  enqueue_cv_.SignalAll();
   return Status::OK();
 }
 
 Result<size_t> QueueManager::Depth(const std::string& queue,
                                    const std::string& group) const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   auto rt_it = it->second.runtime.find(group);
@@ -672,7 +677,7 @@ Result<size_t> QueueManager::Depth(const std::string& queue,
 }
 
 Result<size_t> QueueManager::PurgeExpired(const std::string& queue) {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   QueueState& state = it->second;
@@ -708,7 +713,7 @@ Result<size_t> QueueManager::PurgeExpired(const std::string& queue) {
 Status QueueManager::Browse(
     const std::string& queue, const std::string& group,
     const std::function<bool(const Message&)>& fn) const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   auto rt_it = it->second.runtime.find(group);
@@ -743,7 +748,7 @@ Status QueueManager::Browse(
 
 Result<Message> QueueManager::Peek(const std::string& queue,
                                    MessageId id) const {
-  std::unique_lock lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (queues_.count(queue) == 0) {
     return Status::NotFound("queue '" + queue + "'");
   }

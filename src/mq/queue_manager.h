@@ -1,16 +1,15 @@
 #ifndef EDADB_MQ_QUEUE_MANAGER_H_
 #define EDADB_MQ_QUEUE_MANAGER_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "expr/predicate.h"
@@ -178,9 +177,6 @@ class QueueManager {
   Status CreateQueueStorage(const std::string& name);
   Status RegisterQueueTriggers(const std::string& name);
 
-  /// Rebuilds one queue's runtime from its tables (Attach path).
-  Status RebuildRuntime(const std::string& name, QueueState* state);
-
   /// Trigger callbacks (take mu_; recursive because dead-lettering
   /// enqueues while holding it).
   void OnMessageInserted(const std::string& queue, MessageId id,
@@ -198,27 +194,36 @@ class QueueManager {
 
   Result<Message> LoadMessage(const std::string& queue, MessageId id) const;
 
+  /// Rebuilds one queue's runtime from its tables (Attach path).
+  Status RebuildRuntimeLocked(const std::string& name, QueueState* state)
+      EDADB_REQUIRES(mu_);
+
   /// Moves due delayed messages and expired locks back to ready.
-  /// Caller holds mu_.
-  void Promote(QueueState* state, GroupRuntime* rt, TimestampMicros now);
+  void Promote(QueueState* state, GroupRuntime* rt, TimestampMicros now)
+      EDADB_REQUIRES(mu_);
 
   /// Copies the message to the dead-letter queue (when configured) and
-  /// finishes this group's delivery. Caller holds mu_.
+  /// finishes this group's delivery. Re-enters mu_ through Enqueue,
+  /// which is why mu_ is recursive.
   Status DeadLetter(const std::string& queue, QueueState* state,
                     const std::string& group, MessageId id,
-                    const std::string& reason);
+                    const std::string& reason) EDADB_REQUIRES(mu_);
 
   /// Deletes one group's delivery row; when no group still holds a
-  /// delivery, the message row is removed too. Caller holds mu_.
+  /// delivery, the message row is removed too.
   Status FinishDelivery(const std::string& queue, QueueState* state,
-                        const std::string& group, MessageId id);
+                        const std::string& group, MessageId id)
+      EDADB_REQUIRES(mu_);
 
   Database* db_;
   Clock* clock_;
 
-  mutable std::recursive_mutex mu_;
-  std::condition_variable_any enqueue_cv_;
-  std::map<std::string, QueueState> queues_;
+  /// Lock order: QueueDispatcher::mu_ before this, this before the
+  /// database's internal locks. Recursive: enqueue -> commit -> AFTER
+  /// trigger -> On*Inserted re-enter while Dead-lettering holds it.
+  mutable RecursiveMutex mu_{"QueueManager::mu_"};
+  CondVar enqueue_cv_;
+  std::map<std::string, QueueState> queues_ EDADB_GUARDED_BY(mu_);
 };
 
 }  // namespace edadb

@@ -134,9 +134,10 @@ Status Broker::CompileIntoMatcher(const std::string& id,
 }
 
 Status Broker::LoadPersisted() {
-  std::lock_guard lock(mu_);
   EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kSubsTable));
-  Status status;
+  // Scan into locals first: guarded members are only touched under the
+  // lock below, in this function body, where the analysis can see it.
+  std::vector<std::pair<std::string, SubscriptionState>> loaded;
   table->ScanRows([&](RowId, const Record& row) {
     const std::string id = GetStringField(row, "sub_id");
     SubscriptionState state;
@@ -147,17 +148,20 @@ Status Broker::LoadPersisted() {
     state.spec.durable = durable.ok() && !durable->is_null() &&
                          durable->bool_value();
     state.queue = SubQueueName(id);
-    status = CompileIntoMatcher(id, state.spec);
-    if (!status.ok()) return false;
-    subscriptions_.emplace(id, std::move(state));
+    loaded.emplace_back(id, std::move(state));
+    return true;
+  });
+  MutexLock lock(&mu_);
+  for (auto& [id, state] : loaded) {
+    EDADB_RETURN_IF_ERROR(CompileIntoMatcher(id, state.spec));
     // Track the numeric suffix so new ids keep increasing.
     if (StartsWith(id, "sub-")) {
       const uint64_t seq = std::strtoull(id.c_str() + 4, nullptr, 10);
       if (seq >= next_sub_seq_) next_sub_seq_ = seq + 1;
     }
-    return true;
-  });
-  return status;
+    subscriptions_.emplace(id, std::move(state));
+  }
+  return Status::OK();
 }
 
 Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
@@ -167,7 +171,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
   }
   std::string id;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     id = "sub-" + std::to_string(next_sub_seq_++);
     EDADB_RETURN_IF_ERROR(CompileIntoMatcher(id, spec));
   }
@@ -175,7 +179,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     // Durable: persist the subscription and its buffer queue.
     const Status queue_status = queues_->CreateQueue(SubQueueName(id));
     if (!queue_status.ok() && !queue_status.IsAlreadyExists()) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(&mu_);
       (void)matcher_.RemoveRule(id);
       return queue_status;
     }
@@ -189,7 +193,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
                       .Build();
     const auto inserted = db_->Insert(kSubsTable, std::move(row));
     if (!inserted.ok()) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(&mu_);
       (void)matcher_.RemoveRule(id);
       return inserted.status();
     }
@@ -225,7 +229,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     EDADB_RETURN_IF_ERROR(DeliverTo(state, pub));
   }
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   subscriptions_.emplace(id, std::move(state));
   return id;
 }
@@ -233,7 +237,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
 Status Broker::Unsubscribe(const std::string& subscription_id) {
   bool durable = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     auto it = subscriptions_.find(subscription_id);
     if (it == subscriptions_.end()) {
       return Status::NotFound("subscription '" + subscription_id + "'");
@@ -284,7 +288,7 @@ Result<size_t> Broker::Publish(const Publication& pub) {
   // Match under the lock; deliver handler callbacks outside it.
   std::vector<SubscriptionState> targets;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     PublicationView view(pub);
     std::vector<const Rule*> matched;
     matcher_.Match(view, &matched);
@@ -310,7 +314,7 @@ Result<size_t> Broker::Publish(const Publication& pub) {
 Result<std::optional<Publication>> Broker::Fetch(
     const std::string& subscription_id) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     auto it = subscriptions_.find(subscription_id);
     if (it == subscriptions_.end()) {
       return Status::NotFound("subscription '" + subscription_id + "'");
@@ -334,7 +338,7 @@ Result<std::optional<Publication>> Broker::Fetch(
 Result<size_t> Broker::PendingCount(
     const std::string& subscription_id) const {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     if (subscriptions_.count(subscription_id) == 0) {
       return Status::NotFound("subscription '" + subscription_id + "'");
     }
@@ -343,7 +347,7 @@ Result<size_t> Broker::PendingCount(
 }
 
 std::vector<std::string> Broker::ListSubscriptions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> ids;
   ids.reserve(subscriptions_.size());
   for (const auto& [id, state] : subscriptions_) ids.push_back(id);
@@ -351,7 +355,7 @@ std::vector<std::string> Broker::ListSubscriptions() const {
 }
 
 size_t Broker::num_subscriptions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return subscriptions_.size();
 }
 

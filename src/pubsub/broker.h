@@ -4,11 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "expr/predicate.h"
@@ -115,7 +115,8 @@ class Broker {
 
   Status LoadPersisted();
   Status CompileIntoMatcher(const std::string& id,
-                            const SubscriptionSpec& spec);
+                            const SubscriptionSpec& spec)
+      EDADB_REQUIRES(mu_);
   static std::string SubQueueName(const std::string& id);
 
   /// Builds the matcher condition: topic pattern + content filter.
@@ -126,10 +127,12 @@ class Broker {
   Database* db_;
   QueueManager* queues_;
 
-  mutable std::mutex mu_;
-  IndexedMatcher matcher_;
-  std::map<std::string, SubscriptionState> subscriptions_;
-  uint64_t next_sub_seq_ = 1;
+  /// Never held across DeliverTo (handler callbacks / queue enqueues).
+  mutable Mutex mu_{"Broker::mu_"};
+  IndexedMatcher matcher_ EDADB_GUARDED_BY(mu_);
+  std::map<std::string, SubscriptionState> subscriptions_
+      EDADB_GUARDED_BY(mu_);
+  uint64_t next_sub_seq_ EDADB_GUARDED_BY(mu_) = 1;
 };
 
 /// Serializes a publication into a queue message and back.

@@ -56,8 +56,10 @@ Result<Rule> RulesEngine::CompileRule(const std::string& id,
 
 Status RulesEngine::LoadPersistedRules() {
   EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kRulesTable));
+  // Compile outside the lock; only the matcher insertions below need it
+  // (and the analysis cannot see an enclosing lock inside a lambda).
+  std::vector<Rule> compiled;
   Status status;
-  std::lock_guard lock(mu_);
   table->ScanRows([&](RowId, const Record& row) {
     auto get_string = [&](std::string_view field) {
       auto v = row.Get(field);
@@ -75,10 +77,15 @@ Status RulesEngine::LoadPersistedRules() {
       status = rule.status();
       return false;
     }
-    status = matcher_->AddRule(*std::move(rule));
-    return status.ok();
+    compiled.push_back(*std::move(rule));
+    return true;
   });
-  return status;
+  EDADB_RETURN_IF_ERROR(status);
+  MutexLock lock(&mu_);
+  for (Rule& rule : compiled) {
+    EDADB_RETURN_IF_ERROR(matcher_->AddRule(std::move(rule)));
+  }
+  return Status::OK();
 }
 
 Status RulesEngine::AddRule(const std::string& id,
@@ -95,12 +102,12 @@ Status RulesEngine::AddRule(const std::string& id,
                     .SetBool("enabled", true)
                     .Build();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     EDADB_RETURN_IF_ERROR(matcher_->AddRule(std::move(rule)));
   }
   const auto inserted = db_->Insert(kRulesTable, std::move(row));
   if (!inserted.ok()) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     (void)matcher_->RemoveRule(id);
     return inserted.status();
   }
@@ -109,7 +116,7 @@ Status RulesEngine::AddRule(const std::string& id,
 
 Status RulesEngine::RemoveRule(const std::string& id) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     EDADB_RETURN_IF_ERROR(matcher_->RemoveRule(id));
   }
   EDADB_ASSIGN_OR_RETURN(Predicate match,
@@ -118,7 +125,7 @@ Status RulesEngine::RemoveRule(const std::string& id) {
 }
 
 Status RulesEngine::SetRuleEnabled(const std::string& id, bool enabled) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const Rule* existing = matcher_->GetRule(id);
   if (existing == nullptr) return Status::NotFound("rule '" + id + "'");
   if (existing->enabled == enabled) return Status::OK();
@@ -137,7 +144,7 @@ Status RulesEngine::SetRuleEnabled(const std::string& id, bool enabled) {
 }
 
 size_t RulesEngine::num_rules() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   return matcher_->size();
 }
 
@@ -156,7 +163,7 @@ std::vector<std::string> RulesEngine::ListRules() const {
 }
 
 std::optional<Rule> RulesEngine::FindRule(const std::string& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   const Rule* rule = matcher_->GetRule(id);
   if (rule == nullptr) return std::nullopt;
   return *rule;
@@ -164,12 +171,12 @@ std::optional<Rule> RulesEngine::FindRule(const std::string& id) const {
 
 void RulesEngine::RegisterActionHandler(const std::string& action,
                                         ActionHandler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[action] = std::move(handler);
 }
 
 void RulesEngine::RegisterDefaultHandler(ActionHandler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(&mu_);
   default_handler_ = std::move(handler);
 }
 
@@ -178,7 +185,7 @@ Result<std::vector<std::string>> RulesEngine::Evaluate(
   std::vector<const Rule*> matched;
   std::vector<std::pair<Rule, ActionHandler>> dispatch;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(&mu_);
     matcher_->Match(event, &matched);
     std::sort(matched.begin(), matched.end(),
               [](const Rule* a, const Rule* b) {

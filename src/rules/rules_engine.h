@@ -4,11 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "rules/indexed_matcher.h"
@@ -73,10 +73,12 @@ class RulesEngine {
                            bool enabled) const;
 
   Database* db_;
-  mutable std::mutex mu_;
-  std::unique_ptr<RuleMatcher> matcher_;
-  std::map<std::string, ActionHandler> handlers_;
-  ActionHandler default_handler_;
+  mutable Mutex mu_{"RulesEngine::mu_"};
+  /// The pointer is set once in the constructor; the matcher it points
+  /// to is guarded.
+  std::unique_ptr<RuleMatcher> matcher_ EDADB_PT_GUARDED_BY(mu_);
+  std::map<std::string, ActionHandler> handlers_ EDADB_GUARDED_BY(mu_);
+  ActionHandler default_handler_ EDADB_GUARDED_BY(mu_);
 };
 
 }  // namespace edadb

@@ -179,7 +179,8 @@ TEST_F(PropagationTest, DedicatedConsumerGroupLeavesDefaultAlone) {
   ASSERT_OK(queues_->Enqueue("source", Req("both")).status());
   EXPECT_EQ(*propagator_->RunOnce(), 1u);
   // The "app" group still has its copy.
-  DequeueRequest app{.group = "app"};
+  DequeueRequest app;
+  app.group = "app";
   EXPECT_TRUE(queues_->Dequeue("source", app)->has_value());
 }
 

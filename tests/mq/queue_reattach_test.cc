@@ -71,7 +71,8 @@ TEST_F(QueueReattachTest, PartialGroupAcksSurvive) {
   ASSERT_OK(queues_->AddConsumerGroup("q", "g1"));
   ASSERT_OK(queues_->AddConsumerGroup("q", "g2"));
   const MessageId id = *queues_->Enqueue("q", Req("shared"));
-  DequeueRequest g1{.group = "g1"};
+  DequeueRequest g1;
+  g1.group = "g1";
   ASSERT_TRUE((*queues_->Dequeue("q", g1)).has_value());
   ASSERT_OK(queues_->Ack("q", "g1", id));
 
@@ -79,7 +80,8 @@ TEST_F(QueueReattachTest, PartialGroupAcksSurvive) {
   // g1's ack is durable: nothing left for it.
   EXPECT_FALSE(queues_->Dequeue("q", g1)->has_value());
   // g2 still has its copy; acking it garbage-collects the message.
-  DequeueRequest g2{.group = "g2"};
+  DequeueRequest g2;
+  g2.group = "g2";
   auto msg = *queues_->Dequeue("q", g2);
   ASSERT_TRUE(msg.has_value());
   ASSERT_OK(queues_->Ack("q", "g2", id));
@@ -99,7 +101,8 @@ TEST_F(QueueReattachTest, QueueOptionsAndGroupsReload) {
             (std::vector<std::string>{"workers"}));
   // Dead-letter policy survived: exhaust deliveries post-restart.
   ASSERT_OK(queues_->Enqueue("q", Req("poison")).status());
-  DequeueRequest dq{.group = "workers"};
+  DequeueRequest dq;
+  dq.group = "workers";
   for (int i = 0; i < 2; ++i) {
     ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
     clock_.AdvanceMicros(2 * kMicrosPerSecond);

@@ -169,8 +169,10 @@ TEST_F(QueueTest, ConsumerGroupsEachGetACopy) {
   ASSERT_OK(queues_->AddConsumerGroup("q", "billing"));
   ASSERT_OK(queues_->AddConsumerGroup("q", "audit"));
   const MessageId id = *queues_->Enqueue("q", Req("shared"));
-  DequeueRequest billing{.group = "billing"};
-  DequeueRequest audit{.group = "audit"};
+  DequeueRequest billing;
+  billing.group = "billing";
+  DequeueRequest audit;
+  audit.group = "audit";
   auto m1 = *queues_->Dequeue("q", billing);
   auto m2 = *queues_->Dequeue("q", audit);
   ASSERT_TRUE(m1.has_value() && m2.has_value());
@@ -187,7 +189,8 @@ TEST_F(QueueTest, UnknownGroupRejected) {
   // Once explicit groups exist, the implicit "" group is gone.
   DequeueRequest dq;
   EXPECT_TRUE(queues_->Dequeue("q", dq).status().IsNotFound());
-  DequeueRequest other{.group = "ghost"};
+  DequeueRequest other;
+  other.group = "ghost";
   EXPECT_TRUE(queues_->Dequeue("q", other).status().IsNotFound());
 }
 
