@@ -2,15 +2,18 @@
 # CI-style gate for the concurrent event path:
 #   1. configure + build with -Werror (plus -Wthread-safety under Clang,
 #      where the common/mutex.h annotations are machine-checked);
-#   2. run the full ctest suite;
+#   2. run the tier-1 ctest suite (-L tier1: fast, deterministic);
 #   3. rebuild with EDADB_SANITIZE=address;undefined and re-run the
 #      suite so memory errors and UB fail the gate too;
-#   4. (optional, CHECK_TSAN=1) rebuild with EDADB_SANITIZE=thread and
+#   4. crash-recovery torture suite (-L torture) on the ASan build,
+#      bounded to CHECK_TORTURE_SCHEDULES randomized schedules so the
+#      gate stays fast; export EDADB_TEST_SEED to replay a failure.
+#   5. (optional, CHECK_TSAN=1) rebuild with EDADB_SANITIZE=thread and
 #      run the *_concurrency_test suites under TSan.
-#   5. clang-tidy over src/ (skipped when not installed).
+#   6. clang-tidy over src/ (skipped when not installed).
 #
-# Usage: scripts/check.sh            # steps 1-3 + 5
-#        CHECK_TSAN=1 scripts/check.sh  # also step 4
+# Usage: scripts/check.sh            # steps 1-4 + 6
+#        CHECK_TSAN=1 scripts/check.sh  # also step 5
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,25 +27,30 @@ run_suite() {
   cmake -B "$dir" -S . "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j "$JOBS" >/dev/null
-  echo "== test $dir"
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+  echo "== test $dir (tier1)"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L tier1)
 }
 
-echo "=== 1+2: -Werror build + full test suite"
+echo "=== 1+2: -Werror build + tier-1 test suite"
 run_suite build-check -DEDADB_WERROR=ON
 
-echo "=== 3: ASan+UBSan build + full test suite"
+echo "=== 3: ASan+UBSan build + tier-1 test suite"
 run_suite build-asan -DEDADB_WERROR=ON "-DEDADB_SANITIZE=address;undefined"
 
+echo "=== 4: crash-recovery torture (ASan, bounded)"
+(cd build-asan &&
+  EDADB_TORTURE_SCHEDULES="${CHECK_TORTURE_SCHEDULES:-60}" \
+  ctest --output-on-failure -L torture)
+
 if [ "${CHECK_TSAN:-0}" = "1" ]; then
-  echo "=== 4: TSan build + concurrency stress tests"
+  echo "=== 5: TSan build + concurrency stress tests"
   cmake -B build-tsan -S . -DEDADB_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" >/dev/null
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
       -R 'concurrency|integration')
 fi
 
-echo "=== 5: clang-tidy"
+echo "=== 6: clang-tidy"
 scripts/run_clang_tidy.sh build-check
 
 echo "check.sh: all gates green."

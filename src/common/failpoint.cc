@@ -1,0 +1,155 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/random.h"
+
+namespace edadb {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct ArmedState {
+  Action action;
+  uint64_t hits_seen = 0;  // Hits since arming (drives `skip`).
+  int64_t fires = 0;       // Fires since arming (drives `max_fires`).
+};
+
+/// All registry state behind one leaf mutex. Fire() runs while callers
+/// hold subsystem locks (Database::mu_, QueueManager::mu_, ...), so the
+/// registry must never acquire anything else while holding mu.
+struct Registry {
+  Mutex mu{"failpoint::Registry::mu"};
+  std::map<std::string, ArmedState> armed EDADB_GUARDED_BY(mu);
+  std::map<std::string, uint64_t> hits EDADB_GUARDED_BY(mu);
+  Random rng EDADB_GUARDED_BY(mu){0xEDADBFA11};
+  std::function<void(const char*)> crash_handler EDADB_GUARDED_BY(mu);
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives tests.
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Action action) {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  auto [it, inserted] = reg.armed.insert_or_assign(name, ArmedState{});
+  it->second.action = std::move(action);
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disarm(const std::string& name) {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  if (reg.armed.erase(name) > 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  internal::g_armed_count.fetch_sub(static_cast<int>(reg.armed.size()),
+                                    std::memory_order_relaxed);
+  reg.armed.clear();
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  reg.rng = Random(seed);
+}
+
+void SetCrashHandler(std::function<void(const char*)> handler) {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  reg.crash_handler = std::move(handler);
+}
+
+void Crash(const char* site) {
+  std::function<void(const char*)> handler;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(&reg.mu);
+    handler = reg.crash_handler;
+  }
+  if (handler) {
+    handler(site);  // Typically throws testing::SimulatedCrash.
+    return;         // A handler may decline to die (e.g. counting-only).
+  }
+  std::abort();
+}
+
+FireResult Fire(const char* name) {
+  FireResult result;
+  int64_t delay_micros = 0;
+  {
+    Registry& reg = GetRegistry();
+    MutexLock lock(&reg.mu);
+    ++reg.hits[name];
+    auto it = reg.armed.find(name);
+    if (it == reg.armed.end()) return result;
+    ArmedState& state = it->second;
+    ++state.hits_seen;
+    if (state.hits_seen <= state.action.skip) return result;
+    if (state.action.max_fires >= 0 && state.fires >= state.action.max_fires) {
+      return result;
+    }
+    if (state.action.probability < 1.0 &&
+        reg.rng.NextDouble() >= state.action.probability) {
+      return result;
+    }
+    ++state.fires;
+    result.fired = true;
+    result.kind = state.action.kind;
+    result.arg = state.action.arg;
+    if (state.action.kind == ActionKind::kReturnStatus) {
+      result.status = state.action.status;
+    } else if (state.action.kind == ActionKind::kDelay) {
+      delay_micros = state.action.arg;
+    }
+  }
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return result;
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  auto it = reg.hits.find(name);
+  return it == reg.hits.end() ? 0 : it->second;
+}
+
+void ResetHitCounts() {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  reg.hits.clear();
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& reg = GetRegistry();
+  MutexLock lock(&reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.armed.size());
+  for (const auto& [name, state] : reg.armed) names.push_back(name);
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace edadb

@@ -1,0 +1,164 @@
+#ifndef EDADB_COMMON_FAILPOINT_H_
+#define EDADB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace edadb {
+namespace failpoint {
+
+/// ---------------------------------------------------------------------
+/// Deterministic fault injection (the correctness backbone for the
+/// crash-recovery torture harness).
+///
+/// Production code marks interesting sites with `FAILPOINT("wal:sync")`.
+/// Sites are inert until a test arms them; an armed site can
+///   - return an injected Status from the enclosing function,
+///   - simulate a process crash (the registered crash handler runs;
+///     tests install one that throws, unwinding back to the fixture
+///     which then drops the Database object without any shutdown sync),
+///   - delay the calling thread.
+/// Probabilistic modes draw from one seeded PRNG (SetSeed), so a whole
+/// torture run replays byte-for-byte from `EDADB_TEST_SEED`.
+///
+/// Two gates keep the macro honest about cost:
+///   - compile time: when `EDADB_FAILPOINTS` is not defined (Release
+///     builds) or `EDADB_FAILPOINT_DISABLE` is defined, FAILPOINT
+///     expands to `do {} while (0)` and failpoint.cc is dead weight;
+///   - run time: the enabled expansion first checks one relaxed atomic
+///     ("is anything armed at all?") before taking any lock, so an
+///     unarmed site costs a single load on the hot path.
+/// ---------------------------------------------------------------------
+
+enum class ActionKind {
+  /// Make the enclosing function return `Action::status`.
+  kReturnStatus,
+  /// Invoke the crash handler (default: abort()). Tests install a
+  /// handler that throws testing::SimulatedCrash so the fixture can
+  /// "restart the process" by reopening the database.
+  kCrash,
+  /// Sleep the calling thread for `Action::arg` microseconds.
+  kDelay,
+};
+
+/// What an armed failpoint does when it fires.
+struct Action {
+  ActionKind kind = ActionKind::kReturnStatus;
+  /// Injected error for kReturnStatus. OK makes a FAILPOINT site fire
+  /// without failing; custom sites may map OK to a site-specific
+  /// default (e.g. "mq:propagate:deliver" injects TimedOut).
+  Status status = Status::IOError("injected fault");
+  /// kDelay: sleep micros. Custom sites reuse it as a site-specific
+  /// knob, e.g. "wal:append:torn" reads it as the number of frame bytes
+  /// to persist before failing.
+  int64_t arg = 0;
+  /// Chance in [0,1] that an eligible hit fires (drawn from the
+  /// registry PRNG; see SetSeed).
+  double probability = 1.0;
+  /// Let the first `skip` hits through unharmed.
+  uint64_t skip = 0;
+  /// Stop firing after this many fires; -1 = unlimited.
+  int64_t max_fires = -1;
+};
+
+/// Outcome of evaluating a site. Fire() never invokes the crash
+/// handler itself: the FAILPOINT macro (or a custom site that must
+/// sequence side effects first, like a torn write) calls Crash() when
+/// `kind == kCrash`, so sites control what hits disk before "death".
+struct FireResult {
+  bool fired = false;
+  ActionKind kind = ActionKind::kReturnStatus;
+  Status status;  // Non-OK only for a fired kReturnStatus.
+  int64_t arg = 0;
+};
+
+/// Arms `name` with `action`. Re-arming replaces the previous action
+/// and resets its skip/fire counters.
+void Arm(const std::string& name, Action action);
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Reseeds the registry PRNG used for `Action::probability` draws.
+void SetSeed(uint64_t seed);
+
+/// Installs the crash handler invoked by Crash(). Passing nullptr
+/// restores the default (abort). The handler may throw; nothing in
+/// this library catches, so the exception unwinds to the test fixture.
+void SetCrashHandler(std::function<void(const char* site)> handler);
+
+/// Invokes the crash handler for `site`. May not return.
+void Crash(const char* site);
+
+/// Evaluates a site: counts the hit, then applies the armed action's
+/// skip/probability/max_fires gates. kDelay sleeps before returning.
+/// Called via the FAILPOINT macro or directly by custom sites.
+FireResult Fire(const char* name);
+
+/// Times a site was reached while any failpoint was armed (hit counts
+/// are only maintained on the slow path). Lets the torture harness
+/// verify its site list against reality: a misspelled site name shows
+/// zero hits across a whole workload.
+uint64_t HitCount(const std::string& name);
+void ResetHitCounts();
+
+/// Currently armed site names (for diagnostics).
+std::vector<std::string> ArmedSites();
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace edadb
+
+#if defined(EDADB_FAILPOINTS) && !defined(EDADB_FAILPOINT_DISABLE)
+#define EDADB_FAILPOINTS_ENABLED 1
+#else
+#define EDADB_FAILPOINTS_ENABLED 0
+#endif
+
+#if EDADB_FAILPOINTS_ENABLED
+/// Marks an injection site inside a function returning Status or
+/// Result<T>. When the armed action is kReturnStatus the injected
+/// error becomes the function's return value (Result<T> converts
+/// implicitly from Status).
+#define FAILPOINT(name)                                                    \
+  do {                                                                     \
+    if (::edadb::failpoint::internal::AnyArmed()) {                        \
+      ::edadb::failpoint::FireResult _fp = ::edadb::failpoint::Fire(name); \
+      if (_fp.fired) {                                                     \
+        if (_fp.kind == ::edadb::failpoint::ActionKind::kCrash)            \
+          ::edadb::failpoint::Crash(name);                                 \
+        if (!_fp.status.ok()) return _fp.status;                           \
+      }                                                                    \
+    }                                                                      \
+  } while (0)
+
+/// Same, for void functions and sites that must not early-return:
+/// crashes and delays apply, injected Statuses are ignored.
+#define FAILPOINT_HIT(name)                                                \
+  do {                                                                     \
+    if (::edadb::failpoint::internal::AnyArmed()) {                        \
+      ::edadb::failpoint::FireResult _fp = ::edadb::failpoint::Fire(name); \
+      if (_fp.fired && _fp.kind == ::edadb::failpoint::ActionKind::kCrash) \
+        ::edadb::failpoint::Crash(name);                                   \
+    }                                                                      \
+  } while (0)
+#else
+#define FAILPOINT(name) \
+  do {                  \
+  } while (0)
+#define FAILPOINT_HIT(name) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // EDADB_COMMON_FAILPOINT_H_

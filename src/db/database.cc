@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "db/snapshot.h"
@@ -288,10 +289,19 @@ Status Database::CreateIndex(const std::string& table,
   rec.index_column = column;
   rec.index_unique = unique;
   EDADB_RETURN_IF_ERROR(t->CreateIndex({column, unique}));
-  EDADB_RETURN_IF_ERROR(
+  // The in-memory index is built first so backfill failures (e.g. a
+  // unique violation in existing rows) never reach the WAL — but then a
+  // failed append/sync must tear it back down, or the index would serve
+  // queries now and silently vanish on the next reopen.
+  Status logged =
       wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
-          .status());
-  return wal_->Sync();
+          .status();
+  if (logged.ok()) logged = wal_->Sync();
+  if (!logged.ok()) {
+    t->DropIndex(column);
+    return logged;
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +504,7 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
   {
     std::unique_lock lock(mu_);
     EDADB_RETURN_IF_ERROR(ValidateOps(ops));
+    FAILPOINT("db:commit:before_wal");
     const TxnId txn = next_txn_id_++;
 
     LogRecord begin;
@@ -523,6 +534,9 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
               .status());
     }
 
+    // A crash before the commit record leaves Begin+ops without Commit:
+    // recovery must discard the whole transaction.
+    FAILPOINT("db:commit:after_ops");
     LogRecord commit;
     commit.type = LogRecordType::kCommitTxn;
     commit.txn_id = txn;
@@ -530,7 +544,11 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
         wal_->Append(static_cast<uint8_t>(commit.type),
                      commit.EncodePayload())
             .status());
+    FAILPOINT("db:commit:before_sync");
     EDADB_RETURN_IF_ERROR(wal_->Sync());
+    // The commit record is on disk: a crash from here on must still
+    // surface the transaction after recovery.
+    FAILPOINT("db:commit:after_sync");
 
     // Apply. ValidateOps vetted everything; failures here indicate a
     // programming error and poison the database state.
@@ -806,10 +824,14 @@ Status Database::Checkpoint(Lsn retain_lsn) {
   const Lsn checkpoint_lsn = wal_->next_lsn();
   const std::string snapshot_file =
       StringPrintf("snapshot-%06" PRIu64 ".ckpt", ++checkpoint_seq_);
+  FAILPOINT("db:checkpoint:before_snapshot");
   EDADB_RETURN_IF_ERROR(WriteStringToFile(
       options_.dir + "/" + snapshot_file, EncodeSnapshot(snap),
       /*sync=*/true));
 
+  // Snapshot written but CHECKPOINT meta not yet switched: a crash here
+  // must leave recovery on the previous snapshot + full WAL replay.
+  FAILPOINT("db:checkpoint:before_meta");
   CheckpointMeta meta;
   meta.snapshot_file = snapshot_file;
   meta.replay_from_lsn = checkpoint_lsn;

@@ -32,6 +32,8 @@ Status Table::CreateIndex(const IndexDef& def) {
   return Status::OK();
 }
 
+void Table::DropIndex(const std::string& column) { indexes_.erase(column); }
+
 bool Table::HasIndex(const std::string& column) const {
   return indexes_.count(column) > 0;
 }

@@ -37,6 +37,9 @@ class Table {
 
   /// Registers and backfills an index on `column`.
   Status CreateIndex(const IndexDef& def);
+  /// Removes the index on `column` if present (used to roll back a
+  /// CreateIndex whose WAL record failed to persist).
+  void DropIndex(const std::string& column);
   bool HasIndex(const std::string& column) const;
   const BTreeIndex* GetIndex(const std::string& column) const;
   std::vector<IndexDef> index_defs() const;

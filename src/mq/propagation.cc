@@ -1,5 +1,7 @@
 #include "mq/propagation.h"
 
+#include "common/failpoint.h"
+
 namespace edadb {
 
 SimulatedExternalService::SimulatedExternalService(std::string name,
@@ -139,8 +141,26 @@ Result<size_t> Propagator::RunOnce() {
         out.correlation_id = message->correlation_id;
       }
       Status delivery;
+      bool injected = false;
       if (rule.external != nullptr) {
-        delivery = rule.external->Deliver(*message);
+#if EDADB_FAILPOINTS_ENABLED
+        // Injected external-service error/timeout: the endpoint never
+        // sees the message, and it must be nacked and redelivered.
+        if (failpoint::internal::AnyArmed()) {
+          const failpoint::FireResult fp =
+              failpoint::Fire("mq:propagate:deliver");
+          if (fp.fired) {
+            if (fp.kind == failpoint::ActionKind::kCrash) {
+              failpoint::Crash("mq:propagate:deliver");
+            }
+            injected = true;
+            delivery = fp.status.ok()
+                           ? Status::TimedOut("injected external timeout")
+                           : fp.status;
+          }
+        }
+#endif
+        if (!injected) delivery = rule.external->Deliver(*message);
       } else {
         delivery = queues_->Enqueue(rule.destination_queue, out).status();
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -171,9 +172,11 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
   });
   EDADB_ASSIGN_OR_RETURN(Table * dlv, db_->GetTable(DelivTableName(name)));
   const TimestampMicros now = clock_->NowMicros();
+  std::set<MessageId> delivered_ids;
   dlv->ScanRows([&](RowId row_id, const Record& row) {
     const std::string group = GetString(row, "grp");
     const MessageId msg_id = static_cast<MessageId>(GetInt64(row, "msg_id"));
+    delivered_ids.insert(msg_id);
     GroupRuntime& rt = state->runtime[group];
     rt.deliveries[msg_id] = {row_id, GetInt64(row, "delivery_count")};
     const TimestampMicros locked_until = GetInt64(row, "locked_until");
@@ -190,6 +193,21 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
     }
     return true;
   });
+  // GC orphaned message rows: FinishDelivery deletes the last delivery
+  // row and the message row in two separate auto-commit transactions,
+  // so a crash between them leaves a fully-acked message body behind.
+  // Enqueue inserts message + deliveries atomically, so a message with
+  // no delivery row can only be that crash leftover — delete it.
+  std::vector<MessageId> orphans;
+  for (const auto& [id, meta] : state->messages) {
+    if (delivered_ids.count(id) == 0) orphans.push_back(id);
+  }
+  for (const MessageId id : orphans) {
+    EDADB_LOG(Warn) << "queue '" << name << "': GC of orphaned message "
+                    << id << " (crash between ack deletes)";
+    state->messages.erase(id);
+    EDADB_RETURN_IF_ERROR(db_->DeleteRow(MsgTableName(name), id));
+  }
   return Status::OK();
 }
 
@@ -337,6 +355,9 @@ Result<MessageId> QueueManager::Enqueue(const std::string& queue,
   auto txn = db_->BeginTransaction();
   EDADB_ASSIGN_OR_RETURN(MessageId id,
                          EnqueueInTransaction(txn.get(), queue, request));
+  // Ops staged but not committed: a crash here must lose the message
+  // entirely (no body row, no delivery rows).
+  FAILPOINT("mq:enqueue:before_commit");
   EDADB_RETURN_IF_ERROR(txn->Commit());
   return id;
 }
@@ -460,6 +481,7 @@ Status QueueManager::FinishDelivery(const std::string& queue,
     return Status::NotFound("no delivery of message " + std::to_string(id) +
                             " for group '" + group + "'");
   }
+  FAILPOINT("mq:finish:before_dlv_delete");
   const RowId deliv_row = deliv_it->second.deliv_row;
   rt.deliveries.erase(deliv_it);
   rt.locked.erase(id);
@@ -474,6 +496,9 @@ Status QueueManager::FinishDelivery(const std::string& queue,
     }
   }
   EDADB_RETURN_IF_ERROR(db_->DeleteRow(DelivTableName(queue), deliv_row));
+  // The delivery row is gone but the message row still exists: a crash
+  // here is the orphaned-message window RebuildRuntimeLocked GCs.
+  FAILPOINT("mq:finish:after_dlv_delete");
 
   // GC the message when no group still holds a delivery.
   bool live = false;
@@ -564,7 +589,9 @@ Result<std::optional<Message>> QueueManager::Dequeue(
       MessageView view(message);
       if (!request.selector->MatchesOrFalse(view)) continue;
     }
-    // Lock it for this group.
+    // Lock it for this group. A crash before the lock persists means
+    // the consumer never saw the message: it must be redelivered.
+    FAILPOINT("mq:dequeue:before_lock_persist");
     DelivState& deliv = deliv_it->second;
     deliv.delivery_count += 1;
     const TimestampMicros locked_until =
@@ -592,6 +619,10 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros);
   for (;;) {
+    {
+      RecursiveMutexLock lock(&mu_);
+      if (shutdown_) return Status::Aborted("QueueManager shut down");
+    }
     EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
                            Dequeue(queue, request));
     if (message.has_value()) return message;
@@ -602,10 +633,19 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
         std::min<std::chrono::steady_clock::duration>(
             deadline - now, std::chrono::milliseconds(5));
     RecursiveMutexLock lock(&mu_);
+    if (shutdown_) return Status::Aborted("QueueManager shut down");
     (void)enqueue_cv_.WaitForMicros(
         &mu_,
         std::chrono::duration_cast<std::chrono::microseconds>(slice).count());
   }
+}
+
+void QueueManager::Shutdown() {
+  {
+    RecursiveMutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  enqueue_cv_.SignalAll();
 }
 
 Status QueueManager::Ack(const std::string& queue, const std::string& group,
@@ -613,6 +653,9 @@ Status QueueManager::Ack(const std::string& queue, const std::string& group,
   RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
+  // Nothing persisted yet: a crash here loses the ack, and the message
+  // must be redelivered after the visibility timeout (at-least-once).
+  FAILPOINT("mq:ack:before_finish");
   return FinishDelivery(queue, &it->second, group, id);
 }
 
@@ -635,6 +678,7 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
   if (deliv_it->second.delivery_count >= state.options.max_deliveries) {
     return DeadLetter(queue, &state, group, id, "max_deliveries");
   }
+  FAILPOINT("mq:nack:before_persist");
   const TimestampMicros now = clock_->NowMicros();
   const TimestampMicros visible_at = now + redeliver_delay_micros;
   EDADB_ASSIGN_OR_RETURN(

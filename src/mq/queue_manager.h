@@ -96,9 +96,16 @@ class QueueManager {
                                          const DequeueRequest& request);
 
   /// Blocking dequeue; waits up to `timeout_micros` for a message.
+  /// Returns Aborted once Shutdown() has been called.
   Result<std::optional<Message>> DequeueWait(const std::string& queue,
                                              const DequeueRequest& request,
                                              TimestampMicros timeout_micros);
+
+  /// Wakes every blocked DequeueWait() caller and makes subsequent
+  /// waits fail fast with Aborted. Call before destroying the manager
+  /// while consumer threads may still be blocked; non-blocking
+  /// operations keep working (drain-then-stop shutdowns).
+  void Shutdown();
 
   /// Completes consumption. When every group has acked, the message row
   /// is removed.
@@ -224,6 +231,7 @@ class QueueManager {
   mutable RecursiveMutex mu_{"QueueManager::mu_"};
   CondVar enqueue_cv_;
   std::map<std::string, QueueState> queues_ EDADB_GUARDED_BY(mu_);
+  bool shutdown_ EDADB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace edadb

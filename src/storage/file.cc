@@ -4,9 +4,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+
+#include "common/failpoint.h"
 
 namespace edadb {
 
@@ -35,8 +38,28 @@ WritableFile::~WritableFile() {
 }
 
 Status WritableFile::Append(std::string_view data) {
-  const char* p = data.data();
-  size_t remaining = data.size();
+  std::string_view to_write = data;
+  bool injected = false;
+  Status injected_status;
+  bool injected_crash = false;
+#if EDADB_FAILPOINTS_ENABLED
+  // Short write: only the first `arg` bytes reach the file before the
+  // "device" fails — the prefix is persisted first so recovery sees it.
+  if (failpoint::internal::AnyArmed()) {
+    const failpoint::FireResult fp = failpoint::Fire("file:append:short");
+    if (fp.fired) {
+      injected = true;
+      injected_crash = (fp.kind == failpoint::ActionKind::kCrash);
+      injected_status = fp.status.ok()
+                            ? Status::IOError("injected short write")
+                            : fp.status;
+      to_write = data.substr(
+          0, std::min(static_cast<size_t>(fp.arg), data.size()));
+    }
+  }
+#endif
+  const char* p = to_write.data();
+  size_t remaining = to_write.size();
   while (remaining > 0) {
     const ssize_t n = ::write(fd_, p, remaining);
     if (n < 0) {
@@ -46,11 +69,16 @@ Status WritableFile::Append(std::string_view data) {
     p += n;
     remaining -= static_cast<size_t>(n);
   }
-  size_ += data.size();
+  size_ += to_write.size();
+  if (injected) {
+    if (injected_crash) failpoint::Crash("file:append:short");
+    return injected_status;
+  }
   return Status::OK();
 }
 
 Status WritableFile::Sync() {
+  FAILPOINT("file:sync");
   if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
   return Status::OK();
 }
@@ -67,6 +95,7 @@ Status WritableFile::Close() {
 }
 
 Status WritableFile::Truncate(uint64_t size) {
+  FAILPOINT("file:truncate");
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("ftruncate " + path_);
   }

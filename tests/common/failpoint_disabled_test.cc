@@ -1,0 +1,41 @@
+// Compiled with EDADB_FAILPOINT_DISABLE (see tests/CMakeLists.txt):
+// proves the release-build contract that FAILPOINT compiles to nothing.
+// The macro gate must report disabled, and a FAILPOINT-bearing function
+// must never consult the registry — even with its site armed.
+#define EDADB_FAILPOINT_DISABLE 1
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+static_assert(EDADB_FAILPOINTS_ENABLED == 0,
+              "EDADB_FAILPOINT_DISABLE must force the no-op expansion");
+
+namespace fp = edadb::failpoint;
+using edadb::Status;
+
+namespace {
+
+Status GuardedOp() {
+  FAILPOINT("disabled:op");
+  FAILPOINT_HIT("disabled:hit");
+  return Status::OK();
+}
+
+TEST(FailpointDisabledTest, ArmedSiteNeverFiresOrCounts) {
+  fp::ResetHitCounts();
+  fp::Action action;
+  action.status = Status::IOError("must never appear");
+  fp::Arm("disabled:op", action);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(GuardedOp().ok());
+  }
+  // The disabled expansion never reaches Fire(), so nothing is counted.
+  EXPECT_EQ(0u, fp::HitCount("disabled:op"));
+  EXPECT_EQ(0u, fp::HitCount("disabled:hit"));
+  fp::DisarmAll();
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "db/database.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/seeded_rng.h"
 
 namespace edadb {
 namespace {
@@ -71,7 +72,7 @@ TEST(PlannerProperty, IndexScanEqualsFullScan) {
   ASSERT_TRUE(indexed->CreateIndex("t", "b", false).ok());
   ASSERT_TRUE(indexed->CreateIndex("t", "s", false).ok());
 
-  Random rng(20070613);
+  testing::SeededRng rng(/*stream=*/0);
   for (int i = 0; i < 800; ++i) {
     Record row(DataSchema(),
                {Value::Int64(rng.UniformInt(0, 50)),
@@ -102,7 +103,7 @@ TEST(PlannerProperty, IndexSurvivesUpdatesAndDeletes) {
   ASSERT_TRUE(db->CreateTable("t", DataSchema()).ok());
   ASSERT_TRUE(db->CreateIndex("t", "a", false).ok());
 
-  Random rng(99);
+  testing::SeededRng rng(/*stream=*/1);
   std::vector<RowId> live;
   for (int step = 0; step < 3000; ++step) {
     const uint64_t action = rng.Uniform(10);

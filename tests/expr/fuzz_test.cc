@@ -10,12 +10,13 @@
 #include "expr/parser.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/seeded_rng.h"
 
 namespace edadb {
 namespace {
 
 TEST(ExprFuzzTest, RandomBytesNeverCrashLexerOrParser) {
-  Random rng(0xFEED);
+  testing::SeededRng rng(/*stream=*/0);
   for (int iter = 0; iter < 3000; ++iter) {
     const size_t len = rng.Uniform(40);
     std::string input;
@@ -38,7 +39,7 @@ TEST(ExprFuzzTest, TokenSoupNeverCrashesParser) {
       "a", "b", "(", ")", ",", "+", "-", "*", "/", "%", "=", "!=", "<",
       "<=", ">", ">=", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
       "NULL", "TRUE", "FALSE", "1", "2.5", "'s'", "ABS", "COALESCE"};
-  Random rng(0xBEEF);
+  testing::SeededRng rng(/*stream=*/1);
   for (int iter = 0; iter < 5000; ++iter) {
     std::string input;
     const size_t count = rng.Uniform(15) + 1;
@@ -84,7 +85,7 @@ TEST(SqlFuzzTest, StatementSoupNeverCrashes) {
       "t",      "a",      "s",      "*",      "(",      ")",      ",",
       "=",      "1",      "'x'",    "AND",    "NOT",    "NULL",   "ASC",
       "DESC"};
-  Random rng(0xCAFE);
+  testing::SeededRng rng(/*stream=*/2);
   int parsed_ok = 0;
   for (int iter = 0; iter < 5000; ++iter) {
     std::string sql;
@@ -115,7 +116,7 @@ TEST(SqlFuzzTest, MutatedValidStatementsFailCleanly) {
   const std::string base =
       "SELECT a, COUNT(*) FROM t WHERE a BETWEEN 1 AND 9 GROUP BY a "
       "ORDER BY a DESC LIMIT 5";
-  Random rng(0xD00D);
+  testing::SeededRng rng(/*stream=*/3);
   for (int iter = 0; iter < 2000; ++iter) {
     std::string mutated = base;
     // Delete, duplicate or flip a random span.

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "expr/parser.h"
 #include "gtest/gtest.h"
+#include "testing/seeded_rng.h"
 #include "value/record.h"
 
 namespace edadb {
@@ -132,7 +133,7 @@ std::string DescribeOutcome(const Result<Value>& r) {
 }
 
 TEST(ExprRoundTripProperty, PrintParsePrintIsStable) {
-  Random rng(20070612);  // SIGMOD'07 started June 12.
+  testing::SeededRng rng(/*stream=*/0);
   for (int iter = 0; iter < 1000; ++iter) {
     ExprPtr tree = RandomExpr(&rng, 4);
     const std::string printed = tree->ToString();
@@ -145,7 +146,7 @@ TEST(ExprRoundTripProperty, PrintParsePrintIsStable) {
 }
 
 TEST(ExprRoundTripProperty, ReparsedTreeEvaluatesIdentically) {
-  Random rng(424242);
+  testing::SeededRng rng(/*stream=*/1);
   int evaluated = 0;
   for (int iter = 0; iter < 500; ++iter) {
     ExprPtr tree = RandomExpr(&rng, 3);

@@ -1,5 +1,6 @@
 #include "mq/propagation.h"
 
+#include "common/failpoint.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -182,6 +183,56 @@ TEST_F(PropagationTest, DedicatedConsumerGroupLeavesDefaultAlone) {
   DequeueRequest app;
   app.group = "app";
   EXPECT_TRUE(queues_->Dequeue("source", app)->has_value());
+}
+
+TEST_F(PropagationTest, InjectedExternalFaultNacksWithoutTouchingService) {
+  SimulatedExternalService service("gateway", {}, &clock_);
+  PropagationRule rule;
+  rule.name = "to_gateway";
+  rule.source_queue = "source";
+  rule.external = &service;
+  ASSERT_OK(propagator_->AddRule(std::move(rule)));
+  ASSERT_OK(queues_->Enqueue("source", Req("fragile")).status());
+
+  // "mq:propagate:deliver" models the external endpoint dying (network
+  // error / timeout) before the request reaches it.
+  failpoint::Action fault;
+  fault.max_fires = 1;
+  failpoint::Arm("mq:propagate:deliver", fault);
+  EXPECT_EQ(*propagator_->RunOnce(), 0u);
+  failpoint::DisarmAll();
+
+  // The failure never reached the simulated service, and the message
+  // was nacked, not lost.
+  EXPECT_EQ(service.delivered_count(), 0u);
+  EXPECT_EQ((*propagator_->GetStats("to_gateway")).failed, 1u);
+
+  // After the fault clears and the lock expires, delivery succeeds.
+  clock_.AdvanceMicros(31 * kMicrosPerSecond);
+  EXPECT_EQ(*propagator_->RunOnce(), 1u);
+  ASSERT_EQ(service.delivered().size(), 1u);
+  EXPECT_EQ(service.delivered()[0].payload, "fragile");
+}
+
+TEST_F(PropagationTest, InjectedExternalTimeoutUsesTimedOutStatus) {
+  SimulatedExternalService service("gateway", {}, &clock_);
+  PropagationRule rule;
+  rule.name = "to_gateway";
+  rule.source_queue = "source";
+  rule.external = &service;
+  ASSERT_OK(propagator_->AddRule(std::move(rule)));
+  ASSERT_OK(queues_->Enqueue("source", Req("slow")).status());
+
+  // An OK status in the armed action selects the injected-timeout
+  // flavor (the site substitutes TimedOut for "no response").
+  failpoint::Action fault;
+  fault.status = Status::OK();
+  fault.max_fires = 1;
+  failpoint::Arm("mq:propagate:deliver", fault);
+  EXPECT_EQ(*propagator_->RunOnce(), 0u);
+  failpoint::DisarmAll();
+  EXPECT_EQ(service.delivered_count(), 0u);
+  EXPECT_EQ((*propagator_->GetStats("to_gateway")).failed, 1u);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include "mq/queue_manager.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -320,6 +324,78 @@ TEST_F(QueueTest, DequeueWaitReturnsImmediatelyWhenAvailable) {
   auto msg = *queues_->DequeueWait("q", dq, 10 * kMicrosPerSecond);
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->payload, "ready");
+}
+
+TEST_F(QueueTest, DequeueWaitZeroTimeoutIsASinglePoll) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  DequeueRequest dq;
+  // Empty queue: must return immediately, not block.
+  const auto start = std::chrono::steady_clock::now();
+  auto empty = *queues_->DequeueWait("q", dq, 0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  // Message available: zero timeout still delivers it.
+  ASSERT_OK(queues_->Enqueue("q", Req("instant")).status());
+  auto msg = *queues_->DequeueWait("q", dq, 0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "instant");
+}
+
+TEST_F(QueueTest, DequeueWaitUnderContentionDeliversExactlyOnce) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  std::atomic<int> winners{0};
+  std::atomic<int> timeouts{0};
+  auto waiter = [&] {
+    DequeueRequest dq;
+    auto msg = queues_->DequeueWait("q", dq, 300 * kMicrosPerMilli);
+    ASSERT_OK(msg.status());
+    if (msg->has_value()) {
+      EXPECT_EQ((*msg)->payload, "contested");
+      winners.fetch_add(1);
+    } else {
+      timeouts.fetch_add(1);
+    }
+  };
+  std::thread a(waiter);
+  std::thread b(waiter);
+  std::thread c(waiter);
+  ASSERT_OK(queues_->Enqueue("q", Req("contested")).status());
+  a.join();
+  b.join();
+  c.join();
+  // One message, three waiters: exactly one wins, the rest time out
+  // rather than double-delivering or hanging.
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(timeouts.load(), 2);
+}
+
+TEST_F(QueueTest, ShutdownWakesBlockedWaitersBeforeDestruction) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  std::atomic<bool> aborted{false};
+  std::thread blocked([&] {
+    DequeueRequest dq;
+    // Far longer than the test: only Shutdown() can end this wait.
+    auto msg = queues_->DequeueWait("q", dq, 60 * kMicrosPerSecond);
+    aborted.store(msg.status().IsAborted());
+  });
+  // Give the waiter a moment to actually block, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queues_->Shutdown();
+  blocked.join();
+  EXPECT_TRUE(aborted.load());
+
+  // After shutdown: waits fail fast...
+  DequeueRequest dq;
+  EXPECT_TRUE(queues_->DequeueWait("q", dq, 0).status().IsAborted());
+  EXPECT_TRUE(
+      queues_->DequeueWait("q", dq, kMicrosPerSecond).status().IsAborted());
+  // ...but non-blocking operations still work (drain-then-destroy).
+  ASSERT_OK(queues_->Enqueue("q", Req("late")).status());
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  // And destruction with no waiters left is safe.
+  queues_.reset();
 }
 
 }  // namespace

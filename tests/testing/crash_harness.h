@@ -1,0 +1,77 @@
+#ifndef EDADB_TESTS_TESTING_CRASH_HARNESS_H_
+#define EDADB_TESTS_TESTING_CRASH_HARNESS_H_
+
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "testing/seeded_rng.h"
+
+namespace edadb {
+namespace testing {
+
+/// Thrown by the test crash handler when an armed kCrash failpoint
+/// fires. Unwinding back to the fixture is the "kill -9": the fixture
+/// drops the Database without any shutdown sync, so the on-disk state
+/// is frozen exactly as it was at the failpoint.
+struct SimulatedCrash {
+  std::string site;
+};
+
+/// Scoped failpoint environment for a test: seeds the registry from
+/// EDADB_TEST_SEED, installs the throwing crash handler, and guarantees
+/// everything is disarmed and restored on exit (even if the test body
+/// throws or fails). Prints the seed when the test fails.
+class FailpointGuard {
+ public:
+  FailpointGuard() {
+    failpoint::SetSeed(TestSeed());
+    failpoint::SetCrashHandler(
+        [](const char* site) { throw SimulatedCrash{site}; });
+  }
+
+  FailpointGuard(const FailpointGuard&) = delete;
+  FailpointGuard& operator=(const FailpointGuard&) = delete;
+
+  ~FailpointGuard() {
+    failpoint::DisarmAll();
+    failpoint::SetCrashHandler(nullptr);
+    failpoint::ResetHitCounts();
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[   SEED   ] reproduce with EDADB_TEST_SEED="
+                << TestSeed() << std::endl;
+    }
+  }
+};
+
+/// Arms `site` to simulate a crash on its (skip+1)-th hit.
+inline void ArmCrash(const std::string& site, uint64_t skip = 0,
+                     int64_t arg = 0) {
+  failpoint::Action action;
+  action.kind = failpoint::ActionKind::kCrash;
+  action.skip = skip;
+  action.max_fires = 1;
+  action.arg = arg;
+  failpoint::Arm(site, action);
+}
+
+/// Arms `site` to return an injected error on its (skip+1)-th hit.
+inline void ArmError(const std::string& site,
+                     Status status = Status::IOError("injected fault"),
+                     uint64_t skip = 0, int64_t max_fires = 1) {
+  failpoint::Action action;
+  action.kind = failpoint::ActionKind::kReturnStatus;
+  action.status = std::move(status);
+  action.skip = skip;
+  action.max_fires = max_fires;
+  failpoint::Arm(site, action);
+}
+
+}  // namespace testing
+}  // namespace edadb
+
+#endif  // EDADB_TESTS_TESTING_CRASH_HARNESS_H_

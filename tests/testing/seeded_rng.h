@@ -1,0 +1,60 @@
+#ifndef EDADB_TESTS_TESTING_SEEDED_RNG_H_
+#define EDADB_TESTS_TESTING_SEEDED_RNG_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace edadb {
+namespace testing {
+
+/// The one seed behind all test randomness. Fixed by default so CI is
+/// byte-for-byte deterministic; export EDADB_TEST_SEED=<n> to replay a
+/// reported failure (or to explore new schedules).
+inline uint64_t TestSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("EDADB_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 0));
+    }
+    return uint64_t{20070612};  // The source paper's SIGMOD date.
+  }();
+  return seed;
+}
+
+/// Drop-in Random for tests, seeded from EDADB_TEST_SEED. `stream`
+/// decorrelates generators within one binary (two SeededRng{0} in
+/// different tests see identical sequences; give each call site its
+/// own stream id). When the owning test fails, the destructor prints
+/// the seed so the exact run can be reproduced.
+class SeededRng : public Random {
+ public:
+  explicit SeededRng(uint64_t stream = 0)
+      : Random(TestSeed() ^ (stream * 0x9E3779B97F4A7C15ULL)),
+        stream_(stream) {}
+
+  SeededRng(const SeededRng&) = delete;
+  SeededRng& operator=(const SeededRng&) = delete;
+
+  ~SeededRng() {
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[   SEED   ] reproduce with EDADB_TEST_SEED="
+                << TestSeed() << " (rng stream " << stream_ << ")"
+                << std::endl;
+    }
+  }
+
+  uint64_t stream() const { return stream_; }
+
+ private:
+  const uint64_t stream_;
+};
+
+}  // namespace testing
+}  // namespace edadb
+
+#endif  // EDADB_TESTS_TESTING_SEEDED_RNG_H_
