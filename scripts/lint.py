@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Project lint: fast, AST-free checks for repo invariants that
+clang-tidy cannot express (or that must hold even on machines without
+LLVM installed). Run from scripts/check.sh and CI; self-tests run
+against the seeded violation fixtures in scripts/lint_fixtures/.
+
+Rules (scope in parentheses):
+
+  raw-mutex        (src/)        std::mutex / std::recursive_mutex /
+                                 std::lock_guard / std::scoped_lock /
+                                 std::condition_variable outside
+                                 common/mutex.{h,cc}. Use the
+                                 TSA-annotated wrappers so the locking
+                                 discipline stays machine-checked.
+                                 (std::shared_mutex + std::unique_lock
+                                 are allowed: reader-writer locks have
+                                 no wrapper yet.)
+  raw-io           (src/)        raw ::fsync/::fdatasync/::open/::write/
+                                 ::pwrite/::pread/::close/::ftruncate
+                                 outside storage/file.cc, so failpoint
+                                 coverage and durability reasoning stay
+                                 centralized.
+  void-status-discard (src/, tests/)
+                                 `(void)call(...)` / `static_cast<void>(
+                                 call(...))`. A dropped Status must use
+                                 EDADB_IGNORE_STATUS(s, "reason"); a
+                                 dropped non-Status value should simply
+                                 not be cast (nothing warns unless the
+                                 type is nodiscard, and then the drop is
+                                 a bug).
+  failpoint-name   (src/, tests/) FAILPOINT site names must match
+                                 `module.site[.detail]` (lowercase,
+                                 dot-separated) so torture schedules and
+                                 docs can group sites by module.
+  raw-new-delete   (src/)        raw `new` / `delete`. Use value types /
+                                 std::make_unique. `unique_ptr<T>(new T(
+                                 ...))` is allowed (private-constructor
+                                 factories), as is explicitly suppressed
+                                 use (see below).
+
+Suppression: append `// lint:allow(<rule>): <reason>` to the offending
+line. The reason is mandatory — like EDADB_IGNORE_STATUS, the point is
+that intentional exceptions carry their justification in the source.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\):\s*\S")
+FAILPOINT_RE = re.compile(r'\bFAILPOINT(?:_STATUS|_CRASH|_DELAY)?\s*\(\s*"([^"]*)"')
+FAILPOINT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|lock_guard|scoped_lock|condition_variable)\b"
+)
+RAW_IO_RE = re.compile(
+    r"::(fsync|fdatasync|open|write|pwrite|pread|close|ftruncate)\s*\("
+)
+# `(void)` applied to something that is then *called* — i.e. a discarded
+# call result. `(void)identifier;` (unused-parameter idiom) stays legal.
+VOID_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.>\[\]-]*\s*\(")
+STATIC_CAST_VOID_RE = re.compile(r"static_cast<\s*void\s*>")
+NEW_ANY_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete(\s*\[\s*\])?\s")
+SMART_WRAP_NEW_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
+
+
+def strip_code(lines):
+    """Returns lines with string/char literals and comments blanked out
+    (same length not guaranteed; column fidelity is not needed). Keeps a
+    parallel copy of the raw lines for suppression / FAILPOINT scanning.
+    """
+    out = []
+    in_block = False
+    for raw in lines:
+        s = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            c = raw[i]
+            if in_block:
+                if raw.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if raw.startswith("//", i):
+                break
+            if c == '"' or c == "'":
+                quote = c
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                s.append(quote + quote)
+                continue
+            s.append(c)
+            i += 1
+        out.append("".join(s))
+    return out
+
+
+class Linter:
+    def __init__(self):
+        self.violations = []
+
+    def report(self, path, lineno, rule, msg):
+        self.violations.append((path, lineno, rule, msg))
+
+    def lint_file(self, path, relpath=None):
+        rel = (relpath if relpath is not None else os.path.relpath(path, REPO_ROOT)).replace(
+            os.sep, "/"
+        )
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw_lines = f.read().split("\n")
+        except OSError as e:
+            self.report(rel, 0, "io-error", str(e))
+            return
+        code_lines = strip_code(raw_lines)
+
+        in_src = rel.startswith("src/")
+        is_mutex_impl = rel in ("src/common/mutex.h", "src/common/mutex.cc")
+        is_file_impl = rel == "src/storage/file.cc"
+        is_macros = rel == "src/common/macros.h"
+
+        for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
+            allowed = {m.group(1) for m in ALLOW_RE.finditer(raw)}
+
+            # failpoint-name: scan the *raw* line (names live in strings).
+            for m in FAILPOINT_RE.finditer(raw):
+                name = m.group(1)
+                if "failpoint-name" in allowed:
+                    continue
+                if not FAILPOINT_NAME_RE.match(name):
+                    self.report(
+                        rel, idx, "failpoint-name",
+                        f'FAILPOINT name "{name}" must match module.site '
+                        "(lowercase, dot-separated)",
+                    )
+
+            if in_src and not is_mutex_impl and "raw-mutex" not in allowed:
+                m = RAW_MUTEX_RE.search(code)
+                if m:
+                    self.report(
+                        rel, idx, "raw-mutex",
+                        f"std::{m.group(1)} outside common/mutex.{{h,cc}}; "
+                        "use the TSA-annotated wrappers (edadb::Mutex, "
+                        "MutexLock, CondVar)",
+                    )
+
+            if in_src and not is_file_impl and "raw-io" not in allowed:
+                m = RAW_IO_RE.search(code)
+                if m:
+                    self.report(
+                        rel, idx, "raw-io",
+                        f"raw ::{m.group(1)}() outside storage/file.cc; route "
+                        "I/O through the storage file layer (failpoints + "
+                        "durability reasoning live there)",
+                    )
+
+            if not is_macros and "void-status-discard" not in allowed:
+                if VOID_CALL_RE.search(code) or STATIC_CAST_VOID_RE.search(code):
+                    self.report(
+                        rel, idx, "void-status-discard",
+                        "(void)-discard of a call result; a dropped Status "
+                        'must use EDADB_IGNORE_STATUS(s, "reason"), a '
+                        "non-Status result needs no cast",
+                    )
+
+            if in_src and "raw-new-delete" not in allowed:
+                # A factory wrap may break the line after `unique_ptr<T>(`,
+                # leaving `new T(...)` on the continuation — join with the
+                # previous line so the wrap is still recognized.
+                wrap_ctx = code
+                if idx >= 2:
+                    wrap_ctx = code_lines[idx - 2].strip() + " " + code.strip()
+                if NEW_ANY_RE.search(code) and not SMART_WRAP_NEW_RE.search(wrap_ctx):
+                    self.report(
+                        rel, idx, "raw-new-delete",
+                        "raw `new`; use std::make_unique / a value type, or "
+                        "wrap immediately in unique_ptr<T>(new T(...)) for "
+                        "private-constructor factories",
+                    )
+                if DELETE_RE.search(code) and "= delete" not in code:
+                    self.report(
+                        rel, idx, "raw-new-delete",
+                        "raw `delete`; owning pointers must be smart pointers",
+                    )
+
+
+def iter_files(roots):
+    exts = (".h", ".cc")
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(exts):
+                    yield os.path.join(dirpath, fn)
+
+
+def run_lint(paths):
+    linter = Linter()
+    for path in iter_files(paths):
+        linter.lint_file(path)
+    for rel, lineno, rule, msg in linter.violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if linter.violations:
+        print(f"lint.py: {len(linter.violations)} violation(s).")
+        return 1
+    print("lint.py: clean.")
+    return 0
+
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+def run_self_test():
+    """Each fixture file declares the violations it seeds with
+    `// expect-lint: rule[, rule]` comments on the offending lines; the
+    self-test fails if any expected violation is missed or any
+    unexpected one fires. Fixtures are linted as if they lived at the
+    src/-relative path named on their first line (`// fixture-path: ...`).
+    """
+    fixture_dir = os.path.join(REPO_ROOT, "scripts", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print("lint.py --self-test: no fixture dir", fixture_dir, file=sys.stderr)
+        return 2
+    failures = 0
+    files = [
+        os.path.join(fixture_dir, f)
+        for f in sorted(os.listdir(fixture_dir))
+        if f.endswith((".h", ".cc"))
+    ]
+    if not files:
+        print("lint.py --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().split("\n")
+        m = re.match(r"//\s*fixture-path:\s*(\S+)", lines[0])
+        relpath = m.group(1) if m else "src/fixture/" + os.path.basename(path)
+        expected = {}  # lineno -> set(rules)
+        for idx, ln in enumerate(lines, start=1):
+            em = EXPECT_RE.search(ln)
+            if em:
+                expected[idx] = {r.strip() for r in em.group(1).split(",")}
+        linter = Linter()
+        linter.lint_file(path, relpath=relpath)
+        got = {}
+        for rel, lineno, rule, _ in linter.violations:
+            got.setdefault(lineno, set()).add(rule)
+        name = os.path.basename(path)
+        for lineno, rules in sorted(expected.items()):
+            missing = rules - got.get(lineno, set())
+            for rule in sorted(missing):
+                print(f"SELF-TEST FAIL {name}:{lineno}: expected [{rule}], not fired")
+                failures += 1
+        for lineno, rules in sorted(got.items()):
+            unexpected = rules - expected.get(lineno, set())
+            for rule in sorted(unexpected):
+                print(f"SELF-TEST FAIL {name}:{lineno}: unexpected [{rule}]")
+                failures += 1
+    if failures:
+        print(f"lint.py --self-test: {failures} failure(s).")
+        return 1
+    print(f"lint.py --self-test: {len(files)} fixture file(s) ok.")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("paths", nargs="*", help="files or dirs (default: src tests)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the seeded violation fixtures and verify "
+                    "every rule fires exactly where expected")
+    args = ap.parse_args()
+    if args.self_test:
+        return run_self_test()
+    paths = args.paths or [os.path.join(REPO_ROOT, d) for d in ("src", "tests")]
+    return run_lint(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

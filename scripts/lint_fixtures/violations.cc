@@ -1,0 +1,67 @@
+// fixture-path: src/fixture/violations.cc
+// Seeded violations for `scripts/lint.py --self-test`. Every offending
+// line carries an `// expect-lint: <rule>` marker; the self-test fails
+// if a marked line does not fire or an unmarked line does. This file is
+// never compiled — it only needs to *look* like edadb source.
+
+#include <mutex>
+
+namespace edadb {
+
+struct Thing {
+  int x;
+};
+
+void RawMutexUses() {
+  std::mutex mu;                       // expect-lint: raw-mutex
+  std::lock_guard<std::mutex> g(mu);   // expect-lint: raw-mutex
+  std::condition_variable cv;          // expect-lint: raw-mutex
+  (void)g;
+  (void)cv;
+}
+
+void RawIoUses(int fd, const char* path) {
+  ::fsync(fd);                     // expect-lint: raw-io
+  int fd2 = ::open(path, 0);       // expect-lint: raw-io
+  ::write(fd2, path, 1);           // expect-lint: raw-io
+  ::close(fd2);                    // expect-lint: raw-io
+}
+
+int Fallible();
+
+void VoidDiscards(Thing* t) {
+  (void)Fallible();                // expect-lint: void-status-discard
+  (void)t->x;                      // identifier-ish, no call: legal
+  static_cast<void>(Fallible());   // expect-lint: void-status-discard
+  (void)t;                         // unused-parameter idiom: legal
+}
+
+#define FAILPOINT(name) (void)(name)
+
+void FailpointNames() {
+  FAILPOINT("wal:append:before");  // expect-lint: failpoint-name
+  FAILPOINT("BadModule.Site");     // expect-lint: failpoint-name
+  FAILPOINT("nodots");             // expect-lint: failpoint-name
+  FAILPOINT("wal.append.before");  // conforming: legal
+}
+
+void RawNewDelete() {
+  Thing* t = new Thing();          // expect-lint: raw-new-delete
+  delete t;                        // expect-lint: raw-new-delete
+  int* arr = new int[4];           // expect-lint: raw-new-delete
+  delete[] arr;                    // expect-lint: raw-new-delete
+  Thing* leak = new Thing();       // lint:allow(raw-new-delete): fixture demonstrates suppression
+  (void)leak;
+  auto p = std::unique_ptr<Thing>(new Thing());  // factory wrap: legal
+  (void)p;
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // `= delete` is not a raw delete: legal
+};
+
+// Comments and strings must not fire rules: std::mutex, ::fsync(fd),
+// (void)Fallible(), new Thing, delete t.
+const char* kDecoy = "std::mutex ::fsync(0) (void)Call() new delete";
+
+}  // namespace edadb

@@ -1,35 +1,47 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config in .clang-tidy) over the library sources.
+# Runs clang-tidy (config in .clang-tidy) over the library sources and
+# the test suites, against a CMake-exported compile_commands.json.
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir] [source-glob...]
-#   build-dir     compile-commands dir (default: build; configured on
-#                 demand with CMAKE_EXPORT_COMPILE_COMMANDS=ON)
-#   source-glob   restrict to matching paths (default: all of src/)
+#   build-dir     compile-commands dir (default: build). Configured —
+#                 or re-configured — with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+#                 when the database is missing.
+#   source-glob   restrict to matching paths (default: src/ and tests/)
 #
-# Exits 0 with a notice when clang-tidy is not installed, so CI images
-# without LLVM still pass the rest of scripts/check.sh.
+# Missing clang-tidy is an ERROR (exit 2) with an install hint, so a
+# gate that calls this script cannot silently degrade; scripts/check.sh
+# offers CHECK_SKIP_TIDY=1 for an explicit opt-out.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
-  echo "run_clang_tidy: '$TIDY' not found; skipping static analysis." >&2
-  echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY to enable." >&2
-  exit 0
+  echo "run_clang_tidy: '$TIDY' not found." >&2
+  echo "run_clang_tidy: install clang-tidy (e.g. apt install clang-tidy)" >&2
+  echo "run_clang_tidy: or set CLANG_TIDY to the binary to use." >&2
+  exit 2
 fi
 
 BUILD_DIR="${1:-build}"
 shift || true
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: exporting $BUILD_DIR/compile_commands.json"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json still missing" >&2
+  echo "run_clang_tidy: after configure; cannot run." >&2
+  exit 2
 fi
 
 if [ "$#" -gt 0 ]; then
   mapfile -t FILES < <(printf '%s\n' "$@" | xargs -I{} find {} -name '*.cc')
 else
-  mapfile -t FILES < <(find src -name '*.cc' | sort)
+  # tests/compile/ holds negative-compile probes (intentionally broken).
+  mapfile -t FILES < <(find src tests -name '*.cc' \
+      -not -path 'tests/compile/*' | sort)
 fi
 
 echo "run_clang_tidy: checking ${#FILES[@]} files with $($TIDY --version | head -1)"

@@ -14,7 +14,7 @@ TimestampMicros SystemClock::NowMicros() {
 }
 
 SystemClock* SystemClock::Default() {
-  static SystemClock* clock = new SystemClock();
+  static SystemClock* clock = new SystemClock();  // lint:allow(raw-new-delete): intentional leak, outlives static destructors
   return clock;
 }
 

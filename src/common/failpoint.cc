@@ -36,7 +36,7 @@ struct Registry {
 };
 
 Registry& GetRegistry() {
-  static Registry* registry = new Registry();  // Leaked: outlives tests.
+  static Registry* registry = new Registry();  // lint:allow(raw-new-delete): intentional leak, outlives tests
   return *registry;
 }
 
@@ -46,7 +46,13 @@ void Arm(const std::string& name, Action action) {
   Registry& reg = GetRegistry();
   MutexLock lock(&reg.mu);
   auto [it, inserted] = reg.armed.insert_or_assign(name, ArmedState{});
+  // The stored status is payload, not an outcome owed to a caller:
+  // acknowledge it to the EDADB_CHECK_STATUS detector both before the
+  // overwrite (the freshly planted default Action carries an
+  // unexamined error) and after (so re-arms and Disarm/DisarmAll pass).
+  it->second.action.status.PermitUncheckedError();
   it->second.action = std::move(action);
+  it->second.action.status.PermitUncheckedError();
   if (inserted) {
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }

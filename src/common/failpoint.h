@@ -16,7 +16,7 @@ namespace failpoint {
 /// Deterministic fault injection (the correctness backbone for the
 /// crash-recovery torture harness).
 ///
-/// Production code marks interesting sites with `FAILPOINT("wal:sync")`.
+/// Production code marks interesting sites with `FAILPOINT("wal.sync")`.
 /// Sites are inert until a test arms them; an armed site can
 ///   - return an injected Status from the enclosing function,
 ///   - simulate a process crash (the registered crash handler runs;
@@ -51,10 +51,14 @@ struct Action {
   ActionKind kind = ActionKind::kReturnStatus;
   /// Injected error for kReturnStatus. OK makes a FAILPOINT site fire
   /// without failing; custom sites may map OK to a site-specific
-  /// default (e.g. "mq:propagate:deliver" injects TimedOut).
-  Status status = Status::IOError("injected fault");
+  /// default (e.g. "mq.propagate.deliver" injects TimedOut).
+  /// UncheckedPayload: the default is data awaiting injection, not an
+  /// outcome, so the EDADB_CHECK_STATUS detector must not demand it be
+  /// examined (nor veto the assignment that replaces it).
+  Status status =
+      Status::UncheckedPayload(StatusCode::kIOError, "injected fault");
   /// kDelay: sleep micros. Custom sites reuse it as a site-specific
-  /// knob, e.g. "wal:append:torn" reads it as the number of frame bytes
+  /// knob, e.g. "wal.append.torn" reads it as the number of frame bytes
   /// to persist before failing.
   int64_t arg = 0;
   /// Chance in [0,1] that an eligible hit fires (drawn from the
@@ -64,6 +68,14 @@ struct Action {
   uint64_t skip = 0;
   /// Stop firing after this many fires; -1 = unlimited.
   int64_t max_fires = -1;
+
+  /// `status` is a payload (the error to inject later), not an outcome
+  /// owed to anyone — without this the EDADB_CHECK_STATUS detector
+  /// would abort on every Action that is destroyed unfired.
+  ~Action() { status.PermitUncheckedError(); }
+  Action() = default;
+  Action(const Action&) = default;
+  Action& operator=(const Action&) = default;
 };
 
 /// Outcome of evaluating a site. Fire() never invokes the crash
@@ -143,11 +155,14 @@ inline bool AnyArmed() {
   } while (0)
 
 /// Same, for void functions and sites that must not early-return:
-/// crashes and delays apply, injected Statuses are ignored.
+/// crashes and delays apply, injected Statuses are ignored (the
+/// PermitUncheckedError call acknowledges that ignore to the
+/// EDADB_CHECK_STATUS detector).
 #define FAILPOINT_HIT(name)                                                \
   do {                                                                     \
     if (::edadb::failpoint::internal::AnyArmed()) {                        \
       ::edadb::failpoint::FireResult _fp = ::edadb::failpoint::Fire(name); \
+      _fp.status.PermitUncheckedError();                                   \
       if (_fp.fired && _fp.kind == ::edadb::failpoint::ActionKind::kCrash) \
         ::edadb::failpoint::Crash(name);                                   \
     }                                                                      \

@@ -1,0 +1,34 @@
+#ifndef EDADB_COMMON_MACROS_H_
+#define EDADB_COMMON_MACROS_H_
+
+/// Project-wide annotation macros. Kept include-free so any header can
+/// pull this in without cost.
+
+/// Must-use-result marker for fallible APIs. `Status` and `Result<T>`
+/// carry a class-level EDADB_NODISCARD, so *every* function returning
+/// them by value already warns on a dropped result; the per-function
+/// annotation on declarations is documentation plus a guard for APIs
+/// that return references, bools, or handles whose loss is a bug.
+#define EDADB_NODISCARD [[nodiscard]]
+
+/// Explicitly discards a Status (or Result<T>) with a written
+/// justification. This is the ONLY sanctioned way to drop a fallible
+/// result: bare drops fail the -Werror build via EDADB_NODISCARD, and
+/// `(void)` casts fail scripts/lint.py. The justification must be a
+/// non-empty string literal; it is compiled out but keeps the reason
+/// next to the discard where review can see it.
+///
+/// The expression is evaluated exactly once and its `ok()` is consulted,
+/// so an EDADB_CHECK_STATUS build counts the status as examined and the
+/// debug unchecked-status detector stays quiet.
+#define EDADB_IGNORE_STATUS(expr, reason)                                \
+  do {                                                                   \
+    static_assert(sizeof("" reason) > 1,                                 \
+                  "EDADB_IGNORE_STATUS requires a non-empty string "     \
+                  "literal explaining why dropping this status is "      \
+                  "safe");                                               \
+    auto&& _edadb_ignored_status = (expr);                               \
+    (void)_edadb_ignored_status.ok();                                    \
+  } while (false)
+
+#endif  // EDADB_COMMON_MACROS_H_

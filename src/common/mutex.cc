@@ -45,7 +45,7 @@ struct Graph {
 };
 
 Graph& GetGraph() {
-  static Graph* graph = new Graph();
+  static Graph* graph = new Graph();  // lint:allow(raw-new-delete): intentional leak, outlives static destructors
   return *graph;
 }
 

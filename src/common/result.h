@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "common/status_macros.h"  // IWYU pragma: export
 
@@ -13,8 +14,13 @@ namespace edadb {
 /// Result<T> carries either a value of type T or a non-OK Status.
 /// Accessing value() on an error Result is a programming error and
 /// asserts in debug builds.
+///
+/// Like Status, Result is class-level EDADB_NODISCARD: dropping one on
+/// the floor is a -Wunused-result warning, and in EDADB_CHECK_STATUS
+/// builds destroying one whose error was never examined aborts (the
+/// embedded Status carries the detector).
 template <typename T>
-class Result {
+class EDADB_NODISCARD Result {
  public:
   /// Implicit from a value: `return MakeThing();`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -23,6 +29,9 @@ class Result {
   Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
     assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    // The assert examined the embedded error; re-arm the detector so
+    // dropping this Result still aborts under EDADB_CHECK_STATUS.
+    status_.MarkUnexamined();
   }
 
   Result(const Result&) = default;

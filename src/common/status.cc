@@ -1,6 +1,26 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace edadb {
+
+namespace internal_status {
+
+void UncheckedStatusAbort(const char* file, int line, int code,
+                          const char* message) {
+  std::fprintf(stderr,
+               "edadb: error Status destroyed without being examined: "
+               "%.*s: %s (created at %s:%d)\n",
+               static_cast<int>(
+                   StatusCodeToString(static_cast<StatusCode>(code)).size()),
+               StatusCodeToString(static_cast<StatusCode>(code)).data(),
+               message, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_status
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/database.h"
 
@@ -20,7 +21,7 @@ namespace edadb {
 class AuditLog {
  public:
   /// Creates/attaches the `__audit` table. `db` must outlive the log.
-  static Result<std::unique_ptr<AuditLog>> Attach(Database* db);
+  EDADB_NODISCARD static Result<std::unique_ptr<AuditLog>> Attach(Database* db);
 
   struct Entry {
     TimestampMicros timestamp = 0;
@@ -31,15 +32,15 @@ class AuditLog {
   };
 
   /// Appends one entry (timestamped from the database clock).
-  Status Append(const std::string& actor, const std::string& action,
+  EDADB_NODISCARD Status Append(const std::string& actor, const std::string& action,
                 const std::string& object, const std::string& detail = "");
 
   /// Entries matching an optional filter over (actor, action, object,
   /// detail, timestamp), newest first, up to `limit`.
-  Result<std::vector<Entry>> Query(const std::string& filter_source = "",
+  EDADB_NODISCARD Result<std::vector<Entry>> Query(const std::string& filter_source = "",
                                    size_t limit = 100) const;
 
-  Result<size_t> count() const;
+  EDADB_NODISCARD Result<size_t> count() const;
 
  private:
   explicit AuditLog(Database* db) : db_(db) {}

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
@@ -25,11 +26,11 @@ class EventBus {
 
   /// Returns a subscription handle. `filter` (optional expression over
   /// EventView attributes) drops non-matching events before the handler.
-  Result<uint64_t> Subscribe(Handler handler,
+  EDADB_NODISCARD Result<uint64_t> Subscribe(Handler handler,
                              std::optional<std::string> filter_source =
                                  std::nullopt);
 
-  Status Unsubscribe(uint64_t handle);
+  EDADB_NODISCARD Status Unsubscribe(uint64_t handle);
 
   /// Delivers to every matching subscriber; returns how many saw it.
   size_t Publish(const Event& event);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analytics/detector.h"
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 
@@ -31,11 +32,11 @@ class ExpectationMonitor {
 
   /// Scores one observation for `entity` (creating its model on first
   /// sight) and fires the alert callback on anomalies.
-  Result<DetectionResult> Process(const std::string& entity,
+  EDADB_NODISCARD Result<DetectionResult> Process(const std::string& entity,
                                   TimestampMicros ts, double value);
 
   /// Drops an entity's model (e.g. after reconfiguration) so it relearns.
-  Status ResetEntity(const std::string& entity);
+  EDADB_NODISCARD Status ResetEntity(const std::string& entity);
 
   size_t num_entities() const;
   uint64_t alerts_raised() const;

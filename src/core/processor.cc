@@ -1,5 +1,6 @@
 #include "core/processor.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -78,9 +79,11 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
     if (enqueued.ok()) {
       routed_to_queues_.fetch_add(1, std::memory_order_relaxed);
       if (options_.audit_routing) {
-        (void)audit_->Append("processor", "route.queue", queue,
-                             "rule=" + rule.id + " event=" +
-                                 std::to_string(event.id));
+        EDADB_IGNORE_STATUS(
+            audit_->Append("processor", "route.queue", queue,
+                           "rule=" + rule.id + " event=" +
+                               std::to_string(event.id)),
+            "audit trail is best-effort; the routing itself succeeded");
       }
     } else {
       EDADB_LOG(Warn) << "enqueue to '" << queue
@@ -98,9 +101,11 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
     if (published.ok()) {
       routed_to_topics_.fetch_add(1, std::memory_order_relaxed);
       if (options_.audit_routing) {
-        (void)audit_->Append("processor", "route.topic", pub.topic,
-                             "rule=" + rule.id + " event=" +
-                                 std::to_string(event.id));
+        EDADB_IGNORE_STATUS(
+            audit_->Append("processor", "route.topic", pub.topic,
+                           "rule=" + rule.id + " event=" +
+                               std::to_string(event.id)),
+            "audit trail is best-effort; the routing itself succeeded");
       }
     } else {
       EDADB_LOG(Warn) << "publish to '" << pub.topic
@@ -123,9 +128,11 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
                                           std::memory_order_relaxed);
       if (options_.audit_routing) {
         for (const std::string& responder : *dispatched) {
-          (void)audit_->Append("processor", "route.respond", responder,
-                               "rule=" + rule.id + " event=" +
-                                   std::to_string(event.id));
+          EDADB_IGNORE_STATUS(
+              audit_->Append("processor", "route.respond", responder,
+                             "rule=" + rule.id + " event=" +
+                                 std::to_string(event.id)),
+              "audit trail is best-effort; the dispatch itself succeeded");
         }
       }
     } else {
@@ -139,6 +146,7 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
 }
 
 Status EventProcessor::Ingest(Event event) {
+  FAILPOINT("core.ingest");
   if (event.id == 0) event.id = NextEventId();
   if (event.timestamp == 0) event.timestamp = clock_->NowMicros();
   ingested_.fetch_add(1, std::memory_order_relaxed);
@@ -161,6 +169,15 @@ Status EventProcessor::Ingest(Event event) {
   return Status::OK();
 }
 
+void EventProcessor::IngestFromSource(const Event& event) {
+  const Status s = Ingest(event);
+  if (!s.ok()) {
+    ingest_failures_.fetch_add(1, std::memory_order_relaxed);
+    EDADB_LOG(Warn) << "capture-source ingest of event type '" << event.type
+                    << "' failed: " << s;
+  }
+}
+
 Result<size_t> EventProcessor::PumpOnce() {
   size_t total = 0;
   for (const auto& source : journal_sources_) {
@@ -181,7 +198,7 @@ Status EventProcessor::AttachTriggerCapture(const std::string& table,
   EDADB_ASSIGN_OR_RETURN(
       auto source,
       TriggerEventSource::Create(
-          db_.get(), [this](const Event& event) { (void)Ingest(event); },
+          db_.get(), [this](const Event& event) { IngestFromSource(event); },
           table, "__capture_" + table, event_type));
   trigger_sources_.push_back(std::move(source));
   return Status::OK();
@@ -191,7 +208,7 @@ Status EventProcessor::AttachJournalCapture(const std::string& table,
                                             const std::string& event_type) {
   EDADB_RETURN_IF_ERROR(db_->GetTable(table).status());
   journal_sources_.push_back(std::make_unique<JournalEventSource>(
-      db_.get(), [this](const Event& event) { (void)Ingest(event); }, table,
+      db_.get(), [this](const Event& event) { IngestFromSource(event); }, table,
       event_type, db_->wal_end_lsn()));
   return Status::OK();
 }
@@ -201,7 +218,7 @@ Status EventProcessor::AttachQueryCapture(
     const std::string& event_type) {
   EDADB_RETURN_IF_ERROR(db_->GetTable(query.table).status());
   query_sources_.push_back(std::make_unique<QueryEventSource>(
-      db_.get(), [this](const Event& event) { (void)Ingest(event); },
+      db_.get(), [this](const Event& event) { IngestFromSource(event); },
       std::move(query), std::move(key_columns), event_type));
   // Prime the baseline so pre-existing rows are not reported as changes.
   return query_sources_.back()->Poll().status();
@@ -215,6 +232,7 @@ EventProcessor::Stats EventProcessor::GetStats() const {
   stats.routed_to_topics = routed_to_topics_.load(std::memory_order_relaxed);
   stats.dispatched_to_responders =
       dispatched_to_responders_.load(std::memory_order_relaxed);
+  stats.ingest_failures = ingest_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 

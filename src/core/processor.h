@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "core/audit.h"
 #include "core/event.h"
@@ -50,7 +51,7 @@ struct EventProcessorOptions {
 /// virt() gating.
 class EventProcessor {
  public:
-  static Result<std::unique_ptr<EventProcessor>> Open(
+  EDADB_NODISCARD static Result<std::unique_ptr<EventProcessor>> Open(
       EventProcessorOptions options);
 
   ~EventProcessor();
@@ -59,14 +60,14 @@ class EventProcessor {
   EventProcessor& operator=(const EventProcessor&) = delete;
 
   /// Normalizes (id/timestamp) and runs the event through the pipeline.
-  Status Ingest(Event event);
+  EDADB_NODISCARD Status Ingest(Event event);
 
   /// One scheduler tick: polls attached journal/query capture sources,
   /// pumps queue propagation and dispatcher bindings once. Returns
   /// events captured + messages moved + handled. Call from the
   /// application's periodic loop (or use dispatcher()->Start() for a
   /// background thread).
-  Result<size_t> PumpOnce();
+  EDADB_NODISCARD Result<size_t> PumpOnce();
 
   // -------------------------------------------------------------------
   // Capture attachment (§2.2.a): adapters owned by the processor whose
@@ -74,15 +75,15 @@ class EventProcessor {
 
   /// Synchronous capture: committed changes of `table` become events of
   /// `event_type` immediately.
-  Status AttachTriggerCapture(const std::string& table,
+  EDADB_NODISCARD Status AttachTriggerCapture(const std::string& table,
                               const std::string& event_type);
 
   /// Asynchronous capture via the journal; drained by PumpOnce().
-  Status AttachJournalCapture(const std::string& table,
+  EDADB_NODISCARD Status AttachJournalCapture(const std::string& table,
                               const std::string& event_type);
 
   /// Result-set-diff capture; re-evaluated by PumpOnce().
-  Status AttachQueryCapture(Query query,
+  EDADB_NODISCARD Status AttachQueryCapture(Query query,
                             std::vector<std::string> key_columns,
                             const std::string& event_type);
 
@@ -104,14 +105,23 @@ class EventProcessor {
     uint64_t routed_to_queues = 0;
     uint64_t routed_to_topics = 0;
     uint64_t dispatched_to_responders = 0;
+    /// Events delivered by a capture source (trigger/journal/query)
+    /// whose Ingest() failed, e.g. a rule condition errored. The event
+    /// is lost to routing; the failure is logged and counted here so
+    /// it is observable instead of silently dropped.
+    uint64_t ingest_failures = 0;
   };
   Stats GetStats() const;
 
  private:
   explicit EventProcessor(EventProcessorOptions options);
 
-  Status Wire();
+  EDADB_NODISCARD Status Wire();
   void RouteAction(const Rule& rule, const Event& event);
+  /// Capture-source callback: Ingest() with failures logged + counted
+  /// (sources deliver on a void callback, so there is no caller to
+  /// propagate to).
+  void IngestFromSource(const Event& event);
 
   EventProcessorOptions options_;
   Clock* clock_ = nullptr;
@@ -134,6 +144,7 @@ class EventProcessor {
   std::atomic<uint64_t> routed_to_queues_{0};
   std::atomic<uint64_t> routed_to_topics_{0};
   std::atomic<uint64_t> dispatched_to_responders_{0};
+  std::atomic<uint64_t> ingest_failures_{0};
 };
 
 }  // namespace edadb

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
@@ -47,9 +48,9 @@ class ResponderRegistry {
   /// on registration if missing.
   explicit ResponderRegistry(QueueManager* queues) : queues_(queues) {}
 
-  Status RegisterResponder(Responder responder);
-  Status UnregisterResponder(const std::string& id);
-  Status SetAvailable(const std::string& id, bool available);
+  EDADB_NODISCARD Status RegisterResponder(Responder responder);
+  EDADB_NODISCARD Status UnregisterResponder(const std::string& id);
+  EDADB_NODISCARD Status SetAvailable(const std::string& id, bool available);
   size_t num_responders() const;
 
   /// Responders satisfying the criteria: authorized (role), able
@@ -61,7 +62,7 @@ class ResponderRegistry {
   /// Delivers `event` to each selected responder's queue; returns the
   /// ids notified. NotFound when nobody qualifies — the caller decides
   /// whether that escalates.
-  Result<std::vector<std::string>> Dispatch(const Event& event,
+  EDADB_NODISCARD Result<std::vector<std::string>> Dispatch(const Event& event,
                                             const ResponseCriteria& criteria);
 
  private:

@@ -48,7 +48,9 @@ Result<std::unique_ptr<TriggerEventSource>> TriggerEventSource::Create(
 }
 
 TriggerEventSource::~TriggerEventSource() {
-  (void)db_->DropTrigger(trigger_name_);
+  EDADB_IGNORE_STATUS(db_->DropTrigger(trigger_name_),
+                      "destructor cleanup; the trigger may already be gone "
+                      "when the database shut down first");
 }
 
 // ---------------------------------------------------------------------------

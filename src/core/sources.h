@@ -10,6 +10,7 @@
 #include "cq/continuous_query.h"
 #include "db/database.h"
 #include "journal/journal_miner.h"
+#include "common/macros.h"
 
 namespace edadb {
 
@@ -29,7 +30,7 @@ class TriggerEventSource {
   /// Registers an AFTER trigger named `trigger_name` on `table`; every
   /// committed change becomes an Event of type `event_type` on `bus`
   /// with the new (or, for deletes, old) row's fields as attributes.
-  static Result<std::unique_ptr<TriggerEventSource>> Create(
+  EDADB_NODISCARD static Result<std::unique_ptr<TriggerEventSource>> Create(
       Database* db, EventSink sink, const std::string& table,
       const std::string& trigger_name, const std::string& event_type);
 
@@ -54,7 +55,7 @@ class JournalEventSource {
                      const std::string& event_type, Lsn start_lsn = 0);
 
   /// Pumps newly committed changes into the sink; returns events emitted.
-  Result<size_t> Poll();
+  EDADB_NODISCARD Result<size_t> Poll();
 
   Lsn watermark() const { return miner_.watermark(); }
   uint64_t captured() const { return captured_; }
@@ -75,7 +76,7 @@ class QueryEventSource {
                    std::vector<std::string> key_columns,
                    const std::string& event_type);
 
-  Result<size_t> Poll();
+  EDADB_NODISCARD Result<size_t> Poll();
 
   uint64_t captured() const { return captured_; }
 

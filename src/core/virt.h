@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -74,16 +75,16 @@ class VirtFilter {
 
   explicit VirtFilter(Clock* clock, Scorer scorer = nullptr);
 
-  Status RegisterConsumer(const std::string& consumer_id,
+  EDADB_NODISCARD Status RegisterConsumer(const std::string& consumer_id,
                           ConsumerOptions options);
-  Status UnregisterConsumer(const std::string& consumer_id);
+  EDADB_NODISCARD Status UnregisterConsumer(const std::string& consumer_id);
   std::vector<std::string> ListConsumers() const;
 
   /// Decides (and records) whether `event` should reach `consumer_id`.
-  Result<Decision> Evaluate(const std::string& consumer_id,
+  EDADB_NODISCARD Result<Decision> Evaluate(const std::string& consumer_id,
                             const Event& event);
 
-  Result<ConsumerStats> GetStats(const std::string& consumer_id) const;
+  EDADB_NODISCARD Result<ConsumerStats> GetStats(const std::string& consumer_id) const;
 
   static std::string_view VerdictToString(Verdict verdict);
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "db/resultset_diff.h"
@@ -33,7 +34,7 @@ class ContinuousQueryWatcher {
 
   /// Re-runs the query, diffs against the previous result, invokes the
   /// callback per change. Returns the number of changes.
-  Result<size_t> Poll();
+  EDADB_NODISCARD Result<size_t> Poll();
 
   /// The most recent materialization (empty before the first Poll).
   const QueryResult& current() const { return current_; }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "db/database.h"
@@ -38,12 +39,12 @@ class StreamTableJoin {
 
   /// Validates the table and builds the output schema. `db` must
   /// outlive the join. The stream schema is fixed per join instance.
-  static Result<std::unique_ptr<StreamTableJoin>> Create(
+  EDADB_NODISCARD static Result<std::unique_ptr<StreamTableJoin>> Create(
       Database* db, SchemaPtr stream_schema, Options options,
       OutputCallback callback);
 
   /// Joins one event against the table's current contents.
-  Status Push(const Record& event);
+  EDADB_NODISCARD Status Push(const Record& event);
 
   const SchemaPtr& output_schema() const { return output_schema_; }
   uint64_t emitted() const { return emitted_; }
@@ -91,8 +92,8 @@ class StreamStreamJoin {
 
   /// Feeds one event to a side; event time must be non-decreasing per
   /// side. Emits every pairing with buffered events of the other side.
-  Status PushLeft(const Record& event, TimestampMicros ts);
-  Status PushRight(const Record& event, TimestampMicros ts);
+  EDADB_NODISCARD Status PushLeft(const Record& event, TimestampMicros ts);
+  EDADB_NODISCARD Status PushRight(const Record& event, TimestampMicros ts);
 
   size_t buffered_left() const { return left_.buffered; }
   size_t buffered_right() const { return right_.buffered; }
@@ -113,7 +114,7 @@ class StreamStreamJoin {
     size_t buffered = 0;
   };
 
-  Status Push(bool left, const Record& event, TimestampMicros ts);
+  EDADB_NODISCARD Status Push(bool left, const Record& event, TimestampMicros ts);
   void Evict(Side* side);
 
   Options options_;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "expr/predicate.h"
@@ -67,11 +68,11 @@ class PatternMatcher {
 
   /// Validates the spec (at least one positive step; negations not at
   /// the edges).
-  static Result<std::unique_ptr<PatternMatcher>> Create(
+  EDADB_NODISCARD static Result<std::unique_ptr<PatternMatcher>> Create(
       PatternSpec spec, MatchCallback callback);
 
   /// Feeds one event (event time must be non-decreasing per partition).
-  Status Push(const Record& event, TimestampMicros ts);
+  EDADB_NODISCARD Status Push(const Record& event, TimestampMicros ts);
 
   /// Partial matches currently alive (all partitions).
   size_t active_runs() const;

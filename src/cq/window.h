@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "db/query.h"
@@ -103,10 +104,10 @@ class WindowedAggregator {
                      ResultCallback callback);
 
   /// Feeds one event. Emits every window whose end passed the watermark.
-  Status Push(const Record& row, TimestampMicros ts);
+  EDADB_NODISCARD Status Push(const Record& row, TimestampMicros ts);
 
   /// Closes and emits all open windows (end of stream).
-  Status Flush();
+  EDADB_NODISCARD Status Flush();
 
   uint64_t late_dropped() const { return late_dropped_; }
   size_t open_windows() const;
@@ -122,10 +123,10 @@ class WindowedAggregator {
   /// Open windows: window_start -> (encoded key -> group).
   using WindowMap = std::map<TimestampMicros, std::map<std::string, Group>>;
 
-  Status AddToWindow(TimestampMicros window_start, const Record& row,
+  EDADB_NODISCARD Status AddToWindow(TimestampMicros window_start, const Record& row,
                      TimestampMicros ts);
-  Status EmitWindow(TimestampMicros window_start);
-  Status EmitDueWindows();
+  EDADB_NODISCARD Status EmitWindow(TimestampMicros window_start);
+  EDADB_NODISCARD Status EmitDueWindows();
 
   WindowAggregatorOptions options_;
   ResultCallback callback_;
@@ -154,10 +155,10 @@ class SessionAggregator {
                     ResultCallback callback);
 
   /// Feeds one event; event time must be globally non-decreasing.
-  Status Push(const Record& row, TimestampMicros ts);
+  EDADB_NODISCARD Status Push(const Record& row, TimestampMicros ts);
 
   /// Closes and emits every open session.
-  Status Flush();
+  EDADB_NODISCARD Status Flush();
 
   size_t open_sessions() const { return sessions_.size(); }
 

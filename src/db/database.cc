@@ -504,7 +504,7 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
   {
     std::unique_lock lock(mu_);
     EDADB_RETURN_IF_ERROR(ValidateOps(ops));
-    FAILPOINT("db:commit:before_wal");
+    FAILPOINT("db.commit.before_wal");
     const TxnId txn = next_txn_id_++;
 
     LogRecord begin;
@@ -536,7 +536,7 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
 
     // A crash before the commit record leaves Begin+ops without Commit:
     // recovery must discard the whole transaction.
-    FAILPOINT("db:commit:after_ops");
+    FAILPOINT("db.commit.after_ops");
     LogRecord commit;
     commit.type = LogRecordType::kCommitTxn;
     commit.txn_id = txn;
@@ -544,11 +544,11 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
         wal_->Append(static_cast<uint8_t>(commit.type),
                      commit.EncodePayload())
             .status());
-    FAILPOINT("db:commit:before_sync");
+    FAILPOINT("db.commit.before_sync");
     EDADB_RETURN_IF_ERROR(wal_->Sync());
     // The commit record is on disk: a crash from here on must still
     // surface the transaction after recovery.
-    FAILPOINT("db:commit:after_sync");
+    FAILPOINT("db.commit.after_sync");
 
     // Apply. ValidateOps vetted everything; failures here indicate a
     // programming error and poison the database state.
@@ -605,7 +605,9 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
     event.timestamp = clock_->NowMicros();
     event.old_row = ev.has_old ? &ev.old_record : nullptr;
     event.new_row = ev.has_new ? &ev.new_record : nullptr;
-    (void)FireTriggers(TriggerTiming::kAfter, &event);
+    EDADB_IGNORE_STATUS(FireTriggers(TriggerTiming::kAfter, &event),
+                        "AFTER-trigger failures are logged inside "
+                        "FireTriggers; the commit is already durable");
   }
   return Status::OK();
 }
@@ -693,7 +695,11 @@ std::unique_ptr<Transaction> Database::BeginTransaction() {
 }
 
 Transaction::~Transaction() {
-  if (!finished_) (void)Rollback();
+  if (!finished_) {
+    EDADB_IGNORE_STATUS(Rollback(),
+                        "destructor abandon; rollback only mutates in-memory "
+                        "txn state and recovery discards unlogged writes");
+  }
 }
 
 Result<RowId> Transaction::Insert(const std::string& table, Record record) {
@@ -824,14 +830,14 @@ Status Database::Checkpoint(Lsn retain_lsn) {
   const Lsn checkpoint_lsn = wal_->next_lsn();
   const std::string snapshot_file =
       StringPrintf("snapshot-%06" PRIu64 ".ckpt", ++checkpoint_seq_);
-  FAILPOINT("db:checkpoint:before_snapshot");
+  FAILPOINT("db.checkpoint.before_snapshot");
   EDADB_RETURN_IF_ERROR(WriteStringToFile(
       options_.dir + "/" + snapshot_file, EncodeSnapshot(snap),
       /*sync=*/true));
 
   // Snapshot written but CHECKPOINT meta not yet switched: a crash here
   // must leave recovery on the previous snapshot + full WAL replay.
-  FAILPOINT("db:checkpoint:before_meta");
+  FAILPOINT("db.checkpoint.before_meta");
   CheckpointMeta meta;
   meta.snapshot_file = snapshot_file;
   meta.replay_from_lsn = checkpoint_lsn;

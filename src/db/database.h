@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "db/query.h"
@@ -49,7 +50,7 @@ struct DatabaseOptions {
 class Database {
  public:
   /// Opens (and recovers) a database rooted at options.dir.
-  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+  EDADB_NODISCARD static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
 
   ~Database();
 
@@ -59,33 +60,33 @@ class Database {
   // -------------------------------------------------------------------
   // DDL
 
-  Result<Table*> CreateTable(const std::string& name, SchemaPtr schema);
-  Status DropTable(const std::string& name);
-  Result<Table*> GetTable(const std::string& name);
+  EDADB_NODISCARD Result<Table*> CreateTable(const std::string& name, SchemaPtr schema);
+  EDADB_NODISCARD Status DropTable(const std::string& name);
+  EDADB_NODISCARD Result<Table*> GetTable(const std::string& name);
   std::vector<std::string> ListTables() const;
-  Status CreateIndex(const std::string& table, const std::string& column,
+  EDADB_NODISCARD Status CreateIndex(const std::string& table, const std::string& column,
                      bool unique);
 
   // -------------------------------------------------------------------
   // Auto-commit DML (each call is its own transaction)
 
   /// Inserts a record; fires BEFORE/AFTER INSERT triggers.
-  Result<RowId> Insert(const std::string& table, Record record);
+  EDADB_NODISCARD Result<RowId> Insert(const std::string& table, Record record);
 
   /// Replaces the row at `row_id`.
-  Status UpdateRow(const std::string& table, RowId row_id, Record record);
+  EDADB_NODISCARD Status UpdateRow(const std::string& table, RowId row_id, Record record);
 
   /// Deletes the row at `row_id`.
-  Status DeleteRow(const std::string& table, RowId row_id);
+  EDADB_NODISCARD Status DeleteRow(const std::string& table, RowId row_id);
 
   /// Updates all rows matching `where` by calling `mutator` on each;
   /// returns the number updated.
-  Result<size_t> UpdateWhere(const std::string& table,
+  EDADB_NODISCARD Result<size_t> UpdateWhere(const std::string& table,
                              const Predicate& where,
                              const std::function<Status(Record*)>& mutator);
 
   /// Deletes all rows matching `where`; returns the number deleted.
-  Result<size_t> DeleteWhere(const std::string& table,
+  EDADB_NODISCARD Result<size_t> DeleteWhere(const std::string& table,
                              const Predicate& where);
 
   // -------------------------------------------------------------------
@@ -98,25 +99,25 @@ class Database {
   // -------------------------------------------------------------------
   // Queries
 
-  Result<QueryResult> Execute(const Query& query) const;
+  EDADB_NODISCARD Result<QueryResult> Execute(const Query& query) const;
 
   /// One-line description of the access path Execute would use, e.g.
   /// "index scan on orders.amount [3, 7)" or "full scan of orders
   /// (1200 rows)" — the observability hook behind the planner.
-  Result<std::string> Explain(const Query& query) const;
+  EDADB_NODISCARD Result<std::string> Explain(const Query& query) const;
 
   /// Point read.
-  Result<Record> GetRow(const std::string& table, RowId row_id) const;
+  EDADB_NODISCARD Result<Record> GetRow(const std::string& table, RowId row_id) const;
 
   /// Number of rows in `table`.
-  Result<size_t> CountRows(const std::string& table) const;
+  EDADB_NODISCARD Result<size_t> CountRows(const std::string& table) const;
 
   // -------------------------------------------------------------------
   // Triggers (§2.2.a.i: database as message source)
 
-  Status CreateTrigger(TriggerDef def);
-  Status DropTrigger(const std::string& name);
-  Status SetTriggerEnabled(const std::string& name, bool enabled);
+  EDADB_NODISCARD Status CreateTrigger(TriggerDef def);
+  EDADB_NODISCARD Status DropTrigger(const std::string& name);
+  EDADB_NODISCARD Status SetTriggerEnabled(const std::string& name, bool enabled);
   std::vector<std::string> ListTriggers() const;
 
   // -------------------------------------------------------------------
@@ -126,7 +127,7 @@ class Database {
   /// replays the WAL only from the checkpoint LSN. Old WAL segments at
   /// or before `retain_lsn` (often a journal miner's watermark) are
   /// deleted.
-  Status Checkpoint(Lsn retain_lsn);
+  EDADB_NODISCARD Status Checkpoint(Lsn retain_lsn);
 
   /// Current end of the WAL.
   Lsn wal_end_lsn() const;
@@ -158,28 +159,28 @@ class Database {
   /// Op preparation shared by auto-commit DML and Transaction: validates
   /// against the schema, fires BEFORE triggers (which may rewrite the
   /// record or veto), and allocates the row id for inserts.
-  Result<PendingOp> PrepareInsert(const std::string& table, Record record);
-  Result<PendingOp> PrepareUpdate(const std::string& table, RowId row_id,
+  EDADB_NODISCARD Result<PendingOp> PrepareInsert(const std::string& table, Record record);
+  EDADB_NODISCARD Result<PendingOp> PrepareUpdate(const std::string& table, RowId row_id,
                                   Record record);
-  Result<PendingOp> PrepareDelete(const std::string& table, RowId row_id);
+  EDADB_NODISCARD Result<PendingOp> PrepareDelete(const std::string& table, RowId row_id);
 
-  Status Recover();
-  Status LoadSnapshot(const std::string& path);
-  Status ReplayWal(Lsn from_lsn);
-  Status ApplyLogRecord(const LogRecord& rec);
+  EDADB_NODISCARD Status Recover();
+  EDADB_NODISCARD Status LoadSnapshot(const std::string& path);
+  EDADB_NODISCARD Status ReplayWal(Lsn from_lsn);
+  EDADB_NODISCARD Status ApplyLogRecord(const LogRecord& rec);
 
   /// Fires matching triggers for `event`; BEFORE trigger errors abort
   /// the operation.
-  Status FireTriggers(TriggerTiming timing, TriggerEvent* event);
+  EDADB_NODISCARD Status FireTriggers(TriggerTiming timing, TriggerEvent* event);
 
   /// Commit path shared by Transaction and auto-commit DML. Caller does
   /// NOT hold mu_.
-  Status CommitOps(std::vector<PendingOp> ops);
+  EDADB_NODISCARD Status CommitOps(std::vector<PendingOp> ops);
 
   /// Validates ops under mu_ before logging (row existence, uniques).
-  Status ValidateOps(const std::vector<PendingOp>& ops);
+  EDADB_NODISCARD Status ValidateOps(const std::vector<PendingOp>& ops);
 
-  Result<Table*> GetTableLocked(const std::string& name);
+  EDADB_NODISCARD Result<Table*> GetTableLocked(const std::string& name);
 
   DatabaseOptions options_;
   Clock* clock_;
@@ -206,16 +207,16 @@ class Transaction {
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 
-  Result<RowId> Insert(const std::string& table, Record record);
-  Status UpdateRow(const std::string& table, RowId row_id, Record record);
-  Status DeleteRow(const std::string& table, RowId row_id);
+  EDADB_NODISCARD Result<RowId> Insert(const std::string& table, Record record);
+  EDADB_NODISCARD Status UpdateRow(const std::string& table, RowId row_id, Record record);
+  EDADB_NODISCARD Status DeleteRow(const std::string& table, RowId row_id);
 
   /// Logs and applies all buffered operations. After Commit the object
   /// is finished; further operations fail.
-  Status Commit();
+  EDADB_NODISCARD Status Commit();
 
   /// Discards buffered operations.
-  Status Rollback();
+  EDADB_NODISCARD Status Rollback();
 
   size_t num_pending() const { return ops_.size(); }
 

@@ -9,6 +9,7 @@
 #include "expr/predicate.h"
 #include "value/record.h"
 #include "value/schema.h"
+#include "common/macros.h"
 
 namespace edadb {
 
@@ -49,7 +50,7 @@ struct Query {
   Status build_error;
 
   /// Convenience: sets `where` from expression text.
-  Status SetWhere(std::string_view expr_source);
+  EDADB_NODISCARD Status SetWhere(std::string_view expr_source);
 };
 
 /// Materialized query output.

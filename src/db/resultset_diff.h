@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/query.h"
 
@@ -29,7 +30,7 @@ struct RowChange {
 /// (which must exist in both result schemas); with an empty key list the
 /// whole row is the identity, so only kAdded/kRemoved are produced.
 /// Duplicate keys within one result set are InvalidArgument.
-Result<std::vector<RowChange>> DiffResultSets(
+EDADB_NODISCARD Result<std::vector<RowChange>> DiffResultSets(
     const QueryResult& previous, const QueryResult& current,
     const std::vector<std::string>& key_columns);
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/table.h"
 #include "storage/wal.h"
@@ -31,7 +32,7 @@ struct Snapshot {
 
 /// CRC-guarded binary codec for snapshots.
 std::string EncodeSnapshot(const Snapshot& snapshot);
-Result<Snapshot> DecodeSnapshot(std::string_view data);
+EDADB_NODISCARD Result<Snapshot> DecodeSnapshot(std::string_view data);
 
 /// Checkpoint metadata: which snapshot file is current and where WAL
 /// replay must resume. Stored in `<dir>/CHECKPOINT` via atomic rename.
@@ -41,7 +42,7 @@ struct CheckpointMeta {
 };
 
 std::string EncodeCheckpointMeta(const CheckpointMeta& meta);
-Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view data);
+EDADB_NODISCARD Result<CheckpointMeta> DecodeCheckpointMeta(std::string_view data);
 
 }  // namespace edadb
 

@@ -277,7 +277,7 @@ class StatementParser {
         if (MatchKeyword("DESC")) {
           term.ascending = false;
         } else {
-          (void)MatchKeyword("ASC");
+          MatchKeyword("ASC");  // optional keyword, default order
         }
         query.order_by.push_back(std::move(term));
         if (!Match(TokenKind::kComma)) break;

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/database.h"
 
@@ -40,7 +41,7 @@ struct SqlResult {
 /// BETWEEN, LIKE, functions). INSERT values are constant expressions;
 /// UPDATE SET expressions may reference the row's current columns.
 /// INSERT coerces integer literals into DOUBLE and TIMESTAMP columns.
-Result<SqlResult> ExecuteSql(Database* db, std::string_view sql);
+EDADB_NODISCARD Result<SqlResult> ExecuteSql(Database* db, std::string_view sql);
 
 }  // namespace edadb
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "storage/btree.h"
 #include "storage/heap.h"
@@ -36,7 +37,7 @@ class Table {
   size_t num_rows() const { return heap_.size(); }
 
   /// Registers and backfills an index on `column`.
-  Status CreateIndex(const IndexDef& def);
+  EDADB_NODISCARD Status CreateIndex(const IndexDef& def);
   /// Removes the index on `column` if present (used to roll back a
   /// CreateIndex whose WAL record failed to persist).
   void DropIndex(const std::string& column);
@@ -46,12 +47,12 @@ class Table {
 
   // Physical mutations (post-WAL apply path and recovery replay).
   // ApplyInsert assigns the id when `row_id` is 0.
-  Result<RowId> ApplyInsert(RowId row_id, const Record& record);
-  Status ApplyUpdate(RowId row_id, const Record& record);
-  Status ApplyDelete(RowId row_id);
+  EDADB_NODISCARD Result<RowId> ApplyInsert(RowId row_id, const Record& record);
+  EDADB_NODISCARD Status ApplyUpdate(RowId row_id, const Record& record);
+  EDADB_NODISCARD Status ApplyDelete(RowId row_id);
 
   /// Decoded row by id; NotFound when absent or deleted.
-  Result<Record> GetRow(RowId row_id) const;
+  EDADB_NODISCARD Result<Record> GetRow(RowId row_id) const;
 
   /// Visits all rows in row-id order; return false to stop.
   void ScanRows(
@@ -62,11 +63,11 @@ class Table {
   TableHeap* mutable_heap() { return &heap_; }
 
   /// Validates a record against the schema (arity, types, NOT NULL).
-  Status CheckRecord(const Record& record) const;
+  EDADB_NODISCARD Status CheckRecord(const Record& record) const;
 
  private:
   /// Index maintenance around heap mutations.
-  Status IndexInsert(RowId row_id, const Record& record);
+  EDADB_NODISCARD Status IndexInsert(RowId row_id, const Record& record);
   void IndexErase(RowId row_id, const Record& record);
 
   TableId id_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "value/record.h"
@@ -68,7 +69,7 @@ class Expr {
 
   /// Evaluates against `ctx`. Type errors (e.g. 'a' < 1) are Status
   /// errors, not NULLs.
-  virtual Result<Value> Evaluate(const EvalContext& ctx) const = 0;
+  EDADB_NODISCARD virtual Result<Value> Evaluate(const EvalContext& ctx) const = 0;
 
   /// Renders source text that parses back to an equivalent tree.
   virtual std::string ToString() const = 0;
@@ -78,7 +79,7 @@ class Expr {
 
   /// Convenience: evaluates as a predicate; NULL and FALSE both mean
   /// "no match". Errors propagate.
-  Result<bool> Matches(const EvalContext& ctx) const;
+  EDADB_NODISCARD Result<bool> Matches(const EvalContext& ctx) const;
 
  protected:
   explicit Expr(ExprKind kind) : kind_(kind) {}
@@ -95,7 +96,7 @@ class LiteralExpr final : public Expr {
 
   const Value& value() const { return value_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -111,7 +112,7 @@ class ColumnExpr final : public Expr {
 
   const std::string& name() const { return name_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -127,7 +128,7 @@ class UnaryExpr final : public Expr {
   UnaryOp op() const { return op_; }
   const ExprPtr& operand() const { return operand_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -148,7 +149,7 @@ class BinaryExpr final : public Expr {
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -171,7 +172,7 @@ class InExpr final : public Expr {
   const std::vector<ExprPtr>& list() const { return list_; }
   bool negated() const { return negated_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -196,7 +197,7 @@ class BetweenExpr final : public Expr {
   const ExprPtr& high() const { return high_; }
   bool negated() const { return negated_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -220,7 +221,7 @@ class LikeExpr final : public Expr {
   const ExprPtr& pattern() const { return pattern_; }
   bool negated() const { return negated_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -241,7 +242,7 @@ class IsNullExpr final : public Expr {
   const ExprPtr& operand() const { return operand_; }
   bool negated() const { return negated_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 
@@ -263,7 +264,7 @@ class FunctionExpr final : public Expr {
   const std::string& name() const { return name_; }
   const std::vector<ExprPtr>& args() const { return args_; }
 
-  Result<Value> Evaluate(const EvalContext& ctx) const override;
+  EDADB_NODISCARD Result<Value> Evaluate(const EvalContext& ctx) const override;
   std::string ToString() const override;
   void CollectColumns(std::set<std::string>* out) const override;
 

@@ -140,7 +140,8 @@ Result<Value> FnLeast(const std::vector<Value>& args, const EvalContext&) {
 }
 
 const std::map<std::string, FunctionDef>& Registry() {
-  static const auto* registry = new std::map<std::string, FunctionDef>{
+  static const auto* registry =
+      new std::map<std::string, FunctionDef>{  // lint:allow(raw-new-delete): intentional leak
       {"ABS", {1, 1, FnAbs}},
       {"ROUND", {1, 2, FnRound}},
       {"FLOOR", {1, 1, FnFloor}},

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "expr/token.h"
 
@@ -13,7 +14,7 @@ namespace edadb {
 /// Tokenizes an expression source string. Keywords are case-insensitive;
 /// identifiers keep their original case. String literals use single
 /// quotes with '' as the escape for a quote.
-Result<std::vector<Token>> Tokenize(std::string_view source);
+EDADB_NODISCARD Result<std::vector<Token>> Tokenize(std::string_view source);
 
 }  // namespace edadb
 

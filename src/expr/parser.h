@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "expr/ast.h"
 #include "expr/token.h"
@@ -26,13 +27,13 @@ namespace edadb {
 ///   multiplicative := unary (('*'|'/'|'%') unary)*
 ///   unary       := '-' unary | primary
 ///   primary     := literal | column | function '(' args ')' | '(' expr ')'
-Result<ExprPtr> ParseExpression(std::string_view source);
+EDADB_NODISCARD Result<ExprPtr> ParseExpression(std::string_view source);
 
 /// Parses one expression starting at tokens[*pos], advancing *pos past
 /// the consumed tokens and stopping at the first token that cannot
 /// extend the expression. Used by the SQL statement parser, whose
 /// clauses (WHERE ... ORDER BY ...) embed expressions mid-stream.
-Result<ExprPtr> ParseExpressionPrefix(const std::vector<Token>& tokens,
+EDADB_NODISCARD Result<ExprPtr> ParseExpressionPrefix(const std::vector<Token>& tokens,
                                       size_t* pos);
 
 }  // namespace edadb

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "expr/ast.h"
 #include "expr/parser.h"
@@ -19,7 +20,7 @@ class Predicate {
   Predicate() = default;
 
   /// Compiles `source`; fails on syntax errors or unknown functions.
-  static Result<Predicate> Compile(std::string_view source);
+  EDADB_NODISCARD static Result<Predicate> Compile(std::string_view source);
 
   /// Wraps an already-built AST.
   static Predicate FromExpr(ExprPtr expr);
@@ -30,7 +31,7 @@ class Predicate {
 
   /// True iff the predicate evaluates to TRUE on `row` (NULL and FALSE
   /// both mean no match). Evaluation errors propagate.
-  Result<bool> Matches(const RowAccessor& row) const;
+  EDADB_NODISCARD Result<bool> Matches(const RowAccessor& row) const;
 
   /// Like Matches but treats evaluation errors as "no match" — the right
   /// behaviour when scanning heterogeneous event populations where some

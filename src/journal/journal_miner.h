@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "storage/log_record.h"
@@ -58,7 +59,7 @@ class JournalMiner {
 
   /// Drains all currently committed changes, invoking `callback` per
   /// event in commit order. Returns the number of events delivered.
-  Result<size_t> Poll(const std::function<void(const ChangeEvent&)>& callback);
+  EDADB_NODISCARD Result<size_t> Poll(const std::function<void(const ChangeEvent&)>& callback);
 
   /// Safe restart position: just past the last fully consumed
   /// transaction.

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "mq/queue_manager.h"
@@ -47,15 +48,15 @@ class QueueDispatcher {
   };
 
   /// Binds a handler; one binding per (queue, group).
-  Status Bind(Binding binding);
-  Status Unbind(const std::string& queue, const std::string& group);
+  EDADB_NODISCARD Status Bind(Binding binding);
+  EDADB_NODISCARD Status Unbind(const std::string& queue, const std::string& group);
 
   /// Drains every binding once; returns messages handled (acked).
-  Result<size_t> PumpOnce();
+  EDADB_NODISCARD Result<size_t> PumpOnce();
 
   /// Starts the background activation thread (poll + block on queue
   /// signal). FailedPrecondition if already running.
-  Status Start(TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli);
+  EDADB_NODISCARD Status Start(TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli);
 
   /// Stops and joins the background thread (idempotent).
   void Stop();
@@ -64,7 +65,7 @@ class QueueDispatcher {
     uint64_t handled = 0;  // Handler OK -> acked.
     uint64_t failed = 0;   // Handler error -> nacked.
   };
-  Result<BindingStats> GetStats(const std::string& queue,
+  EDADB_NODISCARD Result<BindingStats> GetStats(const std::string& queue,
                                 const std::string& group) const;
 
  private:

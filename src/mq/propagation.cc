@@ -148,10 +148,10 @@ Result<size_t> Propagator::RunOnce() {
         // sees the message, and it must be nacked and redelivered.
         if (failpoint::internal::AnyArmed()) {
           const failpoint::FireResult fp =
-              failpoint::Fire("mq:propagate:deliver");
+              failpoint::Fire("mq.propagate.deliver");
           if (fp.fired) {
             if (fp.kind == failpoint::ActionKind::kCrash) {
-              failpoint::Crash("mq:propagate:deliver");
+              failpoint::Crash("mq.propagate.deliver");
             }
             injected = true;
             delivery = fp.status.ok()

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -27,7 +28,7 @@ class ExternalService {
 
   /// Delivers one message; non-OK means the propagator will retry
   /// (Nack) per queue policy.
-  virtual Status Deliver(const Message& message) = 0;
+  EDADB_NODISCARD virtual Status Deliver(const Message& message) = 0;
 };
 
 /// Test/bench stand-in for a real endpoint: injects latency and
@@ -50,7 +51,7 @@ class SimulatedExternalService : public ExternalService {
                            uint64_t seed = 42);
 
   const std::string& name() const override { return name_; }
-  Status Deliver(const Message& message) override;
+  EDADB_NODISCARD Status Deliver(const Message& message) override;
 
   uint64_t delivered_count() const;
   uint64_t failed_count() const;
@@ -93,8 +94,8 @@ class Propagator {
  public:
   explicit Propagator(QueueManager* queues) : queues_(queues) {}
 
-  Status AddRule(PropagationRule rule);
-  Status RemoveRule(const std::string& name);
+  EDADB_NODISCARD Status AddRule(PropagationRule rule);
+  EDADB_NODISCARD Status RemoveRule(const std::string& name);
   std::vector<std::string> ListRules() const;
 
   struct RuleStats {
@@ -104,9 +105,9 @@ class Propagator {
   };
 
   /// Drains every rule once; returns total messages forwarded.
-  Result<size_t> RunOnce();
+  EDADB_NODISCARD Result<size_t> RunOnce();
 
-  Result<RuleStats> GetStats(const std::string& name) const;
+  EDADB_NODISCARD Result<RuleStats> GetStats(const std::string& name) const;
 
  private:
   QueueManager* queues_;

@@ -240,8 +240,13 @@ Status QueueManager::DropQueue(const std::string& name) {
   if (it == queues_.end()) {
     return Status::NotFound("queue '" + name + "'");
   }
-  (void)db_->DropTrigger("__qt_" + name + "_msgs");
-  (void)db_->DropTrigger("__qt_" + name + "_dlv");
+  // A missing trigger is fine (partially-created queue); any other
+  // failure would leave a live trigger firing on a dropped table, so it
+  // must abort the drop.
+  for (const char* suffix : {"_msgs", "_dlv"}) {
+    const Status dropped = db_->DropTrigger("__qt_" + name + suffix);
+    if (!dropped.ok() && !dropped.IsNotFound()) return dropped;
+  }
   EDADB_RETURN_IF_ERROR(db_->DropTable(MsgTableName(name)));
   EDADB_RETURN_IF_ERROR(db_->DropTable(DelivTableName(name)));
   EDADB_ASSIGN_OR_RETURN(Predicate by_name,
@@ -357,7 +362,7 @@ Result<MessageId> QueueManager::Enqueue(const std::string& queue,
                          EnqueueInTransaction(txn.get(), queue, request));
   // Ops staged but not committed: a crash here must lose the message
   // entirely (no body row, no delivery rows).
-  FAILPOINT("mq:enqueue:before_commit");
+  FAILPOINT("mq.enqueue.before_commit");
   EDADB_RETURN_IF_ERROR(txn->Commit());
   return id;
 }
@@ -481,7 +486,7 @@ Status QueueManager::FinishDelivery(const std::string& queue,
     return Status::NotFound("no delivery of message " + std::to_string(id) +
                             " for group '" + group + "'");
   }
-  FAILPOINT("mq:finish:before_dlv_delete");
+  FAILPOINT("mq.finish.before_dlv_delete");
   const RowId deliv_row = deliv_it->second.deliv_row;
   rt.deliveries.erase(deliv_it);
   rt.locked.erase(id);
@@ -498,7 +503,7 @@ Status QueueManager::FinishDelivery(const std::string& queue,
   EDADB_RETURN_IF_ERROR(db_->DeleteRow(DelivTableName(queue), deliv_row));
   // The delivery row is gone but the message row still exists: a crash
   // here is the orphaned-message window RebuildRuntimeLocked GCs.
-  FAILPOINT("mq:finish:after_dlv_delete");
+  FAILPOINT("mq.finish.after_dlv_delete");
 
   // GC the message when no group still holds a delivery.
   bool live = false;
@@ -510,7 +515,9 @@ Status QueueManager::FinishDelivery(const std::string& queue,
   }
   if (!live) {
     state->messages.erase(id);
-    (void)db_->DeleteRow(MsgTableName(queue), id);
+    // A failed delete must surface: the caller's ack is not complete
+    // until the message row is gone (recovery would reattach it).
+    EDADB_RETURN_IF_ERROR(db_->DeleteRow(MsgTableName(queue), id));
   }
   return Status::OK();
 }
@@ -591,7 +598,7 @@ Result<std::optional<Message>> QueueManager::Dequeue(
     }
     // Lock it for this group. A crash before the lock persists means
     // the consumer never saw the message: it must be redelivered.
-    FAILPOINT("mq:dequeue:before_lock_persist");
+    FAILPOINT("mq.dequeue.before_lock_persist");
     DelivState& deliv = deliv_it->second;
     deliv.delivery_count += 1;
     const TimestampMicros locked_until =
@@ -599,9 +606,10 @@ Result<std::optional<Message>> QueueManager::Dequeue(
     EDADB_ASSIGN_OR_RETURN(Record dlv_row,
                            db_->GetRow(DelivTableName(queue),
                                        deliv.deliv_row));
-    (void)dlv_row.Set("locked_until", Value::Timestamp(locked_until));
-    (void)dlv_row.Set("delivery_count",
-                      Value::Int64(deliv.delivery_count));
+    EDADB_RETURN_IF_ERROR(
+        dlv_row.Set("locked_until", Value::Timestamp(locked_until)));
+    EDADB_RETURN_IF_ERROR(dlv_row.Set("delivery_count",
+                                      Value::Int64(deliv.delivery_count)));
     EDADB_RETURN_IF_ERROR(db_->UpdateRow(DelivTableName(queue),
                                          deliv.deliv_row,
                                          std::move(dlv_row)));
@@ -634,7 +642,7 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
             deadline - now, std::chrono::milliseconds(5));
     RecursiveMutexLock lock(&mu_);
     if (shutdown_) return Status::Aborted("QueueManager shut down");
-    (void)enqueue_cv_.WaitForMicros(
+    enqueue_cv_.WaitForMicros(
         &mu_,
         std::chrono::duration_cast<std::chrono::microseconds>(slice).count());
   }
@@ -655,7 +663,7 @@ Status QueueManager::Ack(const std::string& queue, const std::string& group,
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   // Nothing persisted yet: a crash here loses the ack, and the message
   // must be redelivered after the visibility timeout (at-least-once).
-  FAILPOINT("mq:ack:before_finish");
+  FAILPOINT("mq.ack.before_finish");
   return FinishDelivery(queue, &it->second, group, id);
 }
 
@@ -678,14 +686,15 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
   if (deliv_it->second.delivery_count >= state.options.max_deliveries) {
     return DeadLetter(queue, &state, group, id, "max_deliveries");
   }
-  FAILPOINT("mq:nack:before_persist");
+  FAILPOINT("mq.nack.before_persist");
   const TimestampMicros now = clock_->NowMicros();
   const TimestampMicros visible_at = now + redeliver_delay_micros;
   EDADB_ASSIGN_OR_RETURN(
       Record dlv_row,
       db_->GetRow(DelivTableName(queue), deliv_it->second.deliv_row));
-  (void)dlv_row.Set("locked_until", Value::Timestamp(0));
-  (void)dlv_row.Set("visible_at", Value::Timestamp(visible_at));
+  EDADB_RETURN_IF_ERROR(dlv_row.Set("locked_until", Value::Timestamp(0)));
+  EDADB_RETURN_IF_ERROR(
+      dlv_row.Set("visible_at", Value::Timestamp(visible_at)));
   EDADB_RETURN_IF_ERROR(db_->UpdateRow(
       DelivTableName(queue), deliv_it->second.deliv_row, std::move(dlv_row)));
   rt.locked.erase(id);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -62,42 +63,42 @@ class QueueManager {
  public:
   /// `db` must outlive the manager. Existing queues (from a previous
   /// run of the same database directory) are reattached.
-  static Result<std::unique_ptr<QueueManager>> Attach(Database* db);
+  EDADB_NODISCARD static Result<std::unique_ptr<QueueManager>> Attach(Database* db);
 
-  Status CreateQueue(const std::string& name,
+  EDADB_NODISCARD Status CreateQueue(const std::string& name,
                      QueueCreateOptions options = {});
-  Status DropQueue(const std::string& name);
+  EDADB_NODISCARD Status DropQueue(const std::string& name);
   bool HasQueue(const std::string& name) const;
   std::vector<std::string> ListQueues() const;
 
   /// Consumer groups ("subscribers" in AQ terms). A queue always has the
   /// implicit "" group until the first explicit group is added; after
   /// that, enqueued messages fan out to every registered group.
-  Status AddConsumerGroup(const std::string& queue, const std::string& group);
-  Status RemoveConsumerGroup(const std::string& queue,
+  EDADB_NODISCARD Status AddConsumerGroup(const std::string& queue, const std::string& group);
+  EDADB_NODISCARD Status RemoveConsumerGroup(const std::string& queue,
                              const std::string& group);
-  Result<std::vector<std::string>> ListConsumerGroups(
+  EDADB_NODISCARD Result<std::vector<std::string>> ListConsumerGroups(
       const std::string& queue) const;
 
   /// Stages a message (the tutorial's "extended INSERT interface").
-  Result<MessageId> Enqueue(const std::string& queue,
+  EDADB_NODISCARD Result<MessageId> Enqueue(const std::string& queue,
                             const EnqueueRequest& request);
 
   /// Transactional enqueue: the message becomes visible only when `txn`
   /// commits (§2.2.b.ii.3 "transactional support").
-  Result<MessageId> EnqueueInTransaction(Transaction* txn,
+  EDADB_NODISCARD Result<MessageId> EnqueueInTransaction(Transaction* txn,
                                          const std::string& queue,
                                          const EnqueueRequest& request);
 
   /// Takes the highest-priority visible message matching the selector,
   /// locking it for the group's visibility timeout. nullopt = queue
   /// empty (for this group/selector).
-  Result<std::optional<Message>> Dequeue(const std::string& queue,
+  EDADB_NODISCARD Result<std::optional<Message>> Dequeue(const std::string& queue,
                                          const DequeueRequest& request);
 
   /// Blocking dequeue; waits up to `timeout_micros` for a message.
   /// Returns Aborted once Shutdown() has been called.
-  Result<std::optional<Message>> DequeueWait(const std::string& queue,
+  EDADB_NODISCARD Result<std::optional<Message>> DequeueWait(const std::string& queue,
                                              const DequeueRequest& request,
                                              TimestampMicros timeout_micros);
 
@@ -109,29 +110,29 @@ class QueueManager {
 
   /// Completes consumption. When every group has acked, the message row
   /// is removed.
-  Status Ack(const std::string& queue, const std::string& group,
+  EDADB_NODISCARD Status Ack(const std::string& queue, const std::string& group,
              MessageId id);
 
   /// Returns the message to the queue after `redeliver_delay_micros`
   /// (dead-letters it if max_deliveries is exhausted).
-  Status Nack(const std::string& queue, const std::string& group,
+  EDADB_NODISCARD Status Nack(const std::string& queue, const std::string& group,
               MessageId id, TimestampMicros redeliver_delay_micros = 0);
 
   /// Ready (visible, unlocked) messages for `group`.
-  Result<size_t> Depth(const std::string& queue,
+  EDADB_NODISCARD Result<size_t> Depth(const std::string& queue,
                        const std::string& group) const;
 
   /// Removes expired messages; returns how many were purged (moved to
   /// the dead-letter queue when configured).
-  Result<size_t> PurgeExpired(const std::string& queue);
+  EDADB_NODISCARD Result<size_t> PurgeExpired(const std::string& queue);
 
   /// Reads a staged message without consuming it.
-  Result<Message> Peek(const std::string& queue, MessageId id) const;
+  EDADB_NODISCARD Result<Message> Peek(const std::string& queue, MessageId id) const;
 
   /// Non-destructive browse (AQ's browse mode): visits every message
   /// currently deliverable to `group` in dequeue order without locking
   /// or consuming anything. Return false from `fn` to stop early.
-  Status Browse(const std::string& queue, const std::string& group,
+  EDADB_NODISCARD Status Browse(const std::string& queue, const std::string& group,
                 const std::function<bool(const Message&)>& fn) const;
 
   Database* db() const { return db_; }
@@ -175,14 +176,14 @@ class QueueManager {
   static std::string MsgTableName(const std::string& queue);
   static std::string DelivTableName(const std::string& queue);
 
-  Status EnsureMetaTables();
-  Status ReloadFromMeta();
+  EDADB_NODISCARD Status EnsureMetaTables();
+  EDADB_NODISCARD Status ReloadFromMeta();
 
   /// Creates the per-queue tables and registers the AFTER INSERT
   /// triggers that feed the runtime (so transactional enqueues become
   /// visible exactly at commit).
-  Status CreateQueueStorage(const std::string& name);
-  Status RegisterQueueTriggers(const std::string& name);
+  EDADB_NODISCARD Status CreateQueueStorage(const std::string& name);
+  EDADB_NODISCARD Status RegisterQueueTriggers(const std::string& name);
 
   /// Trigger callbacks (take mu_; recursive because dead-lettering
   /// enqueues while holding it).
@@ -191,7 +192,7 @@ class QueueManager {
   void OnDeliveryInserted(const std::string& queue, RowId deliv_row,
                           const Record& row);
 
-  Result<Record> BuildMessageRecord(const std::string& queue,
+  EDADB_NODISCARD Result<Record> BuildMessageRecord(const std::string& queue,
                                     const EnqueueRequest& request,
                                     TimestampMicros now) const;
 
@@ -199,10 +200,10 @@ class QueueManager {
   /// registered).
   static std::vector<std::string> EffectiveGroups(const QueueState& state);
 
-  Result<Message> LoadMessage(const std::string& queue, MessageId id) const;
+  EDADB_NODISCARD Result<Message> LoadMessage(const std::string& queue, MessageId id) const;
 
   /// Rebuilds one queue's runtime from its tables (Attach path).
-  Status RebuildRuntimeLocked(const std::string& name, QueueState* state)
+  EDADB_NODISCARD Status RebuildRuntimeLocked(const std::string& name, QueueState* state)
       EDADB_REQUIRES(mu_);
 
   /// Moves due delayed messages and expired locks back to ready.
@@ -212,13 +213,13 @@ class QueueManager {
   /// Copies the message to the dead-letter queue (when configured) and
   /// finishes this group's delivery. Re-enters mu_ through Enqueue,
   /// which is why mu_ is recursive.
-  Status DeadLetter(const std::string& queue, QueueState* state,
+  EDADB_NODISCARD Status DeadLetter(const std::string& queue, QueueState* state,
                     const std::string& group, MessageId id,
                     const std::string& reason) EDADB_REQUIRES(mu_);
 
   /// Deletes one group's delivery row; when no group still holds a
   /// delivery, the message row is removed too.
-  Status FinishDelivery(const std::string& queue, QueueState* state,
+  EDADB_NODISCARD Status FinishDelivery(const std::string& queue, QueueState* state,
                         const std::string& group, MessageId id)
       EDADB_REQUIRES(mu_);
 

@@ -180,7 +180,8 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     const Status queue_status = queues_->CreateQueue(SubQueueName(id));
     if (!queue_status.ok() && !queue_status.IsAlreadyExists()) {
       MutexLock lock(&mu_);
-      (void)matcher_.RemoveRule(id);
+      EDADB_IGNORE_STATUS(matcher_.RemoveRule(id),
+                          "best-effort rollback of the rule added above");
       return queue_status;
     }
     EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kSubsTable));
@@ -194,7 +195,8 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     const auto inserted = db_->Insert(kSubsTable, std::move(row));
     if (!inserted.ok()) {
       MutexLock lock(&mu_);
-      (void)matcher_.RemoveRule(id);
+      EDADB_IGNORE_STATUS(matcher_.RemoveRule(id),
+                          "best-effort rollback of the rule added above");
       return inserted.status();
     }
   }
@@ -243,7 +245,9 @@ Status Broker::Unsubscribe(const std::string& subscription_id) {
       return Status::NotFound("subscription '" + subscription_id + "'");
     }
     durable = it->second.spec.durable;
-    (void)matcher_.RemoveRule(subscription_id);
+    EDADB_IGNORE_STATUS(matcher_.RemoveRule(subscription_id),
+                        "unsubscribe is idempotent; the rule is absent when "
+                        "a failed Subscribe already rolled it back");
     subscriptions_.erase(it);
   }
   if (durable) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
@@ -81,26 +82,26 @@ class Broker {
   /// `db` and `queues` must outlive the broker. Durable subscriptions
   /// persisted by earlier runs are re-attached (their queues already
   /// exist); non-durable ones are gone by design.
-  static Result<std::unique_ptr<Broker>> Attach(Database* db,
+  EDADB_NODISCARD static Result<std::unique_ptr<Broker>> Attach(Database* db,
                                                 QueueManager* queues);
 
   /// Returns the subscription id.
-  Result<std::string> Subscribe(SubscriptionSpec spec);
+  EDADB_NODISCARD Result<std::string> Subscribe(SubscriptionSpec spec);
 
-  Status Unsubscribe(const std::string& subscription_id);
+  EDADB_NODISCARD Status Unsubscribe(const std::string& subscription_id);
 
   /// Delivers `pub` to every matching subscription; returns how many
   /// subscriptions received it.
-  Result<size_t> Publish(const Publication& pub);
+  EDADB_NODISCARD Result<size_t> Publish(const Publication& pub);
 
   /// Pops the next buffered publication of a durable subscription
   /// (nullopt when drained). Delivery is at-least-once; the message is
   /// acked on successful decode.
-  Result<std::optional<Publication>> Fetch(
+  EDADB_NODISCARD Result<std::optional<Publication>> Fetch(
       const std::string& subscription_id);
 
   /// Buffered publications awaiting Fetch (durable subscriptions).
-  Result<size_t> PendingCount(const std::string& subscription_id) const;
+  EDADB_NODISCARD Result<size_t> PendingCount(const std::string& subscription_id) const;
 
   std::vector<std::string> ListSubscriptions() const;
   size_t num_subscriptions() const;
@@ -113,16 +114,16 @@ class Broker {
     std::string queue;  // Durable only.
   };
 
-  Status LoadPersisted();
-  Status CompileIntoMatcher(const std::string& id,
+  EDADB_NODISCARD Status LoadPersisted();
+  EDADB_NODISCARD Status CompileIntoMatcher(const std::string& id,
                             const SubscriptionSpec& spec)
       EDADB_REQUIRES(mu_);
   static std::string SubQueueName(const std::string& id);
 
   /// Builds the matcher condition: topic pattern + content filter.
-  static Result<Predicate> BuildCondition(const SubscriptionSpec& spec);
+  EDADB_NODISCARD static Result<Predicate> BuildCondition(const SubscriptionSpec& spec);
 
-  Status DeliverTo(const SubscriptionState& sub, const Publication& pub);
+  EDADB_NODISCARD Status DeliverTo(const SubscriptionState& sub, const Publication& pub);
 
   Database* db_;
   QueueManager* queues_;

@@ -10,6 +10,7 @@
 #include "rules/interval_index.h"
 #include "rules/matcher.h"
 #include "value/value.h"
+#include "common/macros.h"
 
 namespace edadb {
 
@@ -49,8 +50,8 @@ class IndexedMatcher : public RuleMatcher {
   IndexedMatcher(const IndexedMatcher&) = delete;
   IndexedMatcher& operator=(const IndexedMatcher&) = delete;
 
-  Status AddRule(Rule rule) override;
-  Status RemoveRule(const std::string& id) override;
+  EDADB_NODISCARD Status AddRule(Rule rule) override;
+  EDADB_NODISCARD Status RemoveRule(const std::string& id) override;
   void Match(const RowAccessor& event,
              std::vector<const Rule*>* out) override;
   size_t size() const override { return rules_.size(); }

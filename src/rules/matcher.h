@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "rules/rule.h"
 #include "value/record.h"
@@ -24,8 +25,8 @@ class RuleMatcher {
  public:
   virtual ~RuleMatcher() = default;
 
-  virtual Status AddRule(Rule rule) = 0;
-  virtual Status RemoveRule(const std::string& id) = 0;
+  EDADB_NODISCARD virtual Status AddRule(Rule rule) = 0;
+  EDADB_NODISCARD virtual Status RemoveRule(const std::string& id) = 0;
 
   /// Appends matching rules to `out` (unspecified order; callers sort by
   /// priority if they care). Disabled rules never match.
@@ -40,8 +41,8 @@ class RuleMatcher {
 /// by unoptimized evaluation — bench_rules (E4) measures the gap.
 class NaiveMatcher : public RuleMatcher {
  public:
-  Status AddRule(Rule rule) override;
-  Status RemoveRule(const std::string& id) override;
+  EDADB_NODISCARD Status AddRule(Rule rule) override;
+  EDADB_NODISCARD Status RemoveRule(const std::string& id) override;
   void Match(const RowAccessor& event,
              std::vector<const Rule*>* out) override;
   size_t size() const override { return rules_.size(); }

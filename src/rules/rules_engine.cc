@@ -108,7 +108,8 @@ Status RulesEngine::AddRule(const std::string& id,
   const auto inserted = db_->Insert(kRulesTable, std::move(row));
   if (!inserted.ok()) {
     MutexLock lock(&mu_);
-    (void)matcher_->RemoveRule(id);
+    EDADB_IGNORE_STATUS(matcher_->RemoveRule(id),
+                        "best-effort rollback of the rule added above");
     return inserted.status();
   }
   return Status::OK();

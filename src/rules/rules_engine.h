@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
@@ -32,16 +33,16 @@ class RulesEngine {
 
   /// Loads persisted rules from `db` (creating the `__rules` table on
   /// first use). `db` must outlive the engine.
-  static Result<std::unique_ptr<RulesEngine>> Attach(
+  EDADB_NODISCARD static Result<std::unique_ptr<RulesEngine>> Attach(
       Database* db, MatcherKind kind = MatcherKind::kIndexed);
 
   /// Adds a rule (persisted + compiled). `condition_source` is an
   /// expression over event attributes; `action` is the handler tag.
-  Status AddRule(const std::string& id, std::string_view condition_source,
+  EDADB_NODISCARD Status AddRule(const std::string& id, std::string_view condition_source,
                  std::string action, int64_t priority = 0);
 
-  Status RemoveRule(const std::string& id);
-  Status SetRuleEnabled(const std::string& id, bool enabled);
+  EDADB_NODISCARD Status RemoveRule(const std::string& id);
+  EDADB_NODISCARD Status SetRuleEnabled(const std::string& id, bool enabled);
   size_t num_rules() const;
   std::vector<std::string> ListRules() const;
 
@@ -61,13 +62,13 @@ class RulesEngine {
 
   /// Matches `event` against every rule and dispatches handlers.
   /// Returns the ids of matched rules in dispatch order.
-  Result<std::vector<std::string>> Evaluate(const RowAccessor& event);
+  EDADB_NODISCARD Result<std::vector<std::string>> Evaluate(const RowAccessor& event);
 
  private:
   RulesEngine(Database* db, MatcherKind kind);
 
-  Status LoadPersistedRules();
-  Result<Rule> CompileRule(const std::string& id,
+  EDADB_NODISCARD Status LoadPersistedRules();
+  EDADB_NODISCARD Result<Rule> CompileRule(const std::string& id,
                            std::string_view condition_source,
                            std::string action, int64_t priority,
                            bool enabled) const;

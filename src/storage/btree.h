@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "storage/log_record.h"
 #include "value/value.h"
@@ -34,7 +35,7 @@ class BTreeIndex {
   /// Adds (key, row). AlreadyExists when a unique index already holds a
   /// different row under `key`; inserting the same (key, row) twice is
   /// idempotent.
-  Status Insert(const Value& key, RowId row);
+  EDADB_NODISCARD Status Insert(const Value& key, RowId row);
 
   /// Removes (key, row); returns true when it was present.
   bool Erase(const Value& key, RowId row);

@@ -46,7 +46,7 @@ Status WritableFile::Append(std::string_view data) {
   // Short write: only the first `arg` bytes reach the file before the
   // "device" fails — the prefix is persisted first so recovery sees it.
   if (failpoint::internal::AnyArmed()) {
-    const failpoint::FireResult fp = failpoint::Fire("file:append:short");
+    const failpoint::FireResult fp = failpoint::Fire("file.append.short");
     if (fp.fired) {
       injected = true;
       injected_crash = (fp.kind == failpoint::ActionKind::kCrash);
@@ -71,14 +71,14 @@ Status WritableFile::Append(std::string_view data) {
   }
   size_ += to_write.size();
   if (injected) {
-    if (injected_crash) failpoint::Crash("file:append:short");
+    if (injected_crash) failpoint::Crash("file.append.short");
     return injected_status;
   }
   return Status::OK();
 }
 
 Status WritableFile::Sync() {
-  FAILPOINT("file:sync");
+  FAILPOINT("file.sync");
   if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
   return Status::OK();
 }
@@ -95,7 +95,7 @@ Status WritableFile::Close() {
 }
 
 Status WritableFile::Truncate(uint64_t size) {
-  FAILPOINT("file:truncate");
+  FAILPOINT("file.truncate");
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("ftruncate " + path_);
   }

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -17,22 +18,22 @@ namespace edadb {
 class WritableFile {
  public:
   /// Opens for appending, creating the file if needed.
-  static Result<std::unique_ptr<WritableFile>> Open(const std::string& path);
+  EDADB_NODISCARD static Result<std::unique_ptr<WritableFile>> Open(const std::string& path);
 
   ~WritableFile();
 
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
-  Status Append(std::string_view data);
+  EDADB_NODISCARD Status Append(std::string_view data);
 
   /// Durability barrier (fdatasync).
-  Status Sync();
+  EDADB_NODISCARD Status Sync();
 
-  Status Close();
+  EDADB_NODISCARD Status Close();
 
   /// Shrinks the file to `size` bytes (used to drop a torn WAL tail).
-  Status Truncate(uint64_t size);
+  EDADB_NODISCARD Status Truncate(uint64_t size);
 
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }
@@ -50,7 +51,7 @@ class WritableFile {
 /// the same path, which is how the journal miner tails the live WAL.
 class RandomAccessFile {
  public:
-  static Result<std::unique_ptr<RandomAccessFile>> Open(
+  EDADB_NODISCARD static Result<std::unique_ptr<RandomAccessFile>> Open(
       const std::string& path);
 
   ~RandomAccessFile();
@@ -60,10 +61,10 @@ class RandomAccessFile {
 
   /// Reads up to `n` bytes at `offset` into `out` (resized to the bytes
   /// actually read; short reads at EOF are not errors).
-  Status Read(uint64_t offset, size_t n, std::string* out) const;
+  EDADB_NODISCARD Status Read(uint64_t offset, size_t n, std::string* out) const;
 
   /// Current file size (re-stat'ed, so it observes concurrent appends).
-  Result<uint64_t> Size() const;
+  EDADB_NODISCARD Result<uint64_t> Size() const;
 
   const std::string& path() const { return path_; }
 
@@ -77,12 +78,12 @@ class RandomAccessFile {
 
 /// Small filesystem helpers (wrappers over std::filesystem that return
 /// Status instead of throwing).
-Status CreateDirIfMissing(const std::string& dir);
-Status RemoveFile(const std::string& path);
-Result<std::vector<std::string>> ListDir(const std::string& dir);
+EDADB_NODISCARD Status CreateDirIfMissing(const std::string& dir);
+EDADB_NODISCARD Status RemoveFile(const std::string& path);
+EDADB_NODISCARD Result<std::vector<std::string>> ListDir(const std::string& dir);
 bool FileExists(const std::string& path);
-Result<std::string> ReadFileToString(const std::string& path);
-Status WriteStringToFile(const std::string& path, std::string_view data,
+EDADB_NODISCARD Result<std::string> ReadFileToString(const std::string& path);
+EDADB_NODISCARD Status WriteStringToFile(const std::string& path, std::string_view data,
                          bool sync);
 
 }  // namespace edadb

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "storage/log_record.h"
 
@@ -30,13 +31,13 @@ class TableHeap {
 
   /// Inserts under a caller-chosen id (recovery replay). Advances the
   /// id allocator past `id`.
-  Status InsertWithId(RowId id, std::string row_bytes);
+  EDADB_NODISCARD Status InsertWithId(RowId id, std::string row_bytes);
 
   /// Borrowed pointer to the row bytes, or nullptr when absent.
   const std::string* Get(RowId id) const;
 
-  Status Update(RowId id, std::string row_bytes);
-  Status Delete(RowId id);
+  EDADB_NODISCARD Status Update(RowId id, std::string row_bytes);
+  EDADB_NODISCARD Status Delete(RowId id);
 
   /// Visits live rows in id order; return false to stop.
   void Scan(const std::function<bool(RowId, const std::string&)>& fn) const;

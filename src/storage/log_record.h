@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "value/schema.h"
 
@@ -62,12 +63,12 @@ struct LogRecord {
   std::string EncodePayload() const;
 
   /// Inverse of EncodePayload.
-  static Result<LogRecord> Decode(uint8_t type, std::string_view payload);
+  EDADB_NODISCARD static Result<LogRecord> Decode(uint8_t type, std::string_view payload);
 };
 
 /// Schema field list codec shared with checkpoints.
 void EncodeSchemaFields(const std::vector<Field>& fields, std::string* dst);
-Result<std::vector<Field>> DecodeSchemaFields(std::string_view* input);
+EDADB_NODISCARD Result<std::vector<Field>> DecodeSchemaFields(std::string_view* input);
 
 }  // namespace edadb
 

@@ -112,7 +112,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options) {
 }
 
 Status WalWriter::OpenNewSegment(Lsn start_lsn) {
-  FAILPOINT("wal:roll");
+  FAILPOINT("wal.roll");
   if (current_ != nullptr) {
     EDADB_RETURN_IF_ERROR(current_->Sync());
     EDADB_RETURN_IF_ERROR(current_->Close());
@@ -128,7 +128,7 @@ Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
   if (current_ == nullptr) {
     return Status::FailedPrecondition("WAL writer is closed");
   }
-  FAILPOINT("wal:append:before");
+  FAILPOINT("wal.append.before");
   if (next_lsn_ - current_segment_start_ >= options_.segment_size_bytes) {
     EDADB_RETURN_IF_ERROR(OpenNewSegment(next_lsn_));
   }
@@ -139,13 +139,13 @@ Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
   // on-disk shape a power cut mid-write leaves behind — then fail or
   // "die". Custom site because the prefix must land before Crash().
   if (failpoint::internal::AnyArmed()) {
-    const failpoint::FireResult fp = failpoint::Fire("wal:append:torn");
+    const failpoint::FireResult fp = failpoint::Fire("wal.append.torn");
     if (fp.fired) {
       const size_t torn = std::min(static_cast<size_t>(fp.arg), frame.size());
       EDADB_RETURN_IF_ERROR(
           current_->Append(std::string_view(frame).substr(0, torn)));
       if (fp.kind == failpoint::ActionKind::kCrash) {
-        failpoint::Crash("wal:append:torn");
+        failpoint::Crash("wal.append.torn");
       }
       return fp.status.ok() ? Status::IOError("injected torn WAL append")
                             : fp.status;
@@ -155,7 +155,7 @@ Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
   EDADB_RETURN_IF_ERROR(current_->Append(frame));
   next_lsn_ += frame.size();
   dirty_ = true;
-  FAILPOINT("wal:append:after");
+  FAILPOINT("wal.append.after");
   if (options_.sync_policy == WalSyncPolicy::kEveryAppend) {
     EDADB_RETURN_IF_ERROR(Sync());
   }
@@ -165,7 +165,7 @@ Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
 Status WalWriter::Sync() {
   // Fires regardless of sync policy: an injected failure models the
   // device dying, which no policy can mask.
-  FAILPOINT("wal:sync");
+  FAILPOINT("wal.sync");
   if (options_.sync_policy == WalSyncPolicy::kNever || !dirty_) {
     dirty_ = false;
     return Status::OK();
@@ -175,7 +175,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::TruncateBefore(Lsn lsn) {
-  FAILPOINT("wal:truncate_before");
+  FAILPOINT("wal.truncate_before");
   EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(options_.dir));
   std::vector<Lsn> starts;
   for (const std::string& name : names) {

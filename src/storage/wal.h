@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "storage/file.h"
 
@@ -49,28 +50,28 @@ struct WalEntry {
 /// serialize externally.
 class WalWriter {
  public:
-  static Result<std::unique_ptr<WalWriter>> Open(WalOptions options);
+  EDADB_NODISCARD static Result<std::unique_ptr<WalWriter>> Open(WalOptions options);
 
   /// Appends one record, returns its LSN. Rolls to a new segment first
   /// when the current one is full, so records never span segments.
-  Result<Lsn> Append(uint8_t type, std::string_view payload);
+  EDADB_NODISCARD Result<Lsn> Append(uint8_t type, std::string_view payload);
 
   /// Durability barrier per the sync policy (no-op under kNever).
-  Status Sync();
+  EDADB_NODISCARD Status Sync();
 
   /// LSN the next Append will return.
   Lsn next_lsn() const { return next_lsn_; }
 
   /// Deletes whole segments that end at or before `lsn`. Used after
   /// checkpoints, bounded by journal-miner retention.
-  Status TruncateBefore(Lsn lsn);
+  EDADB_NODISCARD Status TruncateBefore(Lsn lsn);
 
   const WalOptions& options() const { return options_; }
 
  private:
   explicit WalWriter(WalOptions options) : options_(std::move(options)) {}
 
-  Status OpenNewSegment(Lsn start_lsn);
+  EDADB_NODISCARD Status OpenNewSegment(Lsn start_lsn);
 
   WalOptions options_;
   std::unique_ptr<WritableFile> current_;
@@ -93,17 +94,17 @@ class WalCursor {
   /// when caught up. Corruption mid-log is an error; an incomplete
   /// record at the very tail is treated as "caught up" (it is still
   /// being written).
-  Result<bool> Next(WalEntry* out);
+  EDADB_NODISCARD Result<bool> Next(WalEntry* out);
 
   Lsn position() const { return lsn_; }
 
  private:
   /// Re-scans the directory for segment files.
-  Status RefreshSegments();
+  EDADB_NODISCARD Status RefreshSegments();
 
   /// Ensures file_ is the segment containing lsn_; returns false if no
   /// such segment exists yet.
-  Result<bool> PositionFile();
+  EDADB_NODISCARD Result<bool> PositionFile();
 
   std::string dir_;
   Lsn lsn_;

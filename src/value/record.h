@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "value/schema.h"
 #include "value/value.h"
@@ -41,13 +42,13 @@ class Record : public RowAccessor {
   const std::vector<Value>& values() const { return values_; }
 
   /// Field access by name; NotFound for unknown fields.
-  Result<Value> Get(std::string_view name) const;
-  Status Set(std::string_view name, Value v);
+  EDADB_NODISCARD Result<Value> Get(std::string_view name) const;
+  EDADB_NODISCARD Status Set(std::string_view name, Value v);
 
   std::optional<Value> GetAttribute(std::string_view name) const override;
 
   /// Checks arity, types (null ↔ nullable, otherwise exact type match).
-  Status Validate() const;
+  EDADB_NODISCARD Status Validate() const;
 
   /// "{a: 1, b: 'x'}".
   std::string ToString() const;
@@ -85,7 +86,7 @@ class RecordBuilder {
   }
 
   /// Validates and returns the record. Unset fields are NULL.
-  Result<Record> Build();
+  EDADB_NODISCARD Result<Record> Build();
 
  private:
   SchemaPtr schema_;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "value/record.h"
 
@@ -22,7 +23,7 @@ namespace edadb {
 void EncodeRow(const Record& record, std::string* dst);
 
 /// Decodes a row previously written by EncodeRow against `schema`.
-Result<Record> DecodeRow(SchemaPtr schema, std::string_view input);
+EDADB_NODISCARD Result<Record> DecodeRow(SchemaPtr schema, std::string_view input);
 
 /// A schemaless ordered attribute map, as carried by events and queue
 /// message headers.
@@ -30,7 +31,7 @@ using AttributeList = std::vector<std::pair<std::string, Value>>;
 
 /// varint(count) ++ (length-prefixed name ++ value)*.
 void EncodeAttributes(const AttributeList& attributes, std::string* dst);
-Result<AttributeList> DecodeAttributes(std::string_view input);
+EDADB_NODISCARD Result<AttributeList> DecodeAttributes(std::string_view input);
 
 }  // namespace edadb
 

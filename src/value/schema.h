@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 #include "value/value.h"
 
@@ -48,7 +49,7 @@ class Schema {
   bool HasField(std::string_view name) const {
     return FieldIndex(name) >= 0;
   }
-  Result<ValueType> FieldType(std::string_view name) const;
+  EDADB_NODISCARD Result<ValueType> FieldType(std::string_view name) const;
 
   /// "(a INT64, b STRING NOT NULL)".
   std::string ToString() const;

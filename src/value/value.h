@@ -6,6 +6,7 @@
 #include <string_view>
 #include <variant>
 
+#include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -56,16 +57,16 @@ class Value {
   TimestampMicros timestamp_value() const;
 
   /// Numeric coercion: kInt64/kDouble/kBool/kTimestamp → double.
-  Result<double> AsDouble() const;
+  EDADB_NODISCARD Result<double> AsDouble() const;
   /// kInt64/kBool/kTimestamp, and kDouble when integral → int64.
-  Result<int64_t> AsInt64() const;
+  EDADB_NODISCARD Result<int64_t> AsInt64() const;
   /// kBool directly; numerics are truthy when non-zero.
-  Result<bool> AsBool() const;
+  EDADB_NODISCARD Result<bool> AsBool() const;
 
   /// Three-way comparison with numeric coercion between kInt64, kDouble
   /// and kTimestamp. Comparing incompatible types (e.g. string vs int)
   /// returns InvalidArgument. Null compares only against null (equal).
-  static Result<int> Compare(const Value& a, const Value& b);
+  EDADB_NODISCARD static Result<int> Compare(const Value& a, const Value& b);
 
   /// Total order over all values for use as index keys: first by type
   /// rank (null < bool < numeric < string), then by value; kInt64,

@@ -19,8 +19,8 @@ using edadb::Status;
 namespace {
 
 Status GuardedOp() {
-  FAILPOINT("disabled:op");
-  FAILPOINT_HIT("disabled:hit");
+  FAILPOINT("disabled.op");
+  FAILPOINT_HIT("disabled.hit");
   return Status::OK();
 }
 
@@ -28,13 +28,13 @@ TEST(FailpointDisabledTest, ArmedSiteNeverFiresOrCounts) {
   fp::ResetHitCounts();
   fp::Action action;
   action.status = Status::IOError("must never appear");
-  fp::Arm("disabled:op", action);
+  fp::Arm("disabled.op", action);
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(GuardedOp().ok());
   }
   // The disabled expansion never reaches Fire(), so nothing is counted.
-  EXPECT_EQ(0u, fp::HitCount("disabled:op"));
-  EXPECT_EQ(0u, fp::HitCount("disabled:hit"));
+  EXPECT_EQ(0u, fp::HitCount("disabled.op"));
+  EXPECT_EQ(0u, fp::HitCount("disabled.hit"));
   fp::DisarmAll();
 }
 

@@ -1,0 +1,148 @@
+// Tests for the EDADB_CHECK_STATUS unchecked-Status detector: a
+// non-OK Status (or Result) destroyed without anyone examining its
+// outcome aborts the process, naming the factory call site that
+// created the error. The detector changes Status's layout, so the
+// whole build opts in via -DEDADB_CHECK_STATUS=ON; in ordinary builds
+// every test here skips.
+#include "common/status.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+#ifdef EDADB_CHECK_STATUS
+
+// The abort message must carry the site that *created* the error
+// (this file, via the defaulted std::source_location factory
+// parameter), not the site that dropped it — the creator is what the
+// engineer greps for.
+TEST(StatusCheckDeathTest, DroppedErrorAbortsNamingOriginSite) {
+  EXPECT_DEATH(
+      {
+        [[maybe_unused]] Status dropped = Status::IOError("boom");
+      },
+      "destroyed without being examined.*IOError: boom.*created at "
+      ".*status_check_test\\.cc");
+}
+
+TEST(StatusCheckDeathTest, OverwritingUnexaminedErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Status s = Status::NotFound("first outcome");
+        s = Status::OK();  // clobbers an outcome nobody looked at
+      },
+      "destroyed without being examined.*NotFound: first outcome");
+}
+
+// A copy of an error starts unexamined even when the original was
+// examined: propagation hands the obligation to the new holder (this
+// is what keeps EDADB_RETURN_IF_ERROR's internal ok() check from
+// laundering the caller's responsibility).
+TEST(StatusCheckDeathTest, CopyOfExaminedErrorMustBeExaminedAgain) {
+  EXPECT_DEATH(
+      {
+        Status original = Status::Aborted("shared outcome");
+        EXPECT_FALSE(original.ok());  // original is now examined
+        [[maybe_unused]] Status copy = original;
+      },
+      "destroyed without being examined.*Aborted: shared outcome");
+}
+
+TEST(StatusCheckDeathTest, DroppedErrorResultAborts) {
+  EXPECT_DEATH(
+      {
+        [[maybe_unused]] Result<int> r = Status::Corruption("bad page");
+      },
+      "destroyed without being examined.*Corruption: bad page.*created at "
+      ".*status_check_test\\.cc");
+}
+
+TEST(StatusCheckTest, ExaminedErrorDestroysQuietly) {
+  Status s = Status::IOError("looked at");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusCheckTest, OkStatusNeedsNoExamination) {
+  {
+    [[maybe_unused]] Status ok_status = Status::OK();
+  }
+  SUCCEED();
+}
+
+TEST(StatusCheckTest, PredicatesCodeAndEqualityCountAsExamination) {
+  Status a = Status::NotFound("x");
+  EXPECT_TRUE(a.IsNotFound());
+  Status b = Status::Internal("y");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  Status c = Status::TimedOut("z");
+  EXPECT_EQ(c, Status::TimedOut("z"));
+}
+
+TEST(StatusCheckTest, MoveTransfersObligationToDestination) {
+  Status source = Status::TimedOut("moved outcome");
+  Status dest = std::move(source);
+  EXPECT_TRUE(dest.IsTimedOut());
+  // `source` is moved-from and counts as examined; only `dest` owed a
+  // check, and the predicate above discharged it.
+}
+
+TEST(StatusCheckTest, UncheckedPayloadIsBornAcknowledged) {
+  {
+    // Payload carriers (failpoint::Action's default injected error)
+    // destroy and overwrite these freely.
+    Status payload =
+        Status::UncheckedPayload(StatusCode::kIOError, "payload default");
+    payload = Status::OK();  // overwrite enforcement must pass too
+  }
+  SUCCEED();
+}
+
+TEST(StatusCheckDeathTest, CopyOfUncheckedPayloadIsReobligated) {
+  EXPECT_DEATH(
+      {
+        Status payload =
+            Status::UncheckedPayload(StatusCode::kIOError, "armed payload");
+        [[maybe_unused]] Status copy = payload;  // ordinary copy: owes a check
+      },
+      "destroyed without being examined.*IOError: armed payload");
+}
+
+TEST(StatusCheckTest, IgnoreStatusMacroDischargesObligation) {
+  EDADB_IGNORE_STATUS(Status::NotSupported("deliberately dropped"),
+                      "this test exercises the acknowledged-drop path");
+  SUCCEED();
+}
+
+TEST(StatusCheckTest, ReturnIfErrorPropagationSatisfiesDetectorWhenHandled) {
+  auto fails = []() -> Status {
+    EDADB_RETURN_IF_ERROR(Status::OutOfRange("inner failure"));
+    return Status::OK();
+  };
+  const Status s = fails();
+  EXPECT_TRUE(s.IsOutOfRange());
+}
+
+TEST(StatusCheckTest, ExaminedResultDestroysQuietly) {
+  Result<int> r = Status::FailedPrecondition("checked");
+  EXPECT_FALSE(r.ok());
+  Result<int> v = 7;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+}
+
+#else  // !EDADB_CHECK_STATUS
+
+TEST(StatusCheckTest, DetectorDisabledInThisBuild) {
+  GTEST_SKIP() << "Rebuild with -DEDADB_CHECK_STATUS=ON to exercise the "
+                  "unchecked-Status detector.";
+}
+
+#endif  // EDADB_CHECK_STATUS
+
+}  // namespace
+}  // namespace edadb

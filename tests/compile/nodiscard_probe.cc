@@ -1,0 +1,20 @@
+// Negative-compile probe: this translation unit drops a Status and a
+// Result<T> on the floor and MUST NOT build under -Werror=unused-result.
+// It is excluded from the default build; the `nodiscard_probe` ctest
+// entry (WILL_FAIL) drives a compile of just this target and passes
+// only when the compiler rejects it. If this file ever compiles, the
+// [[nodiscard]] discipline on Status/Result has regressed.
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+edadb::Result<int> MakeValue() { return 42; }
+
+}  // namespace
+
+int main() {
+  edadb::Status::IOError("dropped on purpose");  // expect: error, nodiscard
+  MakeValue();                                   // expect: error, nodiscard
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/processor.h"
 
+#include "common/failpoint.h"
 #include "core/sources.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -296,6 +297,41 @@ TEST_F(SourcesTest, AllThreeCapturePathsSeeTheSameChange) {
   EXPECT_EQ(types, (std::set<std::string>{"via_trigger", "via_journal",
                                           "via_query"}));
 }
+
+#if EDADB_FAILPOINTS_ENABLED
+// Regression: a capture-source delivery whose Ingest() fails must not
+// vanish. Sources deliver on a void callback, so there is no caller to
+// propagate to — the processor logs the failure and bumps
+// Stats::ingest_failures instead of silently dropping the event.
+TEST_F(ProcessorTest, CaptureIngestFailuresAreCountedNotSilentlyDropped) {
+  Database* db = processor_->db();
+  auto schema = Schema::Make({{"sensor", ValueType::kString, false},
+                              {"severity", ValueType::kInt64, false}});
+  ASSERT_OK(db->CreateTable("readings", schema));
+  ASSERT_OK(processor_->AttachTriggerCapture("readings", "reading"));
+
+  // Default Action injects IOError at the top of Ingest().
+  failpoint::Arm("core.ingest", failpoint::Action{});
+  // The insert itself still succeeds: the trigger capture hands the
+  // event to a void callback, so an ingest failure cannot fail the
+  // committing transaction.
+  ASSERT_OK(db->Insert("readings", Record(schema, {Value::String("s1"),
+                                                   Value::Int64(9)}))
+                .status());
+  failpoint::DisarmAll();
+
+  EventProcessor::Stats stats = processor_->GetStats();
+  EXPECT_EQ(stats.ingest_failures, 1u);
+  EXPECT_EQ(stats.ingested, 0u);  // rejected before counting as ingested
+
+  ASSERT_OK(db->Insert("readings", Record(schema, {Value::String("s2"),
+                                                   Value::Int64(3)}))
+                .status());
+  stats = processor_->GetStats();
+  EXPECT_EQ(stats.ingest_failures, 1u);
+  EXPECT_EQ(stats.ingested, 1u);
+}
+#endif  // EDADB_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace edadb

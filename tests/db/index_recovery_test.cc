@@ -95,11 +95,11 @@ void RunCreateIndexFailure(const char* failed_site) {
 }
 
 TEST(IndexRecoveryTest, CreateIndexRollsBackWhenWalAppendFails) {
-  RunCreateIndexFailure("wal:append:before");
+  RunCreateIndexFailure("wal.append.before");
 }
 
 TEST(IndexRecoveryTest, CreateIndexRollsBackWhenWalSyncFails) {
-  RunCreateIndexFailure("wal:sync");
+  RunCreateIndexFailure("wal.sync");
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ TEST_F(SqlTest, InsertConstantExpressions) {
 TEST_F(SqlTest, InsertIsAtomicAcrossTuples) {
   Exec("CREATE TABLE t (n INT64 NOT NULL)");
   // Second tuple violates NOT NULL; nothing must land.
-  ExecError("INSERT INTO t VALUES (1), (NULL)");
+  EXPECT_FALSE(ExecError("INSERT INTO t VALUES (1), (NULL)").ok());
   EXPECT_EQ(*db_->CountRows("t"), 0u);
 }
 

@@ -60,14 +60,14 @@ TEST(EvalTest, StringConcatViaPlus) {
 }
 
 TEST(EvalTest, DivisionByZeroIsError) {
-  EvalError("1 / 0");
-  EvalError("1.5 / 0.0");
-  EvalError("1 % 0");
+  EXPECT_FALSE(EvalError("1 / 0").ok());
+  EXPECT_FALSE(EvalError("1.5 / 0.0").ok());
+  EXPECT_FALSE(EvalError("1 % 0").ok());
 }
 
 TEST(EvalTest, ArithmeticTypeErrors) {
-  EvalError("'a' - 1");
-  EvalError("TRUE * 2");
+  EXPECT_FALSE(EvalError("'a' - 1").ok());
+  EXPECT_FALSE(EvalError("TRUE * 2").ok());
 }
 
 TEST(EvalTest, Comparisons) {
@@ -80,8 +80,8 @@ TEST(EvalTest, Comparisons) {
 }
 
 TEST(EvalTest, ComparisonTypeMismatchIsError) {
-  EvalError("'1' = 1");
-  EvalError("TRUE > 0");
+  EXPECT_FALSE(EvalError("'1' = 1").ok());
+  EXPECT_FALSE(EvalError("TRUE > 0").ok());
 }
 
 TEST(EvalTest, NullPropagationThroughArithmeticAndComparison) {
@@ -146,7 +146,7 @@ TEST(EvalTest, LikeSemantics) {
   EXPECT_EQ(Eval("'hello' LIKE 'h_llo'"), Value::Bool(true));
   EXPECT_EQ(Eval("'hello' NOT LIKE 'x%'"), Value::Bool(true));
   EXPECT_TRUE(Eval("NULL LIKE 'x'").is_null());
-  EvalError("5 LIKE '5'");
+  EXPECT_FALSE(EvalError("5 LIKE '5'").ok());
 }
 
 TEST(EvalTest, IsNullSemantics) {
@@ -208,8 +208,8 @@ TEST(EvalTest, FunctionNullPropagation) {
 }
 
 TEST(EvalTest, FunctionErrors) {
-  EvalError("SQRT(-1)");
-  EvalError("LENGTH(5)");
+  EXPECT_FALSE(EvalError("SQRT(-1)").ok());
+  EXPECT_FALSE(EvalError("LENGTH(5)").ok());
   auto bad_arity = ParseExpression("ABS(1, 2)");
   ASSERT_TRUE(bad_arity.ok());  // Parses; arity checked at eval.
   EvalContext ctx;

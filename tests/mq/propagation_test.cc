@@ -194,11 +194,11 @@ TEST_F(PropagationTest, InjectedExternalFaultNacksWithoutTouchingService) {
   ASSERT_OK(propagator_->AddRule(std::move(rule)));
   ASSERT_OK(queues_->Enqueue("source", Req("fragile")).status());
 
-  // "mq:propagate:deliver" models the external endpoint dying (network
+  // "mq.propagate.deliver" models the external endpoint dying (network
   // error / timeout) before the request reaches it.
   failpoint::Action fault;
   fault.max_fires = 1;
-  failpoint::Arm("mq:propagate:deliver", fault);
+  failpoint::Arm("mq.propagate.deliver", fault);
   EXPECT_EQ(*propagator_->RunOnce(), 0u);
   failpoint::DisarmAll();
 
@@ -228,7 +228,7 @@ TEST_F(PropagationTest, InjectedExternalTimeoutUsesTimedOutStatus) {
   failpoint::Action fault;
   fault.status = Status::OK();
   fault.max_fires = 1;
-  failpoint::Arm("mq:propagate:deliver", fault);
+  failpoint::Arm("mq.propagate.deliver", fault);
   EXPECT_EQ(*propagator_->RunOnce(), 0u);
   failpoint::DisarmAll();
   EXPECT_EQ(service.delivered_count(), 0u);

@@ -92,8 +92,11 @@ TEST_F(QueueCrashTest, AckCrashBetweenDeletesIsRepairedOnReattach) {
   auto msg = *queues_->Dequeue("q", dq_);
   ASSERT_TRUE(msg.has_value());
 
-  ArmCrash("mq:finish:after_dlv_delete");
-  CrashDuring([&] { (void)queues_->Ack("q", "", msg->id); });
+  ArmCrash("mq.finish.after_dlv_delete");
+  CrashDuring([&] {
+    EDADB_IGNORE_STATUS(queues_->Ack("q", "", msg->id),
+                        "the armed crash fires before Ack returns");
+  });
 
   // The delivery row died before the crash; reattach must have GC'd the
   // orphaned message body rather than leaking it forever.
@@ -108,8 +111,11 @@ TEST_F(QueueCrashTest, AckCrashBetweenDeletesIsRepairedOnReattach) {
 
 TEST_F(QueueCrashTest, DequeueCrashBeforeLockPersistRedeliversFresh) {
   ASSERT_OK(queues_->Enqueue("q", Req("unlucky")).status());
-  ArmCrash("mq:dequeue:before_lock_persist");
-  CrashDuring([&] { (void)queues_->Dequeue("q", dq_); });
+  ArmCrash("mq.dequeue.before_lock_persist");
+  CrashDuring([&] {
+    EDADB_IGNORE_STATUS(queues_->Dequeue("q", dq_),
+                        "the armed crash fires before Dequeue returns");
+  });
 
   // The lock was never persisted, so recovery sees a ready message and
   // the aborted delivery attempt does not count.
@@ -120,8 +126,11 @@ TEST_F(QueueCrashTest, DequeueCrashBeforeLockPersistRedeliversFresh) {
 }
 
 TEST_F(QueueCrashTest, EnqueueCrashBeforeCommitLeavesNoGhost) {
-  ArmCrash("mq:enqueue:before_commit");
-  CrashDuring([&] { (void)queues_->Enqueue("q", Req("ghost")); });
+  ArmCrash("mq.enqueue.before_commit");
+  CrashDuring([&] {
+    EDADB_IGNORE_STATUS(queues_->Enqueue("q", Req("ghost")),
+                        "the armed crash fires before Enqueue returns");
+  });
 
   EXPECT_EQ(0u, MsgRows());
   EXPECT_EQ(0u, DlvRows());
@@ -134,8 +143,11 @@ TEST_F(QueueCrashTest, NackCrashBeforePersistKeepsMessageDeliverable) {
   auto msg = *queues_->Dequeue("q", dq_);
   ASSERT_TRUE(msg.has_value());
 
-  ArmCrash("mq:nack:before_persist");
-  CrashDuring([&] { (void)queues_->Nack("q", "", msg->id); });
+  ArmCrash("mq.nack.before_persist");
+  CrashDuring([&] {
+    EDADB_IGNORE_STATUS(queues_->Nack("q", "", msg->id),
+                        "the armed crash fires before Nack returns");
+  });
 
   // The nack never landed: the dequeue lock still holds...
   EXPECT_FALSE(queues_->Dequeue("q", dq_)->has_value());

@@ -46,6 +46,24 @@ TEST_F(QueueTest, CreateListDrop) {
   EXPECT_TRUE(queues_->CreateQueue("").IsInvalidArgument());
 }
 
+// Regression: DropQueue used to discard the trigger-drop Status with a
+// (void) cast. It must tolerate a trigger that is already gone
+// (NotFound — e.g. half-completed earlier drop) but still succeed in
+// removing the queue, leaving the name free for re-creation.
+TEST_F(QueueTest, DropQueueToleratesAlreadyMissingTrigger) {
+  ASSERT_OK(queues_->CreateQueue("orders"));
+  // Remove one of the queue's maintenance triggers out from under it.
+  ASSERT_OK(db_->DropTrigger("__qt_orders_msgs"));
+  ASSERT_OK(queues_->DropQueue("orders"));
+  EXPECT_FALSE(queues_->HasQueue("orders"));
+  ASSERT_OK(queues_->CreateQueue("orders"));
+  ASSERT_OK(queues_->Enqueue("orders", Req("still works")).status());
+  DequeueRequest dq;
+  auto msg = *queues_->Dequeue("orders", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "still works");
+}
+
 TEST_F(QueueTest, FifoWithinSamePriority) {
   ASSERT_OK(queues_->CreateQueue("q"));
   ASSERT_OK(queues_->Enqueue("q", Req("first")).status());

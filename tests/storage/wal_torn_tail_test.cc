@@ -61,7 +61,7 @@ TEST(WalTornTailTest, EveryCutOffsetOfFinalFrameDropsExactlyThatRecord) {
 }
 
 // Same property driven through the failpoint instead of manual file
-// surgery: "wal:append:torn" persists only the first `arg` bytes of the
+// surgery: "wal.append.torn" persists only the first `arg` bytes of the
 // frame and fails the append, exactly like a crash mid-write.
 TEST(WalTornTailTest, TornAppendFailpointLeavesRecoverablePrefix) {
   for (const int64_t prefix : {0, 1, 8, 9, 13, 1000}) {
@@ -76,7 +76,7 @@ TEST(WalTornTailTest, TornAppendFailpointLeavesRecoverablePrefix) {
       torn.kind = failpoint::ActionKind::kReturnStatus;
       torn.arg = prefix;
       torn.max_fires = 1;
-      failpoint::Arm("wal:append:torn", torn);
+      failpoint::Arm("wal.append.torn", torn);
       const Status s = writer->Append(2, "doomed write").status();
       failpoint::DisarmAll();
       ASSERT_FALSE(s.ok()) << "prefix " << prefix;
