@@ -187,4 +187,4 @@ BENCHMARK(BM_StreamStreamJoin)->Arg(4)->Arg(64)->Arg(1024)
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

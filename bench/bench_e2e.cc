@@ -137,7 +137,56 @@ void BM_IngestNoMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_IngestNoMatch)->Unit(benchmark::kMicrosecond);
 
+/// Batch ingest sweep: IngestBatch(N) amortizes the bus subscriber
+/// snapshot and the matcher lock over N events (routing transactions
+/// stay per-event). Compare against BM_IngestNoMatch for the N=1 tax.
+void BM_IngestBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Pipeline pipeline;
+  Random rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Event> events;
+    events.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      events.push_back(pipeline.MakeEvent(&rng, false));
+    }
+    state.ResumeTiming();
+    if (!pipeline.processor->IngestBatch(std::move(events)).ok()) {
+      std::abort();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_IngestBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full-pipeline latency of one critical event, exported as p50_us /
+/// p99_us counters so the --json reporter carries real percentiles
+/// (the latency table above prints the same numbers for humans).
+void BM_PipelineLatency(benchmark::State& state) {
+  Pipeline pipeline;
+  Random rng(5);
+  P2Quantile p50(0.5), p99(0.99);
+  for (auto _ : state) {
+    const TimestampMicros start = SystemClock::Default()->NowMicros();
+    if (!pipeline.processor->Ingest(pipeline.MakeEvent(&rng, true)).ok()) {
+      std::abort();
+    }
+    if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
+    if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
+    const double micros = static_cast<double>(
+        SystemClock::Default()->NowMicros() - start);
+    p50.Add(micros);
+    p99.Add(micros);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p50_us"] = p50.value();
+  state.counters["p99_us"] = p99.value();
+}
+BENCHMARK(BM_PipelineLatency)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

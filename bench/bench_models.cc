@@ -155,4 +155,4 @@ BENCHMARK(BM_RocComputation)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

@@ -145,4 +145,4 @@ BENCHMARK(BM_PublishDurable)->Arg(1)->Arg(8)->Arg(64)
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

@@ -6,6 +6,7 @@
 // strictness; fanout to G groups costs ~G delivery rows per message.
 
 #include <memory>
+#include <vector>
 
 #include "benchmark/benchmark.h"
 #include "bench_util.h"
@@ -150,7 +151,84 @@ void BM_TransactionalEnqueueBatch(benchmark::State& state) {
 BENCHMARK(BM_TransactionalEnqueueBatch)->Arg(1)->Arg(16)->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 
+/// The tentpole measurement: batch-size sweep of EnqueueBatch (one
+/// transaction, one WAL barrier) against the per-event Enqueue loop
+/// (one of each per message), both under sync=on_commit so the fsync
+/// amortization is what's being measured. range(0) = batch size,
+/// range(1) = 1 for EnqueueBatch / 0 for the loop.
+void BM_EnqueueBatchVsLoop(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const bool use_batch = state.range(1) != 0;
+  QueueFixture fx(WalSyncPolicy::kOnCommit);
+  std::vector<EnqueueRequest> requests(batch);
+  for (auto& request : requests) {
+    request.payload = "group commit sweep payload";
+    request.attributes = {{"severity", Value::Int64(5)}};
+  }
+  for (auto _ : state) {
+    if (use_batch) {
+      if (!fx.queues->EnqueueBatch("bench", requests).ok()) std::abort();
+    } else {
+      for (const auto& request : requests) {
+        if (!fx.queues->Enqueue("bench", request).ok()) std::abort();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+  state.SetLabel(use_batch ? "batch" : "loop");
+}
+BENCHMARK(BM_EnqueueBatchVsLoop)
+    ->ArgsProduct({{1, 8, 64, 512}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Concurrent single-message enqueues under sync=on_commit: with the
+/// WAL's leader/follower group commit, T threads committing at once
+/// should share fdatasyncs rather than paying one each, so aggregate
+/// items_per_second should grow with thread count.
+void BM_ConcurrentEnqueueGroupCommit(benchmark::State& state) {
+  static QueueFixture fx(WalSyncPolicy::kOnCommit);
+  EnqueueRequest request;
+  request.payload = "concurrent group commit";
+  for (auto _ : state) {
+    if (!fx.queues->Enqueue("bench", request).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentEnqueueGroupCommit)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// DequeueBatch draining a pre-filled backlog `batch` messages at a
+/// time (locks persisted per message; the win is lock amortization on
+/// the scan, not the WAL).
+void BM_DequeueBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  QueueFixture fx;
+  EnqueueRequest request;
+  request.payload = "drain me";
+  DequeueRequest dq;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<EnqueueRequest> refill(batch, request);
+    if (!fx.queues->EnqueueBatch("bench", refill).ok()) std::abort();
+    state.ResumeTiming();
+    auto messages = fx.queues->DequeueBatch("bench", dq, batch);
+    if (!messages.ok() || messages->size() != batch) std::abort();
+    state.PauseTiming();
+    for (const Message& message : *messages) {
+      if (!fx.queues->Ack("bench", "", message.id).ok()) std::abort();
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_DequeueBatch)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

@@ -123,4 +123,4 @@ BENCHMARK(BM_IndexedAddRemove)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

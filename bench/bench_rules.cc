@@ -100,4 +100,4 @@ BENCHMARK(BM_IndexedBuild)->Arg(1000)->Arg(10000)
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

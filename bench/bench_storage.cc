@@ -172,4 +172,4 @@ BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000)
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

@@ -1,11 +1,20 @@
 #ifndef EDADB_BENCH_BENCH_UTIL_H_
 #define EDADB_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -75,6 +84,149 @@ inline std::string RandomRuleCondition(Random* rng, int num_attrs,
       static_cast<long long>(rng->UniformInt(0, cardinality / 2)),
       static_cast<long long>(
           rng->UniformInt(cardinality / 2, cardinality - 1)));
+}
+
+// ---------------------------------------------------------------------
+// --json output mode.
+//
+// Every bench binary routes through BenchMain() below, which accepts a
+// `--json[=path]` flag (default path "bench.json") in addition to the
+// standard --benchmark_* flags. With --json, per-benchmark results are
+// ALSO written as a JSON array — one object per benchmark run with
+// name, iterations, ops/sec and p50/p99 latency — so scripts/bench.sh
+// and the CI bench-smoke stage can consume results without scraping
+// console output.
+
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Console reporter that additionally collects every iteration run and
+/// writes the JSON array to `path` in Finalize(). Latency fields come
+/// from user counters "p50_us"/"p99_us" when the benchmark records
+/// them (see BM_PipelineLatency); otherwise both report the mean
+/// per-iteration wall time, which is the right scalar for simple
+/// throughput loops.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double per_iter_us = run.real_accumulated_time / iters * 1e6;
+      auto counter_or = [&run](const char* key, double fallback) {
+        auto it = run.counters.find(key);
+        if (it == run.counters.end()) return fallback;
+        return static_cast<double>(it->second);
+      };
+      entry.ops_per_sec = counter_or(
+          "items_per_second", per_iter_us > 0 ? 1e6 / per_iter_us : 0.0);
+      entry.p50_us = counter_or("p50_us", per_iter_us);
+      entry.p99_us = counter_or("p99_us", per_iter_us);
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  void Finalize() override {
+    std::ofstream out(path_);
+    if (out) {
+      out << "[\n";
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        out << "  {\"name\": \"" << JsonEscape(e.name) << "\""
+            << ", \"iterations\": " << e.iterations
+            << ", \"ops_per_sec\": " << Num(e.ops_per_sec)
+            << ", \"p50_us\": " << Num(e.p50_us)
+            << ", \"p99_us\": " << Num(e.p99_us) << "}"
+            << (i + 1 < entries_.size() ? "," : "") << "\n";
+      }
+      out << "]\n";
+    }
+    ConsoleReporter::Finalize();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    int64_t iterations = 0;
+    double ops_per_sec = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+  };
+
+  /// JSON has no NaN/Infinity; clamp non-finite values to 0.
+  static double Num(double v) { return std::isfinite(v) ? v : 0.0; }
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// Shared main() for every bench binary: strips `--json[=path]`, then
+/// hands the rest to google/benchmark.
+inline int BenchMain(int argc, char** argv) {
+  std::string json_path;
+  bool json = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path.assign(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json) {
+    if (json_path.empty()) json_path = "bench.json";
+    JsonFileReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace bench

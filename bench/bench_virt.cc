@@ -177,4 +177,4 @@ BENCHMARK(BM_VirtFanout)->Arg(10)->Arg(100)
 }  // namespace
 }  // namespace edadb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edadb::bench::BenchMain(argc, argv); }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite in Release and merges every binary's
+# --json output into one BENCH_<date>.json at the repo root.
+#
+# Environment knobs:
+#   BENCH_BUILD_DIR  build directory (default: <repo>/build-bench)
+#   BENCH_OUT        output file (default: <repo>/BENCH_<YYYYMMDD>.json)
+#   BENCH_FILTER     --benchmark_filter regex passed to every binary
+#   BENCH_MIN_TIME   --benchmark_min_time seconds (e.g. 0.01 for smoke)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BENCH_BUILD_DIR:-$ROOT/build-bench}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_$(date +%Y%m%d).json}"
+
+BENCHES=(bench_capture bench_queue bench_storage bench_rules
+         bench_rule_churn bench_pubsub bench_cq bench_models
+         bench_virt bench_e2e)
+
+cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target "${BENCHES[@]}" -j"$(nproc)"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  args=("--json=$TMP/$bench.json")
+  [[ -n "${BENCH_FILTER:-}" ]] && args+=("--benchmark_filter=$BENCH_FILTER")
+  [[ -n "${BENCH_MIN_TIME:-}" ]] && args+=("--benchmark_min_time=$BENCH_MIN_TIME")
+  echo "=== $bench ==="
+  "$BUILD_DIR/bench/$bench" "${args[@]}"
+done
+
+python3 - "$OUT" "$TMP"/*.json <<'EOF'
+import json, sys
+out, paths = sys.argv[1], sys.argv[2:]
+merged = []
+for path in paths:
+    with open(path) as f:
+        merged.extend(json.load(f))
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: {len(merged)} benchmark results")
+EOF

@@ -13,7 +13,7 @@ Result<uint64_t> EventBus::Subscribe(
   }
   MutexLock lock(&mu_);
   const uint64_t handle = next_handle_++;
-  subs_.emplace(handle, std::move(sub));
+  subs_.emplace(handle, std::make_shared<const Sub>(std::move(sub)));
   return handle;
 }
 
@@ -26,24 +26,40 @@ Status EventBus::Unsubscribe(uint64_t handle) {
 }
 
 size_t EventBus::Publish(const Event& event) {
-  published_.fetch_add(1, std::memory_order_relaxed);
-  // Snapshot handlers so subscribers may (un)subscribe from callbacks.
-  std::vector<Sub> targets;
+  return PublishSpan(&event, 1);
+}
+
+size_t EventBus::PublishBatch(const std::vector<Event>& events) {
+  return PublishSpan(events.data(), events.size());
+}
+
+size_t EventBus::PublishSpan(const Event* events, size_t count) {
+  if (count == 0) return 0;
+  published_.fetch_add(count, std::memory_order_relaxed);
+  // One subscription snapshot for the whole batch. Refs, not copies:
+  // filters evaluate and handlers run OUTSIDE mu_, so a slow filter or
+  // re-entrant handler (subscribe/unsubscribe/publish from a callback)
+  // never blocks other publishers. Predicate evaluation is const and
+  // stateless, so sharing the Sub across threads is safe.
+  std::vector<std::shared_ptr<const Sub>> snapshot;
   {
     MutexLock lock(&mu_);
-    targets.reserve(subs_.size());
+    snapshot.reserve(subs_.size());
+    for (const auto& [handle, sub] : subs_) snapshot.push_back(sub);
+  }
+  size_t delivered = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Event& event = events[i];
     EventView view(event);
-    for (const auto& [handle, sub] : subs_) {
-      if (sub.filter.has_value() && !sub.filter->MatchesOrFalse(view)) {
+    for (const std::shared_ptr<const Sub>& sub : snapshot) {
+      if (sub->filter.has_value() && !sub->filter->MatchesOrFalse(view)) {
         continue;
       }
-      targets.push_back(sub);
+      sub->handler(event);
+      ++delivered;
     }
   }
-  for (const Sub& sub : targets) {
-    sub.handler(event);
-  }
-  return targets.size();
+  return delivered;
 }
 
 size_t EventBus::num_subscribers() const {

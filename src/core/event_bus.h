@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,7 +34,15 @@ class EventBus {
   EDADB_NODISCARD Status Unsubscribe(uint64_t handle);
 
   /// Delivers to every matching subscriber; returns how many saw it.
+  /// Thin wrapper over a one-event PublishBatch (single code path).
   size_t Publish(const Event& event);
+
+  /// Delivers each event (in order) to every matching subscriber with
+  /// ONE subscriber snapshot — one lock round-trip — for the whole
+  /// batch. Returns total (event, subscriber) deliveries. Subscribers
+  /// added or removed by a handler mid-batch take effect on the next
+  /// publish, not on the remaining events of this batch.
+  size_t PublishBatch(const std::vector<Event>& events);
 
   size_t num_subscribers() const;
 
@@ -45,8 +54,15 @@ class EventBus {
     std::optional<Predicate> filter;
   };
 
+  /// Shared implementation behind Publish/PublishBatch (pointer + count
+  /// so the single-event wrapper needs no copy; C++17 has no std::span).
+  size_t PublishSpan(const Event* events, size_t count);
+
   mutable Mutex mu_{"EventBus::mu_"};
-  std::map<uint64_t, Sub> subs_ EDADB_GUARDED_BY(mu_);
+  /// shared_ptr so publishers can snapshot subscriptions by reference:
+  /// mu_ is held only to copy N pointers, never while evaluating
+  /// filters or running handlers (which may re-enter the bus).
+  std::map<uint64_t, std::shared_ptr<const Sub>> subs_ EDADB_GUARDED_BY(mu_);
   uint64_t next_handle_ EDADB_GUARDED_BY(mu_) = 1;
   std::atomic<uint64_t> published_{0};
 };

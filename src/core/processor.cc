@@ -146,24 +146,41 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
 }
 
 Status EventProcessor::Ingest(Event event) {
-  FAILPOINT("core.ingest");
-  if (event.id == 0) event.id = NextEventId();
-  if (event.timestamp == 0) event.timestamp = clock_->NowMicros();
-  ingested_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Event> batch;
+  batch.push_back(std::move(event));
+  return IngestBatch(std::move(batch));
+}
 
-  // Let bus subscribers (windows, monitors, application code) see it.
-  bus_.Publish(event);
+Status EventProcessor::IngestBatch(std::vector<Event> events) {
+  if (events.empty()) return Status::OK();
+  FAILPOINT("core.ingest");
+  for (Event& event : events) {
+    if (event.id == 0) event.id = NextEventId();
+    if (event.timestamp == 0) event.timestamp = clock_->NowMicros();
+  }
+  ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+
+  // Let bus subscribers (windows, monitors, application code) see the
+  // whole batch under one subscriber snapshot.
+  bus_.PublishBatch(events);
 
   // Evaluate critical conditions (handlers registered on rules() fire
-  // inside Evaluate), then interpret routing action tags.
-  EventView view(event);
-  EDADB_ASSIGN_OR_RETURN(std::vector<std::string> matched,
-                         rules_->Evaluate(view));
-  rules_matched_.fetch_add(matched.size(), std::memory_order_relaxed);
-  for (const std::string& rule_id : matched) {
-    std::optional<Rule> rule = rules_->FindRule(rule_id);
-    if (rule.has_value() && !rule->action.empty()) {
-      RouteAction(*rule, event);
+  // inside EvaluateBatch), then interpret routing action tags per event.
+  std::vector<EventView> views;
+  views.reserve(events.size());
+  for (const Event& event : events) views.emplace_back(event);
+  std::vector<const RowAccessor*> accessors;
+  accessors.reserve(events.size());
+  for (const EventView& view : views) accessors.push_back(&view);
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> matched,
+                         rules_->EvaluateBatch(accessors));
+  for (size_t i = 0; i < events.size(); ++i) {
+    rules_matched_.fetch_add(matched[i].size(), std::memory_order_relaxed);
+    for (const std::string& rule_id : matched[i]) {
+      std::optional<Rule> rule = rules_->FindRule(rule_id);
+      if (rule.has_value() && !rule->action.empty()) {
+        RouteAction(*rule, events[i]);
+      }
     }
   }
   return Status::OK();

@@ -60,7 +60,18 @@ class EventProcessor {
   EventProcessor& operator=(const EventProcessor&) = delete;
 
   /// Normalizes (id/timestamp) and runs the event through the pipeline.
+  /// Thin wrapper over a one-event IngestBatch (single code path).
   EDADB_NODISCARD Status Ingest(Event event);
+
+  /// Batch ingest: normalizes every event, publishes the whole batch on
+  /// the bus with one subscriber snapshot, evaluates all events against
+  /// the rule set in one matcher pass, then routes matched actions per
+  /// event in order. Routing side effects (queue enqueues, topic
+  /// publishes) keep per-event transactions — a poisoned event fails
+  /// alone — but concurrent batches share WAL fdatasyncs via group
+  /// commit. Within a batch, every bus delivery happens before any rule
+  /// routing (per-channel order is unchanged from the per-event loop).
+  EDADB_NODISCARD Status IngestBatch(std::vector<Event> events);
 
   /// One scheduler tick: polls attached journal/query capture sources,
   /// pumps queue propagation and dispatcher bindings once. Returns

@@ -501,18 +501,27 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
   std::vector<AfterEvent> after_events;
   after_events.reserve(ops.size());
 
+  Lsn commit_end_lsn = 0;
   {
     std::unique_lock lock(mu_);
     EDADB_RETURN_IF_ERROR(ValidateOps(ops));
     FAILPOINT("db.commit.before_wal");
     const TxnId txn = next_txn_id_++;
 
+    // Frame Begin plus every op as ONE WAL batch — one writer lock
+    // round-trip and one file write for the whole transaction. The
+    // commit record goes separately so the crash window "ops logged,
+    // commit missing" (which recovery must discard) still exists.
+    std::vector<uint8_t> wal_types;
+    std::vector<std::string> wal_payloads;  // Stable buffers for the refs.
+    wal_types.reserve(ops.size() + 1);
+    wal_payloads.reserve(ops.size() + 1);
+
     LogRecord begin;
     begin.type = LogRecordType::kBeginTxn;
     begin.txn_id = txn;
-    EDADB_RETURN_IF_ERROR(
-        wal_->Append(static_cast<uint8_t>(begin.type), begin.EncodePayload())
-            .status());
+    wal_types.push_back(static_cast<uint8_t>(begin.type));
+    wal_payloads.push_back(begin.EncodePayload());
 
     for (PendingOp& op : ops) {
       Table* t = tables_by_id_.at(op.table_id);
@@ -529,10 +538,15 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
           op.type == LogRecordType::kDelete) {
         rec.old_row = *t->heap().Get(op.row_id);
       }
-      EDADB_RETURN_IF_ERROR(
-          wal_->Append(static_cast<uint8_t>(rec.type), rec.EncodePayload())
-              .status());
+      wal_types.push_back(static_cast<uint8_t>(rec.type));
+      wal_payloads.push_back(rec.EncodePayload());
     }
+    std::vector<WalRecordRef> wal_batch;
+    wal_batch.reserve(wal_payloads.size());
+    for (size_t i = 0; i < wal_payloads.size(); ++i) {
+      wal_batch.push_back({wal_types[i], wal_payloads[i]});
+    }
+    EDADB_RETURN_IF_ERROR(wal_->AppendBatch(wal_batch).status());
 
     // A crash before the commit record leaves Begin+ops without Commit:
     // recovery must discard the whole transaction.
@@ -540,15 +554,13 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
     LogRecord commit;
     commit.type = LogRecordType::kCommitTxn;
     commit.txn_id = txn;
-    EDADB_RETURN_IF_ERROR(
-        wal_->Append(static_cast<uint8_t>(commit.type),
-                     commit.EncodePayload())
-            .status());
+    const std::string commit_payload = commit.EncodePayload();
+    const std::vector<WalRecordRef> commit_rec = {
+        {static_cast<uint8_t>(commit.type), commit_payload}};
+    EDADB_ASSIGN_OR_RETURN(const WalBatchResult commit_written,
+                           wal_->AppendBatch(commit_rec));
+    commit_end_lsn = commit_written.end_lsn;
     FAILPOINT("db.commit.before_sync");
-    EDADB_RETURN_IF_ERROR(wal_->Sync());
-    // The commit record is on disk: a crash from here on must still
-    // surface the transaction after recovery.
-    FAILPOINT("db.commit.after_sync");
 
     // Apply. ValidateOps vetted everything; failures here indicate a
     // programming error and poison the database state.
@@ -592,6 +604,17 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
       after_events.push_back(std::move(ev));
     }
   }
+
+  // Group commit: the durability barrier runs OUTSIDE the database
+  // lock, so concurrent committers rendezvous in WalWriter::SyncTo and
+  // share one fdatasync instead of paying one each (DESIGN.md §10).
+  // Applied state is visible to readers a beat before it is durable;
+  // an error here means durability is unknown, not that the commit was
+  // rolled back.
+  EDADB_RETURN_IF_ERROR(wal_->SyncTo(commit_end_lsn));
+  // The commit record is on disk: a crash from here on must still
+  // surface the transaction after recovery.
+  FAILPOINT("db.commit.after_sync");
 
   // AFTER triggers observe committed state; errors are logged, not
   // propagated (the change is already durable).

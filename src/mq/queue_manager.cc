@@ -357,14 +357,43 @@ Result<Record> QueueManager::BuildMessageRecord(
 
 Result<MessageId> QueueManager::Enqueue(const std::string& queue,
                                         const EnqueueRequest& request) {
+  EDADB_ASSIGN_OR_RETURN(std::vector<MessageId> ids,
+                         EnqueueSpan(queue, &request, 1));
+  return ids.front();
+}
+
+Result<std::vector<MessageId>> QueueManager::EnqueueBatch(
+    const std::string& queue, const std::vector<EnqueueRequest>& requests) {
+  return EnqueueSpan(queue, requests.data(), requests.size());
+}
+
+Result<std::vector<MessageId>> QueueManager::EnqueueSpan(
+    const std::string& queue, const EnqueueRequest* requests, size_t count) {
+  std::vector<MessageId> ids;
+  if (count == 0) {
+    // Validate the queue even for an empty batch so callers get the
+    // same NotFound they would for a non-empty one.
+    RecursiveMutexLock lock(&mu_);
+    if (queues_.find(queue) == queues_.end()) {
+      return Status::NotFound("queue '" + queue + "'");
+    }
+    return ids;
+  }
+  ids.reserve(count);
   auto txn = db_->BeginTransaction();
-  EDADB_ASSIGN_OR_RETURN(MessageId id,
-                         EnqueueInTransaction(txn.get(), queue, request));
-  // Ops staged but not committed: a crash here must lose the message
-  // entirely (no body row, no delivery rows).
+  for (size_t i = 0; i < count; ++i) {
+    // Crash between staged messages of a batch: the transaction never
+    // commits, so the whole batch must vanish (all-or-nothing).
+    if (i > 0) FAILPOINT("mq.enqueue_batch.mid");
+    EDADB_ASSIGN_OR_RETURN(
+        MessageId id, EnqueueInTransaction(txn.get(), queue, requests[i]));
+    ids.push_back(id);
+  }
+  // Ops staged but not committed: a crash here must lose the batch
+  // entirely (no body rows, no delivery rows).
   FAILPOINT("mq.enqueue.before_commit");
   EDADB_RETURN_IF_ERROR(txn->Commit());
-  return id;
+  return ids;
 }
 
 Result<MessageId> QueueManager::EnqueueInTransaction(
@@ -552,6 +581,16 @@ Status QueueManager::DeadLetter(const std::string& queue, QueueState* state,
 
 Result<std::optional<Message>> QueueManager::Dequeue(
     const std::string& queue, const DequeueRequest& request) {
+  EDADB_ASSIGN_OR_RETURN(std::vector<Message> messages,
+                         DequeueBatch(queue, request, 1));
+  if (messages.empty()) return std::optional<Message>();
+  return std::optional<Message>(std::move(messages.front()));
+}
+
+Result<std::vector<Message>> QueueManager::DequeueBatch(
+    const std::string& queue, const DequeueRequest& request,
+    size_t max_messages) {
+  std::vector<Message> out;
   RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
@@ -565,6 +604,7 @@ Result<std::optional<Message>> QueueManager::Dequeue(
   GroupRuntime& rt = state.runtime[request.group];
   const TimestampMicros now = clock_->NowMicros();
   Promote(&state, &rt, now);
+  if (max_messages == 0) return out;
 
   // Snapshot the ready order; dead-lettering below mutates the set.
   std::vector<std::pair<int64_t, MessageId>> candidates(rt.ready.begin(),
@@ -616,9 +656,10 @@ Result<std::optional<Message>> QueueManager::Dequeue(
     rt.ready.erase({neg_priority, id});
     rt.locked[id] = locked_until;
     message.delivery_count = deliv.delivery_count;
-    return std::optional<Message>(std::move(message));
+    out.push_back(std::move(message));
+    if (out.size() >= max_messages) break;
   }
-  return std::optional<Message>();
+  return out;
 }
 
 Result<std::optional<Message>> QueueManager::DequeueWait(

@@ -81,8 +81,18 @@ class QueueManager {
       const std::string& queue) const;
 
   /// Stages a message (the tutorial's "extended INSERT interface").
+  /// Thin wrapper over a one-element EnqueueBatch (single code path).
   EDADB_NODISCARD Result<MessageId> Enqueue(const std::string& queue,
                             const EnqueueRequest& request);
+
+  /// Stages N messages as ONE transaction — one WAL barrier, one group
+  /// of AFTER triggers — so either every message becomes visible or
+  /// none does (all-or-nothing; per-message ack semantics unchanged).
+  /// Returns the MessageIds in request order. This is the batch-first
+  /// ingest fast path: under WalSyncPolicy::kOnCommit the whole batch
+  /// pays one fdatasync instead of N.
+  EDADB_NODISCARD Result<std::vector<MessageId>> EnqueueBatch(
+      const std::string& queue, const std::vector<EnqueueRequest>& requests);
 
   /// Transactional enqueue: the message becomes visible only when `txn`
   /// commits (§2.2.b.ii.3 "transactional support").
@@ -92,9 +102,20 @@ class QueueManager {
 
   /// Takes the highest-priority visible message matching the selector,
   /// locking it for the group's visibility timeout. nullopt = queue
-  /// empty (for this group/selector).
+  /// empty (for this group/selector). Thin wrapper over
+  /// DequeueBatch(..., 1).
   EDADB_NODISCARD Result<std::optional<Message>> Dequeue(const std::string& queue,
                                          const DequeueRequest& request);
+
+  /// Batch dequeue: takes up to `max_messages` deliverable messages in
+  /// dequeue order under one runtime lock. Each message is locked for
+  /// the visibility timeout individually — acks/nacks stay per-message,
+  /// so a consumer can ack some of a batch and nack the rest. Fewer
+  /// than `max_messages` (possibly zero) are returned when the queue
+  /// runs dry.
+  EDADB_NODISCARD Result<std::vector<Message>> DequeueBatch(
+      const std::string& queue, const DequeueRequest& request,
+      size_t max_messages);
 
   /// Blocking dequeue; waits up to `timeout_micros` for a message.
   /// Returns Aborted once Shutdown() has been called.
@@ -195,6 +216,12 @@ class QueueManager {
   EDADB_NODISCARD Result<Record> BuildMessageRecord(const std::string& queue,
                                     const EnqueueRequest& request,
                                     TimestampMicros now) const;
+
+  /// Shared implementation behind Enqueue and EnqueueBatch (pointer +
+  /// count instead of a vector so the single-message wrapper needs no
+  /// copy; C++17 has no std::span).
+  EDADB_NODISCARD Result<std::vector<MessageId>> EnqueueSpan(
+      const std::string& queue, const EnqueueRequest* requests, size_t count);
 
   /// Effective groups for fanout (the implicit "" group when none
   /// registered).

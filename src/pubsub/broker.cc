@@ -273,7 +273,20 @@ Status Broker::DeliverTo(const SubscriptionState& sub,
 }
 
 Result<size_t> Broker::Publish(const Publication& pub) {
-  if (pub.retain) {
+  return PublishSpan(&pub, 1);
+}
+
+Result<size_t> Broker::PublishBatch(const std::vector<Publication>& pubs) {
+  return PublishSpan(pubs.data(), pubs.size());
+}
+
+Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
+  if (count == 0) return static_cast<size_t>(0);
+
+  // Retained-value bookkeeping per publication (cold path).
+  for (size_t i = 0; i < count; ++i) {
+    const Publication& pub = pubs[i];
+    if (!pub.retain) continue;
     EDADB_ASSIGN_OR_RETURN(
         Predicate match,
         Predicate::Compile("topic = '" + EscapeSqlString(pub.topic) + "'"));
@@ -289,22 +302,56 @@ Result<size_t> Broker::Publish(const Publication& pub) {
     EDADB_RETURN_IF_ERROR(db_->Insert(kRetainedTable, std::move(row)).status());
   }
 
-  // Match under the lock; deliver handler callbacks outside it.
-  std::vector<SubscriptionState> targets;
+  // Match the whole batch under ONE lock; deliveries happen outside it.
+  // Durable targets are grouped by destination queue so each queue gets
+  // its matches in one EnqueueBatch (batched fan-out); non-durable
+  // handler targets are copied out and invoked in publication order.
+  std::map<std::string, std::vector<size_t>> durable_pub_indices;  // By queue.
+  std::map<std::string, std::string> durable_subscriber;           // By queue.
+  std::vector<std::pair<SubscriptionState, size_t>> inline_targets;
   {
     MutexLock lock(&mu_);
-    PublicationView view(pub);
-    std::vector<const Rule*> matched;
-    matcher_.Match(view, &matched);
-    targets.reserve(matched.size());
-    for (const Rule* rule : matched) {
-      auto it = subscriptions_.find(rule->id);
-      if (it != subscriptions_.end()) targets.push_back(it->second);
+    std::vector<PublicationView> views;
+    views.reserve(count);
+    for (size_t i = 0; i < count; ++i) views.emplace_back(pubs[i]);
+    std::vector<const RowAccessor*> accessors;
+    accessors.reserve(count);
+    for (const PublicationView& view : views) accessors.push_back(&view);
+    std::vector<std::vector<const Rule*>> matched;
+    matcher_.MatchBatch(accessors, &matched);
+    for (size_t i = 0; i < matched.size(); ++i) {
+      for (const Rule* rule : matched[i]) {
+        auto it = subscriptions_.find(rule->id);
+        if (it == subscriptions_.end()) continue;
+        const SubscriptionState& sub = it->second;
+        if (sub.spec.durable) {
+          durable_pub_indices[sub.queue].push_back(i);
+          durable_subscriber[sub.queue] = sub.spec.subscriber;
+        } else {
+          inline_targets.emplace_back(sub, i);
+        }
+      }
     }
   }
+
   size_t delivered = 0;
-  for (const SubscriptionState& sub : targets) {
-    const Status s = DeliverTo(sub, pub);
+  for (const auto& [queue, indices] : durable_pub_indices) {
+    std::vector<EnqueueRequest> requests(indices.size());
+    for (size_t j = 0; j < indices.size(); ++j) {
+      PublicationToEnqueueRequest(pubs[indices[j]], &requests[j]);
+    }
+    const auto enqueued = queues_->EnqueueBatch(queue, requests);
+    if (enqueued.ok()) {
+      delivered += indices.size();
+    } else {
+      EDADB_LOG(Warn) << "delivery of " << indices.size()
+                      << " publication(s) to subscriber '"
+                      << durable_subscriber[queue]
+                      << "' failed: " << enqueued.status();
+    }
+  }
+  for (const auto& [sub, index] : inline_targets) {
+    const Status s = DeliverTo(sub, pubs[index]);
     if (s.ok()) {
       ++delivered;
     } else {

@@ -91,8 +91,19 @@ class Broker {
   EDADB_NODISCARD Status Unsubscribe(const std::string& subscription_id);
 
   /// Delivers `pub` to every matching subscription; returns how many
-  /// subscriptions received it.
+  /// subscriptions received it. Thin wrapper over a one-publication
+  /// PublishBatch (single code path).
   EDADB_NODISCARD Result<size_t> Publish(const Publication& pub);
+
+  /// Batched fan-out: matches every publication under ONE matcher lock,
+  /// then groups deliveries per durable subscription so each
+  /// subscription queue receives all its matches in one EnqueueBatch —
+  /// one transaction and one WAL barrier per (queue, batch) instead of
+  /// per (queue, publication). Non-durable handlers are invoked per
+  /// publication, in publication order. Returns total (publication,
+  /// subscription) deliveries.
+  EDADB_NODISCARD Result<size_t> PublishBatch(
+      const std::vector<Publication>& pubs);
 
   /// Pops the next buffered publication of a durable subscription
   /// (nullopt when drained). Delivery is at-least-once; the message is
@@ -124,6 +135,10 @@ class Broker {
   EDADB_NODISCARD static Result<Predicate> BuildCondition(const SubscriptionSpec& spec);
 
   EDADB_NODISCARD Status DeliverTo(const SubscriptionState& sub, const Publication& pub);
+
+  /// Shared implementation behind Publish/PublishBatch (pointer + count
+  /// so the single-publication wrapper needs no copy).
+  EDADB_NODISCARD Result<size_t> PublishSpan(const Publication* pubs, size_t count);
 
   Database* db_;
   QueueManager* queues_;

@@ -277,8 +277,25 @@ void IndexedMatcher::Bump(CompiledRule* rule,
 
 void IndexedMatcher::Match(const RowAccessor& event,
                            std::vector<const Rule*>* out) {
-  ++epoch_;
   std::vector<CompiledRule*> candidates;
+  MatchOne(event, out, &candidates);
+}
+
+void IndexedMatcher::MatchBatch(const std::vector<const RowAccessor*>& events,
+                                std::vector<std::vector<const Rule*>>* out) {
+  out->clear();
+  out->resize(events.size());
+  std::vector<CompiledRule*> candidates;  // Scratch shared by the batch.
+  for (size_t i = 0; i < events.size(); ++i) {
+    MatchOne(*events[i], &(*out)[i], &candidates);
+  }
+}
+
+void IndexedMatcher::MatchOne(const RowAccessor& event,
+                              std::vector<const Rule*>* out,
+                              std::vector<CompiledRule*>* candidates) {
+  ++epoch_;
+  candidates->clear();
 
   // Probe the hash index per attribute the index knows about.
   for (const auto& [column, by_value] : eq_index_) {
@@ -287,7 +304,7 @@ void IndexedMatcher::Match(const RowAccessor& event,
     auto it = by_value.find(*v);
     if (it == by_value.end()) continue;
     for (CompiledRule* rule : it->second) {
-      Bump(rule, &candidates);
+      Bump(rule, candidates);
     }
   }
 
@@ -298,13 +315,13 @@ void IndexedMatcher::Match(const RowAccessor& event,
     auto d = v->AsDouble();
     if (!d.ok()) continue;
     intervals.Stab(*d, [&](void* tag) {
-      Bump(static_cast<CompiledRule*>(tag), &candidates);
+      Bump(static_cast<CompiledRule*>(tag), candidates);
     });
   }
 
   // Candidates satisfied every indexed conjunct; check residuals.
   EvalContext ctx(&event);
-  for (CompiledRule* rule : candidates) {
+  for (CompiledRule* rule : *candidates) {
     if (!rule->rule.enabled) continue;
     bool matched = true;
     for (const ExprPtr& residual : rule->residuals) {

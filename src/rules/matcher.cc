@@ -2,6 +2,15 @@
 
 namespace edadb {
 
+void RuleMatcher::MatchBatch(const std::vector<const RowAccessor*>& events,
+                             std::vector<std::vector<const Rule*>>* out) {
+  out->clear();
+  out->resize(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    Match(*events[i], &(*out)[i]);
+  }
+}
+
 Status NaiveMatcher::AddRule(Rule rule) {
   if (rule.id.empty()) return Status::InvalidArgument("rule needs an id");
   if (!rule.condition.valid()) {

@@ -33,6 +33,14 @@ class RuleMatcher {
   virtual void Match(const RowAccessor& event,
                      std::vector<const Rule*>* out) = 0;
 
+  /// Batch form: `(*out)[i]` receives the matches for `*events[i]`,
+  /// exactly as Match would report them. One matcher traversal state is
+  /// amortized across the batch where the implementation allows
+  /// (IndexedMatcher reuses its candidate scratch). Same
+  /// thread-compatibility contract as Match.
+  virtual void MatchBatch(const std::vector<const RowAccessor*>& events,
+                          std::vector<std::vector<const Rule*>>* out);
+
   virtual size_t size() const = 0;
   virtual const Rule* GetRule(const std::string& id) const = 0;
 };

@@ -183,31 +183,49 @@ void RulesEngine::RegisterDefaultHandler(ActionHandler handler) {
 
 Result<std::vector<std::string>> RulesEngine::Evaluate(
     const RowAccessor& event) {
-  std::vector<const Rule*> matched;
-  std::vector<std::pair<Rule, ActionHandler>> dispatch;
+  const std::vector<const RowAccessor*> one = {&event};
+  EDADB_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> ids,
+                         EvaluateBatch(one));
+  return std::move(ids.front());
+}
+
+Result<std::vector<std::vector<std::string>>> RulesEngine::EvaluateBatch(
+    const std::vector<const RowAccessor*>& events) {
+  // Per event: the matched rules (copied) and their bound handlers, so
+  // dispatch runs outside mu_ — handlers may re-enter the engine
+  // (AddRule from a handler) or block without stalling other callers.
+  std::vector<std::vector<std::pair<Rule, ActionHandler>>> dispatch;
+  dispatch.resize(events.size());
   {
     MutexLock lock(&mu_);
-    matcher_->Match(event, &matched);
-    std::sort(matched.begin(), matched.end(),
-              [](const Rule* a, const Rule* b) {
-                if (a->priority != b->priority) {
-                  return a->priority > b->priority;
-                }
-                return a->id < b->id;
-              });
-    dispatch.reserve(matched.size());
-    for (const Rule* rule : matched) {
-      auto it = handlers_.find(rule->action);
-      ActionHandler handler =
-          it != handlers_.end() ? it->second : default_handler_;
-      dispatch.emplace_back(*rule, std::move(handler));
+    std::vector<std::vector<const Rule*>> matched;
+    matcher_->MatchBatch(events, &matched);
+    for (size_t i = 0; i < matched.size(); ++i) {
+      std::vector<const Rule*>& event_matches = matched[i];
+      std::sort(event_matches.begin(), event_matches.end(),
+                [](const Rule* a, const Rule* b) {
+                  if (a->priority != b->priority) {
+                    return a->priority > b->priority;
+                  }
+                  return a->id < b->id;
+                });
+      dispatch[i].reserve(event_matches.size());
+      for (const Rule* rule : event_matches) {
+        auto it = handlers_.find(rule->action);
+        ActionHandler handler =
+            it != handlers_.end() ? it->second : default_handler_;
+        dispatch[i].emplace_back(*rule, std::move(handler));
+      }
     }
   }
-  std::vector<std::string> ids;
-  ids.reserve(dispatch.size());
-  for (auto& [rule, handler] : dispatch) {
-    ids.push_back(rule.id);
-    if (handler != nullptr) handler(rule, event);
+  std::vector<std::vector<std::string>> ids;
+  ids.resize(events.size());
+  for (size_t i = 0; i < dispatch.size(); ++i) {
+    ids[i].reserve(dispatch[i].size());
+    for (auto& [rule, handler] : dispatch[i]) {
+      ids[i].push_back(rule.id);
+      if (handler != nullptr) handler(rule, *events[i]);
+    }
   }
   return ids;
 }

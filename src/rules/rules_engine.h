@@ -61,8 +61,17 @@ class RulesEngine {
   void RegisterDefaultHandler(ActionHandler handler);
 
   /// Matches `event` against every rule and dispatches handlers.
-  /// Returns the ids of matched rules in dispatch order.
+  /// Returns the ids of matched rules in dispatch order. Thin wrapper
+  /// over a one-event EvaluateBatch (single code path).
   EDADB_NODISCARD Result<std::vector<std::string>> Evaluate(const RowAccessor& event);
+
+  /// Batch form: matches every event under ONE engine lock (one matcher
+  /// traversal state amortized across the batch), then dispatches
+  /// handlers outside the lock in event order. `result[i]` holds the
+  /// matched rule ids for `*events[i]` in dispatch order, exactly as
+  /// Evaluate would return them.
+  EDADB_NODISCARD Result<std::vector<std::vector<std::string>>> EvaluateBatch(
+      const std::vector<const RowAccessor*>& events);
 
  private:
   RulesEngine(Database* db, MatcherKind kind);

@@ -83,7 +83,10 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options) {
     if (last_start == kInvalidLsn || start > last_start) last_start = start;
   }
 
+  // Open is single-threaded (no concurrent appender can exist yet); the
+  // locks are taken only to satisfy the guarded-member annotations.
   if (last_start == kInvalidLsn) {
+    MutexLock lock(&writer->wal_mu_);
     EDADB_RETURN_IF_ERROR(writer->OpenNewSegment(0));
     return writer;
   }
@@ -102,12 +105,20 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options) {
     if (pr != ParseResult::kOk) break;
     valid += record_size;
   }
-  EDADB_ASSIGN_OR_RETURN(writer->current_, WritableFile::Open(path));
-  if (valid < data.size()) {
-    EDADB_RETURN_IF_ERROR(writer->current_->Truncate(valid));
+  {
+    MutexLock lock(&writer->wal_mu_);
+    EDADB_ASSIGN_OR_RETURN(writer->current_, WritableFile::Open(path));
+    if (valid < data.size()) {
+      EDADB_RETURN_IF_ERROR(writer->current_->Truncate(valid));
+    }
+    writer->current_segment_start_ = last_start;
+    writer->next_lsn_.store(last_start + valid, std::memory_order_release);
   }
-  writer->current_segment_start_ = last_start;
-  writer->next_lsn_ = last_start + valid;
+  {
+    // Everything that survived recovery is on stable media.
+    MutexLock lock(&writer->sync_mu_);
+    writer->durable_lsn_ = last_start + valid;
+  }
   return writer;
 }
 
@@ -120,62 +131,186 @@ Status WalWriter::OpenNewSegment(Lsn start_lsn) {
   const std::string path = options_.dir + "/" + WalSegmentName(start_lsn);
   EDADB_ASSIGN_OR_RETURN(current_, WritableFile::Open(path));
   current_segment_start_ = start_lsn;
-  next_lsn_ = start_lsn;
+  next_lsn_.store(start_lsn, std::memory_order_release);
   return Status::OK();
 }
 
 Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
-  if (current_ == nullptr) {
-    return Status::FailedPrecondition("WAL writer is closed");
-  }
-  FAILPOINT("wal.append.before");
-  if (next_lsn_ - current_segment_start_ >= options_.segment_size_bytes) {
-    EDADB_RETURN_IF_ERROR(OpenNewSegment(next_lsn_));
-  }
-  const Lsn lsn = next_lsn_;
-  const std::string frame = FrameRecord(type, payload);
-#if EDADB_FAILPOINTS_ENABLED
-  // Torn write: persist only the first `arg` bytes of the frame — the
-  // on-disk shape a power cut mid-write leaves behind — then fail or
-  // "die". Custom site because the prefix must land before Crash().
-  if (failpoint::internal::AnyArmed()) {
-    const failpoint::FireResult fp = failpoint::Fire("wal.append.torn");
-    if (fp.fired) {
-      const size_t torn = std::min(static_cast<size_t>(fp.arg), frame.size());
-      EDADB_RETURN_IF_ERROR(
-          current_->Append(std::string_view(frame).substr(0, torn)));
-      if (fp.kind == failpoint::ActionKind::kCrash) {
-        failpoint::Crash("wal.append.torn");
-      }
-      return fp.status.ok() ? Status::IOError("injected torn WAL append")
-                            : fp.status;
+  const std::vector<WalRecordRef> one = {{type, payload}};
+  EDADB_ASSIGN_OR_RETURN(const WalBatchResult batch, AppendBatch(one));
+  return batch.first_lsn;
+}
+
+Result<WalBatchResult> WalWriter::AppendBatch(
+    const std::vector<WalRecordRef>& records) {
+  WalBatchResult result;
+  {
+    MutexLock lock(&wal_mu_);
+    if (current_ == nullptr) {
+      return Status::FailedPrecondition("WAL writer is closed");
     }
-  }
+    FAILPOINT("wal.append.before");
+    result.first_lsn = next_lsn_.load(std::memory_order_relaxed);
+    result.end_lsn = result.first_lsn;
+    if (records.empty()) return result;
+
+    // Frame the whole batch into one buffer so the file sees one
+    // write(2) per segment touched; `tail` tracks the LSN the buffered
+    // bytes extend to, and next_lsn_ only advances when they land.
+    std::string buffer;
+    Lsn tail = result.first_lsn;
+    for (const WalRecordRef& record : records) {
+      if (tail - current_segment_start_ >= options_.segment_size_bytes) {
+        if (!buffer.empty()) {
+          EDADB_RETURN_IF_ERROR(current_->Append(buffer));
+          next_lsn_.store(tail, std::memory_order_release);
+          dirty_ = true;
+          buffer.clear();
+        }
+        EDADB_RETURN_IF_ERROR(OpenNewSegment(tail));
+      }
+      const std::string frame = FrameRecord(record.type, record.payload);
+#if EDADB_FAILPOINTS_ENABLED
+      // Torn write: persist only the first `arg` bytes of this frame —
+      // the on-disk shape a power cut mid-write leaves behind — then
+      // fail or "die". Custom site because the prefix (and every frame
+      // before it in the batch) must land before Crash().
+      if (failpoint::internal::AnyArmed()) {
+        const failpoint::FireResult fp = failpoint::Fire("wal.append.torn");
+        if (fp.fired) {
+          if (!buffer.empty()) {
+            EDADB_RETURN_IF_ERROR(current_->Append(buffer));
+            next_lsn_.store(tail, std::memory_order_release);
+            dirty_ = true;
+          }
+          const size_t torn =
+              std::min(static_cast<size_t>(fp.arg), frame.size());
+          EDADB_RETURN_IF_ERROR(
+              current_->Append(std::string_view(frame).substr(0, torn)));
+          if (fp.kind == failpoint::ActionKind::kCrash) {
+            failpoint::Crash("wal.append.torn");
+          }
+          return fp.status.ok() ? Status::IOError("injected torn WAL append")
+                                : fp.status;
+        }
+      }
 #endif
-  EDADB_RETURN_IF_ERROR(current_->Append(frame));
-  next_lsn_ += frame.size();
-  dirty_ = true;
-  FAILPOINT("wal.append.after");
-  if (options_.sync_policy == WalSyncPolicy::kEveryAppend) {
-    EDADB_RETURN_IF_ERROR(Sync());
+      buffer.append(frame);
+      tail += frame.size();
+    }
+    if (!buffer.empty()) {
+      EDADB_RETURN_IF_ERROR(current_->Append(buffer));
+      next_lsn_.store(tail, std::memory_order_release);
+      dirty_ = true;
+    }
+    result.end_lsn = tail;
+    FAILPOINT("wal.append.after");
   }
-  return lsn;
+  // Outside wal_mu_: SyncTo's leader re-acquires it for the fdatasync.
+  if (options_.sync_policy == WalSyncPolicy::kEveryAppend) {
+    EDADB_RETURN_IF_ERROR(SyncTo(result.end_lsn));
+  }
+  return result;
 }
 
 Status WalWriter::Sync() {
-  // Fires regardless of sync policy: an injected failure models the
-  // device dying, which no policy can mask.
+  return SyncTo(next_lsn_.load(std::memory_order_acquire));
+}
+
+Status WalWriter::SyncTo(Lsn target) {
+  // Fires regardless of sync policy, in the calling thread (not just
+  // the elected leader): an injected failure models the device dying,
+  // which no policy can mask.
   FAILPOINT("wal.sync");
-  if (options_.sync_policy == WalSyncPolicy::kNever || !dirty_) {
-    dirty_ = false;
+  if (options_.sync_policy == WalSyncPolicy::kNever) {
+    // No durability promised; the barrier degenerates to the failpoint
+    // below so torture schedules reach the leader site under kNever.
+    FAILPOINT("wal.group_commit.leader");
     return Status::OK();
   }
-  dirty_ = false;
-  return current_->Sync();
+  for (;;) {
+    {
+      MutexLock lock(&sync_mu_);
+      if (durable_lsn_ >= target) return Status::OK();
+      if (sync_in_flight_) {
+        // Follower: an elected leader is syncing. Its fdatasync may
+        // already cover `target` (it snapshots next_lsn_ after taking
+        // wal_mu_); re-check durable_lsn_ when it finishes.
+        sync_cv_.Wait(&sync_mu_);
+        continue;
+      }
+      sync_in_flight_ = true;  // This thread is the leader.
+    }
+
+#if EDADB_FAILPOINTS_ENABLED
+    // Leader boundary. Custom site (not FAILPOINT) because a crash or
+    // injected error must first hand leadership back and wake the
+    // followers — otherwise they would wait forever on a dead leader.
+    if (failpoint::internal::AnyArmed()) {
+      const failpoint::FireResult fp =
+          failpoint::Fire("wal.group_commit.leader");
+      if (fp.fired &&
+          (fp.kind == failpoint::ActionKind::kCrash || !fp.status.ok())) {
+        {
+          MutexLock lock(&sync_mu_);
+          sync_in_flight_ = false;
+        }
+        sync_cv_.SignalAll();
+        if (fp.kind == failpoint::ActionKind::kCrash) {
+          failpoint::Crash("wal.group_commit.leader");
+        }
+        return fp.status;
+      }
+      // Fired with an OK status (or a delay): fall through to the real
+      // sync below.
+    }
+#endif
+
+    // Leader: sync everything appended so far — including records from
+    // committers that arrived after this one (their sync then returns
+    // without touching the file).
+    Status sync_status;
+    Lsn synced_end = 0;
+    {
+      MutexLock lock(&wal_mu_);
+      synced_end = next_lsn_.load(std::memory_order_relaxed);
+      if (current_ == nullptr) {
+        sync_status = Status::FailedPrecondition("WAL writer is closed");
+      } else if (dirty_) {
+        sync_status = current_->Sync();
+        if (sync_status.ok()) dirty_ = false;
+      }
+    }
+    {
+      MutexLock lock(&sync_mu_);
+      sync_in_flight_ = false;
+      // On failure the watermark stays put: every waiter re-elects
+      // itself leader and retries (or propagates the error).
+      if (sync_status.ok() && synced_end > durable_lsn_) {
+        durable_lsn_ = synced_end;
+      }
+    }
+    sync_cv_.SignalAll();
+    EDADB_RETURN_IF_ERROR(sync_status);
+    if (synced_end >= target) return Status::OK();
+  }
+}
+
+Lsn WalWriter::durable_lsn() const {
+  if (options_.sync_policy == WalSyncPolicy::kNever) {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
+  MutexLock lock(&sync_mu_);
+  return durable_lsn_;
 }
 
 Status WalWriter::TruncateBefore(Lsn lsn) {
   FAILPOINT("wal.truncate_before");
+  Lsn live_segment_start;
+  {
+    MutexLock lock(&wal_mu_);
+    live_segment_start = current_segment_start_;
+  }
   EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(options_.dir));
   std::vector<Lsn> starts;
   for (const std::string& name : names) {
@@ -185,7 +320,7 @@ Status WalWriter::TruncateBefore(Lsn lsn) {
   std::sort(starts.begin(), starts.end());
   // A segment [start_i, start_{i+1}) may be deleted when its end <= lsn.
   for (size_t i = 0; i + 1 < starts.size(); ++i) {
-    if (starts[i + 1] <= lsn && starts[i] != current_segment_start_) {
+    if (starts[i + 1] <= lsn && starts[i] != live_segment_start) {
       EDADB_RETURN_IF_ERROR(
           RemoveFile(options_.dir + "/" + WalSegmentName(starts[i])));
     }

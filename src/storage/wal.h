@@ -1,6 +1,7 @@
 #ifndef EDADB_STORAGE_WAL_H_
 #define EDADB_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "storage/file.h"
 
@@ -44,23 +46,63 @@ struct WalEntry {
   std::string payload;
 };
 
+/// One record to append, by reference. The payload must stay alive for
+/// the duration of the AppendBatch call (the batch is framed into one
+/// contiguous write buffer before anything hits the file).
+struct WalRecordRef {
+  uint8_t type = 0;
+  std::string_view payload;
+};
+
+/// Where a batch landed in LSN space: records occupy [first_lsn,
+/// end_lsn). Pass `end_lsn` to SyncTo() to make the batch durable.
+struct WalBatchResult {
+  Lsn first_lsn = kInvalidLsn;
+  Lsn end_lsn = kInvalidLsn;
+};
+
 /// Appender. On open it scans the newest segment, drops any torn tail
 /// (CRC or length mismatch) and resumes appending after the last valid
-/// record. Thread-compatible: callers (the Database write path)
-/// serialize externally.
+/// record.
+///
+/// Thread-safe: appends serialize on wal_mu_; durability requests go
+/// through a leader/follower group-commit protocol on sync_mu_ — the
+/// first committer to arrive becomes the leader and its one fdatasync
+/// covers every record appended before it, so N concurrent committers
+/// pay ~1 fdatasync instead of N (DESIGN.md §10).
 class WalWriter {
  public:
   EDADB_NODISCARD static Result<std::unique_ptr<WalWriter>> Open(WalOptions options);
 
-  /// Appends one record, returns its LSN. Rolls to a new segment first
-  /// when the current one is full, so records never span segments.
+  /// Appends one record, returns its LSN. Thin wrapper over a
+  /// one-record AppendBatch (single code path).
   EDADB_NODISCARD Result<Lsn> Append(uint8_t type, std::string_view payload);
 
+  /// Appends `records` as one contiguous file write (one lock
+  /// round-trip, one write(2) per segment touched). Rolls to a new
+  /// segment between records when the current one is full, so records
+  /// never span segments. Under kEveryAppend the batch is synced once,
+  /// after the last record.
+  EDADB_NODISCARD Result<WalBatchResult> AppendBatch(
+      const std::vector<WalRecordRef>& records);
+
   /// Durability barrier per the sync policy (no-op under kNever).
+  /// Equivalent to SyncTo(next_lsn()).
   EDADB_NODISCARD Status Sync();
 
+  /// Group-commit barrier: returns once every byte below `target` is
+  /// durable (per the sync policy). Concurrent callers elect a leader;
+  /// followers whose target an in-flight fdatasync already covers just
+  /// wait for it. If a leader's sync fails, the durable watermark does
+  /// not advance and each waiter retries as its own leader.
+  EDADB_NODISCARD Status SyncTo(Lsn target);
+
   /// LSN the next Append will return.
-  Lsn next_lsn() const { return next_lsn_; }
+  Lsn next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
+
+  /// Everything below this LSN has been fdatasync'ed (trivially equals
+  /// next_lsn() under kNever, where durability is not promised).
+  Lsn durable_lsn() const;
 
   /// Deletes whole segments that end at or before `lsn`. Used after
   /// checkpoints, bounded by journal-miner retention.
@@ -71,13 +113,29 @@ class WalWriter {
  private:
   explicit WalWriter(WalOptions options) : options_(std::move(options)) {}
 
-  EDADB_NODISCARD Status OpenNewSegment(Lsn start_lsn);
+  EDADB_NODISCARD Status OpenNewSegment(Lsn start_lsn) EDADB_REQUIRES(wal_mu_);
 
   WalOptions options_;
-  std::unique_ptr<WritableFile> current_;
-  Lsn current_segment_start_ = 0;
-  Lsn next_lsn_ = 0;
-  bool dirty_ = false;  // Appends since last Sync.
+
+  /// Serializes appends and segment rolls. Held by the group-commit
+  /// leader across its fdatasync, which stalls appends for that window
+  /// but lets more followers pile onto the next sync — the batching
+  /// effect group commit wants. Never nested with sync_mu_.
+  Mutex wal_mu_{"WalWriter::wal_mu_"};
+  std::unique_ptr<WritableFile> current_ EDADB_GUARDED_BY(wal_mu_);
+  Lsn current_segment_start_ EDADB_GUARDED_BY(wal_mu_) = 0;
+  bool dirty_ EDADB_GUARDED_BY(wal_mu_) = false;  // Appends since last Sync.
+
+  /// Advanced only under wal_mu_; atomic so next_lsn() stays lock-free
+  /// for readers (the journal miner polls it).
+  std::atomic<Lsn> next_lsn_{0};
+
+  /// Group-commit state. sync_mu_ only guards the rendezvous; the
+  /// fdatasync itself runs under wal_mu_ with sync_mu_ released.
+  mutable Mutex sync_mu_{"WalWriter::sync_mu_"};
+  CondVar sync_cv_;
+  Lsn durable_lsn_ EDADB_GUARDED_BY(sync_mu_) = 0;
+  bool sync_in_flight_ EDADB_GUARDED_BY(sync_mu_) = false;
 };
 
 /// Forward cursor over the log, usable while a writer appends (the

@@ -1,0 +1,110 @@
+// PublishBatch coverage: delivery counts, filters, ordering, and the
+// one-snapshot-per-batch contract (handlers that mutate subscriptions
+// mid-batch only affect the NEXT publish).
+
+#include "core/event_bus.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+Event Ev(const std::string& type, int64_t severity) {
+  Event event;
+  event.id = 1;  // Any non-zero id; the bus does not normalize.
+  event.type = type;
+  event.Set("severity", Value::Int64(severity));
+  return event;
+}
+
+TEST(EventBusBatchTest, DeliversEveryEventToEverySubscriber) {
+  EventBus bus;
+  std::vector<std::string> seen_a, seen_b;
+  ASSERT_OK(bus.Subscribe(
+      [&](const Event& e) { seen_a.push_back(e.type); }).status());
+  ASSERT_OK(bus.Subscribe(
+      [&](const Event& e) { seen_b.push_back(e.type); }).status());
+
+  const size_t delivered = bus.PublishBatch({Ev("x", 1), Ev("y", 2)});
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_EQ(seen_a, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(seen_b, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(EventBusBatchTest, EmptyBatchIsANoOp) {
+  EventBus bus;
+  int calls = 0;
+  ASSERT_OK(bus.Subscribe([&](const Event&) { ++calls; }).status());
+  EXPECT_EQ(bus.PublishBatch({}), 0u);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(bus.published_count(), 0u);
+}
+
+TEST(EventBusBatchTest, FiltersApplyPerEvent) {
+  EventBus bus;
+  std::vector<int64_t> severities;
+  ASSERT_OK(bus.Subscribe(
+                   [&](const Event& e) {
+                     severities.push_back(e.Get("severity")->int64_value());
+                   },
+                   "severity >= 5")
+                .status());
+  const size_t delivered =
+      bus.PublishBatch({Ev("a", 3), Ev("b", 7), Ev("c", 9), Ev("d", 1)});
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(severities, (std::vector<int64_t>{7, 9}));
+}
+
+TEST(EventBusBatchTest, PublishIsEquivalentToOneEventBatch) {
+  EventBus bus;
+  int calls = 0;
+  ASSERT_OK(bus.Subscribe([&](const Event&) { ++calls; }).status());
+  EXPECT_EQ(bus.Publish(Ev("solo", 1)), 1u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bus.published_count(), 1u);
+}
+
+TEST(EventBusBatchTest, MidBatchSubscribeTakesEffectNextPublish) {
+  EventBus bus;
+  int late_calls = 0;
+  int trigger_calls = 0;
+  ASSERT_OK(bus.Subscribe([&](const Event&) {
+                 ++trigger_calls;
+                 if (trigger_calls == 1) {
+                   // Re-entrant subscribe from a handler: must not
+                   // deadlock, and must not see this batch's remainder.
+                   ASSERT_OK(bus.Subscribe(
+                                  [&](const Event&) { ++late_calls; })
+                                 .status());
+                 }
+               }).status());
+  bus.PublishBatch({Ev("a", 1), Ev("b", 1), Ev("c", 1)});
+  EXPECT_EQ(trigger_calls, 3);
+  EXPECT_EQ(late_calls, 0);
+  bus.Publish(Ev("d", 1));
+  EXPECT_EQ(late_calls, 1);
+}
+
+TEST(EventBusBatchTest, MidBatchUnsubscribeStillDeliversWholeBatch) {
+  EventBus bus;
+  int calls = 0;
+  uint64_t handle = 0;
+  handle = *bus.Subscribe([&](const Event&) {
+    ++calls;
+    if (calls == 1) ASSERT_OK(bus.Unsubscribe(handle));
+  });
+  bus.PublishBatch({Ev("a", 1), Ev("b", 1)});
+  // The snapshot taken at batch start keeps delivering: at-least-once
+  // within the batch, gone afterwards.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(bus.Publish(Ev("c", 1)), 0u);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,223 @@
+// Property: the batch APIs are OBSERVABLY EQUIVALENT to the per-item
+// loops they replace. Two identical stacks are driven with the same
+// randomized inputs — one through Enqueue/Publish/Ingest loops, one
+// through EnqueueBatch/PublishBatch/IngestBatch — and must end in the
+// same state: same queue contents and message ids, same rule-match
+// sequence, same per-subscriber delivery order, same drain order.
+// (The one intended difference: within an ingest batch, every bus
+// delivery happens before any rule routing, so cross-channel
+// interleaving is not compared — per-channel sequences are.)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/processor.h"
+#include "gtest/gtest.h"
+#include "mq/queue_manager.h"
+#include "test_util.h"
+#include "testing/seeded_rng.h"
+
+namespace edadb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Queue level: EnqueueBatch vs Enqueue loop, DequeueBatch vs Dequeue
+// loop, byte-identical state.
+
+struct QueueStack {
+  TempDir dir;
+  SimulatedClock clock;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueueManager> queues;
+
+  QueueStack() {
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock;
+    clock.SetMicros(kMicrosPerHour);
+    db = *Database::Open(std::move(options));
+    queues = *QueueManager::Attach(db.get());
+  }
+};
+
+EnqueueRequest RandomRequest(Random* rng) {
+  EnqueueRequest request;
+  request.payload = rng->NextString(1 + rng->Uniform(40));
+  request.priority = rng->UniformInt(0, 3);
+  request.correlation_id = std::to_string(rng->Uniform(1000));
+  if (rng->Uniform(2) == 0) {
+    request.attributes = {{"severity", Value::Int64(rng->UniformInt(0, 9))}};
+  }
+  return request;
+}
+
+struct BrowseRow {
+  MessageId id;
+  std::string payload;
+  int64_t priority;
+  std::string correlation_id;
+
+  bool operator==(const BrowseRow& other) const {
+    return id == other.id && payload == other.payload &&
+           priority == other.priority &&
+           correlation_id == other.correlation_id;
+  }
+};
+
+std::vector<BrowseRow> BrowseAll(QueueManager* queues,
+                                 const std::string& queue) {
+  std::vector<BrowseRow> rows;
+  EXPECT_OK(queues->Browse(queue, "", [&](const Message& message) {
+    rows.push_back(BrowseRow{message.id, message.payload, message.priority,
+                             message.correlation_id});
+    return true;
+  }));
+  return rows;
+}
+
+TEST(BatchEquivalenceTest, EnqueueBatchMatchesEnqueueLoop) {
+  testing::SeededRng rng(/*stream=*/10);
+  QueueStack loop_stack, batch_stack;
+  ASSERT_OK(loop_stack.queues->CreateQueue("q"));
+  ASSERT_OK(batch_stack.queues->CreateQueue("q"));
+
+  for (int round = 0; round < 20; ++round) {
+    const size_t batch = 1 + rng.Uniform(8);
+    std::vector<EnqueueRequest> requests;
+    for (size_t i = 0; i < batch; ++i) {
+      requests.push_back(RandomRequest(&rng));
+    }
+
+    std::vector<MessageId> loop_ids;
+    for (const EnqueueRequest& request : requests) {
+      loop_ids.push_back(*loop_stack.queues->Enqueue("q", request));
+    }
+    const std::vector<MessageId> batch_ids =
+        *batch_stack.queues->EnqueueBatch("q", requests);
+    EXPECT_EQ(loop_ids, batch_ids) << "round " << round;
+  }
+  EXPECT_EQ(BrowseAll(loop_stack.queues.get(), "q"),
+            BrowseAll(batch_stack.queues.get(), "q"));
+}
+
+TEST(BatchEquivalenceTest, DequeueBatchMatchesDequeueLoop) {
+  testing::SeededRng rng(/*stream=*/11);
+  QueueStack loop_stack, batch_stack;
+  ASSERT_OK(loop_stack.queues->CreateQueue("q"));
+  ASSERT_OK(batch_stack.queues->CreateQueue("q"));
+  std::vector<EnqueueRequest> requests;
+  for (int i = 0; i < 50; ++i) requests.push_back(RandomRequest(&rng));
+  ASSERT_OK(loop_stack.queues->EnqueueBatch("q", requests).status());
+  ASSERT_OK(batch_stack.queues->EnqueueBatch("q", requests).status());
+
+  std::vector<std::string> loop_drained, batch_drained;
+  while (true) {
+    auto message = loop_stack.queues->Dequeue("q", DequeueRequest{});
+    ASSERT_OK(message.status());
+    if (!message->has_value()) break;
+    loop_drained.push_back((*message)->payload);
+    ASSERT_OK(loop_stack.queues->Ack("q", "", (*message)->id));
+  }
+  while (true) {
+    auto messages =
+        batch_stack.queues->DequeueBatch("q", DequeueRequest{}, 7);
+    ASSERT_OK(messages.status());
+    if (messages->empty()) break;
+    for (const Message& message : *messages) {
+      batch_drained.push_back(message.payload);
+      ASSERT_OK(batch_stack.queues->Ack("q", "", message.id));
+    }
+  }
+  EXPECT_EQ(loop_drained.size(), 50u);
+  EXPECT_EQ(loop_drained, batch_drained);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline level: Ingest loop vs IngestBatch through a full processor
+// (bus + rules + queue routing).
+
+struct PipelineStack {
+  TempDir dir;
+  SimulatedClock clock;
+  std::unique_ptr<EventProcessor> processor;
+  std::vector<std::string> bus_types;       // Bus delivery sequence.
+  std::vector<std::string> matched_rules;   // Rule dispatch sequence.
+
+  PipelineStack() {
+    clock.SetMicros(kMicrosPerHour);
+    EventProcessorOptions options;
+    options.data_dir = dir.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock;
+    processor = *EventProcessor::Open(std::move(options));
+    EXPECT_OK(processor->queues()->CreateQueue("alerts"));
+    EXPECT_OK(processor->rules()->AddRule("critical", "severity >= 7",
+                                          "queue:alerts", /*priority=*/2));
+    EXPECT_OK(processor->rules()->AddRule("watch", "severity >= 4",
+                                          "tag-only", /*priority=*/1));
+    processor->rules()->RegisterDefaultHandler(
+        [this](const Rule& rule, const RowAccessor&) {
+          matched_rules.push_back(rule.id);
+        });
+    EXPECT_OK(processor->bus()
+                  ->Subscribe([this](const Event& event) {
+                    bus_types.push_back(event.type);
+                  })
+                  .status());
+  }
+
+  std::vector<std::string> DrainAlerts() {
+    std::vector<std::string> payloads;
+    while (true) {
+      auto message =
+          processor->queues()->Dequeue("alerts", DequeueRequest{});
+      EXPECT_OK(message.status());
+      if (!message.ok() || !message->has_value()) break;
+      payloads.push_back((*message)->payload);
+      EXPECT_OK(processor->queues()->Ack("alerts", "", (*message)->id));
+    }
+    return payloads;
+  }
+};
+
+Event RandomEvent(Random* rng, uint64_t id) {
+  Event event;
+  event.id = id;  // Explicit: the global id counter is process-wide.
+  event.type = "type" + std::to_string(rng->Uniform(3));
+  event.source = "src" + std::to_string(rng->Uniform(5));
+  event.payload = rng->NextString(1 + rng->Uniform(30));
+  event.Set("severity", Value::Int64(rng->UniformInt(0, 9)));
+  return event;
+}
+
+TEST(BatchEquivalenceTest, IngestBatchMatchesIngestLoop) {
+  testing::SeededRng rng(/*stream=*/12);
+  PipelineStack loop_stack, batch_stack;
+  uint64_t next_id = 1;
+  for (int round = 0; round < 15; ++round) {
+    const size_t batch = 1 + rng.Uniform(6);
+    std::vector<Event> events;
+    for (size_t i = 0; i < batch; ++i) {
+      events.push_back(RandomEvent(&rng, next_id++));
+    }
+    for (const Event& event : events) {
+      ASSERT_OK(loop_stack.processor->Ingest(event));
+    }
+    ASSERT_OK(batch_stack.processor->IngestBatch(std::move(events)));
+  }
+
+  EXPECT_EQ(loop_stack.bus_types, batch_stack.bus_types);
+  EXPECT_EQ(loop_stack.matched_rules, batch_stack.matched_rules);
+  EXPECT_EQ(loop_stack.DrainAlerts(), batch_stack.DrainAlerts());
+
+  const auto loop_stats = loop_stack.processor->GetStats();
+  const auto batch_stats = batch_stack.processor->GetStats();
+  EXPECT_EQ(loop_stats.ingested, batch_stats.ingested);
+  EXPECT_EQ(loop_stats.rules_matched, batch_stats.rules_matched);
+  EXPECT_EQ(loop_stats.routed_to_queues, batch_stats.routed_to_queues);
+}
+
+}  // namespace
+}  // namespace edadb

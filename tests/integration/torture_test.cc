@@ -85,7 +85,9 @@ constexpr const char* kCrashSites[] = {
     "db.commit.after_sync",
     "db.checkpoint.before_snapshot",
     "db.checkpoint.before_meta",
+    "wal.group_commit.leader",
     "mq.enqueue.before_commit",
+    "mq.enqueue_batch.mid",
     "mq.dequeue.before_lock_persist",
     "mq.ack.before_finish",
     "mq.finish.after_dlv_delete",
@@ -106,6 +108,9 @@ struct Oracle {
   std::set<int64_t> enq_uncertain;
   std::set<int64_t> ack_confirmed;
   std::set<int64_t> ack_uncertain;
+  /// Batches whose EnqueueBatch did not report success: recovery must
+  /// resolve each one all-or-none (its ids are also in enq_uncertain).
+  std::vector<std::vector<int64_t>> enq_uncertain_batches;
 };
 
 int64_t TagOf(const Record& record) {
@@ -255,6 +260,18 @@ class TortureRig {
                   oracle.enq_uncertain.count(mid) > 0)
           << "phantom message " << mid << " appeared after recovery";
     }
+
+    // --- Queue: batch atomicity ---------------------------------------
+    // A batch whose EnqueueBatch never returned success is one
+    // transaction: after recovery either every message surfaced in the
+    // drain or none did.
+    for (const std::vector<int64_t>& batch : oracle.enq_uncertain_batches) {
+      size_t batch_present = 0;
+      for (const int64_t mid : batch) batch_present += drained.count(mid);
+      EXPECT_TRUE(batch_present == 0 || batch_present == batch.size())
+          << "crash mid-batch left a partial batch: " << batch_present
+          << " of " << batch.size() << " messages recovered";
+    }
     drained_count_ = drained.size();
   }
 
@@ -274,14 +291,16 @@ class TortureRig {
 
  private:
   void DoOneOp(Random* rng, Oracle* oracle) {
-    const uint64_t kind = rng->Uniform(12);
+    const uint64_t kind = rng->Uniform(14);
     if (kind < 3) {
       InsertOne(oracle);
     } else if (kind < 5) {
       InsertTxn(oracle);
-    } else if (kind < 8) {
+    } else if (kind < 7) {
       EnqueueOne(oracle);
-    } else if (kind < 11) {
+    } else if (kind < 9) {
+      EnqueueBatchOp(rng, oracle);
+    } else if (kind < 12) {
       DequeueOne(rng, oracle);
     } else {
       EDADB_IGNORE_STATUS(
@@ -331,6 +350,32 @@ class TortureRig {
     if (queues_->Enqueue("q", request).ok()) {
       oracle->enq_uncertain.erase(mid);
       oracle->enq_confirmed.insert(mid);
+    }
+  }
+
+  void EnqueueBatchOp(Random* rng, Oracle* oracle) {
+    const size_t n = 2 + rng->Uniform(3);
+    std::vector<int64_t> mids;
+    std::vector<EnqueueRequest> requests;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t mid = next_msg_++;
+      mids.push_back(mid);
+      oracle->enq_uncertain.insert(mid);
+      EnqueueRequest request;
+      request.payload = std::to_string(mid);
+      requests.push_back(std::move(request));
+    }
+    if (queues_->EnqueueBatch("q", requests).ok()) {
+      for (const int64_t mid : mids) {
+        oracle->enq_uncertain.erase(mid);
+        oracle->enq_confirmed.insert(mid);
+      }
+    } else {
+      // Crash or injected error mid-batch: the ids stay individually
+      // uncertain AND the batch must resolve atomically (checked in
+      // VerifyInvariants). These ids never return to the workload, so
+      // none can be acked/dequeued before the crash.
+      oracle->enq_uncertain_batches.push_back(std::move(mids));
     }
   }
 

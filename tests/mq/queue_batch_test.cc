@@ -1,0 +1,116 @@
+// EnqueueBatch / DequeueBatch coverage: id assignment, all-or-nothing
+// atomicity, max_messages bounds, and equivalence with the single-shot
+// wrappers.
+
+#include "mq/queue_manager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "testing/crash_harness.h"
+
+namespace edadb {
+namespace {
+
+class QueueBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock_;
+    clock_.SetMicros(kMicrosPerHour);
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+    ASSERT_OK(queues_->CreateQueue("q"));
+  }
+
+  static EnqueueRequest Req(const std::string& payload,
+                            int64_t priority = 0) {
+    EnqueueRequest request;
+    request.payload = payload;
+    request.priority = priority;
+    return request;
+  }
+
+  std::vector<std::string> Drain(size_t max) {
+    std::vector<std::string> payloads;
+    auto messages = queues_->DequeueBatch("q", DequeueRequest{}, max);
+    EXPECT_OK(messages.status());
+    if (!messages.ok()) return payloads;
+    for (const Message& message : *messages) {
+      payloads.push_back(message.payload);
+      EXPECT_OK(queues_->Ack("q", "", message.id));
+    }
+    return payloads;
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+};
+
+TEST_F(QueueBatchTest, EnqueueBatchReturnsIdsInRequestOrder) {
+  const std::vector<MessageId> ids = *queues_->EnqueueBatch(
+      "q", {Req("a"), Req("b"), Req("c")});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_LT(ids[1], ids[2]);
+  EXPECT_EQ(Drain(10), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(QueueBatchTest, EmptyBatchValidatesQueueName) {
+  EXPECT_EQ(queues_->EnqueueBatch("q", {})->size(), 0u);
+  EXPECT_TRUE(queues_->EnqueueBatch("missing", {}).status().IsNotFound());
+  EXPECT_TRUE(
+      queues_->EnqueueBatch("missing", {Req("x")}).status().IsNotFound());
+}
+
+TEST_F(QueueBatchTest, WrapperAndBatchInterleaveCleanly) {
+  ASSERT_OK(queues_->Enqueue("q", Req("one")).status());
+  ASSERT_OK(queues_->EnqueueBatch("q", {Req("two"), Req("three")}).status());
+  ASSERT_OK(queues_->Enqueue("q", Req("four")).status());
+  EXPECT_EQ(Drain(10),
+            (std::vector<std::string>{"one", "two", "three", "four"}));
+}
+
+TEST_F(QueueBatchTest, DequeueBatchHonorsMaxMessages) {
+  ASSERT_OK(queues_->EnqueueBatch(
+      "q", {Req("a"), Req("b"), Req("c"), Req("d")}).status());
+  EXPECT_EQ(queues_->DequeueBatch("q", DequeueRequest{}, 0)->size(), 0u);
+  EXPECT_EQ(Drain(3), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Drain(3), (std::vector<std::string>{"d"}));
+  EXPECT_EQ(Drain(3), std::vector<std::string>{});
+}
+
+TEST_F(QueueBatchTest, DequeueBatchRespectsPriorityOrder) {
+  ASSERT_OK(queues_->EnqueueBatch(
+      "q", {Req("low", 1), Req("high", 9), Req("mid", 5)}).status());
+  EXPECT_EQ(Drain(10), (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+#ifdef EDADB_FAILPOINTS_ENABLED
+TEST_F(QueueBatchTest, MidBatchErrorRollsBackWholeBatch) {
+  ASSERT_OK(queues_->Enqueue("q", Req("survivor")).status());
+  {
+    // Fail between message 2 and 3: nothing from the batch may land.
+    testing::FailpointGuard guard;
+    testing::ArmError("mq.enqueue_batch.mid", Status::IOError("injected"),
+                      /*skip=*/1);
+    EXPECT_FALSE(queues_->EnqueueBatch(
+        "q", {Req("b1"), Req("b2"), Req("b3")}).ok());
+  }
+  EXPECT_EQ(Drain(10), (std::vector<std::string>{"survivor"}));
+  // The queue still works after the rollback.
+  ASSERT_OK(queues_->EnqueueBatch("q", {Req("after")}).status());
+  EXPECT_EQ(Drain(10), (std::vector<std::string>{"after"}));
+}
+#endif  // EDADB_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace edadb
