@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "value/record.h"
@@ -222,6 +223,13 @@ inline int BenchMain(int argc, char** argv) {
     if (json_path.empty()) json_path = "bench.json";
     JsonFileReporter reporter(json_path);
     benchmark::RunSpecifiedBenchmarks(&reporter);
+    // Drop the process metrics snapshot next to the timings: what the
+    // system did (WAL syncs, group-commit sizes, queue latencies) to
+    // produce them. <path>.metrics.json so bench.sh can pair the files.
+    std::ofstream metrics_out(json_path + ".metrics.json");
+    if (metrics_out) {
+      metrics_out << metrics::Registry::Default()->DumpJson() << "\n";
+    }
   } else {
     benchmark::RunSpecifiedBenchmarks();
   }

@@ -31,15 +31,30 @@ for bench in "${BENCHES[@]}"; do
   "$BUILD_DIR/bench/$bench" "${args[@]}"
 done
 
-python3 - "$OUT" "$TMP"/*.json <<'EOF'
-import json, sys
-out, paths = sys.argv[1], sys.argv[2:]
+python3 - "$OUT" "$TMP" <<'EOF'
+import glob, json, os, sys
+out, tmp = sys.argv[1], sys.argv[2]
 merged = []
-for path in paths:
+for path in sorted(glob.glob(os.path.join(tmp, "*.json"))):
+    if path.endswith(".metrics.json"):
+        continue
     with open(path) as f:
         merged.extend(json.load(f))
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 print(f"wrote {out}: {len(merged)} benchmark results")
+
+# Pair each run's process-metrics snapshot (what the system *did* —
+# WAL syncs, group-commit sizes, queue latencies) with the timings.
+metrics = {}
+for path in sorted(glob.glob(os.path.join(tmp, "*.metrics.json"))):
+    bench = os.path.basename(path)[: -len(".json.metrics.json")]
+    with open(path) as f:
+        metrics[bench] = json.load(f)
+metrics_out = out[: -len(".json")] + ".metrics.json" if out.endswith(".json") else out + ".metrics.json"
+with open(metrics_out, "w") as f:
+    json.dump(metrics, f, indent=2)
+    f.write("\n")
+print(f"wrote {metrics_out}: snapshots from {len(metrics)} benchmark binaries")
 EOF

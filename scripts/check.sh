@@ -106,6 +106,14 @@ stage "1 lint (self-test + tree)" \
 stage "2 -Werror build + tier-1 tests" \
   run_suite build-check -DEDADB_WERROR=ON
 
+# The metrics layer must be inert when disabled: the same suites that
+# exercise it above must pass with the kill switch thrown (and the
+# registry text/JSON dumps must still be well-formed, which
+# metrics_test asserts in both modes).
+stage "2b metrics kill-switch (EDADB_METRICS=0)" \
+  bash -c "cd build-check && EDADB_METRICS=0 ctest --output-on-failure \
+    -R '^(common_test|mq_test|core_test)\$'"
+
 stage "3 EDADB_CHECK_STATUS detector suite" \
   check_status_suite
 

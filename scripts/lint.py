@@ -37,6 +37,14 @@ Rules (scope in parentheses):
                                  ...))` is allowed (private-constructor
                                  factories), as is explicitly suppressed
                                  use (see below).
+  adhoc-stats      (src/)        `struct ...Stats` outside the metrics
+                                 layer (common/metrics.h). New
+                                 instrumentation belongs in the metrics
+                                 registry (counters/gauges/histograms,
+                                 DESIGN.md §11) so it shows up in
+                                 __metrics and the dump tooling; a
+                                 deliberate ad-hoc snapshot struct needs
+                                 a suppression stating why.
 
 Suppression: append `// lint:allow(<rule>): <reason>` to the offending
 line. The reason is mandatory — like EDADB_IGNORE_STATUS, the point is
@@ -69,6 +77,7 @@ STATIC_CAST_VOID_RE = re.compile(r"static_cast<\s*void\s*>")
 NEW_ANY_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete(\s*\[\s*\])?\s")
 SMART_WRAP_NEW_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
+ADHOC_STATS_RE = re.compile(r"\bstruct\s+\w*Stats\b")
 
 
 def strip_code(lines):
@@ -139,6 +148,7 @@ class Linter:
         is_mutex_impl = rel in ("src/common/mutex.h", "src/common/mutex.cc")
         is_file_impl = rel == "src/storage/file.cc"
         is_macros = rel == "src/common/macros.h"
+        is_metrics_impl = rel in ("src/common/metrics.h", "src/common/metrics.cc")
 
         for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
             allowed = {m.group(1) for m in ALLOW_RE.finditer(raw)}
@@ -202,6 +212,17 @@ class Linter:
                     self.report(
                         rel, idx, "raw-new-delete",
                         "raw `delete`; owning pointers must be smart pointers",
+                    )
+
+            if in_src and not is_metrics_impl and "adhoc-stats" not in allowed:
+                m = ADHOC_STATS_RE.search(code)
+                if m:
+                    self.report(
+                        rel, idx, "adhoc-stats",
+                        "ad-hoc Stats struct outside the metrics layer; use "
+                        "the metrics registry (common/metrics.h) so the data "
+                        "reaches __metrics and the dump tooling, or suppress "
+                        "with a reason",
                     )
 
 

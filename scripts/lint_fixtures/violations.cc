@@ -60,6 +60,18 @@ struct NoCopy {
   NoCopy(const NoCopy&) = delete;  // `= delete` is not a raw delete: legal
 };
 
+struct QueueStats {               // expect-lint: adhoc-stats
+  int depth = 0;
+};
+
+struct PumpStats {                // lint:allow(adhoc-stats): fixture demonstrates suppression
+  int pumped = 0;
+};
+
+struct Statistics {               // not a `...Stats` name: legal
+  int x = 0;
+};
+
 // Comments and strings must not fire rules: std::mutex, ::fsync(fd),
 // (void)Fallible(), new Thing, delete t.
 const char* kDecoy = "std::mutex ::fsync(0) (void)Call() new delete";

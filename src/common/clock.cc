@@ -7,6 +7,12 @@
 
 namespace edadb {
 
+TimestampMicros Clock::SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 TimestampMicros SystemClock::NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::system_clock::now().time_since_epoch())

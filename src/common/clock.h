@@ -2,6 +2,7 @@
 #define EDADB_COMMON_CLOCK_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -19,14 +20,28 @@ constexpr TimestampMicros kMicrosPerHour = 60 * kMicrosPerMinute;
 /// Abstract time source. Production code uses SystemClock; tests and
 /// benchmarks use SimulatedClock so windowing, expiration and visibility
 /// timeouts are deterministic.
+///
+/// Two time domains (DESIGN.md §11):
+///   - NowMicros() is WALL time: what gets stored in data (event
+///     timestamps, enqueue_time, TTL expiry). It may step forward or
+///     backward (NTP, operator adjustment, SimulatedClock::SetMicros).
+///   - SteadyNowMicros() is MONOTONIC time: what deadlines and
+///     timeouts are computed from (visibility timeouts, redelivery,
+///     DequeueWait). It never goes backward and is unaffected by wall
+///     steps; its epoch is arbitrary and NOT comparable across
+///     processes, so steady values must never be persisted.
 class Clock {
  public:
   virtual ~Clock() = default;
 
-  /// Current time in microseconds.
+  /// Current wall time in microseconds.
   virtual TimestampMicros NowMicros() = 0;
 
-  /// Advances time by `micros`. No-op for real clocks.
+  /// Current monotonic time in microseconds. Defaults to the host
+  /// steady clock; SimulatedClock layers manual advances on top.
+  virtual TimestampMicros SteadyNowMicros();
+
+  /// Advances time by `micros` (both domains). No-op for real clocks.
   virtual void AdvanceMicros(TimestampMicros micros) = 0;
 };
 
@@ -41,23 +56,47 @@ class SystemClock : public Clock {
 };
 
 /// Deterministic, manually advanced clock.
+///
+/// The wall domain (NowMicros) is fully manual: AdvanceMicros moves it,
+/// SetMicros steps it (modelling an NTP/operator wall-clock jump). The
+/// steady domain (SteadyNowMicros) is hybrid: manual advances PLUS real
+/// host-steady time elapsed since construction, so real-time waits
+/// (DequeueWait timeouts, CV slices) still make progress in tests that
+/// never touch the clock — and SetMicros, being a wall step, does not
+/// move it at all.
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(TimestampMicros start_micros = 0)
-      : now_(start_micros) {}
+      : now_(start_micros),
+        steady_offset_(0),
+        born_(std::chrono::steady_clock::now()) {}
 
   TimestampMicros NowMicros() override {
     return now_.load(std::memory_order_relaxed);
   }
+  TimestampMicros SteadyNowMicros() override {
+    return steady_offset_.load(std::memory_order_relaxed) +
+           HostElapsedMicros();
+  }
   void AdvanceMicros(TimestampMicros micros) override {
     now_.fetch_add(micros, std::memory_order_relaxed);
+    steady_offset_.fetch_add(micros, std::memory_order_relaxed);
   }
+  /// Steps the WALL clock only; the steady domain is unaffected.
   void SetMicros(TimestampMicros micros) {
     now_.store(micros, std::memory_order_relaxed);
   }
 
  private:
+  TimestampMicros HostElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - born_)
+        .count();
+  }
+
   std::atomic<TimestampMicros> now_;
+  std::atomic<TimestampMicros> steady_offset_;
+  const std::chrono::steady_clock::time_point born_;
 };
 
 /// Formats a timestamp as "YYYY-MM-DD HH:MM:SS.mmmmmm" (UTC).

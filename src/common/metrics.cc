@@ -1,0 +1,343 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace edadb {
+namespace metrics {
+
+namespace {
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("EDADB_METRICS");
+  if (env == nullptr || *env == '\0') return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag(InitEnabledFromEnv());
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t HostSteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // floor(log2(value)) + 1: value in [2^(i-1), 2^i) lands in bucket i.
+  const size_t index = 64 - static_cast<size_t>(__builtin_clzll(value));
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Relaxed loads: the snapshot is a statistically consistent view, not
+  // a linearizable one (count/sum/buckets may straddle a Record).
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::ResetForTesting() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the requested quantile, 1-based, at least 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The last bucket is the overflow bucket: its nominal upper bound
+      // says nothing about how far beyond it values reached, so the
+      // observed max is the only honest answer there.
+      if (i + 1 == kNumBuckets) return static_cast<double>(max);
+      const double bound =
+          static_cast<double>(Histogram::BucketUpperBound(i));
+      // Elsewhere the bound can still overshoot a max that landed
+      // mid-bucket; clamp so no quantile exceeds the observed max.
+      return std::min(bound, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+std::string_view MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+/// A registered collector. The entry mutex serializes invocation with
+/// unregistration so a handle's destruction strictly happens-after any
+/// in-flight call (the owner's state is safe to tear down afterwards).
+struct CollectorEntry {
+  Mutex mu{"metrics::CollectorEntry::mu_"};
+  Collector fn EDADB_GUARDED_BY(mu);
+};
+
+}  // namespace internal
+
+CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : registry_(other.registry_), entry_(std::move(other.entry_)) {
+  other.registry_ = nullptr;
+  other.entry_.reset();
+}
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    Unregister();
+    registry_ = other.registry_;
+    entry_ = std::move(other.entry_);
+    other.registry_ = nullptr;
+    other.entry_.reset();
+  }
+  return *this;
+}
+
+void CallbackHandle::Unregister() {
+  if (entry_ == nullptr) return;
+  {
+    // Blocks until a snapshot mid-invocation of this collector is done.
+    MutexLock lock(&entry_->mu);
+    entry_->fn = nullptr;
+  }
+  entry_.reset();
+  registry_ = nullptr;
+}
+
+Registry* Registry::Default() {
+  static Registry* registry = new Registry();  // lint:allow(raw-new-delete): intentional leak, outlives static destructors
+  return registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+CallbackHandle Registry::RegisterCollector(Collector fn) {
+  auto entry = std::make_shared<internal::CollectorEntry>();
+  {
+    MutexLock entry_lock(&entry->mu);
+    entry->fn = std::move(fn);
+  }
+  {
+    MutexLock lock(&mu_);
+    // Drop entries whose handles have unregistered (fn cleared); the
+    // list would otherwise grow with churned collectors.
+    collectors_.erase(
+        std::remove_if(collectors_.begin(), collectors_.end(),
+                       [](const auto& e) { return e.use_count() == 1; }),
+        collectors_.end());
+    collectors_.push_back(entry);
+  }
+  return CallbackHandle(this, std::move(entry));
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::vector<MetricSnapshot> raw;
+  std::vector<std::shared_ptr<internal::CollectorEntry>> collectors;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) {
+      MetricSnapshot ms;
+      ms.name = name;
+      ms.kind = MetricKind::kCounter;
+      ms.value = static_cast<int64_t>(counter->Value());
+      raw.push_back(std::move(ms));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricSnapshot ms;
+      ms.name = name;
+      ms.kind = MetricKind::kGauge;
+      ms.value = gauge->Value();
+      raw.push_back(std::move(ms));
+    }
+    for (const auto& [name, hist] : histograms_) {
+      const HistogramSnapshot h = hist->Snapshot();
+      MetricSnapshot ms;
+      ms.name = name;
+      ms.kind = MetricKind::kHistogram;
+      ms.value = static_cast<int64_t>(h.count);
+      ms.count = h.count;
+      ms.sum = h.sum;
+      ms.max = h.max;
+      ms.p50 = h.Percentile(0.50);
+      ms.p95 = h.Percentile(0.95);
+      ms.p99 = h.Percentile(0.99);
+      raw.push_back(std::move(ms));
+    }
+    collectors = collectors_;
+  }
+  // Collectors run with mu_ released so they may take subsystem locks.
+  for (const auto& entry : collectors) {
+    MutexLock entry_lock(&entry->mu);
+    if (entry->fn != nullptr) entry->fn(&raw);
+  }
+  // Aggregate duplicates (same name from several collectors: e.g. two
+  // processors in one test binary): scalars sum, distributions merge
+  // coarsely (count/sum add, max maxes; percentiles keep the larger).
+  std::map<std::string, MetricSnapshot> merged;
+  for (MetricSnapshot& ms : raw) {
+    auto [it, inserted] = merged.try_emplace(ms.name);
+    if (inserted) {
+      it->second = std::move(ms);
+    } else {
+      MetricSnapshot& into = it->second;
+      into.value += ms.value;
+      into.count += ms.count;
+      into.sum += ms.sum;
+      into.max = std::max(into.max, ms.max);
+      into.p50 = std::max(into.p50, ms.p50);
+      into.p95 = std::max(into.p95, ms.p95);
+      into.p99 = std::max(into.p99, ms.p99);
+    }
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [name, ms] : merged) out.push_back(std::move(ms));
+  return out;
+}
+
+std::string Registry::DumpText() const {
+  std::string out;
+  for (const MetricSnapshot& ms : Snapshot()) {
+    out += ms.name;
+    out += ' ';
+    out += MetricKindToString(ms.kind);
+    if (ms.kind == MetricKind::kHistogram) {
+      out += StringPrintf(
+          " count=%llu sum=%llu p50=%.0f p95=%.0f p99=%.0f max=%llu",
+          static_cast<unsigned long long>(ms.count),
+          static_cast<unsigned long long>(ms.sum), ms.p50, ms.p95, ms.p99,
+          static_cast<unsigned long long>(ms.max));
+    } else {
+      out += StringPrintf(" %lld", static_cast<long long>(ms.value));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSnapshot& ms : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    // Metric names are code-chosen identifiers (module.name), never
+    // user data, so no JSON escaping is needed.
+    out += StringPrintf("\n  {\"name\": \"%s\", \"kind\": \"%s\"",
+                        ms.name.c_str(),
+                        std::string(MetricKindToString(ms.kind)).c_str());
+    if (ms.kind == MetricKind::kHistogram) {
+      out += StringPrintf(
+          ", \"count\": %llu, \"sum\": %llu, \"p50\": %.1f, \"p95\": %.1f, "
+          "\"p99\": %.1f, \"max\": %llu}",
+          static_cast<unsigned long long>(ms.count),
+          static_cast<unsigned long long>(ms.sum), ms.p50, ms.p95, ms.p99,
+          static_cast<unsigned long long>(ms.max));
+    } else {
+      out += StringPrintf(", \"value\": %lld}",
+                          static_cast<long long>(ms.value));
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void Registry::ResetForTesting() {
+  MutexLock lock(&mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTesting();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, hist] : histograms_) hist->ResetForTesting();
+}
+
+}  // namespace metrics
+}  // namespace edadb

@@ -1,0 +1,277 @@
+#ifndef EDADB_COMMON_METRICS_H_
+#define EDADB_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+
+namespace edadb {
+namespace metrics {
+
+/// Self-observation layer (the tutorial's "operational characteristics:
+/// performance, scalability, tracking" applied to the system itself):
+/// a process-wide registry of named counters, gauges and log-bucketed
+/// latency histograms, cheap enough to leave on in the hot path.
+///
+/// Naming scheme: `module.name[.unit]`, lowercase, dot-separated —
+/// "wal.sync.latency_us", "mq.queue.orders.depth" (DESIGN.md §11).
+///
+/// Cost model:
+///   - Counters are always live (instance stats are built on them): one
+///     relaxed fetch_add on a sharded cache line.
+///   - Histograms and LatencyScope honor Enabled() — with EDADB_METRICS
+///     off they skip the clock reads and record nothing.
+///   - Looking a metric up by name takes the registry mutex; hot paths
+///     cache the returned pointer (stable forever) in a local static.
+
+/// Global collection switch. Initialized once from the EDADB_METRICS
+/// environment variable ("0"/"off"/"false" disable; default on).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonic host time for latency measurement. This is deliberately
+/// NOT the injected edadb::Clock: latencies are real elapsed durations
+/// even under a simulated clock.
+uint64_t HostSteadyMicros();
+
+/// Monotonically increasing counter. Adds are relaxed atomics sharded
+/// across cache lines so concurrent writers do not bounce one line;
+/// Value() sums the shards (reads are rare: snapshots and stats).
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void ResetForTesting() {
+    for (Shard& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  /// Per-thread shard assignment (round-robin at first use).
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// A level that can move both ways (queue depth, durable lag).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time copy of a histogram, mergeable across histograms.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 40;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Value at quantile `q` in [0, 1] (0.5 = p50). Log-bucketed: the
+  /// answer is the upper bound of the bucket holding the rank, clamped
+  /// to the observed max, so it is exact to within one power of two.
+  double Percentile(double q) const;
+
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Lock-free log2-bucketed histogram for latency/size distributions.
+/// Bucket 0 holds exactly 0; bucket i>0 holds [2^(i-1), 2^i). Values
+/// beyond the last bucket clamp into it (the snapshot max stays exact).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static size_t BucketIndex(uint64_t value);
+  /// Largest value the bucket admits (0 for bucket 0, 2^i - 1 else;
+  /// the last bucket reports its lower range end despite clamping).
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// No-op when metrics are disabled.
+  void Record(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  void ResetForTesting();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// RAII latency probe: records real elapsed microseconds into `hist`
+/// on destruction. When metrics are disabled (or `hist` is null) the
+/// constructor takes no clock reading and the destructor is a no-op.
+class LatencyScope {
+ public:
+  explicit LatencyScope(Histogram* hist)
+      : hist_(Enabled() ? hist : nullptr),
+        start_(hist_ != nullptr ? HostSteadyMicros() : 0) {}
+
+  ~LatencyScope() {
+    if (hist_ != nullptr) {
+      const uint64_t end = HostSteadyMicros();
+      hist_->Record(end > start_ ? end - start_ : 0);
+    }
+  }
+
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  Histogram* const hist_;
+  const uint64_t start_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindToString(MetricKind kind);
+
+/// One metric's value at snapshot time. For histograms `value` is the
+/// sample count and the distribution fields are filled in.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// A collector contributes metrics computed at snapshot time (queue
+/// depths, matcher occupancy, WAL lag) by appending MetricSnapshots.
+/// Called WITHOUT the registry mutex held, so the callback may take its
+/// owner's locks. Two collectors may emit the same name (two processors
+/// in one process): scalar values are summed in the snapshot.
+using Collector = std::function<void(std::vector<MetricSnapshot>*)>;
+
+namespace internal {
+struct CollectorEntry;
+}  // namespace internal
+
+class Registry;
+
+/// RAII registration: dropping the handle unregisters the collector and
+/// blocks until any in-flight invocation has finished. Do NOT destroy a
+/// handle while holding a lock its collector acquires.
+class CallbackHandle {
+ public:
+  CallbackHandle() = default;
+  ~CallbackHandle() { Unregister(); }
+
+  CallbackHandle(CallbackHandle&& other) noexcept;
+  CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+
+  CallbackHandle(const CallbackHandle&) = delete;
+  CallbackHandle& operator=(const CallbackHandle&) = delete;
+
+  void Unregister();
+
+ private:
+  friend class Registry;
+  CallbackHandle(Registry* registry,
+                 std::shared_ptr<internal::CollectorEntry> entry)
+      : registry_(registry), entry_(std::move(entry)) {}
+
+  Registry* registry_ = nullptr;
+  std::shared_ptr<internal::CollectorEntry> entry_;
+};
+
+/// Named-metric registry. Instruments are created on first use and
+/// never freed, so the returned pointers are stable for the process
+/// lifetime and hot paths can cache them.
+///
+/// Thread-safe. Lock discipline: the registry mutex is a leaf for
+/// instrument lookup (safe to call under subsystem locks); Snapshot()
+/// invokes collectors with the registry mutex RELEASED, so collectors
+/// may take subsystem locks — which is why those subsystems must not
+/// destroy their CallbackHandle while holding them.
+class Registry {
+ public:
+  static Registry* Default();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  EDADB_NODISCARD CallbackHandle RegisterCollector(Collector fn);
+
+  /// All metrics (owned instruments + collector output), deduplicated
+  /// by name (scalars summed) and sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// "name kind value ..." per line, sorted; for logs and check.sh.
+  std::string DumpText() const;
+
+  /// JSON array of metric objects; for bench artifacts.
+  std::string DumpJson() const;
+
+  /// Zeroes every owned instrument (pointers stay valid — hot-path
+  /// caches are unaffected). Collectors are left registered.
+  void ResetForTesting();
+
+ private:
+  mutable Mutex mu_{"metrics::Registry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      EDADB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ EDADB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      EDADB_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<internal::CollectorEntry>> collectors_
+      EDADB_GUARDED_BY(mu_);
+};
+
+}  // namespace metrics
+}  // namespace edadb
+
+#endif  // EDADB_COMMON_METRICS_H_

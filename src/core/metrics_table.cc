@@ -1,0 +1,127 @@
+#include "core/metrics_table.h"
+
+namespace edadb {
+
+namespace {
+
+SchemaPtr MetricsSchema() {
+  return Schema::Make({
+      {"name", ValueType::kString, /*nullable=*/false},
+      {"kind", ValueType::kString, false},
+      {"value", ValueType::kInt64, false},
+      {"count", ValueType::kInt64, false},
+      {"sum", ValueType::kInt64, false},
+      {"p50", ValueType::kDouble, false},
+      {"p95", ValueType::kDouble, false},
+      {"p99", ValueType::kDouble, false},
+      {"max", ValueType::kInt64, false},
+      {"updated_at", ValueType::kTimestamp, false},
+  });
+}
+
+std::string KindName(metrics::MetricKind kind) {
+  switch (kind) {
+    case metrics::MetricKind::kCounter: return "counter";
+    case metrics::MetricKind::kGauge: return "gauge";
+    case metrics::MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Value equality for the diff; `name` doubles as the "ever written"
+/// flag (rows adopted from a previous process carry an empty name and
+/// therefore always refresh once).
+bool SameValue(const metrics::MetricSnapshot& a,
+               const metrics::MetricSnapshot& b) {
+  return a.name == b.name && a.kind == b.kind && a.value == b.value &&
+         a.count == b.count && a.sum == b.sum && a.max == b.max &&
+         a.p50 == b.p50 && a.p95 == b.p95 && a.p99 == b.p99;
+}
+
+Result<Record> BuildRow(const SchemaPtr& schema,
+                        const metrics::MetricSnapshot& ms,
+                        TimestampMicros now) {
+  return RecordBuilder(schema)
+      .SetString("name", ms.name)
+      .SetString("kind", KindName(ms.kind))
+      .SetInt64("value", ms.value)
+      .SetInt64("count", static_cast<int64_t>(ms.count))
+      .SetInt64("sum", static_cast<int64_t>(ms.sum))
+      .SetDouble("p50", ms.p50)
+      .SetDouble("p95", ms.p95)
+      .SetDouble("p99", ms.p99)
+      .SetInt64("max", static_cast<int64_t>(ms.max))
+      .SetTimestamp("updated_at", now)
+      .Build();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsTable>> MetricsTable::Attach(
+    Database* db, metrics::Registry* registry) {
+  if (registry == nullptr) registry = metrics::Registry::Default();
+  if (!db->GetTable(kTableName).ok()) {
+    EDADB_RETURN_IF_ERROR(db->CreateTable(kTableName, MetricsSchema()).status());
+    EDADB_RETURN_IF_ERROR(db->CreateIndex(kTableName, "name", true));
+  }
+  auto table = std::unique_ptr<MetricsTable>(new MetricsTable(db, registry));
+  // Adopt rows from a previous incarnation: remember their row ids so
+  // the first Refresh() updates in place instead of violating the
+  // unique name index with a duplicate insert.
+  EDADB_ASSIGN_OR_RETURN(Table * t, db->GetTable(kTableName));
+  MutexLock lock(&table->mu_);
+  t->ScanRows([&](RowId row_id, const Record& row) {
+    auto name = row.Get("name");
+    if (name.ok() && name->type() == ValueType::kString) {
+      CachedRow cached;
+      cached.row_id = row_id;
+      // cached.last.name stays empty -> first refresh rewrites the row.
+      table->rows_[name->string_value()] = std::move(cached);
+    }
+    return true;
+  });
+  return table;
+}
+
+Result<size_t> MetricsTable::Refresh() {
+  // Snapshot outside mu_: collectors take component locks, and nothing
+  // below depends on snapshot/refresh atomicity.
+  std::vector<metrics::MetricSnapshot> snapshot = registry_->Snapshot();
+  EDADB_ASSIGN_OR_RETURN(Table * t, db_->GetTable(kTableName));
+  const TimestampMicros now = db_->clock()->NowMicros();
+  MutexLock lock(&mu_);
+  size_t written = 0;
+  std::map<std::string, CachedRow> next;
+  for (metrics::MetricSnapshot& ms : snapshot) {
+    auto it = rows_.find(ms.name);
+    if (it != rows_.end() && SameValue(it->second.last, ms)) {
+      next[ms.name] = std::move(it->second);
+      rows_.erase(it);
+      continue;
+    }
+    EDADB_ASSIGN_OR_RETURN(Record row, BuildRow(t->schema(), ms, now));
+    CachedRow cached;
+    if (it != rows_.end()) {
+      cached.row_id = it->second.row_id;
+      EDADB_RETURN_IF_ERROR(
+          db_->UpdateRow(kTableName, cached.row_id, std::move(row)));
+      rows_.erase(it);
+    } else {
+      EDADB_ASSIGN_OR_RETURN(cached.row_id,
+                             db_->Insert(kTableName, std::move(row)));
+    }
+    ++written;
+    cached.last = std::move(ms);
+    next[cached.last.name] = std::move(cached);
+  }
+  // Whatever is left in rows_ vanished from the registry (e.g. a
+  // dropped queue's gauges): remove the stale rows.
+  for (const auto& [name, cached] : rows_) {
+    EDADB_RETURN_IF_ERROR(db_->DeleteRow(kTableName, cached.row_id));
+    ++written;
+  }
+  rows_ = std::move(next);
+  return written;
+}
+
+}  // namespace edadb

@@ -1,0 +1,61 @@
+#ifndef EDADB_CORE_METRICS_TABLE_H_
+#define EDADB_CORE_METRICS_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "db/database.h"
+
+namespace edadb {
+
+/// Mirrors the process metrics registry into the `__metrics` system
+/// table (one row per metric), following the `__audit` pattern: system
+/// state stored as ordinary data, so the database's own machinery —
+/// ad-hoc queries, query-capture sources, continuous queries, rules —
+/// applies to the system's health. A rule like
+///   name = 'mq.queue.work.depth' AND value >= 1000
+/// attached via AttachQueryCapture on `__metrics` turns a backlog into
+/// an event (DESIGN.md §11).
+///
+/// Refresh() is a diff: only metrics whose values changed since the
+/// last refresh touch the table, so query-capture sources see real
+/// deltas rather than a full rewrite per tick.
+///
+/// Thread-safe.
+class MetricsTable {
+ public:
+  static constexpr char kTableName[] = "__metrics";
+
+  /// Creates/attaches the `__metrics` table. `db` and `registry` must
+  /// outlive the object; `registry` defaults to the process registry.
+  EDADB_NODISCARD static Result<std::unique_ptr<MetricsTable>> Attach(
+      Database* db, metrics::Registry* registry = nullptr);
+
+  /// Snapshots the registry and reconciles the table: upserts changed
+  /// metrics, deletes rows for metrics gone from the snapshot (e.g. a
+  /// dropped queue's gauges). Returns the number of rows written.
+  EDADB_NODISCARD Result<size_t> Refresh();
+
+ private:
+  MetricsTable(Database* db, metrics::Registry* registry)
+      : db_(db), registry_(registry) {}
+
+  struct CachedRow {
+    RowId row_id = 0;
+    metrics::MetricSnapshot last;
+  };
+
+  Database* db_;
+  metrics::Registry* registry_;
+  mutable Mutex mu_{"MetricsTable::mu_"};
+  std::map<std::string, CachedRow> rows_ EDADB_GUARDED_BY(mu_);
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CORE_METRICS_TABLE_H_

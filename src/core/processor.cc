@@ -37,9 +37,31 @@ Result<std::unique_ptr<EventProcessor>> EventProcessor::Open(
       std::make_unique<ResponderRegistry>(processor->queues_.get());
   EDADB_ASSIGN_OR_RETURN(processor->audit_,
                          AuditLog::Attach(processor->db_.get()));
+  EDADB_ASSIGN_OR_RETURN(processor->metrics_table_,
+                         MetricsTable::Attach(processor->db_.get()));
   processor->dispatcher_ =
       std::make_unique<QueueDispatcher>(processor->queues_.get());
   EDADB_RETURN_IF_ERROR(processor->Wire());
+  // Export the instance counters process-wide (multiple processors sum).
+  EventProcessor* raw = processor.get();
+  processor->metrics_collector_ =
+      metrics::Registry::Default()->RegisterCollector(
+          [raw](std::vector<metrics::MetricSnapshot>* out) {
+            const auto emit = [out](const char* name, uint64_t value) {
+              metrics::MetricSnapshot ms;
+              ms.name = name;
+              ms.kind = metrics::MetricKind::kCounter;
+              ms.value = static_cast<int64_t>(value);
+              out->push_back(std::move(ms));
+            };
+            emit("core.ingested", raw->ingested_.Value());
+            emit("core.rules_matched", raw->rules_matched_.Value());
+            emit("core.routed_to_queues", raw->routed_to_queues_.Value());
+            emit("core.routed_to_topics", raw->routed_to_topics_.Value());
+            emit("core.dispatched_to_responders",
+                 raw->dispatched_to_responders_.Value());
+            emit("core.ingest_failures", raw->ingest_failures_.Value());
+          });
   return processor;
 }
 
@@ -77,7 +99,7 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
     }
     const auto enqueued = queues_->Enqueue(queue, request);
     if (enqueued.ok()) {
-      routed_to_queues_.fetch_add(1, std::memory_order_relaxed);
+      routed_to_queues_.Add(1);
       if (options_.audit_routing) {
         EDADB_IGNORE_STATUS(
             audit_->Append("processor", "route.queue", queue,
@@ -99,7 +121,7 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
     pub.payload = event.payload;
     const auto published = broker_->Publish(pub);
     if (published.ok()) {
-      routed_to_topics_.fetch_add(1, std::memory_order_relaxed);
+      routed_to_topics_.Add(1);
       if (options_.audit_routing) {
         EDADB_IGNORE_STATUS(
             audit_->Append("processor", "route.topic", pub.topic,
@@ -124,8 +146,7 @@ void EventProcessor::RouteAction(const Rule& rule, const Event& event) {
     }
     const auto dispatched = responders_->Dispatch(event, criteria);
     if (dispatched.ok()) {
-      dispatched_to_responders_.fetch_add(dispatched->size(),
-                                          std::memory_order_relaxed);
+      dispatched_to_responders_.Add(dispatched->size());
       if (options_.audit_routing) {
         for (const std::string& responder : *dispatched) {
           EDADB_IGNORE_STATUS(
@@ -158,7 +179,7 @@ Status EventProcessor::IngestBatch(std::vector<Event> events) {
     if (event.id == 0) event.id = NextEventId();
     if (event.timestamp == 0) event.timestamp = clock_->NowMicros();
   }
-  ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+  ingested_.Add(events.size());
 
   // Let bus subscribers (windows, monitors, application code) see the
   // whole batch under one subscriber snapshot.
@@ -175,7 +196,7 @@ Status EventProcessor::IngestBatch(std::vector<Event> events) {
   EDADB_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> matched,
                          rules_->EvaluateBatch(accessors));
   for (size_t i = 0; i < events.size(); ++i) {
-    rules_matched_.fetch_add(matched[i].size(), std::memory_order_relaxed);
+    rules_matched_.Add(matched[i].size());
     for (const std::string& rule_id : matched[i]) {
       std::optional<Rule> rule = rules_->FindRule(rule_id);
       if (rule.has_value() && !rule->action.empty()) {
@@ -189,7 +210,7 @@ Status EventProcessor::IngestBatch(std::vector<Event> events) {
 void EventProcessor::IngestFromSource(const Event& event) {
   const Status s = Ingest(event);
   if (!s.ok()) {
-    ingest_failures_.fetch_add(1, std::memory_order_relaxed);
+    ingest_failures_.Add(1);
     EDADB_LOG(Warn) << "capture-source ingest of event type '" << event.type
                     << "' failed: " << s;
   }
@@ -197,6 +218,20 @@ void EventProcessor::IngestFromSource(const Event& event) {
 
 Result<size_t> EventProcessor::PumpOnce() {
   size_t total = 0;
+  // Mirror the registry into __metrics BEFORE the query-source polls,
+  // so a capture source watching __metrics sees this tick's values in
+  // the same pump (no one-tick lag for continuous queries on health).
+  if (options_.metrics_refresh_interval_micros >= 0) {
+    const TimestampMicros steady_now = clock_->SteadyNowMicros();
+    const TimestampMicros last =
+        last_metrics_refresh_steady_.load(std::memory_order_relaxed);
+    if (last == 0 ||
+        steady_now - last >= options_.metrics_refresh_interval_micros) {
+      last_metrics_refresh_steady_.store(steady_now,
+                                         std::memory_order_relaxed);
+      EDADB_RETURN_IF_ERROR(metrics_table_->Refresh().status());
+    }
+  }
   for (const auto& source : journal_sources_) {
     EDADB_ASSIGN_OR_RETURN(size_t captured, source->Poll());
     total += captured;
@@ -243,13 +278,12 @@ Status EventProcessor::AttachQueryCapture(
 
 EventProcessor::Stats EventProcessor::GetStats() const {
   Stats stats;
-  stats.ingested = ingested_.load(std::memory_order_relaxed);
-  stats.rules_matched = rules_matched_.load(std::memory_order_relaxed);
-  stats.routed_to_queues = routed_to_queues_.load(std::memory_order_relaxed);
-  stats.routed_to_topics = routed_to_topics_.load(std::memory_order_relaxed);
-  stats.dispatched_to_responders =
-      dispatched_to_responders_.load(std::memory_order_relaxed);
-  stats.ingest_failures = ingest_failures_.load(std::memory_order_relaxed);
+  stats.ingested = ingested_.Value();
+  stats.rules_matched = rules_matched_.Value();
+  stats.routed_to_queues = routed_to_queues_.Value();
+  stats.routed_to_topics = routed_to_topics_.Value();
+  stats.dispatched_to_responders = dispatched_to_responders_.Value();
+  stats.ingest_failures = ingest_failures_.Value();
   return stats;
 }
 

@@ -6,8 +6,10 @@
 #include <string>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/audit.h"
+#include "core/metrics_table.h"
 #include "core/event.h"
 #include "core/event_bus.h"
 #include "core/sources.h"
@@ -31,6 +33,10 @@ struct EventProcessorOptions {
   /// characteristics: security, auditing, tracking"). One extra insert
   /// per routed event; off by default.
   bool audit_routing = false;
+  /// How often PumpOnce() mirrors the metrics registry into the
+  /// `__metrics` table (steady-clock throttled). 0 = every pump (tests);
+  /// negative = never.
+  TimestampMicros metrics_refresh_interval_micros = kMicrosPerSecond;
 };
 
 /// The assembled event-driven application stack: one database under a
@@ -108,9 +114,10 @@ class EventProcessor {
   ResponderRegistry* responders() { return responders_.get(); }
   AuditLog* audit() { return audit_.get(); }
   QueueDispatcher* dispatcher() { return dispatcher_.get(); }
+  MetricsTable* metrics_table() { return metrics_table_.get(); }
   Clock* clock() { return clock_; }
 
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats): per-instance counts, also exported as core.* metrics
     uint64_t ingested = 0;
     uint64_t rules_matched = 0;
     uint64_t routed_to_queues = 0;
@@ -144,18 +151,28 @@ class EventProcessor {
   std::unique_ptr<VirtFilter> virt_;
   std::unique_ptr<ResponderRegistry> responders_;
   std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<MetricsTable> metrics_table_;
   std::unique_ptr<QueueDispatcher> dispatcher_;
   EventBus bus_;
   std::vector<std::unique_ptr<TriggerEventSource>> trigger_sources_;
   std::vector<std::unique_ptr<JournalEventSource>> journal_sources_;
   std::vector<std::unique_ptr<QueryEventSource>> query_sources_;
 
-  std::atomic<uint64_t> ingested_{0};
-  std::atomic<uint64_t> rules_matched_{0};
-  std::atomic<uint64_t> routed_to_queues_{0};
-  std::atomic<uint64_t> routed_to_topics_{0};
-  std::atomic<uint64_t> dispatched_to_responders_{0};
-  std::atomic<uint64_t> ingest_failures_{0};
+  /// Instance-owned counters (GetStats stays per-processor); the
+  /// collector below also exports them process-wide as core.*.
+  metrics::Counter ingested_;
+  metrics::Counter rules_matched_;
+  metrics::Counter routed_to_queues_;
+  metrics::Counter routed_to_topics_;
+  metrics::Counter dispatched_to_responders_;
+  metrics::Counter ingest_failures_;
+
+  /// Throttles __metrics refreshes inside PumpOnce (steady domain).
+  std::atomic<TimestampMicros> last_metrics_refresh_steady_{0};
+
+  /// LAST member: destroyed first, so an in-flight collector reading
+  /// the counters above finishes before they are torn down.
+  metrics::CallbackHandle metrics_collector_;
 };
 
 }  // namespace edadb

@@ -56,7 +56,7 @@ class VirtFilter {
     double value_score = 0;
   };
 
-  struct ConsumerStats {
+  struct ConsumerStats {  // lint:allow(adhoc-stats): per-consumer suppression breakdown, queried by key
     uint64_t delivered = 0;
     uint64_t not_relevant = 0;
     uint64_t below_value = 0;

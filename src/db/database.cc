@@ -6,6 +6,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "db/snapshot.h"
 #include "storage/file.h"
@@ -16,6 +17,24 @@ namespace edadb {
 namespace {
 
 constexpr char kCheckpointFileName[] = "CHECKPOINT";
+
+metrics::Counter* CommitsCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("db.commits");
+  return c;
+}
+
+metrics::Histogram* CommitLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("db.commit.latency_us");
+  return h;
+}
+
+metrics::Histogram* CommitOpsHistogram() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("db.commit.ops");
+  return h;
+}
 
 DmlOp LogTypeToDmlOp(LogRecordType type) {
   switch (type) {
@@ -486,6 +505,8 @@ Status Database::ValidateOps(const std::vector<PendingOp>& ops) {
 
 Status Database::CommitOps(std::vector<PendingOp> ops) {
   if (ops.empty()) return Status::OK();
+  metrics::LatencyScope latency(CommitLatency());
+  CommitOpsHistogram()->Record(ops.size());
 
   struct AfterEvent {
     DmlOp op;
@@ -615,6 +636,7 @@ Status Database::CommitOps(std::vector<PendingOp> ops) {
   // The commit record is on disk: a crash from here on must still
   // surface the transaction after recovery.
   FAILPOINT("db.commit.after_sync");
+  CommitsCounter()->Add(1);
 
   // AFTER triggers observe committed state; errors are logged, not
   // propagated (the change is already durable).

@@ -1,8 +1,34 @@
 #include "mq/dispatcher.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "db/database.h"
 
 namespace edadb {
+
+namespace {
+
+metrics::Counter* HandledCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.dispatch.handled");
+  return c;
+}
+
+metrics::Counter* RetriesCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.dispatch.retries");
+  return c;
+}
+
+metrics::Histogram* DispatchLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("mq.dispatch.latency_us");
+  return h;
+}
+
+}  // namespace
 
 QueueDispatcher::~QueueDispatcher() { Stop(); }
 
@@ -54,6 +80,12 @@ Result<size_t> QueueDispatcher::PumpOnce() {
       EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
                              queues_->Dequeue(binding.queue, request));
       if (!message.has_value()) break;
+      // End-to-end delivery latency: enqueue (wall, persisted) to the
+      // moment the handler gets the message. Clamped — a wall step
+      // between the two reads can make the difference negative.
+      DispatchLatency()->Record(static_cast<uint64_t>(
+          std::max<TimestampMicros>(0, queues_->db()->clock()->NowMicros() -
+                                           message->enqueue_time)));
       const Status status = binding.handler(*message);
       MutexLock lock(&mu_);
       auto it = bindings_.find(Key(binding.queue, binding.group));
@@ -61,6 +93,7 @@ Result<size_t> QueueDispatcher::PumpOnce() {
         EDADB_RETURN_IF_ERROR(
             queues_->Ack(binding.queue, binding.group, message->id));
         if (it != bindings_.end()) ++it->second.stats.handled;
+        HandledCounter()->Add(1);
         ++handled_total;
       } else {
         EDADB_LOG(Warn) << "handler for queue '" << binding.queue
@@ -68,6 +101,7 @@ Result<size_t> QueueDispatcher::PumpOnce() {
         EDADB_RETURN_IF_ERROR(
             queues_->Nack(binding.queue, binding.group, message->id));
         if (it != bindings_.end()) ++it->second.stats.failed;
+        RetriesCounter()->Add(1);
         // Leave the message for redelivery policy; stop this binding's
         // drain to avoid hot-looping on a poisoned head.
         break;
@@ -84,15 +118,18 @@ Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
   }
   worker_ = std::thread([this, idle_wait_micros] {
     while (running_.load(std::memory_order_relaxed)) {
+      // Read the activity sequence BEFORE pumping: anything enqueued
+      // while the pump runs changes the seq, so the wait below returns
+      // immediately instead of missing it.
+      const uint64_t seq = queues_->activity_seq();
       auto pumped = PumpOnce();
       if (!pumped.ok()) {
         EDADB_LOG(Warn) << "dispatcher pump failed: " << pumped.status();
       }
       if (!pumped.ok() || *pumped == 0) {
-        // Idle: sleep briefly. (DequeueWait-per-binding would hold one
-        // binding hostage to another's silence.)
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(idle_wait_micros));
+        // Idle: block until new queue activity (or the fallback bound,
+        // which re-polls bindings added after the pump snapshot).
+        queues_->WaitForActivity(seq, idle_wait_micros);
       }
     }
   });
@@ -101,6 +138,9 @@ Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
 
 void QueueDispatcher::Stop() {
   running_.store(false);
+  // The worker may be parked in WaitForActivity; bump the sequence so
+  // it wakes, re-checks running_, and exits.
+  queues_->WakeWaiters();
   if (worker_.joinable()) worker_.join();
 }
 

@@ -54,14 +54,17 @@ class QueueDispatcher {
   /// Drains every binding once; returns messages handled (acked).
   EDADB_NODISCARD Result<size_t> PumpOnce();
 
-  /// Starts the background activation thread (poll + block on queue
-  /// signal). FailedPrecondition if already running.
+  /// Starts the background activation thread. When a pump finds nothing
+  /// it blocks on the queue manager's activity signal (enqueue, nack,
+  /// shutdown), waking immediately on arrivals; `idle_wait_micros` is
+  /// only the fallback re-poll bound, not the wake latency.
+  /// FailedPrecondition if already running.
   EDADB_NODISCARD Status Start(TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli);
 
   /// Stops and joins the background thread (idempotent).
   void Stop();
 
-  struct BindingStats {
+  struct BindingStats {  // lint:allow(adhoc-stats): per-binding counts, queried by key
     uint64_t handled = 0;  // Handler OK -> acked.
     uint64_t failed = 0;   // Handler error -> nacked.
   };

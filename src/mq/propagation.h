@@ -98,7 +98,7 @@ class Propagator {
   EDADB_NODISCARD Status RemoveRule(const std::string& name);
   std::vector<std::string> ListRules() const;
 
-  struct RuleStats {
+  struct RuleStats {  // lint:allow(adhoc-stats): per-rule counts, queried by rule name
     uint64_t forwarded = 0;
     uint64_t dropped = 0;   // Failed the filter.
     uint64_t failed = 0;    // Destination rejected; nacked.

@@ -5,11 +5,54 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace edadb {
 
 namespace {
+
+/// Hot-path instruments, resolved once (pointers are stable forever).
+metrics::Counter* EnqueuedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.enqueued");
+  return c;
+}
+metrics::Histogram* EnqueueLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("mq.enqueue.latency_us");
+  return h;
+}
+metrics::Counter* DequeuedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.dequeued");
+  return c;
+}
+metrics::Histogram* DequeueLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("mq.dequeue.latency_us");
+  return h;
+}
+metrics::Counter* AckCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.acks");
+  return c;
+}
+metrics::Histogram* AckLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("mq.ack.latency_us");
+  return h;
+}
+metrics::Counter* NackCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.nacks");
+  return c;
+}
+metrics::Counter* DeadLetterCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("mq.dead_lettered");
+  return c;
+}
 
 constexpr char kQueuesTable[] = "__queues";
 constexpr char kGroupsTable[] = "__queue_groups";
@@ -82,6 +125,32 @@ Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db) {
   auto manager = std::unique_ptr<QueueManager>(new QueueManager(db));
   EDADB_RETURN_IF_ERROR(manager->EnsureMetaTables());
   EDADB_RETURN_IF_ERROR(manager->ReloadFromMeta());
+  // Depth/inflight are computed at snapshot time rather than maintained
+  // on every mutation: the collector takes mu_ (recursive), which is
+  // safe because Registry::Snapshot invokes it without registry locks.
+  QueueManager* raw = manager.get();
+  manager->metrics_collector_ = metrics::Registry::Default()->RegisterCollector(
+      [raw](std::vector<metrics::MetricSnapshot>* out) {
+        RecursiveMutexLock lock(&raw->mu_);
+        for (const auto& [name, state] : raw->queues_) {
+          int64_t depth = 0;
+          int64_t inflight = 0;
+          for (const auto& [group, rt] : state.runtime) {
+            depth += static_cast<int64_t>(rt.ready.size());
+            inflight += static_cast<int64_t>(rt.locked.size());
+          }
+          metrics::MetricSnapshot d;
+          d.name = "mq.queue." + name + ".depth";
+          d.kind = metrics::MetricKind::kGauge;
+          d.value = depth;
+          out->push_back(std::move(d));
+          metrics::MetricSnapshot i;
+          i.name = "mq.queue." + name + ".inflight";
+          i.kind = metrics::MetricKind::kGauge;
+          i.value = inflight;
+          out->push_back(std::move(i));
+        }
+      });
   return manager;
 }
 
@@ -171,7 +240,11 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
     return true;
   });
   EDADB_ASSIGN_OR_RETURN(Table * dlv, db_->GetTable(DelivTableName(name)));
-  const TimestampMicros now = clock_->NowMicros();
+  // Persisted deadlines are wall timestamps (steady epochs do not
+  // survive a process); convert the remaining span into the steady
+  // domain the runtime maps live in.
+  const TimestampMicros wall_now = clock_->NowMicros();
+  const TimestampMicros steady_now = clock_->SteadyNowMicros();
   std::set<MessageId> delivered_ids;
   dlv->ScanRows([&](RowId row_id, const Record& row) {
     const std::string group = GetString(row, "grp");
@@ -184,10 +257,10 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
     auto meta = state->messages.find(msg_id);
     const int64_t priority =
         meta != state->messages.end() ? meta->second.priority : 0;
-    if (locked_until > now) {
-      rt.locked[msg_id] = locked_until;
-    } else if (visible_at > now) {
-      rt.delayed.emplace(visible_at, msg_id);
+    if (locked_until > wall_now) {
+      rt.locked[msg_id] = steady_now + (locked_until - wall_now);
+    } else if (visible_at > wall_now) {
+      rt.delayed.emplace(steady_now + (visible_at - wall_now), msg_id);
     } else {
       rt.ready.emplace(-priority, msg_id);
     }
@@ -369,6 +442,7 @@ Result<std::vector<MessageId>> QueueManager::EnqueueBatch(
 
 Result<std::vector<MessageId>> QueueManager::EnqueueSpan(
     const std::string& queue, const EnqueueRequest* requests, size_t count) {
+  metrics::LatencyScope latency(EnqueueLatency());
   std::vector<MessageId> ids;
   if (count == 0) {
     // Validate the queue even for an empty batch so callers get the
@@ -393,6 +467,7 @@ Result<std::vector<MessageId>> QueueManager::EnqueueSpan(
   // entirely (no body rows, no delivery rows).
   FAILPOINT("mq.enqueue.before_commit");
   EDADB_RETURN_IF_ERROR(txn->Commit());
+  EnqueuedCounter()->Add(count);
   return ids;
 }
 
@@ -447,15 +522,20 @@ void QueueManager::OnDeliveryInserted(const std::string& queue,
     const MessageId msg_id = static_cast<MessageId>(GetInt64(row, "msg_id"));
     GroupRuntime& rt = state.runtime[group];
     rt.deliveries[msg_id] = {deliv_row, GetInt64(row, "delivery_count")};
+    // Row carries a wall visible_at; the runtime delay is the remaining
+    // span mapped onto the steady domain.
     const TimestampMicros visible_at = GetInt64(row, "visible_at");
+    const TimestampMicros wall_now = clock_->NowMicros();
     auto meta = state.messages.find(msg_id);
     const int64_t priority =
         meta != state.messages.end() ? meta->second.priority : 0;
-    if (visible_at > clock_->NowMicros()) {
-      rt.delayed.emplace(visible_at, msg_id);
+    if (visible_at > wall_now) {
+      rt.delayed.emplace(clock_->SteadyNowMicros() + (visible_at - wall_now),
+                         msg_id);
     } else {
       rt.ready.emplace(-priority, msg_id);
     }
+    BumpActivityLocked();
   }
   enqueue_cv_.SignalAll();
 }
@@ -480,8 +560,8 @@ Result<Message> QueueManager::LoadMessage(const std::string& queue,
 }
 
 void QueueManager::Promote(QueueState* state, GroupRuntime* rt,
-                           TimestampMicros now) {
-  while (!rt->delayed.empty() && rt->delayed.begin()->first <= now) {
+                           TimestampMicros steady_now) {
+  while (!rt->delayed.empty() && rt->delayed.begin()->first <= steady_now) {
     const MessageId id = rt->delayed.begin()->second;
     rt->delayed.erase(rt->delayed.begin());
     auto meta = state->messages.find(id);
@@ -490,7 +570,7 @@ void QueueManager::Promote(QueueState* state, GroupRuntime* rt,
     rt->ready.emplace(-priority, id);
   }
   for (auto it = rt->locked.begin(); it != rt->locked.end();) {
-    if (it->second <= now) {
+    if (it->second <= steady_now) {
       auto meta = state->messages.find(it->first);
       const int64_t priority =
           meta != state->messages.end() ? meta->second.priority : 0;
@@ -576,6 +656,7 @@ Status QueueManager::DeadLetter(const std::string& queue, QueueState* state,
       }
     }
   }
+  DeadLetterCounter()->Add(1);
   return FinishDelivery(queue, state, group, id);
 }
 
@@ -590,6 +671,7 @@ Result<std::optional<Message>> QueueManager::Dequeue(
 Result<std::vector<Message>> QueueManager::DequeueBatch(
     const std::string& queue, const DequeueRequest& request,
     size_t max_messages) {
+  metrics::LatencyScope latency(DequeueLatency());
   std::vector<Message> out;
   RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
@@ -602,8 +684,11 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
                             "' not registered on queue '" + queue + "'");
   }
   GroupRuntime& rt = state.runtime[request.group];
-  const TimestampMicros now = clock_->NowMicros();
-  Promote(&state, &rt, now);
+  // Wall time decides data questions (TTL expiry, persisted rows);
+  // steady time decides deadlines (lock promotion and new locks).
+  const TimestampMicros wall_now = clock_->NowMicros();
+  const TimestampMicros steady_now = clock_->SteadyNowMicros();
+  Promote(&state, &rt, steady_now);
   if (max_messages == 0) return out;
 
   // Snapshot the ready order; dead-lettering below mutates the set.
@@ -616,7 +701,7 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
       continue;
     }
     const MsgMeta meta = meta_it->second;
-    if (meta.expires_at != 0 && meta.expires_at <= now) {
+    if (meta.expires_at != 0 && meta.expires_at <= wall_now) {
       EDADB_RETURN_IF_ERROR(
           DeadLetter(queue, &state, request.group, id, "expired"));
       continue;
@@ -641,71 +726,111 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
     FAILPOINT("mq.dequeue.before_lock_persist");
     DelivState& deliv = deliv_it->second;
     deliv.delivery_count += 1;
-    const TimestampMicros locked_until =
-        now + state.options.visibility_timeout_micros;
+    // The row stores the wall-domain deadline (recovery converts it
+    // back); the runtime lock is its steady-domain twin.
+    const TimestampMicros locked_until_wall =
+        wall_now + state.options.visibility_timeout_micros;
     EDADB_ASSIGN_OR_RETURN(Record dlv_row,
                            db_->GetRow(DelivTableName(queue),
                                        deliv.deliv_row));
     EDADB_RETURN_IF_ERROR(
-        dlv_row.Set("locked_until", Value::Timestamp(locked_until)));
+        dlv_row.Set("locked_until", Value::Timestamp(locked_until_wall)));
     EDADB_RETURN_IF_ERROR(dlv_row.Set("delivery_count",
                                       Value::Int64(deliv.delivery_count)));
     EDADB_RETURN_IF_ERROR(db_->UpdateRow(DelivTableName(queue),
                                          deliv.deliv_row,
                                          std::move(dlv_row)));
     rt.ready.erase({neg_priority, id});
-    rt.locked[id] = locked_until;
+    rt.locked[id] = steady_now + state.options.visibility_timeout_micros;
     message.delivery_count = deliv.delivery_count;
     out.push_back(std::move(message));
     if (out.size() >= max_messages) break;
   }
+  DequeuedCounter()->Add(out.size());
   return out;
 }
 
 Result<std::optional<Message>> QueueManager::DequeueWait(
     const std::string& queue, const DequeueRequest& request,
     TimestampMicros timeout_micros) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(timeout_micros);
+  {
+    RecursiveMutexLock lock(&mu_);
+    if (shutdown_) return Status::Aborted("QueueManager shut down");
+  }
+  if (timeout_micros <= 0) {
+    // Contract: exactly one non-blocking attempt, never a wait.
+    return Dequeue(queue, request);
+  }
+  // Deadline in the clock's steady domain: real time keeps it moving
+  // (SimulatedClock's steady side includes host-elapsed time) and
+  // AdvanceMicros shortens it deterministically; a wall step (SetMicros)
+  // does not touch it.
+  const TimestampMicros deadline =
+      clock_->SteadyNowMicros() + timeout_micros;
   for (;;) {
-    {
-      RecursiveMutexLock lock(&mu_);
-      if (shutdown_) return Status::Aborted("QueueManager shut down");
-    }
     EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
                            Dequeue(queue, request));
     if (message.has_value()) return message;
-    const auto now = std::chrono::steady_clock::now();
+    const TimestampMicros now = clock_->SteadyNowMicros();
     if (now >= deadline) return std::optional<Message>();
-    // Capped slices keep simulated-clock promotions responsive.
-    const auto slice =
-        std::min<std::chrono::steady_clock::duration>(
-            deadline - now, std::chrono::milliseconds(5));
+    // Capped slices keep simulated-clock promotions responsive (a
+    // delayed message maturing via AdvanceMicros signals no CV).
+    const TimestampMicros slice =
+        std::min<TimestampMicros>(deadline - now, 5 * kMicrosPerMilli);
     RecursiveMutexLock lock(&mu_);
     if (shutdown_) return Status::Aborted("QueueManager shut down");
-    enqueue_cv_.WaitForMicros(
-        &mu_,
-        std::chrono::duration_cast<std::chrono::microseconds>(slice).count());
+    enqueue_cv_.WaitForMicros(&mu_, slice);
   }
+}
+
+bool QueueManager::WaitForActivity(uint64_t last_seen_seq,
+                                   TimestampMicros timeout_micros) {
+  const TimestampMicros deadline =
+      clock_->SteadyNowMicros() + timeout_micros;
+  RecursiveMutexLock lock(&mu_);
+  for (;;) {
+    if (shutdown_) return true;
+    if (activity_seq_.load(std::memory_order_acquire) != last_seen_seq) {
+      return true;
+    }
+    const TimestampMicros now = clock_->SteadyNowMicros();
+    if (timeout_micros <= 0 || now >= deadline) return false;
+    // One wait for the full remainder — every producer signals, so no
+    // polling slices are needed here (unlike DequeueWait, nothing
+    // matures silently: new activity always bumps the seq).
+    enqueue_cv_.WaitForMicros(&mu_, deadline - now);
+  }
+}
+
+void QueueManager::WakeWaiters() {
+  {
+    RecursiveMutexLock lock(&mu_);
+    BumpActivityLocked();
+  }
+  enqueue_cv_.SignalAll();
 }
 
 void QueueManager::Shutdown() {
   {
     RecursiveMutexLock lock(&mu_);
     shutdown_ = true;
+    BumpActivityLocked();
   }
   enqueue_cv_.SignalAll();
 }
 
 Status QueueManager::Ack(const std::string& queue, const std::string& group,
                          MessageId id) {
+  metrics::LatencyScope latency(AckLatency());
   RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   // Nothing persisted yet: a crash here loses the ack, and the message
   // must be redelivered after the visibility timeout (at-least-once).
   FAILPOINT("mq.ack.before_finish");
-  return FinishDelivery(queue, &it->second, group, id);
+  EDADB_RETURN_IF_ERROR(FinishDelivery(queue, &it->second, group, id));
+  AckCounter()->Add(1);
+  return Status::OK();
 }
 
 Status QueueManager::Nack(const std::string& queue, const std::string& group,
@@ -728,25 +853,29 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
     return DeadLetter(queue, &state, group, id, "max_deliveries");
   }
   FAILPOINT("mq.nack.before_persist");
-  const TimestampMicros now = clock_->NowMicros();
-  const TimestampMicros visible_at = now + redeliver_delay_micros;
+  // Persist the redelivery time as wall; schedule it in steady.
+  const TimestampMicros wall_now = clock_->NowMicros();
+  const TimestampMicros visible_at_wall = wall_now + redeliver_delay_micros;
   EDADB_ASSIGN_OR_RETURN(
       Record dlv_row,
       db_->GetRow(DelivTableName(queue), deliv_it->second.deliv_row));
   EDADB_RETURN_IF_ERROR(dlv_row.Set("locked_until", Value::Timestamp(0)));
   EDADB_RETURN_IF_ERROR(
-      dlv_row.Set("visible_at", Value::Timestamp(visible_at)));
+      dlv_row.Set("visible_at", Value::Timestamp(visible_at_wall)));
   EDADB_RETURN_IF_ERROR(db_->UpdateRow(
       DelivTableName(queue), deliv_it->second.deliv_row, std::move(dlv_row)));
   rt.locked.erase(id);
   auto meta = state.messages.find(id);
   const int64_t priority =
       meta != state.messages.end() ? meta->second.priority : 0;
-  if (visible_at > now) {
-    rt.delayed.emplace(visible_at, id);
+  if (redeliver_delay_micros > 0) {
+    rt.delayed.emplace(clock_->SteadyNowMicros() + redeliver_delay_micros,
+                       id);
   } else {
     rt.ready.emplace(-priority, id);
   }
+  NackCounter()->Add(1);
+  BumpActivityLocked();
   enqueue_cv_.SignalAll();
   return Status::OK();
 }
@@ -759,13 +888,13 @@ Result<size_t> QueueManager::Depth(const std::string& queue,
   auto rt_it = it->second.runtime.find(group);
   if (rt_it == it->second.runtime.end()) return size_t{0};
   // Count ready plus delayed-now-due without mutating (Depth is const).
-  const TimestampMicros now = clock_->NowMicros();
+  const TimestampMicros steady_now = clock_->SteadyNowMicros();
   size_t depth = rt_it->second.ready.size();
   for (const auto& [visible_at, id] : rt_it->second.delayed) {
-    if (visible_at <= now) ++depth;
+    if (visible_at <= steady_now) ++depth;
   }
   for (const auto& [id, locked_until] : rt_it->second.locked) {
-    if (locked_until <= now) ++depth;
+    if (locked_until <= steady_now) ++depth;
   }
   return depth;
 }
@@ -812,12 +941,12 @@ Status QueueManager::Browse(
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   auto rt_it = it->second.runtime.find(group);
   if (rt_it == it->second.runtime.end()) return Status::OK();
-  const TimestampMicros now = clock_->NowMicros();
+  const TimestampMicros steady_now = clock_->SteadyNowMicros();
   // Snapshot: ready entries plus matured delayed/expired-lock entries,
   // in (priority, id) order — the order Dequeue would serve them.
   std::set<std::pair<int64_t, MessageId>> visible = rt_it->second.ready;
   for (const auto& [visible_at, id] : rt_it->second.delayed) {
-    if (visible_at <= now) {
+    if (visible_at <= steady_now) {
       auto meta = it->second.messages.find(id);
       visible.emplace(
           meta != it->second.messages.end() ? -meta->second.priority : 0,
@@ -825,7 +954,7 @@ Status QueueManager::Browse(
     }
   }
   for (const auto& [id, locked_until] : rt_it->second.locked) {
-    if (locked_until <= now) {
+    if (locked_until <= steady_now) {
       auto meta = it->second.messages.find(id);
       visible.emplace(
           meta != it->second.messages.end() ? -meta->second.priority : 0,

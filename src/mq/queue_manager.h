@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
@@ -118,10 +119,32 @@ class QueueManager {
       size_t max_messages);
 
   /// Blocking dequeue; waits up to `timeout_micros` for a message.
-  /// Returns Aborted once Shutdown() has been called.
+  /// Returns Aborted once Shutdown() has been called. The timeout is
+  /// measured in the clock's steady domain (a wall-clock step neither
+  /// shortens nor extends it). Contract for `timeout_micros <= 0`:
+  /// exactly one non-blocking dequeue attempt — never waits.
   EDADB_NODISCARD Result<std::optional<Message>> DequeueWait(const std::string& queue,
                                              const DequeueRequest& request,
                                              TimestampMicros timeout_micros);
+
+  /// Monotonic count of wake-worthy activity (delivery inserts, nacks,
+  /// shutdown, explicit wakes). Poll-free consumers capture it before
+  /// draining and pass it to WaitForActivity to close the race where a
+  /// message arrives between an empty drain and the wait.
+  uint64_t activity_seq() const {
+    return activity_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until activity_seq() != last_seen_seq, Shutdown(), or the
+  /// timeout (steady domain) elapses. Returns true when woken by
+  /// activity or shutdown, false on timeout. Spurious true returns are
+  /// possible; callers re-drain and wait again.
+  bool WaitForActivity(uint64_t last_seen_seq, TimestampMicros timeout_micros);
+
+  /// Wakes every blocked DequeueWait/WaitForActivity caller without
+  /// shutting down (they re-check their conditions). For cooperating
+  /// drivers (the dispatcher) stopping their own loops.
+  void WakeWaiters();
 
   /// Wakes every blocked DequeueWait() caller and makes subsequent
   /// waits fail fast with Aborted. Call before destroying the manager
@@ -176,12 +199,19 @@ class QueueManager {
   /// In-memory dequeue index per consumer group. The database tables are
   /// authoritative (and rebuild this on Attach); the runtime makes
   /// Dequeue O(log n) instead of a table scan.
+  ///
+  /// Clock domains: the `locked` and `delayed` deadlines here live in
+  /// the clock's STEADY domain so a wall-clock step can neither
+  /// prematurely redeliver an in-flight message (step forward) nor
+  /// stall redelivery (step back). The persisted delivery rows keep
+  /// WALL timestamps — steady epochs do not survive a process — and
+  /// are converted on load (RebuildRuntimeLocked).
   struct GroupRuntime {
     /// Deliverable now, ordered by (-priority, message id).
     std::set<std::pair<int64_t, MessageId>> ready;
-    /// Dequeued and invisible until the mapped deadline.
+    /// Dequeued and invisible until the mapped steady-domain deadline.
     std::map<MessageId, TimestampMicros> locked;
-    /// Delayed delivery: visible_at -> message id.
+    /// Delayed delivery: steady-domain visibility time -> message id.
     std::multimap<TimestampMicros, MessageId> delayed;
     /// All live deliveries for this group.
     std::map<MessageId, DelivState> deliveries;
@@ -234,8 +264,15 @@ class QueueManager {
       EDADB_REQUIRES(mu_);
 
   /// Moves due delayed messages and expired locks back to ready.
-  void Promote(QueueState* state, GroupRuntime* rt, TimestampMicros now)
-      EDADB_REQUIRES(mu_);
+  /// `steady_now` is from Clock::SteadyNowMicros().
+  void Promote(QueueState* state, GroupRuntime* rt,
+               TimestampMicros steady_now) EDADB_REQUIRES(mu_);
+
+  /// Bumps activity_seq_ (all mutations happen under mu_ so waiters
+  /// cannot miss a wake between their check and their wait).
+  void BumpActivityLocked() EDADB_REQUIRES(mu_) {
+    activity_seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   /// Copies the message to the dead-letter queue (when configured) and
   /// finishes this group's delivery. Re-enters mu_ through Enqueue,
@@ -260,6 +297,14 @@ class QueueManager {
   CondVar enqueue_cv_;
   std::map<std::string, QueueState> queues_ EDADB_GUARDED_BY(mu_);
   bool shutdown_ EDADB_GUARDED_BY(mu_) = false;
+
+  /// Bumped (under mu_) on every wake-worthy event; read lock-free.
+  std::atomic<uint64_t> activity_seq_{0};
+
+  /// Emits mq.queue.<name>.depth/.inflight gauges at snapshot time.
+  /// Last member: destroyed first, so an in-flight collector (which
+  /// takes mu_) finishes before the rest of the manager tears down.
+  metrics::CallbackHandle metrics_collector_;
 };
 
 }  // namespace edadb

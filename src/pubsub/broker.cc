@@ -3,11 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace edadb {
 
 namespace {
+
+metrics::Counter* PublishesCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.publishes");
+  return c;
+}
+
+metrics::Counter* DeliveriesCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.deliveries");
+  return c;
+}
+
+metrics::Histogram* PublishLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("pubsub.publish.latency_us");
+  return h;
+}
 
 constexpr char kSubsTable[] = "__subscriptions";
 constexpr char kRetainedTable[] = "__retained";
@@ -282,6 +301,8 @@ Result<size_t> Broker::PublishBatch(const std::vector<Publication>& pubs) {
 
 Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
   if (count == 0) return static_cast<size_t>(0);
+  metrics::LatencyScope latency(PublishLatency());
+  PublishesCounter()->Add(count);
 
   // Retained-value bookkeeping per publication (cold path).
   for (size_t i = 0; i < count; ++i) {
@@ -359,6 +380,7 @@ Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
                       << "' failed: " << s;
     }
   }
+  DeliveriesCounter()->Add(delivered);
   return delivered;
 }
 

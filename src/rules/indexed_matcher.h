@@ -62,7 +62,7 @@ class IndexedMatcher : public RuleMatcher {
   const Rule* GetRule(const std::string& id) const override;
 
   /// Introspection for tests/benches.
-  struct Stats {
+  struct Stats {  // lint:allow(adhoc-stats): matcher-shape snapshot, also exported via rules.matcher.* gauges
     size_t eq_entries = 0;
     size_t range_entries = 0;
     size_t scan_rules = 0;   // No indexable conjunct.

@@ -6,6 +6,33 @@ namespace edadb {
 
 namespace {
 
+metrics::Counter* EvaluatedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("rules.evaluated");
+  return c;
+}
+
+metrics::Counter* MatchedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("rules.matched");
+  return c;
+}
+
+metrics::Histogram* MatchLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("rules.match.latency_us");
+  return h;
+}
+
+void EmitGauge(std::vector<metrics::MetricSnapshot>* out, std::string name,
+               int64_t value) {
+  metrics::MetricSnapshot ms;
+  ms.name = std::move(name);
+  ms.kind = metrics::MetricKind::kGauge;
+  ms.value = value;
+  out->push_back(std::move(ms));
+}
+
 constexpr char kRulesTable[] = "__rules";
 
 SchemaPtr RulesSchema() {
@@ -36,6 +63,24 @@ Result<std::unique_ptr<RulesEngine>> RulesEngine::Attach(Database* db,
     EDADB_RETURN_IF_ERROR(db->CreateIndex(kRulesTable, "rule_id", true));
   }
   EDADB_RETURN_IF_ERROR(engine->LoadPersistedRules());
+  // Matcher shape gauges (index vs scan population). The lambda runs
+  // with the registry lock released, so taking mu_ here is safe.
+  RulesEngine* raw = engine.get();
+  engine->metrics_collector_ = metrics::Registry::Default()->RegisterCollector(
+      [raw](std::vector<metrics::MetricSnapshot>* out) {
+        MutexLock lock(&raw->mu_);
+        auto* indexed = dynamic_cast<IndexedMatcher*>(raw->matcher_.get());
+        if (indexed == nullptr) return;  // Naive matcher: nothing to report.
+        const IndexedMatcher::Stats stats = indexed->GetStats();
+        EmitGauge(out, "rules.matcher.eq_entries",
+                  static_cast<int64_t>(stats.eq_entries));
+        EmitGauge(out, "rules.matcher.range_entries",
+                  static_cast<int64_t>(stats.range_entries));
+        EmitGauge(out, "rules.matcher.scan_rules",
+                  static_cast<int64_t>(stats.scan_rules));
+        EmitGauge(out, "rules.matcher.total_rules",
+                  static_cast<int64_t>(stats.total_rules));
+      });
   return engine;
 }
 
@@ -196,7 +241,11 @@ Result<std::vector<std::vector<std::string>>> RulesEngine::EvaluateBatch(
   // (AddRule from a handler) or block without stalling other callers.
   std::vector<std::vector<std::pair<Rule, ActionHandler>>> dispatch;
   dispatch.resize(events.size());
+  EvaluatedCounter()->Add(events.size());
+  // Scope covers matching only, not handler dispatch — handlers run
+  // arbitrary user code and would swamp the match signal.
   {
+    metrics::LatencyScope latency(MatchLatency());
     MutexLock lock(&mu_);
     std::vector<std::vector<const Rule*>> matched;
     matcher_->MatchBatch(events, &matched);
@@ -220,6 +269,11 @@ Result<std::vector<std::vector<std::string>>> RulesEngine::EvaluateBatch(
   }
   std::vector<std::vector<std::string>> ids;
   ids.resize(events.size());
+  size_t total_matched = 0;
+  for (const auto& event_dispatch : dispatch) {
+    total_matched += event_dispatch.size();
+  }
+  MatchedCounter()->Add(total_matched);
   for (size_t i = 0; i < dispatch.size(); ++i) {
     ids[i].reserve(dispatch[i].size());
     for (auto& [rule, handler] : dispatch[i]) {

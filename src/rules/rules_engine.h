@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "db/database.h"
@@ -89,6 +90,11 @@ class RulesEngine {
   std::unique_ptr<RuleMatcher> matcher_ EDADB_PT_GUARDED_BY(mu_);
   std::map<std::string, ActionHandler> handlers_ EDADB_GUARDED_BY(mu_);
   ActionHandler default_handler_ EDADB_GUARDED_BY(mu_);
+
+  /// Emits rules.matcher.* gauges on registry snapshots. LAST member:
+  /// destroyed first, so an in-flight collector taking mu_ finishes
+  /// before the matcher is torn down.
+  metrics::CallbackHandle metrics_collector_;
 };
 
 }  // namespace edadb

@@ -13,6 +13,36 @@ namespace edadb {
 
 namespace {
 
+metrics::Counter* AppendRecordsCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("wal.append.records");
+  return c;
+}
+
+metrics::Counter* AppendBytesCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("wal.append.bytes");
+  return c;
+}
+
+metrics::Histogram* AppendLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("wal.append.latency_us");
+  return h;
+}
+
+metrics::Histogram* SyncLatency() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("wal.sync.latency_us");
+  return h;
+}
+
+metrics::Histogram* GroupCommitBytes() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("wal.group_commit.bytes");
+  return h;
+}
+
 /// Builds the on-disk framing for one record.
 std::string FrameRecord(uint8_t type, std::string_view payload) {
   std::string body;
@@ -73,6 +103,19 @@ std::string WalSegmentName(Lsn start_lsn) {
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options) {
   EDADB_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
   auto writer = std::unique_ptr<WalWriter>(new WalWriter(std::move(options)));
+
+  // Registered before either return path below; both accessors are
+  // plain atomics / own their locks, so the collector is safe whenever
+  // a snapshot fires. Process-wide metric: multiple writers sum.
+  WalWriter* raw = writer.get();
+  writer->metrics_collector_ = metrics::Registry::Default()->RegisterCollector(
+      [raw](std::vector<metrics::MetricSnapshot>* out) {
+        metrics::MetricSnapshot lag;
+        lag.name = "wal.durable_lag_bytes";
+        lag.kind = metrics::MetricKind::kGauge;
+        lag.value = static_cast<int64_t>(raw->next_lsn() - raw->durable_lsn());
+        out->push_back(std::move(lag));
+      });
 
   EDADB_ASSIGN_OR_RETURN(std::vector<std::string> names,
                          ListDir(writer->options_.dir));
@@ -143,6 +186,7 @@ Result<Lsn> WalWriter::Append(uint8_t type, std::string_view payload) {
 
 Result<WalBatchResult> WalWriter::AppendBatch(
     const std::vector<WalRecordRef>& records) {
+  metrics::LatencyScope latency(AppendLatency());
   WalBatchResult result;
   {
     MutexLock lock(&wal_mu_);
@@ -204,6 +248,8 @@ Result<WalBatchResult> WalWriter::AppendBatch(
       dirty_ = true;
     }
     result.end_lsn = tail;
+    AppendRecordsCounter()->Add(records.size());
+    AppendBytesCounter()->Add(tail - result.first_lsn);
     FAILPOINT("wal.append.after");
   }
   // Outside wal_mu_: SyncTo's leader re-acquires it for the fdatasync.
@@ -277,6 +323,7 @@ Status WalWriter::SyncTo(Lsn target) {
       if (current_ == nullptr) {
         sync_status = Status::FailedPrecondition("WAL writer is closed");
       } else if (dirty_) {
+        metrics::LatencyScope sync_latency(SyncLatency());
         sync_status = current_->Sync();
         if (sync_status.ok()) dirty_ = false;
       }
@@ -287,6 +334,9 @@ Status WalWriter::SyncTo(Lsn target) {
       // On failure the watermark stays put: every waiter re-elects
       // itself leader and retries (or propagates the error).
       if (sync_status.ok() && synced_end > durable_lsn_) {
+        // How many bytes this one fdatasync made durable — the group
+        // commit batching factor.
+        GroupCommitBytes()->Record(synced_end - durable_lsn_);
         durable_lsn_ = synced_end;
       }
     }

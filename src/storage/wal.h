@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "storage/file.h"
@@ -136,6 +137,11 @@ class WalWriter {
   CondVar sync_cv_;
   Lsn durable_lsn_ EDADB_GUARDED_BY(sync_mu_) = 0;
   bool sync_in_flight_ EDADB_GUARDED_BY(sync_mu_) = false;
+
+  /// Emits wal.durable_lag_bytes on registry snapshots. LAST member:
+  /// destroyed first, so an in-flight collector reading next_lsn_ /
+  /// sync_mu_ finishes before the rest of the writer is torn down.
+  metrics::CallbackHandle metrics_collector_;
 };
 
 /// Forward cursor over the log, usable while a writer appends (the

@@ -1,0 +1,342 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/seeded_rng.h"
+
+namespace edadb {
+namespace metrics {
+namespace {
+
+/// Restores the global enabled flag (tests flip it to probe both modes).
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : was_(Enabled()) {}
+  ~MetricsEnabledGuard() { SetEnabled(was_); }
+
+ private:
+  const bool was_;
+};
+
+TEST(CounterTest, AddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.ResetForTesting();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i>0 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  // Values beyond the last bucket clamp into it.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX),
+            HistogramSnapshot::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketIndexAndUpperBoundAgree) {
+  // Property: for every bucket below the clamping one, the upper bound
+  // itself lands in the bucket and upper+1 lands in the next.
+  for (size_t i = 0; i + 1 < HistogramSnapshot::kNumBuckets; ++i) {
+    const uint64_t upper = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(upper), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(upper + 1), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, RecordAndSnapshot) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  Histogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(100);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 101u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  hist.ResetForTesting();
+  snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(HistogramTest, RecordIsNoOpWhenDisabled) {
+  MetricsEnabledGuard guard;
+  Histogram hist;
+  SetEnabled(false);
+  hist.Record(7);
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+  SetEnabled(true);
+  hist.Record(7);
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+}
+
+TEST(HistogramTest, PercentileExactWithinOneBucket) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  Histogram hist;
+  // 100 samples of value 5 (bucket [4,8), upper bound 7, max 5): every
+  // percentile reports min(bound, max) = 5.
+  for (int i = 0; i < 100; ++i) hist.Record(5);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.Percentile(0.0), 5.0);
+  EXPECT_EQ(snap.Percentile(0.5), 5.0);
+  EXPECT_EQ(snap.Percentile(1.0), 5.0);
+}
+
+TEST(HistogramTest, PercentileEmptyIsZero) {
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentileOrderAndBoundsProperty) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  testing::SeededRng rng(/*stream=*/71);
+  for (int round = 0; round < 20; ++round) {
+    Histogram hist;
+    uint64_t true_max = 0;
+    const int n = 1 + static_cast<int>(rng.Uniform(400));
+    for (int i = 0; i < n; ++i) {
+      // Spread over many buckets: random bit width, then random value.
+      const uint64_t value = rng.Next() >> rng.Uniform(64);
+      hist.Record(value);
+      true_max = std::max(true_max, value);
+    }
+    const HistogramSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, static_cast<uint64_t>(n));
+    EXPECT_EQ(snap.max, true_max);
+    // Quantiles are monotone and never exceed the observed max.
+    double prev = 0;
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+      const double v = snap.Percentile(q);
+      EXPECT_GE(v, prev) << "q=" << q;
+      EXPECT_LE(v, static_cast<double>(true_max)) << "q=" << q;
+      prev = v;
+    }
+    // Log-bucketing: the pN estimate is exact to within one power of
+    // two, so p100 is at least half the true max.
+    EXPECT_GE(snap.Percentile(1.0) * 2 + 1, static_cast<double>(true_max));
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  testing::SeededRng rng(/*stream=*/72);
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t value = rng.Next() >> rng.Uniform(64);
+    (i % 2 == 0 ? a : b).Record(value);
+    combined.Record(value);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot expected = combined.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(merged.Percentile(q), expected.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyScopeTest, RecordsElapsedWhenEnabled) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  Histogram hist;
+  { LatencyScope scope(&hist); }
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+  { LatencyScope scope(nullptr); }  // Null histogram: safe no-op.
+}
+
+TEST(LatencyScopeTest, NoOpWhenDisabled) {
+  MetricsEnabledGuard guard;
+  SetEnabled(false);
+  Histogram hist;
+  { LatencyScope scope(&hist); }
+  // The *enabled* flag at construction wins: flipping mid-scope must
+  // not record into a histogram the scope never armed.
+  SetEnabled(false);
+  Histogram late;
+  {
+    LatencyScope scope(&late);
+    SetEnabled(true);
+  }
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+  EXPECT_EQ(late.Snapshot().count, 0u);
+}
+
+TEST(RegistryTest, LookupsAreStableAndShared) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+  EXPECT_NE(registry.GetCounter("test.other"), counter);
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(registry.GetGauge("test.gauge"), gauge);
+  Histogram* hist = registry.GetHistogram("test.hist");
+  EXPECT_EQ(registry.GetHistogram("test.hist"), hist);
+  // Same name, different kinds: distinct instruments (kind-scoped maps).
+  EXPECT_NE(static_cast<void*>(registry.GetCounter("test.dual")),
+            static_cast<void*>(registry.GetGauge("test.dual")));
+}
+
+TEST(RegistryTest, DefaultIsSingleton) {
+  EXPECT_EQ(Registry::Default(), Registry::Default());
+}
+
+TEST(RegistryTest, SnapshotSortedAndComplete) {
+  MetricsEnabledGuard guard;
+  SetEnabled(true);
+  Registry registry;
+  registry.GetCounter("b.counter")->Add(2);
+  registry.GetGauge("a.gauge")->Set(-7);
+  registry.GetHistogram("c.hist")->Record(16);
+  const std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[0].value, -7);
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[1].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[1].value, 2);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap[2].count, 1u);
+  EXPECT_EQ(snap[2].max, 16u);
+}
+
+TEST(RegistryTest, CollectorsContributeAndAggregate) {
+  Registry registry;
+  registry.GetCounter("dup.metric")->Add(5);
+  auto emit = [](std::vector<MetricSnapshot>* out) {
+    MetricSnapshot ms;
+    ms.name = "dup.metric";
+    ms.kind = MetricKind::kCounter;
+    ms.value = 10;
+    out->push_back(ms);
+    ms.name = "collector.only";
+    ms.value = 1;
+    out->push_back(ms);
+  };
+  CallbackHandle handle = registry.RegisterCollector(emit);
+  std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "collector.only");
+  // Scalar collision: owned 5 + collected 10.
+  EXPECT_EQ(snap[1].name, "dup.metric");
+  EXPECT_EQ(snap[1].value, 15);
+
+  handle.Unregister();
+  snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "dup.metric");
+  EXPECT_EQ(snap[0].value, 5);
+}
+
+TEST(RegistryTest, CollectorHandleUnregistersOnDestruction) {
+  Registry registry;
+  {
+    CallbackHandle handle =
+        registry.RegisterCollector([](std::vector<MetricSnapshot>* out) {
+          MetricSnapshot ms;
+          ms.name = "scoped.metric";
+          out->push_back(ms);
+        });
+    EXPECT_EQ(registry.Snapshot().size(), 1u);
+  }
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(RegistryTest, CollectorHandleMoves) {
+  Registry registry;
+  CallbackHandle a =
+      registry.RegisterCollector([](std::vector<MetricSnapshot>* out) {
+        MetricSnapshot ms;
+        ms.name = "moved.metric";
+        out->push_back(ms);
+      });
+  CallbackHandle b = std::move(a);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+  CallbackHandle c;
+  c = std::move(b);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+  c.Unregister();
+  c.Unregister();  // Idempotent.
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(RegistryTest, ResetForTestingZeroesButKeepsPointers) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("reset.counter");
+  counter->Add(9);
+  registry.GetHistogram("reset.hist")->Record(4);
+  registry.ResetForTesting();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("reset.counter"), counter);
+  EXPECT_EQ(registry.GetHistogram("reset.hist")->Snapshot().count, 0u);
+}
+
+/// Dumps must be well-formed whether collection is on or off: the gate
+/// in scripts/check.sh re-runs this suite with EDADB_METRICS=0.
+class DumpFormatTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DumpFormatTest, TextAndJsonWellFormed) {
+  MetricsEnabledGuard guard;
+  SetEnabled(GetParam());
+  Registry registry;
+  registry.GetCounter("fmt.counter")->Add(3);
+  registry.GetHistogram("fmt.hist")->Record(1000);
+
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("fmt.counter counter 3"), std::string::npos);
+  EXPECT_NE(text.find("fmt.hist histogram count="), std::string::npos);
+
+  const std::string json = registry.DumpJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"fmt.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+INSTANTIATE_TEST_SUITE_P(EnabledAndDisabled, DumpFormatTest,
+                         ::testing::Bool());
+
+TEST(MetricKindTest, Names) {
+  EXPECT_EQ(MetricKindToString(MetricKind::kCounter), "counter");
+  EXPECT_EQ(MetricKindToString(MetricKind::kGauge), "gauge");
+  EXPECT_EQ(MetricKindToString(MetricKind::kHistogram), "histogram");
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace edadb

@@ -134,6 +134,41 @@ TEST_F(DispatcherTest, PerGroupBindings) {
   EXPECT_EQ(auditing.load(), 1);
 }
 
+// Cold-start latency: the background thread blocks on the queue
+// manager's activity signal, so the first message after an idle period
+// is handled in wake-up time, not after the idle re-poll interval. With
+// a 2s idle wait, a polling loop would take ~2s; the CV wakeup path
+// must come in far under that.
+TEST_F(DispatcherTest, IdleWakeupBeatsPollInterval) {
+  std::atomic<int> handled{0};
+  QueueDispatcher::Binding binding;
+  binding.queue = "work";
+  binding.handler = [&](const Message&) {
+    handled.fetch_add(1);
+    return Status::OK();
+  };
+  ASSERT_OK(dispatcher_->Bind(std::move(binding)));
+  ASSERT_OK(dispatcher_->Start(/*idle_wait_micros=*/2 * kMicrosPerSecond));
+  // Let the worker finish its first empty pump and park on the signal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto enqueued_at = std::chrono::steady_clock::now();
+  ASSERT_OK(Enqueue("wake up"));
+  while (handled.load() < 1 &&
+         std::chrono::steady_clock::now() - enqueued_at <
+             std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto latency = std::chrono::steady_clock::now() - enqueued_at;
+  dispatcher_->Stop();
+  ASSERT_EQ(handled.load(), 1);
+  // Generous CI margin, but still far below the 2s idle re-poll bound.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(latency)
+                .count(),
+            1000)
+      << "dispatcher appears to be polling, not waking on arrivals";
+}
+
 TEST_F(DispatcherTest, BackgroundActivation) {
   std::atomic<int> handled{0};
   QueueDispatcher::Binding binding;

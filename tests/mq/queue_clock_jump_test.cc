@@ -1,0 +1,140 @@
+// Clock-domain regression tests for the delivery path: visibility and
+// redelivery deadlines live in the STEADY domain, so wall-clock jumps
+// (NTP step, operator adjustment — SimulatedClock::SetMicros) must
+// neither trigger premature redelivery nor strand delayed messages.
+// Only elapsed steady time (AdvanceMicros) matures deadlines.
+#include "mq/queue_manager.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+class QueueClockJumpTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    options.clock = &clock_;
+    clock_.SetMicros(kMicrosPerHour);  // Away from zero.
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+  }
+
+  EnqueueRequest Req(const std::string& payload) {
+    EnqueueRequest request;
+    request.payload = payload;
+    return request;
+  }
+
+  TempDir dir_;
+  SimulatedClock clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+};
+
+// The historical bug: locked_until was compared against wall time, so a
+// forward wall jump (here: +1 day) released every in-flight lock and
+// redelivered messages still being processed by their first consumer.
+TEST_F(QueueClockJumpTest, ForwardWallJumpDoesNotRedeliverLockedMessage) {
+  QueueCreateOptions options;
+  options.visibility_timeout_micros = 10 * kMicrosPerSecond;
+  ASSERT_OK(queues_->CreateQueue("q", options));
+  ASSERT_OK(queues_->Enqueue("q", Req("in flight")).status());
+  DequeueRequest dq;
+  auto first = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->delivery_count, 1);
+
+  // Wall leaps a day ahead; zero steady time has elapsed.
+  clock_.SetMicros(clock_.NowMicros() + 24 * kMicrosPerHour);
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value())
+      << "wall jump released a visibility lock";
+
+  // Real (steady) elapsed time still matures the lock.
+  clock_.AdvanceMicros(11 * kMicrosPerSecond);
+  auto second = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->delivery_count, 2);
+}
+
+// A backward wall step must not freeze redelivery: the steady deadline
+// matures after the configured elapsed time regardless of wall time.
+TEST_F(QueueClockJumpTest, BackwardWallJumpDoesNotStallRedelivery) {
+  QueueCreateOptions options;
+  options.visibility_timeout_micros = 5 * kMicrosPerSecond;
+  ASSERT_OK(queues_->CreateQueue("q", options));
+  ASSERT_OK(queues_->Enqueue("q", Req("x")).status());
+  DequeueRequest dq;
+  ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
+
+  clock_.SetMicros(clock_.NowMicros() - 30 * kMicrosPerMinute);
+  clock_.AdvanceMicros(6 * kMicrosPerSecond);
+  auto again = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(again.has_value()) << "backward wall jump stalled redelivery";
+  EXPECT_EQ(again->payload, "x");
+  EXPECT_EQ(again->delivery_count, 2);
+}
+
+// Same for nack redelivery delays: scheduled in the steady domain.
+TEST_F(QueueClockJumpTest, NackDelayUnaffectedByWallJumps) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  const MessageId id = *queues_->Enqueue("q", Req("retry later"));
+  DequeueRequest dq;
+  ASSERT_TRUE((*queues_->Dequeue("q", dq)).has_value());
+  ASSERT_OK(queues_->Nack("q", "", id, /*redeliver_delay_micros=*/
+                          5 * kMicrosPerSecond));
+
+  // Forward wall jump: the delay has not elapsed in steady time.
+  clock_.SetMicros(clock_.NowMicros() + 24 * kMicrosPerHour);
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value())
+      << "wall jump matured a nack redelivery delay";
+
+  clock_.AdvanceMicros(6 * kMicrosPerSecond);
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->delivery_count, 2);
+}
+
+// Delayed enqueues (delay_micros) also mature on elapsed steady time,
+// whatever the wall clock does in between.
+TEST_F(QueueClockJumpTest, DelayedMessageMaturesOnSteadyTimeOnly) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest request = Req("scheduled");
+  request.delay_micros = 10 * kMicrosPerSecond;
+  ASSERT_OK(queues_->Enqueue("q", request).status());
+  DequeueRequest dq;
+
+  // Forward wall jump alone must not make it visible early...
+  clock_.SetMicros(clock_.NowMicros() + 24 * kMicrosPerHour);
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value())
+      << "wall jump matured an enqueue delay";
+  EXPECT_EQ(*queues_->Depth("q", ""), 0u);
+
+  // ...and a backward jump must not push visibility out.
+  clock_.SetMicros(clock_.NowMicros() - 48 * kMicrosPerHour);
+  clock_.AdvanceMicros(11 * kMicrosPerSecond);
+  EXPECT_EQ(*queues_->Depth("q", ""), 1u);
+  auto msg = *queues_->Dequeue("q", dq);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "scheduled");
+}
+
+// Wall time is still authoritative for DATA: TTL expiry is an absolute
+// wall deadline, so a forward wall jump DOES expire messages.
+TEST_F(QueueClockJumpTest, TtlExpiryFollowsWallTime) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  EnqueueRequest request = Req("short lived");
+  request.ttl_micros = 5 * kMicrosPerSecond;
+  ASSERT_OK(queues_->Enqueue("q", request).status());
+
+  clock_.SetMicros(clock_.NowMicros() + 10 * kMicrosPerSecond);
+  EXPECT_EQ(*queues_->PurgeExpired("q"), 1u);
+  DequeueRequest dq;
+  EXPECT_FALSE(queues_->Dequeue("q", dq)->has_value());
+}
+
+}  // namespace
+}  // namespace edadb

@@ -360,6 +360,22 @@ TEST_F(QueueTest, DequeueWaitZeroTimeoutIsASinglePoll) {
   EXPECT_EQ(msg->payload, "instant");
 }
 
+TEST_F(QueueTest, DequeueWaitNegativeTimeoutIsASinglePoll) {
+  ASSERT_OK(queues_->CreateQueue("q"));
+  DequeueRequest dq;
+  // Negative timeouts clamp to the zero-timeout single-poll contract;
+  // they must never underflow into a huge unsigned wait.
+  const auto start = std::chrono::steady_clock::now();
+  auto empty = *queues_->DequeueWait("q", dq, -5 * kMicrosPerSecond);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ASSERT_OK(queues_->Enqueue("q", Req("instant")).status());
+  auto msg = *queues_->DequeueWait("q", dq, -1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "instant");
+}
+
 TEST_F(QueueTest, DequeueWaitUnderContentionDeliversExactlyOnce) {
   ASSERT_OK(queues_->CreateQueue("q"));
   std::atomic<int> winners{0};
