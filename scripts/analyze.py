@@ -1,0 +1,1450 @@
+#!/usr/bin/env python3
+"""Whole-program static concurrency & clock-domain analyzer.
+
+Where scripts/lint.py enforces line-local idiom, this tool builds a
+whole-program model (classes, mutex members, member functions, call
+sites, lock scopes) and runs four inter-procedural checks over it:
+
+  lock-order       Static acquired-before graph over the NAMED mutexes
+                   (common/mutex.h wrappers, e.g. "QueueManager::mu_").
+                   An edge A->B is recorded when B is acquired -- either
+                   directly or through any resolvable call chain --
+                   while A is held. A cycle in the graph is a latent
+                   deadlock: the runtime lock_graph checker only sees
+                   interleavings the tests happen to execute; this sees
+                   every path the call graph admits.
+  wait-under-lock  A named mutex held across a blocking operation:
+                   fdatasync/fsync, raw ::write/::pwrite, sleep_for/
+                   usleep/nanosleep, or a CondVar wait on a DIFFERENT
+                   mutex -- again through any resolvable call chain.
+                   Intentional cases (the WAL group-commit fdatasync
+                   under WalWriter::wal_mu_ is the canonical one) are
+                   suppressed with a mandatory justification in
+                   scripts/analyze_suppress.json.
+  cv-wait-no-loop  CondVar::Wait / WaitForMicros outside an enclosing
+                   while/for/do loop: spurious wakeups and missed
+                   predicate re-checks (lost wakeup) otherwise.
+  clock-domain     Raw clock reads (Clock::NowMicros / SteadyNowMicros
+                   and locals tainted by them) flowing into time
+                   arithmetic or ordering comparisons, and any statement
+                   mixing wall- and steady-tainted raw terms. Typed
+                   reads (WallNow()/SteadyNow(), WallMicros/SteadyMicros
+                   in common/clock.h) are enforced by the compiler and
+                   the tests/compile/clock_domain_probe.cc WILL_FAIL
+                   probes; this check covers the raw-integer code that
+                   remains (persisted rows, stamping).
+  guarded-by       Annotation-coverage ratchet: in any class owning a
+                   named mutex, every mutable field should carry
+                   EDADB_GUARDED_BY (atomics, consts and the
+                   synchronization members themselves are exempt).
+                   Existing debt lives in scripts/analyze_baseline.json
+                   and may only SHRINK: a baselined field that gains an
+                   annotation (or disappears) must be removed from the
+                   baseline, and new unannotated fields are errors.
+
+Frontends
+---------
+  --frontend=clang    Drives `clang++ -fsyntax-only -Xclang
+                      -ast-dump=json` over compile_commands.json (no
+                      libclang needed) and extracts the model from the
+                      JSON AST.
+  --frontend=builtin  A dependency-free structural parser (scope/brace
+                      tracking over comment- and string-stripped
+                      source). Deliberately under-approximate: a call it
+                      cannot resolve contributes no edges, so it reports
+                      no false cycles.
+  --frontend=auto     clang if a working clang++ is on PATH, else
+                      builtin.
+
+The ctest/check.sh/CI gate pins --frontend=builtin so fingerprints (and
+the suppression/baseline files keyed on them) are identical on machines
+with and without LLVM; clang mode is an opt-in cross-check. Both
+frontends feed the same fact model and the same checks, and
+--self-test validates whichever frontend runs against the seeded
+fixtures in scripts/analyze_fixtures/.
+
+Findings, suppression, baseline
+-------------------------------
+Every finding prints file:line, an evidence path (lock scopes and call
+chain), a stable symbol-based key (never line numbers, so edits that
+move code do not churn it) and a short fingerprint sha1(check|key).
+
+  scripts/analyze_suppress.json   permanent design-intent exceptions;
+                                  `reason` is mandatory; a suppression
+                                  matching no finding is a hard error
+                                  (stale suppressions rot).
+  scripts/analyze_baseline.json   pre-existing guarded-by debt;
+                                  shrink-only (stale entries are errors,
+                                  new findings are errors). Regenerate
+                                  with --write-baseline after paying
+                                  debt down.
+
+Exit status: 0 clean, 1 findings or stale entries, 2 usage/internal.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from collections import defaultdict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SUPPRESS_PATH = os.path.join(REPO_ROOT, "scripts", "analyze_suppress.json")
+BASELINE_PATH = os.path.join(REPO_ROOT, "scripts", "analyze_baseline.json")
+FIXTURE_DIR = os.path.join(REPO_ROOT, "scripts", "analyze_fixtures")
+
+# --------------------------------------------------------------------------
+# Fact model (shared by both frontends)
+# --------------------------------------------------------------------------
+
+
+class ClassInfo:
+    def __init__(self, name, file, line):
+        self.name = name
+        self.file = file
+        self.line = line
+        # field name -> registered lock name ("Class::mu_") for named
+        # Mutex/RecursiveMutex members; unnamed mutex fields map to
+        # "Class::field" so they still have a stable identity.
+        self.mutexes = {}
+        # field name -> bare class name of its pointee/value type, for
+        # receiver resolution (unique_ptr<T>, T*, T&, T).
+        self.field_types = {}
+        # (name, line, guarded, exempt_reason) for ratchet-relevant fields.
+        self.fields = []
+        self.methods = set()
+
+
+class CallSite:
+    __slots__ = ("receiver", "op", "name", "line", "held")
+
+    def __init__(self, receiver, op, name, line, held):
+        self.receiver = receiver  # identifier before -> . :: (or None)
+        self.op = op  # "->", ".", "::" or None
+        self.name = name
+        self.line = line
+        self.held = held  # tuple of lock names held at the call
+
+
+class BlockOp:
+    __slots__ = ("prim", "line", "held", "in_loop", "waited_lock")
+
+    def __init__(self, prim, line, held, in_loop, waited_lock=None):
+        self.prim = prim
+        self.line = line
+        self.held = held
+        self.in_loop = in_loop
+        self.waited_lock = waited_lock  # for CondVar waits
+
+
+class ClockUse:
+    __slots__ = ("kind", "line", "terms")
+
+    def __init__(self, kind, line, terms):
+        self.kind = kind  # "cross-mix" | "raw-arith"
+        self.line = line
+        self.terms = terms  # sorted tuple of offending term names
+
+
+class FunctionInfo:
+    def __init__(self, qual, cls, file, line):
+        self.qual = qual  # "Class::Method" or free-function name
+        self.cls = cls  # ClassInfo name or None
+        self.file = file
+        self.line = line
+        self.params = {}  # param name -> bare class name
+        self.acquires = []  # (lock_name, line)
+        self.lock_edges = []  # (held_lock, acquired_lock, line) intra-fn
+        self.calls = []  # CallSite
+        self.blocks = []  # BlockOp
+        self.clock_uses = []  # ClockUse
+
+
+class Model:
+    def __init__(self):
+        self.classes = {}  # name -> ClassInfo
+        self.functions = {}  # qual -> FunctionInfo
+
+    def get_class(self, name, file, line):
+        if name not in self.classes:
+            self.classes[name] = ClassInfo(name, file, line)
+        return self.classes[name]
+
+
+class Finding:
+    def __init__(self, check, key, file, line, message, evidence=None):
+        self.check = check
+        self.key = key
+        self.file = file
+        self.line = line
+        self.message = message
+        self.evidence = evidence or []
+
+    @property
+    def fingerprint(self):
+        digest = hashlib.sha1(
+            (self.check + "|" + self.key).encode("utf-8")).hexdigest()
+        return digest[:12]
+
+    def render(self):
+        out = (f"{self.file}:{self.line}: [{self.check}] {self.message}"
+               f"  [key {self.key} fp {self.fingerprint}]")
+        for ev in self.evidence:
+            out += f"\n    {ev}"
+        return out
+
+
+# --------------------------------------------------------------------------
+# Text utilities
+# --------------------------------------------------------------------------
+
+
+def strip_code(raw_lines):
+    """Blanks comments and string/char literal *contents* (quotes kept as
+    empty literals), preserving line structure."""
+    out = []
+    in_block = False
+    for raw in raw_lines:
+        s = []
+        i, n = 0, len(raw)
+        while i < n:
+            c = raw[i]
+            if in_block:
+                if raw.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if raw.startswith("//", i):
+                break
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                s.append(quote + quote)
+                continue
+            s.append(c)
+            i += 1
+        out.append("".join(s))
+    return out
+
+
+CPP_KEYWORDS = {
+    "if", "else", "while", "for", "do", "switch", "case", "return",
+    "sizeof", "alignof", "new", "delete", "throw", "catch", "co_await",
+    "static_assert", "decltype", "defined", "noexcept", "assert",
+    "constexpr", "const", "auto", "void", "int", "bool", "char", "break",
+    "continue", "default", "goto", "using", "typedef", "template",
+    "typename", "operator", "static_cast", "dynamic_cast", "alignas",
+    "reinterpret_cast", "const_cast", "explicit", "inline", "public",
+    "private", "protected", "struct", "class", "enum", "union",
+}
+
+# Calls that never matter to any check: skipping them keeps the call
+# graph small. Macro invocations (EDADB_*, FAILPOINT*, EXPECT/ASSERT)
+# are skipped as calls but their ARGUMENT text stays in the statement,
+# so calls inside macro arguments are still seen.
+CALL_SKIP_PREFIXES = ("EDADB_", "FAILPOINT", "EXPECT_", "ASSERT_", "TEST")
+
+BLOCKING_PRIMS = {
+    "fdatasync": "fdatasync",
+    "fsync": "fdatasync",
+    "write": "write",
+    "pwrite": "write",
+    "sleep_for": "sleep",
+    "usleep": "sleep",
+    "nanosleep": "sleep",
+}
+
+CALL_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*(->|\.|::)\s*)?([A-Za-z_~]\w*)\s*\(")
+ACQUIRE_RE = re.compile(
+    r"\b(MutexLock|RecursiveMutexLock)\s+\w+\s*\(\s*&\s*([\w.>\-]+)\s*\)")
+CV_WAIT_RE = re.compile(
+    r"([A-Za-z_][\w.>\-]*)\s*\.\s*(Wait|WaitForMicros)\s*\(\s*&\s*([\w.>\-]+)")
+RAW_BLOCK_RE = re.compile(r"::(fdatasync|fsync|write|pwrite)\s*\(")
+SLEEP_RE = re.compile(r"\b(sleep_for|usleep|nanosleep)\s*\(")
+MUTEX_DECL_RE = re.compile(
+    r"\b(Mutex|RecursiveMutex)\s+(\w+)\s*(?:\{\s*\"([^\"]*)\"\s*\})?\s*[;{]")
+FIELD_TYPE_RES = [
+    re.compile(r"std::(?:unique_ptr|shared_ptr)\s*<\s*([A-Za-z_]\w*)\s*>"
+               r"\s+(\w+)\s*[;={]"),
+    re.compile(r"\b([A-Z]\w*)\s*[*&]\s*(?:const\s+)?(\w+)\s*[;={]"),
+    re.compile(r"\b([A-Z]\w*)\s+(\w+)\s*[;={]"),
+]
+GUARD_ANNOT_RE = re.compile(r"EDADB_(?:PT_)?GUARDED_BY\s*\(\s*(\w+)\s*\)")
+ASSIGN_RE = re.compile(r"(?:^|[(,;]|\b)\s*(?:(?:const|auto|int64_t|"
+                       r"TimestampMicros)\s+)*([A-Za-z_]\w*)\s*=[^=]")
+
+
+# --------------------------------------------------------------------------
+# Builtin frontend: structural scanner
+# --------------------------------------------------------------------------
+
+
+class Scope:
+    __slots__ = ("kind", "name", "loop", "acqs", "saved_paren")
+
+    def __init__(self, kind, name=None, loop=False):
+        self.kind = kind  # namespace|class|function|block|braceinit
+        self.name = name
+        self.loop = loop
+        self.acqs = []  # lock names acquired in this scope (RAII)
+        self.saved_paren = 0  # paren depth of the enclosing scope
+
+
+FUNC_TAIL_RE = re.compile(
+    r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+)*\s*"
+    r"(?::(?!:).*)?$", re.S)
+FUNC_NAME_RE = re.compile(r"(?:([A-Za-z_]\w*)\s*::\s*)?(~?[A-Za-z_]\w*)\s*\(")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:EDADB_\w+\s*(?:\([^)]*\)\s*)?)?([A-Za-z_]\w*)"
+    r"[^;()]*$")
+PARAM_RE = re.compile(r"([A-Z]\w*)\s*[*&]+\s*(?:const\s+)?([a-z_]\w*)")
+
+
+class BuiltinFrontend:
+    """Clock-domain taint scanner shared by both frontends. The rest of
+    the builtin fact extraction lives in builtin_parse_file below (the
+    scope/brace scanner reads better as one closure-heavy function)."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def _clock_stmt(self, stmt, line, taint, func):
+        """Taints locals from raw clock reads and flags raw arithmetic /
+        cross-domain mixes. Typed reads (WallNow/SteadyNow/FromMicros)
+        produce compiler-enforced values and taint nothing."""
+        terms = {}  # name -> domain for raw terms present in this stmt
+        for m in re.finditer(r"([A-Za-z_]\w*)\s*\(", stmt):
+            if m.group(1) == "NowMicros":
+                pre = stmt[:m.start(1)]
+                if pre.rstrip().endswith("Steady"):
+                    continue  # matched inside SteadyNowMicros
+                terms["NowMicros()"] = "wall"
+            elif m.group(1) == "SteadyNowMicros":
+                terms["SteadyNowMicros()"] = "steady"
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\b", stmt):
+            dom = taint.get(m.group(1))
+            if dom:
+                terms[m.group(1)] = dom
+
+        # Propagate taint through plain assignments/initializations.
+        am = ASSIGN_RE.search(stmt)
+        if am:
+            target = am.group(1)
+            rhs_terms = {t: d for t, d in terms.items() if t != target}
+            doms = set(rhs_terms.values())
+            if len(doms) == 1:
+                taint[target] = doms.pop()
+            elif not doms:
+                taint.pop(target, None)
+
+        if not terms:
+            return
+        doms = set(terms.values())
+        ops = re.sub(r"->|<<|>>|::|==|!=|<[A-Za-z_][\w:<>,\s]*>", " ", stmt)
+        has_arith = re.search(r"[+\-<>]", ops) is not None
+        if len(doms) > 1:
+            func.clock_uses.append(ClockUse(
+                "cross-mix", line, tuple(sorted(terms))))
+        elif has_arith:
+            func.clock_uses.append(ClockUse(
+                "raw-arith", line, tuple(sorted(terms))))
+
+
+# The closure-heavy scanner above is clearer written as a free function;
+# BuiltinFrontend delegates here.
+
+
+def builtin_parse_file(model, path, rel, phase="both"):
+    """Scans one file. `phase` exists because lock resolution needs the
+    complete class picture (an inline method body may precede the mutex
+    declaration it locks, and .cc files may use classes declared in
+    headers parsed later): callers run a "decls" pass over every file to
+    register classes/mutexes/fields/methods, then a "facts" pass to
+    extract function facts against the finished declarations. "both"
+    remains for single-file uses that only need clock taint."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().split("\n")
+    except OSError as e:
+        print(f"analyze.py: cannot read {rel}: {e}", file=sys.stderr)
+        return
+    code_lines = strip_code(raw_lines)
+    fe = BuiltinFrontend(model)
+
+    stack = []
+    pending = []
+    pending_line = [1]
+    state = {"func": None, "taint": {}, "locals": {}}
+
+    def current_class():
+        for sc in reversed(stack):
+            if sc.kind == "class":
+                return sc.name
+        return None
+
+    def enclosing_func():
+        return state["func"]
+
+    def held_locks():
+        return tuple(l for sc in stack for l in sc.acqs)
+
+    def in_loop():
+        for sc in reversed(stack):
+            if sc.kind == "function":
+                return False
+            if sc.loop:
+                return True
+        return False
+
+    def resolve_lock(expr):
+        parts = re.split(r"->|\.", expr)
+        field = parts[-1].strip()
+        cls = None
+        if len(parts) == 1 or parts[0].strip() in ("this", ""):
+            cls = current_class()
+            if cls is None and enclosing_func() is not None:
+                cls = enclosing_func().cls
+        else:
+            recv = parts[0].strip()
+            f = enclosing_func()
+            if f is not None:
+                cls = f.params.get(recv) or state["locals"].get(recv)
+            if cls is None:
+                owner = model.classes.get(current_class() or
+                                          (f.cls if f else None))
+                if owner is not None:
+                    cls = owner.field_types.get(recv)
+        info = model.classes.get(cls) if cls else None
+        if info is not None and field in info.mutexes:
+            return info.mutexes[field]
+        return None
+
+    def class_member_stmt(stmt, line, raw_line):
+        """A `;`-terminated declaration at class depth: field or method."""
+        cls = model.classes.get(current_class())
+        if cls is None:
+            return
+        guarded = GUARD_ANNOT_RE.search(stmt) is not None
+        clean = GUARD_ANNOT_RE.sub(" ", stmt)
+        clean = re.sub(r"EDADB_\w+(\s*\([^)]*\))?", " ", clean).strip()
+        if not clean:
+            return
+        mm = MUTEX_DECL_RE.search(raw_line)
+        if mm:
+            name = mm.group(3) or f"{cls.name}::{mm.group(2)}"
+            cls.mutexes[mm.group(2)] = name
+            cls.field_types[mm.group(2)] = mm.group(1)
+            return
+        if "(" in clean:
+            fm = FUNC_NAME_RE.search(clean)
+            if fm and fm.group(2) not in CPP_KEYWORDS:
+                cls.methods.add(fm.group(2))
+            return
+        if re.match(r"^(?:using|typedef|friend|enum|static)\b", clean):
+            return
+        for rx in FIELD_TYPE_RES:
+            tm = rx.search(clean + ";")
+            if tm:
+                cls.field_types.setdefault(tm.group(2), tm.group(1))
+                break
+        dm = re.match(r"^(.*?)([A-Za-z_]\w*)\s*(?:=[^;]*)?$", clean.rstrip())
+        if not dm:
+            return
+        ftype, fname = dm.group(1).strip(), dm.group(2)
+        if not ftype or not fname:
+            return
+        exempt = None
+        if "CondVar" in ftype:
+            exempt = "condvar"
+        elif "std::atomic" in ftype:
+            exempt = "atomic"
+        elif re.match(r"^(?:mutable\s+)?const\b", ftype):
+            exempt = "const"
+        cls.fields.append((fname, line, guarded, exempt))
+
+    def start_function(header, line):
+        header = re.sub(r"EDADB_\w+(\s*\([^)]*\))?", " ", header)
+        fm = None
+        for m in FUNC_NAME_RE.finditer(header):
+            if m.group(2) in CPP_KEYWORDS:
+                continue
+            fm = m
+            break
+        if fm is None:
+            return None
+        cls = fm.group(1) or current_class()
+        name = fm.group(2)
+        qual = f"{cls}::{name}" if cls else name
+        f = FunctionInfo(qual, cls, pending_rel[0], line)
+        sig = header[fm.end():]
+        for pm in PARAM_RE.finditer(sig):
+            f.params[pm.group(2)] = pm.group(1)
+        # Definitions with bodies win over forward decls.
+        model.functions[qual] = f
+        if cls:
+            c = model.get_class(cls, pending_rel[0], line)
+            c.methods.add(name)
+        return f
+
+    def process_stmt(stmt, line, raw_line):
+        f = enclosing_func()
+        if f is None:
+            if current_class() is not None and phase != "facts":
+                class_member_stmt(stmt, line, raw_line)
+            return
+        if phase == "decls":
+            return
+        if not stmt.strip():
+            return
+        for m in PARAM_RE.finditer(stmt):
+            state["locals"].setdefault(m.group(2), m.group(1))
+
+        acq = ACQUIRE_RE.search(stmt)
+        if acq:
+            lock = resolve_lock(acq.group(2))
+            if lock is not None:
+                for h in held_locks():
+                    f.lock_edges.append((h, lock, line))
+                f.acquires.append((lock, line))
+                if stack:
+                    stack[-1].acqs.append(lock)
+
+        for m in re.finditer(r"([\w.>\-]+?)\s*\.\s*Lock\s*\(\s*\)", stmt):
+            lock = resolve_lock(m.group(1))
+            if lock is not None:
+                for h in held_locks():
+                    f.lock_edges.append((h, lock, line))
+                f.acquires.append((lock, line))
+                for sc in reversed(stack):
+                    if sc.kind == "function":
+                        sc.acqs.append(lock)
+                        break
+        for m in re.finditer(r"([\w.>\-]+?)\s*\.\s*Unlock\s*\(\s*\)", stmt):
+            lock = resolve_lock(m.group(1))
+            if lock is not None:
+                for sc in reversed(stack):
+                    if lock in sc.acqs:
+                        sc.acqs.remove(lock)
+                        break
+
+        held = held_locks()
+        for m in CV_WAIT_RE.finditer(stmt):
+            waited = resolve_lock(m.group(3))
+            f.blocks.append(BlockOp("cv-wait", line, held, in_loop(),
+                                    waited_lock=waited))
+        for m in RAW_BLOCK_RE.finditer(stmt):
+            f.blocks.append(BlockOp(BLOCKING_PRIMS[m.group(1)], line, held,
+                                    in_loop()))
+        for m in SLEEP_RE.finditer(stmt):
+            f.blocks.append(BlockOp(BLOCKING_PRIMS[m.group(1)], line, held,
+                                    in_loop()))
+
+        for m in CALL_RE.finditer(stmt):
+            recv, op, name = m.group(1), m.group(2), m.group(3)
+            if name in CPP_KEYWORDS or name.startswith(CALL_SKIP_PREFIXES):
+                continue
+            if name in ("Lock", "Unlock", "MutexLock", "RecursiveMutexLock",
+                        "Wait", "WaitForMicros", "Signal", "SignalAll"):
+                continue
+            if recv in ("std", "chrono", "this_thread"):
+                continue
+            f.calls.append(CallSite(recv, op, name, line, held))
+
+        fe._clock_stmt(stmt, line, state["taint"], f)
+
+    pending_rel = [rel]
+    has_content = [False]
+    # Parenthesis depth of the current statement: a `;` inside parens
+    # (for-loop headers, argument lists split by macros) does not end a
+    # statement. Each scope snapshots and resets the depth so lambda
+    # bodies inside call arguments still terminate statements normally.
+    paren = [0]
+
+    def clear_pending():
+        pending.clear()
+        has_content[0] = False
+
+    for lineno, code in enumerate(code_lines, start=1):
+        # Preprocessor lines neither open scopes nor end statements.
+        if code.lstrip().startswith("#"):
+            continue
+        i, n = 0, len(code)
+        while i < n:
+            c = code[i]
+            if c == "(":
+                paren[0] += 1
+            elif c == ")":
+                paren[0] = max(0, paren[0] - 1)
+            if c == "{":
+                header = "".join(pending).strip()
+                start = pending_line[0] if has_content[0] else lineno
+                sc = None
+                if re.match(r"^(?:inline\s+)?namespace\b", header):
+                    sc = Scope("namespace")
+                elif re.search(r"\benum\b", header) and "(" not in header:
+                    sc = Scope("block")  # enumerators are not fields
+                elif enclosing_func() is None and "(" not in header and \
+                        CLASS_HEAD_RE.search(header) and \
+                        not re.search(r"\benum\b", header):
+                    cm = CLASS_HEAD_RE.search(header)
+                    model.get_class(cm.group(1), rel, start)
+                    sc = Scope("class", cm.group(1))
+                elif enclosing_func() is None and "(" in header and \
+                        FUNC_TAIL_RE.search(header):
+                    f = start_function(header, start)
+                    if f is not None:
+                        sc = Scope("function", f.qual)
+                        state["func"] = f
+                        state["taint"] = {}
+                        state["locals"] = {}
+                    else:
+                        sc = Scope("block")
+                elif enclosing_func() is not None:
+                    loop = re.search(r"\b(?:while|for)\s*\(", header) is not \
+                        None or re.match(r"^do\b", header) is not None or \
+                        header.endswith("do")
+                    # Lambdas / plain blocks just nest.
+                    sc = Scope("block", loop=loop)
+                elif current_class() is not None and header:
+                    # Brace-initialized member (`Mutex mu_{"..."};`): keep
+                    # the declaration text alive until its semicolon.
+                    sc = Scope("braceinit")
+                else:
+                    sc = Scope("block")
+                if sc.kind != "braceinit":
+                    clear_pending()
+                sc.saved_paren = paren[0]
+                paren[0] = 0
+                stack.append(sc)
+                i += 1
+                continue
+            if c == "}":
+                if stack and stack[-1].kind == "braceinit":
+                    paren[0] = stack.pop().saved_paren
+                    i += 1
+                    continue
+                if stack:
+                    sc = stack.pop()
+                    paren[0] = sc.saved_paren
+                    if sc.kind == "function":
+                        state["func"] = None
+                        state["taint"] = {}
+                        state["locals"] = {}
+                clear_pending()
+                i += 1
+                continue
+            if c == ";" and paren[0] == 0:
+                stmt = "".join(pending)
+                anchor = pending_line[0] if has_content[0] else lineno
+                raw = raw_lines[anchor - 1] if anchor - 1 < len(raw_lines) \
+                    else ""
+                process_stmt(stmt, anchor, raw)
+                clear_pending()
+                i += 1
+                continue
+            # Access labels end the pending text; otherwise the first
+            # member after `private:` would merge with the label and its
+            # raw-line anchor would point at the label line (which is
+            # what MUTEX_DECL_RE searches for the registered lock name).
+            if c == ":" and paren[0] == 0 and \
+                    "".join(pending).strip() in ("public", "private",
+                                                 "protected"):
+                clear_pending()
+                i += 1
+                continue
+            if not has_content[0] and not c.isspace():
+                pending_line[0] = lineno
+                has_content[0] = True
+            pending.append(c)
+            i += 1
+        pending.append(" ")
+
+
+# --------------------------------------------------------------------------
+# Clang JSON-AST frontend
+# --------------------------------------------------------------------------
+
+
+class ClangFrontend:
+    """Extracts the same fact model from `clang++ -fsyntax-only -Xclang
+    -ast-dump=json` output, one TU at a time from compile_commands.json.
+    No libclang required. Untested on machines without clang++ (the
+    builtin frontend is the gate there); self-test covers it wherever a
+    working clang++ exists."""
+
+    def __init__(self, model, clangxx):
+        self.model = model
+        self.clangxx = clangxx
+
+    def parse_compile_commands(self, path, only_src=True):
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+        seen = set()
+        for entry in entries:
+            src = os.path.normpath(
+                os.path.join(entry.get("directory", "."), entry["file"]))
+            rel = os.path.relpath(src, REPO_ROOT).replace(os.sep, "/")
+            if only_src and not rel.startswith("src/"):
+                continue
+            if src in seen:
+                continue
+            seen.add(src)
+            args = entry.get("arguments")
+            if not args:
+                args = entry.get("command", "").split()
+            self.parse_tu(src, rel, args)
+
+    def parse_tu(self, src, rel, args):
+        cmd = [self.clangxx]
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if a == src or a.endswith(rel):
+                continue
+            cmd.append(a)
+        cmd += ["-fsyntax-only", "-Xclang", "-ast-dump=json", src]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=300)
+            ast = json.loads(proc.stdout)
+        except Exception as e:  # noqa: BLE001 - report and continue
+            print(f"analyze.py: clang frontend failed on {rel}: {e}",
+                  file=sys.stderr)
+            return
+        self._walk_top(ast, rel)
+        # Clock-domain taint stays textual even in clang mode: the typed
+        # layer is compiler-enforced, and the raw-integer heuristics are
+        # textual by nature. Reuse the builtin scanner for that file.
+        builtin_parse_clock_only(self.model, src, rel)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _loc_line(self, node):
+        loc = node.get("loc") or {}
+        return loc.get("line") or (loc.get("expansionLoc") or {}).get(
+            "line") or 0
+
+    def _walk_top(self, node, rel, cls=None):
+        kind = node.get("kind")
+        if kind == "CXXRecordDecl" and node.get("completeDefinition"):
+            name = node.get("name")
+            if name:
+                info = self.model.get_class(name, rel, self._loc_line(node))
+                self._fields(node, info)
+                cls = name
+        if kind in ("CXXMethodDecl", "CXXConstructorDecl", "FunctionDecl"):
+            body = [i for i in node.get("inner", [])
+                    if i.get("kind") == "CompoundStmt"]
+            if body:
+                name = node.get("name", "")
+                qual = f"{cls}::{name}" if cls else name
+                f = FunctionInfo(qual, cls, rel, self._loc_line(node))
+                self.model.functions[qual] = f
+                self._walk_body(body[0], f, held=[], loop=False)
+                return
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                self._walk_top(child, rel, cls)
+
+    def _fields(self, node, info):
+        for child in node.get("inner", []) or []:
+            if child.get("kind") != "FieldDecl":
+                continue
+            fname = child.get("name")
+            ftype = (child.get("type") or {}).get("qualType", "")
+            line = self._loc_line(child)
+            if fname is None:
+                continue
+            base = re.sub(r"^(?:const\s+)?(?:std::(?:unique|shared)_ptr<)?"
+                          r"([A-Za-z_][\w:]*).*$", r"\1", ftype)
+            base = base.split("::")[-1]
+            info.field_types.setdefault(fname, base)
+            if re.search(r"\b(?:Recursive)?Mutex\b", ftype):
+                # Registered name needs the initializer string literal.
+                lit = self._find_string_literal(child)
+                info.mutexes[fname] = lit or f"{info.name}::{fname}"
+                continue
+            guarded = any("guarded" in (c.get("kind") or "").lower()
+                          for c in child.get("inner", []) or [])
+            exempt = None
+            if "CondVar" in ftype:
+                exempt = "condvar"
+            elif "atomic" in ftype:
+                exempt = "atomic"
+            elif ftype.startswith("const "):
+                exempt = "const"
+            info.fields.append((fname, line, guarded, exempt))
+
+    def _find_string_literal(self, node):
+        if node.get("kind") == "StringLiteral":
+            v = node.get("value", "")
+            return v.strip('"')
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                got = self._find_string_literal(child)
+                if got:
+                    return got
+        return None
+
+    def _walk_body(self, node, f, held, loop):
+        kind = node.get("kind", "")
+        if kind in ("WhileStmt", "DoStmt", "ForStmt", "CXXForRangeStmt"):
+            loop = True
+        if kind == "CXXConstructExpr":
+            ctype = (node.get("type") or {}).get("qualType", "")
+            if "MutexLock" in ctype:
+                lock = self._member_lock(node, f)
+                if lock:
+                    for h in held:
+                        f.lock_edges.append((h, lock, self._loc_line(node)))
+                    f.acquires.append((lock, self._loc_line(node)))
+                    held = held + [lock]
+        if kind in ("CallExpr", "CXXMemberCallExpr"):
+            cal = self._callee(node)
+            if cal:
+                recv, name = cal
+                line = self._loc_line(node)
+                if name in ("Wait", "WaitForMicros"):
+                    waited = self._member_lock(node, f)
+                    f.blocks.append(BlockOp("cv-wait", line, tuple(held),
+                                            loop, waited_lock=waited))
+                elif name in BLOCKING_PRIMS:
+                    f.blocks.append(BlockOp(BLOCKING_PRIMS[name], line,
+                                            tuple(held), loop))
+                elif not name.startswith(CALL_SKIP_PREFIXES):
+                    f.calls.append(CallSite(recv, "->", name, line,
+                                            tuple(held)))
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                self._walk_body(child, f, held, loop)
+
+    def _callee(self, node):
+        def first_member_or_ref(n):
+            k = n.get("kind")
+            if k == "MemberExpr":
+                return (self._recv_name(n), n.get("name"))
+            if k == "DeclRefExpr":
+                ref = (n.get("referencedDecl") or {}).get("name")
+                return (None, ref) if ref else None
+            for c in n.get("inner", []) or []:
+                if isinstance(c, dict):
+                    got = first_member_or_ref(c)
+                    if got:
+                        return got
+            return None
+        inner = node.get("inner", []) or []
+        if not inner:
+            return None
+        got = first_member_or_ref(inner[0])
+        if got and got[1]:
+            return got
+        return None
+
+    def _recv_name(self, member_expr):
+        for c in member_expr.get("inner", []) or []:
+            if isinstance(c, dict):
+                if c.get("kind") == "MemberExpr":
+                    return c.get("name")
+                if c.get("kind") == "DeclRefExpr":
+                    return (c.get("referencedDecl") or {}).get("name")
+                got = self._recv_name(c)
+                if got:
+                    return got
+        return None
+
+    def _member_lock(self, node, f):
+        def find_member(n):
+            if n.get("kind") == "MemberExpr":
+                return n.get("name")
+            for c in n.get("inner", []) or []:
+                if isinstance(c, dict):
+                    got = find_member(c)
+                    if got:
+                        return got
+            return None
+        field = find_member(node)
+        if field is None:
+            return None
+        info = self.model.classes.get(f.cls) if f.cls else None
+        if info and field in info.mutexes:
+            return info.mutexes[field]
+        for info in self.model.classes.values():
+            if field in info.mutexes:
+                return info.mutexes[field]
+        return None
+
+
+def builtin_parse_clock_only(model, path, rel):
+    """Runs only the clock-domain part of the builtin scanner (used by
+    the clang frontend, which handles everything else from the AST)."""
+    sub = Model()
+    builtin_parse_file(sub, path, rel)
+    for qual, f in sub.functions.items():
+        if not f.clock_uses:
+            continue
+        tgt = model.functions.setdefault(qual, FunctionInfo(
+            qual, f.cls, f.file, f.line))
+        tgt.clock_uses.extend(f.clock_uses)
+
+
+# --------------------------------------------------------------------------
+# Checks
+# --------------------------------------------------------------------------
+
+
+class Analyzer:
+    MAX_CHAIN = 12
+
+    def __init__(self, model):
+        self.model = model
+        self.call_graph = self._resolve_calls()
+        self.may_acquire = self._closure(
+            {q: {l for l, _ in f.acquires} for q, f in model.functions.items()})
+        self.may_block = self._closure(
+            {q: {b.prim for b in f.blocks}
+             for q, f in model.functions.items()})
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_calls(self):
+        """qual -> list of (callee_qual, line, held). Conservative: a call
+        that cannot be attributed to exactly one known function resolves
+        to nothing."""
+        by_name = defaultdict(set)
+        for qual in self.model.functions:
+            by_name[qual.split("::")[-1]].add(qual)
+        graph = defaultdict(list)
+        for qual, f in self.model.functions.items():
+            owner = self.model.classes.get(f.cls) if f.cls else None
+            for call in f.calls:
+                callee = None
+                if call.op == "::" and call.receiver:
+                    cand = f"{call.receiver}::{call.name}"
+                    if cand in self.model.functions:
+                        callee = cand
+                elif call.receiver in (None, "this"):
+                    if owner is not None and call.name in owner.methods:
+                        cand = f"{f.cls}::{call.name}"
+                        if cand in self.model.functions:
+                            callee = cand
+                    if callee is None and len(by_name[call.name]) == 1:
+                        only = next(iter(by_name[call.name]))
+                        if "::" not in only:
+                            callee = only
+                else:
+                    cls = f.params.get(call.receiver)
+                    if cls is None and owner is not None:
+                        cls = owner.field_types.get(call.receiver)
+                    if cls is not None:
+                        cand = f"{cls}::{call.name}"
+                        if cand in self.model.functions:
+                            callee = cand
+                if callee is not None:
+                    graph[qual].append((callee, call.line, call.held))
+        return graph
+
+    def _closure(self, direct):
+        """Transitive closure over the call graph: qual -> {item: chain}
+        where chain is the function path that reaches the item."""
+        out = {}
+        for qual in self.model.functions:
+            seeds = set(direct.get(qual) or set())
+            out[qual] = {item: [qual] for item in seeds}
+        changed = True
+        rounds = 0
+        while changed and rounds < self.MAX_CHAIN:
+            changed = False
+            rounds += 1
+            for qual in self.model.functions:
+                mine = out[qual]
+                for callee, _line, _held in self.call_graph.get(qual, ()):
+                    for item, chain in out.get(callee, {}).items():
+                        if item not in mine and len(chain) < self.MAX_CHAIN:
+                            mine[item] = [qual] + chain
+                            changed = True
+        return out
+
+    # -- individual checks -------------------------------------------------
+
+    def check_lock_order(self):
+        edges = {}  # (A, B) -> (file, line, evidence)
+        for qual, f in self.model.functions.items():
+            for a, b, line in f.lock_edges:
+                edges.setdefault((a, b), (f.file, line,
+                                          f"{qual} acquires {b} while "
+                                          f"holding {a}"))
+            for callee, line, held in self.call_graph.get(qual, ()):
+                for lock, chain in self.may_acquire.get(callee, {}).items():
+                    for a in held:
+                        if (a, lock) not in edges:
+                            path = " -> ".join(chain)
+                            edges[(a, lock)] = (
+                                f.file, line,
+                                f"{qual} holds {a} and calls {path}, "
+                                f"which acquires {lock}")
+        findings = []
+        graph = defaultdict(set)
+        for (a, b) in edges:
+            if a != b:
+                graph[a].add(b)
+        # Self-edges on non-recursive locks are immediate deadlocks.
+        rec_names = set()
+        for c in self.model.classes.values():
+            for fld, name in c.mutexes.items():
+                if fld in c.field_types and "Recursive" in \
+                        c.field_types.get(fld, ""):
+                    rec_names.add(name)
+        for (a, b), (file, line, ev) in sorted(edges.items()):
+            if a == b and a not in rec_names:
+                findings.append(Finding(
+                    "lock-order", f"{a}->{a}", file, line,
+                    f"re-acquisition of non-recursive {a} (self-deadlock)",
+                    [ev]))
+        # Cycles: DFS over the edge graph, canonicalized by rotation.
+        seen_cycles = set()
+        for start in sorted(graph):
+            stack = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(graph.get(node, ())):
+                    if nxt == start and len(path) > 1:
+                        cyc = self._canon_cycle(path)
+                        if cyc in seen_cycles:
+                            continue
+                        seen_cycles.add(cyc)
+                        ev, anchor = [], None
+                        for i, a in enumerate(cyc):
+                            b = cyc[(i + 1) % len(cyc)]
+                            file, line, e = edges[(a, b)]
+                            ev.append(e)
+                            if anchor is None or (file, line) < anchor:
+                                anchor = (file, line)
+                        key = "->".join(cyc + (cyc[0],))
+                        findings.append(Finding(
+                            "lock-order", key, anchor[0], anchor[1],
+                            f"lock-order cycle: {key}", ev))
+                    elif nxt not in path and len(path) < 8:
+                        stack.append((nxt, path + [nxt]))
+        return findings
+
+    @staticmethod
+    def _canon_cycle(path):
+        k = path.index(min(path))
+        return tuple(path[k:] + path[:k])
+
+    def check_wait_under_lock(self):
+        found = {}  # (lock, prim) -> Finding (keep lexicographically first)
+        for qual, f in sorted(self.model.functions.items()):
+            for b in f.blocks:
+                if b.prim == "cv-wait":
+                    foreign = [h for h in b.held if h != b.waited_lock]
+                    for lock in foreign:
+                        self._record_wait(found, lock, "cv-wait", f.file,
+                                          b.line,
+                                          f"{qual} holds {lock} while "
+                                          f"waiting on a different mutex",
+                                          [])
+                    continue
+                for lock in b.held:
+                    self._record_wait(found, lock, b.prim, f.file, b.line,
+                                      f"{qual} holds {lock} across "
+                                      f"{b.prim}", [])
+            for callee, line, held in self.call_graph.get(qual, ()):
+                if not held:
+                    continue
+                for prim, chain in self.may_block.get(callee, {}).items():
+                    for lock in held:
+                        path = " -> ".join([qual] + chain)
+                        self._record_wait(
+                            found, lock, prim, f.file, line,
+                            f"{qual} holds {lock} and calls into {prim} "
+                            f"(path: {path})", [])
+        return list(found.values())
+
+    @staticmethod
+    def _record_wait(found, lock, prim, file, line, msg, ev):
+        key = (lock, prim)
+        cand = Finding("wait-under-lock", f"{lock}|{prim}", file, line, msg,
+                       ev)
+        prev = found.get(key)
+        if prev is None or (cand.file, cand.line) < (prev.file, prev.line):
+            found[key] = cand
+
+    def check_cv_loops(self):
+        findings = []
+        for qual, f in sorted(self.model.functions.items()):
+            for b in f.blocks:
+                if b.prim == "cv-wait" and not b.in_loop:
+                    findings.append(Finding(
+                        "cv-wait-no-loop", qual, f.file, b.line,
+                        f"{qual}: CondVar wait outside a predicate loop "
+                        f"(spurious wakeups / lost-wakeup hazard)"))
+        return findings
+
+    def check_clock_domain(self):
+        findings = {}
+        for qual, f in sorted(self.model.functions.items()):
+            for use in f.clock_uses:
+                key = f"{qual}|{use.kind}|{','.join(use.terms)}"
+                if key in findings:
+                    continue
+                if use.kind == "cross-mix":
+                    msg = (f"{qual}: wall- and steady-domain raw values in "
+                           f"one expression ({', '.join(use.terms)})")
+                else:
+                    msg = (f"{qual}: raw clock read in time arithmetic "
+                           f"({', '.join(use.terms)}); use typed "
+                           f"Clock::WallNow()/SteadyNow()")
+                findings[key] = Finding("clock-domain", key, f.file,
+                                        use.line, msg)
+        return list(findings.values())
+
+    def check_guarded_by(self):
+        findings = []
+        for name in sorted(self.model.classes):
+            cls = self.model.classes[name]
+            if not cls.mutexes:
+                continue
+            for fname, line, guarded, exempt in cls.fields:
+                if guarded or exempt is not None:
+                    continue
+                if fname in cls.mutexes:
+                    continue
+                findings.append(Finding(
+                    "guarded-by", f"{name}::{fname}", cls.file, line,
+                    f"{name}::{fname} in a mutex-owning class has no "
+                    f"EDADB_GUARDED_BY annotation"))
+        return findings
+
+    def run(self):
+        findings = []
+        findings += self.check_lock_order()
+        findings += self.check_wait_under_lock()
+        findings += self.check_cv_loops()
+        findings += self.check_clock_domain()
+        findings += self.check_guarded_by()
+        findings.sort(key=lambda f: (f.file, f.line, f.check, f.key))
+        return findings
+
+
+# --------------------------------------------------------------------------
+# Suppression / baseline
+# --------------------------------------------------------------------------
+
+
+def load_entries(path, require_reason):
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("entries", [])
+    for e in entries:
+        if "check" not in e or "key" not in e:
+            raise ValueError(f"{path}: every entry needs check+key: {e}")
+        if require_reason and not e.get("reason", "").strip():
+            raise ValueError(
+                f"{path}: entry {e['check']}|{e['key']} has no reason; "
+                "suppressions must carry their justification")
+    return entries
+
+
+def apply_filters(findings, suppressions, baseline):
+    """Returns (active, errors). Suppressed/baselined findings drop out;
+    stale suppression or baseline entries become errors (shrink-only)."""
+    errors = []
+    sup_idx = {(e["check"], e["key"]): e for e in suppressions}
+    base_idx = {(e["check"], e["key"]): e for e in baseline}
+    hit_sup, hit_base = set(), set()
+    active = []
+    for f in findings:
+        k = (f.check, f.key)
+        if k in sup_idx:
+            hit_sup.add(k)
+            continue
+        if k in base_idx:
+            hit_base.add(k)
+            continue
+        active.append(f)
+    for k in sorted(set(sup_idx) - hit_sup):
+        errors.append(f"stale suppression (no such finding): "
+                      f"{k[0]}|{k[1]} -- remove it from "
+                      f"scripts/analyze_suppress.json")
+    for k in sorted(set(base_idx) - hit_base):
+        errors.append(f"stale baseline entry (debt paid down): "
+                      f"{k[0]}|{k[1]} -- remove it from "
+                      f"scripts/analyze_baseline.json (shrink-only ratchet)")
+    return active, errors
+
+
+def write_baseline(findings, suppressions):
+    sup_idx = {(e["check"], e["key"]) for e in suppressions}
+    entries = [{"check": f.check, "key": f.key}
+               for f in findings
+               if f.check == "guarded-by" and (f.check, f.key) not in sup_idx]
+    entries.sort(key=lambda e: (e["check"], e["key"]))
+    with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+        json.dump({
+            "comment": "guarded-by annotation debt; shrink-only. Regenerate "
+                       "with scripts/analyze.py --write-baseline only after "
+                       "paying debt down, never to admit new debt.",
+            "entries": entries,
+        }, f, indent=2)
+        f.write("\n")
+    print(f"analyze.py: wrote {len(entries)} baseline entries to "
+          f"{os.path.relpath(BASELINE_PATH, REPO_ROOT)}")
+
+
+# --------------------------------------------------------------------------
+# Driving
+# --------------------------------------------------------------------------
+
+
+def iter_sources(paths):
+    exts = (".h", ".cc")
+    for root in paths:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(exts):
+                    yield os.path.join(dirpath, fn)
+
+
+def build_model(frontend, paths, compile_commands):
+    model = Model()
+    if frontend == "clang":
+        clangxx = shutil.which("clang++")
+        if clangxx is None:
+            print("analyze.py: --frontend=clang but no clang++ on PATH; "
+                  "use --frontend=builtin (the pinned gate) instead",
+                  file=sys.stderr)
+            return None
+        if not compile_commands or not os.path.exists(compile_commands):
+            print("analyze.py: clang frontend needs --compile-commands "
+                  "pointing at a compile_commands.json", file=sys.stderr)
+            return None
+        # Headers carry class/mutex declarations the AST of each TU
+        # already includes; the builtin pre-pass on headers fills any
+        # gaps (e.g. classes only used header-only).
+        headers = [p for p in iter_sources(paths) if p.endswith(".h")]
+        for path in headers:
+            rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+            builtin_parse_file(model, path, rel, phase="decls")
+        for path in headers:
+            rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+            builtin_parse_file(model, path, rel, phase="facts")
+        ClangFrontend(model, clangxx).parse_compile_commands(compile_commands)
+        return model
+    # builtin: a decls pass over everything first, so mutex names, field
+    # types and annotations are all known before any body is parsed
+    # (inline methods may precede the members they use; .cc files use
+    # classes declared elsewhere).
+    ordered = sorted(iter_sources(paths),
+                     key=lambda p: (not p.endswith(".h"), p))
+    for path in ordered:
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        builtin_parse_file(model, path, rel, phase="decls")
+    for path in ordered:
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        builtin_parse_file(model, path, rel, phase="facts")
+    return model
+
+
+def pick_frontend(requested):
+    if requested != "auto":
+        return requested
+    return "clang" if shutil.which("clang++") else "builtin"
+
+
+# --------------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------------
+
+EXPECT_RE = re.compile(
+    r"//\s*expect-analyze:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+def run_self_test(frontend):
+    """Fixtures in scripts/analyze_fixtures/ seed one violation per
+    `// expect-analyze: check[, check]` comment; the self-test fails if
+    any expected finding is missed or any unexpected one fires. The
+    fixtures are valid C++ (they compile with the real headers absent --
+    support.h carries mini shims), so the clang frontend can analyze
+    them too wherever clang++ exists."""
+    if not os.path.isdir(FIXTURE_DIR):
+        print("analyze.py --self-test: no fixture dir", FIXTURE_DIR,
+              file=sys.stderr)
+        return 2
+    files = [os.path.join(FIXTURE_DIR, f)
+             for f in sorted(os.listdir(FIXTURE_DIR))
+             if f.endswith((".h", ".cc"))]
+    if not files:
+        print("analyze.py --self-test: no fixtures found", file=sys.stderr)
+        return 2
+
+    fe = pick_frontend(frontend)
+    model = Model()
+    if fe == "clang":
+        clangxx = shutil.which("clang++")
+        cf = ClangFrontend(model, clangxx)
+        for path in files:
+            rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+            if path.endswith(".h"):
+                builtin_parse_file(model, path, rel, phase="decls")
+        for path in files:
+            rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+            if path.endswith(".h"):
+                builtin_parse_file(model, path, rel, phase="facts")
+        for path in files:
+            rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+            if path.endswith(".cc"):
+                cf.parse_tu(path, rel,
+                            ["clang++", "-std=c++20", "-I", FIXTURE_DIR])
+    else:
+        for path in files:
+            rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+            builtin_parse_file(model, path, rel, phase="decls")
+        for path in files:
+            rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+            builtin_parse_file(model, path, rel, phase="facts")
+
+    findings = Analyzer(model).run()
+
+    expected = defaultdict(set)  # (relfile, line) -> {checks}
+    for path in files:
+        rel = "scripts/analyze_fixtures/" + os.path.basename(path)
+        with open(path, encoding="utf-8") as f:
+            for idx, ln in enumerate(f.read().split("\n"), start=1):
+                m = EXPECT_RE.search(ln)
+                if m:
+                    expected[(rel, idx)] |= {
+                        c.strip() for c in m.group(1).split(",")}
+    got = defaultdict(set)
+    for f in findings:
+        got[(f.file, f.line)].add(f.check)
+
+    failures = 0
+    for loc, checks in sorted(expected.items()):
+        missing = checks - got.get(loc, set())
+        for c in sorted(missing):
+            print(f"SELF-TEST FAIL {loc[0]}:{loc[1]}: expected [{c}], "
+                  f"not fired")
+            failures += 1
+    for loc, checks in sorted(got.items()):
+        unexpected = checks - expected.get(loc, set())
+        for c in sorted(unexpected):
+            print(f"SELF-TEST FAIL {loc[0]}:{loc[1]}: unexpected [{c}]")
+            failures += 1
+    if failures:
+        print(f"analyze.py --self-test ({fe} frontend): {failures} "
+              f"failure(s).")
+        return 1
+    n = sum(len(v) for v in expected.values())
+    print(f"analyze.py --self-test ({fe} frontend): {len(files)} fixture "
+          f"file(s), {n} seeded finding(s), all detected, no extras.")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to analyze (default: src/)")
+    ap.add_argument("--frontend", choices=("auto", "builtin", "clang"),
+                    default="builtin",
+                    help="fact extractor (default: builtin -- the pinned "
+                    "gate; clang is an opt-in cross-check)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json (required for clang mode; "
+                    "accepted and used only as a TU filter otherwise)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="analyze the seeded fixtures and verify every "
+                    "expected finding fires exactly where declared")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate scripts/analyze_baseline.json from "
+                    "current guarded-by findings (shrink-only: run this "
+                    "only after paying debt down)")
+    ap.add_argument("--all", action="store_true",
+                    help="print suppressed/baselined findings too")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return run_self_test(args.frontend)
+
+    frontend = pick_frontend(args.frontend)
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    model = build_model(frontend, paths, args.compile_commands)
+    if model is None:
+        return 2
+
+    findings = Analyzer(model).run()
+
+    try:
+        suppressions = load_entries(SUPPRESS_PATH, require_reason=True)
+        baseline = load_entries(BASELINE_PATH, require_reason=False)
+    except ValueError as e:
+        print(f"analyze.py: {e}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(findings, suppressions)
+        return 0
+
+    active, errors = apply_filters(findings, suppressions, baseline)
+
+    if args.all:
+        for f in findings:
+            print(f.render())
+        if findings:
+            print(f"-- {len(findings)} total finding(s) before "
+                  f"suppression/baseline --")
+
+    for f in active:
+        print(f.render())
+    for e in errors:
+        print(f"analyze.py: {e}")
+
+    stats = (f"{len(model.classes)} classes, {len(model.functions)} "
+             f"functions, frontend={frontend}")
+    if active or errors:
+        print(f"analyze.py: {len(active)} finding(s), {len(errors)} "
+              f"stale entr(ies). [{stats}]")
+        return 1
+    print(f"analyze.py: clean. [{stats}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+// Seeded clock-domain violations.
+//
+// - cross-mix: wall- and steady-domain raw reads combined in one
+//   expression (taint flows through the local variables).
+// - raw-arith: a raw clock read used directly in time arithmetic
+//   instead of going through the typed Clock::WallNow()/SteadyNow().
+// - Negative control: typed reads (WallNow().micros()) taint nothing.
+#include "support.h"
+
+namespace fx {
+
+int64_t MixedDeadline() {
+  int64_t wall = NowMicros();
+  int64_t steady = SteadyNowMicros();
+  return wall - steady;  // expect-analyze: clock-domain
+}
+
+bool Expired(int64_t deadline) {
+  return NowMicros() > deadline;  // expect-analyze: clock-domain
+}
+
+// Negative: typed reads produce compiler-checked values; arithmetic on
+// them is the compiler's job, not the analyzer's.
+int64_t TypedOk(int64_t base) {
+  return WallNow().micros() + base;
+}
+
+}  // namespace fx

@@ -1,0 +1,36 @@
+// Seeded guarded-by ratchet violation.
+//
+// In a mutex-owning class, every mutable non-exempt field must carry an
+// EDADB_GUARDED_BY annotation. Exempt: std::atomic (own synchronization),
+// const (immutable after construction), CondVar and the mutexes
+// themselves. Classes that own no mutex are outside the ratchet.
+#include <atomic>
+
+#include "support.h"
+
+namespace fx {
+
+class Unguarded {
+ public:
+  void Set(int v) {
+    MutexLock l(&mu_);
+    value_ = v;
+  }
+
+ private:
+  Mutex mu_{"Unguarded::mu_"};
+  int value_;  // expect-analyze: guarded-by
+  int annotated_ EDADB_GUARDED_BY(mu_);
+  const int limit_ = 8;
+  std::atomic<int> counter_;
+  CondVar cv_;
+};
+
+// Negative: no mutex, no ratchet.
+class PlainBag {
+ private:
+  int a_;
+  int b_;
+};
+
+}  // namespace fx

@@ -1,0 +1,76 @@
+// Mini shims so the analyzer fixtures are valid, self-contained C++.
+//
+// The builtin frontend only needs the *shapes* (Mutex members, MutexLock
+// RAII, CondVar::Wait, ::fdatasync), but keeping the fixtures compilable
+// means the clang JSON-AST frontend can analyze the very same files on
+// machines that have clang++ (`analyze.py --self-test --frontend=clang`).
+//
+// This header must itself produce ZERO findings: the self-test treats any
+// finding without a matching `// expect-analyze:` comment as a failure.
+#ifndef EDADB_SCRIPTS_ANALYZE_FIXTURES_SUPPORT_H_
+#define EDADB_SCRIPTS_ANALYZE_FIXTURES_SUPPORT_H_
+
+#include <cstdint>
+
+// POSIX-compatible declarations so `::fdatasync` / `::write` resolve
+// without pulling in <unistd.h> (signatures match glibc on LP64).
+extern "C" int fdatasync(int fd);
+extern "C" long write(int fd, const void* buf, unsigned long n);
+
+#define EDADB_GUARDED_BY(mu)
+
+namespace fx {
+
+class Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) { (void)name; }
+  void Lock() {}
+  void Unlock() {}
+};
+
+class RecursiveMutex {
+ public:
+  explicit RecursiveMutex(const char* name) { (void)name; }
+  void Lock() {}
+  void Unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) { (void)mu; }
+};
+
+class RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex* mu) { (void)mu; }
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex* mu) { (void)mu; }
+  bool WaitForMicros(Mutex* mu, int64_t timeout) {
+    (void)mu;
+    (void)timeout;
+    return true;
+  }
+  void Signal() {}
+  void SignalAll() {}
+};
+
+// Raw (untyped) clock reads: these are what the clock-domain check
+// taints. The typed reads below produce domain-checked values and must
+// taint nothing.
+int64_t NowMicros();
+int64_t SteadyNowMicros();
+
+struct WallMicros {
+  int64_t v;
+  int64_t micros() const { return v; }
+};
+
+WallMicros WallNow();
+
+}  // namespace fx
+
+#endif  // EDADB_SCRIPTS_ANALYZE_FIXTURES_SUPPORT_H_

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI-style gate for the concurrent event path:
 #   1. project lint (scripts/lint.py): self-test against the seeded
-#      violation fixtures, then the real tree;
+#      violation fixtures, then the real tree; then the whole-program
+#      static analyzer (scripts/analyze.py): self-test, then the tree
+#      gate (zero unsuppressed/unbaselined findings);
 #   2. configure + build with -Werror (plus -Wthread-safety under Clang,
 #      where the common/mutex.h annotations are machine-checked) and run
 #      the tier-1 ctest suite (-L tier1: fast, deterministic);
@@ -102,6 +104,15 @@ fi
 
 stage "1 lint (self-test + tree)" \
   bash -c "\"$PYTHON\" scripts/lint.py --self-test && \"$PYTHON\" scripts/lint.py"
+
+# Whole-program concurrency & clock-domain analyzer (scripts/analyze.py):
+# self-test against the seeded fixtures, then the tree gate — zero
+# unsuppressed/unbaselined findings. The builtin frontend is the pinned
+# gate (pure python, no LLVM needed); --frontend=clang is an opt-in
+# cross-check where clang++ exists.
+stage "1b analyze (self-test + tree)" \
+  bash -c "\"$PYTHON\" scripts/analyze.py --self-test && \
+    \"$PYTHON\" scripts/analyze.py --frontend=builtin"
 
 stage "2 -Werror build + tier-1 tests" \
   run_suite build-check -DEDADB_WERROR=ON

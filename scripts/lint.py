@@ -37,6 +37,16 @@ Rules (scope in parentheses):
                                  ...))` is allowed (private-constructor
                                  factories), as is explicitly suppressed
                                  use (see below).
+  raw-sleep        (src/, tests/) std::this_thread::sleep_for / usleep /
+                                 nanosleep outside src/common/clock.* and
+                                 tests/testing/. A sleep in src/ is a
+                                 latency decision that belongs behind the
+                                 Clock abstraction; a sleep in a test is
+                                 a flaky race-by-timer — use the
+                                 tests/testing/sleep.h helper (which
+                                 documents the residual cases) or a
+                                 CondVar/SimulatedClock. Textual backstop
+                                 to analyze.py's wait-under-lock check.
   adhoc-stats      (src/)        `struct ...Stats` outside the metrics
                                  layer (common/metrics.h). New
                                  instrumentation belongs in the metrics
@@ -78,6 +88,7 @@ NEW_ANY_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete(\s*\[\s*\])?\s")
 SMART_WRAP_NEW_RE = re.compile(r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
 ADHOC_STATS_RE = re.compile(r"\bstruct\s+\w*Stats\b")
+RAW_SLEEP_RE = re.compile(r"\b(sleep_for|usleep|nanosleep)\s*\(")
 
 
 def strip_code(lines):
@@ -149,6 +160,9 @@ class Linter:
         is_file_impl = rel == "src/storage/file.cc"
         is_macros = rel == "src/common/macros.h"
         is_metrics_impl = rel in ("src/common/metrics.h", "src/common/metrics.cc")
+        in_tests = rel.startswith("tests/")
+        sleep_ok = rel in ("src/common/clock.h", "src/common/clock.cc") or \
+            rel.startswith("tests/testing/")
 
         for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
             allowed = {m.group(1) for m in ALLOW_RE.finditer(raw)}
@@ -212,6 +226,19 @@ class Linter:
                     self.report(
                         rel, idx, "raw-new-delete",
                         "raw `delete`; owning pointers must be smart pointers",
+                    )
+
+            if (in_src or in_tests) and not sleep_ok and \
+                    "raw-sleep" not in allowed:
+                m = RAW_SLEEP_RE.search(code)
+                if m:
+                    self.report(
+                        rel, idx, "raw-sleep",
+                        f"raw {m.group(1)}() outside src/common/clock.* and "
+                        "tests/testing/; in src/ route delays through the "
+                        "Clock abstraction, in tests use "
+                        "testing/sleep.h (or better, a CondVar / "
+                        "SimulatedClock) so timing races stay corralled",
                     )
 
             if in_src and not is_metrics_impl and "adhoc-stats" not in allowed:

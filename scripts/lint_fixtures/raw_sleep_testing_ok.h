@@ -1,0 +1,11 @@
+// fixture-path: tests/testing/raw_sleep_ok.h
+// tests/testing/ is the exempt corral for real sleeps: nothing here may
+// fire raw-sleep even without a lint:allow marker.
+
+namespace edadb::testing {
+
+inline void SleepHelper() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace edadb::testing

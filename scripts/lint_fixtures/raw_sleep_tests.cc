@@ -1,0 +1,12 @@
+// fixture-path: tests/mq/raw_sleep_fixture_test.cc
+// raw-sleep applies to tests/ too: a sleep in a test is a race against
+// the scheduler. The helper in tests/testing/sleep.h (exempt directory,
+// see raw_sleep_testing_ok.h) is the one corral.
+
+namespace edadb {
+
+void SleepyTest() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // expect-lint: raw-sleep
+}
+
+}  // namespace edadb

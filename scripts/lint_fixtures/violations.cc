@@ -72,8 +72,16 @@ struct Statistics {               // not a `...Stats` name: legal
   int x = 0;
 };
 
+void RawSleeps() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect-lint: raw-sleep
+  usleep(100);                      // expect-lint: raw-sleep
+  struct timespec ts { 0, 100 };
+  nanosleep(&ts, nullptr);          // expect-lint: raw-sleep
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lint:allow(raw-sleep): fixture demonstrates suppression
+}
+
 // Comments and strings must not fire rules: std::mutex, ::fsync(fd),
-// (void)Fallible(), new Thing, delete t.
+// (void)Fallible(), new Thing, delete t, sleep_for(1ms).
 const char* kDecoy = "std::mutex ::fsync(0) (void)Call() new delete";
 
 }  // namespace edadb

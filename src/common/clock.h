@@ -17,6 +17,107 @@ constexpr TimestampMicros kMicrosPerSecond = 1000 * 1000;
 constexpr TimestampMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
 constexpr TimestampMicros kMicrosPerHour = 60 * kMicrosPerMinute;
 
+// ---------------------------------------------------------------------
+// Clock-domain strong types.
+//
+// The library runs in two time domains (see Clock below): WALL time is
+// data (event timestamps, TTL expiry, anything persisted), STEADY time
+// is deadlines (visibility timeouts, redelivery, waits). Mixing them is
+// the bug class PR 5 swept out by hand; these tagged wrappers make the
+// compiler reject the mix, and scripts/analyze.py's clock-domain check
+// covers the raw-integer code that remains (persisted rows).
+//
+// Domain algebra (anything else refuses to compile):
+//   point  - point  -> duration   (same domain only)
+//   point  + duration, point - duration -> point
+//   point  <op> point             (same domain only)
+// Durations are plain TimestampMicros: a span of microseconds has no
+// domain. Raw values enter a domain only through the explicit
+// FromMicros() gate (or Clock::WallNow()/SteadyNow()), so every
+// wall<->steady conversion is a visible, greppable decision.
+// ---------------------------------------------------------------------
+
+template <typename DomainTag>
+class DomainMicros {
+ public:
+  /// Zero point of the domain; also the "unset" sentinel (micros()==0).
+  constexpr DomainMicros() = default;
+
+  /// The explicit gate from raw microseconds (persisted rows, legacy
+  /// interfaces) into the domain. Deliberately not a constructor: every
+  /// entry reads FromMicros at the call site.
+  static constexpr DomainMicros FromMicros(TimestampMicros micros) {
+    return DomainMicros(micros);
+  }
+
+  /// The explicit exit back to raw microseconds (persisting, logging).
+  constexpr TimestampMicros micros() const { return micros_; }
+
+  // Same-domain comparisons. Cross-domain comparisons do not compile:
+  // the other operand would need to be the same DomainMicros<Tag>.
+  friend constexpr bool operator==(DomainMicros a, DomainMicros b) {
+    return a.micros_ == b.micros_;
+  }
+  friend constexpr bool operator!=(DomainMicros a, DomainMicros b) {
+    return a.micros_ != b.micros_;
+  }
+  friend constexpr bool operator<(DomainMicros a, DomainMicros b) {
+    return a.micros_ < b.micros_;
+  }
+  friend constexpr bool operator<=(DomainMicros a, DomainMicros b) {
+    return a.micros_ <= b.micros_;
+  }
+  friend constexpr bool operator>(DomainMicros a, DomainMicros b) {
+    return a.micros_ > b.micros_;
+  }
+  friend constexpr bool operator>=(DomainMicros a, DomainMicros b) {
+    return a.micros_ >= b.micros_;
+  }
+
+  // point +/- duration -> point.
+  friend constexpr DomainMicros operator+(DomainMicros t, TimestampMicros d) {
+    return DomainMicros(t.micros_ + d);
+  }
+  friend constexpr DomainMicros operator+(TimestampMicros d, DomainMicros t) {
+    return DomainMicros(t.micros_ + d);
+  }
+  friend constexpr DomainMicros operator-(DomainMicros t, TimestampMicros d) {
+    return DomainMicros(t.micros_ - d);
+  }
+
+  // point - point -> duration (same domain only; a DomainMicros of the
+  // other tag neither matches this overload nor converts to the raw
+  // TimestampMicros one above).
+  friend constexpr TimestampMicros operator-(DomainMicros a, DomainMicros b) {
+    return a.micros_ - b.micros_;
+  }
+
+  DomainMicros& operator+=(TimestampMicros d) {
+    micros_ += d;
+    return *this;
+  }
+
+ private:
+  explicit constexpr DomainMicros(TimestampMicros micros) : micros_(micros) {}
+
+  TimestampMicros micros_ = 0;
+};
+
+namespace clock_domain {
+struct WallTag {};
+struct SteadyTag {};
+}  // namespace clock_domain
+
+/// A point on the wall clock: event time, enqueue time, TTL expiry.
+/// May step with NTP/operator adjustments; safe to persist.
+using WallMicros = DomainMicros<clock_domain::WallTag>;
+
+/// A point on the monotonic clock: deadlines, timeouts, throttles.
+/// Never steps; its epoch is process-local, so it must NOT be persisted
+/// (RebuildRuntimeLocked in mq/queue_manager.cc shows the sanctioned
+/// wall->steady span conversion for rows that survive a restart).
+using SteadyMicros = DomainMicros<clock_domain::SteadyTag>;
+
 /// Abstract time source. Production code uses SystemClock; tests and
 /// benchmarks use SimulatedClock so windowing, expiration and visibility
 /// timeouts are deterministic.
@@ -34,12 +135,24 @@ class Clock {
  public:
   virtual ~Clock() = default;
 
-  /// Current wall time in microseconds.
+  /// Current wall time in microseconds (raw primitive — data paths
+  /// stamping persisted timestamps may use it directly; deadline code
+  /// must go through WallNow()/SteadyNow() so the domain is typed).
   virtual TimestampMicros NowMicros() = 0;
 
-  /// Current monotonic time in microseconds. Defaults to the host
-  /// steady clock; SimulatedClock layers manual advances on top.
+  /// Current monotonic time in microseconds (raw primitive). Defaults
+  /// to the host steady clock; SimulatedClock layers manual advances on
+  /// top.
   virtual TimestampMicros SteadyNowMicros();
+
+  /// Typed now(): the sanctioned API for any code that stores, compares
+  /// or does arithmetic on time points. scripts/analyze.py's
+  /// clock-domain check flags raw NowMicros() values flowing into
+  /// deadline arithmetic; these wrappers are how to satisfy it.
+  WallMicros WallNow() { return WallMicros::FromMicros(NowMicros()); }
+  SteadyMicros SteadyNow() {
+    return SteadyMicros::FromMicros(SteadyNowMicros());
+  }
 
   /// Advances time by `micros` (both domains). No-op for real clocks.
   virtual void AdvanceMicros(TimestampMicros micros) = 0;

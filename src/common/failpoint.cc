@@ -130,7 +130,7 @@ FireResult Fire(const char* name) {
     }
   }
   if (delay_micros > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));  // lint:allow(raw-sleep): kDelay injects real latency by contract; routing it through Clock would let a SimulatedClock erase the very delay a schedule asked for
   }
   return result;
 }

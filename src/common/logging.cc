@@ -39,9 +39,12 @@ namespace internal_logging {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   const char* base = std::strrchr(file, '/');
+  // Typed wall read: log lines are data, and keeping the raw-read-free
+  // invariant here lets scripts/analyze.py's clock-domain check stay
+  // zero-suppression in src/common/.
   stream_ << "[" << LevelName(level) << " "
-          << FormatTimestamp(SystemClock::Default()->NowMicros()) << " "
-          << (base ? base + 1 : file) << ":" << line << "] ";
+          << FormatTimestamp(SystemClock::Default()->WallNow().micros())
+          << " " << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -222,12 +222,14 @@ Result<size_t> EventProcessor::PumpOnce() {
   // so a capture source watching __metrics sees this tick's values in
   // the same pump (no one-tick lag for continuous queries on health).
   if (options_.metrics_refresh_interval_micros >= 0) {
-    const TimestampMicros steady_now = clock_->SteadyNowMicros();
-    const TimestampMicros last =
-        last_metrics_refresh_steady_.load(std::memory_order_relaxed);
-    if (last == 0 ||
+    // Steady-domain throttle (the atomic stores raw micros; the typed
+    // points keep the arithmetic in one domain).
+    const SteadyMicros steady_now = clock_->SteadyNow();
+    const SteadyMicros last = SteadyMicros::FromMicros(
+        last_metrics_refresh_steady_.load(std::memory_order_relaxed));
+    if (last.micros() == 0 ||
         steady_now - last >= options_.metrics_refresh_interval_micros) {
-      last_metrics_refresh_steady_.store(steady_now,
+      last_metrics_refresh_steady_.store(steady_now.micros(),
                                          std::memory_order_relaxed);
       EDADB_RETURN_IF_ERROR(metrics_table_->Refresh().status());
     }

@@ -53,7 +53,7 @@ Status VirtFilter::RegisterConsumer(const std::string& consumer_id,
   ConsumerState state;
   state.options = std::move(options);
   state.tokens = state.options.rate_burst;
-  state.last_refill = clock_->NowMicros();
+  state.last_refill = clock_->SteadyNow();
   consumers_.emplace(consumer_id, std::move(state));
   return Status::OK();
 }
@@ -100,7 +100,10 @@ Result<VirtFilter::Decision> VirtFilter::Evaluate(
     ++state.stats.below_value;
     return decision;
   }
-  const TimestampMicros now = clock_->NowMicros();
+  // Dedup windows and token-bucket refill measure elapsed spans, not
+  // calendar time: steady domain, so wall steps cannot flood the bucket
+  // (step forward) or freeze it and extend suppression (step back).
+  const SteadyMicros now = clock_->SteadyNow();
   // Gate 3: novelty. (The key is recorded only on actual delivery, so a
   // rate-limited event does not start a suppression window.)
   std::optional<std::string> dedup_key;

@@ -96,11 +96,15 @@ class VirtFilter {
   struct ConsumerState {
     ConsumerOptions options;
     ConsumerStats stats;
-    /// Token bucket.
+    /// Token bucket. Refill bookkeeping is STEADY-domain: both the
+    /// bucket and the dedup window measure elapsed spans over in-memory
+    /// state, so a wall-clock step must not flood or starve them (the
+    /// original wall-domain version was the first real bug the
+    /// clock-domain analysis surfaced; tests/core/virt_clock_jump_test).
     double tokens = 0;
-    TimestampMicros last_refill = 0;
-    /// dedup key -> last delivery time.
-    std::map<std::string, TimestampMicros> recent;
+    SteadyMicros last_refill;
+    /// dedup key -> last delivery time (steady).
+    std::map<std::string, SteadyMicros> recent;
   };
 
   Clock* clock_;

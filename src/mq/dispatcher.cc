@@ -81,11 +81,13 @@ Result<size_t> QueueDispatcher::PumpOnce() {
                              queues_->Dequeue(binding.queue, request));
       if (!message.has_value()) break;
       // End-to-end delivery latency: enqueue (wall, persisted) to the
-      // moment the handler gets the message. Clamped — a wall step
-      // between the two reads can make the difference negative.
+      // moment the handler gets the message — a wall-wall difference,
+      // so a domain-free duration. Clamped: a wall step between the two
+      // reads can make it negative.
       DispatchLatency()->Record(static_cast<uint64_t>(
-          std::max<TimestampMicros>(0, queues_->db()->clock()->NowMicros() -
-                                           message->enqueue_time)));
+          std::max<TimestampMicros>(
+              0, queues_->db()->clock()->WallNow() -
+                     WallMicros::FromMicros(message->enqueue_time))));
       const Status status = binding.handler(*message);
       MutexLock lock(&mu_);
       auto it = bindings_.find(Key(binding.queue, binding.group));

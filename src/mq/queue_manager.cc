@@ -235,16 +235,18 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
                                           QueueState* state) {
   EDADB_ASSIGN_OR_RETURN(Table * msgs, db_->GetTable(MsgTableName(name)));
   msgs->ScanRows([&](RowId row_id, const Record& row) {
-    state->messages[row_id] = {GetInt64(row, "priority"),
-                               GetInt64(row, "expires_at")};
+    state->messages[row_id] = {
+        GetInt64(row, "priority"),
+        WallMicros::FromMicros(GetInt64(row, "expires_at"))};
     return true;
   });
   EDADB_ASSIGN_OR_RETURN(Table * dlv, db_->GetTable(DelivTableName(name)));
   // Persisted deadlines are wall timestamps (steady epochs do not
   // survive a process); convert the remaining span into the steady
-  // domain the runtime maps live in.
-  const TimestampMicros wall_now = clock_->NowMicros();
-  const TimestampMicros steady_now = clock_->SteadyNowMicros();
+  // domain the runtime maps live in. The wall-wall subtraction yields a
+  // domain-free duration, which is the only thing allowed to cross.
+  const WallMicros wall_now = clock_->WallNow();
+  const SteadyMicros steady_now = clock_->SteadyNow();
   std::set<MessageId> delivered_ids;
   dlv->ScanRows([&](RowId row_id, const Record& row) {
     const std::string group = GetString(row, "grp");
@@ -252,8 +254,10 @@ Status QueueManager::RebuildRuntimeLocked(const std::string& name,
     delivered_ids.insert(msg_id);
     GroupRuntime& rt = state->runtime[group];
     rt.deliveries[msg_id] = {row_id, GetInt64(row, "delivery_count")};
-    const TimestampMicros locked_until = GetInt64(row, "locked_until");
-    const TimestampMicros visible_at = GetInt64(row, "visible_at");
+    const WallMicros locked_until =
+        WallMicros::FromMicros(GetInt64(row, "locked_until"));
+    const WallMicros visible_at =
+        WallMicros::FromMicros(GetInt64(row, "visible_at"));
     auto meta = state->messages.find(msg_id);
     const int64_t priority =
         meta != state->messages.end() ? meta->second.priority : 0;
@@ -412,15 +416,16 @@ std::vector<std::string> QueueManager::EffectiveGroups(
 
 Result<Record> QueueManager::BuildMessageRecord(
     const std::string& queue, const EnqueueRequest& request,
-    TimestampMicros now) const {
+    WallMicros now) const {
   EDADB_ASSIGN_OR_RETURN(Table * msgs, db_->GetTable(MsgTableName(queue)));
   std::string attrs;
   EncodeAttributes(request.attributes, &attrs);
   return RecordBuilder(msgs->schema())
-      .SetTimestamp("enqueue_time", now)
-      .SetTimestamp("visible_at", now + request.delay_micros)
+      .SetTimestamp("enqueue_time", now.micros())
+      .SetTimestamp("visible_at", (now + request.delay_micros).micros())
       .SetTimestamp("expires_at",
-                    request.ttl_micros > 0 ? now + request.ttl_micros : 0)
+                    request.ttl_micros > 0 ? (now + request.ttl_micros).micros()
+                                           : 0)
       .SetInt64("priority", request.priority)
       .SetString("correlation", request.correlation_id)
       .SetString("attrs", std::move(attrs))
@@ -481,7 +486,7 @@ Result<MessageId> QueueManager::EnqueueInTransaction(
     if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
     groups = EffectiveGroups(it->second);
   }
-  const TimestampMicros now = clock_->NowMicros();
+  const WallMicros now = clock_->WallNow();
   EDADB_ASSIGN_OR_RETURN(Record msg_row,
                          BuildMessageRecord(queue, request, now));
   EDADB_ASSIGN_OR_RETURN(MessageId id,
@@ -492,7 +497,7 @@ Result<MessageId> QueueManager::EnqueueInTransaction(
                           .SetString("grp", group)
                           .SetInt64("msg_id", static_cast<int64_t>(id))
                           .SetTimestamp("visible_at",
-                                        now + request.delay_micros)
+                                        (now + request.delay_micros).micros())
                           .SetTimestamp("locked_until", 0)
                           .SetInt64("delivery_count", 0)
                           .Build();
@@ -507,8 +512,9 @@ void QueueManager::OnMessageInserted(const std::string& queue, MessageId id,
   RecursiveMutexLock lock(&mu_);
   auto it = queues_.find(queue);
   if (it == queues_.end()) return;
-  it->second.messages[id] = {GetInt64(row, "priority"),
-                             GetInt64(row, "expires_at")};
+  it->second.messages[id] = {
+      GetInt64(row, "priority"),
+      WallMicros::FromMicros(GetInt64(row, "expires_at"))};
 }
 
 void QueueManager::OnDeliveryInserted(const std::string& queue,
@@ -524,13 +530,14 @@ void QueueManager::OnDeliveryInserted(const std::string& queue,
     rt.deliveries[msg_id] = {deliv_row, GetInt64(row, "delivery_count")};
     // Row carries a wall visible_at; the runtime delay is the remaining
     // span mapped onto the steady domain.
-    const TimestampMicros visible_at = GetInt64(row, "visible_at");
-    const TimestampMicros wall_now = clock_->NowMicros();
+    const WallMicros visible_at =
+        WallMicros::FromMicros(GetInt64(row, "visible_at"));
+    const WallMicros wall_now = clock_->WallNow();
     auto meta = state.messages.find(msg_id);
     const int64_t priority =
         meta != state.messages.end() ? meta->second.priority : 0;
     if (visible_at > wall_now) {
-      rt.delayed.emplace(clock_->SteadyNowMicros() + (visible_at - wall_now),
+      rt.delayed.emplace(clock_->SteadyNow() + (visible_at - wall_now),
                          msg_id);
     } else {
       rt.ready.emplace(-priority, msg_id);
@@ -560,7 +567,7 @@ Result<Message> QueueManager::LoadMessage(const std::string& queue,
 }
 
 void QueueManager::Promote(QueueState* state, GroupRuntime* rt,
-                           TimestampMicros steady_now) {
+                           SteadyMicros steady_now) {
   while (!rt->delayed.empty() && rt->delayed.begin()->first <= steady_now) {
     const MessageId id = rt->delayed.begin()->second;
     rt->delayed.erase(rt->delayed.begin());
@@ -686,8 +693,8 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
   GroupRuntime& rt = state.runtime[request.group];
   // Wall time decides data questions (TTL expiry, persisted rows);
   // steady time decides deadlines (lock promotion and new locks).
-  const TimestampMicros wall_now = clock_->NowMicros();
-  const TimestampMicros steady_now = clock_->SteadyNowMicros();
+  const WallMicros wall_now = clock_->WallNow();
+  const SteadyMicros steady_now = clock_->SteadyNow();
   Promote(&state, &rt, steady_now);
   if (max_messages == 0) return out;
 
@@ -701,7 +708,7 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
       continue;
     }
     const MsgMeta meta = meta_it->second;
-    if (meta.expires_at != 0 && meta.expires_at <= wall_now) {
+    if (meta.expires_at.micros() != 0 && meta.expires_at <= wall_now) {
       EDADB_RETURN_IF_ERROR(
           DeadLetter(queue, &state, request.group, id, "expired"));
       continue;
@@ -728,13 +735,13 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
     deliv.delivery_count += 1;
     // The row stores the wall-domain deadline (recovery converts it
     // back); the runtime lock is its steady-domain twin.
-    const TimestampMicros locked_until_wall =
+    const WallMicros locked_until_wall =
         wall_now + state.options.visibility_timeout_micros;
     EDADB_ASSIGN_OR_RETURN(Record dlv_row,
                            db_->GetRow(DelivTableName(queue),
                                        deliv.deliv_row));
-    EDADB_RETURN_IF_ERROR(
-        dlv_row.Set("locked_until", Value::Timestamp(locked_until_wall)));
+    EDADB_RETURN_IF_ERROR(dlv_row.Set(
+        "locked_until", Value::Timestamp(locked_until_wall.micros())));
     EDADB_RETURN_IF_ERROR(dlv_row.Set("delivery_count",
                                       Value::Int64(deliv.delivery_count)));
     EDADB_RETURN_IF_ERROR(db_->UpdateRow(DelivTableName(queue),
@@ -765,13 +772,12 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
   // (SimulatedClock's steady side includes host-elapsed time) and
   // AdvanceMicros shortens it deterministically; a wall step (SetMicros)
   // does not touch it.
-  const TimestampMicros deadline =
-      clock_->SteadyNowMicros() + timeout_micros;
+  const SteadyMicros deadline = clock_->SteadyNow() + timeout_micros;
   for (;;) {
     EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
                            Dequeue(queue, request));
     if (message.has_value()) return message;
-    const TimestampMicros now = clock_->SteadyNowMicros();
+    const SteadyMicros now = clock_->SteadyNow();
     if (now >= deadline) return std::optional<Message>();
     // Capped slices keep simulated-clock promotions responsive (a
     // delayed message maturing via AdvanceMicros signals no CV).
@@ -785,15 +791,14 @@ Result<std::optional<Message>> QueueManager::DequeueWait(
 
 bool QueueManager::WaitForActivity(uint64_t last_seen_seq,
                                    TimestampMicros timeout_micros) {
-  const TimestampMicros deadline =
-      clock_->SteadyNowMicros() + timeout_micros;
+  const SteadyMicros deadline = clock_->SteadyNow() + timeout_micros;
   RecursiveMutexLock lock(&mu_);
   for (;;) {
     if (shutdown_) return true;
     if (activity_seq_.load(std::memory_order_acquire) != last_seen_seq) {
       return true;
     }
-    const TimestampMicros now = clock_->SteadyNowMicros();
+    const SteadyMicros now = clock_->SteadyNow();
     if (timeout_micros <= 0 || now >= deadline) return false;
     // One wait for the full remainder — every producer signals, so no
     // polling slices are needed here (unlike DequeueWait, nothing
@@ -854,14 +859,14 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
   }
   FAILPOINT("mq.nack.before_persist");
   // Persist the redelivery time as wall; schedule it in steady.
-  const TimestampMicros wall_now = clock_->NowMicros();
-  const TimestampMicros visible_at_wall = wall_now + redeliver_delay_micros;
+  const WallMicros wall_now = clock_->WallNow();
+  const WallMicros visible_at_wall = wall_now + redeliver_delay_micros;
   EDADB_ASSIGN_OR_RETURN(
       Record dlv_row,
       db_->GetRow(DelivTableName(queue), deliv_it->second.deliv_row));
   EDADB_RETURN_IF_ERROR(dlv_row.Set("locked_until", Value::Timestamp(0)));
   EDADB_RETURN_IF_ERROR(
-      dlv_row.Set("visible_at", Value::Timestamp(visible_at_wall)));
+      dlv_row.Set("visible_at", Value::Timestamp(visible_at_wall.micros())));
   EDADB_RETURN_IF_ERROR(db_->UpdateRow(
       DelivTableName(queue), deliv_it->second.deliv_row, std::move(dlv_row)));
   rt.locked.erase(id);
@@ -869,8 +874,7 @@ Status QueueManager::Nack(const std::string& queue, const std::string& group,
   const int64_t priority =
       meta != state.messages.end() ? meta->second.priority : 0;
   if (redeliver_delay_micros > 0) {
-    rt.delayed.emplace(clock_->SteadyNowMicros() + redeliver_delay_micros,
-                       id);
+    rt.delayed.emplace(clock_->SteadyNow() + redeliver_delay_micros, id);
   } else {
     rt.ready.emplace(-priority, id);
   }
@@ -888,7 +892,7 @@ Result<size_t> QueueManager::Depth(const std::string& queue,
   auto rt_it = it->second.runtime.find(group);
   if (rt_it == it->second.runtime.end()) return size_t{0};
   // Count ready plus delayed-now-due without mutating (Depth is const).
-  const TimestampMicros steady_now = clock_->SteadyNowMicros();
+  const SteadyMicros steady_now = clock_->SteadyNow();
   size_t depth = rt_it->second.ready.size();
   for (const auto& [visible_at, id] : rt_it->second.delayed) {
     if (visible_at <= steady_now) ++depth;
@@ -904,10 +908,10 @@ Result<size_t> QueueManager::PurgeExpired(const std::string& queue) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   QueueState& state = it->second;
-  const TimestampMicros now = clock_->NowMicros();
+  const WallMicros now = clock_->WallNow();
   std::vector<MessageId> expired;
   for (const auto& [id, meta] : state.messages) {
-    if (meta.expires_at != 0 && meta.expires_at <= now) {
+    if (meta.expires_at.micros() != 0 && meta.expires_at <= now) {
       expired.push_back(id);
     }
   }
@@ -941,7 +945,7 @@ Status QueueManager::Browse(
   if (it == queues_.end()) return Status::NotFound("queue '" + queue + "'");
   auto rt_it = it->second.runtime.find(group);
   if (rt_it == it->second.runtime.end()) return Status::OK();
-  const TimestampMicros steady_now = clock_->SteadyNowMicros();
+  const SteadyMicros steady_now = clock_->SteadyNow();
   // Snapshot: ready entries plus matured delayed/expired-lock entries,
   // in (priority, id) order — the order Dequeue would serve them.
   std::set<std::pair<int64_t, MessageId>> visible = rt_it->second.ready;

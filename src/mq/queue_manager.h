@@ -184,10 +184,11 @@ class QueueManager {
  private:
   explicit QueueManager(Database* db);
 
-  /// Cached metadata for a live message.
+  /// Cached metadata for a live message. `expires_at` is TTL data:
+  /// wall-domain by design (micros()==0 = never expires).
   struct MsgMeta {
     int64_t priority = 0;
-    TimestampMicros expires_at = 0;
+    WallMicros expires_at;
   };
 
   /// One group's live delivery of a message.
@@ -203,16 +204,17 @@ class QueueManager {
   /// Clock domains: the `locked` and `delayed` deadlines here live in
   /// the clock's STEADY domain so a wall-clock step can neither
   /// prematurely redeliver an in-flight message (step forward) nor
-  /// stall redelivery (step back). The persisted delivery rows keep
-  /// WALL timestamps — steady epochs do not survive a process — and
-  /// are converted on load (RebuildRuntimeLocked).
+  /// stall redelivery (step back). The SteadyMicros strong type makes
+  /// that a compile-time fact. The persisted delivery rows keep WALL
+  /// timestamps — steady epochs do not survive a process — and are
+  /// converted on load (RebuildRuntimeLocked).
   struct GroupRuntime {
     /// Deliverable now, ordered by (-priority, message id).
     std::set<std::pair<int64_t, MessageId>> ready;
     /// Dequeued and invisible until the mapped steady-domain deadline.
-    std::map<MessageId, TimestampMicros> locked;
+    std::map<MessageId, SteadyMicros> locked;
     /// Delayed delivery: steady-domain visibility time -> message id.
-    std::multimap<TimestampMicros, MessageId> delayed;
+    std::multimap<SteadyMicros, MessageId> delayed;
     /// All live deliveries for this group.
     std::map<MessageId, DelivState> deliveries;
   };
@@ -245,7 +247,7 @@ class QueueManager {
 
   EDADB_NODISCARD Result<Record> BuildMessageRecord(const std::string& queue,
                                     const EnqueueRequest& request,
-                                    TimestampMicros now) const;
+                                    WallMicros now) const;
 
   /// Shared implementation behind Enqueue and EnqueueBatch (pointer +
   /// count instead of a vector so the single-message wrapper needs no
@@ -264,9 +266,8 @@ class QueueManager {
       EDADB_REQUIRES(mu_);
 
   /// Moves due delayed messages and expired locks back to ready.
-  /// `steady_now` is from Clock::SteadyNowMicros().
   void Promote(QueueState* state, GroupRuntime* rt,
-               TimestampMicros steady_now) EDADB_REQUIRES(mu_);
+               SteadyMicros steady_now) EDADB_REQUIRES(mu_);
 
   /// Bumps activity_seq_ (all mutations happen under mu_ so waiters
   /// cannot miss a wake between their check and their wait).

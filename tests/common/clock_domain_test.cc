@@ -1,0 +1,95 @@
+#include "common/clock.h"
+
+#include <map>
+#include <type_traits>
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+// The negative side of the domain-split contract (mixing wall and
+// steady must not compile) lives in tests/compile/clock_domain_probe.cc
+// behind the WILL_FAIL clock_domain_probe_* ctest entries. This file
+// checks the positive algebra.
+
+TEST(ClockDomainTest, FromMicrosRoundTrips) {
+  const WallMicros w = WallMicros::FromMicros(1234);
+  const SteadyMicros s = SteadyMicros::FromMicros(-77);
+  EXPECT_EQ(w.micros(), 1234);
+  EXPECT_EQ(s.micros(), -77);
+  EXPECT_EQ(WallMicros().micros(), 0);  // Default = unset sentinel.
+}
+
+TEST(ClockDomainTest, SameDomainComparisons) {
+  const SteadyMicros a = SteadyMicros::FromMicros(10);
+  const SteadyMicros b = SteadyMicros::FromMicros(20);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == SteadyMicros::FromMicros(10));
+}
+
+TEST(ClockDomainTest, PointPlusDurationIsPoint) {
+  const WallMicros t = WallMicros::FromMicros(100);
+  EXPECT_EQ((t + 50).micros(), 150);
+  EXPECT_EQ((50 + t).micros(), 150);
+  EXPECT_EQ((t - 30).micros(), 70);
+  WallMicros u = t;
+  u += 11;
+  EXPECT_EQ(u.micros(), 111);
+}
+
+TEST(ClockDomainTest, PointMinusPointIsDuration) {
+  const SteadyMicros a = SteadyMicros::FromMicros(500);
+  const SteadyMicros b = SteadyMicros::FromMicros(180);
+  const TimestampMicros d = a - b;
+  static_assert(std::is_same_v<decltype(a - b), TimestampMicros>,
+                "same-domain difference must be a raw duration");
+  EXPECT_EQ(d, 320);
+}
+
+TEST(ClockDomainTest, WallSpanCrossesToSteadyAsDuration) {
+  // The sanctioned recovery idiom: remaining wall span re-anchored on
+  // the steady clock (RebuildRuntimeLocked).
+  const WallMicros wall_now = WallMicros::FromMicros(1000);
+  const WallMicros locked_until = WallMicros::FromMicros(1750);
+  const SteadyMicros steady_now = SteadyMicros::FromMicros(42);
+  const SteadyMicros deadline = steady_now + (locked_until - wall_now);
+  EXPECT_EQ(deadline.micros(), 42 + 750);
+}
+
+TEST(ClockDomainTest, OrderedContainersWork) {
+  std::map<SteadyMicros, int> delayed;
+  delayed[SteadyMicros::FromMicros(30)] = 3;
+  delayed[SteadyMicros::FromMicros(10)] = 1;
+  delayed[SteadyMicros::FromMicros(20)] = 2;
+  EXPECT_EQ(delayed.begin()->second, 1);
+  EXPECT_EQ(delayed.rbegin()->second, 3);
+}
+
+TEST(ClockDomainTest, ClockTypedNowMatchesRawPrimitives) {
+  SimulatedClock clock(5000);
+  EXPECT_EQ(clock.WallNow().micros(), clock.NowMicros());
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.WallNow().micros(), 5250);
+  // Steady side is hybrid (manual + host elapsed): typed and raw reads
+  // agree up to the real time between the two calls.
+  const SteadyMicros s = clock.SteadyNow();
+  EXPECT_GE(clock.SteadyNowMicros(), s.micros());
+}
+
+TEST(ClockDomainTest, WallStepMovesWallNotSteady) {
+  SimulatedClock clock(0);
+  const SteadyMicros before = clock.SteadyNow();
+  clock.SetMicros(365LL * 24 * kMicrosPerHour);  // +1 year wall step.
+  EXPECT_EQ(clock.WallNow().micros(), 365LL * 24 * kMicrosPerHour);
+  const SteadyMicros after = clock.SteadyNow();
+  // Only host time elapsed between the reads; the step added nothing.
+  EXPECT_LT(after - before, kMicrosPerSecond);
+}
+
+}  // namespace
+}  // namespace edadb

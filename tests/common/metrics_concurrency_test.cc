@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "gtest/gtest.h"
+#include "testing/sleep.h"
 
 namespace edadb {
 namespace metrics {
@@ -90,7 +91,7 @@ TEST(MetricsConcurrencyTest, WritersRaceSnapshottersAndDumps) {
       }
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  testing::SleepForMillis(200);
   stop.store(true);
   for (auto& thread : writers) thread.join();
   for (auto& thread : readers) thread.join();
@@ -125,7 +126,7 @@ TEST(MetricsConcurrencyTest, CollectorChurnRacesSnapshot) {
     }
     EXPECT_LE(rows, invocations.load());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  testing::SleepForMillis(200);
   stop.store(true);
   churn.join();
   snapshotter.join();

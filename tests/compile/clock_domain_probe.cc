@@ -1,0 +1,38 @@
+// Negative-compile probes: each EDADB_PROBE_* section mixes the wall
+// and steady clock domains in a way the WallMicros/SteadyMicros strong
+// types MUST reject. The clock_domain_probe_* ctest entries (WILL_FAIL)
+// each compile this file with one probe macro defined and pass only
+// when the compiler refuses. If any section ever compiles, the
+// domain-split enforcement in common/clock.h has regressed.
+//
+// A build with no probe macro defined (the default target, still
+// EXCLUDE_FROM_ALL) is valid C++, so the file itself stays parseable by
+// tooling.
+#include "common/clock.h"
+
+int main() {
+  const edadb::WallMicros wall = edadb::WallMicros::FromMicros(100);
+  const edadb::SteadyMicros steady = edadb::SteadyMicros::FromMicros(100);
+
+#if defined(EDADB_PROBE_COMPARE)
+  // Cross-domain comparison: wall vs steady points are not ordered.
+  return wall < steady ? 1 : 0;  // expect: error, no matching operator<
+#elif defined(EDADB_PROBE_DIFF)
+  // Cross-domain difference: no span exists between different domains.
+  return static_cast<int>(wall - steady);  // expect: error
+#elif defined(EDADB_PROBE_ADD)
+  // Adding two time points is meaningless in any domain combination.
+  return static_cast<int>((wall + steady).micros());  // expect: error
+#elif defined(EDADB_PROBE_IMPLICIT)
+  // Raw micros must pass the explicit FromMicros() gate.
+  const edadb::SteadyMicros smuggled = 12345;  // expect: error
+  return static_cast<int>(smuggled.micros());
+#elif defined(EDADB_PROBE_ASSIGN)
+  // Assigning across domains re-tags a point without a conversion.
+  edadb::SteadyMicros deadline;
+  deadline = wall;  // expect: error
+  return static_cast<int>(deadline.micros());
+#else
+  return wall.micros() == 100 && steady.micros() == 100 ? 0 : 1;
+#endif
+}

@@ -1,0 +1,126 @@
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/virt.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+// Regression tests for the first real bug the clock-domain analysis
+// surfaced (scripts/analyze.py, check `clock-domain`): VirtFilter used
+// to measure token-bucket refill and dedup windows on the WALL clock
+// (NowMicros), so a wall step forward instantly refilled every bucket
+// and expired every suppression window, and a step backward froze
+// refill and extended suppression indefinitely. Both bookkeeping sites
+// are now SteadyMicros (src/core/virt.h ConsumerState); these tests
+// step the wall clock hard in both directions and assert the gates
+// only respond to elapsed (steady) time.
+//
+// SimulatedClock::SetMicros steps ONLY the wall domain;
+// AdvanceMicros moves both. The steady domain also accrues real host
+// time between calls — negligible (milliseconds at most) against the
+// one-second-scale windows used here.
+
+Event MakeEvent(const std::string& type, int64_t severity) {
+  Event event;
+  event.id = NextEventId();
+  event.type = type;
+  event.source = "jump-test";
+  event.timestamp = 1000;
+  event.Set("severity", Value::Int64(severity));
+  return event;
+}
+
+class VirtClockJumpTest : public ::testing::Test {
+ protected:
+  SimulatedClock clock_{1000 * kMicrosPerSecond};
+  VirtFilter filter_{&clock_};
+};
+
+TEST_F(VirtClockJumpTest, ForwardWallStepDoesNotRefillTokenBucket) {
+  VirtFilter::ConsumerOptions options;
+  options.rate_limit_per_second = 1.0;
+  options.rate_burst = 2.0;
+  ASSERT_TRUE(filter_.RegisterConsumer("ops", options).ok());
+
+  // Drain the burst.
+  for (int i = 0; i < 2; ++i) {
+    auto decision = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+    ASSERT_TRUE(decision.ok());
+    EXPECT_EQ(decision->verdict, VirtFilter::Verdict::kDeliver);
+  }
+  auto limited = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->verdict, VirtFilter::Verdict::kRateLimited);
+
+  // A +30-day wall step used to refill the bucket to full burst.
+  clock_.SetMicros(clock_.NowMicros() + 30LL * 24 * kMicrosPerHour);
+  auto after_jump = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(after_jump.ok());
+  EXPECT_EQ(after_jump->verdict, VirtFilter::Verdict::kRateLimited);
+
+  // Genuine elapsed time still refills.
+  clock_.AdvanceMicros(2 * kMicrosPerSecond);
+  auto refilled = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(refilled.ok());
+  EXPECT_EQ(refilled->verdict, VirtFilter::Verdict::kDeliver);
+}
+
+TEST_F(VirtClockJumpTest, BackwardWallStepDoesNotFreezeTokenBucket) {
+  VirtFilter::ConsumerOptions options;
+  options.rate_limit_per_second = 1.0;
+  options.rate_burst = 1.0;
+  ASSERT_TRUE(filter_.RegisterConsumer("ops", options).ok());
+
+  auto first = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->verdict, VirtFilter::Verdict::kDeliver);
+
+  // Step the wall clock a day into the past. The wall-domain bug made
+  // `now - last_refill` negative here, so the bucket never refilled
+  // until the wall caught back up (a day of silence).
+  clock_.SetMicros(clock_.NowMicros() - 24 * kMicrosPerHour);
+  clock_.AdvanceMicros(2 * kMicrosPerSecond);
+  auto refilled = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(refilled.ok());
+  EXPECT_EQ(refilled->verdict, VirtFilter::Verdict::kDeliver);
+}
+
+TEST_F(VirtClockJumpTest, ForwardWallStepDoesNotExpireDedupWindow) {
+  VirtFilter::ConsumerOptions options;
+  options.dedup_window_micros = 10 * kMicrosPerSecond;
+  ASSERT_TRUE(filter_.RegisterConsumer("ops", options).ok());
+
+  auto first = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->verdict, VirtFilter::Verdict::kDeliver);
+
+  // A +1-day wall step used to mature the window instantly.
+  clock_.SetMicros(clock_.NowMicros() + 24 * kMicrosPerHour);
+  auto after_jump = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(after_jump.ok());
+  EXPECT_EQ(after_jump->verdict, VirtFilter::Verdict::kDuplicate);
+}
+
+TEST_F(VirtClockJumpTest, BackwardWallStepDoesNotExtendDedupWindow) {
+  VirtFilter::ConsumerOptions options;
+  options.dedup_window_micros = 10 * kMicrosPerSecond;
+  ASSERT_TRUE(filter_.RegisterConsumer("ops", options).ok());
+
+  auto first = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->verdict, VirtFilter::Verdict::kDeliver);
+
+  // Step back a day, then let the window genuinely mature. The
+  // wall-domain bug kept the key suppressed until the wall clock
+  // re-crossed delivery time + window.
+  clock_.SetMicros(clock_.NowMicros() - 24 * kMicrosPerHour);
+  clock_.AdvanceMicros(11 * kMicrosPerSecond);
+  auto matured = filter_.Evaluate("ops", MakeEvent("alarm", 9));
+  ASSERT_TRUE(matured.ok());
+  EXPECT_EQ(matured->verdict, VirtFilter::Verdict::kDeliver);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -11,6 +11,7 @@
 #include "gtest/gtest.h"
 #include "rules/rules_engine.h"
 #include "test_util.h"
+#include "testing/sleep.h"
 
 namespace edadb {
 namespace {
@@ -74,7 +75,7 @@ TEST(ConcurrencyTest, ParallelWritersAndReadersAndCheckpoints) {
   threads.emplace_back([&] {
     for (int c = 0; c < 5; ++c) {
       ASSERT_TRUE(db->Checkpoint(0).ok());
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      testing::SleepForMillis(2);
     }
   });
 

@@ -4,11 +4,12 @@
 
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/sleep.h"
 
 namespace edadb {
 namespace {
 
-class DispatcherTest : public testing::Test {
+class DispatcherTest : public ::testing::Test {
  protected:
   void SetUp() override {
     DatabaseOptions options;
@@ -150,14 +151,14 @@ TEST_F(DispatcherTest, IdleWakeupBeatsPollInterval) {
   ASSERT_OK(dispatcher_->Bind(std::move(binding)));
   ASSERT_OK(dispatcher_->Start(/*idle_wait_micros=*/2 * kMicrosPerSecond));
   // Let the worker finish its first empty pump and park on the signal.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  testing::YieldBriefly(50);
 
   const auto enqueued_at = std::chrono::steady_clock::now();
   ASSERT_OK(Enqueue("wake up"));
   while (handled.load() < 1 &&
          std::chrono::steady_clock::now() - enqueued_at <
              std::chrono::seconds(10)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    testing::SleepForMillis(1);
   }
   const auto latency = std::chrono::steady_clock::now() - enqueued_at;
   dispatcher_->Stop();
@@ -185,7 +186,7 @@ TEST_F(DispatcherTest, BackgroundActivation) {
   }
   // The background thread drains within a generous deadline.
   for (int spin = 0; spin < 2000 && handled.load() < 10; ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    testing::SleepForMillis(1);
   }
   dispatcher_->Stop();
   dispatcher_->Stop();  // Idempotent.

@@ -6,11 +6,12 @@
 
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/sleep.h"
 
 namespace edadb {
 namespace {
 
-class QueueTest : public testing::Test {
+class QueueTest : public ::testing::Test {
  protected:
   void SetUp() override {
     DatabaseOptions options;
@@ -414,7 +415,7 @@ TEST_F(QueueTest, ShutdownWakesBlockedWaitersBeforeDestruction) {
     aborted.store(msg.status().IsAborted());
   });
   // Give the waiter a moment to actually block, then pull the plug.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  testing::YieldBriefly(50);
   queues_->Shutdown();
   blocked.join();
   EXPECT_TRUE(aborted.load());

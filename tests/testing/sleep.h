@@ -1,0 +1,37 @@
+// The one place tests are allowed to really sleep (scripts/lint.py's
+// raw-sleep rule exempts tests/testing/ and nothing else under tests/).
+//
+// A raw sleep in a test is a race against the scheduler: too short and
+// the test is flaky, too long and the suite crawls. Prefer a CondVar
+// rendezvous or a SimulatedClock; reach for these helpers only when the
+// test genuinely needs wall time to pass — yielding to a real
+// background thread whose progress has no completion signal, or backing
+// off inside a bounded poll loop.
+#ifndef EDADB_TESTS_TESTING_SLEEP_H_
+#define EDADB_TESTS_TESTING_SLEEP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace edadb {
+namespace testing {
+
+// Backoff step inside a bounded poll loop (the loop's deadline, not the
+// step, bounds the total wait).
+inline void SleepForMillis(int64_t millis) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+// Handoff pause: gives real background threads a scheduling quantum
+// when there is no completion signal to wait on. Named differently from
+// SleepForMillis so grep can tell deliberate handoffs from poll
+// backoffs.
+inline void YieldBriefly(int64_t millis = 1) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+}  // namespace testing
+}  // namespace edadb
+
+#endif  // EDADB_TESTS_TESTING_SLEEP_H_
