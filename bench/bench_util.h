@@ -156,6 +156,13 @@ class JsonFileReporter : public benchmark::ConsoleReporter {
           "items_per_second", per_iter_us > 0 ? 1e6 / per_iter_us : 0.0);
       entry.p50_us = counter_or("p50_us", per_iter_us);
       entry.p99_us = counter_or("p99_us", per_iter_us);
+      // Preserve every user counter verbatim (sorted map iteration →
+      // stable output) so benchmarks can export extra dimensions —
+      // e.g. bench_pubsub's subscribers/miss_rate — without schema
+      // changes here.
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, static_cast<double>(counter));
+      }
       entries_.push_back(std::move(entry));
     }
     ConsoleReporter::ReportRuns(report);
@@ -171,8 +178,17 @@ class JsonFileReporter : public benchmark::ConsoleReporter {
             << ", \"iterations\": " << e.iterations
             << ", \"ops_per_sec\": " << Num(e.ops_per_sec)
             << ", \"p50_us\": " << Num(e.p50_us)
-            << ", \"p99_us\": " << Num(e.p99_us) << "}"
-            << (i + 1 < entries_.size() ? "," : "") << "\n";
+            << ", \"p99_us\": " << Num(e.p99_us);
+        if (!e.counters.empty()) {
+          out << ", \"counters\": {";
+          for (size_t c = 0; c < e.counters.size(); ++c) {
+            out << "\"" << JsonEscape(e.counters[c].first)
+                << "\": " << Num(e.counters[c].second)
+                << (c + 1 < e.counters.size() ? ", " : "");
+          }
+          out << "}";
+        }
+        out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
       }
       out << "]\n";
     }
@@ -186,6 +202,7 @@ class JsonFileReporter : public benchmark::ConsoleReporter {
     double ops_per_sec = 0;
     double p50_us = 0;
     double p99_us = 0;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   /// JSON has no NaN/Infinity; clamp non-finite values to 0.

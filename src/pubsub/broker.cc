@@ -28,6 +28,36 @@ metrics::Histogram* PublishLatency() {
   return h;
 }
 
+metrics::Counter* HandlerErrorsCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.handler_errors");
+  return c;
+}
+
+metrics::Counter* RingPublishedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.ring.published");
+  return c;
+}
+
+metrics::Counter* RingDeliveredCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.ring.delivered");
+  return c;
+}
+
+metrics::Counter* RingMissedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.ring.missed");
+  return c;
+}
+
+metrics::Counter* RingFilteredCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("pubsub.ring.filtered");
+  return c;
+}
+
 constexpr char kSubsTable[] = "__subscriptions";
 constexpr char kRetainedTable[] = "__retained";
 constexpr char kTopicAttr[] = "__topic";
@@ -96,12 +126,21 @@ Publication MessageToPublication(const Message& message) {
   return pub;
 }
 
-Broker::Broker(Database* db, QueueManager* queues)
-    : db_(db), queues_(queues) {}
+Broker::Broker(Database* db, QueueManager* queues,
+               EventRingOptions ring_options)
+    : db_(db),
+      queues_(queues),
+      ring_(std::make_unique<EventRing>(ring_options)) {}
 
 Result<std::unique_ptr<Broker>> Broker::Attach(Database* db,
-                                               QueueManager* queues) {
-  auto broker = std::unique_ptr<Broker>(new Broker(db, queues));
+                                               QueueManager* queues,
+                                               EventRingOptions ring_options) {
+  auto broker =
+      std::unique_ptr<Broker>(new Broker(db, queues, ring_options));
+  broker->live_collector_ = metrics::Registry::Default()->RegisterCollector(
+      [b = broker.get()](std::vector<metrics::MetricSnapshot>* out) {
+        b->CollectLiveMetrics(out);
+      });
   if (!db->GetTable(kSubsTable).ok()) {
     EDADB_RETURN_IF_ERROR(db->CreateTable(kSubsTable, SubsSchema()).status());
     EDADB_RETURN_IF_ERROR(db->CreateIndex(kSubsTable, "sub_id", true));
@@ -119,25 +158,26 @@ std::string Broker::SubQueueName(const std::string& id) {
   return "__sub_" + id;
 }
 
-Result<Predicate> Broker::BuildCondition(const SubscriptionSpec& spec) {
+Result<Predicate> Broker::BuildCondition(std::string_view topic_pattern,
+                                         std::string_view content_filter) {
   std::vector<std::string> clauses;
-  if (!spec.topic_pattern.empty()) {
+  if (!topic_pattern.empty()) {
     const bool has_wildcard =
-        spec.topic_pattern.find('*') != std::string::npos ||
-        spec.topic_pattern.find('?') != std::string::npos;
+        topic_pattern.find('*') != std::string_view::npos ||
+        topic_pattern.find('?') != std::string_view::npos;
     if (has_wildcard) {
-      std::string like = spec.topic_pattern;
+      std::string like(topic_pattern);
       std::replace(like.begin(), like.end(), '*', '%');
       std::replace(like.begin(), like.end(), '?', '_');
       clauses.push_back("topic LIKE '" + EscapeSqlString(like) + "'");
     } else {
       // Exact topics index as hash-equality conjuncts in the matcher.
-      clauses.push_back("topic = '" + EscapeSqlString(spec.topic_pattern) +
-                        "'");
+      clauses.push_back("topic = '" +
+                        EscapeSqlString(std::string(topic_pattern)) + "'");
     }
   }
-  if (!spec.content_filter.empty()) {
-    clauses.push_back("(" + spec.content_filter + ")");
+  if (!content_filter.empty()) {
+    clauses.push_back("(" + std::string(content_filter) + ")");
   }
   if (clauses.empty()) return Predicate::Compile("TRUE");
   return Predicate::Compile(Join(clauses, " AND "));
@@ -145,7 +185,9 @@ Result<Predicate> Broker::BuildCondition(const SubscriptionSpec& spec) {
 
 Status Broker::CompileIntoMatcher(const std::string& id,
                                   const SubscriptionSpec& spec) {
-  EDADB_ASSIGN_OR_RETURN(Predicate condition, BuildCondition(spec));
+  EDADB_ASSIGN_OR_RETURN(
+      Predicate condition,
+      BuildCondition(spec.topic_pattern, spec.content_filter));
   Rule rule;
   rule.id = id;
   rule.condition = std::move(condition);
@@ -156,23 +198,24 @@ Status Broker::LoadPersisted() {
   EDADB_ASSIGN_OR_RETURN(Table * table, db_->GetTable(kSubsTable));
   // Scan into locals first: guarded members are only touched under the
   // lock below, in this function body, where the analysis can see it.
-  std::vector<std::pair<std::string, SubscriptionState>> loaded;
+  std::vector<std::pair<std::string, std::shared_ptr<SubscriptionState>>>
+      loaded;
   table->ScanRows([&](RowId, const Record& row) {
     const std::string id = GetStringField(row, "sub_id");
-    SubscriptionState state;
-    state.spec.subscriber = GetStringField(row, "subscriber");
-    state.spec.topic_pattern = GetStringField(row, "topic_pattern");
-    state.spec.content_filter = GetStringField(row, "filter");
+    auto state = std::make_shared<SubscriptionState>();
+    state->spec.subscriber = GetStringField(row, "subscriber");
+    state->spec.topic_pattern = GetStringField(row, "topic_pattern");
+    state->spec.content_filter = GetStringField(row, "filter");
     auto durable = row.Get("durable");
-    state.spec.durable = durable.ok() && !durable->is_null() &&
-                         durable->bool_value();
-    state.queue = SubQueueName(id);
+    state->spec.durable = durable.ok() && !durable->is_null() &&
+                          durable->bool_value();
+    state->queue = SubQueueName(id);
     loaded.emplace_back(id, std::move(state));
     return true;
   });
   MutexLock lock(&mu_);
   for (auto& [id, state] : loaded) {
-    EDADB_RETURN_IF_ERROR(CompileIntoMatcher(id, state.spec));
+    EDADB_RETURN_IF_ERROR(CompileIntoMatcher(id, state->spec));
     // Track the numeric suffix so new ids keep increasing.
     if (StartsWith(id, "sub-")) {
       const uint64_t seq = std::strtoull(id.c_str() + 4, nullptr, 10);
@@ -220,15 +263,17 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     }
   }
 
-  SubscriptionState state;
-  state.spec = std::move(spec);
-  state.queue = SubQueueName(id);
+  auto state = std::make_shared<SubscriptionState>();
+  state->spec = std::move(spec);
+  state->queue = SubQueueName(id);
 
   // Subscribe-to-publish: serve matching retained publications to the
   // newcomer immediately.
   std::vector<Publication> retained_matches;
   {
-    EDADB_ASSIGN_OR_RETURN(Predicate condition, BuildCondition(state.spec));
+    EDADB_ASSIGN_OR_RETURN(Predicate condition,
+                           BuildCondition(state->spec.topic_pattern,
+                                          state->spec.content_filter));
     EDADB_ASSIGN_OR_RETURN(Table * retained, db_->GetTable(kRetainedTable));
     retained->ScanRows([&](RowId, const Record& row) {
       Publication pub;
@@ -247,7 +292,7 @@ Result<std::string> Broker::Subscribe(SubscriptionSpec spec) {
     });
   }
   for (const Publication& pub : retained_matches) {
-    EDADB_RETURN_IF_ERROR(DeliverTo(state, pub));
+    EDADB_RETURN_IF_ERROR(DeliverTo(*state, pub));
   }
 
   MutexLock lock(&mu_);
@@ -263,10 +308,14 @@ Status Broker::Unsubscribe(const std::string& subscription_id) {
     if (it == subscriptions_.end()) {
       return Status::NotFound("subscription '" + subscription_id + "'");
     }
-    durable = it->second.spec.durable;
+    durable = it->second->spec.durable;
     EDADB_IGNORE_STATUS(matcher_.RemoveRule(subscription_id),
                         "unsubscribe is idempotent; the rule is absent when "
                         "a failed Subscribe already rolled it back");
+    // An in-flight fan-out may still hold a snapshot of this state; the
+    // cleared flag stops any handler invocation that has not started
+    // yet, without Unsubscribe waiting on one that has.
+    it->second->alive.store(false, std::memory_order_release);
     subscriptions_.erase(it);
   }
   if (durable) {
@@ -287,7 +336,24 @@ Status Broker::DeliverTo(const SubscriptionState& sub,
     PublicationToEnqueueRequest(pub, &request);
     return queues_->Enqueue(sub.queue, request).status();
   }
-  if (sub.spec.handler != nullptr) sub.spec.handler(pub);
+  return InvokeHandler(sub, pub);
+}
+
+Status Broker::InvokeHandler(const SubscriptionState& sub,
+                             const Publication& pub) {
+  if (sub.spec.handler == nullptr) return Status::OK();
+  try {
+    sub.spec.handler(pub);
+  } catch (const std::exception& e) {
+    HandlerErrorsCounter()->Add(1);
+    return Status::Internal("handler for subscriber '" +
+                            sub.spec.subscriber + "' threw: " + e.what());
+  } catch (...) {
+    HandlerErrorsCounter()->Add(1);
+    return Status::Internal("handler for subscriber '" +
+                            sub.spec.subscriber +
+                            "' threw a non-std::exception");
+  }
   return Status::OK();
 }
 
@@ -303,6 +369,13 @@ Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
   if (count == 0) return static_cast<size_t>(0);
   metrics::LatencyScope latency(PublishLatency());
   PublishesCounter()->Add(count);
+
+  // Live fast path first: ONE ring write for the whole batch, before
+  // any durable bookkeeping, so live readers see events at minimal
+  // latency. Publishers pay O(batch) here no matter how many live
+  // subscribers are polling.
+  ring_->PublishBatch(pubs, count);
+  RingPublishedCounter()->Add(count);
 
   // Retained-value bookkeeping per publication (cold path).
   for (size_t i = 0; i < count; ++i) {
@@ -329,7 +402,8 @@ Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
   // handler targets are copied out and invoked in publication order.
   std::map<std::string, std::vector<size_t>> durable_pub_indices;  // By queue.
   std::map<std::string, std::string> durable_subscriber;           // By queue.
-  std::vector<std::pair<SubscriptionState, size_t>> inline_targets;
+  std::vector<std::pair<std::shared_ptr<SubscriptionState>, size_t>>
+      inline_targets;
   {
     MutexLock lock(&mu_);
     std::vector<PublicationView> views;
@@ -344,10 +418,10 @@ Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
       for (const Rule* rule : matched[i]) {
         auto it = subscriptions_.find(rule->id);
         if (it == subscriptions_.end()) continue;
-        const SubscriptionState& sub = it->second;
-        if (sub.spec.durable) {
-          durable_pub_indices[sub.queue].push_back(i);
-          durable_subscriber[sub.queue] = sub.spec.subscriber;
+        const std::shared_ptr<SubscriptionState>& sub = it->second;
+        if (sub->spec.durable) {
+          durable_pub_indices[sub->queue].push_back(i);
+          durable_subscriber[sub->queue] = sub->spec.subscriber;
         } else {
           inline_targets.emplace_back(sub, i);
         }
@@ -372,11 +446,15 @@ Result<size_t> Broker::PublishSpan(const Publication* pubs, size_t count) {
     }
   }
   for (const auto& [sub, index] : inline_targets) {
-    const Status s = DeliverTo(sub, pubs[index]);
+    // Re-check per delivery: a concurrent Unsubscribe clears the flag,
+    // and no handler invocation STARTS after it returns (one already in
+    // flight for an earlier publication may still finish).
+    if (!sub->alive.load(std::memory_order_acquire)) continue;
+    const Status s = InvokeHandler(*sub, pubs[index]);
     if (s.ok()) {
       ++delivered;
     } else {
-      EDADB_LOG(Warn) << "delivery to subscriber '" << sub.spec.subscriber
+      EDADB_LOG(Warn) << "delivery to subscriber '" << sub->spec.subscriber
                       << "' failed: " << s;
     }
   }
@@ -392,7 +470,7 @@ Result<std::optional<Publication>> Broker::Fetch(
     if (it == subscriptions_.end()) {
       return Status::NotFound("subscription '" + subscription_id + "'");
     }
-    if (!it->second.spec.durable) {
+    if (!it->second->spec.durable) {
       return Status::FailedPrecondition(
           "subscription '" + subscription_id +
           "' is not durable; messages are delivered to its handler");
@@ -430,6 +508,91 @@ std::vector<std::string> Broker::ListSubscriptions() const {
 size_t Broker::num_subscriptions() const {
   MutexLock lock(&mu_);
   return subscriptions_.size();
+}
+
+Result<std::shared_ptr<LiveSubscription>> Broker::SubscribeLive(
+    const LiveSubscriptionSpec& spec) {
+  std::optional<Predicate> filter;
+  if (!spec.topic_pattern.empty() || !spec.content_filter.empty()) {
+    EDADB_ASSIGN_OR_RETURN(
+        Predicate condition,
+        BuildCondition(spec.topic_pattern, spec.content_filter));
+    filter.emplace(std::move(condition));
+  }
+  MutexLock lock(&live_mu_);
+  std::string id = "live-" + std::to_string(next_live_seq_++);
+  auto sub = std::shared_ptr<LiveSubscription>(new LiveSubscription(
+      id, spec.subscriber, ring_.get(), std::move(filter)));
+  live_subs_.emplace(std::move(id), sub);
+  return sub;
+}
+
+Status Broker::UnsubscribeLive(const std::string& id) {
+  MutexLock lock(&live_mu_);
+  if (live_subs_.erase(id) == 0) {
+    return Status::NotFound("live subscription '" + id + "'");
+  }
+  return Status::OK();
+}
+
+size_t Broker::num_live_subscriptions() const {
+  MutexLock lock(&live_mu_);
+  return live_subs_.size();
+}
+
+void Broker::CollectLiveMetrics(
+    std::vector<metrics::MetricSnapshot>* out) const {
+  MutexLock lock(&live_mu_);
+  metrics::MetricSnapshot subscribers;
+  subscribers.name = "pubsub.ring.subscribers";
+  subscribers.kind = metrics::MetricKind::kGauge;
+  subscribers.value = static_cast<int64_t>(live_subs_.size());
+  out->push_back(std::move(subscribers));
+  for (const auto& [id, sub] : live_subs_) {
+    const std::string prefix = "pubsub.ring.sub." + sub->subscriber() + ".";
+    const auto gauge = [out, &prefix](const char* name, uint64_t v) {
+      metrics::MetricSnapshot s;
+      s.name = prefix + name;
+      s.kind = metrics::MetricKind::kGauge;
+      s.value = static_cast<int64_t>(v);
+      out->push_back(std::move(s));
+    };
+    gauge("delivered", sub->delivered());
+    gauge("missed", sub->missed());
+    gauge("lag", sub->lag());
+  }
+}
+
+size_t LiveSubscription::Poll(
+    size_t max_events, std::vector<std::pair<uint64_t, Publication>>* out) {
+  const uint64_t missed_before = cursor_.missed();
+  size_t appended = 0;
+  uint64_t filtered = 0;
+  std::vector<std::pair<uint64_t, Publication>> raw;
+  // With a filter, one cursor poll may come back all-filtered; keep
+  // refilling until max_events MATCHING events or the stream drains.
+  while (appended < max_events) {
+    raw.clear();
+    if (cursor_.Poll(max_events - appended, &raw) == 0) break;
+    for (auto& [seq, pub] : raw) {
+      if (filter_.has_value()) {
+        PublicationView view(pub);
+        if (!filter_->MatchesOrFalse(view)) {
+          ++filtered;
+          continue;
+        }
+      }
+      out->emplace_back(seq, std::move(pub));
+      ++appended;
+    }
+    if (!filter_.has_value()) break;  // Raw poll already hit the cap.
+  }
+  delivered_.fetch_add(appended, std::memory_order_relaxed);
+  filtered_.fetch_add(filtered, std::memory_order_relaxed);
+  RingDeliveredCounter()->Add(appended);
+  RingFilteredCounter()->Add(filtered);
+  RingMissedCounter()->Add(cursor_.missed() - missed_before);
+  return appended;
 }
 
 }  // namespace edadb

@@ -1,0 +1,221 @@
+#include "pubsub/event_ring.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "pubsub/broker.h"
+#include "value/row_codec.h"
+
+namespace edadb {
+
+namespace {
+
+/// Stamp protocol per slot (Boehm seqlock, fence-free variant):
+///   0                 never written
+///   seq + 1           stably holds event `seq`
+///   kWritingBit | x   writer mid-overwrite
+/// Readers validate `stamp == seq + 1` before AND after copying the
+/// slot; any other value means the event was (or is being) overwritten.
+constexpr uint64_t kWritingBit = uint64_t{1} << 63;
+
+/// Header word for an encoded publication that does not fit the slot.
+constexpr uint64_t kOversizeHeader = ~uint64_t{0};
+
+inline size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Payload word accesses carry the seqlock ordering themselves instead
+// of standalone fences (which GCC's TSan cannot model, -Wtsan): every
+// payload store is a release — so the writing marker stored before it
+// cannot be reordered after it — and every payload load is an acquire —
+// so the validation re-read of the stamp cannot be reordered before it.
+// On x86 both compile to plain MOVs, same as the fence variant.
+inline void StoreWord(uint64_t* p, uint64_t v) {
+  std::atomic_ref<uint64_t>(*p).store(v, std::memory_order_release);
+}
+
+inline uint64_t LoadWord(uint64_t* p) {
+  return std::atomic_ref<uint64_t>(*p).load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+void EncodePublication(const Publication& pub, std::string* dst) {
+  PutLengthPrefixed(dst, pub.topic);
+  PutLengthPrefixed(dst, pub.payload);
+  dst->push_back(pub.retain ? '\1' : '\0');
+  EncodeAttributes(pub.attributes, dst);
+}
+
+Result<Publication> DecodePublication(std::string_view input) {
+  Publication pub;
+  std::string_view topic, payload;
+  if (!GetLengthPrefixed(&input, &topic) ||
+      !GetLengthPrefixed(&input, &payload) || input.empty()) {
+    return Status::Corruption("truncated publication encoding");
+  }
+  pub.topic.assign(topic);
+  pub.payload.assign(payload);
+  pub.retain = input.front() != 0;
+  input.remove_prefix(1);
+  EDADB_ASSIGN_OR_RETURN(pub.attributes, DecodeAttributes(input));
+  return pub;
+}
+
+EventRing::EventRing(EventRingOptions options)
+    : capacity_(RoundUpPow2(options.capacity == 0 ? 1 : options.capacity)),
+      mask_(capacity_ - 1),
+      slot_bytes_((options.slot_bytes + 7) / 8 * 8),
+      slot_words_(1 + slot_bytes_ / 8),
+      stamps_(std::make_unique<uint64_t[]>(capacity_)),
+      words_(std::make_unique<uint64_t[]>(capacity_ * slot_words_)) {}
+
+uint64_t EventRing::Publish(const Publication& pub) {
+  MutexLock lock(&writer_mu_);
+  return PublishLocked(pub);
+}
+
+uint64_t EventRing::PublishBatch(const Publication* pubs, size_t count) {
+  MutexLock lock(&writer_mu_);
+  const uint64_t first = head_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) PublishLocked(pubs[i]);
+  return first;
+}
+
+uint64_t EventRing::PublishLocked(const Publication& pub) {
+  std::string encoded;
+  EncodePublication(pub, &encoded);
+
+  const uint64_t seq = head_.load(std::memory_order_relaxed);
+  const size_t slot = static_cast<size_t>(seq & mask_);
+  uint64_t* base = &words_[slot * slot_words_];
+
+  // Seqlock write: mark the slot unstable, write the payload words
+  // (release, see StoreWord), then stamp it stable with a release
+  // store. A reader that observes ANY new payload word must also
+  // observe the writing marker (or a newer stamp) on its validation
+  // re-read.
+  std::atomic_ref<uint64_t>(stamps_[slot])
+      .store(kWritingBit | (seq + 1), std::memory_order_relaxed);
+
+  if (encoded.size() > slot_bytes_) {
+    StoreWord(&base[0], kOversizeHeader);
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const uint32_t crc = Crc32c(encoded);
+    StoreWord(&base[0],
+              (static_cast<uint64_t>(encoded.size()) << 32) | crc);
+    const size_t words = (encoded.size() + 7) / 8;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t v = 0;
+      const size_t off = w * 8;
+      const size_t n = encoded.size() - off < 8 ? encoded.size() - off : 8;
+      std::memcpy(&v, encoded.data() + off, n);
+      StoreWord(&base[1 + w], v);
+    }
+  }
+
+  std::atomic_ref<uint64_t>(stamps_[slot])
+      .store(seq + 1, std::memory_order_release);
+  head_.store(seq + 1, std::memory_order_release);
+  return seq;
+}
+
+RingRead EventRing::Read(uint64_t seq, Publication* out) const {
+  if (seq >= head()) return RingRead::kNotReady;
+  const size_t slot = static_cast<size_t>(seq & mask_);
+  // unique_ptr<T[]>::operator[] hands out mutable element refs through
+  // a const owner, which is exactly what atomic_ref loads need.
+  uint64_t* base = &words_[slot * slot_words_];
+
+  const uint64_t s1 = std::atomic_ref<uint64_t>(stamps_[slot])
+                          .load(std::memory_order_acquire);
+  if (s1 != seq + 1) return RingRead::kMissed;
+
+  const uint64_t header = LoadWord(&base[0]);
+  std::string encoded;
+  bool oversize = header == kOversizeHeader;
+  bool bad_header = false;
+  if (!oversize) {
+    const size_t len = static_cast<size_t>(header >> 32);
+    if (len > slot_bytes_) {
+      bad_header = true;  // Validate the stamp before calling it torn.
+    } else {
+      encoded.resize(len);
+      const size_t words = (len + 7) / 8;
+      for (size_t w = 0; w < words; ++w) {
+        const uint64_t v = LoadWord(&base[1 + w]);
+        const size_t off = w * 8;
+        const size_t n = len - off < 8 ? len - off : 8;
+        std::memcpy(encoded.data() + off, &v, n);
+      }
+    }
+  }
+
+  // The acquire payload loads above order this re-read after them; any
+  // concurrent overwrite of a word we copied is caught here.
+  const uint64_t s2 = std::atomic_ref<uint64_t>(stamps_[slot])
+                          .load(std::memory_order_relaxed);
+  if (s2 != seq + 1) return RingRead::kMissed;
+
+  // The stamp validated: the copy is guaranteed consistent. Anything
+  // wrong with it now is a protocol violation, not a racing writer.
+  if (oversize) return RingRead::kOversize;
+  if (bad_header) {
+    torn_.fetch_add(1, std::memory_order_relaxed);
+    return RingRead::kMissed;
+  }
+  const uint32_t want_crc = static_cast<uint32_t>(header);
+  if (Crc32c(encoded) != want_crc) {
+    torn_.fetch_add(1, std::memory_order_relaxed);
+    return RingRead::kMissed;
+  }
+  auto decoded = DecodePublication(encoded);
+  if (!decoded.ok()) {
+    torn_.fetch_add(1, std::memory_order_relaxed);
+    return RingRead::kMissed;
+  }
+  *out = *std::move(decoded);
+  return RingRead::kOk;
+}
+
+size_t RingCursor::Poll(size_t max_events,
+                        std::vector<std::pair<uint64_t, Publication>>* out) {
+  uint64_t next = next_seq_.load(std::memory_order_relaxed);
+  const uint64_t head = ring_->head();
+  const uint64_t cap = ring_->capacity();
+  uint64_t missed = 0;
+  size_t returned = 0;
+
+  // Bulk fast-forward: events below head - capacity are gone for sure;
+  // account them without touching their (recycled) slots.
+  if (head > cap && next < head - cap) {
+    missed += (head - cap) - next;
+    next = head - cap;
+  }
+
+  while (next < head && returned < max_events) {
+    Publication pub;
+    const RingRead r = ring_->Read(next, &pub);
+    if (r == RingRead::kOk) {
+      out->emplace_back(next, std::move(pub));
+      ++returned;
+    } else if (r == RingRead::kNotReady) {
+      break;  // Unreachable while next < head; bail defensively.
+    } else {
+      ++missed;  // kMissed or kOversize: counted, never silent.
+    }
+    ++next;
+  }
+
+  next_seq_.store(next, std::memory_order_relaxed);
+  delivered_.fetch_add(returned, std::memory_order_relaxed);
+  missed_.fetch_add(missed, std::memory_order_relaxed);
+  return returned;
+}
+
+}  // namespace edadb

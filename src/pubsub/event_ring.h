@@ -1,0 +1,185 @@
+#ifndef EDADB_PUBSUB_EVENT_RING_H_
+#define EDADB_PUBSUB_EVENT_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/result.h"
+
+namespace edadb {
+
+struct Publication;
+
+/// Bounded broadcast event stream with explicit event-miss semantics
+/// (OidaDB's Event Buffer design; DESIGN.md §13).
+///
+/// The ring is the Broker's FAST path for live subscribers: a fixed
+/// number of sequence-numbered slots that the writer overwrites in
+/// order, forever. Readers poll at their own pace and never slow the
+/// writer down; a reader that falls more than `capacity` events behind
+/// does not backpressure anybody — it *misses* the overwritten events,
+/// and the miss is counted, never silent. Subscribers that need
+/// at-least-once delivery use the durable queue path instead.
+///
+/// Concurrency model:
+///   - Writers are serialized on an internal mutex ("single writer per
+///     publisher domain"); a publish is a handful of word stores.
+///   - Readers are WAIT-FREE: no locks, no CAS loops, no retries. Each
+///     slot carries a seqlock-style stamp; a reader copies the slot and
+///     validates the stamp before and after the copy. A stamp mismatch
+///     means the writer lapped the reader mid-copy — the event is
+///     accounted as missed and the reader moves on.
+///   - All slot memory is accessed through std::atomic_ref with the
+///     Boehm seqlock protocol (fence-free variant: release payload
+///     stores / acquire payload loads), so a torn read can never be
+///     *observed* (TSan-clean by construction). Each payload also
+///     carries a CRC32C; a stamp-valid copy failing its checksum would
+///     indicate a protocol bug and is surfaced via torn_count().
+///
+/// Slot layout (all uint64 words):
+///   word 0   header: (payload length << 32) | CRC32C(payload)
+///   word 1.. payload bytes, little-endian packed
+/// An encoded publication larger than slot_bytes still consumes a
+/// sequence number (the stream never skips); its slot is stamped with
+/// an oversize header and every reader accounts it as a miss
+/// (oversize_count() attributes the cause).
+struct EventRingOptions {
+  /// Slot count; rounded up to a power of two. A reader that lags more
+  /// than this many events behind the head starts missing.
+  size_t capacity = 1024;
+  /// Payload capacity per slot in bytes (rounded up to whole words).
+  /// Encoded publications above this are oversize (see above).
+  size_t slot_bytes = 1024;
+};
+
+/// Outcome of reading one sequence number.
+enum class RingRead {
+  kOk,        // *out holds the event.
+  kMissed,    // Overwritten (or being overwritten) before this reader
+              // got to it.
+  kOversize,  // Published but larger than slot_bytes: a counted miss.
+  kNotReady,  // seq >= head(): not published yet.
+};
+
+class EventRing {
+ public:
+  explicit EventRing(EventRingOptions options = {});
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Appends one publication to the stream; returns its sequence
+  /// number. Serialized internally; never blocks on readers.
+  uint64_t Publish(const Publication& pub);
+
+  /// Appends `count` publications in order under one writer-lock
+  /// acquisition; returns the sequence of the FIRST one.
+  uint64_t PublishBatch(const Publication* pubs, size_t count);
+
+  /// Reads event `seq` into *out (wait-free; no retry loops).
+  RingRead Read(uint64_t seq, Publication* out) const;
+
+  /// Sequence number the next publish will get (== events published).
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+
+  size_t capacity() const { return capacity_; }
+  size_t slot_bytes() const { return slot_bytes_; }
+
+  /// Publications whose encoding exceeded slot_bytes (each one is a
+  /// miss for every reader).
+  uint64_t oversize_count() const {
+    return oversize_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamp-valid reads that failed checksum/decode validation. Always 0
+  /// unless the seqlock protocol is broken; tests assert on it.
+  uint64_t torn_count() const {
+    return torn_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t PublishLocked(const Publication& pub) EDADB_REQUIRES(writer_mu_);
+
+  const size_t capacity_;    // Power of two.
+  const size_t mask_;        // capacity_ - 1.
+  const size_t slot_bytes_;  // Word-aligned payload capacity.
+  const size_t slot_words_;  // 1 header word + slot_bytes_ / 8.
+
+  /// Serializes writers; readers never touch it.
+  Mutex writer_mu_{"EventRing::writer_mu_"};
+
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> oversize_{0};
+  mutable std::atomic<uint64_t> torn_{0};
+
+  /// Per-slot seqlock stamps: slot i holds `seq + 1` while it stably
+  /// contains event seq, a writing marker mid-overwrite, 0 if never
+  /// written. Accessed only through std::atomic_ref (seqlock protocol;
+  /// see analyze_suppress.json).
+  std::unique_ptr<uint64_t[]> stamps_;
+  /// Slot payload words, capacity_ * slot_words_ of them. Same seqlock
+  /// protocol as stamps_.
+  std::unique_ptr<uint64_t[]> words_;
+};
+
+/// One reader's position in the stream, with delivery/miss accounting.
+///
+/// Poll() must be called from one thread at a time (each subscriber
+/// owns its cursor); the counters are atomics so OTHER threads — the
+/// metrics collector — may read them concurrently.
+class RingCursor {
+ public:
+  /// Starts at the current head: a new reader sees only events
+  /// published after it subscribed.
+  explicit RingCursor(const EventRing* ring)
+      : ring_(ring), start_seq_(ring->head()), next_seq_(start_seq_) {}
+
+  RingCursor(const RingCursor&) = delete;
+  RingCursor& operator=(const RingCursor&) = delete;
+
+  /// Reads up to `max_events` events into *out (appending), advancing
+  /// past (and counting) any missed ones. Returns the number of events
+  /// appended. Wait-free: bounded by max_events reads plus the
+  /// arithmetic fast-forward over bulk-overwritten ranges.
+  size_t Poll(size_t max_events,
+              std::vector<std::pair<uint64_t, Publication>>* out);
+
+  /// Accounting invariant (the property tests pin it):
+  ///   delivered() + missed() == next_seq() - start_seq()
+  /// and once the reader drains, next_seq() == ring head.
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  uint64_t missed() const { return missed_.load(std::memory_order_relaxed); }
+  uint64_t start_seq() const { return start_seq_; }
+  uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Events published but not yet observed by this reader.
+  uint64_t lag() const {
+    const uint64_t head = ring_->head();
+    const uint64_t next = next_seq();
+    return head > next ? head - next : 0;
+  }
+
+ private:
+  const EventRing* ring_;
+  const uint64_t start_seq_;
+  std::atomic<uint64_t> next_seq_;
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> missed_{0};
+};
+
+/// Publication <-> bytes codec for ring slots (also unit-tested
+/// directly): topic, payload, retain flag, attributes.
+void EncodePublication(const Publication& pub, std::string* dst);
+EDADB_NODISCARD Result<Publication> DecodePublication(std::string_view input);
+
+}  // namespace edadb
+
+#endif  // EDADB_PUBSUB_EVENT_RING_H_

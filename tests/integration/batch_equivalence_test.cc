@@ -10,11 +10,13 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/processor.h"
 #include "gtest/gtest.h"
 #include "mq/queue_manager.h"
+#include "pubsub/broker.h"
 #include "test_util.h"
 #include "testing/seeded_rng.h"
 
@@ -217,6 +219,109 @@ TEST(BatchEquivalenceTest, IngestBatchMatchesIngestLoop) {
   EXPECT_EQ(loop_stats.ingested, batch_stats.ingested);
   EXPECT_EQ(loop_stats.rules_matched, batch_stats.rules_matched);
   EXPECT_EQ(loop_stats.routed_to_queues, batch_stats.routed_to_queues);
+}
+
+// ---------------------------------------------------------------------
+// Pubsub level: the live ring path vs the durable queue path. A ring
+// subscriber that never falls behind must observe the EXACT event
+// sequence the durable-queue subscriber acks — same events, same order
+// — for both single-shot Publish and PublishBatch (DESIGN.md §13: the
+// ring trades durability for latency, never ordering or content).
+
+struct BrokerStack {
+  TempDir dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<QueueManager> queues;
+  std::unique_ptr<Broker> broker;
+
+  BrokerStack() {
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db = *Database::Open(std::move(options));
+    queues = *QueueManager::Attach(db.get());
+    // Ample ring: the live subscriber must never be lapped here.
+    broker = *Broker::Attach(db.get(), queues.get(),
+                             {.capacity = 1024, .slot_bytes = 1024});
+  }
+};
+
+Publication RandomPublication(Random* rng, bool jobs_topic) {
+  Publication pub;
+  pub.topic = jobs_topic ? "jobs" : "noise/" + std::to_string(rng->Uniform(3));
+  pub.payload = rng->NextString(1 + rng->Uniform(40));
+  pub.attributes = {{"severity", Value::Int64(rng->UniformInt(0, 9))}};
+  return pub;
+}
+
+std::string PubKey(const Publication& pub) {
+  std::string encoded;
+  EncodePublication(pub, &encoded);
+  return encoded;
+}
+
+void RunRingVsDurableEquivalence(bool use_batch, uint64_t stream) {
+  testing::SeededRng rng(stream);
+  BrokerStack stack;
+
+  SubscriptionSpec durable;
+  durable.subscriber = "durable-jobs";
+  durable.topic_pattern = "jobs";
+  durable.durable = true;
+  const std::string durable_id = *stack.broker->Subscribe(std::move(durable));
+
+  auto live = stack.broker->SubscribeLive(
+      {.subscriber = "live-jobs", .topic_pattern = "jobs", .content_filter = ""});
+  ASSERT_OK(live.status());
+
+  std::vector<std::string> published_jobs;  // Ground-truth order.
+  for (int round = 0; round < 20; ++round) {
+    const size_t batch = 1 + rng.Uniform(6);
+    std::vector<Publication> pubs;
+    for (size_t i = 0; i < batch; ++i) {
+      pubs.push_back(RandomPublication(&rng, rng.Uniform(2) == 0));
+    }
+    for (const Publication& pub : pubs) {
+      if (pub.topic == "jobs") published_jobs.push_back(PubKey(pub));
+    }
+    if (use_batch) {
+      ASSERT_OK(stack.broker->PublishBatch(pubs).status());
+    } else {
+      for (const Publication& pub : pubs) {
+        ASSERT_OK(stack.broker->Publish(pub).status());
+      }
+    }
+  }
+
+  // Live side: drain the ring (never behind: capacity >> published).
+  std::vector<std::string> live_seen;
+  std::vector<std::pair<uint64_t, Publication>> got;
+  while ((*live)->Poll(64, &got) > 0) {
+    for (auto& [seq, pub] : got) live_seen.push_back(PubKey(pub));
+    got.clear();
+  }
+  EXPECT_EQ((*live)->missed(), 0u);
+  EXPECT_EQ((*live)->lag(), 0u);
+
+  // Durable side: fetch-and-ack to exhaustion.
+  std::vector<std::string> durable_acked;
+  while (true) {
+    auto fetched = stack.broker->Fetch(durable_id);
+    ASSERT_OK(fetched.status());
+    if (!fetched->has_value()) break;
+    durable_acked.push_back(PubKey(**fetched));
+  }
+
+  EXPECT_EQ(live_seen, durable_acked);
+  EXPECT_EQ(live_seen, published_jobs);
+}
+
+TEST(BatchEquivalenceTest, RingSubscriberMatchesDurableAcksSingleShot) {
+  RunRingVsDurableEquivalence(/*use_batch=*/false, /*stream=*/13);
+}
+
+TEST(BatchEquivalenceTest, RingSubscriberMatchesDurableAcksBatch) {
+  RunRingVsDurableEquivalence(/*use_batch=*/true, /*stream=*/14);
 }
 
 }  // namespace

@@ -1,12 +1,18 @@
 #include "pubsub/broker.h"
 
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "common/metrics.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/sleep.h"
 
 namespace edadb {
 namespace {
 
-class BrokerTest : public testing::Test {
+class BrokerTest : public ::testing::Test {
  protected:
   void SetUp() override { Reopen(); }
 
@@ -216,6 +222,91 @@ TEST_F(BrokerTest, RetainedFilteredByContent) {
   spec.handler = [&](const Publication&) { ++hits; };
   ASSERT_OK(broker_->Subscribe(std::move(spec)).status());
   EXPECT_EQ(hits, 0);
+}
+
+// Regression: a throwing handler must not abort the fan-out — every
+// other subscriber still gets its deliveries, the publish succeeds, and
+// the failure is surfaced via the pubsub.handler_errors counter.
+TEST_F(BrokerTest, ThrowingHandlerDoesNotAbortFanout) {
+  metrics::Counter* errors =
+      metrics::Registry::Default()->GetCounter("pubsub.handler_errors");
+  const uint64_t errors_before = errors->Value();
+
+  SubscriptionSpec bad;
+  bad.subscriber = "bad";
+  bad.topic_pattern = "t";
+  bad.handler = [](const Publication&) {
+    throw std::runtime_error("handler bug");
+  };
+  ASSERT_OK(broker_->Subscribe(std::move(bad)).status());
+
+  std::vector<std::string> good_seen;
+  SubscriptionSpec good;
+  good.subscriber = "good";
+  good.topic_pattern = "t";
+  good.handler = [&](const Publication& pub) {
+    good_seen.push_back(pub.payload);
+  };
+  ASSERT_OK(broker_->Subscribe(std::move(good)).status());
+
+  auto delivered =
+      broker_->PublishBatch({Pub("t", "m1"), Pub("t", "m2")});
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(*delivered, 2u);  // The good subscriber's two deliveries.
+  EXPECT_EQ(good_seen, (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_EQ(errors->Value() - errors_before, 2u);
+}
+
+// Regression: an Unsubscribe issued mid-fan-out (here, from inside the
+// handler itself) stops all SUBSEQUENT deliveries of the already
+// snapshotted batch to that subscription.
+TEST_F(BrokerTest, UnsubscribeInsideFanoutStopsSubsequentDeliveries) {
+  int calls = 0;
+  std::string id;
+  SubscriptionSpec spec;
+  spec.subscriber = "self-removing";
+  spec.topic_pattern = "t";
+  spec.handler = [&](const Publication&) {
+    ++calls;
+    if (calls == 1) EXPECT_OK(broker_->Unsubscribe(id));
+  };
+  id = *broker_->Subscribe(std::move(spec));
+
+  auto delivered =
+      broker_->PublishBatch({Pub("t", "m1"), Pub("t", "m2"), Pub("t", "m3")});
+  ASSERT_OK(delivered.status());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(*delivered, 1u);
+  EXPECT_EQ(broker_->num_subscriptions(), 0u);
+}
+
+// Regression: Unsubscribe never waits on a slow handler already in
+// flight — and once it returns, no NEW invocation starts. If
+// Unsubscribe blocked on the handler this test would deadlock (the
+// handler is only released after Unsubscribe returns).
+TEST_F(BrokerTest, UnsubscribeDoesNotWaitOnSlowHandler) {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> calls{0};
+  std::string id;
+  SubscriptionSpec spec;
+  spec.subscriber = "slow";
+  spec.topic_pattern = "t";
+  spec.handler = [&](const Publication&) {
+    calls.fetch_add(1);
+    entered.store(true);
+    while (!release.load()) testing::YieldBriefly();
+  };
+  id = *broker_->Subscribe(std::move(spec));
+
+  std::thread publisher([&] {
+    EXPECT_OK(broker_->PublishBatch({Pub("t", "m1"), Pub("t", "m2")}).status());
+  });
+  while (!entered.load()) testing::YieldBriefly();
+  ASSERT_OK(broker_->Unsubscribe(id));
+  release.store(true);
+  publisher.join();
+  EXPECT_EQ(calls.load(), 1);  // m2 never reached the handler.
 }
 
 TEST_F(BrokerTest, PublicationMessageRoundTrip) {

@@ -1,0 +1,143 @@
+// Seeded property tests for the event ring's miss-accounting contract
+// (DESIGN.md §13). For every reader, across randomized ring sizes,
+// batch shapes, reader paces and many wraparounds:
+//
+//   delivered + missed == published-since-subscribe   (once drained)
+//
+// and the delivered sequences are strictly increasing, with gaps in the
+// sequence stream exactly equal to the accounted misses — a miss is
+// counted, never silent, and an event is never double-delivered.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "pubsub/broker.h"
+#include "pubsub/event_ring.h"
+#include "testing/seeded_rng.h"
+
+namespace edadb {
+namespace {
+
+Publication SeqPub(uint64_t seq) {
+  Publication pub;
+  pub.topic = "prop/" + std::to_string(seq % 7);
+  pub.payload = "p-" + std::to_string(seq);
+  pub.attributes = {{"seq", Value::Int64(static_cast<int64_t>(seq))}};
+  return pub;
+}
+
+struct Reader {
+  std::unique_ptr<RingCursor> cursor;
+  uint64_t subscribed_at = 0;       // Ring head at subscribe time.
+  uint64_t poll_cap = 1;            // Events per poll (its "pace").
+  std::vector<uint64_t> sequences;  // Every delivered sequence, in order.
+};
+
+void DrainAndCheck(const EventRing& ring, Reader* reader, size_t max_events) {
+  std::vector<std::pair<uint64_t, Publication>> got;
+  const size_t n = reader->cursor->Poll(max_events, &got);
+  ASSERT_EQ(n, got.size());
+  for (const auto& [seq, pub] : got) {
+    // Payload integrity: the event read at sequence s IS event s.
+    ASSERT_EQ(pub.payload, "p-" + std::to_string(seq));
+    ASSERT_EQ(pub.attributes.size(), 1u);
+    ASSERT_EQ(pub.attributes[0].second.int64_value(),
+              static_cast<int64_t>(seq));
+    reader->sequences.push_back(seq);
+  }
+  ASSERT_EQ(ring.torn_count(), 0u);
+}
+
+TEST(EventRingPropertyTest, AccountingHoldsAcrossRandomizedSchedules) {
+  testing::SeededRng rng(/*stream=*/71);
+  constexpr int kTrials = 40;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    EventRingOptions options;
+    options.capacity = 4u << rng.Uniform(6);          // 4..128.
+    options.slot_bytes = 64 + 8 * rng.Uniform(16);    // All pubs fit.
+    EventRing ring(options);
+
+    std::vector<Reader> readers;
+    uint64_t published = 0;
+    // Interleave publishes (single/batch) with reader polls and
+    // mid-stream subscriptions; enough volume to wrap several times.
+    const uint64_t target = options.capacity * (3 + rng.Uniform(5));
+    while (published < target || !readers.empty()) {
+      const uint64_t action = rng.Uniform(10);
+      if (action < 4 && published < target) {
+        // Publish a batch of 1..8.
+        const size_t batch = 1 + rng.Uniform(8);
+        std::vector<Publication> pubs;
+        for (size_t i = 0; i < batch; ++i) pubs.push_back(SeqPub(published + i));
+        ASSERT_EQ(ring.PublishBatch(pubs.data(), pubs.size()), published);
+        published += batch;
+      } else if (action < 6 && readers.size() < 8) {
+        Reader reader;
+        reader.cursor = std::make_unique<RingCursor>(&ring);
+        reader.subscribed_at = ring.head();
+        reader.poll_cap = 1 + rng.Uniform(2 * options.capacity);
+        ASSERT_EQ(reader.cursor->start_seq(), reader.subscribed_at);
+        readers.push_back(std::move(reader));
+      } else if (!readers.empty()) {
+        Reader& reader = readers[rng.Uniform(readers.size())];
+        DrainAndCheck(ring, &reader, reader.poll_cap);
+        if (published >= target && rng.OneIn(3)) {
+          // Final drain, then retire the reader after checking the
+          // whole-run properties.
+          while (reader.cursor->lag() > 0) {
+            DrainAndCheck(ring, &reader, reader.poll_cap);
+          }
+          const uint64_t seen_window = ring.head() - reader.subscribed_at;
+          EXPECT_EQ(reader.cursor->delivered() + reader.cursor->missed(),
+                    seen_window)
+              << "trial " << trial << " cap " << options.capacity;
+          EXPECT_EQ(reader.cursor->delivered(), reader.sequences.size());
+          // Strictly increasing, never before subscription, and gaps
+          // exactly equal to the accounted misses.
+          uint64_t gaps = 0;
+          uint64_t prev = reader.subscribed_at;  // First expected seq.
+          for (const uint64_t seq : reader.sequences) {
+            ASSERT_GE(seq, prev);
+            gaps += seq - prev;
+            prev = seq + 1;
+          }
+          gaps += ring.head() - prev;  // Tail the reader never saw.
+          EXPECT_EQ(gaps, reader.cursor->missed());
+          readers.erase(readers.begin() +
+                        (&reader - readers.data()));
+        }
+      }
+    }
+    ASSERT_EQ(ring.torn_count(), 0u);
+  }
+}
+
+TEST(EventRingPropertyTest, SingleSlotRingStillAccountsEverything) {
+  testing::SeededRng rng(/*stream=*/72);
+  EventRing ring({.capacity = 1, .slot_bytes = 64});
+  RingCursor cursor(&ring);
+  uint64_t published = 0;
+  for (int round = 0; round < 200; ++round) {
+    const size_t batch = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < batch; ++i) ring.Publish(SeqPub(published++));
+    std::vector<std::pair<uint64_t, Publication>> got;
+    const size_t polled = cursor.Poll(1 + rng.Uniform(3), &got);
+    for (const auto& [seq, pub] : got) {
+      ASSERT_EQ(pub.payload, "p-" + std::to_string(seq));
+    }
+    ASSERT_EQ(polled, got.size());
+  }
+  while (cursor.lag() > 0) {
+    std::vector<std::pair<uint64_t, Publication>> got;
+    ASSERT_GT(cursor.Poll(8, &got) + cursor.missed(), 0u);
+  }
+  EXPECT_EQ(cursor.delivered() + cursor.missed(), published);
+  EXPECT_EQ(ring.torn_count(), 0u);
+}
+
+}  // namespace
+}  // namespace edadb

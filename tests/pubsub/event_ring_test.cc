@@ -1,0 +1,232 @@
+// Unit tests for the broadcast event ring (DESIGN.md §13): slot codec,
+// publish/read/poll mechanics, oversize and wraparound miss accounting,
+// and the Broker::SubscribeLive integration surface.
+
+#include "pubsub/event_ring.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "pubsub/broker.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+Publication MakePub(uint64_t n, const std::string& topic = "t") {
+  Publication pub;
+  pub.topic = topic;
+  pub.payload = "payload-" + std::to_string(n);
+  pub.attributes = {{"n", Value::Int64(static_cast<int64_t>(n))}};
+  return pub;
+}
+
+TEST(PublicationCodecTest, RoundTrip) {
+  Publication pub;
+  pub.topic = "alerts/fire";
+  pub.payload = std::string("bytes\0with\0nuls", 15);
+  pub.retain = true;
+  pub.attributes = {{"severity", Value::Int64(7)},
+                    {"region", Value::String("east")}};
+
+  std::string encoded;
+  EncodePublication(pub, &encoded);
+  auto decoded = DecodePublication(encoded);
+  ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->topic, pub.topic);
+  EXPECT_EQ(decoded->payload, pub.payload);
+  EXPECT_TRUE(decoded->retain);
+  ASSERT_EQ(decoded->attributes.size(), 2u);
+  EXPECT_EQ(decoded->attributes[0].first, "severity");
+  EXPECT_EQ(decoded->attributes[0].second.int64_value(), 7);
+  EXPECT_EQ(decoded->attributes[1].second.string_value(), "east");
+}
+
+TEST(PublicationCodecTest, TruncationIsCorruption) {
+  std::string encoded;
+  EncodePublication(MakePub(1), &encoded);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto decoded = DecodePublication(std::string_view(encoded).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(EventRingTest, PublishThenRead) {
+  EventRing ring({.capacity = 8, .slot_bytes = 256});
+  EXPECT_EQ(ring.head(), 0u);
+  EXPECT_EQ(ring.Publish(MakePub(0)), 0u);
+  EXPECT_EQ(ring.Publish(MakePub(1)), 1u);
+  EXPECT_EQ(ring.head(), 2u);
+
+  Publication out;
+  ASSERT_EQ(ring.Read(0, &out), RingRead::kOk);
+  EXPECT_EQ(out.payload, "payload-0");
+  ASSERT_EQ(ring.Read(1, &out), RingRead::kOk);
+  EXPECT_EQ(out.payload, "payload-1");
+  EXPECT_EQ(ring.Read(2, &out), RingRead::kNotReady);
+  EXPECT_EQ(ring.torn_count(), 0u);
+}
+
+TEST(EventRingTest, OverwrittenSequenceIsMissed) {
+  EventRing ring({.capacity = 4, .slot_bytes = 256});
+  for (uint64_t i = 0; i < 10; ++i) ring.Publish(MakePub(i));
+  Publication out;
+  // Events 0..5 were lapped (capacity 4, head 10): slots recycled.
+  for (uint64_t seq = 0; seq < 6; ++seq) {
+    EXPECT_EQ(ring.Read(seq, &out), RingRead::kMissed) << seq;
+  }
+  for (uint64_t seq = 6; seq < 10; ++seq) {
+    ASSERT_EQ(ring.Read(seq, &out), RingRead::kOk) << seq;
+    EXPECT_EQ(out.payload, "payload-" + std::to_string(seq));
+  }
+}
+
+TEST(EventRingTest, OversizePublicationIsACountedMiss) {
+  EventRing ring({.capacity = 8, .slot_bytes = 32});
+  RingCursor cursor(&ring);
+  ring.Publish(MakePub(0));  // Fits.
+  Publication big = MakePub(1);
+  big.payload.assign(1000, 'x');  // Encodes past 32 bytes.
+  ring.Publish(big);
+  ring.Publish(MakePub(2));  // Fits.
+
+  EXPECT_EQ(ring.oversize_count(), 1u);
+  Publication out;
+  EXPECT_EQ(ring.Read(1, &out), RingRead::kOversize);
+
+  // The oversize event still consumed sequence 1; the cursor accounts
+  // it as a miss, never silently skips it.
+  std::vector<std::pair<uint64_t, Publication>> got;
+  EXPECT_EQ(cursor.Poll(16, &got), 2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 0u);
+  EXPECT_EQ(got[1].first, 2u);
+  EXPECT_EQ(cursor.delivered(), 2u);
+  EXPECT_EQ(cursor.missed(), 1u);
+  EXPECT_EQ(cursor.delivered() + cursor.missed(),
+            cursor.next_seq() - cursor.start_seq());
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EventRing ring({.capacity = 5, .slot_bytes = 64});
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(EventRingTest, BatchPublishPreservesOrder) {
+  EventRing ring({.capacity = 16, .slot_bytes = 256});
+  std::vector<Publication> pubs;
+  for (uint64_t i = 0; i < 5; ++i) pubs.push_back(MakePub(i));
+  EXPECT_EQ(ring.PublishBatch(pubs.data(), pubs.size()), 0u);
+  EXPECT_EQ(ring.PublishBatch(pubs.data(), pubs.size()), 5u);
+  EXPECT_EQ(ring.head(), 10u);
+  Publication out;
+  for (uint64_t seq = 0; seq < 10; ++seq) {
+    ASSERT_EQ(ring.Read(seq, &out), RingRead::kOk);
+    EXPECT_EQ(out.payload, "payload-" + std::to_string(seq % 5));
+  }
+}
+
+TEST(EventRingTest, SlowCursorFastForwardsOverLappedRange) {
+  EventRing ring({.capacity = 4, .slot_bytes = 256});
+  RingCursor cursor(&ring);
+  for (uint64_t i = 0; i < 100; ++i) ring.Publish(MakePub(i));
+
+  std::vector<std::pair<uint64_t, Publication>> got;
+  const size_t n = cursor.Poll(1000, &got);
+  EXPECT_EQ(n, 4u);  // Only the live window survives.
+  EXPECT_EQ(cursor.delivered(), 4u);
+  EXPECT_EQ(cursor.missed(), 96u);
+  EXPECT_EQ(cursor.delivered() + cursor.missed(), 100u);
+  EXPECT_EQ(cursor.next_seq(), ring.head());
+  EXPECT_EQ(cursor.lag(), 0u);
+  for (const auto& [seq, pub] : got) {
+    EXPECT_EQ(pub.payload, "payload-" + std::to_string(seq));
+  }
+}
+
+TEST(EventRingTest, LateCursorStartsAtHead) {
+  EventRing ring({.capacity = 8, .slot_bytes = 256});
+  for (uint64_t i = 0; i < 5; ++i) ring.Publish(MakePub(i));
+  RingCursor cursor(&ring);
+  EXPECT_EQ(cursor.start_seq(), 5u);
+  std::vector<std::pair<uint64_t, Publication>> got;
+  EXPECT_EQ(cursor.Poll(16, &got), 0u);  // Nothing before subscribing.
+  ring.Publish(MakePub(5));
+  EXPECT_EQ(cursor.Poll(16, &got), 1u);
+  EXPECT_EQ(got[0].first, 5u);
+}
+
+class BrokerLiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    queues_ = *QueueManager::Attach(db_.get());
+    broker_ = *Broker::Attach(db_.get(), queues_.get(),
+                              {.capacity = 16, .slot_bytes = 512});
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<Broker> broker_;
+};
+
+TEST_F(BrokerLiveTest, SubscribeLivePollsPublishedEvents) {
+  auto sub = broker_->SubscribeLive(
+      {.subscriber = "dash", .topic_pattern = "", .content_filter = ""});
+  ASSERT_OK(sub.status());
+  EXPECT_EQ(broker_->num_live_subscriptions(), 1u);
+
+  ASSERT_OK(broker_->Publish(MakePub(0, "jobs")).status());
+  ASSERT_OK(broker_->Publish(MakePub(1, "alerts")).status());
+
+  std::vector<std::pair<uint64_t, Publication>> got;
+  EXPECT_EQ((*sub)->Poll(16, &got), 2u);
+  EXPECT_EQ((*sub)->delivered(), 2u);
+  EXPECT_EQ((*sub)->missed(), 0u);
+
+  ASSERT_OK(broker_->UnsubscribeLive((*sub)->id()));
+  EXPECT_EQ(broker_->num_live_subscriptions(), 0u);
+  EXPECT_TRUE(broker_->UnsubscribeLive((*sub)->id()).IsNotFound());
+}
+
+TEST_F(BrokerLiveTest, LiveFilterCountsNonMatchesAsFiltered) {
+  auto sub = broker_->SubscribeLive({.subscriber = "dash",
+                                     .topic_pattern = "jobs",
+                                     .content_filter = "n >= 2"});
+  ASSERT_OK(sub.status());
+  ASSERT_OK(broker_->Publish(MakePub(1, "jobs")).status());   // Filtered: n.
+  ASSERT_OK(broker_->Publish(MakePub(5, "other")).status());  // Filtered: topic.
+  ASSERT_OK(broker_->Publish(MakePub(7, "jobs")).status());   // Match.
+
+  std::vector<std::pair<uint64_t, Publication>> got;
+  EXPECT_EQ((*sub)->Poll(16, &got), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second.payload, "payload-7");
+  EXPECT_EQ((*sub)->delivered(), 1u);
+  EXPECT_EQ((*sub)->filtered(), 2u);
+  EXPECT_EQ((*sub)->missed(), 0u);
+}
+
+TEST_F(BrokerLiveTest, SlowLiveSubscriberMissesAreAccounted) {
+  auto sub = broker_->SubscribeLive(
+      {.subscriber = "slow", .topic_pattern = "", .content_filter = ""});
+  ASSERT_OK(sub.status());
+  std::vector<Publication> batch;
+  for (uint64_t i = 0; i < 100; ++i) batch.push_back(MakePub(i));
+  ASSERT_OK(broker_->PublishBatch(batch).status());  // Ring capacity 16.
+
+  std::vector<std::pair<uint64_t, Publication>> got;
+  EXPECT_EQ((*sub)->Poll(1000, &got), 16u);
+  EXPECT_EQ((*sub)->missed(), 84u);
+  EXPECT_EQ((*sub)->delivered() + (*sub)->missed(), 100u);
+  EXPECT_EQ(broker_->ring()->torn_count(), 0u);
+}
+
+}  // namespace
+}  // namespace edadb
