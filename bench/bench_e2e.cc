@@ -68,18 +68,18 @@ void PrintLatencyTable() {
   Pipeline pipeline;
   Random rng(1);
   // Latency of one critical event through every stage, sampled 2000
-  // times (wall time via the system clock).
+  // times (steady clock: latency is a duration, not an event time).
   P2Quantile p50(0.5), p99(0.99);
   StreamingStats stats;
   for (int i = 0; i < 2000; ++i) {
-    const TimestampMicros start = SystemClock::Default()->NowMicros();
+    const SteadyMicros start = SystemClock::Default()->SteadyNow();
     if (!pipeline.processor->Ingest(pipeline.MakeEvent(&rng, true)).ok()) {
       std::abort();
     }
     if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
     if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
     const double micros = static_cast<double>(
-        SystemClock::Default()->NowMicros() - start);
+        SystemClock::Default()->SteadyNow() - start);
     p50.Add(micros);
     p99.Add(micros);
     stats.Add(micros);
@@ -169,14 +169,14 @@ void BM_PipelineLatency(benchmark::State& state) {
   Random rng(5);
   P2Quantile p50(0.5), p99(0.99);
   for (auto _ : state) {
-    const TimestampMicros start = SystemClock::Default()->NowMicros();
+    const SteadyMicros start = SystemClock::Default()->SteadyNow();
     if (!pipeline.processor->Ingest(pipeline.MakeEvent(&rng, true)).ok()) {
       std::abort();
     }
     if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
     if (!pipeline.processor->propagator()->RunOnce().ok()) std::abort();
     const double micros = static_cast<double>(
-        SystemClock::Default()->NowMicros() - start);
+        SystemClock::Default()->SteadyNow() - start);
     p50.Add(micros);
     p99.Add(micros);
   }

@@ -15,6 +15,7 @@
 #include "bench_util.h"
 #include "rules/indexed_matcher.h"
 #include "rules/matcher.h"
+#include "common/macros.h"
 
 namespace edadb {
 namespace {
@@ -104,17 +105,20 @@ void BM_IndexedAddRemove(benchmark::State& state) {
     rule.condition = *Predicate::Compile(
         bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
     live.push_back(rule.id);
-    (void)matcher.AddRule(std::move(rule));
+    EDADB_IGNORE_STATUS(matcher.AddRule(std::move(rule)),
+                      "bench setup; a failed add would skew the live set and show up in the measured churn rate");
   }
   for (auto _ : state) {
-    (void)matcher.RemoveRule(live.front());
+    EDADB_IGNORE_STATUS(matcher.RemoveRule(live.front()),
+                      "bench churn loop; failures would skew the live set and show up in the measured rate");
     live.pop_front();
     Rule rule;
     rule.id = "r" + std::to_string(next_id++);
     rule.condition = *Predicate::Compile(
         bench::RandomRuleCondition(&rng, kNumAttrs, kCardinality));
     live.push_back(rule.id);
-    (void)matcher.AddRule(std::move(rule));
+    EDADB_IGNORE_STATUS(matcher.AddRule(std::move(rule)),
+                      "bench churn loop; failures would skew the live set and show up in the measured rate");
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -97,7 +97,7 @@ void PrintSuppressionTable() {
     uint64_t critical_delivered = 0;
     for (int i = 0; i < 50000; ++i) {
       clock.AdvanceMicros(20 * kMicrosPerMilli);  // 50 events/sec.
-      const Event event = StormEvent(&rng, clock.NowMicros());
+      const Event event = StormEvent(&rng, clock.WallNow().micros());
       const bool critical = event.Get("severity")->int64_value() >= 8;
       if (critical) ++critical_total;
       auto decision = filter.Evaluate("c", event);
@@ -131,7 +131,7 @@ void BM_VirtEvaluate(benchmark::State& state) {
   Random rng(7);
   for (auto _ : state) {
     clock.AdvanceMicros(1000);
-    const Event event = StormEvent(&rng, clock.NowMicros());
+    const Event event = StormEvent(&rng, clock.WallNow().micros());
     auto decision = filter.Evaluate("c", event);
     benchmark::DoNotOptimize(decision);
   }
@@ -162,7 +162,7 @@ void BM_VirtFanout(benchmark::State& state) {
   }
   for (auto _ : state) {
     clock.AdvanceMicros(1000);
-    const Event event = StormEvent(&rng, clock.NowMicros());
+    const Event event = StormEvent(&rng, clock.WallNow().micros());
     for (const std::string& id : ids) {
       auto decision = filter.Evaluate(id, event);
       benchmark::DoNotOptimize(decision);

@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "core/processor.h"
+#include "common/macros.h"
 
 using namespace edadb;
 
@@ -50,18 +51,21 @@ int main() {
 
   // --- Threat classification rules, stored as data in the database.
   RulesEngine* rules = processor->rules();
-  (void)rules->AddRule(
+  EDADB_IGNORE_STATUS(rules->AddRule(
       "chemical_leak",
       "event_type = 'tank_reading' AND vapor_ppm > 400 AND "
       "substance IN ('hydrazine', 'ammonia')",
-      "respond:hazmat:chemical", /*priority=*/10);
-  (void)rules->AddRule(
+      "respond:hazmat:chemical", /*priority=*/10),
+                      "demo setup; the rule predicate is a checked-in literal");
+  EDADB_IGNORE_STATUS(rules->AddRule(
       "fire_risk",
       "event_type = 'tank_reading' AND temp_c > 60",
-      "respond:fire:suppression", 9);
-  (void)rules->AddRule(
+      "respond:fire:suppression", 9),
+                      "demo setup; the rule predicate is a checked-in literal");
+  EDADB_IGNORE_STATUS(rules->AddRule(
       "log_everything", "event_type = 'tank_reading'",
-      "queue:audit_trail", 0);
+      "queue:audit_trail", 0),
+                      "demo setup; the rule predicate is a checked-in literal");
 
   // --- Tank telemetry: mostly nominal, two injected incidents.
   Random rng(42);
@@ -109,7 +113,8 @@ int main() {
         }
       }
       std::printf("\n");
-      (void)processor->queues()->Ack(queue, "", (*message)->id);
+      EDADB_IGNORE_STATUS(processor->queues()->Ack(queue, "", (*message)->id),
+                      "demo drain loop; a failed ack only redelivers and re-prints the alert");
     }
     return count;
   };

@@ -20,6 +20,7 @@
 #include "core/processor.h"
 #include "cq/pattern.h"
 #include "cq/window.h"
+#include "common/macros.h"
 
 using namespace edadb;
 
@@ -76,7 +77,8 @@ int main() {
         {"symbol", m.partition_key},
         {"drops", Value::Int64(static_cast<int64_t>(
                       m.bindings[0].second.size()))}};
-    (void)queues->Enqueue("opportunities", request);
+    EDADB_IGNORE_STATUS(queues->Enqueue("opportunities", request),
+                      "demo fan-out; a failed enqueue only drops the sample opportunity");
   });
 
   // --- Windowed stats: count/avg/min/max per symbol per second.
@@ -111,7 +113,8 @@ int main() {
                               {"price", Value::Double(price)},
                               {"sigmas", Value::Double(result.score)}};
         request.priority = 9;
-        (void)queues->Enqueue("threats", request);
+        EDADB_IGNORE_STATUS(queues->Enqueue("threats", request),
+                      "demo fan-out; a failed enqueue only drops the sample threat");
       });
 
   // --- Synthetic market: random walks + one engineered dip + one shock.
@@ -127,9 +130,12 @@ int main() {
                          Value::Double(price[symbol]),
                          Value::Double(delta)});
     ts += 20 * kMicrosPerMilli;
-    (void)pattern->Push(tick, ts);
-    (void)window.Push(tick, ts);
-    (void)monitor.Process(symbol, ts, price[symbol]);
+    EDADB_IGNORE_STATUS(pattern->Push(tick, ts),
+                      "demo feed loop; a per-tick failure only thins the printed output");
+    EDADB_IGNORE_STATUS(window.Push(tick, ts),
+                      "demo feed loop; a per-tick failure only thins the printed output");
+    EDADB_IGNORE_STATUS(monitor.Process(symbol, ts, price[symbol]),
+                      "demo feed loop; a per-tick failure only thins the printed output");
   };
 
   for (int i = 0; i < 2000; ++i) {
@@ -145,7 +151,8 @@ int main() {
       push_tick("INITECH", 15.0);
     }
   }
-  (void)window.Flush();
+  EDADB_IGNORE_STATUS(window.Flush(),
+                      "end-of-demo flush; leftover window contents are printed best-effort");
 
   std::printf("\nprocessed 2000+ ticks, %zu windows emitted\n", windows);
   std::printf("pattern matches (opportunities): %zu\n", opportunities);
@@ -157,7 +164,8 @@ int main() {
       auto message = queues->Dequeue(queue, dq);
       if (!message.ok() || !message->has_value()) break;
       std::printf("  %s\n", (*message)->payload.c_str());
-      (void)queues->Ack(queue, "", (*message)->id);
+      EDADB_IGNORE_STATUS(queues->Ack(queue, "", (*message)->id),
+                      "demo drain loop; a failed ack only redelivers and re-prints the message");
     }
   };
   drain("opportunities");

@@ -14,6 +14,7 @@
 
 #include "core/processor.h"
 #include "core/sources.h"
+#include "common/macros.h"
 
 using namespace edadb;  // Example code; library code never does this.
 
@@ -89,7 +90,8 @@ int main() {
       }
     }
     std::printf("\n");
-    (void)(*processor)->queues()->Ack("alerts", "", (*message)->id);
+    EDADB_IGNORE_STATUS((*processor)->queues()->Ack("alerts", "", (*message)->id),
+                      "demo drain loop; a failed ack only redelivers and re-prints the alert");
     ++alerts;
   }
 

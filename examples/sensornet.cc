@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "core/processor.h"
+#include "common/macros.h"
 
 using namespace edadb;
 
@@ -37,7 +38,8 @@ int main() {
     consumer.interest =
         *Predicate::Compile("kind = 'casualty' AND sector = 'north'");
     consumer.dedup_window_micros = 5 * kMicrosPerMinute;
-    (void)virt->RegisterConsumer("medic-north", consumer);
+    EDADB_IGNORE_STATUS(virt->RegisterConsumer("medic-north", consumer),
+                      "demo setup; consumer names are checked-in literals");
   }
   // An incident commander: everything important, but at most ~10
   // notifications per simulated minute.
@@ -46,14 +48,17 @@ int main() {
     consumer.min_value_score = 0.6;
     consumer.rate_limit_per_second = 10.0 / 60.0;
     consumer.rate_burst = 5;
-    (void)virt->RegisterConsumer("commander", consumer);
+    EDADB_IGNORE_STATUS(virt->RegisterConsumer("commander", consumer),
+                      "demo setup; consumer names are checked-in literals");
   }
   // An analyst archive: everything, unfiltered.
-  (void)virt->RegisterConsumer("archive", {});
+  EDADB_IGNORE_STATUS(virt->RegisterConsumer("archive", {}),
+                      "demo setup; consumer names are checked-in literals");
 
   // Durable delivery queues per consumer.
   for (const char* consumer : {"medic-north", "commander", "archive"}) {
-    (void)processor->queues()->CreateQueue(std::string("inbox_") + consumer);
+    EDADB_IGNORE_STATUS(processor->queues()->CreateQueue(std::string("inbox_") + consumer),
+                      "demo setup; an existing queue is fine to reuse");
   }
 
   // --- The storm: 5000 sensor events over a simulated half hour.
@@ -94,8 +99,9 @@ int main() {
         EnqueueRequest request;
         request.payload = event.ToString();
         request.attributes = event.attributes;
-        (void)processor->queues()->Enqueue(
-            std::string("inbox_") + consumer, request);
+        EDADB_IGNORE_STATUS(processor->queues()->Enqueue(
+            std::string("inbox_") + consumer, request),
+                      "demo fan-out; a failed enqueue only drops the sample notification");
       }
     }
   }

@@ -17,6 +17,7 @@
 #include "core/sources.h"
 #include "cq/continuous_query.h"
 #include "db/database.h"
+#include "common/macros.h"
 
 using namespace edadb;
 
@@ -43,8 +44,10 @@ int main() {
       {"expected", ValueType::kDouble, false},
       {"sigmas", ValueType::kDouble, false},
   });
-  (void)db->CreateTable("readings", readings_schema);
-  (void)db->CreateTable("usage_alerts", alerts_schema);
+  EDADB_IGNORE_STATUS(db->CreateTable("readings", readings_schema),
+                      "demo setup; the schema is a checked-in literal");
+  EDADB_IGNORE_STATUS(db->CreateTable("usage_alerts", alerts_schema),
+                      "demo setup; the schema is a checked-in literal");
 
   // Expectation models per meter: Holt handles the daily ramp.
   DeviationDetector::Options detector_options;
@@ -61,7 +64,8 @@ int main() {
                        .SetDouble("expected", result.expected)
                        .SetDouble("sigmas", result.score)
                        .Build();
-        (void)db->Insert("usage_alerts", *std::move(row));
+        EDADB_IGNORE_STATUS(db->Insert("usage_alerts", *std::move(row)),
+                      "demo sink; a failed insert only drops the sample alert row");
       });
 
   // Asynchronous capture from the journal feeds the monitor.
@@ -71,8 +75,9 @@ int main() {
         const auto meter = event.Get("meter");
         const auto kwh = event.Get("kwh");
         if (meter.has_value() && kwh.has_value()) {
-          (void)monitor.Process(meter->string_value(), event.timestamp,
-                                kwh->double_value());
+          EDADB_IGNORE_STATUS(monitor.Process(meter->string_value(), event.timestamp,
+                                kwh->double_value()),
+                      "demo feed loop; a per-reading failure only thins the printed output");
         }
       },
       "readings", "meter_reading");
@@ -93,7 +98,8 @@ int main() {
           }
         }
       });
-  (void)alert_watch.Poll();
+  EDADB_IGNORE_STATUS(alert_watch.Poll(),
+                      "demo poll; a failed poll only delays the printed alerts");
 
   // --- Simulate two days of hourly readings for 20 meters, with one
   // meter developing a fault on day 2.
@@ -111,11 +117,14 @@ int main() {
                      .SetDouble("kwh", kwh)
                      .SetInt64("hour", hour)
                      .Build();
-      (void)db->Insert("readings", *std::move(row));
+      EDADB_IGNORE_STATUS(db->Insert("readings", *std::move(row)),
+                      "demo feed loop; a failed insert only drops the sample reading");
     }
     // Periodic mining + alert distribution, as a scheduler would.
-    (void)capture.Poll();
-    (void)alert_watch.Poll();
+    EDADB_IGNORE_STATUS(capture.Poll(),
+                      "demo poll; a failed poll only delays the printed output");
+    EDADB_IGNORE_STATUS(alert_watch.Poll(),
+                      "demo poll; a failed poll only delays the printed alerts");
   }
 
   // Usage-pattern reporting straight from the database: per-meter totals.

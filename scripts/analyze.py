@@ -35,12 +35,64 @@ sites, lock scopes) and runs four inter-procedural checks over it:
                    remains (persisted rows, stamping).
   guarded-by       Annotation-coverage ratchet: in any class owning a
                    named mutex, every mutable field should carry
-                   EDADB_GUARDED_BY (atomics, consts and the
-                   synchronization members themselves are exempt).
+                   EDADB_GUARDED_BY (consts -- including top-level
+                   `T* const` pointers -- CondVars and the
+                   synchronization members themselves are exempt;
+                   std::atomic fields are exempt from the ANNOTATION
+                   ratchet but are NOT exempt from analysis: every one
+                   is classified by the atomic-ordering audit below and
+                   inventoried in the shard map).
                    Existing debt lives in scripts/analyze_baseline.json
                    and may only SHRINK: a baselined field that gains an
                    annotation (or disappears) must be removed from the
                    baseline, and new unannotated fields are errors.
+  atomic-ordering  Memory-ordering audit over every std::atomic /
+                   std::atomic_ref operation site:
+                     relaxed-rmw   a relaxed read-modify-write whose
+                                   result feeds further logic, or a
+                                   relaxed CAS/exchange -- the
+                                   synchronization-shaped uses where
+                                   relaxed is usually a bug. Pure
+                                   counter bumps (fetch_add/sub with the
+                                   result discarded) are exempt.
+                     mixed-ordering release-or-stronger writes paired
+                                   with relaxed loads (or acquire reads
+                                   paired with relaxed stores) on the
+                                   same variable: the strong side's
+                                   ordering is unobservable through the
+                                   relaxed side.
+                     seq-cst-hot   a DEFAULTED (seq_cst) ordering on a
+                                   hot-path file (wal, queue_manager,
+                                   event_ring, metrics): the default is
+                                   either an unnecessary fence or an
+                                   undocumented dependency on one.
+                   Intentional protocols (the event_ring seqlock,
+                   metrics counters) carry fingerprinted suppressions.
+  shared-state     Ambient shared state: a namespace-scope global or
+                   function-static local that is mutable, non-atomic,
+                   and not a mutex-guarded singleton is invisible to
+                   every lock domain and will not survive sharding.
+                   thread_local, const/constexpr, atomics and
+                   singletons whose class owns a mutex are classified
+                   clean (and inventoried in the shard map).
+  guarded-escape   References, pointers or iterators to an
+                   EDADB_GUARDED_BY field that escape the owning class:
+                   returned from a method (by reference/pointer/
+                   iterator), stored into a member, or captured by
+                   reference (or via this) in a lambda that is stored
+                   or handed to a deferred callee. Once domains are
+                   sharded these become cross-shard aliases.
+
+Shard map artifact
+------------------
+`--write-shardmap` regenerates scripts/analyze_shardmap.json from the
+src/ model: every lock domain (owner class -> mutexes -> guarded fields
+-> methods touching them), every atomic field with its ordering
+classification, every global/singleton, and the cross-domain call edges
+from the call-graph closure. The artifact is committed; CI and
+check.sh regenerate it and fail on drift (`--check-shardmap`), so new
+ambient shared state cannot sneak in silently. It is the planning input
+for the sharding refactor (DESIGN.md §12).
 
 Frontends
 ---------
@@ -95,6 +147,7 @@ from collections import defaultdict
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SUPPRESS_PATH = os.path.join(REPO_ROOT, "scripts", "analyze_suppress.json")
 BASELINE_PATH = os.path.join(REPO_ROOT, "scripts", "analyze_baseline.json")
+SHARDMAP_PATH = os.path.join(REPO_ROOT, "scripts", "analyze_shardmap.json")
 FIXTURE_DIR = os.path.join(REPO_ROOT, "scripts", "analyze_fixtures")
 
 # --------------------------------------------------------------------------
@@ -117,6 +170,14 @@ class ClassInfo:
         # (name, line, guarded, exempt_reason) for ratchet-relevant fields.
         self.fields = []
         self.methods = set()
+        # field name -> mutex FIELD name from EDADB_GUARDED_BY(mu).
+        self.guarded = {}
+        # field name -> declaration line for std::atomic members.
+        self.atomics = {}
+        # True if the class declares a raw std::mutex member (allowed
+        # only in the checker's own plumbing; used for singleton
+        # classification, not the ratchet).
+        self.has_raw_mutex = False
 
 
 class CallSite:
@@ -150,6 +211,54 @@ class ClockUse:
         self.terms = terms  # sorted tuple of offending term names
 
 
+class AtomicOp:
+    """One std::atomic / std::atomic_ref operation site."""
+
+    __slots__ = ("var", "op", "order", "explicit_order", "used", "file",
+                 "line")
+
+    def __init__(self, var, op, order, explicit_order, used, file, line):
+        self.var = var  # resolved key: "Class::field", "::g_x", "qual::x"
+        self.op = op  # "load" | "store" | "rmw" | "cas" | "exchange"
+        self.order = order  # relaxed|consume|acquire|release|acq_rel|seq_cst
+        self.explicit_order = explicit_order  # False when defaulted
+        self.used = used  # result feeds further logic
+        self.file = file
+        self.line = line
+
+
+class EscapeUse:
+    """A guarded field's storage escaping its critical section."""
+
+    __slots__ = ("cls", "field", "kind", "line", "detail")
+
+    def __init__(self, cls, field, kind, line, detail):
+        self.cls = cls
+        self.field = field
+        self.kind = kind  # "return-ref" | "member-store" | "lambda"
+        self.line = line
+        self.detail = detail
+
+
+class GlobalInfo:
+    """A namespace-scope global or function-static local."""
+
+    __slots__ = ("key", "file", "line", "type", "kind", "pointee", "scope")
+
+    def __init__(self, key, file, line, type_text, kind, pointee=None,
+                 scope=None):
+        self.key = key  # "::name" or "Enclosing::name" for static locals
+        self.file = file
+        self.line = line
+        self.type = type_text
+        # plain | atomic | const | mutex | thread-local | singleton
+        # ("singleton" = static T* x = new T; classified clean/dirty once
+        # every class is known).
+        self.kind = kind
+        self.pointee = pointee  # class name for singleton pointers
+        self.scope = scope  # enclosing function qual for static locals
+
+
 class FunctionInfo:
     def __init__(self, qual, cls, file, line):
         self.qual = qual  # "Class::Method" or free-function name
@@ -162,12 +271,18 @@ class FunctionInfo:
         self.calls = []  # CallSite
         self.blocks = []  # BlockOp
         self.clock_uses = []  # ClockUse
+        self.atomic_ops = []  # AtomicOp
+        self.escapes = []  # EscapeUse
+        self.field_uses = set()  # names of own-class fields touched
+        self.returns_ref = False  # declared return type is T& / T*
+        self.statics = {}  # static-local name -> GlobalInfo key
 
 
 class Model:
     def __init__(self):
         self.classes = {}  # name -> ClassInfo
         self.functions = {}  # qual -> FunctionInfo
+        self.globals = {}  # key -> GlobalInfo
 
     def get_class(self, name, file, line):
         if name not in self.classes:
@@ -292,6 +407,53 @@ GUARD_ANNOT_RE = re.compile(r"EDADB_(?:PT_)?GUARDED_BY\s*\(\s*(\w+)\s*\)")
 ASSIGN_RE = re.compile(r"(?:^|[(,;]|\b)\s*(?:(?:const|auto|int64_t|"
                        r"TimestampMicros)\s+)*([A-Za-z_]\w*)\s*=[^=]")
 
+# std::atomic operation sites. ATOMIC_REF_RE rewrites an atomic_ref
+# view back to its underlying object so `std::atomic_ref<u64>(x[i])
+# .load(...)` audits as an op on `x`.
+ATOMIC_REF_RE = re.compile(
+    r"std\s*::\s*atomic_ref\s*<[^<>]*>\s*\(\s*\*?\s*"
+    r"([A-Za-z_]\w*)\s*(?:\[[^\[\]]*\])?\s*\)")
+ATOMIC_OP_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:\[[^\[\]]*\])?\s*(?:::|\.|->)\s*)*"
+    r"[A-Za-z_]\w*)\s*(?:\[[^\[\]]*\])?\s*(?:\.|->)\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+MEM_ORDER_RE = re.compile(r"memory_order_(relaxed|consume|acquire|release|"
+                          r"acq_rel|seq_cst)")
+ATOMIC_DECL_RE = re.compile(r"std\s*::\s*atomic\s*<")
+# Files whose atomics are on the event hot path: a defaulted seq_cst
+# there is either an unnecessary full fence or an undocumented
+# dependency on one. (analyze_fixtures/atomic_hot seeds the self-test.)
+HOT_PATH_PREFIXES = ("src/storage/wal", "src/mq/queue_manager",
+                     "src/pubsub/event_ring", "src/common/metrics",
+                     "scripts/analyze_fixtures/atomic_hot")
+
+# Namespace-scope / static-local declarations for the shared-state
+# inventory.
+GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:extern\s+)?(static\s+)?(thread_local\s+)?(static\s+)?"
+    r"(?:inline\s+)?(constexpr\s+|const\s+)?"
+    r"([\w:<>,*&\s]+?)\s*[*&]*\s*([A-Za-z_]\w*)\s*(?:=\s*(.*)|\{.*)?$")
+SINGLETON_INIT_RE = re.compile(r"new\s+([A-Za-z_]\w*)\s*[({]?")
+GLOBAL_SKIP_RE = re.compile(
+    r"^\s*(?:using|typedef|namespace|class|struct|enum|template|friend|"
+    r"return|delete|throw|if|for|while|switch|extern\s*\"\")\b")
+
+# Lambda introducer closing a scope-opening header, plus the context it
+# appears in (assignment target / enclosing call).
+LAMBDA_TAIL_RE = re.compile(
+    r"\[([^\[\]]*)\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?"
+    r"(?:noexcept\b\s*)?(?:->\s*[\w:<>&*\s]+)?$")
+LAMBDA_ASSIGN_RE = re.compile(r"([A-Za-z_]\w*)\s*=\s*$")
+LAMBDA_CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\([^()]*$")
+# Callee names that suggest the lambda outlives the statement (stored,
+# scheduled, or run on another thread).
+DEFERRED_CALLEE_RE = re.compile(
+    r"Register|Subscribe|Callback|Collector|Post|Spawn|Defer|Schedule|"
+    r"Start|[Tt]hread|async|Bind|Listener|OnCommit|Enqueue|emplace|"
+    r"push_back")
+ESCAPE_ITER_RE_TMPL = r"\b%s\s*\.\s*(begin|end|data|c_str|rbegin|rend)\s*\("
+
 
 # --------------------------------------------------------------------------
 # Builtin frontend: structural scanner
@@ -299,7 +461,8 @@ ASSIGN_RE = re.compile(r"(?:^|[(,;]|\b)\s*(?:(?:const|auto|int64_t|"
 
 
 class Scope:
-    __slots__ = ("kind", "name", "loop", "acqs", "saved_paren")
+    __slots__ = ("kind", "name", "loop", "acqs", "saved_paren",
+                 "lambda_ctx", "pend_len")
 
     def __init__(self, kind, name=None, loop=False):
         self.kind = kind  # namespace|class|function|block|braceinit
@@ -307,12 +470,42 @@ class Scope:
         self.loop = loop
         self.acqs = []  # lock names acquired in this scope (RAII)
         self.saved_paren = 0  # paren depth of the enclosing scope
+        # ("member"|"deferred", detail) when this block is the body of a
+        # by-ref/this-capturing lambda that outlives its statement.
+        self.lambda_ctx = None
+        # Pending-text length at braceinit open, so the init body can be
+        # replaced by a plain `=0` on close and the declaration parses.
+        self.pend_len = 0
+
+
+ORDER_RANK = {"relaxed": 0, "consume": 1, "acquire": 2, "release": 2,
+              "acq_rel": 3, "seq_cst": 4}
+
+
+def call_args(text, open_idx):
+    """Text inside the parens whose '(' sits at text[open_idx]."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1:i]
+    return text[open_idx + 1:]
 
 
 FUNC_TAIL_RE = re.compile(
     r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+)*\s*"
     r"(?::(?!:).*)?$", re.S)
 FUNC_NAME_RE = re.compile(r"(?:([A-Za-z_]\w*)\s*::\s*)?(~?[A-Za-z_]\w*)\s*\(")
+# operator=/==/()/[]/etc: the symbol breaks FUNC_NAME_RE, and a missed
+# function header would let the body parse at namespace scope (where
+# assignments look like global declarations to the inventory).
+OPERATOR_FUNC_RE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*::\s*)?(operator\s*(?:\(\s*\)|\[\s*\]|"
+    r"[^\s\w(]{1,3}))\s*\(")
 CLASS_HEAD_RE = re.compile(
     r"\b(?:class|struct)\s+(?:EDADB_\w+\s*(?:\([^)]*\)\s*)?)?([A-Za-z_]\w*)"
     r"[^;()]*$")
@@ -438,12 +631,185 @@ def builtin_parse_file(model, path, rel, phase="both"):
             return info.mutexes[field]
         return None
 
+    def lambda_ctx():
+        """Innermost stored/deferred lambda context, if any, without
+        crossing a function boundary."""
+        for sc in reversed(stack):
+            if sc.kind == "function":
+                return None
+            if sc.kind == "block" and sc.lambda_ctx is not None:
+                return sc.lambda_ctx
+        return None
+
+    def detect_lambda_ctx(header):
+        """Classifies the lambda whose body this block header opens:
+        capture list + where the closure goes. Only by-ref / this /
+        default captures that are stored into a member or handed to a
+        deferred-sounding callee count as escape contexts."""
+        lam = LAMBDA_TAIL_RE.search(header)
+        if lam is None or "[" not in header:
+            return None
+        caps = lam.group(1)
+        if not ("&" in caps or "this" in caps or "=" in caps):
+            return None
+        pre2 = header[:lam.start()]
+        am = LAMBDA_ASSIGN_RE.search(pre2)
+        f = enclosing_func()
+        owner = model.classes.get(f.cls) if f is not None and f.cls else None
+        if am is not None:
+            lhs = am.group(1)
+            if owner is not None and (lhs in owner.field_types or
+                                      any(lhs == fn for fn, _l, _g, _e
+                                          in owner.fields)):
+                return ("member", lhs)
+            return None
+        cm = LAMBDA_CALL_RE.search(pre2)
+        if cm is not None and DEFERRED_CALLEE_RE.search(cm.group(1)):
+            return ("deferred", cm.group(1))
+        return None
+
+    def resolve_atomic_var(base, f):
+        """Stable identity for an atomic operand: own-class field,
+        unique field of another class, static local, global, else a
+        function-local key."""
+        cls_name = f.cls or current_class()
+        info = model.classes.get(cls_name) if cls_name else None
+        if info is not None and (base in info.atomics or
+                                 base in info.field_types or
+                                 any(base == fn for fn, _l, _g, _e
+                                     in info.fields)):
+            return f"{cls_name}::{base}"
+        if base in f.statics:
+            return f.statics[base]
+        if "::" + base in model.globals:
+            return "::" + base
+        owners = [c.name for c in model.classes.values()
+                  if base in c.atomics]
+        if len(owners) == 1:
+            return f"{owners[0]}::{base}"
+        return f"{f.qual}::{base}"
+
+    def atomic_stmt(stmt, line, f):
+        """Records every atomic operation site with its ordering."""
+        rewritten = ATOMIC_REF_RE.sub(r"\1", stmt)
+        for m in ATOMIC_OP_RE.finditer(rewritten):
+            recv, op_name = m.group(1), m.group(2)
+            base = re.split(r"::|\.|->", recv)[-1].strip()
+            if not base:
+                continue
+            args = call_args(rewritten, m.end() - 1)
+            orders = MEM_ORDER_RE.findall(args)
+            if not orders and "memory_order" in args:
+                continue  # e.g. a shim forwarding an order parameter
+            # compare_exchange may carry success+failure orders; the
+            # WEAKEST one mentioned is the hazard side.
+            order = (min(orders, key=lambda o: ORDER_RANK[o])
+                     if orders else "seq_cst")
+            kind = ("load" if op_name == "load" else
+                    "store" if op_name == "store" else
+                    "cas" if op_name.startswith("compare_exchange") else
+                    "exchange" if op_name == "exchange" else "rmw")
+            pre = rewritten[:m.start()].rstrip()
+            used = not (pre == "" or pre.endswith((";", "{", "}")))
+            var = resolve_atomic_var(base, f)
+            f.atomic_ops.append(AtomicOp(var, kind, order, bool(orders),
+                                         used, pending_rel[0], line))
+
+    def parse_global_stmt(stmt, line, scope_qual=None):
+        """Registers a namespace-scope global or (scope_qual set) a
+        function-static local in the shared-state inventory."""
+        s = stmt.strip()
+        if not s or GLOBAL_SKIP_RE.match(s):
+            return
+        if s.startswith("extern") and "=" not in s:
+            return  # declaration; the defining TU registers it
+        m = GLOBAL_DECL_RE.match(s)
+        if m is None and ATOMIC_DECL_RE.search(s):
+            # Paren-initialized atomic: `static std::atomic<bool> f(x);`
+            m = re.match(
+                r"^\s*(static\s+)?(thread_local\s+)?(static\s+)?"
+                r"(constexpr\s+|const\s+)?([\w:<>,*&\s]+?)\s+"
+                r"([A-Za-z_]\w*)\s*\(.*\)\s*$", s)
+        if m is None:
+            return
+        name = m.group(6)
+        ttext = ((m.group(4) or "") + m.group(5)).strip()
+        if not ttext or name in CPP_KEYWORDS:
+            return
+        if scope_qual is None and "(" in s and \
+                not ATOMIC_DECL_RE.search(s) and m.group(7) is None:
+            return  # namespace-scope function declaration, not a variable
+        init = s[m.end(6):]
+        thread_local = m.group(2) is not None
+        key = (scope_qual + "::" + name) if scope_qual else "::" + name
+        if thread_local:
+            kind, pointee = "thread-local", None
+        elif ATOMIC_DECL_RE.search(ttext):
+            kind, pointee = "atomic", None
+        elif re.search(r"\b(?:Recursive)?Mutex\b|\bstd\s*::\s*"
+                       r"(?:recursive_)?mutex\b", ttext):
+            kind, pointee = "mutex", None
+        elif re.search(r"[*&]\s*const$", ttext) or (
+                re.match(r"^(?:constexpr|const)\b", ttext) and
+                "*" not in ttext):
+            kind, pointee = "const", None
+        else:
+            sm = SINGLETON_INIT_RE.search(init)
+            if sm is not None and "*" in ttext:
+                kind, pointee = "singleton", sm.group(1)
+            else:
+                kind, pointee = "plain", None
+        model.globals.setdefault(key, GlobalInfo(
+            key, pending_rel[0], line, ttext, kind, pointee, scope_qual))
+        return key
+
+    def guarded_stmt_facts(stmt, line, f):
+        """Field-touch inventory plus guarded-field escape detection."""
+        info = model.classes.get(f.cls) if f.cls else None
+        if info is None:
+            return
+        field_names = {fn for fn, _l, _g, _e in info.fields}
+        field_names |= set(info.field_types) | set(info.mutexes)
+        touched_guarded = []
+        for m in re.finditer(r"[A-Za-z_]\w*", stmt):
+            w = m.group(0)
+            if w in field_names:
+                f.field_uses.add(w)
+                if w in info.guarded and w not in touched_guarded:
+                    touched_guarded.append(w)
+        if not touched_guarded:
+            return
+        s = " ".join(stmt.split())
+        ctx = lambda_ctx()
+        for g in touched_guarded:
+            addr_of = re.search(r"&\s*(?:this\s*->\s*)?%s\b" % g, s)
+            iter_of = re.search(ESCAPE_ITER_RE_TMPL % g, s)
+            if s.startswith("return"):
+                if addr_of or iter_of:
+                    f.escapes.append(EscapeUse(f.cls, g, "return-ref",
+                                               line, s[:100]))
+                elif f.returns_ref and re.search(
+                        r"return\s+(?:this\s*->\s*)?%s\s*(?:;|$|\[)" % g, s):
+                    f.escapes.append(EscapeUse(f.cls, g, "return-ref",
+                                               line, s[:100]))
+            else:
+                am = re.match(r"^(?:this\s*->\s*)?([A-Za-z_]\w*)\s*=[^=]", s)
+                if am is not None and am.group(1) != g and \
+                        am.group(1) in field_names and (addr_of or iter_of):
+                    f.escapes.append(EscapeUse(f.cls, g, "member-store",
+                                               line, s[:100]))
+            if ctx is not None:
+                f.escapes.append(EscapeUse(
+                    f.cls, g, "lambda", line,
+                    f"{ctx[0]} {ctx[1]}: {s[:80]}"))
+
     def class_member_stmt(stmt, line, raw_line):
         """A `;`-terminated declaration at class depth: field or method."""
         cls = model.classes.get(current_class())
         if cls is None:
             return
-        guarded = GUARD_ANNOT_RE.search(stmt) is not None
+        gm = GUARD_ANNOT_RE.search(stmt)
+        guarded = gm is not None
         clean = GUARD_ANNOT_RE.sub(" ", stmt)
         clean = re.sub(r"EDADB_\w+(\s*\([^)]*\))?", " ", clean).strip()
         if not clean:
@@ -472,29 +838,44 @@ def builtin_parse_file(model, path, rel, phase="both"):
         ftype, fname = dm.group(1).strip(), dm.group(2)
         if not ftype or not fname:
             return
+        if re.search(r"\bstd\s*::\s*(?:recursive_)?mutex\b", ftype):
+            cls.has_raw_mutex = True
         exempt = None
         if "CondVar" in ftype:
             exempt = "condvar"
-        elif "std::atomic" in ftype:
+        elif ATOMIC_DECL_RE.search(ftype):
+            # Exempt from the ANNOTATION ratchet only; every atomic is
+            # classified by check_atomic_ordering and inventoried in the
+            # shard map (no blanket analysis exemption).
             exempt = "atomic"
-        elif re.match(r"^(?:mutable\s+)?const\b", ftype):
+            cls.atomics[fname] = line
+        elif re.search(r"[*&]\s*const$", ftype):
+            exempt = "const"  # T* const: never reseated.
+        elif re.match(r"^(?:mutable\s+)?const\b", ftype) and \
+                "*" not in ftype:
+            # `const T` is immutable; `const T*` is a RESEATABLE pointer
+            # to const and stays in the ratchet.
             exempt = "const"
+        if guarded:
+            cls.guarded[fname] = gm.group(1)
         cls.fields.append((fname, line, guarded, exempt))
 
     def start_function(header, line):
         header = re.sub(r"EDADB_\w+(\s*\([^)]*\))?", " ", header)
-        fm = None
-        for m in FUNC_NAME_RE.finditer(header):
-            if m.group(2) in CPP_KEYWORDS:
-                continue
-            fm = m
-            break
+        fm = OPERATOR_FUNC_RE.search(header)
+        if fm is None:
+            for m in FUNC_NAME_RE.finditer(header):
+                if m.group(2) in CPP_KEYWORDS:
+                    continue
+                fm = m
+                break
         if fm is None:
             return None
         cls = fm.group(1) or current_class()
-        name = fm.group(2)
+        name = re.sub(r"\s+", "", fm.group(2))
         qual = f"{cls}::{name}" if cls else name
         f = FunctionInfo(qual, cls, pending_rel[0], line)
+        f.returns_ref = header[:fm.start()].rstrip().endswith(("&", "*"))
         sig = header[fm.end():]
         for pm in PARAM_RE.finditer(sig):
             f.params[pm.group(2)] = pm.group(1)
@@ -508,13 +889,20 @@ def builtin_parse_file(model, path, rel, phase="both"):
     def process_stmt(stmt, line, raw_line):
         f = enclosing_func()
         if f is None:
-            if current_class() is not None and phase != "facts":
-                class_member_stmt(stmt, line, raw_line)
+            if current_class() is not None:
+                if phase != "facts":
+                    class_member_stmt(stmt, line, raw_line)
+            elif phase != "facts":
+                parse_global_stmt(stmt, line)
             return
         if phase == "decls":
             return
         if not stmt.strip():
             return
+        if re.match(r"^\s*static\b", stmt):
+            key = parse_global_stmt(stmt, line, scope_qual=f.qual)
+            if key is not None:
+                f.statics[key.rsplit("::", 1)[-1]] = key
         for m in PARAM_RE.finditer(stmt):
             state["locals"].setdefault(m.group(2), m.group(1))
 
@@ -569,6 +957,8 @@ def builtin_parse_file(model, path, rel, phase="both"):
                 continue
             f.calls.append(CallSite(recv, op, name, line, held))
 
+        atomic_stmt(stmt, line, f)
+        guarded_stmt_facts(stmt, line, f)
         fe._clock_stmt(stmt, line, state["taint"], f)
 
     pending_rel = [rel]
@@ -624,14 +1014,31 @@ def builtin_parse_file(model, path, rel, phase="both"):
                         header.endswith("do")
                     # Lambdas / plain blocks just nest.
                     sc = Scope("block", loop=loop)
+                    sc.lambda_ctx = detect_lambda_ctx(header)
+                    # Control-flow headers never reach process_stmt (no
+                    # terminating ';'), but their conditions carry
+                    # atomic ops (`while (running_.load(...))`) and
+                    # field touches the audit must see.
+                    if phase != "decls" and header:
+                        atomic_stmt(header, start, enclosing_func())
+                        guarded_stmt_facts(header, start, enclosing_func())
                 elif current_class() is not None and header:
                     # Brace-initialized member (`Mutex mu_{"..."};`): keep
                     # the declaration text alive until its semicolon.
+                    sc = Scope("braceinit")
+                elif header and re.search(
+                        r"[\w>]\s+[A-Za-z_]\w*(?:\s*\[[^\]]*\])?"
+                        r"\s*=?\s*$", header):
+                    # Brace-initialized namespace-scope variable
+                    # (`std::atomic<int> g_x{0};`): same treatment, so
+                    # the global registers with its full declaration.
                     sc = Scope("braceinit")
                 else:
                     sc = Scope("block")
                 if sc.kind != "braceinit":
                     clear_pending()
+                else:
+                    sc.pend_len = len(pending)
                 sc.saved_paren = paren[0]
                 paren[0] = 0
                 stack.append(sc)
@@ -639,7 +1046,12 @@ def builtin_parse_file(model, path, rel, phase="both"):
                 continue
             if c == "}":
                 if stack and stack[-1].kind == "braceinit":
-                    paren[0] = stack.pop().saved_paren
+                    sc = stack.pop()
+                    paren[0] = sc.saved_paren
+                    # Replace the brace-init body with `=0` so the
+                    # declaration parses as `T name = 0;` downstream.
+                    del pending[sc.pend_len:]
+                    pending.append("=0")
                     i += 1
                     continue
                 if stack:
@@ -736,10 +1148,11 @@ class ClangFrontend:
                   file=sys.stderr)
             return
         self._walk_top(ast, rel)
-        # Clock-domain taint stays textual even in clang mode: the typed
-        # layer is compiler-enforced, and the raw-integer heuristics are
-        # textual by nature. Reuse the builtin scanner for that file.
-        builtin_parse_clock_only(self.model, src, rel)
+        # Clock taint, atomic orderings, escapes and the global
+        # inventory stay textual even in clang mode: macro annotations
+        # and memory_order arguments read clearer from source, and the
+        # heuristics are textual by nature. Reuse the builtin scanner.
+        builtin_textual_facts(self.model, src, rel)
 
     # -- helpers -----------------------------------------------------------
 
@@ -898,17 +1311,37 @@ class ClangFrontend:
         return None
 
 
-def builtin_parse_clock_only(model, path, rel):
-    """Runs only the clock-domain part of the builtin scanner (used by
-    the clang frontend, which handles everything else from the AST)."""
+def builtin_textual_facts(model, path, rel):
+    """Merges the textual-by-nature facts from the builtin scanner into a
+    clang-frontend model: clock-domain taint, atomic-ordering sites,
+    guarded-field escapes/touches, the global/static inventory, and the
+    guarded/atomic field maps (the JSON AST drops macro annotations and
+    memory_order arguments are clearer read from source). The clang
+    frontend handles calls/locks/waits from the AST."""
     sub = Model()
     builtin_parse_file(sub, path, rel)
     for qual, f in sub.functions.items():
-        if not f.clock_uses:
+        if not (f.clock_uses or f.atomic_ops or f.escapes or f.field_uses
+                or f.statics):
             continue
         tgt = model.functions.setdefault(qual, FunctionInfo(
             qual, f.cls, f.file, f.line))
         tgt.clock_uses.extend(f.clock_uses)
+        tgt.atomic_ops.extend(f.atomic_ops)
+        tgt.escapes.extend(f.escapes)
+        tgt.field_uses |= f.field_uses
+        tgt.returns_ref = tgt.returns_ref or f.returns_ref
+        tgt.statics.update(f.statics)
+    for key, g in sub.globals.items():
+        model.globals.setdefault(key, g)
+    for name, c in sub.classes.items():
+        tgt = model.classes.get(name)
+        if tgt is None:
+            continue
+        tgt.guarded.update(c.guarded)
+        for fn, ln in c.atomics.items():
+            tgt.atomics.setdefault(fn, ln)
+        tgt.has_raw_mutex = tgt.has_raw_mutex or c.has_raw_mutex
 
 
 # --------------------------------------------------------------------------
@@ -1140,6 +1573,156 @@ class Analyzer:
                     f"EDADB_GUARDED_BY annotation"))
         return findings
 
+    def atomic_sites(self):
+        """var key -> sorted [AtomicOp] across every function."""
+        by_var = defaultdict(list)
+        for qual in sorted(self.model.functions):
+            for op in self.model.functions[qual].atomic_ops:
+                by_var[op.var].append(op)
+        for ops in by_var.values():
+            ops.sort(key=lambda o: (o.file, o.line, o.op))
+        return by_var
+
+    @staticmethod
+    def _sites_evidence(ops, limit=6):
+        ev = []
+        for o in ops[:limit]:
+            mark = "" if o.explicit_order else " (defaulted)"
+            ev.append(f"{o.file}:{o.line}: {o.op} {o.order}{mark}")
+        if len(ops) > limit:
+            ev.append(f"... {len(ops) - limit} more site(s)")
+        return ev
+
+    def check_atomic_ordering(self):
+        findings = []
+        for var, ops in sorted(self.atomic_sites().items()):
+            # (a) relaxed RMW used for synchronization: any relaxed
+            # CAS/exchange, or a relaxed fetch_* whose result feeds
+            # further logic (pure counter bumps discard it).
+            bad_rmw = [o for o in ops if o.order == "relaxed" and
+                       (o.op in ("cas", "exchange") or
+                        (o.op == "rmw" and o.used))]
+            if bad_rmw:
+                o = bad_rmw[0]
+                findings.append(Finding(
+                    "atomic-ordering", f"{var}|relaxed-rmw", o.file, o.line,
+                    f"{var}: relaxed {o.op} with the result used for "
+                    f"synchronization-shaped logic (relaxed only orders "
+                    f"this variable, nothing it publishes)",
+                    self._sites_evidence(bad_rmw)))
+            # (b) mixed orderings without an acquire/release pairing:
+            # a release-or-stronger write is unobservable through a
+            # relaxed load of the same variable (and vice versa).
+            strong_write = [o for o in ops
+                            if o.op in ("store", "rmw", "cas", "exchange")
+                            and ORDER_RANK[o.order] >= 2]
+            relaxed_load = [o for o in ops
+                            if o.op in ("load", "rmw", "cas", "exchange")
+                            and o.order == "relaxed"]
+            strong_read = [o for o in ops
+                           if o.op in ("load", "rmw", "cas", "exchange")
+                           and ORDER_RANK[o.order] >= 2]
+            relaxed_store = [o for o in ops
+                             if o.op in ("store", "rmw", "cas", "exchange")
+                             and o.order == "relaxed"]
+            mixed = ((strong_write and relaxed_load) or
+                     (strong_read and relaxed_store))
+            if mixed:
+                sites = sorted(set(strong_write + relaxed_load +
+                                   strong_read + relaxed_store),
+                               key=lambda o: (o.file, o.line, o.op))
+                o = sites[0]
+                findings.append(Finding(
+                    "atomic-ordering", f"{var}|mixed-ordering", o.file,
+                    o.line,
+                    f"{var}: release/acquire sites mixed with relaxed "
+                    f"sites on the same variable -- the strong side's "
+                    f"ordering is invisible through the relaxed side",
+                    self._sites_evidence(sites)))
+            # (c) defaulted seq_cst on a hot-path file.
+            hot = [o for o in ops if not o.explicit_order and
+                   o.file.startswith(HOT_PATH_PREFIXES)]
+            if hot:
+                o = hot[0]
+                findings.append(Finding(
+                    "atomic-ordering", f"{var}|seq-cst-hot", o.file, o.line,
+                    f"{var}: defaulted seq_cst on a hot-path file -- "
+                    f"either an unnecessary full fence or an undocumented "
+                    f"dependency on one; state the ordering explicitly",
+                    self._sites_evidence(hot)))
+        return findings
+
+    def _singleton_clean(self, pointee):
+        """A static T (or static T* = new T) singleton is clean when T
+        serializes its own state (owns a named or raw mutex) or holds
+        none (stateless / all-atomic)."""
+        info = self.model.classes.get(pointee) if pointee else None
+        if info is None:
+            return False  # cannot prove anything about the pointee
+        if info.mutexes or info.has_raw_mutex:
+            return True
+        mutable_fields = [fn for fn, _l, _g2, ex in info.fields
+                          if ex not in ("const", "atomic", "condvar")]
+        return not mutable_fields
+
+    def effective_global(self, g):
+        """(kind, pointee) after value-singleton promotion: a `static T
+        instance;` of a known class is a singleton OBJECT -- judged by
+        T's own locking, not flagged as a plain mutable."""
+        if g.kind != "plain" or "*" in g.type or "&" in g.type:
+            return g.kind, g.pointee
+        for t in reversed(re.findall(r"[A-Za-z_]\w*", g.type)):
+            if t in self.model.classes:
+                return "singleton", t
+        return g.kind, g.pointee
+
+    def check_shared_state(self):
+        findings = []
+        for key in sorted(self.model.globals):
+            g = self.model.globals[key]
+            kind, pointee = self.effective_global(g)
+            if kind == "singleton" and not self._singleton_clean(pointee):
+                what = (f"singleton of {pointee or 'an unknown class'} "
+                        f"which owns no mutex")
+                findings.append(Finding(
+                    "shared-state", key, g.file, g.line,
+                    f"{key}: {what}; every accessor races once this "
+                    f"runs on more than one shard ({g.type})"))
+            elif kind == "plain":
+                what = ("function-static local" if g.scope
+                        else "namespace-scope global")
+                findings.append(Finding(
+                    "shared-state", key, g.file, g.line,
+                    f"{key}: mutable non-atomic {what} ({g.type}) -- "
+                    f"ambient shared state outside every lock domain"))
+        return findings
+
+    ESCAPE_MSG = {
+        "return-ref": "returned by reference/pointer/iterator from a "
+                      "method -- the caller holds storage the lock no "
+                      "longer guards",
+        "member-store": "stored through another member -- aliases the "
+                        "guarded storage outside its critical section",
+        "lambda": "captured by a lambda that outlives the critical "
+                  "section (stored or handed to a deferred callee)",
+    }
+
+    def check_guarded_escape(self):
+        found = {}
+        for qual in sorted(self.model.functions):
+            f = self.model.functions[qual]
+            for e in f.escapes:
+                key = f"{e.cls}::{e.field}|{e.kind}"
+                cand = Finding(
+                    "guarded-escape", key, f.file, e.line,
+                    f"{e.cls}::{e.field} (guarded) {self.ESCAPE_MSG[e.kind]}",
+                    [f"{qual}: {e.detail}"])
+                prev = found.get(key)
+                if prev is None or (cand.file, cand.line) < (prev.file,
+                                                             prev.line):
+                    found[key] = cand
+        return list(found.values())
+
     def run(self):
         findings = []
         findings += self.check_lock_order()
@@ -1147,6 +1730,9 @@ class Analyzer:
         findings += self.check_cv_loops()
         findings += self.check_clock_domain()
         findings += self.check_guarded_by()
+        findings += self.check_atomic_ordering()
+        findings += self.check_shared_state()
+        findings += self.check_guarded_escape()
         findings.sort(key=lambda f: (f.file, f.line, f.check, f.key))
         return findings
 
@@ -1216,6 +1802,113 @@ def write_baseline(findings, suppressions):
         f.write("\n")
     print(f"analyze.py: wrote {len(entries)} baseline entries to "
           f"{os.path.relpath(BASELINE_PATH, REPO_ROOT)}")
+
+
+# --------------------------------------------------------------------------
+# Shard map artifact
+# --------------------------------------------------------------------------
+
+
+def build_shardmap(model, analyzer):
+    """The sharding refactor's planning input: every lock domain, atomic,
+    global/singleton and cross-domain call edge in src/, as one
+    deterministic JSON object (sorted keys, sorted lists, no lines that
+    churn on unrelated edits beyond decl lines)."""
+    def in_src(rel):
+        return rel.startswith("src/")
+
+    domains = []
+    for name in sorted(model.classes):
+        cls = model.classes[name]
+        if not in_src(cls.file) or not (cls.mutexes or cls.atomics):
+            continue
+        touchers = defaultdict(set)  # field -> method names touching it
+        for qual, f in model.functions.items():
+            if f.cls != name:
+                continue
+            method = qual.split("::")[-1]
+            for fld in f.field_uses:
+                touchers[fld].add(method)
+        guarded = {}
+        for fld in sorted(cls.guarded):
+            mu_field = cls.guarded[fld]
+            guarded[fld] = {
+                "mutex": cls.mutexes.get(mu_field, f"{name}::{mu_field}"),
+                "methods": sorted(touchers.get(fld, ())),
+            }
+        unguarded = sorted(
+            fn for fn, _l, g, ex in cls.fields
+            if not g and ex is None and fn not in cls.mutexes)
+        domains.append({
+            "class": name,
+            "file": cls.file,
+            "mutexes": sorted(set(cls.mutexes.values())),
+            "raw_mutex": cls.has_raw_mutex,
+            "atomic_fields": sorted(cls.atomics),
+            "guarded_fields": guarded,
+            "unguarded_fields": unguarded,
+        })
+
+    atomics = []
+    for var, ops in sorted(analyzer.atomic_sites().items()):
+        src_ops = [o for o in ops if in_src(o.file)]
+        if not src_ops:
+            continue
+        orderings = sorted({
+            o.op + ":" + o.order + ("" if o.explicit_order else ":defaulted")
+            for o in src_ops})
+        atomics.append({
+            "var": var,
+            "files": sorted({o.file for o in src_ops}),
+            "orderings": orderings,
+            "sites": len(src_ops),
+        })
+
+    globs = []
+    for key in sorted(model.globals):
+        g = model.globals[key]
+        if not in_src(g.file):
+            continue
+        kind, pointee = analyzer.effective_global(g)
+        ent = {"key": key, "kind": kind, "type": g.type, "file": g.file}
+        if pointee:
+            ent["pointee"] = pointee
+        globs.append(ent)
+
+    owners = {n for n, c in model.classes.items()
+              if c.mutexes and in_src(c.file)}
+    edges = {}
+    for qual in sorted(model.functions):
+        f = model.functions[qual]
+        if f.cls not in owners:
+            continue
+        for callee, _line, _held in analyzer.call_graph.get(qual, ()):
+            cf = model.functions.get(callee)
+            if cf is None or not cf.cls or cf.cls == f.cls:
+                continue
+            if cf.cls in owners:
+                edges.setdefault((f.cls, cf.cls), f"{qual} -> {callee}")
+    cross = [{"from": a, "to": b, "via": via}
+             for (a, b), via in sorted(edges.items())]
+
+    return {
+        "comment": "Shared-state shard map over src/ (DESIGN.md section "
+                   "12): lock domains (owner class -> mutexes -> guarded "
+                   "fields -> touching methods), every atomic with its "
+                   "observed orderings, every global/singleton, and "
+                   "cross-domain call edges. Regenerate with scripts/"
+                   "analyze.py --write-shardmap; CI fails on drift.",
+        "schema": "edadb-shardmap-v1",
+        "domains": domains,
+        "atomics": atomics,
+        "globals": globs,
+        "cross_domain_edges": cross,
+    }
+
+
+def shardmap_text(model, analyzer):
+    return json.dumps(build_shardmap(model, analyzer), indent=2,
+                      sort_keys=True) + "\n"
 
 
 # --------------------------------------------------------------------------
@@ -1381,7 +2074,8 @@ def main():
         description=__doc__.split("\n")[0],
         formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("paths", nargs="*",
-                    help="files or directories to analyze (default: src/)")
+                    help="files or directories to analyze (default: src/ "
+                    "bench/ examples/)")
     ap.add_argument("--frontend", choices=("auto", "builtin", "clang"),
                     default="builtin",
                     help="fact extractor (default: builtin -- the pinned "
@@ -1398,18 +2092,31 @@ def main():
                     "only after paying debt down)")
     ap.add_argument("--all", action="store_true",
                     help="print suppressed/baselined findings too")
+    ap.add_argument("--write-shardmap", action="store_true",
+                    help="regenerate scripts/analyze_shardmap.json from "
+                    "the src/ model and exit")
+    ap.add_argument("--check-shardmap", action="store_true",
+                    help="fail if scripts/analyze_shardmap.json drifts "
+                    "from what the current tree regenerates (run by "
+                    "check.sh stage 1b and CI)")
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="findings output: human text (default) or a "
+                    "fingerprint-keyed JSON document (CI artifact)")
     args = ap.parse_args()
 
     if args.self_test:
         return run_self_test(args.frontend)
 
     frontend = pick_frontend(args.frontend)
-    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    paths = args.paths or [os.path.join(REPO_ROOT, d)
+                           for d in ("src", "bench", "examples")
+                           if os.path.isdir(os.path.join(REPO_ROOT, d))]
     model = build_model(frontend, paths, args.compile_commands)
     if model is None:
         return 2
 
-    findings = Analyzer(model).run()
+    analyzer = Analyzer(model)
+    findings = analyzer.run()
 
     try:
         suppressions = load_entries(SUPPRESS_PATH, require_reason=True)
@@ -1422,7 +2129,47 @@ def main():
         write_baseline(findings, suppressions)
         return 0
 
+    if args.write_shardmap:
+        with open(SHARDMAP_PATH, "w", encoding="utf-8") as f:
+            f.write(shardmap_text(model, analyzer))
+        print(f"analyze.py: wrote "
+              f"{os.path.relpath(SHARDMAP_PATH, REPO_ROOT)}")
+        return 0
+
     active, errors = apply_filters(findings, suppressions, baseline)
+
+    if args.check_shardmap:
+        want = shardmap_text(model, analyzer)
+        have = ""
+        if os.path.exists(SHARDMAP_PATH):
+            with open(SHARDMAP_PATH, encoding="utf-8") as f:
+                have = f.read()
+        if want != have:
+            errors.append(
+                "scripts/analyze_shardmap.json is stale -- regenerate "
+                "with scripts/analyze.py --write-shardmap and commit it "
+                "(the shard map may not drift silently)")
+
+    stats = (f"{len(model.classes)} classes, {len(model.functions)} "
+             f"functions, frontend={frontend}")
+
+    if args.format == "json":
+        doc = {
+            "schema": "edadb-analyze-findings-v1",
+            "frontend": frontend,
+            "clean": not (active or errors),
+            "stats": {"classes": len(model.classes),
+                      "functions": len(model.functions)},
+            "findings": {
+                f.fingerprint: {
+                    "check": f.check, "key": f.key, "file": f.file,
+                    "line": f.line, "message": f.message,
+                    "evidence": f.evidence,
+                } for f in active},
+            "errors": errors,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if (active or errors) else 0
 
     if args.all:
         for f in findings:
@@ -1436,8 +2183,6 @@ def main():
     for e in errors:
         print(f"analyze.py: {e}")
 
-    stats = (f"{len(model.classes)} classes, {len(model.functions)} "
-             f"functions, frontend={frontend}")
     if active or errors:
         print(f"analyze.py: {len(active)} finding(s), {len(errors)} "
               f"stale entr(ies). [{stats}]")

@@ -1,0 +1,39 @@
+// Seeded seq-cst-hot violation. This file's path is listed in
+// HOT_PATH_PREFIXES, standing in for wal/queue_manager/event_ring/
+// metrics: a DEFAULTED seq_cst here is either an unnecessary full fence
+// or an undocumented dependency on one.
+//
+// Negative control: spelling std::memory_order_seq_cst out is fine --
+// the check targets the silent default, not the ordering itself.
+#include <atomic>
+#include <cstdint>
+
+#include "support.h"
+
+namespace fx {
+
+// Positive: defaulted ordering on a hot path.
+class HotDepthGauge {
+ public:
+  void Bump() {
+    depth_.fetch_add(1);  // expect-analyze: atomic-ordering
+  }
+  uint64_t Depth() const { return depth_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> depth_{0};
+};
+
+// Negative: the same fence, stated explicitly.
+class HotExplicitFlag {
+ public:
+  void Raise() { hot_flag_.store(true, std::memory_order_seq_cst); }
+  bool Raised() const {
+    return hot_flag_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<bool> hot_flag_{false};
+};
+
+}  // namespace fx

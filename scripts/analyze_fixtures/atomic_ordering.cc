@@ -1,0 +1,81 @@
+// Seeded atomic-ordering violations: relaxed RMWs used for
+// synchronization and mixed orderings on one variable.
+//
+// Negative controls: a pure relaxed counter (result discarded) and a
+// properly paired release/acquire flag must stay silent.
+#include <atomic>
+#include <cstdint>
+
+#include "support.h"
+
+namespace fx {
+
+// Positive: a relaxed CAS is synchronization-shaped by construction --
+// whoever wins believes it owns something, but relaxed publishes none
+// of the state the ownership protects.
+class RelaxedGate {
+ public:
+  bool TryAcquire() {
+    int expected = 0;
+    return gate_.compare_exchange_strong(  // expect-analyze: atomic-ordering
+        expected, 1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> gate_{0};
+};
+
+// Positive: a relaxed fetch_add whose RESULT feeds further logic (here:
+// returned to the caller) is not a counter bump.
+class TicketDrum {
+ public:
+  uint64_t Draw() {
+    return tickets_.fetch_add(1, std::memory_order_relaxed);  // expect-analyze: atomic-ordering
+  }
+
+ private:
+  std::atomic<uint64_t> tickets_{0};
+};
+
+// Positive: release store paired with a relaxed load -- the release is
+// unobservable through the relaxed side.
+class MixedFlag {
+ public:
+  void Publish() {
+    payload_ = 42;
+    mixed_ready_.store(true, std::memory_order_release);  // expect-analyze: atomic-ordering
+  }
+  bool Poll() const {
+    return mixed_ready_.load(std::memory_order_relaxed);
+  }
+  int payload() const { return payload_; }
+
+ private:
+  std::atomic<bool> mixed_ready_{false};
+  int payload_ = 0;
+};
+
+// Negative: pure counter -- relaxed RMW with the result discarded, and
+// every site relaxed (nothing to pair with).
+class HitCounter {
+ public:
+  void Hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t Total() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+};
+
+// Negative: the textbook pairing -- release store, acquire load.
+class PairedFlag {
+ public:
+  void Publish() { paired_ready_.store(true, std::memory_order_release); }
+  bool Ready() const {
+    return paired_ready_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> paired_ready_{false};
+};
+
+}  // namespace fx

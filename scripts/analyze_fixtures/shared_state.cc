@@ -1,0 +1,62 @@
+// Seeded shared-state inventory violations: ambient mutable state that
+// no lock domain owns and no shard split can carry over.
+//
+// Negative controls: const/constexpr, thread_local, atomics, named
+// mutexes, and singletons whose class locks for itself must stay
+// silent.
+#include <atomic>
+#include <cstdint>
+
+#include "support.h"
+
+namespace fx {
+
+// Positive: a namespace-scope mutable, non-atomic global.
+int g_mutable_counter = 0;  // expect-analyze: shared-state
+
+// Positive: a function-static mutable local -- same hazard, only better
+// hidden.
+int64_t NextFixtureToken() {
+  static int64_t token = 0;  // expect-analyze: shared-state
+  return ++token;
+}
+
+// Negatives: immutable, per-thread, self-synchronizing, or the lock
+// itself.
+const int kFixtureConstGlobal = 8;
+constexpr int kFixtureConstexprGlobal = 9;
+thread_local int t_fixture_scratch = 0;
+std::atomic<int> g_fixture_atomic{0};
+Mutex g_fixture_mu{"fx::g_fixture_mu"};
+
+// Negative: singleton of a class that serializes its own state.
+class LockedBox {
+ public:
+  void Put(int v) {
+    MutexLock l(&box_mu_);
+    last_ = v;
+  }
+
+ private:
+  Mutex box_mu_{"LockedBox::box_mu_"};
+  int last_ EDADB_GUARDED_BY(box_mu_) = 0;
+};
+
+LockedBox* SharedLockedBox() {
+  static LockedBox* box = new LockedBox();
+  return box;
+}
+
+// Positive: singleton of a lockless mutable class -- every accessor
+// races once more than one shard runs.
+class BareBag {
+ public:
+  int n = 0;
+};
+
+BareBag* SharedBareBag() {
+  static BareBag* bag = new BareBag();  // expect-analyze: shared-state
+  return bag;
+}
+
+}  // namespace fx

@@ -20,7 +20,7 @@ Rules (scope in parentheses):
                                  outside storage/file.cc, so failpoint
                                  coverage and durability reasoning stay
                                  centralized.
-  void-status-discard (src/, tests/)
+  void-status-discard (everywhere)
                                  `(void)call(...)` / `static_cast<void>(
                                  call(...))`. A dropped Status must use
                                  EDADB_IGNORE_STATUS(s, "reason"); a
@@ -337,14 +337,17 @@ def run_self_test():
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("paths", nargs="*", help="files or dirs (default: src tests)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or dirs (default: src tests bench examples)")
     ap.add_argument("--self-test", action="store_true",
                     help="lint the seeded violation fixtures and verify "
                     "every rule fires exactly where expected")
     args = ap.parse_args()
     if args.self_test:
         return run_self_test()
-    paths = args.paths or [os.path.join(REPO_ROOT, d) for d in ("src", "tests")]
+    paths = args.paths or [os.path.join(REPO_ROOT, d)
+                           for d in ("src", "tests", "bench", "examples")
+                           if os.path.isdir(os.path.join(REPO_ROOT, d))]
     return run_lint(paths)
 
 

@@ -50,8 +50,8 @@ class MetricsTable {
     metrics::MetricSnapshot last;
   };
 
-  Database* db_;
-  metrics::Registry* registry_;
+  Database* const db_;
+  metrics::Registry* const registry_;
   mutable Mutex mu_{"MetricsTable::mu_"};
   std::map<std::string, CachedRow> rows_ EDADB_GUARDED_BY(mu_);
 };

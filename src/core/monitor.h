@@ -42,9 +42,9 @@ class ExpectationMonitor {
   uint64_t alerts_raised() const;
 
  private:
-  ModelFactory factory_;
-  DeviationDetector::Options detector_options_;
-  AlertCallback on_alert_;
+  const ModelFactory factory_;
+  const DeviationDetector::Options detector_options_;
+  const AlertCallback on_alert_;
   mutable Mutex mu_{"ExpectationMonitor::mu_"};
   std::map<std::string, std::unique_ptr<DeviationDetector>> detectors_
       EDADB_GUARDED_BY(mu_);

@@ -66,7 +66,7 @@ class ResponderRegistry {
                                             const ResponseCriteria& criteria);
 
  private:
-  QueueManager* queues_;
+  QueueManager* const queues_;
   mutable Mutex mu_{"ResponderRegistry::mu_"};
   std::map<std::string, Responder> responders_ EDADB_GUARDED_BY(mu_);
 };

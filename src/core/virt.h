@@ -107,8 +107,8 @@ class VirtFilter {
     std::map<std::string, SteadyMicros> recent;
   };
 
-  Clock* clock_;
-  Scorer scorer_;
+  Clock* const clock_;
+  const Scorer scorer_;
   mutable Mutex mu_{"VirtFilter::mu_"};
   std::map<std::string, ConsumerState> consumers_ EDADB_GUARDED_BY(mu_);
 };

@@ -115,11 +115,12 @@ Result<size_t> QueueDispatcher::PumpOnce() {
 
 Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
   bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) {
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
     return Status::FailedPrecondition("dispatcher already running");
   }
   worker_ = std::thread([this, idle_wait_micros] {
-    while (running_.load(std::memory_order_relaxed)) {
+    while (running_.load(std::memory_order_acquire)) {
       // Read the activity sequence BEFORE pumping: anything enqueued
       // while the pump runs changes the seq, so the wait below returns
       // immediately instead of missing it.
@@ -139,7 +140,7 @@ Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
 }
 
 void QueueDispatcher::Stop() {
-  running_.store(false);
+  running_.store(false, std::memory_order_release);
   // The worker may be parked in WaitForActivity; bump the sequence so
   // it wakes, re-checks running_, and exits.
   queues_->WakeWaiters();

@@ -82,7 +82,7 @@ class QueueDispatcher {
     return queue + "\x01" + group;
   }
 
-  QueueManager* queues_;
+  QueueManager* const queues_;
   /// Lock order: this before QueueManager::mu_ (PumpOnce acks under it).
   mutable Mutex mu_{"QueueDispatcher::mu_"};
   std::map<std::string, BoundState> bindings_ EDADB_GUARDED_BY(mu_);

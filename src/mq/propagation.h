@@ -58,9 +58,9 @@ class SimulatedExternalService : public ExternalService {
   std::vector<Message> delivered() const;
 
  private:
-  std::string name_;
-  Options options_;  // Immutable after construction.
-  Clock* clock_;
+  const std::string name_;
+  const Options options_;
+  Clock* const clock_;
   mutable Mutex mu_{"SimulatedExternalService::mu_"};
   Random rng_ EDADB_GUARDED_BY(mu_);
   uint64_t delivered_count_ EDADB_GUARDED_BY(mu_) = 0;
@@ -110,7 +110,7 @@ class Propagator {
   EDADB_NODISCARD Result<RuleStats> GetStats(const std::string& name) const;
 
  private:
-  QueueManager* queues_;
+  QueueManager* const queues_;
   mutable Mutex mu_{"Propagator::mu_"};
   std::map<std::string, PropagationRule> rules_ EDADB_GUARDED_BY(mu_);
   std::map<std::string, RuleStats> stats_ EDADB_GUARDED_BY(mu_);

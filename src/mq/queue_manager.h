@@ -288,8 +288,8 @@ class QueueManager {
                         const std::string& group, MessageId id)
       EDADB_REQUIRES(mu_);
 
-  Database* db_;
-  Clock* clock_;
+  Database* const db_;
+  Clock* const clock_;
 
   /// Lock order: QueueDispatcher::mu_ before this, this before the
   /// database's internal locks. Recursive: enqueue -> commit -> AFTER

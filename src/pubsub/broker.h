@@ -245,8 +245,8 @@ class Broker {
   /// gauges plus the subscriber-count gauge (DESIGN.md §13).
   void CollectLiveMetrics(std::vector<metrics::MetricSnapshot>* out) const;
 
-  Database* db_;
-  QueueManager* queues_;
+  Database* const db_;
+  QueueManager* const queues_;
 
   /// Never held across DeliverTo (handler callbacks / queue enqueues).
   mutable Mutex mu_{"Broker::mu_"};

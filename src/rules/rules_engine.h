@@ -83,7 +83,7 @@ class RulesEngine {
                            std::string action, int64_t priority,
                            bool enabled) const;
 
-  Database* db_;
+  Database* const db_;
   mutable Mutex mu_{"RulesEngine::mu_"};
   /// The pointer is set once in the constructor; the matcher it points
   /// to is guarded.

@@ -194,7 +194,7 @@ Result<WalBatchResult> WalWriter::AppendBatch(
       return Status::FailedPrecondition("WAL writer is closed");
     }
     FAILPOINT("wal.append.before");
-    result.first_lsn = next_lsn_.load(std::memory_order_relaxed);
+    result.first_lsn = next_lsn_.load(std::memory_order_acquire);
     result.end_lsn = result.first_lsn;
     if (records.empty()) return result;
 
@@ -319,7 +319,7 @@ Status WalWriter::SyncTo(Lsn target) {
     Lsn synced_end = 0;
     {
       MutexLock lock(&wal_mu_);
-      synced_end = next_lsn_.load(std::memory_order_relaxed);
+      synced_end = next_lsn_.load(std::memory_order_acquire);
       if (current_ == nullptr) {
         sync_status = Status::FailedPrecondition("WAL writer is closed");
       } else if (dirty_) {

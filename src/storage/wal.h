@@ -116,7 +116,7 @@ class WalWriter {
 
   EDADB_NODISCARD Status OpenNewSegment(Lsn start_lsn) EDADB_REQUIRES(wal_mu_);
 
-  WalOptions options_;
+  const WalOptions options_;
 
   /// Serializes appends and segment rolls. Held by the group-commit
   /// leader across its fdatasync, which stalls appends for that window

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Pins the shard-map contract (DESIGN.md section 12).
+
+Three things must hold for scripts/analyze_shardmap.json to be a
+trustworthy planning input for the sharding refactor:
+
+  1. Round-trip: shardmap_text() is valid JSON that parses back to
+     exactly build_shardmap()'s object, and regenerating from the same
+     tree is byte-identical (determinism is what makes CI's drift check
+     meaningful).
+  2. The committed artifact matches the committed schema and enumerates
+     the known core lock domains and atomics (wal, queue_manager,
+     event_ring, metrics) -- a regression here means the extractor
+     stopped seeing real shared state.
+  3. The builtin frontend extracts GUARDED_BY domains from the seeded
+     fixtures: class -> mutex -> guarded fields, the relation every
+     domain entry in the shard map is built from.
+"""
+
+import json
+import os
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+
+import analyze  # noqa: E402  (scripts/ is not a package)
+
+SHARDMAP = os.path.join(REPO_ROOT, "scripts", "analyze_shardmap.json")
+FIXTURES = os.path.join(REPO_ROOT, "scripts", "analyze_fixtures")
+
+
+def build(paths):
+    model = analyze.build_model("builtin", paths, None)
+    return model, analyze.Analyzer(model)
+
+
+class ShardmapRoundTripTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.model, cls.analyzer = build([os.path.join(REPO_ROOT, "src")])
+
+    def test_text_parses_back_to_the_same_object(self):
+        text = analyze.shardmap_text(self.model, self.analyzer)
+        self.assertTrue(text.endswith("\n"))
+        self.assertEqual(json.loads(text),
+                         analyze.build_shardmap(self.model, self.analyzer))
+
+    def test_regeneration_is_deterministic(self):
+        first = analyze.shardmap_text(self.model, self.analyzer)
+        model2, analyzer2 = build([os.path.join(REPO_ROOT, "src")])
+        self.assertEqual(first, analyze.shardmap_text(model2, analyzer2))
+
+    def test_committed_artifact_is_current(self):
+        with open(SHARDMAP, encoding="utf-8") as f:
+            committed = f.read()
+        self.assertEqual(committed,
+                         analyze.shardmap_text(self.model, self.analyzer),
+                         "scripts/analyze_shardmap.json is stale -- "
+                         "regenerate with scripts/analyze.py "
+                         "--write-shardmap")
+
+
+class CommittedShardmapContentTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        with open(SHARDMAP, encoding="utf-8") as f:
+            cls.doc = json.load(f)
+        cls.domains = {d["class"]: d for d in cls.doc["domains"]}
+        cls.atomics = {a["var"]: a for a in cls.doc["atomics"]}
+
+    def test_schema(self):
+        self.assertEqual(self.doc["schema"], "edadb-shardmap-v1")
+        for key in ("domains", "atomics", "globals", "cross_domain_edges"):
+            self.assertIn(key, self.doc)
+
+    def test_core_lock_domains_present(self):
+        wal = self.domains["WalWriter"]
+        self.assertIn("WalWriter::wal_mu_", wal["mutexes"])
+        self.assertIn("next_lsn_", wal["atomic_fields"])
+
+        qm = self.domains["QueueManager"]
+        self.assertIn("QueueManager::mu_", qm["mutexes"])
+        queues = qm["guarded_fields"]["queues_"]
+        self.assertEqual(queues["mutex"], "QueueManager::mu_")
+        self.assertIn("EnqueueSpan", queues["methods"])
+
+        ring = self.domains["EventRing"]
+        self.assertIn("EventRing::writer_mu_", ring["mutexes"])
+        self.assertIn("head_", ring["atomic_fields"])
+        # The seqlock words are intentionally mutex-free (suppressed,
+        # not guarded) and must show up as such.
+        self.assertIn("stamps_", ring["unguarded_fields"])
+
+    def test_atomics_carry_ordering_observations(self):
+        head = self.atomics["EventRing::head_"]
+        self.assertGreater(head["sites"], 0)
+        self.assertTrue(any(o.startswith("load:") or o.startswith("store:")
+                            for o in head["orderings"]))
+
+    def test_no_non_src_entries(self):
+        for d in self.doc["domains"]:
+            self.assertTrue(d["file"].startswith("src/"), d["file"])
+        for g in self.doc["globals"]:
+            self.assertTrue(g["file"].startswith("src/"), g["file"])
+
+
+class FixtureGuardedDomainTest(unittest.TestCase):
+    """The GUARDED_BY relation the shard map's domain entries are built
+    from, extracted from the seeded fixtures by the builtin frontend."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.model, _ = build([FIXTURES])
+
+    def test_escape_cache_domain(self):
+        cache = self.model.classes["EscapeCache"]
+        self.assertEqual(cache.mutexes, {"cache_mu_": "EscapeCache::cache_mu_"})
+        self.assertEqual(cache.guarded,
+                         {"entries_": "cache_mu_",
+                          "cursor_": "cache_mu_",
+                          "total_": "cache_mu_"})
+
+    def test_locked_box_domain(self):
+        box = self.model.classes["LockedBox"]
+        self.assertEqual(box.guarded, {"last_": "box_mu_"})
+        self.assertEqual(box.mutexes, {"box_mu_": "LockedBox::box_mu_"})
+
+    def test_lockless_fixture_class_has_no_domain(self):
+        bag = self.model.classes["BareBag"]
+        self.assertEqual(bag.mutexes, {})
+        self.assertEqual(bag.guarded, {})
+
+
+if __name__ == "__main__":
+    unittest.main()
