@@ -13,6 +13,7 @@
 
 #include "benchmark/benchmark.h"
 #include "bench_util.h"
+#include "mq/queue_manager.h"
 #include "pubsub/broker.h"
 
 namespace edadb {

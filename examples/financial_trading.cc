@@ -21,6 +21,7 @@
 #include "cq/pattern.h"
 #include "cq/window.h"
 #include "common/macros.h"
+#include "mq/queue_manager.h"
 
 using namespace edadb;
 
@@ -46,7 +47,7 @@ int main() {
     std::fprintf(stderr, "%s\n", processor.status().ToString().c_str());
     return 1;
   }
-  QueueManager* queues = (*processor)->queues();
+  QueueService* queues = (*processor)->queues();
   for (const char* queue : {"opportunities", "threats"}) {
     if (auto s = queues->CreateQueue(queue); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());

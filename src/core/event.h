@@ -51,7 +51,10 @@ class EventView : public RowAccessor {
 };
 
 /// Process-wide event id allocation (capture adapters stamp ids so
-/// downstream audit trails can refer to events).
+/// downstream audit trails can refer to events). Striped: threads draw
+/// from per-slot counters and ids embed the slot in their top bits, so
+/// allocation never contends on one global atomic; ids are unique but
+/// only ordered within a thread's slot.
 uint64_t NextEventId();
 
 }  // namespace edadb

@@ -1,5 +1,8 @@
 #include "core/processor.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -21,8 +24,15 @@ Result<std::unique_ptr<EventProcessor>> EventProcessor::Open(
   db_options.clock = processor->options_.clock;
   EDADB_ASSIGN_OR_RETURN(processor->db_, Database::Open(db_options));
   processor->clock_ = processor->db_->clock();
+  if (processor->options_.shards < 0) {
+    return Status::InvalidArgument("shards must be >= 0");
+  }
+  const size_t shards =
+      processor->options_.shards > 0
+          ? static_cast<size_t>(processor->options_.shards)
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
   EDADB_ASSIGN_OR_RETURN(processor->queues_,
-                         QueueManager::Attach(processor->db_.get()));
+                         ShardRouter::Open(processor->db_.get(), shards));
   EDADB_ASSIGN_OR_RETURN(
       processor->rules_,
       RulesEngine::Attach(processor->db_.get(),
@@ -40,7 +50,7 @@ Result<std::unique_ptr<EventProcessor>> EventProcessor::Open(
   EDADB_ASSIGN_OR_RETURN(processor->metrics_table_,
                          MetricsTable::Attach(processor->db_.get()));
   processor->dispatcher_ =
-      std::make_unique<QueueDispatcher>(processor->queues_.get());
+      std::make_unique<ShardedDispatcher>(processor->queues_.get());
   EDADB_RETURN_IF_ERROR(processor->Wire());
   // Export the instance counters process-wide (multiple processors sum).
   EventProcessor* raw = processor.get();

@@ -16,9 +16,8 @@
 #include "core/responder.h"
 #include "core/virt.h"
 #include "db/database.h"
-#include "mq/dispatcher.h"
 #include "mq/propagation.h"
-#include "mq/queue_manager.h"
+#include "mq/shard_router.h"
 #include "pubsub/broker.h"
 #include "rules/rules_engine.h"
 
@@ -37,6 +36,12 @@ struct EventProcessorOptions {
   /// `__metrics` table (steady-clock throttled). 0 = every pump (tests);
   /// negative = never.
   TimestampMicros metrics_refresh_interval_micros = kMicrosPerSecond;
+  /// Number of delivery-core shards: each shard owns its own WAL
+  /// stream, commit pipeline, queue lock domain and dispatcher pool,
+  /// with queue names hash-routed across them. 0 (the default) = one
+  /// shard per hardware thread; 1 = the classic single-domain layout
+  /// (same on-disk format and ids as before sharding existed).
+  int shards = 0;
 };
 
 /// The assembled event-driven application stack: one database under a
@@ -105,7 +110,7 @@ class EventProcessor {
                             const std::string& event_type);
 
   Database* db() { return db_.get(); }
-  QueueManager* queues() { return queues_.get(); }
+  ShardRouter* queues() { return queues_.get(); }
   RulesEngine* rules() { return rules_.get(); }
   Broker* broker() { return broker_.get(); }
   Propagator* propagator() { return propagator_.get(); }
@@ -113,7 +118,7 @@ class EventProcessor {
   VirtFilter* virt() { return virt_.get(); }
   ResponderRegistry* responders() { return responders_.get(); }
   AuditLog* audit() { return audit_.get(); }
-  QueueDispatcher* dispatcher() { return dispatcher_.get(); }
+  ShardedDispatcher* dispatcher() { return dispatcher_.get(); }
   MetricsTable* metrics_table() { return metrics_table_.get(); }
   Clock* clock() { return clock_; }
 
@@ -144,7 +149,7 @@ class EventProcessor {
   EventProcessorOptions options_;
   Clock* clock_ = nullptr;
   std::unique_ptr<Database> db_;
-  std::unique_ptr<QueueManager> queues_;
+  std::unique_ptr<ShardRouter> queues_;
   std::unique_ptr<RulesEngine> rules_;
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<Propagator> propagator_;
@@ -152,7 +157,7 @@ class EventProcessor {
   std::unique_ptr<ResponderRegistry> responders_;
   std::unique_ptr<AuditLog> audit_;
   std::unique_ptr<MetricsTable> metrics_table_;
-  std::unique_ptr<QueueDispatcher> dispatcher_;
+  std::unique_ptr<ShardedDispatcher> dispatcher_;
   EventBus bus_;
   std::vector<std::unique_ptr<TriggerEventSource>> trigger_sources_;
   std::vector<std::unique_ptr<JournalEventSource>> journal_sources_;

@@ -10,7 +10,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "core/event.h"
-#include "mq/queue_manager.h"
+#include "mq/queue_service.h"
 
 namespace edadb {
 
@@ -46,7 +46,7 @@ class ResponderRegistry {
  public:
   /// `queues` must outlive the registry. A responder's queue is created
   /// on registration if missing.
-  explicit ResponderRegistry(QueueManager* queues) : queues_(queues) {}
+  explicit ResponderRegistry(QueueService* queues) : queues_(queues) {}
 
   EDADB_NODISCARD Status RegisterResponder(Responder responder);
   EDADB_NODISCARD Status UnregisterResponder(const std::string& id);
@@ -66,7 +66,7 @@ class ResponderRegistry {
                                             const ResponseCriteria& criteria);
 
  private:
-  QueueManager* const queues_;
+  QueueService* const queues_;
   mutable Mutex mu_{"ResponderRegistry::mu_"};
   std::map<std::string, Responder> responders_ EDADB_GUARDED_BY(mu_);
 };

@@ -67,7 +67,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   auto db = std::unique_ptr<Database>(new Database(std::move(options)));
 
   WalOptions wal_options;
-  wal_options.dir = db->options_.dir + "/wal";
+  wal_options.dir = db->wal_dir();
   wal_options.segment_size_bytes = db->options_.wal_segment_size_bytes;
   wal_options.sync_policy = db->options_.wal_sync_policy;
   EDADB_ASSIGN_OR_RETURN(db->wal_, WalWriter::Open(std::move(wal_options)));
@@ -118,7 +118,7 @@ Status Database::LoadSnapshot(const std::string& path) {
 }
 
 Status Database::ReplayWal(Lsn from_lsn) {
-  WalCursor cursor(options_.dir + "/wal", from_lsn);
+  WalCursor cursor(wal_dir(), from_lsn);
   std::map<TxnId, std::vector<LogRecord>> pending;
   WalEntry entry;
   for (;;) {
@@ -908,6 +908,8 @@ Lsn Database::wal_end_lsn() const {
   return wal_->next_lsn();
 }
 
-std::string Database::wal_dir() const { return options_.dir + "/wal"; }
+std::string Database::wal_dir() const {
+  return options_.wal_dir.empty() ? options_.dir + "/wal" : options_.wal_dir;
+}
 
 }  // namespace edadb

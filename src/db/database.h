@@ -29,6 +29,11 @@ struct DatabaseOptions {
   /// Time source for trigger timestamps and NOW(); defaults to the
   /// system clock.
   Clock* clock = nullptr;
+  /// Directory for WAL segments; empty means "<dir>/wal". Sharded
+  /// deployments point each shard's database at its own stream (e.g.
+  /// "<data_dir>/wal/shard-3") so group commits never serialize across
+  /// shards.
+  std::string wal_dir;
 };
 
 /// The embedded database: catalog + tables + WAL + triggers + query

@@ -113,38 +113,50 @@ Result<size_t> QueueDispatcher::PumpOnce() {
   return handled_total;
 }
 
-Status QueueDispatcher::Start(TimestampMicros idle_wait_micros) {
+Status QueueDispatcher::Start(TimestampMicros idle_wait_micros,
+                              size_t num_workers) {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("dispatcher needs at least one worker");
+  }
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel)) {
     return Status::FailedPrecondition("dispatcher already running");
   }
-  worker_ = std::thread([this, idle_wait_micros] {
-    while (running_.load(std::memory_order_acquire)) {
-      // Read the activity sequence BEFORE pumping: anything enqueued
-      // while the pump runs changes the seq, so the wait below returns
-      // immediately instead of missing it.
-      const uint64_t seq = queues_->activity_seq();
-      auto pumped = PumpOnce();
-      if (!pumped.ok()) {
-        EDADB_LOG(Warn) << "dispatcher pump failed: " << pumped.status();
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, idle_wait_micros] {
+      while (running_.load(std::memory_order_acquire)) {
+        // Read the activity sequence BEFORE pumping: anything enqueued
+        // while the pump runs changes the seq, so the wait below returns
+        // immediately instead of missing it.
+        const uint64_t seq = queues_->activity_seq();
+        auto pumped = PumpOnce();
+        if (!pumped.ok()) {
+          EDADB_LOG(Warn) << "dispatcher pump failed: " << pumped.status();
+        }
+        if (!pumped.ok() || *pumped == 0) {
+          // Idle: block until new queue activity (or the fallback bound,
+          // which re-polls bindings added after the pump snapshot).
+          if (queues_->WaitForActivity(seq, idle_wait_micros)) {
+            wakeups_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       }
-      if (!pumped.ok() || *pumped == 0) {
-        // Idle: block until new queue activity (or the fallback bound,
-        // which re-polls bindings added after the pump snapshot).
-        queues_->WaitForActivity(seq, idle_wait_micros);
-      }
-    }
-  });
+    });
+  }
   return Status::OK();
 }
 
 void QueueDispatcher::Stop() {
   running_.store(false, std::memory_order_release);
-  // The worker may be parked in WaitForActivity; bump the sequence so
-  // it wakes, re-checks running_, and exits.
+  // Workers may be parked in WaitForActivity; bump the sequence so they
+  // wake, re-check running_, and exit.
   queues_->WakeWaiters();
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 Result<QueueDispatcher::BindingStats> QueueDispatcher::GetStats(

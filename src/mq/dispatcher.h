@@ -54,15 +54,24 @@ class QueueDispatcher {
   /// Drains every binding once; returns messages handled (acked).
   EDADB_NODISCARD Result<size_t> PumpOnce();
 
-  /// Starts the background activation thread. When a pump finds nothing
-  /// it blocks on the queue manager's activity signal (enqueue, nack,
-  /// shutdown), waking immediately on arrivals; `idle_wait_micros` is
-  /// only the fallback re-poll bound, not the wake latency.
-  /// FailedPrecondition if already running.
-  EDADB_NODISCARD Status Start(TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli);
+  /// Starts the background activation pool (`num_workers` threads, all
+  /// pumping this dispatcher's bindings). When a pump finds nothing a
+  /// worker blocks on ITS queue manager's activity signal (enqueue,
+  /// nack, shutdown) — the wait/wake domain is shard-local, so activity
+  /// on another shard's manager never wakes these workers;
+  /// `idle_wait_micros` is only the fallback re-poll bound, not the
+  /// wake latency. FailedPrecondition if already running.
+  EDADB_NODISCARD Status Start(
+      TimestampMicros idle_wait_micros = 50 * kMicrosPerMilli,
+      size_t num_workers = 1);
 
-  /// Stops and joins the background thread (idempotent).
+  /// Stops and joins the background workers (idempotent).
   void Stop();
+
+  /// Times a parked worker was woken by queue activity or shutdown
+  /// (idle-timeout re-polls do not count). The shard-locality
+  /// regression check: enqueues on other shards must leave this flat.
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
 
   struct BindingStats {  // lint:allow(adhoc-stats): per-binding counts, queried by key
     uint64_t handled = 0;  // Handler OK -> acked.
@@ -87,7 +96,9 @@ class QueueDispatcher {
   mutable Mutex mu_{"QueueDispatcher::mu_"};
   std::map<std::string, BoundState> bindings_ EDADB_GUARDED_BY(mu_);
   std::atomic<bool> running_{false};
-  std::thread worker_;  // Start/Stop only; serialized by running_ CAS.
+  std::vector<std::thread> workers_;  // Start/Stop only; serialized by running_ CAS.
+  /// Monotonic count of activity wakes (not timeouts) across workers.
+  std::atomic<uint64_t> wakeups_{0};
 };
 
 }  // namespace edadb

@@ -161,6 +161,25 @@ Result<size_t> Propagator::RunOnce() {
         }
 #endif
         if (!injected) delivery = rule.external->Deliver(*message);
+      } else if (queues_->ShardOf(rule.source_queue) !=
+                 queues_->ShardOf(rule.destination_queue)) {
+        // Cross-shard handoff: enqueue through the destination shard's
+        // own commit pipeline, idempotently. The key is stable across
+        // redeliveries of the same source message (ids survive
+        // recovery), so the crash window between the destination
+        // commit and the source ack below replays into a nullopt
+        // (already delivered) instead of a duplicate.
+        const std::string dedup_key =
+            rule.name + "\x01" + std::to_string(message->id);
+        auto handed =
+            queues_->EnqueueDedup(rule.destination_queue, out, dedup_key);
+        delivery = handed.status();
+        if (delivery.ok()) {
+          // Destination committed (or had already committed) but the
+          // source still holds the message: the at-least-once window
+          // the torture schedules crash inside.
+          FAILPOINT("mq.propagate.handoff");
+        }
       } else {
         delivery = queues_->Enqueue(rule.destination_queue, out).status();
       }

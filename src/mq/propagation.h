@@ -14,7 +14,7 @@
 #include "common/result.h"
 #include "expr/predicate.h"
 #include "mq/message.h"
-#include "mq/queue_manager.h"
+#include "mq/queue_service.h"
 
 namespace edadb {
 
@@ -90,9 +90,17 @@ struct PropagationRule {
 /// RunOnce() from a scheduler loop; each call drains every rule's source
 /// queue. Failures Nack the message so queue redelivery policy (and the
 /// dead-letter queue) applies.
+///
+/// Cross-shard handoff: when source and destination queues live on
+/// different shards, the destination enqueue goes through the target
+/// shard's own commit pipeline via EnqueueDedup, keyed by (rule,
+/// source message id). The source-side ack happens after the
+/// destination commit, so a crash between the two replays the message —
+/// and the consumed dedup key makes the replay a no-op: at-least-once
+/// transport, exactly-once visibility.
 class Propagator {
  public:
-  explicit Propagator(QueueManager* queues) : queues_(queues) {}
+  explicit Propagator(QueueService* queues) : queues_(queues) {}
 
   EDADB_NODISCARD Status AddRule(PropagationRule rule);
   EDADB_NODISCARD Status RemoveRule(const std::string& name);
@@ -110,7 +118,7 @@ class Propagator {
   EDADB_NODISCARD Result<RuleStats> GetStats(const std::string& name) const;
 
  private:
-  QueueManager* const queues_;
+  QueueService* const queues_;
   mutable Mutex mu_{"Propagator::mu_"};
   std::map<std::string, PropagationRule> rules_ EDADB_GUARDED_BY(mu_);
   std::map<std::string, RuleStats> stats_ EDADB_GUARDED_BY(mu_);

@@ -56,6 +56,7 @@ metrics::Counter* DeadLetterCounter() {
 
 constexpr char kQueuesTable[] = "__queues";
 constexpr char kGroupsTable[] = "__queue_groups";
+constexpr char kHandoffTable[] = "__handoff";
 
 SchemaPtr QueuesMetaSchema() {
   return Schema::Make({
@@ -70,6 +71,16 @@ SchemaPtr GroupsMetaSchema() {
   return Schema::Make({
       {"queue", ValueType::kString, false},
       {"grp", ValueType::kString, false},
+  });
+}
+
+/// Consumed dedup keys for EnqueueDedup (the cross-shard handoff
+/// ledger). The unique index on `key` is what makes a replayed handoff
+/// abort instead of enqueueing a second copy.
+SchemaPtr HandoffSchema() {
+  return Schema::Make({
+      {"key", ValueType::kString, /*nullable=*/false},
+      {"consumed_at", ValueType::kTimestamp, false},
   });
 }
 
@@ -118,20 +129,31 @@ std::string QueueManager::DelivTableName(const std::string& queue) {
   return "__q_" + queue + "_dlv";
 }
 
-QueueManager::QueueManager(Database* db)
-    : db_(db), clock_(db->clock()) {}
+QueueManager::QueueManager(Database* db, size_t shard)
+    : db_(db), clock_(db->clock()), shard_(shard) {}
 
-Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db) {
-  auto manager = std::unique_ptr<QueueManager>(new QueueManager(db));
+Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db,
+                                                           size_t shard) {
+  auto manager = std::unique_ptr<QueueManager>(new QueueManager(db, shard));
   EDADB_RETURN_IF_ERROR(manager->EnsureMetaTables());
   EDADB_RETURN_IF_ERROR(manager->ReloadFromMeta());
+  // Per-shard hot-path instruments; registry-owned, resolved once.
+  const std::string prefix = "shard." + std::to_string(shard) + ".";
+  metrics::Registry* registry = metrics::Registry::Default();
+  manager->shard_enqueues_ = registry->GetCounter(prefix + "enqueues");
+  manager->shard_dequeues_ = registry->GetCounter(prefix + "dequeues");
+  manager->shard_handoffs_ = registry->GetCounter(prefix + "handoffs");
+  manager->shard_commit_latency_ =
+      registry->GetHistogram(prefix + "commit_latency_us");
   // Depth/inflight are computed at snapshot time rather than maintained
   // on every mutation: the collector takes mu_ (recursive), which is
   // safe because Registry::Snapshot invokes it without registry locks.
   QueueManager* raw = manager.get();
   manager->metrics_collector_ = metrics::Registry::Default()->RegisterCollector(
-      [raw](std::vector<metrics::MetricSnapshot>* out) {
+      [raw, prefix](std::vector<metrics::MetricSnapshot>* out) {
         RecursiveMutexLock lock(&raw->mu_);
+        int64_t shard_depth = 0;
+        int64_t shard_inflight = 0;
         for (const auto& [name, state] : raw->queues_) {
           int64_t depth = 0;
           int64_t inflight = 0;
@@ -139,6 +161,8 @@ Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db) {
             depth += static_cast<int64_t>(rt.ready.size());
             inflight += static_cast<int64_t>(rt.locked.size());
           }
+          shard_depth += depth;
+          shard_inflight += inflight;
           metrics::MetricSnapshot d;
           d.name = "mq.queue." + name + ".depth";
           d.kind = metrics::MetricKind::kGauge;
@@ -150,6 +174,18 @@ Result<std::unique_ptr<QueueManager>> QueueManager::Attach(Database* db) {
           i.value = inflight;
           out->push_back(std::move(i));
         }
+        // Shard-level rollups: the per-lock-domain load picture the
+        // sharded deployment is balanced by.
+        metrics::MetricSnapshot sd;
+        sd.name = prefix + "depth";
+        sd.kind = metrics::MetricKind::kGauge;
+        sd.value = shard_depth;
+        out->push_back(std::move(sd));
+        metrics::MetricSnapshot si;
+        si.name = prefix + "inflight";
+        si.kind = metrics::MetricKind::kGauge;
+        si.value = shard_inflight;
+        out->push_back(std::move(si));
       });
   return manager;
 }
@@ -163,6 +199,11 @@ Status QueueManager::EnsureMetaTables() {
   if (!db_->GetTable(kGroupsTable).ok()) {
     EDADB_RETURN_IF_ERROR(
         db_->CreateTable(kGroupsTable, GroupsMetaSchema()).status());
+  }
+  if (!db_->GetTable(kHandoffTable).ok()) {
+    EDADB_RETURN_IF_ERROR(
+        db_->CreateTable(kHandoffTable, HandoffSchema()).status());
+    EDADB_RETURN_IF_ERROR(db_->CreateIndex(kHandoffTable, "key", true));
   }
   return Status::OK();
 }
@@ -471,9 +512,50 @@ Result<std::vector<MessageId>> QueueManager::EnqueueSpan(
   // Ops staged but not committed: a crash here must lose the batch
   // entirely (no body rows, no delivery rows).
   FAILPOINT("mq.enqueue.before_commit");
-  EDADB_RETURN_IF_ERROR(txn->Commit());
+  {
+    metrics::LatencyScope commit_latency(shard_commit_latency_);
+    EDADB_RETURN_IF_ERROR(txn->Commit());
+  }
   EnqueuedCounter()->Add(count);
+  if (shard_enqueues_ != nullptr) shard_enqueues_->Add(count);
   return ids;
+}
+
+Result<std::optional<MessageId>> QueueManager::EnqueueDedup(
+    const std::string& queue, const EnqueueRequest& request,
+    const std::string& dedup_key) {
+  if (dedup_key.empty()) {
+    return Status::InvalidArgument("EnqueueDedup needs a dedup key");
+  }
+  EDADB_ASSIGN_OR_RETURN(Table * ledger, db_->GetTable(kHandoffTable));
+  Record key_row = *RecordBuilder(ledger->schema())
+                        .SetString("key", dedup_key)
+                        .SetTimestamp("consumed_at",
+                                      clock_->WallNow().micros())
+                        .Build();
+  auto txn = db_->BeginTransaction();
+  const Status claimed =
+      txn->Insert(kHandoffTable, std::move(key_row)).status();
+  if (claimed.IsAlreadyExists()) return std::optional<MessageId>();
+  EDADB_RETURN_IF_ERROR(claimed);
+  EDADB_ASSIGN_OR_RETURN(MessageId id,
+                         EnqueueInTransaction(txn.get(), queue, request));
+  // Key row + message + delivery rows commit atomically: the key is
+  // consumed iff the message became visible. Commit-time validation
+  // happens before any WAL append, so a lost race on the key aborts
+  // cleanly with AlreadyExists.
+  FAILPOINT("mq.handoff.before_commit");
+  Status committed;
+  {
+    metrics::LatencyScope commit_latency(shard_commit_latency_);
+    committed = txn->Commit();
+  }
+  if (committed.IsAlreadyExists()) return std::optional<MessageId>();
+  EDADB_RETURN_IF_ERROR(committed);
+  EnqueuedCounter()->Add(1);
+  if (shard_enqueues_ != nullptr) shard_enqueues_->Add(1);
+  if (shard_handoffs_ != nullptr) shard_handoffs_->Add(1);
+  return std::optional<MessageId>(id);
 }
 
 Result<MessageId> QueueManager::EnqueueInTransaction(
@@ -754,6 +836,7 @@ Result<std::vector<Message>> QueueManager::DequeueBatch(
     if (out.size() >= max_messages) break;
   }
   DequeuedCounter()->Add(out.size());
+  if (shard_dequeues_ != nullptr) shard_dequeues_->Add(out.size());
   return out;
 }
 

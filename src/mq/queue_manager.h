@@ -16,36 +16,9 @@
 #include "db/database.h"
 #include "expr/predicate.h"
 #include "mq/message.h"
+#include "mq/queue_service.h"
 
 namespace edadb {
-
-/// Per-queue policy (§2.2.b operational characteristics).
-struct QueueCreateOptions {
-  /// Deliveries to one group before the message is dead-lettered.
-  int64_t max_deliveries = 5;
-  /// How long a dequeued-but-unacked message stays invisible before it
-  /// is redelivered (crash/timeout recovery for consumers).
-  TimestampMicros visibility_timeout_micros = 30 * kMicrosPerSecond;
-  /// Where poisoned/expired messages go; empty = drop them.
-  std::string dead_letter_queue;
-};
-
-struct EnqueueRequest {
-  std::string payload;
-  AttributeList attributes;
-  int64_t priority = 0;
-  TimestampMicros delay_micros = 0;  // Visible after now + delay.
-  TimestampMicros ttl_micros = 0;    // 0 = never expires.
-  std::string correlation_id;
-};
-
-struct DequeueRequest {
-  /// Consumer group; "" is the implicit default group.
-  std::string group;
-  /// Optional selector over MessageView attributes, e.g.
-  /// "severity >= 3 AND region = 'east'".
-  std::optional<Predicate> selector;
-};
 
 /// Message staging areas persisted in database tables (§2.2.b "support
 /// of message storage"). Every queue is two tables — message bodies and
@@ -60,31 +33,39 @@ struct DequeueRequest {
 /// Thread-safe. Dequeue/Ack/Nack serialize on an internal mutex;
 /// enqueues only take the database's own locks and wake blocked
 /// DequeueWait() callers.
-class QueueManager {
+///
+/// One QueueManager is one delivery shard: one database (WAL stream +
+/// commit pipeline), one lock domain, one wait/wake domain. The sharded
+/// deployment (mq/shard_router.h) composes N of these; `shard` is this
+/// manager's ordinal there (0 for a standalone manager) and prefixes its
+/// per-shard metrics (`shard.<i>.*`).
+class QueueManager : public QueueService {
  public:
   /// `db` must outlive the manager. Existing queues (from a previous
   /// run of the same database directory) are reattached.
-  EDADB_NODISCARD static Result<std::unique_ptr<QueueManager>> Attach(Database* db);
+  EDADB_NODISCARD static Result<std::unique_ptr<QueueManager>> Attach(
+      Database* db, size_t shard = 0);
 
   EDADB_NODISCARD Status CreateQueue(const std::string& name,
-                     QueueCreateOptions options = {});
-  EDADB_NODISCARD Status DropQueue(const std::string& name);
-  bool HasQueue(const std::string& name) const;
-  std::vector<std::string> ListQueues() const;
+                     QueueCreateOptions options = {}) override;
+  EDADB_NODISCARD Status DropQueue(const std::string& name) override;
+  bool HasQueue(const std::string& name) const override;
+  std::vector<std::string> ListQueues() const override;
 
   /// Consumer groups ("subscribers" in AQ terms). A queue always has the
   /// implicit "" group until the first explicit group is added; after
   /// that, enqueued messages fan out to every registered group.
-  EDADB_NODISCARD Status AddConsumerGroup(const std::string& queue, const std::string& group);
+  EDADB_NODISCARD Status AddConsumerGroup(const std::string& queue,
+                                          const std::string& group) override;
   EDADB_NODISCARD Status RemoveConsumerGroup(const std::string& queue,
-                             const std::string& group);
+                             const std::string& group) override;
   EDADB_NODISCARD Result<std::vector<std::string>> ListConsumerGroups(
-      const std::string& queue) const;
+      const std::string& queue) const override;
 
   /// Stages a message (the tutorial's "extended INSERT interface").
   /// Thin wrapper over a one-element EnqueueBatch (single code path).
-  EDADB_NODISCARD Result<MessageId> Enqueue(const std::string& queue,
-                            const EnqueueRequest& request);
+  EDADB_NODISCARD Result<MessageId> Enqueue(
+      const std::string& queue, const EnqueueRequest& request) override;
 
   /// Stages N messages as ONE transaction — one WAL barrier, one group
   /// of AFTER triggers — so either every message becomes visible or
@@ -93,7 +74,16 @@ class QueueManager {
   /// ingest fast path: under WalSyncPolicy::kOnCommit the whole batch
   /// pays one fdatasync instead of N.
   EDADB_NODISCARD Result<std::vector<MessageId>> EnqueueBatch(
-      const std::string& queue, const std::vector<EnqueueRequest>& requests);
+      const std::string& queue,
+      const std::vector<EnqueueRequest>& requests) override;
+
+  /// Idempotent enqueue (see QueueService::EnqueueDedup): one
+  /// transaction consumes `dedup_key` in the __handoff ledger (unique
+  /// index) and stages the message; a consumed key aborts the commit
+  /// before it reaches the WAL and reports nullopt.
+  EDADB_NODISCARD Result<std::optional<MessageId>> EnqueueDedup(
+      const std::string& queue, const EnqueueRequest& request,
+      const std::string& dedup_key) override;
 
   /// Transactional enqueue: the message becomes visible only when `txn`
   /// commits (§2.2.b.ii.3 "transactional support").
@@ -105,8 +95,8 @@ class QueueManager {
   /// locking it for the group's visibility timeout. nullopt = queue
   /// empty (for this group/selector). Thin wrapper over
   /// DequeueBatch(..., 1).
-  EDADB_NODISCARD Result<std::optional<Message>> Dequeue(const std::string& queue,
-                                         const DequeueRequest& request);
+  EDADB_NODISCARD Result<std::optional<Message>> Dequeue(
+      const std::string& queue, const DequeueRequest& request) override;
 
   /// Batch dequeue: takes up to `max_messages` deliverable messages in
   /// dequeue order under one runtime lock. Each message is locked for
@@ -116,16 +106,16 @@ class QueueManager {
   /// runs dry.
   EDADB_NODISCARD Result<std::vector<Message>> DequeueBatch(
       const std::string& queue, const DequeueRequest& request,
-      size_t max_messages);
+      size_t max_messages) override;
 
   /// Blocking dequeue; waits up to `timeout_micros` for a message.
   /// Returns Aborted once Shutdown() has been called. The timeout is
   /// measured in the clock's steady domain (a wall-clock step neither
   /// shortens nor extends it). Contract for `timeout_micros <= 0`:
   /// exactly one non-blocking dequeue attempt — never waits.
-  EDADB_NODISCARD Result<std::optional<Message>> DequeueWait(const std::string& queue,
-                                             const DequeueRequest& request,
-                                             TimestampMicros timeout_micros);
+  EDADB_NODISCARD Result<std::optional<Message>> DequeueWait(
+      const std::string& queue, const DequeueRequest& request,
+      TimestampMicros timeout_micros) override;
 
   /// Monotonic count of wake-worthy activity (delivery inserts, nacks,
   /// shutdown, explicit wakes). Poll-free consumers capture it before
@@ -150,39 +140,48 @@ class QueueManager {
   /// waits fail fast with Aborted. Call before destroying the manager
   /// while consumer threads may still be blocked; non-blocking
   /// operations keep working (drain-then-stop shutdowns).
-  void Shutdown();
+  void Shutdown() override;
 
   /// Completes consumption. When every group has acked, the message row
   /// is removed.
   EDADB_NODISCARD Status Ack(const std::string& queue, const std::string& group,
-             MessageId id);
+             MessageId id) override;
 
   /// Returns the message to the queue after `redeliver_delay_micros`
   /// (dead-letters it if max_deliveries is exhausted).
-  EDADB_NODISCARD Status Nack(const std::string& queue, const std::string& group,
-              MessageId id, TimestampMicros redeliver_delay_micros = 0);
+  EDADB_NODISCARD Status Nack(const std::string& queue,
+              const std::string& group, MessageId id,
+              TimestampMicros redeliver_delay_micros = 0) override;
 
   /// Ready (visible, unlocked) messages for `group`.
   EDADB_NODISCARD Result<size_t> Depth(const std::string& queue,
-                       const std::string& group) const;
+                       const std::string& group) const override;
 
   /// Removes expired messages; returns how many were purged (moved to
   /// the dead-letter queue when configured).
-  EDADB_NODISCARD Result<size_t> PurgeExpired(const std::string& queue);
+  EDADB_NODISCARD Result<size_t> PurgeExpired(const std::string& queue) override;
 
   /// Reads a staged message without consuming it.
-  EDADB_NODISCARD Result<Message> Peek(const std::string& queue, MessageId id) const;
+  EDADB_NODISCARD Result<Message> Peek(const std::string& queue,
+                                       MessageId id) const override;
 
   /// Non-destructive browse (AQ's browse mode): visits every message
   /// currently deliverable to `group` in dequeue order without locking
   /// or consuming anything. Return false from `fn` to stop early.
   EDADB_NODISCARD Status Browse(const std::string& queue, const std::string& group,
-                const std::function<bool(const Message&)>& fn) const;
+                const std::function<bool(const Message&)>& fn) const override;
+
+  /// A standalone manager is its own single shard.
+  size_t ShardOf(const std::string& /*queue*/) const override {
+    return shard_;
+  }
+  size_t num_shards() const override { return 1; }
+  size_t shard() const { return shard_; }
 
   Database* db() const { return db_; }
 
  private:
-  explicit QueueManager(Database* db);
+  QueueManager(Database* db, size_t shard);
 
   /// Cached metadata for a live message. `expires_at` is TTL data:
   /// wall-domain by design (micros()==0 = never expires).
@@ -290,6 +289,16 @@ class QueueManager {
 
   Database* const db_;
   Clock* const clock_;
+  /// Ordinal in a sharded deployment; names this manager's shard.<i>.*
+  /// metrics. 0 for standalone managers.
+  const size_t shard_;
+
+  /// Per-shard hot-path instruments (shard.<i>.enqueues etc.), resolved
+  /// once at Attach; registry-owned, so raw pointers stay valid.
+  metrics::Counter* shard_enqueues_ = nullptr;
+  metrics::Counter* shard_dequeues_ = nullptr;
+  metrics::Counter* shard_handoffs_ = nullptr;
+  metrics::Histogram* shard_commit_latency_ = nullptr;
 
   /// Lock order: QueueDispatcher::mu_ before this, this before the
   /// database's internal locks. Recursive: enqueue -> commit -> AFTER

@@ -1,0 +1,130 @@
+#ifndef EDADB_MQ_QUEUE_SERVICE_H_
+#define EDADB_MQ_QUEUE_SERVICE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "mq/message.h"
+
+namespace edadb {
+
+/// Per-queue policy (§2.2.b operational characteristics).
+struct QueueCreateOptions {
+  /// Deliveries to one group before the message is dead-lettered.
+  int64_t max_deliveries = 5;
+  /// How long a dequeued-but-unacked message stays invisible before it
+  /// is redelivered (crash/timeout recovery for consumers).
+  TimestampMicros visibility_timeout_micros = 30 * kMicrosPerSecond;
+  /// Where poisoned/expired messages go; empty = drop them. A sharded
+  /// service co-locates the queue with its dead-letter queue so
+  /// dead-lettering never crosses a shard boundary.
+  std::string dead_letter_queue;
+};
+
+struct EnqueueRequest {
+  std::string payload;
+  AttributeList attributes;
+  int64_t priority = 0;
+  TimestampMicros delay_micros = 0;  // Visible after now + delay.
+  TimestampMicros ttl_micros = 0;    // 0 = never expires.
+  std::string correlation_id;
+};
+
+struct DequeueRequest {
+  /// Consumer group; "" is the implicit default group.
+  std::string group;
+  /// Optional selector over MessageView attributes, e.g.
+  /// "severity >= 3 AND region = 'east'".
+  std::optional<Predicate> selector;
+};
+
+/// The staging-area surface shared by the single-domain QueueManager and
+/// the sharded ShardRouter. Producers and consumers (the broker, the
+/// propagator, responders, application code) program against this
+/// interface; whether a queue name resolves to one lock domain or one of
+/// N shards — each with its own WAL stream, commit pipeline and
+/// dispatcher pool — is the implementation's business.
+///
+/// Semantics every implementation must provide: per-consumer-group
+/// at-least-once delivery with visibility timeouts; all-or-nothing batch
+/// enqueue; `EnqueueDedup` as the exactly-once-visible cross-shard
+/// handoff primitive. See mq/queue_manager.h for the per-call contracts.
+class QueueService {
+ public:
+  virtual ~QueueService() = default;
+
+  EDADB_NODISCARD virtual Status CreateQueue(
+      const std::string& name, QueueCreateOptions options = {}) = 0;
+  EDADB_NODISCARD virtual Status DropQueue(const std::string& name) = 0;
+  virtual bool HasQueue(const std::string& name) const = 0;
+  virtual std::vector<std::string> ListQueues() const = 0;
+
+  EDADB_NODISCARD virtual Status AddConsumerGroup(const std::string& queue,
+                                                  const std::string& group) = 0;
+  EDADB_NODISCARD virtual Status RemoveConsumerGroup(
+      const std::string& queue, const std::string& group) = 0;
+  EDADB_NODISCARD virtual Result<std::vector<std::string>> ListConsumerGroups(
+      const std::string& queue) const = 0;
+
+  EDADB_NODISCARD virtual Result<MessageId> Enqueue(
+      const std::string& queue, const EnqueueRequest& request) = 0;
+  EDADB_NODISCARD virtual Result<std::vector<MessageId>> EnqueueBatch(
+      const std::string& queue,
+      const std::vector<EnqueueRequest>& requests) = 0;
+
+  /// Idempotent enqueue: stages the message and consumes `dedup_key` in
+  /// ONE transaction against the queue's own commit pipeline. A key can
+  /// only ever be consumed once — a retry after a crash that did commit
+  /// returns nullopt (already delivered; nothing enqueued) instead of a
+  /// second copy. This is the receiving half of the cross-shard handoff
+  /// protocol: the sender may die between the destination commit and its
+  /// own source-side ack, retry, and still produce exactly one visible
+  /// message.
+  EDADB_NODISCARD virtual Result<std::optional<MessageId>> EnqueueDedup(
+      const std::string& queue, const EnqueueRequest& request,
+      const std::string& dedup_key) = 0;
+
+  EDADB_NODISCARD virtual Result<std::optional<Message>> Dequeue(
+      const std::string& queue, const DequeueRequest& request) = 0;
+  EDADB_NODISCARD virtual Result<std::vector<Message>> DequeueBatch(
+      const std::string& queue, const DequeueRequest& request,
+      size_t max_messages) = 0;
+  EDADB_NODISCARD virtual Result<std::optional<Message>> DequeueWait(
+      const std::string& queue, const DequeueRequest& request,
+      TimestampMicros timeout_micros) = 0;
+
+  EDADB_NODISCARD virtual Status Ack(const std::string& queue,
+                                     const std::string& group,
+                                     MessageId id) = 0;
+  EDADB_NODISCARD virtual Status Nack(
+      const std::string& queue, const std::string& group, MessageId id,
+      TimestampMicros redeliver_delay_micros = 0) = 0;
+
+  EDADB_NODISCARD virtual Result<size_t> Depth(
+      const std::string& queue, const std::string& group) const = 0;
+  EDADB_NODISCARD virtual Result<size_t> PurgeExpired(
+      const std::string& queue) = 0;
+  EDADB_NODISCARD virtual Result<Message> Peek(const std::string& queue,
+                                               MessageId id) const = 0;
+  EDADB_NODISCARD virtual Status Browse(
+      const std::string& queue, const std::string& group,
+      const std::function<bool(const Message&)>& fn) const = 0;
+
+  /// Wakes blocked waiters and fails subsequent waits fast with Aborted.
+  virtual void Shutdown() = 0;
+
+  /// Shard ordinal that owns `queue` (where it lives now, or where it
+  /// would be placed). A single-domain service is its own one shard.
+  virtual size_t ShardOf(const std::string& queue) const = 0;
+  virtual size_t num_shards() const = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_MQ_QUEUE_SERVICE_H_

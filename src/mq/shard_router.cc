@@ -1,0 +1,365 @@
+#include "mq/shard_router.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "storage/file.h"
+
+namespace edadb {
+
+namespace {
+
+/// The id tag is 16 bits and value 0 means "raw"; shard counts beyond
+/// the tag range (or any sane machine) are configuration errors.
+constexpr size_t kMaxShards = 4096;
+
+}  // namespace
+
+ShardRouter::ShardRouter(Database* primary) : primary_(primary) {}
+
+ShardRouter::~ShardRouter() = default;
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(Database* primary,
+                                                       size_t shards) {
+  if (primary == nullptr) {
+    return Status::InvalidArgument("ShardRouter needs a primary database");
+  }
+  if (shards == 0 || shards > kMaxShards) {
+    return Status::InvalidArgument("shard count must be in [1, " +
+                                   std::to_string(kMaxShards) + "], got " +
+                                   std::to_string(shards));
+  }
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter(primary));
+  const DatabaseOptions& base = primary->options();
+  // Never strand data: if the directory holds more shards than were
+  // requested (the deployment was reconfigured downward), open them
+  // all — their queues stay reachable, only placement of NEW queues
+  // uses the requested count via hashing over every open shard.
+  if (auto existing = ListDir(base.dir); existing.ok()) {
+    for (const std::string& name : *existing) {
+      size_t index = 0;
+      if (name.rfind("shard-", 0) == 0) {
+        const char* digits = name.c_str() + 6;
+        char* end = nullptr;
+        index = std::strtoull(digits, &end, 10);
+        if (end != digits && *end == '\0' && index + 1 > shards) {
+          shards = index + 1;
+        }
+      }
+    }
+  }
+  if (shards > kMaxShards) {
+    return Status::InvalidArgument("directory holds shard ordinals beyond " +
+                                   std::to_string(kMaxShards));
+  }
+  router->shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    Shard shard;
+    if (i == 0) {
+      shard.db = primary;
+    } else {
+      // Each secondary shard is a full database with its own WAL
+      // stream under the primary's directory; recovery at Open replays
+      // that stream independently of every other shard.
+      DatabaseOptions options;
+      options.dir = base.dir + "/shard-" + std::to_string(i);
+      options.wal_dir = base.dir + "/wal/shard-" + std::to_string(i);
+      options.wal_sync_policy = base.wal_sync_policy;
+      options.wal_segment_size_bytes = base.wal_segment_size_bytes;
+      options.clock = base.clock;
+      EDADB_ASSIGN_OR_RETURN(shard.owned_db,
+                             Database::Open(std::move(options)));
+      shard.db = shard.owned_db.get();
+    }
+    EDADB_ASSIGN_OR_RETURN(shard.queues,
+                           QueueManager::Attach(shard.db, /*shard=*/i));
+    router->shards_.push_back(std::move(shard));
+  }
+  // Placement is authoritative in each shard's own catalog: reattach
+  // keeps every existing queue on its shard even when the shard count
+  // changed since it was created.
+  MutexLock lock(&router->mu_);
+  for (size_t i = 0; i < router->shards_.size(); ++i) {
+    for (const std::string& name : router->shards_[i].queues->ListQueues()) {
+      const auto [it, inserted] = router->queue_shard_.emplace(name, i);
+      if (!inserted) {
+        EDADB_LOG(Warn) << "queue '" << name << "' exists on shard "
+                        << it->second << " and shard " << i
+                        << "; routing to shard " << it->second;
+      }
+    }
+  }
+  return router;
+}
+
+size_t ShardRouter::HashShard(const std::string& name) const {
+  return Crc32c(name) % shards_.size();
+}
+
+size_t ShardRouter::ShardOfLocked(const std::string& name) const {
+  const auto it = queue_shard_.find(name);
+  if (it != queue_shard_.end()) return it->second;
+  return Crc32c(name) % shards_.size();
+}
+
+size_t ShardRouter::ShardOf(const std::string& queue) const {
+  MutexLock lock(&mu_);
+  return ShardOfLocked(queue);
+}
+
+QueueManager* ShardRouter::shard_manager(size_t shard) const {
+  return shards_[shard].queues.get();
+}
+
+Database* ShardRouter::shard_db(size_t shard) const {
+  return shards_[shard].db;
+}
+
+MessageId ShardRouter::TagId(size_t shard, MessageId raw) const {
+  if (shards_.size() == 1) return raw;
+  return (static_cast<MessageId>(shard + 1) << kShardTagShift) | raw;
+}
+
+Result<MessageId> ShardRouter::UntagId(size_t shard, MessageId id) const {
+  if (shards_.size() == 1) return id;
+  const uint64_t tag = id >> kShardTagShift;
+  if (tag == 0) return id;  // Raw shard-local id (dispatcher handlers).
+  if (tag != shard + 1) {
+    return Status::InvalidArgument(
+        "message id " + std::to_string(id) + " is tagged for shard " +
+        std::to_string(tag - 1) + " but its queue lives on shard " +
+        std::to_string(shard));
+  }
+  return id & ((static_cast<MessageId>(1) << kShardTagShift) - 1);
+}
+
+Status ShardRouter::CreateQueue(const std::string& name,
+                                QueueCreateOptions options) {
+  size_t target = 0;
+  {
+    MutexLock lock(&mu_);
+    if (queue_shard_.count(name) > 0) {
+      return Status::AlreadyExists("queue '" + name + "' already exists");
+    }
+    // Dead-lettering runs inside the source queue's lock domain, so a
+    // queue is co-located with its dead-letter queue (wherever that
+    // lives now, or would hash to).
+    target = options.dead_letter_queue.empty()
+                 ? ShardOfLocked(name)
+                 : ShardOfLocked(options.dead_letter_queue);
+  }
+  EDADB_RETURN_IF_ERROR(
+      shards_[target].queues->CreateQueue(name, std::move(options)));
+  MutexLock lock(&mu_);
+  queue_shard_[name] = target;
+  return Status::OK();
+}
+
+Status ShardRouter::DropQueue(const std::string& name) {
+  const size_t target = ShardOf(name);
+  EDADB_RETURN_IF_ERROR(shards_[target].queues->DropQueue(name));
+  MutexLock lock(&mu_);
+  queue_shard_.erase(name);
+  return Status::OK();
+}
+
+bool ShardRouter::HasQueue(const std::string& name) const {
+  MutexLock lock(&mu_);
+  return queue_shard_.count(name) > 0;
+}
+
+std::vector<std::string> ShardRouter::ListQueues() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> names;
+  names.reserve(queue_shard_.size());
+  for (const auto& [name, shard] : queue_shard_) names.push_back(name);
+  return names;
+}
+
+Status ShardRouter::AddConsumerGroup(const std::string& queue,
+                                     const std::string& group) {
+  return shards_[ShardOf(queue)].queues->AddConsumerGroup(queue, group);
+}
+
+Status ShardRouter::RemoveConsumerGroup(const std::string& queue,
+                                        const std::string& group) {
+  return shards_[ShardOf(queue)].queues->RemoveConsumerGroup(queue, group);
+}
+
+Result<std::vector<std::string>> ShardRouter::ListConsumerGroups(
+    const std::string& queue) const {
+  return shards_[ShardOf(queue)].queues->ListConsumerGroups(queue);
+}
+
+Result<MessageId> ShardRouter::Enqueue(const std::string& queue,
+                                       const EnqueueRequest& request) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(MessageId id,
+                         shards_[shard].queues->Enqueue(queue, request));
+  return TagId(shard, id);
+}
+
+Result<std::vector<MessageId>> ShardRouter::EnqueueBatch(
+    const std::string& queue, const std::vector<EnqueueRequest>& requests) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(
+      std::vector<MessageId> ids,
+      shards_[shard].queues->EnqueueBatch(queue, requests));
+  for (MessageId& id : ids) id = TagId(shard, id);
+  return ids;
+}
+
+Result<std::optional<MessageId>> ShardRouter::EnqueueDedup(
+    const std::string& queue, const EnqueueRequest& request,
+    const std::string& dedup_key) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(
+      std::optional<MessageId> id,
+      shards_[shard].queues->EnqueueDedup(queue, request, dedup_key));
+  if (!id.has_value()) return id;
+  return std::optional<MessageId>(TagId(shard, *id));
+}
+
+Result<std::optional<Message>> ShardRouter::Dequeue(
+    const std::string& queue, const DequeueRequest& request) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(std::optional<Message> message,
+                         shards_[shard].queues->Dequeue(queue, request));
+  if (message.has_value()) message->id = TagId(shard, message->id);
+  return message;
+}
+
+Result<std::vector<Message>> ShardRouter::DequeueBatch(
+    const std::string& queue, const DequeueRequest& request,
+    size_t max_messages) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(
+      std::vector<Message> messages,
+      shards_[shard].queues->DequeueBatch(queue, request, max_messages));
+  for (Message& message : messages) message.id = TagId(shard, message.id);
+  return messages;
+}
+
+Result<std::optional<Message>> ShardRouter::DequeueWait(
+    const std::string& queue, const DequeueRequest& request,
+    TimestampMicros timeout_micros) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(
+      std::optional<Message> message,
+      shards_[shard].queues->DequeueWait(queue, request, timeout_micros));
+  if (message.has_value()) message->id = TagId(shard, message->id);
+  return message;
+}
+
+Status ShardRouter::Ack(const std::string& queue, const std::string& group,
+                        MessageId id) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(MessageId raw, UntagId(shard, id));
+  return shards_[shard].queues->Ack(queue, group, raw);
+}
+
+Status ShardRouter::Nack(const std::string& queue, const std::string& group,
+                         MessageId id,
+                         TimestampMicros redeliver_delay_micros) {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(MessageId raw, UntagId(shard, id));
+  return shards_[shard].queues->Nack(queue, group, raw,
+                                     redeliver_delay_micros);
+}
+
+Result<size_t> ShardRouter::Depth(const std::string& queue,
+                                  const std::string& group) const {
+  return shards_[ShardOf(queue)].queues->Depth(queue, group);
+}
+
+Result<size_t> ShardRouter::PurgeExpired(const std::string& queue) {
+  return shards_[ShardOf(queue)].queues->PurgeExpired(queue);
+}
+
+Result<Message> ShardRouter::Peek(const std::string& queue,
+                                  MessageId id) const {
+  const size_t shard = ShardOf(queue);
+  EDADB_ASSIGN_OR_RETURN(MessageId raw, UntagId(shard, id));
+  EDADB_ASSIGN_OR_RETURN(Message message,
+                         shards_[shard].queues->Peek(queue, raw));
+  message.id = TagId(shard, message.id);
+  return message;
+}
+
+Status ShardRouter::Browse(
+    const std::string& queue, const std::string& group,
+    const std::function<bool(const Message&)>& fn) const {
+  const size_t shard = ShardOf(queue);
+  return shards_[shard].queues->Browse(
+      queue, group, [this, shard, &fn](const Message& message) {
+        Message tagged = message;
+        tagged.id = TagId(shard, tagged.id);
+        return fn(tagged);
+      });
+}
+
+void ShardRouter::Shutdown() {
+  for (const Shard& shard : shards_) shard.queues->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDispatcher
+
+ShardedDispatcher::ShardedDispatcher(ShardRouter* router) : router_(router) {
+  dispatchers_.reserve(router->num_shards());
+  for (size_t i = 0; i < router->num_shards(); ++i) {
+    dispatchers_.push_back(
+        std::make_unique<QueueDispatcher>(router->shard_manager(i)));
+  }
+}
+
+ShardedDispatcher::~ShardedDispatcher() { Stop(); }
+
+Status ShardedDispatcher::Bind(QueueDispatcher::Binding binding) {
+  return dispatchers_[router_->ShardOf(binding.queue)]->Bind(
+      std::move(binding));
+}
+
+Status ShardedDispatcher::Unbind(const std::string& queue,
+                                 const std::string& group) {
+  return dispatchers_[router_->ShardOf(queue)]->Unbind(queue, group);
+}
+
+Result<size_t> ShardedDispatcher::PumpOnce() {
+  size_t handled = 0;
+  for (const auto& dispatcher : dispatchers_) {
+    EDADB_ASSIGN_OR_RETURN(size_t n, dispatcher->PumpOnce());
+    handled += n;
+  }
+  return handled;
+}
+
+Status ShardedDispatcher::Start(TimestampMicros idle_wait_micros,
+                                size_t workers_per_shard) {
+  for (size_t i = 0; i < dispatchers_.size(); ++i) {
+    const Status started =
+        dispatchers_[i]->Start(idle_wait_micros, workers_per_shard);
+    if (!started.ok()) {
+      for (size_t j = 0; j < i; ++j) dispatchers_[j]->Stop();
+      return started;
+    }
+  }
+  return Status::OK();
+}
+
+void ShardedDispatcher::Stop() {
+  for (const auto& dispatcher : dispatchers_) dispatcher->Stop();
+}
+
+Result<QueueDispatcher::BindingStats> ShardedDispatcher::GetStats(
+    const std::string& queue, const std::string& group) const {
+  return dispatchers_[router_->ShardOf(queue)]->GetStats(queue, group);
+}
+
+QueueDispatcher* ShardedDispatcher::shard(size_t shard) const {
+  return dispatchers_[shard].get();
+}
+
+}  // namespace edadb

@@ -126,14 +126,14 @@ Publication MessageToPublication(const Message& message) {
   return pub;
 }
 
-Broker::Broker(Database* db, QueueManager* queues,
+Broker::Broker(Database* db, QueueService* queues,
                EventRingOptions ring_options)
     : db_(db),
       queues_(queues),
       ring_(std::make_unique<EventRing>(ring_options)) {}
 
 Result<std::unique_ptr<Broker>> Broker::Attach(Database* db,
-                                               QueueManager* queues,
+                                               QueueService* queues,
                                                EventRingOptions ring_options) {
   auto broker =
       std::unique_ptr<Broker>(new Broker(db, queues, ring_options));

@@ -16,7 +16,7 @@
 #include "common/result.h"
 #include "db/database.h"
 #include "expr/predicate.h"
-#include "mq/queue_manager.h"
+#include "mq/queue_service.h"
 #include "pubsub/event_ring.h"
 #include "rules/indexed_matcher.h"
 #include "value/record.h"
@@ -157,7 +157,7 @@ class Broker {
   /// the live broadcast ring (volatile by design; live cursors never
   /// survive restart).
   EDADB_NODISCARD static Result<std::unique_ptr<Broker>> Attach(
-      Database* db, QueueManager* queues, EventRingOptions ring_options = {});
+      Database* db, QueueService* queues, EventRingOptions ring_options = {});
 
   /// Returns the subscription id.
   EDADB_NODISCARD Result<std::string> Subscribe(SubscriptionSpec spec);
@@ -207,7 +207,7 @@ class Broker {
   size_t num_subscriptions() const;
 
  private:
-  Broker(Database* db, QueueManager* queues, EventRingOptions ring_options);
+  Broker(Database* db, QueueService* queues, EventRingOptions ring_options);
 
   struct SubscriptionState {
     SubscriptionSpec spec;
@@ -246,7 +246,7 @@ class Broker {
   void CollectLiveMetrics(std::vector<metrics::MetricSnapshot>* out) const;
 
   Database* const db_;
-  QueueManager* const queues_;
+  QueueService* const queues_;
 
   /// Never held across DeliverTo (handler callbacks / queue enqueues).
   mutable Mutex mu_{"Broker::mu_"};

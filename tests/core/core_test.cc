@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "gtest/gtest.h"
+#include "mq/queue_manager.h"
 #include "test_util.h"
 
 namespace edadb {

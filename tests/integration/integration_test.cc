@@ -9,6 +9,7 @@
 #include "core/processor.h"
 #include "core/sources.h"
 #include "gtest/gtest.h"
+#include "mq/queue_manager.h"
 #include "storage/file.h"
 #include "test_util.h"
 

@@ -1,6 +1,7 @@
 #include "mq/propagation.h"
 
 #include "common/failpoint.h"
+#include "mq/queue_manager.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "mq/queue_manager.h"
 #include "pubsub/broker.h"
 #include "test_util.h"
 

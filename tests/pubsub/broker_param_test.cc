@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "gtest/gtest.h"
+#include "mq/queue_manager.h"
 #include "pubsub/broker.h"
 #include "test_util.h"
 

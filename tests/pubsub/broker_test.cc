@@ -1,3 +1,4 @@
+#include "mq/queue_manager.h"
 #include "pubsub/broker.h"
 
 #include <atomic>

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "mq/queue_manager.h"
 #include "pubsub/broker.h"
 #include "pubsub/event_ring.h"
 #include "test_util.h"

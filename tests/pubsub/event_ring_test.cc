@@ -2,6 +2,7 @@
 // publish/read/poll mechanics, oversize and wraparound miss accounting,
 // and the Broker::SubscribeLive integration surface.
 
+#include "mq/queue_manager.h"
 #include "pubsub/event_ring.h"
 
 #include <string>
