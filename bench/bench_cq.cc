@@ -3,6 +3,11 @@
 // (including the incremental-vs-recompute ablation from DESIGN.md §5)
 // and NFA pattern-matching throughput vs pattern length and partition
 // count.
+//
+// Experiment E11 — event-time consistency cost (DESIGN.md §15):
+// speculative windows over the shared late/out-of-order workload
+// generator, sweeping the lateness fraction to measure what disorder
+// costs in retractions and re-emissions.
 
 #include <memory>
 
@@ -11,6 +16,7 @@
 #include "cq/join.h"
 #include "cq/pattern.h"
 #include "cq/window.h"
+#include "testing/ooo_stream.h"
 
 namespace edadb {
 namespace {
@@ -161,9 +167,9 @@ BENCHMARK(BM_SlidingStatsAdd)->Unit(benchmark::kNanosecond);
 
 /// Windowed stream-stream join throughput vs key cardinality (the
 /// buffer-per-key fanout determines pairing work).
-void BM_StreamStreamJoin(benchmark::State& state) {
+void BM_IntervalJoin(benchmark::State& state) {
   const int64_t keys = state.range(0);
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "symbol", .right_key = "symbol",
        .window_micros = 10 * kMicrosPerMilli},
       [](const Record&, const Record&, TimestampMicros) {});
@@ -181,7 +187,68 @@ void BM_StreamStreamJoin(benchmark::State& state) {
   state.counters["keys"] = static_cast<double>(keys);
   state.counters["pairs"] = static_cast<double>(join.emitted());
 }
-BENCHMARK(BM_StreamStreamJoin)->Arg(4)->Arg(64)->Arg(1024)
+BENCHMARK(BM_IntervalJoin)->Arg(4)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/// E11: retraction cost vs lateness fraction. The arrival-ordered OOO
+/// stream feeds kSpeculative tumbling windows whose lateness allowance
+/// covers the max delay (nothing drops); every straggler that lands in
+/// an already-published window forces a kRetract + kInsert pair, so
+/// the retraction counters price the disorder directly.
+void BM_RetractionCostVsLateness(benchmark::State& state) {
+  const int64_t lateness_pct = state.range(0);
+  testing::OooStreamOptions stream_options;
+  stream_options.num_events = 8192;
+  stream_options.step_micros = 100;
+  stream_options.lateness_fraction =
+      static_cast<double>(lateness_pct) / 100.0;
+  stream_options.max_delay_micros = 5000;
+  Random rng(11);
+  const std::vector<testing::OooEvent> stream =
+      GenerateOooStream(stream_options, &rng);
+  // Event time spanned by one pass; later passes shift by this much so
+  // watermarks keep advancing when the benchmark loops the stream.
+  const TimestampMicros span =
+      stream_options.num_events * stream_options.step_micros +
+      stream_options.max_delay_micros;
+
+  WindowAggregatorOptions options;
+  options.window_size_micros = 1000;  // ~10 events per window.
+  options.key_column = "symbol";
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"},
+                        {Aggregate::Func::kAvg, "price", "avg"}};
+  options.consistency = ConsistencyLevel::kSpeculative;
+  options.allowed_lateness_micros = stream_options.max_delay_micros;
+  const std::vector<Record> ticks = MakeTicks(1024, 4);
+  uint64_t emitted = 0;
+  WindowedAggregator agg(options, [&](const WindowResult&) { ++emitted; });
+
+  size_t cursor = 0;
+  TimestampMicros epoch = 0;
+  for (auto _ : state) {
+    const testing::OooEvent& event = stream[cursor];
+    if (!agg.Push(ticks[event.seq % ticks.size()], epoch + event.ts).ok()) {
+      std::abort();
+    }
+    if (++cursor == stream.size()) {
+      cursor = 0;
+      epoch += span;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["lateness"] = stream_options.lateness_fraction;
+  state.counters["retractions"] =
+      static_cast<double>(agg.retractions_emitted());
+  state.counters["speculative"] =
+      static_cast<double>(agg.speculative_emitted());
+  state.counters["late_dropped"] = static_cast<double>(agg.late_dropped());
+  state.counters["retractions_per_1k_events"] =
+      state.iterations() > 0
+          ? 1000.0 * static_cast<double>(agg.retractions_emitted()) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_RetractionCostVsLateness)->Arg(0)->Arg(10)->Arg(25)->Arg(50)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

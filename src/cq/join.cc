@@ -1,5 +1,7 @@
 #include "cq/join.h"
 
+#include "common/metrics.h"
+
 namespace edadb {
 
 // ---------------------------------------------------------------------------
@@ -90,72 +92,120 @@ Status StreamTableJoin::Push(const Record& event) {
 }
 
 // ---------------------------------------------------------------------------
-// StreamStreamJoin
+// IntervalJoin
 
-StreamStreamJoin::StreamStreamJoin(Options options, OutputCallback callback)
-    : options_(std::move(options)), callback_(std::move(callback)) {}
+namespace {
 
-void StreamStreamJoin::Evict(Side* side) {
-  const TimestampMicros horizon = watermark_ - options_.window_micros;
-  while (!side->order.empty() && side->order.front().first < horizon) {
-    const std::string& key = side->order.front().second;
+metrics::Counter* JoinLateDroppedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.join_late_dropped");
+  return c;
+}
+
+}  // namespace
+
+IntervalJoin::IntervalJoin(Options options, OutputCallback callback)
+    : options_(std::move(options)),
+      callback_(std::move(callback)),
+      tracker_(options_.consistency == ConsistencyLevel::kFast
+                   ? 0
+                   : options_.allowed_lateness_micros) {}
+
+TimestampMicros IntervalJoin::EvictionWatermark() const {
+  if (options_.consistency == ConsistencyLevel::kFast) {
+    return tracker_.frontier();
+  }
+  // A join has exactly two sides; until both have reported (event or
+  // punctuation) the merge would be one-sided and could evict buffers
+  // the silent side still needs.
+  if (tracker_.num_sources() < 2) return WatermarkTracker::kUnset;
+  return tracker_.low_watermark();
+}
+
+void IntervalJoin::Evict(Side* side) {
+  const TimestampMicros wm = EvictionWatermark();
+  if (wm == WatermarkTracker::kUnset) return;
+  const TimestampMicros horizon = wm - options_.window_micros;
+  // The heap pops the globally oldest buffered entry no matter the
+  // arrival order; a multimap erase keeps the per-key buffer exact.
+  while (!side->expiry.empty() && side->expiry.top().first < horizon) {
+    const auto [ts, key] = side->expiry.top();
+    side->expiry.pop();
     auto it = side->by_key.find(key);
-    if (it != side->by_key.end()) {
-      // Per-key deques are also in arrival order, so the global front
-      // matches this key's front.
-      it->second.pop_front();
-      --side->buffered;
-      if (it->second.empty()) side->by_key.erase(it);
-    }
-    side->order.pop_front();
+    if (it == side->by_key.end()) continue;
+    auto entry = it->second.find(ts);
+    if (entry == it->second.end()) continue;
+    it->second.erase(entry);
+    --side->buffered;
+    if (it->second.empty()) side->by_key.erase(it);
   }
 }
 
-Status StreamStreamJoin::Push(bool left, const Record& event,
-                              TimestampMicros ts) {
+Status IntervalJoin::Push(bool left, const Record& event,
+                          TimestampMicros ts) {
   const std::string& key_column =
       left ? options_.left_key : options_.right_key;
   EDADB_ASSIGN_OR_RETURN(Value key, event.Get(key_column));
-  if (ts > watermark_) {
-    watermark_ = ts;
-    Evict(&left_);
-    Evict(&right_);
-  }
+  tracker_.Observe(left ? "left" : "right", ts);
+  Evict(&left_);
+  Evict(&right_);
   if (key.is_null()) return Status::OK();  // NULL keys never join.
   std::string key_bytes;
   key.EncodeTo(&key_bytes);
 
-  // Pair with the other side's live buffer.
+  // Pair with the other side's live buffer: the [ts - window,
+  // ts + window] slice of the key's time-sorted entries.
   Side& other = left ? right_ : left_;
   auto it = other.by_key.find(key_bytes);
   if (it != other.by_key.end()) {
-    for (const Buffered& candidate : it->second) {
-      if (ts - candidate.ts > options_.window_micros ||
-          candidate.ts - ts > options_.window_micros) {
-        continue;
-      }
+    const auto lo = it->second.lower_bound(ts - options_.window_micros);
+    const auto hi = it->second.upper_bound(ts + options_.window_micros);
+    for (auto candidate = lo; candidate != hi; ++candidate) {
       ++emitted_;
       if (left) {
-        callback_(event, candidate.event, std::max(ts, candidate.ts));
+        callback_(event, candidate->second,
+                  std::max(ts, candidate->first));
       } else {
-        callback_(candidate.event, event, std::max(ts, candidate.ts));
+        callback_(candidate->second, event,
+                  std::max(ts, candidate->first));
       }
     }
   }
-  // Buffer for future arrivals of the other side.
+  // Buffer for future arrivals of the other side — unless the event is
+  // already behind the eviction horizon (it paired with what survived;
+  // buffering it would be popped straight back out).
+  const TimestampMicros wm = EvictionWatermark();
+  if (wm != WatermarkTracker::kUnset &&
+      ts < wm - options_.window_micros) {
+    ++late_dropped_;
+    JoinLateDroppedCounter()->Add();
+    return Status::OK();
+  }
   Side& mine = left ? left_ : right_;
-  mine.by_key[key_bytes].push_back({event, ts});
-  mine.order.emplace_back(ts, key_bytes);
+  mine.by_key[key_bytes].emplace(ts, event);
+  mine.expiry.emplace(ts, key_bytes);
   ++mine.buffered;
   return Status::OK();
 }
 
-Status StreamStreamJoin::PushLeft(const Record& event, TimestampMicros ts) {
+Status IntervalJoin::PushLeft(const Record& event, TimestampMicros ts) {
   return Push(true, event, ts);
 }
 
-Status StreamStreamJoin::PushRight(const Record& event, TimestampMicros ts) {
+Status IntervalJoin::PushRight(const Record& event, TimestampMicros ts) {
   return Push(false, event, ts);
+}
+
+void IntervalJoin::PunctuateLeft(TimestampMicros mark) {
+  tracker_.Punctuate("left", mark);
+  Evict(&left_);
+  Evict(&right_);
+}
+
+void IntervalJoin::PunctuateRight(TimestampMicros mark) {
+  tracker_.Punctuate("right", mark);
+  Evict(&left_);
+  Evict(&right_);
 }
 
 }  // namespace edadb

@@ -5,12 +5,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "cq/watermark.h"
 #include "db/database.h"
 #include "value/record.h"
 
@@ -67,16 +69,34 @@ class StreamTableJoin {
   uint64_t emitted_ = 0;
 };
 
-/// Windowed stream-stream equi-join: events from the left and right
+/// Interval stream-stream equi-join: events from the left and right
 /// streams pair up when their join keys are equal and their event times
 /// are within `window_micros` of each other (|tl - tr| <= window).
-/// Each side buffers its recent events per key; a global watermark
-/// (max event time seen on either side) evicts expired entries, so
-/// memory is bounded by rate × window.
+/// Each side buffers its recent events per key, sorted by event time,
+/// so out-of-order arrivals pair correctly; a min-heap over buffered
+/// timestamps evicts expired entries as the watermark advances, so
+/// memory is bounded by rate × window even under disorder. (The seed's
+/// arrival-order eviction deque let one out-of-order event strand
+/// buffered entries forever.)
+///
+/// The consistency knob picks the eviction watermark:
+///   kFast                  the event-time frontier (max ts on either
+///                          side) — the pre-event-time behaviour, and
+///                          the default. An event later than
+///                          frontier - window pairs with what is still
+///                          buffered but is not buffered itself
+///                          (counted in late_dropped()).
+///   kSpeculative/kCorrect  the merged per-side low watermark minus
+///                          allowed lateness — one slow side holds
+///                          eviction back, so a straggler on it still
+///                          finds its partners. Join output is
+///                          append-only (a late pairing is a new
+///                          result, never a revision), so both levels
+///                          evict identically and nothing retracts.
 ///
 /// The canonical CEP use: correlate an order event with its payment
 /// event within 5 minutes.
-class StreamStreamJoin {
+class IntervalJoin {
  public:
   /// Receives (left event, right event, pairing time = max of the two).
   using OutputCallback =
@@ -86,33 +106,45 @@ class StreamStreamJoin {
     std::string left_key;
     std::string right_key;
     TimestampMicros window_micros = kMicrosPerMinute;
+    TimestampMicros allowed_lateness_micros = 0;
+    ConsistencyLevel consistency = ConsistencyLevel::kFast;
   };
 
-  StreamStreamJoin(Options options, OutputCallback callback);
+  IntervalJoin(Options options, OutputCallback callback);
 
-  /// Feeds one event to a side; event time must be non-decreasing per
-  /// side. Emits every pairing with buffered events of the other side.
+  /// Feeds one event to a side; event time may arrive out of order.
+  /// Emits every pairing with buffered events of the other side.
   EDADB_NODISCARD Status PushLeft(const Record& event, TimestampMicros ts);
   EDADB_NODISCARD Status PushRight(const Record& event, TimestampMicros ts);
+
+  /// Punctuation for one side: it promises no events with ts < mark.
+  /// Advances the eviction watermark (kSpeculative/kCorrect care).
+  void PunctuateLeft(TimestampMicros mark);
+  void PunctuateRight(TimestampMicros mark);
 
   size_t buffered_left() const { return left_.buffered; }
   size_t buffered_right() const { return right_.buffered; }
   uint64_t emitted() const { return emitted_; }
+  /// Events too old to buffer (older than watermark - window); they
+  /// still paired against the surviving buffer before being dropped.
+  uint64_t late_dropped() const { return late_dropped_; }
+  const WatermarkTracker& watermarks() const { return tracker_; }
 
  private:
-  struct Buffered {
-    Record event;
-    TimestampMicros ts;
-  };
   struct Side {
-    /// Encoded key -> buffered events in arrival order.
-    std::map<std::string, std::deque<Buffered>> by_key;
-    /// Global arrival order (ts, key) — fronts are always the oldest,
-    /// so eviction is amortized O(1) instead of O(keys) per watermark
-    /// advance.
-    std::deque<std::pair<TimestampMicros, std::string>> order;
+    /// Encoded key -> buffered events sorted by event time.
+    std::map<std::string, std::multimap<TimestampMicros, Record>> by_key;
+    /// Min-heap of (ts, key) mirroring by_key, so eviction pops the
+    /// globally oldest entry regardless of arrival order.
+    std::priority_queue<std::pair<TimestampMicros, std::string>,
+                        std::vector<std::pair<TimestampMicros, std::string>>,
+                        std::greater<>>
+        expiry;
     size_t buffered = 0;
   };
+
+  /// The watermark whose trailing edge (minus window) evicts buffers.
+  TimestampMicros EvictionWatermark() const;
 
   EDADB_NODISCARD Status Push(bool left, const Record& event, TimestampMicros ts);
   void Evict(Side* side);
@@ -121,8 +153,9 @@ class StreamStreamJoin {
   OutputCallback callback_;
   Side left_;
   Side right_;
-  TimestampMicros watermark_ = INT64_MIN;
+  WatermarkTracker tracker_;
   uint64_t emitted_ = 0;
+  uint64_t late_dropped_ = 0;
 };
 
 }  // namespace edadb

@@ -1,14 +1,34 @@
 #include "cq/pattern.h"
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace edadb {
+
+namespace {
+
+metrics::Counter* PatternLateDroppedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.pattern_late_dropped");
+  return c;
+}
+
+metrics::Counter* PatternRetractionsCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.retractions_emitted");
+  return c;
+}
+
+}  // namespace
 
 std::string PatternMatch::ToString() const {
   std::string out = "Match{" + pattern;
   if (!partition_key.is_null()) out += " key=" + partition_key.ToString();
   out += StringPrintf(" [%lld..%lld]", static_cast<long long>(start_ts),
                       static_cast<long long>(end_ts));
+  if (kind != ResultKind::kFinal) {
+    out += " " + std::string(ResultKindName(kind));
+  }
   for (const auto& [step, events] : bindings) {
     out += " " + step + ":" + std::to_string(events.size());
   }
@@ -17,20 +37,25 @@ std::string PatternMatch::ToString() const {
 }
 
 PatternMatcher::PatternMatcher(PatternSpec spec, MatchCallback callback)
-    : spec_(std::move(spec)), callback_(std::move(callback)) {}
+    : spec_(std::move(spec)),
+      callback_(std::move(callback)),
+      tracker_(spec_.consistency == ConsistencyLevel::kFast
+                   ? 0
+                   : spec_.allowed_lateness_micros) {}
 
 Result<std::unique_ptr<PatternMatcher>> PatternMatcher::Create(
     PatternSpec spec, MatchCallback callback) {
   if (spec.steps.empty()) {
     return Status::InvalidArgument("pattern needs at least one step");
   }
-  if (spec.steps.front().negated || spec.steps.back().negated) {
+  if (spec.steps.front().negated) {
     return Status::InvalidArgument(
-        "negated steps must be between positive steps");
+        "a pattern cannot start with a negated step");
   }
   if (spec.within_micros <= 0) {
     return Status::InvalidArgument("WITHIN must be positive");
   }
+  bool any_positive = false;
   for (const PatternStep& step : spec.steps) {
     if (!step.condition.valid()) {
       return Status::InvalidArgument("step '" + step.name +
@@ -39,11 +64,17 @@ Result<std::unique_ptr<PatternMatcher>> PatternMatcher::Create(
     if (step.negated && step.one_or_more) {
       return Status::InvalidArgument("a step cannot be both NOT and +");
     }
+    any_positive |= !step.negated;
+  }
+  if (!any_positive) {
+    return Status::InvalidArgument("pattern needs a positive step");
   }
   auto matcher = std::unique_ptr<PatternMatcher>(
       new PatternMatcher(std::move(spec), std::move(callback)));
   // Compile positions: positive steps with the negations guarding the
-  // wait for them.
+  // wait for them. Negations after the last positive step become the
+  // pattern's absence guards: the whole match holds its WITHIN interval
+  // open and emits only when the watermark confirms no such event.
   std::vector<size_t> pending_guards;
   for (size_t i = 0; i < matcher->spec_.steps.size(); ++i) {
     if (matcher->spec_.steps[i].negated) {
@@ -53,25 +84,38 @@ Result<std::unique_ptr<PatternMatcher>> PatternMatcher::Create(
       pending_guards.clear();
     }
   }
+  matcher->absence_guards_ = std::move(pending_guards);
   return matcher;
 }
 
 void PatternMatcher::EmitMatch(const Value& partition_key, const Run& run,
-                               TimestampMicros end_ts) {
+                               TimestampMicros end_ts, ResultKind kind) {
   PatternMatch match;
   match.pattern = spec_.name;
   match.partition_key = partition_key;
   match.start_ts = run.start_ts;
   match.end_ts = end_ts;
+  match.kind = kind;
   for (size_t p = 0; p < positions_.size(); ++p) {
     match.bindings.emplace_back(spec_.steps[positions_[p].step_index].name,
                                 run.bound[p]);
   }
-  ++matches_emitted_;
+  if (kind == ResultKind::kRetract) {
+    ++retractions_emitted_;
+    PatternRetractionsCounter()->Add();
+  } else {
+    ++matches_emitted_;
+  }
   callback_(match);
 }
 
-Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
+TimestampMicros PatternMatcher::CloseWatermark() const {
+  return spec_.consistency == ConsistencyLevel::kFast
+             ? tracker_.frontier()
+             : tracker_.low_watermark();
+}
+
+void PatternMatcher::ProcessEvent(const Record& event, TimestampMicros ts) {
   Value partition_key;
   std::string partition_bytes;
   if (!spec_.partition_by.empty()) {
@@ -79,8 +123,36 @@ Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
     partition_key = key.has_value() ? *key : Value::Null();
     partition_key.EncodeTo(&partition_bytes);
   }
-  auto& [display_key, runs] = partitions_[partition_bytes];
-  display_key = partition_key;
+  Partition& partition = partitions_[partition_bytes];
+  partition.key = partition_key;
+  std::deque<Run>& runs = partition.runs;
+
+  // Absence guards: an event matching one inside a pending interval
+  // refutes that match. A speculative kInsert already out gets its
+  // kRetract here.
+  if (!absence_guards_.empty() && !partition.pending.empty()) {
+    bool is_guard = false;
+    for (const size_t guard : absence_guards_) {
+      if (spec_.steps[guard].condition.MatchesOrFalse(event)) {
+        is_guard = true;
+        break;
+      }
+    }
+    if (is_guard) {
+      for (auto it = partition.pending.begin();
+           it != partition.pending.end();) {
+        if (ts >= it->armed_ts && ts <= it->deadline) {
+          if (it->inserted) {
+            EmitMatch(partition.key, it->run, it->deadline,
+                      ResultKind::kRetract);
+          }
+          it = partition.pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
 
   const bool starts_run =
       spec_.steps[positions_.front().step_index].condition.MatchesOrFalse(
@@ -112,9 +184,15 @@ Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
       run.kleene_open = spec_.steps[pos.step_index].one_or_more;
       run.position += 1;
       if (run.position == positions_.size()) {
-        // Pattern complete (a trailing Kleene step emits on its first
-        // event rather than flooding a match per extension).
-        EmitMatch(display_key, run, ts);
+        // Positive part complete (a trailing Kleene step emits on its
+        // first event rather than flooding a match per extension).
+        if (absence_guards_.empty()) {
+          EmitMatch(partition.key, run, ts, ResultKind::kFinal);
+        } else {
+          const TimestampMicros deadline =
+              run.start_ts + spec_.within_micros;
+          partition.pending.push_back({std::move(run), ts, deadline, false});
+        }
         continue;  // Run consumed.
       }
       next_runs.push_back(std::move(run));
@@ -140,20 +218,121 @@ Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
     run.kleene_open = spec_.steps[positions_.front().step_index].one_or_more;
     run.position = 1;
     if (run.position == positions_.size()) {
-      EmitMatch(display_key, run, ts);
+      if (absence_guards_.empty()) {
+        EmitMatch(partition.key, run, ts, ResultKind::kFinal);
+      } else {
+        const TimestampMicros deadline = run.start_ts + spec_.within_micros;
+        partition.pending.push_back({std::move(run), ts, deadline, false});
+      }
     } else {
       next_runs.push_back(std::move(run));
     }
   }
 
   runs = std::move(next_runs);
+}
+
+void PatternMatcher::DrainReorder() {
+  const TimestampMicros low = tracker_.low_watermark();
+  if (low == WatermarkTracker::kUnset) return;
+  while (!reorder_.empty() && reorder_.begin()->first <= low) {
+    auto node = reorder_.extract(reorder_.begin());
+    ProcessEvent(node.mapped(), node.key());
+  }
+}
+
+void PatternMatcher::AdvanceWatermarks() {
+  const TimestampMicros close = CloseWatermark();
+  const TimestampMicros frontier = tracker_.frontier();
+  for (auto& [bytes, partition] : partitions_) {
+    if (close != WatermarkTracker::kUnset) {
+      // A run whose window closed before the watermark can never
+      // complete: any completing event would be rejected as late.
+      std::deque<Run>& runs = partition.runs;
+      for (auto it = runs.begin(); it != runs.end();) {
+        it = it->start_ts + spec_.within_micros < close ? runs.erase(it)
+                                                        : it + 1;
+      }
+    }
+    for (auto it = partition.pending.begin();
+         it != partition.pending.end();) {
+      if (spec_.consistency == ConsistencyLevel::kSpeculative &&
+          !it->inserted && frontier != WatermarkTracker::kUnset &&
+          frontier > it->deadline) {
+        EmitMatch(partition.key, it->run, it->deadline, ResultKind::kInsert);
+        it->inserted = true;
+      }
+      if (close != WatermarkTracker::kUnset && close > it->deadline) {
+        EmitMatch(partition.key, it->run, it->deadline, ResultKind::kFinal);
+        it = partition.pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Status PatternMatcher::Push(const Record& event, TimestampMicros ts) {
+  return Push(event, ts, "");
+}
+
+Status PatternMatcher::Push(const Record& event, TimestampMicros ts,
+                            std::string_view source) {
+  const TimestampMicros close_before = CloseWatermark();
+  if (close_before != WatermarkTracker::kUnset && ts < close_before) {
+    ++late_dropped_;
+    PatternLateDroppedCounter()->Add();
+    return Status::OK();
+  }
+  tracker_.Observe(source, ts);
+  if (spec_.consistency == ConsistencyLevel::kCorrect) {
+    reorder_.emplace(ts, event);
+    DrainReorder();
+  } else {
+    ProcessEvent(event, ts);
+  }
+  AdvanceWatermarks();
+  return Status::OK();
+}
+
+Status PatternMatcher::Punctuate(std::string_view source,
+                                 TimestampMicros mark) {
+  tracker_.Punctuate(source, mark);
+  if (spec_.consistency == ConsistencyLevel::kCorrect) DrainReorder();
+  AdvanceWatermarks();
+  return Status::OK();
+}
+
+Status PatternMatcher::Flush() {
+  // Drain everything still reordered, in timestamp order, regardless of
+  // the watermark (end of stream: nothing else is coming).
+  while (!reorder_.empty()) {
+    auto node = reorder_.extract(reorder_.begin());
+    ProcessEvent(node.mapped(), node.key());
+  }
+  for (auto& [bytes, partition] : partitions_) {
+    for (Pending& pending : partition.pending) {
+      EmitMatch(partition.key, pending.run, pending.deadline,
+                ResultKind::kFinal);
+    }
+    partition.pending.clear();
+    partition.runs.clear();
+  }
   return Status::OK();
 }
 
 size_t PatternMatcher::active_runs() const {
   size_t total = 0;
   for (const auto& [key, partition] : partitions_) {
-    total += partition.second.size();
+    total += partition.runs.size();
+  }
+  return total;
+}
+
+size_t PatternMatcher::pending_absences() const {
+  size_t total = 0;
+  for (const auto& [key, partition] : partitions_) {
+    total += partition.pending.size();
   }
   return total;
 }

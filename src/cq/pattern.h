@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "cq/watermark.h"
 #include "expr/predicate.h"
 #include "value/record.h"
 
@@ -23,8 +24,11 @@ struct PatternStep {
   /// steps, the condition that must NOT occur.
   Predicate condition;
   /// NOT step: the pattern fails (the partial match dies) if a matching
-  /// event arrives before the next positive step matches. A negated step
-  /// cannot be first or last.
+  /// event arrives before the next positive step matches. A negated
+  /// step cannot be first. A TRAILING negated step is an absence
+  /// operator: the match emits only when the event-time watermark
+  /// passes start + within with no such event observed ("A then
+  /// absence-of-C within T" — negation needs watermarks to close).
   bool negated = false;
   /// Kleene-plus: one or more consecutive matching events fold into this
   /// step (greedy: every matching event extends it).
@@ -47,6 +51,23 @@ struct PatternSpec {
   std::string partition_by;
   /// Cap on concurrent partial matches per partition.
   size_t max_active_runs = 1024;
+  /// Event-time consistency (DESIGN.md §15):
+  ///   kFast        process events in arrival order, close absence
+  ///                deadlines at the frontier — the pre-event-time
+  ///                behaviour, and the default;
+  ///   kCorrect     reorder events in a watermark-drained buffer and
+  ///                process them in timestamp order, close deadlines at
+  ///                the low watermark: exact NFA semantics under
+  ///                disorder, delayed by the lateness allowance;
+  ///   kSpeculative process in arrival order, but emit absence matches
+  ///                speculatively (kInsert) when the frontier passes
+  ///                the deadline, retract (kRetract) if a straggler
+  ///                inside the lateness allowance turns out to be the
+  ///                forbidden event, and seal (kFinal) at the low
+  ///                watermark. Positive sequence matches are
+  ///                append-only and always kFinal.
+  ConsistencyLevel consistency = ConsistencyLevel::kFast;
+  TimestampMicros allowed_lateness_micros = 0;
 };
 
 /// A completed match: the events bound to each (positive) step.
@@ -55,6 +76,9 @@ struct PatternMatch {
   Value partition_key;
   TimestampMicros start_ts = 0;
   TimestampMicros end_ts = 0;
+  /// kFinal for ordinary sequence matches; speculative absence matches
+  /// emit kInsert first and kRetract if later refuted (cq/watermark.h).
+  ResultKind kind = ResultKind::kFinal;
   /// step name -> events folded into that step (singular unless
   /// one_or_more).
   std::vector<std::pair<std::string, std::vector<Record>>> bindings;
@@ -71,13 +95,33 @@ class PatternMatcher {
   EDADB_NODISCARD static Result<std::unique_ptr<PatternMatcher>> Create(
       PatternSpec spec, MatchCallback callback);
 
-  /// Feeds one event (event time must be non-decreasing per partition).
+  /// Feeds one event from the anonymous source. Event time may arrive
+  /// out of order; see PatternSpec::consistency for the semantics.
   EDADB_NODISCARD Status Push(const Record& event, TimestampMicros ts);
+
+  /// Feeds one event tagged with its producing source (per-source
+  /// watermarks merge into the global low watermark).
+  EDADB_NODISCARD Status Push(const Record& event, TimestampMicros ts,
+                              std::string_view source);
+
+  /// Punctuation: `source` promises no events with ts < mark. Closes
+  /// absence deadlines the advanced watermark confirms.
+  EDADB_NODISCARD Status Punctuate(std::string_view source,
+                                   TimestampMicros mark);
+
+  /// End of stream: drains the reorder buffer and confirms every
+  /// pending absence.
+  EDADB_NODISCARD Status Flush();
 
   /// Partial matches currently alive (all partitions).
   size_t active_runs() const;
+  /// Completed sequences waiting for their absence deadline to close.
+  size_t pending_absences() const;
 
   uint64_t matches_emitted() const { return matches_emitted_; }
+  uint64_t retractions_emitted() const { return retractions_emitted_; }
+  uint64_t late_dropped() const { return late_dropped_; }
+  const WatermarkTracker& watermarks() const { return tracker_; }
 
  private:
   PatternMatcher(PatternSpec spec, MatchCallback callback);
@@ -96,15 +140,47 @@ class PatternMatcher {
     bool kleene_open = false;  // Last matched position accepts more.
   };
 
+  /// A completed positive sequence holding its trailing-absence
+  /// interval open until the watermark passes `deadline`.
+  struct Pending {
+    Run run;
+    TimestampMicros armed_ts = 0;   // When the last positive step matched.
+    TimestampMicros deadline = 0;   // start_ts + within.
+    bool inserted = false;          // Speculative kInsert already emitted.
+  };
+
+  struct Partition {
+    Value key;
+    std::deque<Run> runs;
+    std::deque<Pending> pending;
+  };
+
   void EmitMatch(const Value& partition_key, const Run& run,
-                 TimestampMicros end_ts);
+                 TimestampMicros end_ts, ResultKind kind);
+
+  /// The NFA transition for one event, in processing order.
+  void ProcessEvent(const Record& event, TimestampMicros ts);
+  /// The watermark that closes absence deadlines / rejects stragglers.
+  TimestampMicros CloseWatermark() const;
+  /// Processes reorder-buffered events the low watermark released.
+  void DrainReorder();
+  /// Expires dead runs and closes/speculates absence deadlines.
+  void AdvanceWatermarks();
 
   PatternSpec spec_;
   MatchCallback callback_;
   std::vector<Position> positions_;
-  /// Encoded partition key -> (display key, active runs).
-  std::map<std::string, std::pair<Value, std::deque<Run>>> partitions_;
+  /// Trailing negated steps: the absence guards of the whole pattern.
+  std::vector<size_t> absence_guards_;
+  /// Encoded partition key -> partition state.
+  std::map<std::string, Partition> partitions_;
+  WatermarkTracker tracker_;
+  /// kCorrect only: events buffered until the low watermark releases
+  /// them in timestamp order.
+  std::multimap<TimestampMicros, Record> reorder_;
   uint64_t matches_emitted_ = 0;
+  uint64_t retractions_emitted_ = 0;
+  uint64_t late_dropped_ = 0;
 };
 
 }  // namespace edadb

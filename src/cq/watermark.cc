@@ -1,0 +1,102 @@
+#include "cq/watermark.h"
+
+#include <algorithm>
+
+namespace edadb {
+
+std::string_view ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kFast:
+      return "fast";
+    case ConsistencyLevel::kSpeculative:
+      return "speculative";
+    case ConsistencyLevel::kCorrect:
+      return "correct";
+  }
+  return "unknown";
+}
+
+std::string_view ResultKindName(ResultKind kind) {
+  switch (kind) {
+    case ResultKind::kInsert:
+      return "insert";
+    case ResultKind::kRetract:
+      return "retract";
+    case ResultKind::kFinal:
+      return "final";
+  }
+  return "unknown";
+}
+
+TimestampMicros WatermarkTracker::Advance(std::string_view source,
+                                          TimestampMicros mark) {
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    it = sources_.emplace(std::string(source), mark).first;
+    // A new source can only lower the min.
+    min_source_ = min_source_ == kUnset ? mark : std::min(min_source_, mark);
+  } else if (mark > it->second) {
+    const bool held_min = it->second == min_source_;
+    it->second = mark;
+    if (held_min) {
+      // The previous min holder moved: recompute. Source counts are
+      // small (feeds, not keys), so a linear pass is fine.
+      min_source_ = mark;
+      for (const auto& [name, wm] : sources_) {
+        min_source_ = std::min(min_source_, wm);
+      }
+    }
+  }
+  frontier_ = std::max(frontier_, mark);
+  return low_watermark();
+}
+
+TimestampMicros WatermarkTracker::Observe(std::string_view source,
+                                          TimestampMicros ts) {
+  return Advance(source, ts);
+}
+
+TimestampMicros WatermarkTracker::Punctuate(std::string_view source,
+                                            TimestampMicros mark) {
+  return Advance(source, mark);
+}
+
+void WatermarkTracker::ForgetSource(std::string_view source) {
+  auto it = sources_.find(source);
+  if (it == sources_.end()) return;
+  const bool held_min = it->second == min_source_;
+  sources_.erase(it);
+  if (sources_.empty()) {
+    // The frontier is history (events did happen); only the merge
+    // resets. A later new source re-establishes the min.
+    min_source_ = kUnset;
+    return;
+  }
+  if (held_min) {
+    min_source_ = sources_.begin()->second;
+    for (const auto& [name, wm] : sources_) {
+      min_source_ = std::min(min_source_, wm);
+    }
+  }
+}
+
+TimestampMicros WatermarkTracker::low_watermark() const {
+  if (min_source_ == kUnset) return kUnset;
+  // Saturate instead of underflowing for huge lateness allowances.
+  if (min_source_ < INT64_MIN + allowed_lateness_) return INT64_MIN + 1;
+  return min_source_ - allowed_lateness_;
+}
+
+TimestampMicros WatermarkTracker::lag_micros() const {
+  const TimestampMicros low = low_watermark();
+  if (low == kUnset || frontier_ == kUnset) return 0;
+  return frontier_ > low ? frontier_ - low : 0;
+}
+
+TimestampMicros WatermarkTracker::source_watermark(
+    std::string_view source) const {
+  auto it = sources_.find(source);
+  return it == sources_.end() ? kUnset : it->second;
+}
+
+}  // namespace edadb

@@ -1,0 +1,116 @@
+#ifndef EDADB_CQ_WATERMARK_H_
+#define EDADB_CQ_WATERMARK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace edadb {
+
+/// How eagerly an event-time operator trades output latency for
+/// correctness under late/out-of-order input — the user-selectable
+/// consistency level of Barga et al., "Consistent Streaming Through
+/// Time" (CEDR), collapsed to the three regimes the paper's workloads
+/// need:
+///
+///   kFast        Emit as soon as the event-time frontier (max event
+///                time observed) passes a window/deadline; events later
+///                than that are dropped (and counted). Lowest latency,
+///                bounded memory, possibly wrong on stragglers.
+///   kSpeculative Emit early like kFast, but keep state for the allowed
+///                lateness: a straggler revising an already-emitted
+///                result issues a retraction (kRetract of the stale
+///                result, then kInsert of the revision); when the low
+///                watermark confirms no more stragglers, a kFinal seals
+///                the result.
+///   kCorrect     Emit nothing until the low watermark (frontier minus
+///                allowed lateness) guarantees the result can no longer
+///                change; every emission is kFinal. Highest latency,
+///                never retracts.
+enum class ConsistencyLevel { kFast, kSpeculative, kCorrect };
+
+std::string_view ConsistencyLevelName(ConsistencyLevel level);
+
+/// Revision protocol for speculative event-time output. Downstream
+/// applies emissions as: kInsert sets the value for its (window, key),
+/// kRetract removes the exact previously-inserted value, kFinal sets
+/// the value and marks it immutable. Applying a stream of emissions in
+/// order therefore converges to the batch (fully-ordered) answer —
+/// tests/cq/retraction_property_test.cc holds this as an invariant.
+enum class ResultKind { kInsert, kRetract, kFinal };
+
+std::string_view ResultKindName(ResultKind kind);
+
+/// Merges per-source event-time progress into one global low watermark.
+///
+/// Each source's watermark is the max event time it has presented (or
+/// explicitly promised via Punctuate). The global low watermark is the
+/// minimum across sources minus the allowed lateness: a promise that no
+/// source will present an event older than it (operators drop and count
+/// anything older). The frontier is the max event time seen anywhere —
+/// what speculative output races ahead to.
+///
+/// A source exists from its first Observe/Punctuate; until then it does
+/// not hold the merge back (a silent feed that never appeared cannot
+/// stall everyone — use Punctuate to advance an idle-but-known source,
+/// or ForgetSource to drop a disconnected one).
+///
+/// Not thread-safe; owned by a single operator like the rest of cq/.
+class WatermarkTracker {
+ public:
+  /// Low watermark / frontier value before any event was observed.
+  static constexpr TimestampMicros kUnset = INT64_MIN;
+
+  explicit WatermarkTracker(TimestampMicros allowed_lateness_micros = 0)
+      : allowed_lateness_(allowed_lateness_micros) {}
+
+  /// Records an event at `ts` from `source` and returns the (possibly
+  /// advanced) global low watermark. Source watermarks are monotone:
+  /// an out-of-order ts never moves one backwards.
+  TimestampMicros Observe(std::string_view source, TimestampMicros ts);
+
+  /// Explicit punctuation: `source` promises it will not present events
+  /// with ts < `mark` again (§2.2's sensor feeds emit these at batch
+  /// boundaries). Equivalent to observing an event at `mark` without
+  /// any payload. Returns the global low watermark.
+  TimestampMicros Punctuate(std::string_view source, TimestampMicros mark);
+
+  /// Removes `source` from the merge (disconnected feed) so it no
+  /// longer holds the low watermark back.
+  void ForgetSource(std::string_view source);
+
+  /// min over per-source watermarks, minus allowed lateness. kUnset
+  /// until the first Observe/Punctuate.
+  TimestampMicros low_watermark() const;
+
+  /// Max event time observed across all sources; kUnset until the
+  /// first Observe/Punctuate.
+  TimestampMicros frontier() const { return frontier_; }
+
+  /// How far the low watermark trails the frontier (0 when unset):
+  /// the skew between the fastest and slowest source plus the lateness
+  /// allowance — the `cq.watermark_lag_us` signal.
+  TimestampMicros lag_micros() const;
+
+  /// The per-source watermark, or kUnset for an unknown source.
+  TimestampMicros source_watermark(std::string_view source) const;
+
+  size_t num_sources() const { return sources_.size(); }
+
+ private:
+  TimestampMicros Advance(std::string_view source, TimestampMicros mark);
+
+  const TimestampMicros allowed_lateness_;
+  std::map<std::string, TimestampMicros, std::less<>> sources_;
+  /// Cached min over sources_ (without the lateness subtraction).
+  TimestampMicros min_source_ = kUnset;
+  TimestampMicros frontier_ = kUnset;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_CQ_WATERMARK_H_

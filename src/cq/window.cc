@@ -1,32 +1,108 @@
 #include "cq/window.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace edadb {
 
+namespace {
+
+// Event-time consistency counters (DESIGN.md §15), mirrored into the
+// __metrics table by MetricsTable like every registry instrument.
+metrics::Counter* LateDroppedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.late_dropped");
+  return c;
+}
+
+metrics::Counter* RetractionsCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.retractions_emitted");
+  return c;
+}
+
+metrics::Counter* SpeculativeCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.speculative_emitted");
+  return c;
+}
+
+metrics::Counter* FinalizedCounter() {
+  static metrics::Counter* const c =
+      metrics::Registry::Default()->GetCounter("cq.windows_finalized");
+  return c;
+}
+
+metrics::Histogram* WatermarkLag() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Default()->GetHistogram("cq.watermark_lag_us");
+  return h;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SlidingWindowStats
 
+void SlidingWindowStats::RebuildExtremeDeques() {
+  min_deque_.clear();
+  max_deque_.clear();
+  for (const auto& [ts, value] : values_) {
+    while (!min_deque_.empty() && min_deque_.back().second >= value) {
+      min_deque_.pop_back();
+    }
+    min_deque_.emplace_back(ts, value);
+    while (!max_deque_.empty() && max_deque_.back().second <= value) {
+      max_deque_.pop_back();
+    }
+    max_deque_.emplace_back(ts, value);
+  }
+}
+
 void SlidingWindowStats::Add(TimestampMicros ts, double value) {
-  assert(values_.empty() || ts >= values_.back().first);
-  values_.emplace_back(ts, value);
+  // A timestamp at or below the applied eviction horizon belongs to a
+  // window that is already gone; resurrecting it would corrupt the
+  // retained sums, so it is rejected with accounting instead (the
+  // Release-mode silent-corruption bug this replaces was a bare assert).
+  if (ts <= evicted_through_) {
+    ++late_dropped_;
+    return;
+  }
+  if (values_.empty() || ts >= values_.back().first) {
+    // In-order fast path: O(1) amortized monotonic-deque maintenance.
+    values_.emplace_back(ts, value);
+    while (!min_deque_.empty() && min_deque_.back().second >= value) {
+      min_deque_.pop_back();
+    }
+    min_deque_.emplace_back(ts, value);
+    while (!max_deque_.empty() && max_deque_.back().second <= value) {
+      max_deque_.pop_back();
+    }
+    max_deque_.emplace_back(ts, value);
+  } else {
+    // Out-of-order: sorted insert keeps values_ a valid window, then
+    // the extreme deques are rebuilt in timestamp order — O(n), paid
+    // only by the disordered Add.
+    ++out_of_order_;
+    auto it = std::upper_bound(
+        values_.begin(), values_.end(), ts,
+        [](TimestampMicros t, const std::pair<TimestampMicros, double>& p) {
+          return t < p.first;
+        });
+    values_.emplace(it, ts, value);
+    RebuildExtremeDeques();
+  }
   sum_ += value;
   sum_squares_ += value * value;
-  while (!min_deque_.empty() && min_deque_.back().second >= value) {
-    min_deque_.pop_back();
-  }
-  min_deque_.emplace_back(ts, value);
-  while (!max_deque_.empty() && max_deque_.back().second <= value) {
-    max_deque_.pop_back();
-  }
-  max_deque_.emplace_back(ts, value);
-  EvictBefore(ts - width_);
+  EvictBefore(values_.back().first - width_);
 }
 
 void SlidingWindowStats::EvictBefore(TimestampMicros ts) {
+  evicted_through_ = std::max(evicted_through_, ts);
   while (!values_.empty() && values_.front().first <= ts) {
     sum_ -= values_.front().second;
     sum_squares_ -= values_.front().second * values_.front().second;
@@ -70,10 +146,12 @@ double SlidingWindowStats::max() const {
 
 std::string WindowResult::ToString() const {
   std::string out = StringPrintf(
-      "Window[%lld, %lld) key=%s rows=%lld",
+      "Window[%lld, %lld) key=%s rows=%lld %s/%lld",
       static_cast<long long>(window_start),
       static_cast<long long>(window_end), key.ToString().c_str(),
-      static_cast<long long>(rows));
+      static_cast<long long>(rows),
+      std::string(ResultKindName(kind)).c_str(),
+      static_cast<long long>(revision));
   for (const auto& [alias, value] : aggregates) {
     out += " " + alias + "=" + value.ToString();
   }
@@ -121,15 +199,28 @@ Value AggAccumulator::Finish(const Aggregate& agg, int64_t rows) const {
 
 WindowedAggregator::WindowedAggregator(WindowAggregatorOptions options,
                                        ResultCallback callback)
-    : options_(std::move(options)), callback_(std::move(callback)) {
+    : options_(std::move(options)),
+      callback_(std::move(callback)),
+      tracker_(options_.consistency == ConsistencyLevel::kFast
+                   ? 0
+                   : options_.allowed_lateness_micros) {
   if (options_.slide_micros <= 0) {
     options_.slide_micros = options_.window_size_micros;
   }
 }
 
+TimestampMicros WindowedAggregator::CloseWatermark() const {
+  // kFast closes at the frontier (the tracker was built with zero
+  // lateness, so its low watermark IS the per-source merge); the other
+  // levels wait out the lateness allowance.
+  return options_.consistency == ConsistencyLevel::kFast
+             ? tracker_.frontier()
+             : tracker_.low_watermark();
+}
+
 Status WindowedAggregator::AddToWindow(TimestampMicros window_start,
-                                       const Record& row,
-                                       TimestampMicros /*ts*/) {
+                                       const Record& row, TimestampMicros ts,
+                                       TimestampMicros frontier_before) {
   std::string key_bytes;
   Value key;
   if (!options_.key_column.empty()) {
@@ -144,83 +235,166 @@ Status WindowedAggregator::AddToWindow(TimestampMicros window_start,
   ++group.rows;
   if (options_.recompute_at_close) {
     group.buffered.push_back(row);
-    return Status::OK();
+  } else {
+    for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+      const Aggregate& agg = options_.aggregates[i];
+      if (agg.func == Aggregate::Func::kCount && agg.column.empty()) continue;
+      EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
+      group.accs[i].Add(v);
+    }
   }
-  for (size_t i = 0; i < options_.aggregates.size(); ++i) {
-    const Aggregate& agg = options_.aggregates[i];
-    if (agg.func == Aggregate::Func::kCount && agg.column.empty()) continue;
-    EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
-    group.accs[i].Add(v);
+  // A straggler landing in a window the frontier had already passed
+  // (and which was therefore speculatively emitted, or would have been
+  // had this key existed) revises it immediately: retract the stale
+  // result, insert the revision.
+  (void)ts;
+  if (options_.consistency == ConsistencyLevel::kSpeculative &&
+      frontier_before != WatermarkTracker::kUnset &&
+      window_start + options_.window_size_micros <= frontier_before) {
+    EDADB_RETURN_IF_ERROR(EmitRevision(window_start, &group));
   }
   return Status::OK();
 }
 
 Status WindowedAggregator::Push(const Record& row, TimestampMicros ts) {
-  // An event at ts >= watermark only touches windows that end strictly
-  // after the watermark, i.e. windows not yet emitted — so `<` is the
-  // exact lateness test.
-  if (ts < watermark_) {
+  return Push(row, ts, "");
+}
+
+Status WindowedAggregator::Push(const Record& row, TimestampMicros ts,
+                                std::string_view source) {
+  // An event older than the close watermark belongs to windows whose
+  // state is already sealed and gone — drop with accounting. (Events at
+  // or ahead of it only touch windows that end strictly after it.)
+  const TimestampMicros close_before = CloseWatermark();
+  if (close_before != WatermarkTracker::kUnset && ts < close_before) {
     ++late_dropped_;
+    LateDroppedCounter()->Add();
     return Status::OK();
   }
+  const TimestampMicros frontier_before = tracker_.frontier();
+  tracker_.Observe(source, ts);
   // Assign to every window [start, start + size) containing ts, with
   // starts aligned to multiples of slide.
   const TimestampMicros slide = options_.slide_micros;
   const TimestampMicros size = options_.window_size_micros;
   // Highest-aligned start <= ts (floor division toward -inf).
-  TimestampMicros start = (ts >= 0 ? ts / slide : -((-ts + slide - 1) / slide)) * slide;
+  TimestampMicros start =
+      (ts >= 0 ? ts / slide : -((-ts + slide - 1) / slide)) * slide;
   for (; start > ts - size; start -= slide) {
-    EDADB_RETURN_IF_ERROR(AddToWindow(start, row, ts));
+    EDADB_RETURN_IF_ERROR(AddToWindow(start, row, ts, frontier_before));
   }
-  const TimestampMicros new_watermark =
-      ts - options_.allowed_lateness_micros;
-  if (new_watermark > watermark_) {
-    watermark_ = new_watermark;
-    EDADB_RETURN_IF_ERROR(EmitDueWindows());
-  }
+  EDADB_RETURN_IF_ERROR(AdvanceWatermarks());
+  WatermarkLag()->Record(static_cast<uint64_t>(tracker_.lag_micros()));
   return Status::OK();
 }
 
-Status WindowedAggregator::EmitDueWindows() {
-  while (!windows_.empty()) {
-    const TimestampMicros start = windows_.begin()->first;
-    if (start + options_.window_size_micros > watermark_) break;
-    EDADB_RETURN_IF_ERROR(EmitWindow(start));
-  }
-  return Status::OK();
+Status WindowedAggregator::Punctuate(std::string_view source,
+                                     TimestampMicros mark) {
+  tracker_.Punctuate(source, mark);
+  return AdvanceWatermarks();
 }
 
-Status WindowedAggregator::EmitWindow(TimestampMicros window_start) {
-  auto it = windows_.find(window_start);
-  if (it == windows_.end()) return Status::OK();
-  for (auto& [key_bytes, group] : it->second) {
-    if (options_.recompute_at_close) {
-      // Ablation path: one full pass over the buffered rows.
-      group.accs.assign(options_.aggregates.size(), AggAccumulator());
-      for (const Record& row : group.buffered) {
-        for (size_t i = 0; i < options_.aggregates.size(); ++i) {
-          const Aggregate& agg = options_.aggregates[i];
-          if (agg.func == Aggregate::Func::kCount && agg.column.empty()) {
-            continue;
-          }
-          EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
-          group.accs[i].Add(v);
+Status WindowedAggregator::AdvanceWatermarks() {
+  const TimestampMicros close = CloseWatermark();
+  if (close != WatermarkTracker::kUnset) {
+    while (!windows_.empty()) {
+      const TimestampMicros start = windows_.begin()->first;
+      if (start + options_.window_size_micros > close) break;
+      EDADB_RETURN_IF_ERROR(FinalizeWindow(start));
+    }
+  }
+  if (options_.consistency == ConsistencyLevel::kSpeculative) {
+    // Speculative emission for windows the frontier passed but the low
+    // watermark has not sealed. The walk revisits the (bounded by
+    // lateness / slide) open speculative windows; already-emitted
+    // groups are skipped, so re-walks are cheap.
+    const TimestampMicros frontier = tracker_.frontier();
+    for (auto& [start, groups] : windows_) {
+      if (frontier == WatermarkTracker::kUnset ||
+          start + options_.window_size_micros > frontier) {
+        break;
+      }
+      for (auto& [key_bytes, group] : groups) {
+        if (!group.emitted) {
+          EDADB_RETURN_IF_ERROR(EmitRevision(start, &group));
         }
       }
     }
-    WindowResult result;
-    result.window_start = window_start;
-    result.window_end = window_start + options_.window_size_micros;
-    result.key = group.key;
-    result.rows = group.rows;
-    result.aggregates.reserve(options_.aggregates.size());
-    for (size_t i = 0; i < options_.aggregates.size(); ++i) {
-      const Aggregate& agg = options_.aggregates[i];
-      result.aggregates.emplace_back(
-          agg.alias.empty() ? std::string(Aggregate::FuncName(agg.func))
-                            : agg.alias,
-          group.accs[i].Finish(agg, group.rows));
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregator::BuildResult(TimestampMicros window_start,
+                                       Group* group, ResultKind kind,
+                                       WindowResult* out) {
+  if (options_.recompute_at_close) {
+    // Ablation path: one full pass over the buffered rows.
+    group->accs.assign(options_.aggregates.size(), AggAccumulator());
+    for (const Record& row : group->buffered) {
+      for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+        const Aggregate& agg = options_.aggregates[i];
+        if (agg.func == Aggregate::Func::kCount && agg.column.empty()) {
+          continue;
+        }
+        EDADB_ASSIGN_OR_RETURN(Value v, row.Get(agg.column));
+        group->accs[i].Add(v);
+      }
     }
+  }
+  out->window_start = window_start;
+  out->window_end = window_start + options_.window_size_micros;
+  out->key = group->key;
+  out->rows = group->rows;
+  out->kind = kind;
+  out->revision = group->revision;
+  out->aggregates.clear();
+  out->aggregates.reserve(options_.aggregates.size());
+  for (size_t i = 0; i < options_.aggregates.size(); ++i) {
+    const Aggregate& agg = options_.aggregates[i];
+    out->aggregates.emplace_back(
+        agg.alias.empty() ? std::string(Aggregate::FuncName(agg.func))
+                          : agg.alias,
+        group->accs[i].Finish(agg, group->rows));
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregator::EmitRevision(TimestampMicros window_start,
+                                        Group* group) {
+  if (group->emitted) {
+    WindowResult retract;
+    retract.window_start = window_start;
+    retract.window_end = window_start + options_.window_size_micros;
+    retract.key = group->key;
+    retract.rows = group->emitted_rows;
+    retract.kind = ResultKind::kRetract;
+    retract.revision = group->revision;
+    retract.aggregates = group->emitted_aggregates;
+    ++retractions_emitted_;
+    RetractionsCounter()->Add();
+    callback_(retract);
+    ++group->revision;
+  }
+  WindowResult insert;
+  EDADB_RETURN_IF_ERROR(
+      BuildResult(window_start, group, ResultKind::kInsert, &insert));
+  group->emitted = true;
+  group->emitted_rows = insert.rows;
+  group->emitted_aggregates = insert.aggregates;
+  ++speculative_emitted_;
+  SpeculativeCounter()->Add();
+  callback_(insert);
+  return Status::OK();
+}
+
+Status WindowedAggregator::FinalizeWindow(TimestampMicros window_start) {
+  auto it = windows_.find(window_start);
+  if (it == windows_.end()) return Status::OK();
+  for (auto& [key_bytes, group] : it->second) {
+    WindowResult result;
+    EDADB_RETURN_IF_ERROR(
+        BuildResult(window_start, &group, ResultKind::kFinal, &result));
+    FinalizedCounter()->Add();
     callback_(result);
   }
   windows_.erase(it);
@@ -229,7 +403,7 @@ Status WindowedAggregator::EmitWindow(TimestampMicros window_start) {
 
 Status WindowedAggregator::Flush() {
   while (!windows_.empty()) {
-    EDADB_RETURN_IF_ERROR(EmitWindow(windows_.begin()->first));
+    EDADB_RETURN_IF_ERROR(FinalizeWindow(windows_.begin()->first));
   }
   return Status::OK();
 }

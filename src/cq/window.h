@@ -10,22 +10,28 @@
 #include "common/macros.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "cq/watermark.h"
 #include "db/query.h"
 #include "value/record.h"
 
 namespace edadb {
 
 /// Incremental statistics over a time-width sliding window: O(1)
-/// amortized Add/evict including min/max (monotonic deques). Timestamps
-/// must be non-decreasing. This is the workhorse under continuous
-/// aggregation queries and the expectation models in core/.
+/// amortized Add/evict including min/max (monotonic deques) on the
+/// in-order fast path. Out-of-order timestamps are handled (sorted
+/// insert + deque rebuild, O(n) for that Add) and counted; timestamps
+/// older than the already-evicted horizon are dropped and counted.
+/// This is the workhorse under continuous aggregation queries and the
+/// expectation models in core/.
 class SlidingWindowStats {
  public:
   explicit SlidingWindowStats(TimestampMicros width_micros)
       : width_(width_micros) {}
 
   /// Adds an observation and evicts everything older than
-  /// ts - width. `ts` must be >= the last Add's ts.
+  /// max_ts - width. Timestamps may arrive out of order; an
+  /// observation older than anything retained is dropped (see
+  /// late_dropped()).
   void Add(TimestampMicros ts, double value);
 
   /// Drops observations with timestamp <= `ts`.
@@ -41,13 +47,27 @@ class SlidingWindowStats {
   double min() const;  // Requires !empty().
   double max() const;  // Requires !empty().
 
+  /// Adds that arrived with a timestamp below the current max (and were
+  /// inserted into their sorted position).
+  uint64_t out_of_order() const { return out_of_order_; }
+  /// Adds too old to retain: at or below the eviction horizon already
+  /// applied (their window has been evicted; resurrecting it would
+  /// silently corrupt sums).
+  uint64_t late_dropped() const { return late_dropped_; }
+
  private:
+  void RebuildExtremeDeques();
+
   TimestampMicros width_;
-  std::deque<std::pair<TimestampMicros, double>> values_;
+  std::deque<std::pair<TimestampMicros, double>> values_;  // ts-sorted.
   std::deque<std::pair<TimestampMicros, double>> min_deque_;  // Increasing.
   std::deque<std::pair<TimestampMicros, double>> max_deque_;  // Decreasing.
   double sum_ = 0;
   double sum_squares_ = 0;
+  /// Highest eviction horizon applied so far: everything <= this is gone.
+  TimestampMicros evicted_through_ = INT64_MIN;
+  uint64_t out_of_order_ = 0;
+  uint64_t late_dropped_ = 0;
 };
 
 /// Streaming accumulator for one Aggregate spec (shared by the
@@ -65,12 +85,20 @@ struct AggAccumulator {
   Value Finish(const Aggregate& agg, int64_t rows) const;
 };
 
-/// One emitted window.
+/// One emitted window revision. `kind` is the CEDR-style revision
+/// protocol (cq/watermark.h): speculative levels emit kInsert early,
+/// kRetract + kInsert when a straggler revises the window, and kFinal
+/// when the low watermark seals it; fast/correct levels emit kFinal
+/// only. `revision` counts revisions per (window, key): a kRetract
+/// carries the revision it withdraws; the paired kInsert carries the
+/// next.
 struct WindowResult {
   TimestampMicros window_start = 0;
   TimestampMicros window_end = 0;
   Value key;        // Null when un-keyed.
   int64_t rows = 0; // Input rows in the window (for this key).
+  ResultKind kind = ResultKind::kFinal;
+  int64_t revision = 0;
   /// (alias, value) per requested aggregate, in request order.
   std::vector<std::pair<std::string, Value>> aggregates;
 
@@ -79,9 +107,22 @@ struct WindowResult {
 
 /// Event-time window aggregation — the "continuous query" core
 /// (§2.2.c.i.3). Tumbling (slide == size) and sliding (slide < size)
-/// windows, optionally partitioned by a key column. Windows close when
-/// the watermark (max event time seen minus allowed lateness) passes
-/// their end; late events beyond that are counted in `late_dropped`.
+/// windows, optionally partitioned by a key column.
+///
+/// Event-time consistency (DESIGN.md §15): per-source watermarks merge
+/// into a global low watermark (frontier minus allowed lateness).
+/// Windows close when the close watermark passes their end; events
+/// older than the close watermark are dropped into `late_dropped`.
+/// The close watermark per consistency level:
+///   kFast        the frontier — no lateness wait, stragglers dropped;
+///   kCorrect     the low watermark — delayed, stragglers within the
+///                allowance silently merge before emission (the
+///                pre-event-time behaviour, and the default);
+///   kSpeculative the low watermark for closing, but windows emit a
+///                speculative kInsert as soon as the frontier passes
+///                their end, revise via kRetract + kInsert when a
+///                straggler lands in an emitted window, and seal with
+///                kFinal at the low watermark.
 struct WindowAggregatorOptions {
   TimestampMicros window_size_micros = kMicrosPerSecond;
   /// Must divide evenly into practical use; slide == 0 means tumbling
@@ -90,6 +131,7 @@ struct WindowAggregatorOptions {
   std::string key_column;  // Empty = single global group.
   std::vector<Aggregate> aggregates;
   TimestampMicros allowed_lateness_micros = 0;
+  ConsistencyLevel consistency = ConsistencyLevel::kCorrect;
   /// Ablation (bench_cq): true buffers raw events per window and
   /// recomputes aggregates at close, instead of incremental
   /// accumulation.
@@ -103,14 +145,29 @@ class WindowedAggregator {
   WindowedAggregator(WindowAggregatorOptions options,
                      ResultCallback callback);
 
-  /// Feeds one event. Emits every window whose end passed the watermark.
+  /// Feeds one event from the anonymous source. Emits every window the
+  /// advancing watermark closes (plus speculative revisions).
   EDADB_NODISCARD Status Push(const Record& row, TimestampMicros ts);
 
-  /// Closes and emits all open windows (end of stream).
+  /// Feeds one event tagged with its producing source; each source
+  /// advances its own watermark and the global low watermark is their
+  /// merge, so one slow feed delays closes instead of losing data.
+  EDADB_NODISCARD Status Push(const Record& row, TimestampMicros ts,
+                              std::string_view source);
+
+  /// Punctuation from `source`: no events with ts < mark will follow.
+  /// Advances watermarks and emits/finalizes due windows.
+  EDADB_NODISCARD Status Punctuate(std::string_view source,
+                                   TimestampMicros mark);
+
+  /// Closes and emits all open windows as kFinal (end of stream).
   EDADB_NODISCARD Status Flush();
 
   uint64_t late_dropped() const { return late_dropped_; }
+  uint64_t retractions_emitted() const { return retractions_emitted_; }
+  uint64_t speculative_emitted() const { return speculative_emitted_; }
   size_t open_windows() const;
+  const WatermarkTracker& watermarks() const { return tracker_; }
 
  private:
   struct Group {
@@ -118,21 +175,44 @@ class WindowedAggregator {
     int64_t rows = 0;
     std::vector<AggAccumulator> accs;
     std::vector<Record> buffered;  // recompute_at_close only.
+    /// Speculative protocol state: has this (window, key) been emitted,
+    /// at which revision, and with which aggregate values (so a
+    /// straggler can retract exactly what was published).
+    bool emitted = false;
+    int64_t revision = 0;
+    int64_t emitted_rows = 0;
+    std::vector<std::pair<std::string, Value>> emitted_aggregates;
   };
 
   /// Open windows: window_start -> (encoded key -> group).
   using WindowMap = std::map<TimestampMicros, std::map<std::string, Group>>;
 
-  EDADB_NODISCARD Status AddToWindow(TimestampMicros window_start, const Record& row,
-                     TimestampMicros ts);
-  EDADB_NODISCARD Status EmitWindow(TimestampMicros window_start);
-  EDADB_NODISCARD Status EmitDueWindows();
+  /// The watermark that closes windows / rejects stragglers for the
+  /// configured consistency level.
+  TimestampMicros CloseWatermark() const;
+
+  EDADB_NODISCARD Status AddToWindow(TimestampMicros window_start,
+                                     const Record& row, TimestampMicros ts,
+                                     TimestampMicros frontier_before);
+  EDADB_NODISCARD Status BuildResult(TimestampMicros window_start,
+                                     Group* group, ResultKind kind,
+                                     WindowResult* out);
+  /// Emits kInsert (or kRetract of the prior revision + kInsert) for
+  /// one group of a window the frontier already passed.
+  EDADB_NODISCARD Status EmitRevision(TimestampMicros window_start,
+                                      Group* group);
+  EDADB_NODISCARD Status FinalizeWindow(TimestampMicros window_start);
+  /// Finalizes windows behind the close watermark; under kSpeculative
+  /// also speculatively emits windows the frontier newly passed.
+  EDADB_NODISCARD Status AdvanceWatermarks();
 
   WindowAggregatorOptions options_;
   ResultCallback callback_;
   WindowMap windows_;
-  TimestampMicros watermark_ = INT64_MIN;
+  WatermarkTracker tracker_;
   uint64_t late_dropped_ = 0;
+  uint64_t retractions_emitted_ = 0;
+  uint64_t speculative_emitted_ = 0;
 };
 
 /// Session windows: a key's events belong to one session while the gap

@@ -1,0 +1,66 @@
+#include "rules/stream_bridge.h"
+
+namespace edadb {
+
+StreamEventRow StreamEventRow::FromWindowResult(const WindowResult& result) {
+  StreamEventRow row;
+  row.Set("kind", Value::String(std::string(ResultKindName(result.kind))));
+  row.Set("revision", Value::Int64(result.revision));
+  row.Set("window_start", Value::Int64(result.window_start));
+  row.Set("window_end", Value::Int64(result.window_end));
+  row.Set("rows", Value::Int64(result.rows));
+  if (!result.key.is_null()) row.Set("key", result.key);
+  for (const auto& [alias, value] : result.aggregates) {
+    row.Set(alias, value);
+  }
+  return row;
+}
+
+StreamEventRow StreamEventRow::FromPatternMatch(const PatternMatch& match) {
+  StreamEventRow row;
+  row.Set("kind", Value::String(std::string(ResultKindName(match.kind))));
+  row.Set("pattern", Value::String(match.pattern));
+  row.Set("start_ts", Value::Int64(match.start_ts));
+  row.Set("end_ts", Value::Int64(match.end_ts));
+  if (!match.partition_key.is_null()) row.Set("key", match.partition_key);
+  for (const auto& [step, events] : match.bindings) {
+    row.Set(step + "_count",
+            Value::Int64(static_cast<int64_t>(events.size())));
+  }
+  return row;
+}
+
+std::optional<Value> StreamEventRow::GetAttribute(
+    std::string_view name) const {
+  auto it = attributes_.find(name);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::vector<std::string>> StreamRuleBridge::OnWindowResult(
+    const WindowResult& result) {
+  ++forwarded_;
+  if (result.kind == ResultKind::kRetract) ++retractions_forwarded_;
+  return engine_->Evaluate(StreamEventRow::FromWindowResult(result));
+}
+
+Result<std::vector<std::string>> StreamRuleBridge::OnPatternMatch(
+    const PatternMatch& match) {
+  ++forwarded_;
+  if (match.kind == ResultKind::kRetract) ++retractions_forwarded_;
+  return engine_->Evaluate(StreamEventRow::FromPatternMatch(match));
+}
+
+WindowedAggregator::ResultCallback StreamRuleBridge::WindowCallback() {
+  return [this](const WindowResult& result) {
+    if (!OnWindowResult(result).ok()) ++dispatch_errors_;
+  };
+}
+
+PatternMatcher::MatchCallback StreamRuleBridge::PatternCallback() {
+  return [this](const PatternMatch& match) {
+    if (!OnPatternMatch(match).ok()) ++dispatch_errors_;
+  };
+}
+
+}  // namespace edadb

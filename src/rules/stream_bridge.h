@@ -1,0 +1,82 @@
+#ifndef EDADB_RULES_STREAM_BRIDGE_H_
+#define EDADB_RULES_STREAM_BRIDGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "cq/pattern.h"
+#include "cq/window.h"
+#include "rules/rules_engine.h"
+#include "value/record.h"
+
+namespace edadb {
+
+/// A window revision or pattern match rendered as a flat attribute map,
+/// so the rules engine evaluates it like any other event. The revision
+/// protocol is first-class data: `kind` is "insert" / "retract" /
+/// "final", which lets a rule react specifically to retractions
+/// (`kind = 'retract' AND n > 100` — "a result we already acted on was
+/// wrong") — the CEDR point that consistency violations are themselves
+/// events.
+class StreamEventRow : public RowAccessor {
+ public:
+  /// Attributes: kind, revision, window_start, window_end, rows, key
+  /// (when keyed), plus one attribute per aggregate alias.
+  static StreamEventRow FromWindowResult(const WindowResult& result);
+
+  /// Attributes: kind, pattern, start_ts, end_ts, key (when
+  /// partitioned), plus one "<step>_count" per binding.
+  static StreamEventRow FromPatternMatch(const PatternMatch& match);
+
+  std::optional<Value> GetAttribute(std::string_view name) const override;
+
+  void Set(std::string name, Value v) {
+    attributes_[std::move(name)] = std::move(v);
+  }
+
+ private:
+  std::map<std::string, Value, std::less<>> attributes_;
+};
+
+/// Forwards event-time operator output into a RulesEngine. Owns
+/// nothing; `engine` must outlive the bridge. Counters are maintained
+/// by the calling operator thread (cq operators are single-threaded,
+/// like the rest of cq/).
+class StreamRuleBridge {
+ public:
+  explicit StreamRuleBridge(RulesEngine* engine) : engine_(engine) {}
+
+  /// Evaluates one window revision; returns matched rule ids.
+  EDADB_NODISCARD Result<std::vector<std::string>> OnWindowResult(
+      const WindowResult& result);
+
+  /// Evaluates one pattern match/retraction; returns matched rule ids.
+  EDADB_NODISCARD Result<std::vector<std::string>> OnPatternMatch(
+      const PatternMatch& match);
+
+  /// Adapter for WindowedAggregator: every emission (speculative
+  /// inserts and retractions included) flows through the engine.
+  /// Callbacks are void, so evaluation failures land in
+  /// dispatch_errors() instead of a Status.
+  WindowedAggregator::ResultCallback WindowCallback();
+
+  /// Adapter for PatternMatcher, same contract.
+  PatternMatcher::MatchCallback PatternCallback();
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t retractions_forwarded() const { return retractions_forwarded_; }
+  uint64_t dispatch_errors() const { return dispatch_errors_; }
+
+ private:
+  RulesEngine* const engine_;
+  uint64_t forwarded_ = 0;
+  uint64_t retractions_forwarded_ = 0;
+  uint64_t dispatch_errors_ = 0;
+};
+
+}  // namespace edadb
+
+#endif  // EDADB_RULES_STREAM_BRIDGE_H_

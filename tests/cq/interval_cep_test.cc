@@ -1,0 +1,222 @@
+// Interval CEP operators on the event-time machinery (DESIGN.md §15):
+// "A then B within T" closed by watermarks, and absence-of-C (trailing
+// negation), which can only emit once the watermark proves the
+// forbidden event is not coming.
+#include "cq/pattern.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({
+      {"kind", ValueType::kString, false},
+      {"symbol", ValueType::kString, true},
+      {"value", ValueType::kDouble, true},
+  });
+}
+
+Record Ev(const std::string& kind, double value = 0,
+          const std::string& symbol = "S") {
+  return Record(EventSchema(), {Value::String(kind), Value::String(symbol),
+                                Value::Double(value)});
+}
+
+PatternStep Step(const std::string& name, const std::string& condition,
+                 bool negated = false) {
+  PatternStep step;
+  step.name = name;
+  step.condition = *Predicate::Compile(condition);
+  step.negated = negated;
+  return step;
+}
+
+class IntervalCepTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<PatternMatcher> Make(PatternSpec spec) {
+    auto matcher = PatternMatcher::Create(
+        std::move(spec),
+        [this](const PatternMatch& match) { matches_.push_back(match); });
+    EXPECT_TRUE(matcher.ok()) << matcher.status();
+    return std::move(matcher).value();
+  }
+
+  /// "order then absence of payment-failure within 1000": the §2.2
+  /// canonical interval-negation pattern.
+  PatternSpec AbsenceSpec() {
+    PatternSpec spec;
+    spec.name = "paid_clean";
+    spec.steps = {Step("order", "kind = 'ORDER'"),
+                  Step("no_fail", "kind = 'FAIL'", /*negated=*/true)};
+    spec.within_micros = 1000;
+    return spec;
+  }
+
+  std::vector<PatternMatch> matches_;
+};
+
+TEST_F(IntervalCepTest, AbsenceEmitsOnlyWhenWatermarkClosesInterval) {
+  auto matcher = Make(AbsenceSpec());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  EXPECT_EQ(matches_.size(), 0u);
+  EXPECT_EQ(matcher->pending_absences(), 1u);
+  // Inside the interval nothing can be concluded yet.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 900).ok());
+  EXPECT_EQ(matches_.size(), 0u);
+  // The frontier passing start + within proves the absence.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 1200).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].pattern, "paid_clean");
+  EXPECT_EQ(matches_[0].kind, ResultKind::kFinal);
+  EXPECT_EQ(matches_[0].start_ts, 100);
+  EXPECT_EQ(matches_[0].end_ts, 1100);  // start + within.
+  EXPECT_EQ(matcher->pending_absences(), 0u);
+}
+
+TEST_F(IntervalCepTest, ForbiddenEventInsideIntervalSuppressesMatch) {
+  auto matcher = Make(AbsenceSpec());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  ASSERT_TRUE(matcher->Push(Ev("FAIL"), 600).ok());  // Inside [100, 1100].
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 5000).ok());
+  EXPECT_EQ(matches_.size(), 0u);
+  EXPECT_EQ(matcher->pending_absences(), 0u);
+}
+
+TEST_F(IntervalCepTest, ForbiddenEventAfterDeadlineDoesNotSuppress) {
+  auto matcher = Make(AbsenceSpec());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  // FAIL lands outside the interval (1100 < 1500): absence still holds.
+  ASSERT_TRUE(matcher->Push(Ev("FAIL"), 1500).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].kind, ResultKind::kFinal);
+}
+
+TEST_F(IntervalCepTest, PunctuationClosesAbsenceWithoutNewEvents) {
+  auto matcher = Make(AbsenceSpec());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  EXPECT_EQ(matches_.size(), 0u);
+  // The source promises it is past the deadline: absence confirmed with
+  // no further payload events — the reason negation needs watermarks.
+  ASSERT_TRUE(matcher->Punctuate("", 2000).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+}
+
+TEST_F(IntervalCepTest, FlushConfirmsPendingAbsences) {
+  auto matcher = Make(AbsenceSpec());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  ASSERT_TRUE(matcher->Flush().ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].kind, ResultKind::kFinal);
+}
+
+TEST_F(IntervalCepTest, SequenceThenAbsence) {
+  // A then B then absence-of-C within T: positive prefix plus trailing
+  // negation on one machinery.
+  PatternSpec spec;
+  spec.name = "abc";
+  spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'"),
+                Step("no_c", "kind = 'C'", /*negated=*/true)};
+  spec.within_micros = 1000;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("A"), 0).ok());
+  ASSERT_TRUE(matcher->Push(Ev("B"), 200).ok());
+  EXPECT_EQ(matcher->pending_absences(), 1u);
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 1500).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  ASSERT_EQ(matches_[0].bindings.size(), 2u);
+  EXPECT_EQ(matches_[0].bindings[0].first, "a");
+  EXPECT_EQ(matches_[0].bindings[1].first, "b");
+}
+
+TEST_F(IntervalCepTest, SpeculativeAbsenceRetractsOnStraggler) {
+  PatternSpec spec = AbsenceSpec();
+  spec.consistency = ConsistencyLevel::kSpeculative;
+  spec.allowed_lateness_micros = 500;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  // Frontier passes the deadline (1100): speculative insert, but the
+  // low watermark (1200 - 500) has not sealed it.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 1200).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].kind, ResultKind::kInsert);
+  // A straggler FAIL inside the interval refutes the speculation.
+  ASSERT_TRUE(matcher->Push(Ev("FAIL"), 800).ok());
+  ASSERT_EQ(matches_.size(), 2u);
+  EXPECT_EQ(matches_[1].kind, ResultKind::kRetract);
+  EXPECT_EQ(matcher->retractions_emitted(), 1u);
+  // Nothing further: the match is gone for good.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 5000).ok());
+  ASSERT_TRUE(matcher->Flush().ok());
+  EXPECT_EQ(matches_.size(), 2u);
+}
+
+TEST_F(IntervalCepTest, SpeculativeAbsenceSealsWhenLatenessExpires) {
+  PatternSpec spec = AbsenceSpec();
+  spec.consistency = ConsistencyLevel::kSpeculative;
+  spec.allowed_lateness_micros = 500;
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("ORDER"), 100).ok());
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 1200).ok());  // kInsert.
+  // Low watermark passes the deadline: the speculation was right.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 2000).ok());
+  ASSERT_EQ(matches_.size(), 2u);
+  EXPECT_EQ(matches_[0].kind, ResultKind::kInsert);
+  EXPECT_EQ(matches_[1].kind, ResultKind::kFinal);
+}
+
+TEST_F(IntervalCepTest, CorrectLevelReordersOutOfOrderSequence) {
+  // B arrives before A in wall time but after in event time; kFast
+  // misses the match, kCorrect's reorder buffer finds it.
+  for (const auto consistency :
+       {ConsistencyLevel::kFast, ConsistencyLevel::kCorrect}) {
+    PatternSpec spec;
+    spec.name = "ab";
+    spec.steps = {Step("a", "kind = 'A'"), Step("b", "kind = 'B'")};
+    spec.within_micros = 1000;
+    spec.consistency = consistency;
+    spec.allowed_lateness_micros = 300;
+    matches_.clear();
+    auto matcher = Make(std::move(spec));
+    ASSERT_TRUE(matcher->Push(Ev("B"), 200).ok());  // Arrives first.
+    ASSERT_TRUE(matcher->Push(Ev("A"), 100).ok());  // Event-time earlier.
+    ASSERT_TRUE(matcher->Push(Ev("OTHER"), 2000).ok());
+    ASSERT_TRUE(matcher->Flush().ok());
+    if (consistency == ConsistencyLevel::kCorrect) {
+      ASSERT_EQ(matches_.size(), 1u) << "kCorrect must reorder";
+      EXPECT_EQ(matches_[0].start_ts, 100);
+      EXPECT_EQ(matches_[0].end_ts, 200);
+    } else {
+      EXPECT_EQ(matches_.size(), 0u) << "kFast processes arrival order";
+    }
+  }
+}
+
+TEST_F(IntervalCepTest, PartitionedAbsenceIsIndependent) {
+  PatternSpec spec = AbsenceSpec();
+  spec.partition_by = "symbol";
+  auto matcher = Make(std::move(spec));
+  ASSERT_TRUE(matcher->Push(Ev("ORDER", 0, "AAA"), 100).ok());
+  ASSERT_TRUE(matcher->Push(Ev("ORDER", 0, "BBB"), 110).ok());
+  ASSERT_TRUE(matcher->Push(Ev("FAIL", 0, "AAA"), 500).ok());  // Kills AAA.
+  ASSERT_TRUE(matcher->Push(Ev("OTHER"), 3000).ok());
+  ASSERT_EQ(matches_.size(), 1u);
+  EXPECT_EQ(matches_[0].partition_key.string_value(), "BBB");
+}
+
+TEST_F(IntervalCepTest, PureAbsencePatternRejected) {
+  PatternSpec spec;
+  spec.name = "nothing";
+  spec.steps = {Step("no_c", "kind = 'C'", /*negated=*/true)};
+  EXPECT_TRUE(PatternMatcher::Create(spec, [](const PatternMatch&) {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace edadb

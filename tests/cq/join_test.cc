@@ -1,7 +1,12 @@
 #include "cq/join.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "testing/seeded_rng.h"
 
 namespace edadb {
 namespace {
@@ -18,7 +23,7 @@ Record Tick(const std::string& symbol, double price) {
                 {Value::String(symbol), Value::Double(price)});
 }
 
-class StreamTableJoinTest : public testing::Test {
+class StreamTableJoinTest : public ::testing::Test {
  protected:
   void SetUp() override {
     DatabaseOptions options;
@@ -132,7 +137,7 @@ TEST_F(StreamTableJoinTest, CreateValidation) {
 }
 
 // ---------------------------------------------------------------------------
-// StreamStreamJoin
+// IntervalJoin
 
 SchemaPtr OrderSchema() {
   return Schema::Make({
@@ -145,9 +150,9 @@ Record Order(int64_t id, double amount) {
   return Record(OrderSchema(), {Value::Int64(id), Value::Double(amount)});
 }
 
-TEST(StreamStreamJoinTest, PairsWithinWindow) {
+TEST(IntervalJoinTest, PairsWithinWindow) {
   std::vector<std::pair<int64_t, int64_t>> pairs;
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "order_id", .right_key = "order_id",
        .window_micros = 100},
       [&](const Record& l, const Record& r, TimestampMicros) {
@@ -162,9 +167,9 @@ TEST(StreamStreamJoinTest, PairsWithinWindow) {
   EXPECT_EQ(pairs[0], (std::pair<int64_t, int64_t>{1, 1}));
 }
 
-TEST(StreamStreamJoinTest, WindowExpiryPreventsPairing) {
+TEST(IntervalJoinTest, WindowExpiryPreventsPairing) {
   int pairs = 0;
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "order_id", .right_key = "order_id",
        .window_micros = 100},
       [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
@@ -174,9 +179,9 @@ TEST(StreamStreamJoinTest, WindowExpiryPreventsPairing) {
   EXPECT_EQ(join.buffered_left(), 0u);  // Evicted by watermark.
 }
 
-TEST(StreamStreamJoinTest, RightBeforeLeftAlsoPairs) {
+TEST(IntervalJoinTest, RightBeforeLeftAlsoPairs) {
   int pairs = 0;
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "order_id", .right_key = "order_id",
        .window_micros = 100},
       [&](const Record&, const Record&, TimestampMicros ts) {
@@ -188,9 +193,9 @@ TEST(StreamStreamJoinTest, RightBeforeLeftAlsoPairs) {
   EXPECT_EQ(pairs, 1);
 }
 
-TEST(StreamStreamJoinTest, ManyToManyWithinKey) {
+TEST(IntervalJoinTest, ManyToManyWithinKey) {
   int pairs = 0;
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "order_id", .right_key = "order_id",
        .window_micros = 1000},
       [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
@@ -202,9 +207,9 @@ TEST(StreamStreamJoinTest, ManyToManyWithinKey) {
   EXPECT_EQ(join.emitted(), 4u);
 }
 
-TEST(StreamStreamJoinTest, NullKeysNeverJoin) {
+TEST(IntervalJoinTest, NullKeysNeverJoin) {
   int pairs = 0;
-  StreamStreamJoin join(
+  IntervalJoin join(
       {.left_key = "amount", .right_key = "amount",
        .window_micros = 1000},
       [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
@@ -214,8 +219,8 @@ TEST(StreamStreamJoinTest, NullKeysNeverJoin) {
   EXPECT_EQ(pairs, 0);
 }
 
-TEST(StreamStreamJoinTest, MemoryBoundedByWindow) {
-  StreamStreamJoin join(
+TEST(IntervalJoinTest, MemoryBoundedByWindow) {
+  IntervalJoin join(
       {.left_key = "order_id", .right_key = "order_id",
        .window_micros = 100},
       [](const Record&, const Record&, TimestampMicros) {});
@@ -224,6 +229,92 @@ TEST(StreamStreamJoinTest, MemoryBoundedByWindow) {
   }
   // Only events within the last window (10 ticks of 10) stay buffered.
   EXPECT_LE(join.buffered_left(), 12u);
+}
+
+// Regression for the seed's arrival-order eviction deque: one
+// out-of-order event desynchronized the deque from the per-key buffers
+// and stranded entries forever. The min-heap evicts by timestamp, so a
+// shuffled stream stays bounded.
+TEST(IntervalJoinTest, ShuffledStreamMemoryStaysBounded) {
+  IntervalJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [](const Record&, const Record&, TimestampMicros) {});
+  testing::SeededRng rng(0xA11CE);
+  std::vector<TimestampMicros> ts;
+  for (int i = 0; i < 2000; ++i) ts.push_back(i * 10);
+  // Shuffle within a bounded disorder horizon so events stay pairable.
+  for (size_t i = 0; i + 8 < ts.size(); ++i) {
+    std::swap(ts[i], ts[i + rng.Uniform(8)]);
+  }
+  for (size_t i = 0; i < ts.size(); ++i) {
+    ASSERT_TRUE(join.PushLeft(Order(static_cast<int64_t>(i), 1), ts[i]).ok());
+  }
+  // Window holds ~10 ticks; disorder adds a few in flight. The seed bug
+  // ended this run with hundreds of stranded entries.
+  EXPECT_LE(join.buffered_left(), 32u);
+}
+
+TEST(IntervalJoinTest, OutOfOrderEventStillPairs) {
+  std::vector<TimestampMicros> pair_ts;
+  IntervalJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [&](const Record&, const Record&, TimestampMicros ts) {
+        pair_ts.push_back(ts);
+      });
+  ASSERT_TRUE(join.PushLeft(Order(1, 1), 50).ok());
+  ASSERT_TRUE(join.PushLeft(Order(1, 2), 120).ok());
+  // Right event arrives out of order (ts 60 after seeing 120): pairs
+  // with both lefts within |dt| <= 100.
+  ASSERT_TRUE(join.PushRight(Order(1, 3), 60).ok());
+  ASSERT_EQ(pair_ts.size(), 2u);
+  EXPECT_EQ(pair_ts[0], 60);
+  EXPECT_EQ(pair_ts[1], 120);
+}
+
+// Under kCorrect the eviction watermark is the min across sides (minus
+// lateness), so a fast left side cannot evict the buffer a slow right
+// side still needs.
+TEST(IntervalJoinTest, CorrectLevelHoldsBufferForSlowSide) {
+  int pairs = 0;
+  IntervalJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100,
+       .consistency = ConsistencyLevel::kCorrect},
+      [&](const Record&, const Record&, TimestampMicros) { ++pairs; });
+  ASSERT_TRUE(join.PushLeft(Order(1, 1), 0).ok());
+  ASSERT_TRUE(join.PushLeft(Order(2, 1), 500).ok());  // Left races ahead.
+  // Right is slow: its ts 80 partner must still be buffered, even
+  // though the frontier (500) is far past 0 + window.
+  ASSERT_TRUE(join.PushRight(Order(1, 1), 80).ok());
+  EXPECT_EQ(pairs, 1);
+  // The same stream under kFast evicts at the frontier and misses it.
+  int fast_pairs = 0;
+  IntervalJoin fast(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100},
+      [&](const Record&, const Record&, TimestampMicros) { ++fast_pairs; });
+  ASSERT_TRUE(fast.PushLeft(Order(1, 1), 0).ok());
+  ASSERT_TRUE(fast.PushLeft(Order(2, 1), 500).ok());
+  ASSERT_TRUE(fast.PushRight(Order(1, 1), 80).ok());
+  EXPECT_EQ(fast_pairs, 0);
+  EXPECT_EQ(fast.late_dropped(), 1u);
+}
+
+TEST(IntervalJoinTest, PunctuationAdvancesEviction) {
+  IntervalJoin join(
+      {.left_key = "order_id", .right_key = "order_id",
+       .window_micros = 100,
+       .consistency = ConsistencyLevel::kCorrect},
+      [](const Record&, const Record&, TimestampMicros) {});
+  ASSERT_TRUE(join.PushLeft(Order(1, 1), 0).ok());
+  ASSERT_TRUE(join.PushLeft(Order(2, 1), 1000).ok());
+  // Left alone cannot evict (right side unknown ⇒ low watermark unset).
+  EXPECT_EQ(join.buffered_left(), 2u);
+  // Right promises it is past 1000 without sending an event.
+  join.PunctuateRight(1000);
+  EXPECT_EQ(join.buffered_left(), 1u);  // ts 0 gone, ts 1000 kept.
 }
 
 }  // namespace

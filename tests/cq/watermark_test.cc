@@ -1,0 +1,91 @@
+#include "cq/watermark.h"
+
+#include "gtest/gtest.h"
+
+namespace edadb {
+namespace {
+
+TEST(WatermarkTrackerTest, UnsetUntilFirstObservation) {
+  WatermarkTracker tracker;
+  EXPECT_EQ(tracker.low_watermark(), WatermarkTracker::kUnset);
+  EXPECT_EQ(tracker.frontier(), WatermarkTracker::kUnset);
+  EXPECT_EQ(tracker.lag_micros(), 0);
+  EXPECT_EQ(tracker.num_sources(), 0u);
+}
+
+TEST(WatermarkTrackerTest, SingleSourceTracksMax) {
+  WatermarkTracker tracker;
+  EXPECT_EQ(tracker.Observe("a", 100), 100);
+  EXPECT_EQ(tracker.Observe("a", 300), 300);
+  // Out-of-order observation never moves a source backwards.
+  EXPECT_EQ(tracker.Observe("a", 200), 300);
+  EXPECT_EQ(tracker.frontier(), 300);
+  EXPECT_EQ(tracker.source_watermark("a"), 300);
+}
+
+TEST(WatermarkTrackerTest, LowWatermarkIsMinAcrossSources) {
+  WatermarkTracker tracker;
+  tracker.Observe("fast", 1000);
+  tracker.Observe("slow", 100);
+  EXPECT_EQ(tracker.low_watermark(), 100);
+  EXPECT_EQ(tracker.frontier(), 1000);
+  EXPECT_EQ(tracker.lag_micros(), 900);
+  // The slow source advancing moves the merge.
+  tracker.Observe("slow", 800);
+  EXPECT_EQ(tracker.low_watermark(), 800);
+  // The previous min holder advancing recomputes correctly.
+  tracker.Observe("slow", 2000);
+  EXPECT_EQ(tracker.low_watermark(), 1000);  // "fast" now holds the min.
+}
+
+TEST(WatermarkTrackerTest, AllowedLatenessSubtracts) {
+  WatermarkTracker tracker(/*allowed_lateness_micros=*/50);
+  tracker.Observe("a", 100);
+  EXPECT_EQ(tracker.low_watermark(), 50);
+  EXPECT_EQ(tracker.frontier(), 100);
+  EXPECT_EQ(tracker.lag_micros(), 50);
+}
+
+TEST(WatermarkTrackerTest, PunctuationAdvancesWithoutPayload) {
+  WatermarkTracker tracker;
+  tracker.Observe("a", 100);
+  tracker.Observe("b", 100);
+  EXPECT_EQ(tracker.Punctuate("a", 500), 100);  // b still at 100.
+  EXPECT_EQ(tracker.Punctuate("b", 500), 500);
+}
+
+TEST(WatermarkTrackerTest, ForgetSourceReleasesTheMerge) {
+  WatermarkTracker tracker;
+  tracker.Observe("alive", 1000);
+  tracker.Observe("dead", 10);
+  EXPECT_EQ(tracker.low_watermark(), 10);
+  tracker.ForgetSource("dead");
+  EXPECT_EQ(tracker.low_watermark(), 1000);
+  EXPECT_EQ(tracker.num_sources(), 1u);
+  // The frontier is history and survives.
+  EXPECT_EQ(tracker.frontier(), 1000);
+  // Forgetting the last source resets the merge but not the frontier.
+  tracker.ForgetSource("alive");
+  EXPECT_EQ(tracker.low_watermark(), WatermarkTracker::kUnset);
+  EXPECT_EQ(tracker.frontier(), 1000);
+}
+
+TEST(WatermarkTrackerTest, HugeLatenessSaturatesInsteadOfUnderflowing) {
+  WatermarkTracker tracker(INT64_MAX);
+  tracker.Observe("a", 0);
+  EXPECT_LT(tracker.low_watermark(), 0);
+  EXPECT_GT(tracker.low_watermark(), WatermarkTracker::kUnset);
+}
+
+TEST(WatermarkTrackerTest, EnumNames) {
+  EXPECT_EQ(ConsistencyLevelName(ConsistencyLevel::kFast), "fast");
+  EXPECT_EQ(ConsistencyLevelName(ConsistencyLevel::kSpeculative),
+            "speculative");
+  EXPECT_EQ(ConsistencyLevelName(ConsistencyLevel::kCorrect), "correct");
+  EXPECT_EQ(ResultKindName(ResultKind::kInsert), "insert");
+  EXPECT_EQ(ResultKindName(ResultKind::kRetract), "retract");
+  EXPECT_EQ(ResultKindName(ResultKind::kFinal), "final");
+}
+
+}  // namespace
+}  // namespace edadb

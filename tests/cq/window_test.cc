@@ -1,7 +1,11 @@
 #include "cq/window.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
 
@@ -234,6 +238,189 @@ TEST(WindowedAggregatorTest, MissingAggregateColumnErrors) {
   options.aggregates = {{Aggregate::Func::kSum, "nope", "s"}};
   WindowedAggregator agg(options, [](const WindowResult&) {});
   EXPECT_FALSE(agg.Push(Tick("A", 1), 10).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order regression (the seed asserted non-decreasing timestamps
+// and silently corrupted the deques in Release builds)
+
+TEST(SlidingWindowStatsTest, OutOfOrderInsertKeepsAggregatesExact) {
+  SlidingWindowStats stats(1000);
+  stats.Add(10, 5.0);
+  stats.Add(30, 1.0);
+  stats.Add(20, 9.0);  // Backward timestamp: the seed corrupted here.
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_EQ(stats.sum(), 15.0);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.out_of_order(), 1u);
+  EXPECT_EQ(stats.late_dropped(), 0u);
+  // Eviction still works off the max retained timestamp.
+  stats.Add(1025, 2.0);  // Evicts ts 10, 20 (<= 1025 - 1000).
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.sum(), 3.0);
+  EXPECT_EQ(stats.max(), 2.0);
+}
+
+TEST(SlidingWindowStatsTest, TooOldObservationRejectedWithAccounting) {
+  SlidingWindowStats stats(100);
+  stats.Add(200, 1.0);  // Eviction horizon now 100.
+  stats.Add(50, 42.0);  // Behind the horizon: rejected, not corrupted.
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.sum(), 1.0);
+  EXPECT_EQ(stats.late_dropped(), 1u);
+  EXPECT_EQ(stats.out_of_order(), 0u);
+}
+
+TEST(SlidingWindowStatsTest, ShuffledStreamAgreesWithBruteForce) {
+  Random rng(77);
+  const TimestampMicros width = 50;
+  SlidingWindowStats stats(width);
+  // In-order reference stream, then bounded local shuffling.
+  std::vector<std::pair<TimestampMicros, double>> events;
+  TimestampMicros ts = 0;
+  for (int i = 0; i < 1500; ++i) {
+    ts += static_cast<TimestampMicros>(rng.Uniform(5));
+    events.emplace_back(ts, rng.Normal(10, 4));
+  }
+  for (size_t i = 0; i + 6 < events.size(); ++i) {
+    std::swap(events[i], events[i + rng.Uniform(6)]);
+  }
+  std::vector<std::pair<TimestampMicros, double>> accepted;
+  TimestampMicros max_ts = INT64_MIN;
+  for (const auto& [t, v] : events) {
+    const uint64_t dropped_before = stats.late_dropped();
+    stats.Add(t, v);
+    max_ts = std::max(max_ts, t);
+    if (stats.late_dropped() == dropped_before) accepted.emplace_back(t, v);
+    // Brute force over accepted events still inside the window.
+    double sum = 0, mn = 1e300, mx = -1e300;
+    size_t count = 0;
+    for (const auto& [at, av] : accepted) {
+      if (at > max_ts - width) {
+        sum += av;
+        mn = std::min(mn, av);
+        mx = std::max(mx, av);
+        ++count;
+      }
+    }
+    ASSERT_EQ(stats.count(), count);
+    ASSERT_NEAR(stats.sum(), sum, 1e-6);
+    if (count > 0) {
+      ASSERT_EQ(stats.min(), mn);
+      ASSERT_EQ(stats.max(), mx);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative consistency: the insert/retract/final revision protocol
+
+WindowAggregatorOptions SpeculativeOpts() {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  options.consistency = ConsistencyLevel::kSpeculative;
+  options.allowed_lateness_micros = 100;
+  return options;
+}
+
+TEST(WindowedAggregatorTest, SpeculativeEmitsInsertThenFinal) {
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(SpeculativeOpts(),
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 10), 50).ok());
+  EXPECT_TRUE(results.empty());
+  // Frontier passes 100: [0,100) speculates immediately instead of
+  // waiting out the lateness allowance.
+  ASSERT_TRUE(agg.Push(Tick("A", 20), 120).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].kind, ResultKind::kInsert);
+  EXPECT_EQ(results[0].revision, 0);
+  EXPECT_EQ(results[0].rows, 1);
+  // Low watermark (250 - 100) passes 100: the same result is sealed.
+  ASSERT_TRUE(agg.Push(Tick("A", 30), 250).ok());
+  ASSERT_GE(results.size(), 2u);
+  EXPECT_EQ(results[1].kind, ResultKind::kFinal);
+  EXPECT_EQ(results[1].window_start, 0);
+  EXPECT_EQ(results[1].rows, 1);
+  EXPECT_EQ(results[1].revision, 0);  // Never revised.
+}
+
+TEST(WindowedAggregatorTest, StragglerRetractsAndRevises) {
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(SpeculativeOpts(),
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 10), 50).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 20), 120).ok());  // Speculative insert.
+  ASSERT_EQ(results.size(), 1u);
+  // Straggler into the already-emitted [0,100): retract + revised insert.
+  ASSERT_TRUE(agg.Push(Tick("A", 30), 60).ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[1].kind, ResultKind::kRetract);
+  EXPECT_EQ(results[1].revision, 0);
+  EXPECT_EQ(results[1].rows, 1);
+  EXPECT_EQ(results[1].aggregates[1].second, Value::Double(10.0));  // Stale.
+  EXPECT_EQ(results[2].kind, ResultKind::kInsert);
+  EXPECT_EQ(results[2].revision, 1);
+  EXPECT_EQ(results[2].rows, 2);
+  EXPECT_EQ(results[2].aggregates[1].second, Value::Double(20.0));  // Revised.
+  EXPECT_EQ(agg.retractions_emitted(), 1u);
+  // The final seals the revised value.
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 250).ok());
+  const WindowResult* final_result = nullptr;
+  for (const auto& r : results) {
+    if (r.kind == ResultKind::kFinal && r.window_start == 0) {
+      final_result = &r;
+    }
+  }
+  ASSERT_NE(final_result, nullptr);
+  EXPECT_EQ(final_result->rows, 2);
+  EXPECT_EQ(final_result->revision, 1);
+}
+
+TEST(WindowedAggregatorTest, FastLevelClosesAtFrontier) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  options.consistency = ConsistencyLevel::kFast;
+  options.allowed_lateness_micros = 100;  // Ignored by kFast.
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 150).ok());
+  // kCorrect would admit this (lateness 100); kFast already closed.
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 60).ok());
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  ASSERT_TRUE(agg.Flush().ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rows, 1);
+}
+
+TEST(WindowedAggregatorTest, SlowSourceHoldsWindowsOpen) {
+  WindowAggregatorOptions options = TumblingOpts(100);
+  std::vector<WindowResult> results;
+  WindowedAggregator agg(options,
+                         [&](const WindowResult& r) { results.push_back(r); });
+  // A source holds the merge back from its first appearance on.
+  ASSERT_TRUE(agg.Push(Tick("A", 3), 20, "slow_feed").ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 50, "fast_feed").ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 500, "fast_feed").ok());
+  // The low watermark is the min across sources: slow_feed at 20 keeps
+  // [0,100) open even though fast_feed raced to 500.
+  EXPECT_TRUE(results.empty());
+  EXPECT_GT(agg.watermarks().lag_micros(), 0);
+  // slow_feed catches up via punctuation; [0,100) closes.
+  ASSERT_TRUE(agg.Punctuate("slow_feed", 500).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].window_start, 0);
+  EXPECT_EQ(results[0].rows, 2);  // ts 20 and ts 50.
+}
+
+TEST(WindowedAggregatorTest, LatenessMetricsReachRegistry) {
+  metrics::Counter* const counter =
+      metrics::Registry::Default()->GetCounter("cq.late_dropped");
+  const uint64_t before = counter->Value();
+  WindowedAggregator agg(TumblingOpts(100), [](const WindowResult&) {});
+  ASSERT_TRUE(agg.Push(Tick("A", 1), 150).ok());
+  ASSERT_TRUE(agg.Push(Tick("A", 2), 50).ok());  // Dropped.
+  EXPECT_EQ(counter->Value(), before + 1);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "core/metrics_table.h"
 
 #include "core/processor.h"
+#include "cq/window.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -141,6 +142,40 @@ TEST_F(MetricsTableTest, ContinuousQueryOnMetricsFiresRule) {
   EXPECT_GE(attr("value")->int64_value(), 3);
   ASSERT_NE(attr("matched_rule"), nullptr);
   EXPECT_EQ(attr("matched_rule")->string_value(), "ingest-backlog");
+}
+
+// The event-time counters (DESIGN.md §15) surface through the same
+// table: speculative revisions, retractions and dropped stragglers are
+// queryable health like everything else.
+TEST_F(MetricsTableTest, EventTimeCountersLandInMetricsTable) {
+  const SchemaPtr schema = Schema::Make({{"v", ValueType::kInt64, false}});
+  WindowAggregatorOptions options;
+  options.window_size_micros = 100;
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"}};
+  options.consistency = ConsistencyLevel::kSpeculative;
+  options.allowed_lateness_micros = 1000;
+  WindowedAggregator agg(options, [](const WindowResult&) {});
+  ASSERT_OK(agg.Push(Record(schema, {Value::Int64(1)}), 10));
+  // Frontier passes [0, 100): speculative insert.
+  ASSERT_OK(agg.Push(Record(schema, {Value::Int64(2)}), 150));
+  // Straggler revises the published window: retract + insert.
+  ASSERT_OK(agg.Push(Record(schema, {Value::Int64(3)}), 20));
+  // Straggler beyond the lateness allowance: dropped + counted.
+  ASSERT_OK(agg.Push(Record(schema, {Value::Int64(4)}), 5000));
+  ASSERT_OK(agg.Push(Record(schema, {Value::Int64(5)}), 10));
+  ASSERT_OK(agg.Flush());
+  ASSERT_GE(agg.retractions_emitted(), 1u);
+  ASSERT_GE(agg.late_dropped(), 1u);
+
+  auto processor = OpenProcessor();
+  ASSERT_OK(processor->PumpOnce().status());
+  for (const char* name :
+       {"cq.late_dropped", "cq.retractions_emitted",
+        "cq.speculative_emitted", "cq.windows_finalized"}) {
+    const auto rows = RowsNamed(processor->db(), name);
+    ASSERT_EQ(rows.size(), 1u) << name;
+    EXPECT_GE((*rows[0].Get("value")).int64_value(), 1) << name;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// The event-time wiring into the rules service (DESIGN.md §15): window
+// revisions and pattern matches flow through StreamRuleBridge as flat
+// events, and the revision kind is queryable — a rule can react
+// specifically to a retraction ("a result we already acted on was
+// wrong").
+#include "rules/stream_bridge.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cq/pattern.h"
+#include "cq/window.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace edadb {
+namespace {
+
+SchemaPtr TickSchema() {
+  return Schema::Make({
+      {"kind", ValueType::kString, false},
+      {"value", ValueType::kDouble, false},
+  });
+}
+
+Record Tick(const std::string& kind, double value) {
+  return Record(TickSchema(), {Value::String(kind), Value::Double(value)});
+}
+
+class StreamBridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.wal_sync_policy = WalSyncPolicy::kNever;
+    db_ = *Database::Open(std::move(options));
+    engine_ = *RulesEngine::Attach(db_.get());
+    engine_->RegisterDefaultHandler(
+        [this](const Rule& rule, const RowAccessor&) {
+          fired_.push_back(rule.id);
+        });
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RulesEngine> engine_;
+  std::vector<std::string> fired_;
+};
+
+TEST_F(StreamBridgeTest, WindowRetractionFiresRule) {
+  ASSERT_OK(engine_->AddRule("stale_result", "kind = 'retract'", "alert"));
+  ASSERT_OK(engine_->AddRule("big_window", "kind = 'final' AND n >= 2",
+                             "log"));
+  StreamRuleBridge bridge(engine_.get());
+
+  WindowAggregatorOptions options;
+  options.window_size_micros = 100;
+  options.aggregates = {{Aggregate::Func::kCount, "", "n"},
+                        {Aggregate::Func::kSum, "value", "total"}};
+  options.consistency = ConsistencyLevel::kSpeculative;
+  options.allowed_lateness_micros = 1000;
+  WindowedAggregator agg(options, bridge.WindowCallback());
+
+  ASSERT_OK(agg.Push(Tick("ORDER", 10), 10));
+  // Frontier passes [0, 100): speculative insert for that window.
+  ASSERT_OK(agg.Push(Tick("ORDER", 30), 150));
+  // Straggler revises the already-published window: retract + insert.
+  ASSERT_OK(agg.Push(Tick("ORDER", 20), 20));
+  ASSERT_OK(agg.Flush());
+
+  EXPECT_EQ(agg.retractions_emitted(), 1u);
+  EXPECT_EQ(bridge.retractions_forwarded(), 1u);
+  EXPECT_EQ(bridge.dispatch_errors(), 0u);
+  // The retraction matched its rule exactly once; the final [0, 100)
+  // revision (2 rows) matched the threshold rule.
+  EXPECT_EQ(std::count(fired_.begin(), fired_.end(), "stale_result"), 1);
+  EXPECT_GE(std::count(fired_.begin(), fired_.end(), "big_window"), 1);
+}
+
+TEST_F(StreamBridgeTest, WindowResultExposesAggregateAliases) {
+  ASSERT_OK(engine_->AddRule("hot", "total > 50 AND kind = 'final'",
+                             "alert"));
+  StreamRuleBridge bridge(engine_.get());
+
+  WindowAggregatorOptions options;
+  options.window_size_micros = 100;
+  options.aggregates = {{Aggregate::Func::kSum, "value", "total"}};
+  WindowedAggregator agg(options, bridge.WindowCallback());
+
+  ASSERT_OK(agg.Push(Tick("A", 40), 10));
+  ASSERT_OK(agg.Push(Tick("A", 30), 20));
+  ASSERT_OK(agg.Push(Tick("A", 5), 150));
+  ASSERT_OK(agg.Flush());
+
+  EXPECT_EQ(fired_, (std::vector<std::string>{"hot"}));
+  EXPECT_EQ(bridge.forwarded(), 2u);
+}
+
+TEST_F(StreamBridgeTest, PatternAbsenceRetractionFiresRule) {
+  ASSERT_OK(engine_->AddRule(
+      "revoked_clean",
+      "kind = 'retract' AND pattern = 'paid_clean'", "alert"));
+  StreamRuleBridge bridge(engine_.get());
+
+  PatternSpec spec;
+  spec.name = "paid_clean";
+  PatternStep order;
+  order.name = "order";
+  order.condition = *Predicate::Compile("kind = 'ORDER'");
+  PatternStep no_fail;
+  no_fail.name = "no_fail";
+  no_fail.condition = *Predicate::Compile("kind = 'FAIL'");
+  no_fail.negated = true;
+  spec.steps = {order, no_fail};
+  spec.within_micros = 1000;
+  spec.consistency = ConsistencyLevel::kSpeculative;
+  spec.allowed_lateness_micros = 500;
+  auto matcher = PatternMatcher::Create(spec, bridge.PatternCallback());
+  ASSERT_OK(matcher.status());
+
+  ASSERT_OK((*matcher)->Push(Tick("ORDER", 1), 100));
+  // Frontier passes the 1100 deadline: speculative "no failure" match.
+  ASSERT_OK((*matcher)->Push(Tick("NOISE", 0), 1200));
+  // A straggler failure inside the lateness allowance refutes it.
+  ASSERT_OK((*matcher)->Push(Tick("FAIL", 0), 800));
+  ASSERT_OK((*matcher)->Flush());
+
+  EXPECT_EQ((*matcher)->retractions_emitted(), 1u);
+  EXPECT_EQ(bridge.retractions_forwarded(), 1u);
+  EXPECT_EQ(fired_, (std::vector<std::string>{"revoked_clean"}));
+}
+
+TEST_F(StreamBridgeTest, OnWindowResultReturnsMatchedIds) {
+  ASSERT_OK(engine_->AddRule("r1", "rows > 5", "a"));
+  StreamRuleBridge bridge(engine_.get());
+  WindowResult result;
+  result.window_start = 0;
+  result.window_end = 100;
+  result.rows = 9;
+  result.kind = ResultKind::kFinal;
+  auto matched = bridge.OnWindowResult(result);
+  ASSERT_OK(matched.status());
+  EXPECT_EQ(*matched, (std::vector<std::string>{"r1"}));
+  EXPECT_EQ(bridge.forwarded(), 1u);
+  EXPECT_EQ(bridge.retractions_forwarded(), 0u);
+}
+
+}  // namespace
+}  // namespace edadb

@@ -1,0 +1,85 @@
+#ifndef EDADB_TESTS_TESTING_OOO_STREAM_H_
+#define EDADB_TESTS_TESTING_OOO_STREAM_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace edadb {
+namespace testing {
+
+/// Late/out-of-order workload generator for the event-time layer
+/// (gtest-free on purpose: bench_cq uses it for E11 and the property
+/// tests use it under SeededRng).
+///
+/// Model: events are born in event-time order (ts = start + i * step,
+/// round-robin across sources), then each is independently delayed
+/// with probability `lateness_fraction` by Uniform(1, max_delay)
+/// microseconds of *arrival* lag. The stream is delivered in arrival
+/// time order, so a delayed event surfaces after up to
+/// max_delay / step newer ones — exactly the §2.2 sensor-feed failure
+/// mode the watermark/retraction machinery exists for.
+struct OooStreamOptions {
+  int64_t num_events = 1000;
+  TimestampMicros start_ts = 0;
+  /// Event-time spacing between consecutive events.
+  TimestampMicros step_micros = 1000;
+  /// Probability an event is delayed in arrival.
+  double lateness_fraction = 0.1;
+  /// Max arrival lag of a delayed event.
+  TimestampMicros max_delay_micros = 50 * 1000;
+  /// Events are attributed round-robin to this many named sources
+  /// ("s0", "s1", ...), exercising the per-source watermark merge.
+  int num_sources = 1;
+};
+
+struct OooEvent {
+  TimestampMicros ts = 0;       // Event time.
+  TimestampMicros arrival = 0;  // Delivery time (sort key).
+  int64_t seq = 0;              // In-order index (ts order).
+  int source = 0;               // Index into source names.
+  bool delayed = false;
+};
+
+inline std::string OooSourceName(int source) {
+  return "s" + std::to_string(source);
+}
+
+/// Generates the arrival-ordered stream. Deterministic given the rng
+/// state. The returned events are sorted by arrival time (stable, so
+/// undelayed events keep their event-time order among themselves).
+inline std::vector<OooEvent> GenerateOooStream(const OooStreamOptions& options,
+                                               Random* rng) {
+  std::vector<OooEvent> events;
+  events.reserve(static_cast<size_t>(options.num_events));
+  for (int64_t i = 0; i < options.num_events; ++i) {
+    OooEvent event;
+    event.ts = options.start_ts + i * options.step_micros;
+    event.seq = i;
+    event.source =
+        options.num_sources > 1
+            ? static_cast<int>(i % options.num_sources)
+            : 0;
+    event.delayed = rng->UniformDouble(0.0, 1.0) < options.lateness_fraction;
+    event.arrival =
+        event.ts +
+        (event.delayed && options.max_delay_micros > 0
+             ? 1 + static_cast<TimestampMicros>(rng->Uniform(
+                       static_cast<uint64_t>(options.max_delay_micros)))
+             : 0);
+    events.push_back(event);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const OooEvent& a, const OooEvent& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return events;
+}
+
+}  // namespace testing
+}  // namespace edadb
+
+#endif  // EDADB_TESTS_TESTING_OOO_STREAM_H_
